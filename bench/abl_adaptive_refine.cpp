@@ -1,0 +1,90 @@
+/// \file abl_adaptive_refine.cpp
+/// Ablation: uniform adaptive grid (§6) vs density-refined k-d
+/// partitioning (§7 future work, implemented here) on increasingly
+/// clustered distributions. The metric is file-size balance — the uniform
+/// grid equalizes *volume* per partition, so clustered particles pile
+/// into few huge files; the k-d partitioner equalizes estimated *load*.
+
+#include <iostream>
+#include <vector>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/table.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+
+namespace {
+
+struct Layout {
+  int files = 0;
+  std::uint64_t max_file = 0;
+  std::uint64_t min_file = 0;
+};
+
+Layout run_case(double concentration, bool refine) {
+  // 16 ranks; rank r holds particles proportional to a power law in r,
+  // `concentration` controlling the skew (0 = uniform).
+  constexpr int kRanks = 16;
+  constexpr std::uint64_t kBase = 6400;
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+  TempDir dir("abl-refine");
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {2, 2, 1};
+  cfg.adaptive = true;
+  cfg.adaptive_refine = refine;
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    const double weight =
+        std::pow(1.0 / (1.0 + comm.rank()), concentration);
+    const auto n = static_cast<std::uint64_t>(kBase * weight);
+    const auto local = workload::uniform(
+        Schema::uintah(), decomp.patch(comm.rank()), n,
+        stream_seed(44, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * 100000);
+    write_dataset(comm, decomp, local, cfg);
+  });
+  const Dataset ds = Dataset::open(dir.path());
+  Layout out;
+  out.files = ds.file_count();
+  out.min_file = ~0ull;
+  for (const auto& f : ds.metadata().files) {
+    out.max_file = std::max(out.max_file, f.particle_count);
+    out.min_file = std::min(out.min_file, f.particle_count);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Table t("Ablation: adaptive grid refinement (16 ranks, skewed "
+          "distributions)",
+          {"skew", "scheme", "files", "largest file", "smallest file",
+           "imbalance"});
+  for (const double skew : {0.0, 1.0, 2.0, 3.0}) {
+    for (const bool refine : {false, true}) {
+      const Layout l = run_case(skew, refine);
+      t.row()
+          .add_double(skew, 1)
+          .add(refine ? "kd-refined" : "uniform grid")
+          .add_int(l.files)
+          .add_int(static_cast<long long>(l.max_file))
+          .add_int(static_cast<long long>(l.min_file))
+          .add_double(static_cast<double>(l.max_file) /
+                          static_cast<double>(std::max<std::uint64_t>(
+                              l.min_file, 1)),
+                      2);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nthe uniform adaptive grid equalizes volume; under skew "
+               "its largest file grows\nunbounded. The k-d refinement "
+               "equalizes estimated load, keeping files even —\nthe "
+               "paper's §7 're-balance the grid partition size' "
+               "direction.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// \file abl_alignment.cpp
+/// Ablation: the aligned fast path (§3.3 — each rank ships its whole
+/// buffer to one aggregator without inspecting particles) versus the
+/// general path (per-particle binning). Measures the real exchange-phase
+/// cost of both on this machine; the paper's design point is that
+/// aligning the aggregation grid with the simulation grid makes the scan
+/// unnecessary for uniform-resolution runs.
+
+#include <chrono>
+#include <iostream>
+#include <mutex>
+
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/table.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+
+int main() {
+  constexpr int kRanks = 16;
+  const PatchDecomposition decomp(Box3::unit(), {4, 2, 2});
+
+  Table t("Ablation: aligned fast path vs general per-particle binning "
+          "(16 ranks, this machine)",
+          {"particles/rank", "path", "meta+exchange (ms)", "total (ms)"});
+
+  for (const std::uint64_t ppr : {10000ull, 50000ull, 200000ull}) {
+    for (const bool general : {false, true}) {
+      TempDir dir("abl-align");
+      WriterConfig cfg;
+      cfg.dir = dir.path();
+      cfg.factor = {2, 2, 2};
+      cfg.force_general_exchange = general;
+      WriteStats job{};
+      std::mutex mu;
+      simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+        const auto local = workload::uniform(
+            Schema::uintah(), decomp.patch(comm.rank()), ppr,
+            stream_seed(3, static_cast<std::uint64_t>(comm.rank())),
+            static_cast<std::uint64_t>(comm.rank()) * ppr);
+        const WriteStats s = write_dataset(comm, decomp, local, cfg);
+        std::lock_guard lk(mu);
+        job = WriteStats::max_over(job, s);
+      });
+      t.row()
+          .add_int(static_cast<long long>(ppr))
+          .add(general ? "general (binning)" : "aligned (no scan)")
+          .add_double((job.meta_exchange_seconds +
+                       job.particle_exchange_seconds) *
+                          1e3,
+                      2)
+          .add_double(job.total_seconds() * 1e3, 2);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nthe aligned path ships whole buffers; the general path "
+               "must classify every\nparticle first (the cost the paper's "
+               "grid alignment avoids).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file abl_placement.cpp
+/// Ablation: uniform aggregator placement over the rank space (§3.2, the
+/// paper's choice) versus packing aggregators into the low ranks. On a
+/// machine with dedicated I/O nodes mapped to rank blocks (Mira), packed
+/// placement funnels all file traffic through the few I/O nodes owning
+/// the low ranks; uniform placement engages the whole job's I/O nodes.
+
+#include <iostream>
+#include <vector>
+
+#include "iosim/event_sim.hpp"
+#include "iosim/machine_profile.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace spio;
+using namespace spio::iosim;
+
+namespace {
+
+/// Storage time with an explicit aggregator-rank -> ION mapping, driven
+/// through the discrete-event engine.
+double storage_time_with_placement(const MachineProfile& m, int nprocs,
+                                   const std::vector<int>& aggregator_ranks,
+                                   double bytes_per_file) {
+  const int job_res = m.job_resources(nprocs);
+  const int ranks_per_res =
+      m.ranks_per_resource > 0 ? m.ranks_per_resource : nprocs;
+  EventSim sim(job_res);
+  const double service =
+      (bytes_per_file + m.per_file_overhead_bytes) / m.resource_bw;
+  int i = 0;
+  for (const int agg : aggregator_ranks) {
+    const int res = std::min(job_res - 1, agg / ranks_per_res);
+    const double ready =
+        (static_cast<double>(i++ / m.mds_parallelism) + 1.0) *
+        m.file_create_seconds;
+    sim.submit(res, ready, service);
+  }
+  sim.run();
+  return sim.makespan();
+}
+
+}  // namespace
+
+int main() {
+  const auto mira = MachineProfile::mira();
+  const std::uint64_t bytes_per_proc = 32768ull * 124;
+
+  Table t("Ablation: aggregator placement on Mira (32K particles/core, "
+          "group size 32)",
+          {"procs", "uniform GB/s", "packed GB/s", "speedup"});
+  for (const int n : {8192, 32768, 131072, 262144}) {
+    const int files = n / 32;
+    const double total = static_cast<double>(bytes_per_proc) * n;
+    const double per_file = total / files;
+
+    std::vector<int> uniform, packed;
+    for (int i = 0; i < files; ++i) {
+      uniform.push_back(static_cast<int>(
+          static_cast<std::int64_t>(i) * n / files));
+      packed.push_back(i);
+    }
+    const double tu = storage_time_with_placement(mira, n, uniform, per_file);
+    const double tp = storage_time_with_placement(mira, n, packed, per_file);
+    t.row()
+        .add_int(n)
+        .add_double(throughput_gbs(static_cast<std::uint64_t>(total), tu), 2)
+        .add_double(throughput_gbs(static_cast<std::uint64_t>(total), tp), 2)
+        .add_double(tp / tu, 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nuniform placement engages every I/O node the job can "
+               "reach; packing the\naggregators into low ranks serializes "
+               "all files behind a few I/O nodes.\n";
+  return 0;
+}

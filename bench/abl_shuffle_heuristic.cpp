@@ -1,0 +1,97 @@
+/// \file abl_shuffle_heuristic.cpp
+/// Ablation: LOD ordering heuristics (§3.4 — "the order of particles used
+/// to create the levels of detail can be defined using different kinds of
+/// heuristics"). Compares the paper's random reshuffle against a
+/// deterministic bit-reversal stride on (a) reorder cost and (b) prefix
+/// representativeness (density RMSE of a 10% prefix), for a clustered
+/// dataset where input order correlates with space.
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "core/lod.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+
+namespace {
+
+constexpr int kGrid = 16;
+
+std::vector<double> density(const ParticleBuffer& buf, std::size_t count,
+                            const Box3& box) {
+  std::vector<double> field(kGrid * kGrid * kGrid, 0.0);
+  count = std::min(count, buf.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vec3d rel = (buf.position(i) - box.lo) / box.size();
+    const int x = std::min(kGrid - 1, static_cast<int>(rel.x * kGrid));
+    const int y = std::min(kGrid - 1, static_cast<int>(rel.y * kGrid));
+    const int z = std::min(kGrid - 1, static_cast<int>(rel.z * kGrid));
+    field[static_cast<std::size_t>((z * kGrid + y) * kGrid + x)] += 1.0;
+  }
+  for (double& v : field) v /= static_cast<double>(count);
+  return field;
+}
+
+}  // namespace
+
+int main() {
+  const Box3 box = Box3::unit();
+  constexpr std::size_t kN = 200000;
+
+  // Clustered particles appended cluster by cluster: the worst case for
+  // an unshuffled prefix, the interesting case for heuristics.
+  ParticleBuffer base(Schema::uintah());
+  {
+    Xoshiro256 rng(5);
+    for (int cluster = 0; cluster < 8; ++cluster) {
+      const Box3 cell({0.25 * (cluster % 4), 0.5 * (cluster / 4), 0.0},
+                      {0.25 * (cluster % 4) + 0.25, 0.5 * (cluster / 4) + 0.5,
+                       1.0});
+      const auto part = workload::gaussian_clusters(
+          Schema::uintah(), cell, kN / 8, 2, 0.1,
+          stream_seed(77, static_cast<std::uint64_t>(cluster)),
+          static_cast<std::uint64_t>(cluster) * (kN / 8));
+      base.append_bytes(part.bytes());
+    }
+  }
+  const auto full_field = density(base, base.size(), box);
+
+  Table t("Ablation: LOD ordering heuristic (200K clustered particles)",
+          {"heuristic", "reorder (ms)", "10% prefix density RMSE"});
+
+  struct Case {
+    const char* name;
+    LodHeuristic h;
+    bool reorder;
+  };
+  const Case cases[] = {
+      {"none (input order)", LodHeuristic::kRandom, false},
+      {"random shuffle", LodHeuristic::kRandom, true},
+      {"bit-reversal stride", LodHeuristic::kStride, true},
+      {"morton-stratified", LodHeuristic::kStratified, true}};
+  for (const Case& c : cases) {
+    ParticleBuffer buf(Schema::uintah());
+    buf.append_bytes(base.bytes());
+    const auto t0 = std::chrono::steady_clock::now();
+    if (c.reorder) lod_reorder(buf, 99, c.h);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    const auto prefix_field = density(buf, buf.size() / 10, box);
+    t.row()
+        .add(c.name)
+        .add_double(ms, 2)
+        .add_sci(rmse(prefix_field, full_field), 3);
+  }
+  t.print(std::cout);
+  std::cout << "\nan unshuffled prefix sees only the first clusters "
+               "(large RMSE); the random\nshuffle gives an unbiased "
+               "sample; the stride order is cheaper to compute in\n"
+               "streaming settings but inherits input-order bias within "
+               "levels.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+/// \file fig07_read_scaling.cpp
+/// Figure 7: visualization-style read strong scaling of a 2-billion-
+/// particle dataset written at 64K ranks, in three variants:
+///   (a) (2,2,2) aggregation with the spatial metadata file  [8K files]
+///   (b) (2,2,2) aggregation without spatial metadata        [8K files]
+///   (c) (1,1,1) file-per-process with spatial metadata      [64K files]
+/// Part 1 models the paper's platforms (Theta 64-2048 readers, SSD
+/// workstation 1-64 readers). Part 2 runs the same three variants for
+/// real at workstation scale (threads-as-ranks, local files) and reports
+/// measured file/byte touch counts and wall time.
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "iosim/read_model.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/table.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+using namespace spio::iosim;
+
+namespace {
+
+void model_panel(const MachineProfile& m, const std::vector<int>& readers) {
+  Table t("Figure 7 (model): " + m.name +
+              " — read time (s), 2^31 particles",
+          {"readers", "2x2x2 with metadata", "2x2x2 no metadata",
+           "1x1x1 with metadata"});
+  for (const int n : readers) {
+    ReadCase with_meta{8192, (1ull << 31) * 124, n, ReadMode::kWithMetadata};
+    ReadCase no_meta{8192, (1ull << 31) * 124, n, ReadMode::kWithoutMetadata};
+    ReadCase fpp{65536, (1ull << 31) * 124, n, ReadMode::kWithMetadata};
+    t.row()
+        .add_int(n)
+        .add_double(model_read_seconds(m, with_meta), 1)
+        .add_double(model_read_seconds(m, no_meta), 1)
+        .add_double(model_read_seconds(m, fpp), 1);
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void functional_panel() {
+  // Real files on local disk: 64 writer ranks, 4K particles each.
+  constexpr int kWriters = 64;
+  constexpr std::uint64_t kPerRank = 4096;
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 4});
+
+  TempDir with_meta_dir("fig07-meta"), no_meta_dir("fig07-nometa"),
+      fpp_dir("fig07-fpp");
+  simmpi::run(kWriters, [&](simmpi::Comm& comm) {
+    const auto local = workload::uniform(
+        Schema::uintah(), decomp.patch(comm.rank()), kPerRank,
+        stream_seed(42, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+    WriterConfig a;
+    a.dir = with_meta_dir.path();
+    a.factor = {2, 2, 2};
+    write_dataset(comm, decomp, local, a);
+    WriterConfig b = a;
+    b.dir = no_meta_dir.path();
+    b.write_spatial_metadata = false;
+    write_dataset(comm, decomp, local, b);
+    WriterConfig c = a;
+    c.dir = fpp_dir.path();
+    c.factor = {1, 1, 1};
+    write_dataset(comm, decomp, local, c);
+  });
+
+  Table t("Figure 7 (functional, this machine): 262,144 particles, "
+          "per-reader touch counts and measured wall time",
+          {"readers", "variant", "files/reader", "MB scanned/reader",
+           "wall (ms)"});
+
+  for (const int readers : {1, 2, 4, 8}) {
+    struct Variant {
+      const char* name;
+      const TempDir* dir;
+      bool scan_all;
+    };
+    const Variant variants[] = {{"2x2x2 with metadata", &with_meta_dir, false},
+                                {"2x2x2 no metadata", &no_meta_dir, true},
+                                {"1x1x1 with metadata", &fpp_dir, false}};
+    for (const Variant& v : variants) {
+      std::atomic<std::uint64_t> files{0}, bytes{0};
+      const auto t0 = std::chrono::steady_clock::now();
+      simmpi::run(readers, [&](simmpi::Comm& comm) {
+        const Dataset ds = Dataset::open(v.dir->path());
+        const Box3 tile =
+            reader_tile(ds.metadata().domain, comm.rank(), comm.size());
+        ReadStats rs;
+        if (v.scan_all) {
+          ds.query_box_scan_all(tile, &rs);
+        } else {
+          ds.query_box(tile, -1, readers, &rs);
+        }
+        files += static_cast<std::uint64_t>(rs.files_opened);
+        bytes += rs.bytes_read;
+      });
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      t.row()
+          .add_int(readers)
+          .add(v.name)
+          .add_double(static_cast<double>(files) / readers, 1)
+          .add_double(static_cast<double>(bytes) / readers / 1e6, 2)
+          .add_double(ms, 1);
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  model_panel(MachineProfile::theta(), {64, 128, 256, 512, 1024, 2048});
+  model_panel(MachineProfile::ssd_workstation(), {1, 2, 4, 8, 16, 32, 64});
+  functional_panel();
+  std::cout << "paper reference: metadata-guided reads strong-scale; the "
+               "no-metadata variant is\nslowest and does not improve with "
+               "more readers; the 64K-file variant scales but\npays heavy "
+               "open costs on Theta and almost none on the SSD "
+               "workstation.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+/// \file fig08_lod_reads.cpp
+/// Figure 8: progressive level-of-detail reads with 64 readers from the
+/// 2-billion-particle dataset (written at 64K ranks, (2,2,2), P=32, S=2 —
+/// up to level index 20). Part 1 models Theta and the SSD workstation;
+/// part 2 reads progressively more levels of a real local dataset and
+/// reports measured bytes and wall time per level.
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "iosim/read_model.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/table.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+using namespace spio::iosim;
+
+namespace {
+
+void model_panel(const MachineProfile& m) {
+  const LodParams lod{32, 2.0};
+  const std::uint64_t total = 1ull << 31;
+  const int max_levels = lod_level_count(lod, 64, total);
+  Table t("Figure 8 (model): " + m.name +
+              " — 64 readers, time to read the first L levels (s)",
+          {"levels", "particles", "time (s)"});
+  for (int l = 1; l <= max_levels; ++l) {
+    LodReadCase c;
+    c.levels = l;
+    t.row()
+        .add_int(l)
+        .add_sci(static_cast<double>(lod_cumulative(lod, 64, l, total)), 4)
+        .add_double(model_lod_read_seconds(m, c), 2);
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void functional_panel() {
+  constexpr int kWriters = 32;
+  constexpr std::uint64_t kPerRank = 8192;  // 262,144 particles total
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 2});
+  TempDir dir("fig08");
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {2, 2, 2};
+  cfg.lod = {32, 2.0};
+  simmpi::run(kWriters, [&](simmpi::Comm& comm) {
+    const auto local = workload::uniform(
+        Schema::uintah(), decomp.patch(comm.rank()), kPerRank,
+        stream_seed(8, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+    write_dataset(comm, decomp, local, cfg);
+  });
+
+  const Dataset ds = Dataset::open(dir.path());
+  constexpr int kReaders = 4;
+  const int max_levels = ds.level_count(kReaders);
+  Table t("Figure 8 (functional, this machine): " +
+              std::to_string(ds.metadata().total_particles) +
+              " particles, 4 readers, progressive levels",
+          {"levels", "particles read", "MB read", "wall (ms)"});
+  for (int l = 1; l <= max_levels; ++l) {
+    std::atomic<std::uint64_t> particles{0}, bytes{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    simmpi::run(kReaders, [&](simmpi::Comm& comm) {
+      const Dataset local_ds = Dataset::open(dir.path());
+      ReadStats rs;
+      // Each reader takes an interleaved share of the files.
+      for (int fi = comm.rank(); fi < local_ds.file_count();
+           fi += comm.size()) {
+        local_ds.read_data_file(fi, l, kReaders, &rs);
+      }
+      particles += rs.particles_returned;
+      bytes += rs.bytes_read;
+    });
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    t.row()
+        .add_int(l)
+        .add_int(static_cast<long long>(particles.load()))
+        .add_double(static_cast<double>(bytes.load()) / 1e6, 2)
+        .add_double(ms, 2);
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  model_panel(MachineProfile::theta());
+  model_panel(MachineProfile::ssd_workstation());
+  functional_panel();
+  std::cout << "paper reference: on Theta the first ~8 levels cost about "
+               "the same (opens dominate),\nthen time grows with particle "
+               "count; on the SSD workstation time is proportional\nfrom "
+               "the start and low levels load fast enough for interactive "
+               "use.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+/// \file fig09_lod_quality.cpp
+/// Figure 9: how representative is an LOD prefix? The paper renders a
+/// 55-million-particle coal-injection dataset at 25/50/75/100% of the
+/// data and observes that "most of the features are still visible even
+/// using only 25%". Without a renderer we quantify the same claim: a
+/// scaled-down injection dataset is written with the random-shuffle LOD
+/// order, prefixes are read back, and we report (a) the RMSE between the
+/// prefix's binned density field (normalized to a distribution) and the
+/// full dataset's, (b) spatial coverage (fraction of occupied bins hit),
+/// and (c) an ASCII side view of the jet at each fraction.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/density.hpp"
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/table.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+
+namespace {
+
+constexpr int kGrid = 24;  // density bins per axis
+
+DensityField density_field(const ParticleBuffer& buf, const Box3& domain) {
+  DensityField f(domain, {kGrid, kGrid, kGrid});
+  f.add(buf);
+  f.normalize();
+  return f;
+}
+
+void ascii_render(const ParticleBuffer& buf, const Box3& domain,
+                  const std::string& title) {
+  constexpr int kW = 64, kH = 16;
+  std::vector<int> cols(kW * kH, 0);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const Vec3d rel = (buf.position(i) - domain.lo) / domain.size();
+    const int x = std::min(kW - 1, static_cast<int>(rel.x * kW));
+    const int y = std::min(kH - 1, static_cast<int>(rel.y * kH));
+    ++cols[static_cast<std::size_t>(y * kW + x)];
+  }
+  int peak = 1;
+  for (int v : cols) peak = std::max(peak, v);
+  static const char shades[] = " .:-=+*#%@";
+  std::cout << "-- " << title << " --\n";
+  for (int y = kH - 1; y >= 0; --y) {
+    for (int x = 0; x < kW; ++x) {
+      const double s = static_cast<double>(cols[static_cast<std::size_t>(
+                           y * kW + x)]) /
+                       peak;
+      std::cout << shades[std::min<std::size_t>(
+          sizeof(shades) - 2,
+          static_cast<std::size_t>(std::pow(s, 0.4) * (sizeof(shades) - 2)))];
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Coal-jet style injection workload, written with LOD ordering.
+  constexpr int kRanks = 32;
+  constexpr std::uint64_t kPerRank = 20000;
+  const Box3 domain({0, 0, 0}, {4, 1, 1});
+  const PatchDecomposition decomp(domain, {8, 2, 2});
+  TempDir dir("fig09");
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {2, 2, 2};
+  cfg.adaptive = true;  // the jet fills ~3/4 of the domain
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    const auto local = workload::injection(
+        Schema::uintah(), decomp.patch(comm.rank()), domain, 0.75, kPerRank,
+        stream_seed(9, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+    write_dataset(comm, decomp, local, cfg);
+  });
+
+  const Dataset ds = Dataset::open(dir.path());
+  const ParticleBuffer full = ds.query_box(domain);
+  const auto full_field = density_field(full, domain);
+
+  Table t("Figure 9: LOD prefix quality on a " +
+              std::to_string(full.size()) + "-particle injection dataset",
+          {"fraction", "particles", "density RMSE", "coverage %"});
+
+  for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
+    // Read a prefix of every file proportional to the fraction.
+    ParticleBuffer prefix(ds.metadata().schema);
+    for (int fi = 0; fi < ds.file_count(); ++fi) {
+      const auto& rec = ds.metadata().files[static_cast<std::size_t>(fi)];
+      const auto want = static_cast<std::uint64_t>(
+          frac * static_cast<double>(rec.particle_count));
+      const auto whole = ds.read_data_file(fi);
+      for (std::uint64_t i = 0; i < want; ++i)
+        prefix.append_from(whole, static_cast<std::size_t>(i));
+    }
+    const auto prefix_field = density_field(prefix, domain);
+    t.row()
+        .add_double(frac, 2)
+        .add_int(static_cast<long long>(prefix.size()))
+        .add_sci(prefix_field.rmse_against(full_field), 3)
+        .add_double(100.0 * prefix_field.coverage_of(full_field), 1);
+    ascii_render(prefix, domain,
+                 std::to_string(static_cast<int>(frac * 100)) +
+                     "% of particles (side view of the jet)");
+  }
+  std::cout << '\n';
+  t.print(std::cout);
+  std::cout << "\npaper reference: features remain visible at 25% of the "
+               "data; RMSE should be small\nand coverage high even for "
+               "the 25% prefix because prefixes are uniform samples.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+/// \file fig11_adaptive.cpp
+/// Figure 11: adaptive vs non-adaptive aggregation write time as the
+/// particle distribution becomes increasingly non-uniform (particles
+/// occupy 100% down to 12.5% of the domain; total particle count fixed;
+/// 4096 ranks). Part 1 models Mira and Theta; part 2 runs both schemes
+/// for real at thread scale and verifies the structural claims (files
+/// only for occupied regions, aggregators spread over the full rank
+/// space).
+
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "iosim/write_model.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/table.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+using namespace spio::iosim;
+
+namespace {
+
+const std::vector<double> kCoverage = {1.0, 0.8, 0.6, 0.5, 0.4, 0.25, 0.125};
+
+void model_panel(const MachineProfile& m) {
+  Table t("Figure 11 (model): " + m.name +
+              " — write time (s), 4096 ranks, fixed total particles",
+          {"% of domain occupied", "non-adaptive", "adaptive"});
+  for (const double c : kCoverage) {
+    AdaptiveCase non_adaptive;
+    non_adaptive.coverage = c;
+    non_adaptive.adaptive = false;
+    AdaptiveCase adaptive = non_adaptive;
+    adaptive.adaptive = true;
+    t.row()
+        .add_double(100.0 * c, 1)
+        .add_double(model_adaptive_write(m, non_adaptive).total_seconds(), 2)
+        .add_double(model_adaptive_write(m, adaptive).total_seconds(), 2);
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void functional_panel() {
+  constexpr int kRanks = 64;
+  // Fixed total: ranks inside the occupied region share it evenly.
+  constexpr std::uint64_t kTotal = 64 * 2000;
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 4});
+
+  Table t("Figure 11 (functional, this machine): 64 ranks, fixed total "
+          "particles",
+          {"coverage %", "scheme", "files", "aggregator span",
+           "wall (ms)"});
+
+  for (const double c : {1.0, 0.5, 0.25}) {
+    const Box3 region = workload::coverage_region(decomp.domain(), c);
+    // Count occupied ranks to split the fixed total evenly.
+    int occupied = 0;
+    for (int r = 0; r < kRanks; ++r)
+      if (decomp.patch(r).overlaps(region)) ++occupied;
+    const std::uint64_t per_rank = kTotal / static_cast<std::uint64_t>(occupied);
+
+    for (const bool adaptive : {false, true}) {
+      TempDir dir("fig11");
+      WriterConfig cfg;
+      cfg.dir = dir.path();
+      cfg.factor = {2, 2, 2};
+      cfg.adaptive = adaptive;
+      WriteStats job{};
+      std::mutex mu;
+      const auto t0 = std::chrono::steady_clock::now();
+      simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+        const auto local = workload::uniform_in_region(
+            Schema::uintah(), decomp.patch(comm.rank()), region, per_rank,
+            stream_seed(11, static_cast<std::uint64_t>(comm.rank())),
+            static_cast<std::uint64_t>(comm.rank()) * per_rank);
+        const WriteStats s = write_dataset(comm, decomp, local, cfg);
+        std::lock_guard lk(mu);
+        job = WriteStats::max_over(job, s);
+      });
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      // Span of aggregator ranks actually used (paper: adaptive spreads
+      // them over the whole rank space; non-adaptive clusters them in
+      // the occupied prefix).
+      const Dataset ds = Dataset::open(dir.path());
+      int lo_rank = kRanks, hi_rank = -1;
+      for (const auto& f : ds.metadata().files) {
+        lo_rank = std::min(lo_rank, static_cast<int>(f.aggregator_rank));
+        hi_rank = std::max(hi_rank, static_cast<int>(f.aggregator_rank));
+      }
+      t.row()
+          .add_double(100.0 * c, 0)
+          .add(adaptive ? "adaptive" : "non-adaptive")
+          .add_int(ds.file_count())
+          .add(std::to_string(lo_rank) + ".." + std::to_string(hi_rank))
+          .add_double(ms, 1);
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  model_panel(MachineProfile::mira());
+  model_panel(MachineProfile::theta());
+  functional_panel();
+  std::cout << "paper reference: adaptive aggregation improves write time "
+               "on both machines;\non Mira the gap grows as coverage "
+               "shrinks (idle dedicated IONs under the\nnon-adaptive "
+               "scheme); on Theta placement matters little.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// \file micro_pipeline.cpp
+/// End-to-end micro-benchmark of the real pipeline on this machine:
+/// write (aggregation + LOD + files + metadata) and read (metadata-guided
+/// box query) at thread scale, across partition factors. Demonstrates
+/// the functional system the models extrapolate from.
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr std::uint64_t kPerRank = 20000;
+
+const PatchDecomposition& decomp() {
+  static const PatchDecomposition d(Box3::unit(), {2, 2, 2});
+  return d;
+}
+
+ParticleBuffer rank_particles(int rank) {
+  return workload::uniform(Schema::uintah(), decomp().patch(rank), kPerRank,
+                           stream_seed(1, static_cast<std::uint64_t>(rank)),
+                           static_cast<std::uint64_t>(rank) * kPerRank);
+}
+
+void BM_WriteDataset(benchmark::State& state) {
+  const PartitionFactor factor{static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    TempDir dir("micro-pipeline");
+    WriterConfig cfg;
+    cfg.dir = dir.path();
+    cfg.factor = factor;
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      write_dataset(comm, decomp(), rank_particles(comm.rank()), cfg);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * kRanks * kPerRank *
+                          static_cast<std::int64_t>(
+                              Schema::uintah().record_size()));
+  state.SetLabel("factor " + factor.to_string());
+}
+BENCHMARK(BM_WriteDataset)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_BoxQuery(benchmark::State& state) {
+  static TempDir dir("micro-pipeline-read");
+  static bool written = false;
+  if (!written) {
+    WriterConfig cfg;
+    cfg.dir = dir.path();
+    cfg.factor = {2, 2, 1};
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      write_dataset(comm, decomp(), rank_particles(comm.rank()), cfg);
+    });
+    written = true;
+  }
+  const Dataset ds = Dataset::open(dir.path());
+  const Box3 q({0.1, 0.1, 0.1}, {0.4, 0.4, 0.9});
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    ReadStats rs;
+    const auto out = ds.query_box(q, -1, 1, &rs);
+    benchmark::DoNotOptimize(out.bytes().data());
+    bytes += rs.bytes_read;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_BoxQuery)->Unit(benchmark::kMillisecond);
+
+void BM_ScanAllQuery(benchmark::State& state) {
+  static TempDir dir("micro-pipeline-scan");
+  static bool written = false;
+  if (!written) {
+    WriterConfig cfg;
+    cfg.dir = dir.path();
+    cfg.factor = {2, 2, 1};
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      write_dataset(comm, decomp(), rank_particles(comm.rank()), cfg);
+    });
+    written = true;
+  }
+  const Dataset ds = Dataset::open(dir.path());
+  const Box3 q({0.1, 0.1, 0.1}, {0.4, 0.4, 0.9});
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    ReadStats rs;
+    const auto out = ds.query_box_scan_all(q, &rs);
+    benchmark::DoNotOptimize(out.bytes().data());
+    bytes += rs.bytes_read;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ScanAllQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

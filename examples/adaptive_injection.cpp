@@ -1,0 +1,90 @@
+/// \file adaptive_injection.cpp
+/// Adaptive aggregation on a non-uniform workload (paper §6, Fig. 10/11):
+/// a coal-jet style injection simulation where particles enter at one
+/// face and fill the domain over time. Early timesteps leave most ranks
+/// empty; the adaptive aggregation grid covers only the occupied region
+/// and assigns no aggregator to empty space. The example writes a
+/// checkpoint at several injection times with both schemes and compares
+/// the resulting layouts.
+///
+/// Usage: adaptive_injection [output-dir]   (default: ./injection_run)
+
+#include <iostream>
+#include <mutex>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+
+int main(int argc, char** argv) {
+  const std::filesystem::path base = argc > 1 ? argv[1] : "injection_run";
+
+  constexpr int kRanks = 32;
+  constexpr std::uint64_t kPerRank = 12000;
+  const Box3 domain({0, 0, 0}, {4, 1, 1});
+  const PatchDecomposition decomp(domain, {8, 2, 2});
+
+  Table t("Injection checkpoint layouts: adaptive vs non-adaptive "
+          "aggregation",
+          {"time", "scheme", "particles", "files", "grid region (x)",
+           "max/min file"});
+
+  for (const double t01 : {0.25, 0.5, 1.0}) {
+    for (const bool adaptive : {false, true}) {
+      const auto dir = base / ((adaptive ? "adaptive_t" : "static_t") +
+                               std::to_string(static_cast<int>(t01 * 100)));
+      simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+        const auto local = workload::injection(
+            Schema::uintah(), decomp.patch(comm.rank()), domain, t01,
+            kPerRank,
+            stream_seed(606, static_cast<std::uint64_t>(comm.rank())),
+            static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+        WriterConfig cfg;
+        cfg.dir = dir;
+        cfg.factor = {2, 2, 2};
+        cfg.adaptive = adaptive;
+        write_dataset(comm, decomp, local, cfg);
+      });
+
+      const Dataset ds = Dataset::open(dir);
+      Box3 covered = Box3::empty();
+      std::uint64_t min_count = ~0ull, max_count = 0;
+      for (const auto& f : ds.metadata().files) {
+        covered.extend(f.bounds);
+        min_count = std::min(min_count, f.particle_count);
+        max_count = std::max(max_count, f.particle_count);
+      }
+      char region[64];
+      std::snprintf(region, sizeof(region), "[%.2f, %.2f]", covered.lo.x,
+                    covered.hi.x);
+      t.row()
+          .add_double(t01, 2)
+          .add(adaptive ? "adaptive" : "non-adaptive")
+          .add_int(static_cast<long long>(ds.metadata().total_particles))
+          .add_int(ds.file_count())
+          .add(region)
+          .add(std::to_string(max_count) + "/" + std::to_string(min_count));
+    }
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nat early times the non-adaptive grid wastes partitions on the "
+         "empty region\n(fewer, uneven files); the adaptive grid covers "
+         "only the jet and balances file\nsizes. Both schemes store the "
+         "same particles — verify with a query:\n";
+
+  const Dataset early = Dataset::open(base / "adaptive_t25");
+  ReadStats rs;
+  const Box3 nose({0.8, 0, 0}, {1.0, 1, 1});
+  const auto hits = early.query_box(nose, -1, 1, &rs);
+  std::cout << "query at the jet front " << nose << ": " << hits.size()
+            << " particles from " << rs.files_opened << "/"
+            << early.file_count() << " files ("
+            << format_bytes(rs.bytes_read) << ")\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// \file lod_progressive.cpp
+/// Progressive visualization-style reads (paper §4, Fig. 9): open a
+/// dataset, stream LOD levels one at a time, and refine an ASCII density
+/// rendering as data arrives — the pattern an interactive viewer uses to
+/// show a representative subset immediately and refine in the background.
+///
+/// Usage: lod_progressive [output-dir]   (default: ./lod_demo)
+
+#include <iostream>
+#include <vector>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/units.hpp"
+#include "workload/generators.hpp"
+
+using namespace spio;
+
+namespace {
+
+/// Render a top-down (x-y) density view of the particles seen so far.
+void render(const ParticleBuffer& buf, const Box3& domain,
+            const std::string& caption) {
+  constexpr int kW = 56, kH = 14;
+  std::vector<int> bins(kW * kH, 0);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const Vec3d rel = (buf.position(i) - domain.lo) / domain.size();
+    const int x = std::min(kW - 1, static_cast<int>(rel.x * kW));
+    const int y = std::min(kH - 1, static_cast<int>(rel.y * kH));
+    ++bins[static_cast<std::size_t>(y * kW + x)];
+  }
+  int peak = 1;
+  for (int b : bins) peak = std::max(peak, b);
+  static const char shades[] = " .:-=+*#%@";
+  std::cout << caption << "\n+" << std::string(kW, '-') << "+\n";
+  for (int y = kH - 1; y >= 0; --y) {
+    std::cout << '|';
+    for (int x = 0; x < kW; ++x) {
+      const double s =
+          static_cast<double>(bins[static_cast<std::size_t>(y * kW + x)]) /
+          peak;
+      const auto idx = static_cast<std::size_t>(s * (sizeof(shades) - 2));
+      std::cout << shades[std::min<std::size_t>(idx, sizeof(shades) - 2)];
+    }
+    std::cout << "|\n";
+  }
+  std::cout << '+' << std::string(kW, '-') << "+\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "lod_demo";
+
+  // Write a clustered dataset (galaxy-ish blobs) with LOD ordering.
+  constexpr int kRanks = 16;
+  constexpr std::uint64_t kPerRank = 30000;
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+  std::cout << "writing " << kRanks * kPerRank
+            << " clustered particles ...\n";
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    const auto local = workload::gaussian_clusters(
+        Schema::uintah(), decomp.patch(comm.rank()), kPerRank,
+        /*clusters=*/2, /*sigma_frac=*/0.12,
+        stream_seed(3033, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+    WriterConfig cfg;
+    cfg.dir = dir;
+    cfg.factor = {2, 2, 1};
+    cfg.lod = {64, 2.0};
+    write_dataset(comm, decomp, local, cfg);
+  });
+
+  // Progressive refinement: read level after level, appending. Each
+  // read_data_file(fi, L) prefix *contains* the previous one, so we only
+  // fetch the delta bytes each round in a real viewer; here we re-read
+  // the prefix for simplicity and show cumulative cost.
+  const Dataset ds = Dataset::open(dir);
+  const int levels = ds.level_count(1);
+  std::cout << "dataset has " << ds.metadata().total_particles
+            << " particles in " << ds.file_count() << " files, " << levels
+            << " LOD levels (P=" << ds.metadata().lod.P
+            << ", S=" << ds.metadata().lod.S << ")\n\n";
+
+  for (const int upto : {2, levels / 2, levels}) {
+    ParticleBuffer view(ds.metadata().schema);
+    ReadStats rs;
+    for (int fi = 0; fi < ds.file_count(); ++fi) {
+      const ParticleBuffer part = ds.read_data_file(fi, upto, 1, &rs);
+      view.append_bytes(part.bytes());
+    }
+    render(view, ds.metadata().domain,
+           "levels 0.." + std::to_string(upto - 1) + ": " +
+               std::to_string(view.size()) + " particles, " +
+               format_bytes(rs.bytes_read) + " read");
+  }
+  std::cout << "the coarse views already show every cluster; refinement "
+               "only sharpens them.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "baselines/convert.hpp"
+
+#include "baselines/fpp.hpp"
+#include "baselines/rank_order.hpp"
+#include "baselines/shared_file.hpp"
+#include "core/reader.hpp"
+#include "simmpi/reduce_ops.hpp"
+
+namespace spio::baselines {
+
+namespace {
+
+/// Read this rank's share of the legacy data: files (or shared-file
+/// slices) are dealt round-robin across the converting ranks.
+ParticleBuffer read_share(simmpi::Comm& comm, LegacyFormat format,
+                          const std::filesystem::path& src, int* files_seen) {
+  switch (format) {
+    case LegacyFormat::kFilePerProcess: {
+      const FppDataset ds = FppDataset::open(src);
+      *files_seen = ds.file_count();
+      ParticleBuffer out(ds.schema());
+      for (int f = comm.rank(); f < ds.file_count(); f += comm.size()) {
+        const ParticleBuffer buf = ds.read_rank_file(f);
+        out.append_bytes(buf.bytes());
+      }
+      return out;
+    }
+    case LegacyFormat::kSharedFile: {
+      const SharedDataset ds = SharedDataset::open(src);
+      *files_seen = 1;
+      ParticleBuffer out(ds.schema());
+      for (int w = comm.rank(); w < ds.writer_count(); w += comm.size()) {
+        const ParticleBuffer buf = ds.read_rank_slice(w);
+        out.append_bytes(buf.bytes());
+      }
+      return out;
+    }
+    case LegacyFormat::kRankOrder: {
+      const RankOrderDataset ds = RankOrderDataset::open(src);
+      *files_seen = ds.file_count();
+      ParticleBuffer out(ds.schema());
+      for (int f = comm.rank(); f < ds.file_count(); f += comm.size()) {
+        const ParticleBuffer buf = ds.read_group_file(f);
+        out.append_bytes(buf.bytes());
+      }
+      return out;
+    }
+  }
+  throw ConfigError("unknown legacy format");
+}
+
+}  // namespace
+
+ConvertResult convert_to_spio(simmpi::Comm& comm, LegacyFormat format,
+                              const std::filesystem::path& src,
+                              WriterConfig config) {
+  int source_files = 0;
+  const ParticleBuffer local = read_share(comm, format, src, &source_files);
+
+  // Global tight bounds, padded so every particle is interior to the
+  // domain (the decomposition's point location clamps at faces anyway;
+  // the pad keeps patch boxes non-degenerate for point distributions).
+  struct Bounds {
+    Vec3d lo, hi;
+  };
+  const Box3 mine = local.bounds();
+  const Bounds global = comm.allreduce<Bounds>(
+      {local.empty() ? Vec3d(1e300) : mine.lo,
+       local.empty() ? Vec3d(-1e300) : mine.hi},
+      [](const Bounds& a, const Bounds& b) {
+        return Bounds{Vec3d::min(a.lo, b.lo), Vec3d::max(a.hi, b.hi)};
+      });
+  SPIO_CHECK(global.lo.x <= global.hi.x, ConfigError,
+             "legacy dataset at '" << src.string() << "' holds no particles");
+  Box3 domain(global.lo, global.hi);
+  for (int a = 0; a < 3; ++a) {
+    const double pad =
+        std::max(1e-9 * (domain.hi[a] - domain.lo[a]), 1e-12) +
+        1e-12 * std::abs(domain.lo[a]);
+    domain.lo[a] -= pad;
+    domain.hi[a] += pad;
+  }
+
+  // The converting ranks' particles are not patch-local; the writer's
+  // spill detection routes them through the extent-exchange plan, so any
+  // decomposition works. A near-cubic grid gives a sensible aligned grid
+  // for the aggregation factor.
+  const PatchDecomposition decomp =
+      PatchDecomposition::for_ranks(domain, comm.size());
+  const WriteStats stats = write_dataset(comm, decomp, local, config);
+
+  ConvertResult result;
+  result.particles =
+      comm.allreduce<std::uint64_t>(local.size(), simmpi::op::sum);
+  result.source_files = source_files;
+  result.output_files =
+      comm.allreduce<int>(stats.files_written, simmpi::op::sum);
+  return result;
+}
+
+}  // namespace spio::baselines

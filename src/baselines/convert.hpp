@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file convert.hpp
+/// Parallel conversion of legacy particle datasets (file-per-process,
+/// single shared file, rank-order sub-filed) into the spio format. §2 of
+/// the paper describes exactly this post-processing step — "time
+/// consuming, and requires making a duplicate copy of the data" — as the
+/// bottleneck spio's native format removes; this converter exists for
+/// data that was *already* written the old way.
+///
+/// The conversion is itself parallel two-phase I/O: readers split the
+/// legacy files among themselves, the spio writer's extent-exchange
+/// machinery routes every particle to its spatial aggregator, and the
+/// result is a fully spatially-aware dataset (bounds, field ranges, LOD
+/// order).
+
+#include <filesystem>
+
+#include "core/writer.hpp"
+#include "simmpi/comm.hpp"
+
+namespace spio::baselines {
+
+/// Legacy source format.
+enum class LegacyFormat : std::uint8_t {
+  kFilePerProcess = 0,
+  kSharedFile = 1,
+  kRankOrder = 2,
+};
+
+struct ConvertResult {
+  std::uint64_t particles = 0;
+  int source_files = 0;
+  int output_files = 0;
+};
+
+/// Collective: read the legacy dataset at `src` and write it as a spio
+/// dataset per `config` (config.dir is the destination). The domain is
+/// the tight bounding box of all particles, expanded by a relative
+/// margin so boundary particles stay interior.
+ConvertResult convert_to_spio(simmpi::Comm& comm, LegacyFormat format,
+                              const std::filesystem::path& src,
+                              WriterConfig config);
+
+}  // namespace spio::baselines

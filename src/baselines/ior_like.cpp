@@ -1,0 +1,84 @@
+#include "baselines/ior_like.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "simmpi/reduce_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace spio::baselines {
+
+double IorResult::throughput_gbs() const {
+  return spio::throughput_gbs(total_bytes, write_seconds);
+}
+
+IorResult ior_write(simmpi::Comm& comm, const IorConfig& config) {
+  SPIO_CHECK(!config.dir.empty(), ConfigError, "IorConfig.dir must be set");
+  SPIO_CHECK(config.transfer_bytes > 0 && config.block_bytes > 0, ConfigError,
+             "IOR block and transfer sizes must be positive");
+
+  if (comm.rank() == 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.dir, ec);
+    SPIO_CHECK(!ec, IoError,
+               "cannot create '" << config.dir.string()
+                                 << "': " << ec.message());
+    if (config.mode == IorMode::kSharedFile) {
+      // Preallocate the shared file.
+      std::FILE* f = std::fopen((config.dir / "ior_shared.bin").c_str(), "wb");
+      SPIO_CHECK(f != nullptr, IoError, "cannot create shared IOR file");
+      std::fseek(f,
+                 static_cast<long>(config.block_bytes *
+                                   static_cast<std::uint64_t>(comm.size())) -
+                     1,
+                 SEEK_SET);
+      std::fputc(0, f);
+      std::fclose(f);
+    }
+  }
+  comm.barrier();
+
+  // Fill the transfer buffer with incompressible noise so smart
+  // filesystems cannot cheat.
+  std::vector<unsigned char> buf(config.transfer_bytes);
+  Xoshiro256 rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng.next());
+
+  const auto path =
+      config.mode == IorMode::kFilePerProcess
+          ? config.dir / ("ior_" + std::to_string(comm.rank()) + ".bin")
+          : config.dir / "ior_shared.bin";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::FILE* f = std::fopen(
+      path.c_str(), config.mode == IorMode::kFilePerProcess ? "wb" : "r+b");
+  SPIO_CHECK(f != nullptr, IoError, "cannot open '" << path.string() << "'");
+  if (config.mode == IorMode::kSharedFile) {
+    std::fseek(f,
+               static_cast<long>(config.block_bytes *
+                                 static_cast<std::uint64_t>(comm.rank())),
+               SEEK_SET);
+  }
+  std::uint64_t remaining = config.block_bytes;
+  bool ok = true;
+  while (remaining > 0 && ok) {
+    const std::uint64_t n = std::min<std::uint64_t>(remaining, buf.size());
+    ok = std::fwrite(buf.data(), 1, n, f) == n;
+    remaining -= n;
+  }
+  std::fclose(f);  // close but no fsync, as in the paper's runs
+  SPIO_CHECK(ok, IoError, "IOR write failed on rank " << comm.rank());
+  const double mine =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  IorResult result;
+  result.write_seconds = comm.allreduce(mine, simmpi::op::max);
+  result.total_bytes =
+      config.block_bytes * static_cast<std::uint64_t>(comm.size());
+  return result;
+}
+
+}  // namespace spio::baselines

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file ior_like.hpp
+/// An IOR-style synthetic I/O kernel (the paper's reference benchmark
+/// [29]): each rank writes `block_bytes` of synthetic data in
+/// `transfer_bytes` chunks, either to its own file (file-per-process mode)
+/// or into one shared file at rank offsets (collective mode). No fsync is
+/// issued, matching the paper's configuration. Used by the functional
+/// micro-benchmarks to put a real local-filesystem number beside the
+/// modeled machine numbers.
+
+#include <cstdint>
+#include <filesystem>
+
+#include "simmpi/comm.hpp"
+
+namespace spio::baselines {
+
+enum class IorMode : std::uint8_t {
+  kFilePerProcess = 0,
+  kSharedFile = 1,
+};
+
+struct IorConfig {
+  std::filesystem::path dir;
+  IorMode mode = IorMode::kFilePerProcess;
+  std::uint64_t block_bytes = 4 << 20;     // per-rank volume
+  std::uint64_t transfer_bytes = 1 << 20;  // write granularity
+};
+
+struct IorResult {
+  double write_seconds = 0;   // max across ranks
+  std::uint64_t total_bytes = 0;
+  double throughput_gbs() const;
+};
+
+/// Collective: run the write kernel and report the slowest rank's time
+/// (the job completes when the last rank does, as IOR reports).
+IorResult ior_write(simmpi::Comm& comm, const IorConfig& config);
+
+}  // namespace spio::baselines

@@ -1,0 +1,124 @@
+#include "baselines/rank_order.hpp"
+
+#include <numeric>
+
+#include "util/serialize.hpp"
+
+namespace spio::baselines {
+
+namespace {
+constexpr std::uint32_t kManifestMagic = 0x4F4B5253;  // "SRKO"
+constexpr const char* kManifestName = "rank_order_manifest.bin";
+constexpr int kTagCount = 201;
+constexpr int kTagData = 202;
+
+std::string group_file_name(int group) {
+  return "Group_" + std::to_string(group) + ".bin";
+}
+}  // namespace
+
+void rank_order_write(simmpi::Comm& comm, const ParticleBuffer& local,
+                      const std::filesystem::path& dir, int group_size) {
+  SPIO_CHECK(group_size >= 1, ConfigError, "group size must be >= 1");
+  if (comm.rank() == 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    SPIO_CHECK(!ec, IoError,
+               "cannot create '" << dir.string() << "': " << ec.message());
+  }
+  comm.barrier();
+
+  const int group = comm.rank() / group_size;
+  const int leader = group * group_size;
+  const int groups = (comm.size() + group_size - 1) / group_size;
+
+  comm.send_value<std::uint64_t>(leader, kTagCount, local.size());
+  if (!local.empty()) {
+    comm.send_bytes(leader, kTagData,
+                    std::vector<std::byte>(local.bytes().begin(),
+                                           local.bytes().end()));
+  }
+
+  std::uint64_t group_count = 0;
+  if (comm.rank() == leader) {
+    const int members =
+        std::min(group_size, comm.size() - leader);
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(members));
+    for (int m = 0; m < members; ++m)
+      counts[static_cast<std::size_t>(m)] =
+          comm.recv_value<std::uint64_t>(leader + m, kTagCount);
+    ParticleBuffer agg(local.schema());
+    for (int m = 0; m < members; ++m) {
+      if (counts[static_cast<std::size_t>(m)] == 0) continue;
+      simmpi::Message msg = comm.recv_message(leader + m, kTagData);
+      agg.append_bytes(msg.payload);
+    }
+    group_count = agg.size();
+    write_file(dir / group_file_name(group), agg.bytes());
+  }
+
+  const auto gathered = comm.gather<std::uint64_t>(
+      comm.rank() == leader ? group_count : 0, 0);
+  if (comm.rank() == 0) {
+    std::vector<std::uint64_t> per_group(static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g)
+      per_group[static_cast<std::size_t>(g)] =
+          gathered[static_cast<std::size_t>(g * group_size)];
+    BinaryWriter w;
+    w.write<std::uint32_t>(kManifestMagic);
+    local.schema().serialize(w);
+    w.write_vector(per_group);
+    write_file(dir / kManifestName, w.bytes());
+  }
+  comm.barrier();
+}
+
+RankOrderDataset RankOrderDataset::open(const std::filesystem::path& dir) {
+  const auto bytes = read_file(dir / kManifestName);
+  BinaryReader r(bytes);
+  SPIO_CHECK(r.read<std::uint32_t>() == kManifestMagic, FormatError,
+             "not a rank-order manifest");
+  Schema schema = Schema::deserialize(r);
+  auto counts = r.read_vector<std::uint64_t>();
+  SPIO_CHECK(r.at_end(), FormatError, "trailing bytes in manifest");
+  return RankOrderDataset(dir, std::move(schema), std::move(counts));
+}
+
+std::uint64_t RankOrderDataset::total_particles() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+ParticleBuffer RankOrderDataset::read_group_file(int group,
+                                                 ReadStats* stats) const {
+  SPIO_EXPECTS(group >= 0 && group < file_count());
+  const auto path = dir_ / group_file_name(group);
+  const std::uint64_t expect =
+      counts_[static_cast<std::size_t>(group)] * schema_.record_size();
+  SPIO_CHECK(file_size_bytes(path) == expect, FormatError,
+             "group file " << group << " truncated");
+  ParticleBuffer buf(schema_);
+  buf.adopt_bytes(read_file(path));
+  if (stats) {
+    stats->files_opened += 1;
+    stats->bytes_read += expect;
+    stats->particles_scanned += buf.size();
+  }
+  return buf;
+}
+
+ParticleBuffer RankOrderDataset::query_box(const Box3& box,
+                                           ReadStats* stats) const {
+  ParticleBuffer out(schema_);
+  for (int g = 0; g < file_count(); ++g) {
+    const ParticleBuffer buf = read_group_file(g, stats);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (box.contains(buf.position(i))) {
+        out.append_from(buf, i);
+        if (stats) stats->particles_returned += 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spio::baselines

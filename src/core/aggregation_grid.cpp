@@ -1,0 +1,126 @@
+#include "core/aggregation_grid.hpp"
+
+#include <algorithm>
+
+namespace spio {
+
+AggregationGrid::AggregationGrid(const Box3& region, const Vec3i& dims)
+    : dims_(dims) {
+  SPIO_CHECK(!region.is_empty(), ConfigError,
+             "aggregation grid region must be non-empty");
+  SPIO_CHECK(dims.x >= 1 && dims.y >= 1 && dims.z >= 1, ConfigError,
+             "aggregation grid dims must be >= 1, got " << dims);
+  for (int a = 0; a < 3; ++a) {
+    edges_[a].resize(static_cast<std::size_t>(dims_[a]) + 1);
+    const double lo = region.lo[a];
+    const double extent = region.hi[a] - region.lo[a];
+    for (std::int64_t i = 0; i <= dims_[a]; ++i)
+      edges_[a][static_cast<std::size_t>(i)] =
+          lo + extent * (static_cast<double>(i) / static_cast<double>(dims_[a]));
+    // `lo + extent * 1.0` can land one ulp away from region.hi; pin the
+    // outer edges exactly so boundary particles stay inside the grid.
+    edges_[a].front() = region.lo[a];
+    edges_[a].back() = region.hi[a];
+  }
+}
+
+AggregationGrid AggregationGrid::aligned(const PatchDecomposition& decomp,
+                                         const PartitionFactor& factor) {
+  SPIO_CHECK(factor.valid(), ConfigError,
+             "invalid partition factor " << factor.to_string());
+  AggregationGrid g;
+  const Vec3i pgrid = decomp.grid();
+  const int f[3] = {factor.px, factor.py, factor.pz};
+  for (int a = 0; a < 3; ++a) {
+    const std::int64_t n = (pgrid[a] + f[a] - 1) / f[a];  // ceil
+    g.dims_[a] = n;
+    g.edges_[a].reserve(static_cast<std::size_t>(n) + 1);
+    // Partition boundaries at every factor-th patch boundary; the last
+    // boundary is always the domain face.
+    const Vec3d psize = decomp.patch_size();
+    for (std::int64_t i = 0; i < n; ++i)
+      g.edges_[a].push_back(decomp.domain().lo[a] +
+                            psize[a] * static_cast<double>(i * f[a]));
+    g.edges_[a].push_back(decomp.domain().hi[a]);
+  }
+  return g;
+}
+
+Box3 AggregationGrid::region() const {
+  return Box3({edges_[0].front(), edges_[1].front(), edges_[2].front()},
+              {edges_[0].back(), edges_[1].back(), edges_[2].back()});
+}
+
+int AggregationGrid::partition_of_point(const Vec3d& p) const {
+  Vec3i c;
+  for (int a = 0; a < 3; ++a) {
+    // Index of the last edge <= p: partition i covers [edge[i], edge[i+1]).
+    const auto& e = edges_[a];
+    const auto it = std::upper_bound(e.begin(), e.end(), p[a]);
+    std::int64_t i = static_cast<std::int64_t>(it - e.begin()) - 1;
+    c[a] = std::clamp<std::int64_t>(i, 0, dims_[a] - 1);
+  }
+  return index_of(c);
+}
+
+Box3 AggregationGrid::partition_box(int idx) const {
+  const Vec3i c = coord_of(idx);
+  Box3 b;
+  for (int a = 0; a < 3; ++a) {
+    b.lo[a] = edges_[a][static_cast<std::size_t>(c[a])];
+    b.hi[a] = edges_[a][static_cast<std::size_t>(c[a]) + 1];
+  }
+  return b;
+}
+
+Vec3i AggregationGrid::coord_of(int idx) const {
+  SPIO_EXPECTS(idx >= 0 && idx < partition_count());
+  const std::int64_t i = idx;
+  return {i % dims_.x, (i / dims_.x) % dims_.y, i / (dims_.x * dims_.y)};
+}
+
+int AggregationGrid::index_of(const Vec3i& c) const {
+  SPIO_EXPECTS(c.x >= 0 && c.x < dims_.x);
+  SPIO_EXPECTS(c.y >= 0 && c.y < dims_.y);
+  SPIO_EXPECTS(c.z >= 0 && c.z < dims_.z);
+  return static_cast<int>(c.x + dims_.x * (c.y + dims_.y * c.z));
+}
+
+bool AggregationGrid::is_aligned_with(const PatchDecomposition& decomp) const {
+  for (int r = 0; r < decomp.rank_count(); ++r) {
+    const Box3 patch = decomp.patch(r);
+    const int p = partition_of_point(patch.center());
+    // Allow a tolerance of a relative epsilon: aligned edges are computed
+    // from the same patch arithmetic, so exact containment holds, but a
+    // general grid that merely happens to align may carry rounding noise.
+    const Box3 part = partition_box(p);
+    const double eps = 1e-9 * (part.hi - part.lo).max_component();
+    if (patch.lo.x < part.lo.x - eps || patch.hi.x > part.hi.x + eps ||
+        patch.lo.y < part.lo.y - eps || patch.hi.y > part.hi.y + eps ||
+        patch.lo.z < part.lo.z - eps || patch.hi.z > part.hi.z + eps)
+      return false;
+  }
+  return true;
+}
+
+std::vector<int> select_aggregators_uniform(int nranks, int nparts) {
+  SPIO_CHECK(nparts >= 1 && nparts <= nranks, ConfigError,
+             "need 1 <= partitions (" << nparts << ") <= ranks (" << nranks
+                                      << ")");
+  std::vector<int> aggs(static_cast<std::size_t>(nparts));
+  for (int i = 0; i < nparts; ++i)
+    aggs[static_cast<std::size_t>(i)] =
+        static_cast<int>((static_cast<std::int64_t>(i) * nranks) / nparts);
+  return aggs;
+}
+
+std::vector<int> select_aggregators_packed(int nranks, int nparts) {
+  SPIO_CHECK(nparts >= 1 && nparts <= nranks, ConfigError,
+             "need 1 <= partitions (" << nparts << ") <= ranks (" << nranks
+                                      << ")");
+  std::vector<int> aggs(static_cast<std::size_t>(nparts));
+  for (int i = 0; i < nparts; ++i) aggs[static_cast<std::size_t>(i)] = i;
+  return aggs;
+}
+
+}  // namespace spio

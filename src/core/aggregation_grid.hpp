@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file aggregation_grid.hpp
+/// The aggregation-grid (paper §3.1): a rectilinear partitioning of (a
+/// region of) the simulation domain into axis-aligned aggregation
+/// partitions. Every particle falls into exactly one partition; all
+/// particles of a partition are aggregated onto one process and written to
+/// one file.
+///
+/// Two constructions are provided:
+///  * `aligned(...)`: partition boundaries coincide with simulation patch
+///    boundaries (partition size = an integer multiple of the patch size),
+///    so each process's whole patch lies in exactly one partition and the
+///    writer can skip the per-particle binning scan (§3.3).
+///  * the general constructor: uniform partitioning of an arbitrary box,
+///    used by the adaptive scheme (§6) where the grid covers only the
+///    occupied sub-region.
+
+#include <vector>
+
+#include "core/partition_factor.hpp"
+#include "core/spatial_partition.hpp"
+#include "util/box.hpp"
+#include "workload/decomposition.hpp"
+
+namespace spio {
+
+class AggregationGrid final : public SpatialPartitioning {
+ public:
+  /// General construction: partition `region` uniformly into
+  /// `dims.x × dims.y × dims.z` boxes.
+  AggregationGrid(const Box3& region, const Vec3i& dims);
+
+  /// Aligned construction: partition boundaries are chosen from the patch
+  /// boundaries of `decomp`, grouping `factor.px × py × pz` patches per
+  /// partition (the trailing partition on an axis takes the remainder when
+  /// the factor does not divide the process grid).
+  static AggregationGrid aligned(const PatchDecomposition& decomp,
+                                 const PartitionFactor& factor);
+
+  /// Overall region covered by the grid.
+  Box3 region() const override;
+  const Vec3i& dims() const { return dims_; }
+  int partition_count() const override {
+    return static_cast<int>(dims_.product());
+  }
+
+  /// Index of the partition containing `p`. Points outside the region are
+  /// clamped to the nearest boundary partition (the global domain's upper
+  /// face thus belongs to the last partition).
+  int partition_of_point(const Vec3d& p) const override;
+
+  /// Axis-aligned box of partition `idx`.
+  Box3 partition_box(int idx) const override;
+
+  Vec3i coord_of(int idx) const;
+  int index_of(const Vec3i& c) const;
+
+  /// True when every patch of `decomp` lies entirely within a single
+  /// partition — the precondition for the writer's no-scan fast path.
+  bool is_aligned_with(const PatchDecomposition& decomp) const;
+
+  bool operator==(const AggregationGrid& o) const {
+    return dims_ == o.dims_ && edges_[0] == o.edges_[0] &&
+           edges_[1] == o.edges_[1] && edges_[2] == o.edges_[2];
+  }
+
+ private:
+  AggregationGrid() = default;
+
+  Vec3i dims_{1, 1, 1};
+  /// Per-axis partition boundary coordinates, `dims_[a] + 1` entries each,
+  /// strictly increasing.
+  std::vector<double> edges_[3];
+};
+
+/// Select the aggregator rank for each of `nparts` partitions from
+/// `nranks` ranks, spread uniformly over the rank space (§3.2): partition
+/// i is owned by rank `floor(i * nranks / nparts)`. With 16 ranks and 4
+/// partitions this yields ranks {0, 4, 8, 12} as in the paper.
+/// Precondition: 1 <= nparts <= nranks. The result has no duplicates.
+std::vector<int> select_aggregators_uniform(int nranks, int nparts);
+
+/// Ablation alternative: pack aggregators into the low ranks {0, 1, ...}.
+/// On machines with dedicated I/O nodes mapped to rank blocks (Mira) this
+/// concentrates I/O traffic onto few I/O nodes; see bench/abl_placement.
+std::vector<int> select_aggregators_packed(int nranks, int nparts);
+
+}  // namespace spio

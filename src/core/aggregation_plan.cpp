@@ -1,0 +1,216 @@
+#include "core/aggregation_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/kd_partition.hpp"
+#include "util/error.hpp"
+
+namespace spio {
+
+namespace {
+
+std::vector<int> place_aggregators(int nranks, int nparts,
+                                   AggregatorPlacement placement) {
+  switch (placement) {
+    case AggregatorPlacement::kUniform:
+      return select_aggregators_uniform(nranks, nparts);
+    case AggregatorPlacement::kPacked:
+      return select_aggregators_packed(nranks, nparts);
+  }
+  throw ConfigError("unknown aggregator placement");
+}
+
+/// Map the near-cubic factors of `k` onto axes so the largest factor lands
+/// on the region's longest axis (keeps adaptive partitions roughly cubic).
+Vec3i dims_for_region(const Box3& region, int k) {
+  const Vec3i f = near_cubic_factors(k);  // sorted descending
+  const Vec3d ext = region.size();
+  // Rank axes by extent, descending.
+  int axes[3] = {0, 1, 2};
+  std::sort(axes, axes + 3, [&](int a, int b) { return ext[a] > ext[b]; });
+  Vec3i dims;
+  dims[axes[0]] = f.x;
+  dims[axes[1]] = f.y;
+  dims[axes[2]] = f.z;
+  return dims;
+}
+
+/// Number of adaptive partitions: one per `group_size` occupied ranks.
+int adaptive_partition_count(int occupied_ranks,
+                             const PartitionFactor& factor) {
+  return std::clamp<int>(
+      static_cast<int>((occupied_ranks + factor.group_size() - 1) /
+                       factor.group_size()),
+      1, occupied_ranks);
+}
+
+}  // namespace
+
+AggregationPlan AggregationPlan::non_adaptive(const PatchDecomposition& decomp,
+                                              const PartitionFactor& factor,
+                                              AggregatorPlacement placement) {
+  SPIO_CHECK(factor.valid(), ConfigError,
+             "invalid partition factor " << factor.to_string());
+  auto grid = std::make_shared<AggregationGrid>(
+      AggregationGrid::aligned(decomp, factor));
+  std::vector<Box3> extents(static_cast<std::size_t>(decomp.rank_count()));
+  for (int r = 0; r < decomp.rank_count(); ++r)
+    extents[static_cast<std::size_t>(r)] = decomp.patch(r);
+  AggregationPlan plan = build(grid, decomp.rank_count(), placement, extents,
+                               /*aligned=*/true, /*adaptive=*/false);
+  plan.grid_ = std::move(grid);
+  return plan;
+}
+
+AggregationPlan AggregationPlan::non_adaptive_with_extents(
+    const PatchDecomposition& decomp, const PartitionFactor& factor,
+    AggregatorPlacement placement, const std::vector<RankExtent>& extents) {
+  SPIO_CHECK(factor.valid(), ConfigError,
+             "invalid partition factor " << factor.to_string());
+  SPIO_CHECK(static_cast<int>(extents.size()) == decomp.rank_count(),
+             ConfigError,
+             "extent table has " << extents.size() << " entries for "
+                                 << decomp.rank_count() << " ranks");
+  auto grid = std::make_shared<AggregationGrid>(
+      AggregationGrid::aligned(decomp, factor));
+  AggregationPlan plan =
+      build(grid, decomp.rank_count(), placement, sender_extents_of(extents),
+            /*aligned=*/false, /*adaptive=*/false);
+  plan.grid_ = std::move(grid);
+  return plan;
+}
+
+AggregationPlan::Occupancy AggregationPlan::occupancy_of(
+    const PatchDecomposition& decomp,
+    const std::vector<RankExtent>& extents) {
+  Occupancy occ;
+  occ.region = Box3::empty();
+  for (const RankExtent& e : extents) {
+    if (e.particle_count == 0) continue;
+    ++occ.ranks;
+    occ.region.extend(e.bounds);
+    // A single particle yields a degenerate (zero-volume) tight box; it
+    // still marks its location as occupied.
+    occ.region.extend(e.bounds.lo);
+  }
+  if (occ.ranks == 0) return occ;
+  // Guard against a degenerate occupied box (all particles in one plane
+  // or point): give it a minimal physical extent within the domain.
+  for (int a = 0; a < 3; ++a) {
+    if (occ.region.hi[a] <= occ.region.lo[a]) {
+      const double pad =
+          std::max(1e-12, 1e-9 * std::abs(occ.region.lo[a])) +
+          1e-9 * (decomp.domain().hi[a] - decomp.domain().lo[a]);
+      occ.region.hi[a] = occ.region.lo[a] + pad;
+    }
+  }
+  return occ;
+}
+
+std::vector<Box3> AggregationPlan::sender_extents_of(
+    const std::vector<RankExtent>& extents) {
+  std::vector<Box3> out(extents.size());
+  for (std::size_t r = 0; r < extents.size(); ++r) {
+    out[r] = extents[r].particle_count > 0 ? extents[r].bounds : Box3::empty();
+  }
+  return out;
+}
+
+AggregationPlan AggregationPlan::empty_plan(const PatchDecomposition& decomp,
+                                            AggregatorPlacement placement) {
+  auto grid = std::make_shared<AggregationGrid>(decomp.domain(),
+                                                Vec3i{1, 1, 1});
+  AggregationPlan plan = build(grid, decomp.rank_count(), placement, {},
+                               /*aligned=*/false, /*adaptive=*/true);
+  plan.grid_ = std::move(grid);
+  return plan;
+}
+
+AggregationPlan AggregationPlan::adaptive(
+    const PatchDecomposition& decomp, const PartitionFactor& factor,
+    AggregatorPlacement placement, const std::vector<RankExtent>& extents) {
+  SPIO_CHECK(factor.valid(), ConfigError,
+             "invalid partition factor " << factor.to_string());
+  SPIO_CHECK(static_cast<int>(extents.size()) == decomp.rank_count(),
+             ConfigError,
+             "extent table has " << extents.size() << " entries for "
+                                 << decomp.rank_count() << " ranks");
+  const Occupancy occ = occupancy_of(decomp, extents);
+  if (occ.ranks == 0) return empty_plan(decomp, placement);
+
+  const int k = adaptive_partition_count(occ.ranks, factor);
+  auto grid = std::make_shared<AggregationGrid>(
+      occ.region, dims_for_region(occ.region, k));
+  AggregationPlan plan =
+      build(grid, decomp.rank_count(), placement, sender_extents_of(extents),
+            /*aligned=*/false, /*adaptive=*/true);
+  plan.grid_ = std::move(grid);
+  return plan;
+}
+
+AggregationPlan AggregationPlan::adaptive_refined(
+    const PatchDecomposition& decomp, const PartitionFactor& factor,
+    AggregatorPlacement placement, const std::vector<RankExtent>& extents) {
+  SPIO_CHECK(factor.valid(), ConfigError,
+             "invalid partition factor " << factor.to_string());
+  SPIO_CHECK(static_cast<int>(extents.size()) == decomp.rank_count(),
+             ConfigError,
+             "extent table has " << extents.size() << " entries for "
+                                 << decomp.rank_count() << " ranks");
+  const Occupancy occ = occupancy_of(decomp, extents);
+  if (occ.ranks == 0) return empty_plan(decomp, placement);
+
+  const int k = adaptive_partition_count(occ.ranks, factor);
+  auto kd = std::make_shared<KdPartitioning>(
+      KdPartitioning::build(occ.region, extents, k));
+  return build(kd, decomp.rank_count(), placement,
+               sender_extents_of(extents),
+               /*aligned=*/false, /*adaptive=*/true);
+}
+
+AggregationPlan AggregationPlan::build(
+    std::shared_ptr<const SpatialPartitioning> part, int nranks,
+    AggregatorPlacement placement, const std::vector<Box3>& rank_extents,
+    bool aligned, bool adaptive) {
+  AggregationPlan plan;
+  plan.part_ = std::move(part);
+  plan.aligned_ = aligned;
+  plan.adaptive_ = adaptive;
+  const int nparts = plan.part_->partition_count();
+  plan.aggregators_ = place_aggregators(nranks, nparts, placement);
+  plan.senders_.assign(static_cast<std::size_t>(nparts), {});
+  plan.targets_.assign(static_cast<std::size_t>(nranks), {});
+
+  for (int r = 0; r < static_cast<int>(rank_extents.size()); ++r) {
+    const Box3& ext = rank_extents[static_cast<std::size_t>(r)];
+    if (ext.lo.x > ext.hi.x) continue;  // inverted sentinel: rank is idle
+    if (aligned) {
+      // Whole patch lies in one partition; locate it by the center point.
+      const int p = plan.part_->partition_of_point(ext.center());
+      plan.senders_[static_cast<std::size_t>(p)].push_back(r);
+      plan.targets_[static_cast<std::size_t>(r)].push_back(p);
+    } else {
+      for (int p = 0; p < nparts; ++p) {
+        if (plan.part_->partition_box(p).overlaps_closed(ext)) {
+          plan.senders_[static_cast<std::size_t>(p)].push_back(r);
+          plan.targets_[static_cast<std::size_t>(r)].push_back(p);
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+const AggregationGrid& AggregationPlan::grid() const {
+  SPIO_EXPECTS(grid_ != nullptr);
+  return *grid_;
+}
+
+int AggregationPlan::partition_owned_by(int rank) const {
+  for (int p = 0; p < partition_count(); ++p)
+    if (aggregators_[static_cast<std::size_t>(p)] == rank) return p;
+  return -1;
+}
+
+}  // namespace spio

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file aggregation_plan.hpp
+/// The aggregation plan: spatial partitioning + aggregator assignment +
+/// communication sets. Built deterministically on every rank — from
+/// static configuration in the non-adaptive case (no communication), or
+/// from the allgathered extent table in the adaptive cases (§6) — so
+/// senders and receivers agree on who talks to whom without a handshake.
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregation_grid.hpp"
+#include "core/partition_factor.hpp"
+#include "util/box.hpp"
+#include "workload/decomposition.hpp"
+
+namespace spio {
+
+/// How aggregator ranks are placed in the rank space.
+enum class AggregatorPlacement : std::uint8_t {
+  /// Spread uniformly over the rank space (§3.2); evenly utilizes I/O
+  /// nodes on machines that map rank blocks to I/O resources.
+  kUniform = 0,
+  /// Packed into the lowest ranks; the ablation baseline.
+  kPacked = 1,
+};
+
+/// Per-rank spatial extent + particle count, as exchanged all-to-all by
+/// the adaptive scheme ("processes perform an all-to-all exchange and send
+/// each other their spatial extents, and the number of particles within
+/// their extents", §6). Trivially copyable for the collective payload.
+struct RankExtent {
+  Box3 bounds;                       // tight particle bounds (may be empty)
+  std::uint64_t particle_count = 0;
+};
+
+class AggregationPlan {
+ public:
+  /// Static plan (§3.1–3.2): aligned grid over the whole domain; every
+  /// rank derives the identical plan with no communication.
+  static AggregationPlan non_adaptive(const PatchDecomposition& decomp,
+                                      const PartitionFactor& factor,
+                                      AggregatorPlacement placement);
+
+  /// Static grid, dynamic communication sets: the aligned grid over the
+  /// whole domain, but sender/receiver sets derived from the allgathered
+  /// *actual* particle extents rather than the nominal patches. Used when
+  /// particles have drifted outside their owners' patches (the writer
+  /// detects this and exchanges extents collectively).
+  static AggregationPlan non_adaptive_with_extents(
+      const PatchDecomposition& decomp, const PartitionFactor& factor,
+      AggregatorPlacement placement, const std::vector<RankExtent>& extents);
+
+  /// Adaptive plan (§6): a uniform grid covering only the sub-region
+  /// occupied by particles, with one partition per `group_size`
+  /// *occupied* ranks; aggregators are spread uniformly over the full
+  /// rank space and no aggregator is assigned to empty space. `extents`
+  /// is the allgathered per-rank table, indexed by rank.
+  static AggregationPlan adaptive(const PatchDecomposition& decomp,
+                                  const PartitionFactor& factor,
+                                  AggregatorPlacement placement,
+                                  const std::vector<RankExtent>& extents);
+
+  /// Density-refined adaptive plan (§7 extension): a k-d bisection of the
+  /// occupied region that balances estimated particle load per partition
+  /// instead of volume — equalizes file sizes under clustered
+  /// distributions where the uniform adaptive grid cannot.
+  static AggregationPlan adaptive_refined(
+      const PatchDecomposition& decomp, const PartitionFactor& factor,
+      AggregatorPlacement placement, const std::vector<RankExtent>& extents);
+
+  /// The spatial partitioning backing this plan.
+  const SpatialPartitioning& partitioning() const { return *part_; }
+
+  /// The rectilinear grid, for grid-based plans only (all but
+  /// `adaptive_refined`). Precondition: the plan is grid-based.
+  const AggregationGrid& grid() const;
+
+  int partition_count() const { return part_->partition_count(); }
+
+  /// Aggregator rank owning partition `p`.
+  int aggregator_of(int p) const {
+    return aggregators_[static_cast<std::size_t>(p)];
+  }
+  const std::vector<int>& aggregators() const { return aggregators_; }
+
+  /// Partition owned by `rank`, or -1 if `rank` is not an aggregator.
+  int partition_owned_by(int rank) const;
+
+  /// Ranks that may send particles to partition `p` (a conservative
+  /// superset: every rank whose extent touches the partition box). Sorted
+  /// ascending, so aggregators assemble buffers in a deterministic order.
+  const std::vector<int>& senders_of(int p) const {
+    return senders_[static_cast<std::size_t>(p)];
+  }
+
+  /// Partitions that rank `r` may send particles to. Sorted ascending.
+  const std::vector<int>& targets_of(int r) const {
+    return targets_[static_cast<std::size_t>(r)];
+  }
+
+  /// True when every rank sends to exactly one partition and the grid is
+  /// patch-aligned, enabling the no-scan fast path (§3.3).
+  bool aligned() const { return aligned_; }
+
+  bool adaptive_mode() const { return adaptive_; }
+
+ private:
+  /// Occupied sub-region and rank count of an extent table; pads
+  /// degenerate boxes to a minimal extent within the domain.
+  struct Occupancy {
+    Box3 region;
+    int ranks = 0;
+  };
+  static Occupancy occupancy_of(const PatchDecomposition& decomp,
+                                const std::vector<RankExtent>& extents);
+
+  static std::vector<Box3> sender_extents_of(
+      const std::vector<RankExtent>& extents);
+
+  static AggregationPlan build(
+      std::shared_ptr<const SpatialPartitioning> part, int nranks,
+      AggregatorPlacement placement, const std::vector<Box3>& rank_extents,
+      bool aligned, bool adaptive);
+
+  /// Degenerate plan for a dataset with no particles at all.
+  static AggregationPlan empty_plan(const PatchDecomposition& decomp,
+                                    AggregatorPlacement placement);
+
+  std::shared_ptr<const SpatialPartitioning> part_;
+  std::shared_ptr<const AggregationGrid> grid_;  // null for kd plans
+  std::vector<int> aggregators_;                 // by partition
+  std::vector<std::vector<int>> senders_;        // by partition
+  std::vector<std::vector<int>> targets_;        // by rank
+  bool aligned_ = false;
+  bool adaptive_ = false;
+};
+
+}  // namespace spio

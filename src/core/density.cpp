@@ -1,0 +1,70 @@
+#include "core/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+DensityField::DensityField(const Box3& domain, const Vec3i& dims)
+    : domain_(domain), dims_(dims) {
+  SPIO_CHECK(!domain.is_empty(), ConfigError,
+             "density field needs a non-empty domain");
+  SPIO_CHECK(dims.x >= 1 && dims.y >= 1 && dims.z >= 1, ConfigError,
+             "density field dims must be >= 1, got " << dims);
+  values_.assign(static_cast<std::size_t>(dims.product()), 0.0);
+}
+
+void DensityField::add(const ParticleBuffer& buf, std::size_t count) {
+  SPIO_EXPECTS(!normalized_);
+  count = std::min(count, buf.size());
+  const Vec3d size = domain_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vec3d rel = (buf.position(i) - domain_.lo) / size;
+    Vec3i c;
+    for (int a = 0; a < 3; ++a) {
+      c[a] = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(rel[a] * static_cast<double>(dims_[a])),
+          0, dims_[a] - 1);
+    }
+    values_[static_cast<std::size_t>(c.x +
+                                     dims_.x * (c.y + dims_.y * c.z))] += 1.0;
+    ++samples_;
+  }
+}
+
+void DensityField::normalize() {
+  if (normalized_ || samples_ == 0) {
+    normalized_ = true;
+    return;
+  }
+  const double inv = 1.0 / static_cast<double>(samples_);
+  for (double& v : values_) v *= inv;
+  normalized_ = true;
+}
+
+double DensityField::rmse_against(const DensityField& other) const {
+  SPIO_EXPECTS(dims_ == other.dims_);
+  SPIO_EXPECTS(normalized_ && other.normalized_);
+  double acc = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double d = values_[i] - other.values_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double DensityField::coverage_of(const DensityField& reference) const {
+  SPIO_EXPECTS(dims_ == reference.dims_);
+  int occupied = 0, hit = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (reference.values_[i] > 0) {
+      ++occupied;
+      if (values_[i] > 0) ++hit;
+    }
+  }
+  return occupied ? static_cast<double>(hit) / occupied : 1.0;
+}
+
+}  // namespace spio

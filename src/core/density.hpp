@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file density.hpp
+/// Binned density fields over particle sets — the quantitative stand-in
+/// for the paper's renderings (Fig. 9): LOD prefixes are judged by how
+/// closely their normalized density field matches the full dataset's and
+/// how much of the occupied space they cover.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/box.hpp"
+#include "workload/particle_buffer.hpp"
+
+namespace spio {
+
+/// A regular `nx × ny × nz` histogram of particle positions over a box,
+/// normalized to a probability distribution (sums to 1 when non-empty).
+class DensityField {
+ public:
+  /// \param domain region binned; positions outside are clamped to edge
+  ///        bins.
+  /// \param dims bins per axis (all >= 1).
+  DensityField(const Box3& domain, const Vec3i& dims);
+
+  /// Accumulate the first `count` particles of `buf` (default: all).
+  void add(const ParticleBuffer& buf, std::size_t count = ~std::size_t{0});
+
+  /// Finish accumulation: normalize to a distribution. Idempotent.
+  void normalize();
+
+  const Box3& domain() const { return domain_; }
+  const Vec3i& dims() const { return dims_; }
+  std::size_t bin_count() const { return values_.size(); }
+  std::uint64_t samples() const { return samples_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Root-mean-square difference between two normalized fields with the
+  /// same dimensions.
+  double rmse_against(const DensityField& other) const;
+
+  /// Fraction of `reference`'s non-empty bins that are also non-empty
+  /// here (spatial coverage of a subset against the full set).
+  double coverage_of(const DensityField& reference) const;
+
+ private:
+  Box3 domain_;
+  Vec3i dims_;
+  std::vector<double> values_;
+  std::uint64_t samples_ = 0;
+  bool normalized_ = false;
+};
+
+}  // namespace spio

@@ -1,0 +1,58 @@
+#include "core/distributed_read.hpp"
+
+namespace spio {
+
+int file_reader(const DatasetMetadata& meta, int file_index,
+                const PatchDecomposition& decomp) {
+  SPIO_EXPECTS(file_index >= 0 &&
+               file_index < static_cast<int>(meta.files.size()));
+  SPIO_CHECK(meta.has_bounds, ConfigError,
+             "distributed reads need spatial metadata");
+  const Box3& b = meta.files[static_cast<std::size_t>(file_index)].bounds;
+  return decomp.rank_of(decomp.cell_of(b.center()));
+}
+
+ParticleBuffer distributed_read(simmpi::Comm& comm,
+                                const PatchDecomposition& decomp,
+                                const std::filesystem::path& dir, int levels,
+                                ReadStats* stats) {
+  SPIO_CHECK(comm.size() == decomp.rank_count(), ConfigError,
+             "decomposition has " << decomp.rank_count()
+                                  << " patches for a job of " << comm.size()
+                                  << " ranks");
+  const Dataset ds = Dataset::open(dir);
+  SPIO_CHECK(decomp.domain().contains_box(ds.metadata().domain), ConfigError,
+             "reader domain " << decomp.domain()
+                              << " does not contain the dataset domain "
+                              << ds.metadata().domain);
+
+  // Phase 1: read my assigned files and bin their particles by owner
+  // tile. Binning uses the decomposition's point location, which clamps
+  // boundary particles into the domain's edge patches.
+  std::vector<ParticleBuffer> outgoing(
+      static_cast<std::size_t>(comm.size()),
+      ParticleBuffer(ds.metadata().schema));
+  for (int fi = 0; fi < ds.file_count(); ++fi) {
+    if (file_reader(ds.metadata(), fi, decomp) != comm.rank()) continue;
+    const ParticleBuffer buf = ds.read_data_file(fi, levels, comm.size(),
+                                                 stats);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      const int owner = decomp.rank_of(decomp.cell_of(buf.position(i)));
+      outgoing[static_cast<std::size_t>(owner)].append_from(buf, i);
+    }
+  }
+
+  // Phase 2: personalized exchange of the binned bytes.
+  std::vector<std::vector<std::byte>> send_to(
+      static_cast<std::size_t>(comm.size()));
+  for (int r = 0; r < comm.size(); ++r)
+    send_to[static_cast<std::size_t>(r)] =
+        outgoing[static_cast<std::size_t>(r)].take_bytes();
+  const auto received = comm.alltoallv(send_to);
+
+  ParticleBuffer mine(ds.metadata().schema);
+  for (const auto& payload : received) mine.append_bytes(payload);
+  return mine;
+}
+
+}  // namespace spio

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file distributed_read.hpp
+/// Cooperative parallel reads: the read-side mirror of two-phase I/O.
+///
+/// `restart_read` has every rank independently open the files its tile
+/// intersects, so a file straddling tile boundaries is opened (and its
+/// boundary region scanned) by several ranks. `distributed_read` instead
+/// assigns every data file to exactly one reader (the rank whose tile
+/// contains the file's center — metadata-driven, no coordination), has
+/// each reader read only its assigned files, and redistributes particles
+/// to their tile owners over the interconnect. Total file opens equal
+/// the file count regardless of reader count, trading filesystem
+/// pressure for (fast) network exchange — the same trade the paper's
+/// write-side aggregation makes.
+
+#include <filesystem>
+
+#include "core/reader.hpp"
+#include "simmpi/comm.hpp"
+#include "workload/decomposition.hpp"
+
+namespace spio {
+
+/// Collective: every rank receives exactly the particles in its patch of
+/// `decomp`, with each data file read by exactly one rank. `levels`
+/// bounds the LOD prefix read from every file (-1 = all). `stats`
+/// reports this rank's own file I/O only.
+///
+/// The result is identical (up to particle order) to
+/// `restart_read(comm, decomp, dir)` at the same LOD depth.
+ParticleBuffer distributed_read(simmpi::Comm& comm,
+                                const PatchDecomposition& decomp,
+                                const std::filesystem::path& dir,
+                                int levels = -1, ReadStats* stats = nullptr);
+
+/// The file->reader assignment used by `distributed_read`: the rank whose
+/// patch contains the file's bounds center. Deterministic given the
+/// metadata, so all ranks compute it locally.
+int file_reader(const DatasetMetadata& meta, int file_index,
+                const PatchDecomposition& decomp);
+
+}  // namespace spio

@@ -1,0 +1,77 @@
+#include "core/file_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spio {
+
+FileIndex::FileIndex(const DatasetMetadata& meta) {
+  SPIO_CHECK(meta.has_bounds, ConfigError,
+             "cannot build a spatial file index without bounding boxes");
+  file_count_ = static_cast<int>(meta.files.size());
+
+  // The indexed domain covers every file box (files may extend slightly
+  // past the nominal domain, e.g. adaptive grids padded around
+  // degenerate extents).
+  domain_ = meta.domain;
+  for (const FileRecord& f : meta.files) domain_.extend(f.bounds);
+  if (domain_.is_empty()) {
+    // No volume to index (empty dataset); keep one cell for uniformity.
+    domain_ = Box3({0, 0, 0}, {1, 1, 1});
+  }
+
+  const auto per_axis = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(std::cbrt(static_cast<double>(
+                 std::max(file_count_, 1))))));
+  dims_ = {per_axis, per_axis, per_axis};
+  cells_.assign(static_cast<std::size_t>(dims_.product()), {});
+
+  for (int fi = 0; fi < file_count_; ++fi) {
+    Vec3i lo, hi;
+    cell_range(meta.files[static_cast<std::size_t>(fi)].bounds, &lo, &hi);
+    for (std::int64_t z = lo.z; z <= hi.z; ++z)
+      for (std::int64_t y = lo.y; y <= hi.y; ++y)
+        for (std::int64_t x = lo.x; x <= hi.x; ++x)
+          cells_[static_cast<std::size_t>(x + dims_.x * (y + dims_.y * z))]
+              .push_back(fi);
+  }
+  // Per-file boxes are needed for the exact test at query time; stash a
+  // copy so the index does not dangle if the metadata moves.
+  boxes_.reserve(static_cast<std::size_t>(file_count_));
+  for (const FileRecord& f : meta.files) boxes_.push_back(f.bounds);
+}
+
+void FileIndex::cell_range(const Box3& box, Vec3i* lo, Vec3i* hi) const {
+  const Vec3d size = domain_.size();
+  for (int a = 0; a < 3; ++a) {
+    const double rel_lo = (box.lo[a] - domain_.lo[a]) / size[a];
+    const double rel_hi = (box.hi[a] - domain_.lo[a]) / size[a];
+    (*lo)[a] = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::floor(rel_lo * static_cast<double>(dims_[a]))),
+        0, dims_[a] - 1);
+    (*hi)[a] = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(
+            std::floor(rel_hi * static_cast<double>(dims_[a]))),
+        0, dims_[a] - 1);
+  }
+}
+
+std::vector<int> FileIndex::query(const Box3& box) const {
+  Vec3i lo, hi;
+  cell_range(box, &lo, &hi);
+  std::vector<int> out;
+  for (std::int64_t z = lo.z; z <= hi.z; ++z)
+    for (std::int64_t y = lo.y; y <= hi.y; ++y)
+      for (std::int64_t x = lo.x; x <= hi.x; ++x)
+        for (const std::int32_t fi :
+             cells_[static_cast<std::size_t>(x + dims_.x * (y + dims_.y * z))])
+          if (boxes_[static_cast<std::size_t>(fi)].overlaps(box))
+            out.push_back(fi);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace spio

@@ -1,0 +1,162 @@
+#include "core/kd_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+namespace {
+
+/// Estimated number of particles inside `box`, assuming each rank's
+/// particles are uniformly distributed within its extent.
+double load_in(const Box3& box, const std::vector<RankExtent>& extents) {
+  double load = 0;
+  for (const RankExtent& e : extents) {
+    if (e.particle_count == 0) continue;
+    const Box3 overlap = Box3::intersection(box, e.bounds);
+    if (overlap.is_empty()) continue;
+    const double vol = e.bounds.volume();
+    const double frac = vol > 0 ? overlap.volume() / vol : 1.0;
+    load += frac * static_cast<double>(e.particle_count);
+  }
+  return load;
+}
+
+/// Degenerate (zero-volume) extents would either vanish from or be
+/// double-counted by the volume-fraction estimate; inflate them to a tiny
+/// box around their location so each contributes its mass exactly once
+/// (possibly split across adjacent leaves, which is fine for an
+/// estimate).
+std::vector<RankExtent> inflate_degenerate(const Box3& region,
+                                           std::vector<RankExtent> extents) {
+  for (RankExtent& e : extents) {
+    if (e.particle_count == 0) continue;
+    for (int a = 0; a < 3; ++a) {
+      if (e.bounds.hi[a] - e.bounds.lo[a] <= 0) {
+        const double eps = 1e-9 * (region.hi[a] - region.lo[a]) +
+                           std::max(1e-300, 1e-12 * std::abs(e.bounds.lo[a]));
+        e.bounds.lo[a] -= eps;
+        e.bounds.hi[a] += eps;
+      }
+    }
+  }
+  return extents;
+}
+
+/// Split position on `axis` that best balances the load of the two
+/// halves, searched over a fixed set of candidate planes.
+double balanced_split(const Box3& box, int axis,
+                      const std::vector<RankExtent>& extents) {
+  constexpr int kCandidates = 15;
+  double best_pos = (box.lo[axis] + box.hi[axis]) / 2;
+  double best_diff = std::numeric_limits<double>::max();
+  for (int i = 1; i <= kCandidates; ++i) {
+    const double t = static_cast<double>(i) / (kCandidates + 1);
+    const double pos = box.lo[axis] + t * (box.hi[axis] - box.lo[axis]);
+    Box3 left = box, right = box;
+    left.hi[axis] = pos;
+    right.lo[axis] = pos;
+    const double diff =
+        std::abs(load_in(left, extents) - load_in(right, extents));
+    if (diff < best_diff) {
+      best_diff = diff;
+      best_pos = pos;
+    }
+  }
+  return best_pos;
+}
+
+}  // namespace
+
+KdPartitioning KdPartitioning::build(const Box3& region,
+                                     const std::vector<RankExtent>& extents,
+                                     int target_partitions) {
+  SPIO_CHECK(!region.is_empty(), ConfigError,
+             "kd partitioning needs a non-empty region");
+  SPIO_CHECK(target_partitions >= 1, ConfigError,
+             "kd partitioning needs >= 1 target partitions");
+
+  const std::vector<RankExtent> load_extents =
+      inflate_degenerate(region, extents);
+
+  KdPartitioning kd;
+  kd.region_ = region;
+  kd.nodes_.push_back(Node{});
+  kd.nodes_[0].leaf = 0;
+  kd.leaves_.push_back(Leaf{region, load_in(region, load_extents), 0});
+
+  while (static_cast<int>(kd.leaves_.size()) < target_partitions) {
+    // Pick the heaviest splittable leaf.
+    int victim = -1;
+    double heaviest = -1;
+    for (std::size_t i = 0; i < kd.leaves_.size(); ++i) {
+      const Leaf& leaf = kd.leaves_[i];
+      const double min_extent = leaf.box.size().min_component();
+      if (min_extent <= 0) continue;
+      if (leaf.load > heaviest) {
+        heaviest = leaf.load;
+        victim = static_cast<int>(i);
+      }
+    }
+    if (victim < 0) break;  // nothing splittable left
+
+    Leaf& leaf = kd.leaves_[static_cast<std::size_t>(victim)];
+    const int axis = leaf.box.size().max_axis();
+    const double pos = balanced_split(leaf.box, axis, load_extents);
+
+    Box3 left_box = leaf.box, right_box = leaf.box;
+    left_box.hi[axis] = pos;
+    right_box.lo[axis] = pos;
+
+    // The victim's node becomes interior; its leaf slot is reused for the
+    // left child and a new leaf is appended for the right child (leaf
+    // indices of other partitions stay stable).
+    const int left_node = static_cast<int>(kd.nodes_.size());
+    kd.nodes_.push_back(Node{});
+    const int right_node = static_cast<int>(kd.nodes_.size());
+    kd.nodes_.push_back(Node{});
+
+    Node& parent = kd.nodes_[static_cast<std::size_t>(leaf.node)];
+    parent.axis = axis;
+    parent.pos = pos;
+    parent.left = left_node;
+    parent.right = right_node;
+    parent.leaf = -1;
+
+    kd.nodes_[static_cast<std::size_t>(left_node)].leaf = victim;
+    const int right_leaf = static_cast<int>(kd.leaves_.size());
+    kd.nodes_[static_cast<std::size_t>(right_node)].leaf = right_leaf;
+
+    leaf.box = left_box;
+    leaf.load = load_in(left_box, load_extents);
+    leaf.node = left_node;
+    kd.leaves_.push_back(
+        Leaf{right_box, load_in(right_box, load_extents), right_node});
+  }
+  return kd;
+}
+
+int KdPartitioning::partition_of_point(const Vec3d& p) const {
+  // Clamp into the region so outside points land in a boundary leaf.
+  Vec3d q = Vec3d::min(Vec3d::max(p, region_.lo), region_.hi);
+  int node = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.axis < 0) return n.leaf;
+    node = q[n.axis] < n.pos ? n.left : n.right;
+  }
+}
+
+Box3 KdPartitioning::partition_box(int idx) const {
+  SPIO_EXPECTS(idx >= 0 && idx < partition_count());
+  return leaves_[static_cast<std::size_t>(idx)].box;
+}
+
+double KdPartitioning::leaf_load(int idx) const {
+  SPIO_EXPECTS(idx >= 0 && idx < partition_count());
+  return leaves_[static_cast<std::size_t>(idx)].load;
+}
+
+}  // namespace spio

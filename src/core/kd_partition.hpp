@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file kd_partition.hpp
+/// Density-refined spatial partitioning — the paper's §7 extension:
+/// "creating an adaptive grid on the fly, which can re-balance the grid
+/// partition size and placement based on the particle distribution."
+///
+/// A k-d-style recursive bisection of the occupied region: the heaviest
+/// leaf (by estimated particle load) is repeatedly split along its
+/// longest axis at the load-balancing position, until the target
+/// partition count is reached. The load estimate comes from the same
+/// per-rank extent/count table the adaptive scheme already exchanges
+/// (§6), assuming uniform density within each rank's extent — no extra
+/// communication is needed.
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregation_plan.hpp"
+#include "core/spatial_partition.hpp"
+
+namespace spio {
+
+class KdPartitioning final : public SpatialPartitioning {
+ public:
+  /// Build over `region` (normally the union of occupied extents) with
+  /// `target_partitions` leaves. `extents` is the rank-indexed table;
+  /// ranks with zero particles contribute no load.
+  /// Preconditions: non-empty region, target >= 1.
+  static KdPartitioning build(const Box3& region,
+                              const std::vector<RankExtent>& extents,
+                              int target_partitions);
+
+  int partition_count() const override {
+    return static_cast<int>(leaves_.size());
+  }
+  int partition_of_point(const Vec3d& p) const override;
+  Box3 partition_box(int idx) const override;
+  Box3 region() const override { return region_; }
+
+  /// Estimated particle load of leaf `idx` (for tests and diagnostics).
+  double leaf_load(int idx) const;
+
+ private:
+  struct Node {
+    // Interior: split axis/position and children; leaf: leaf index.
+    int axis = -1;  // -1 marks a leaf
+    double pos = 0;
+    int left = -1;
+    int right = -1;
+    int leaf = -1;
+  };
+  struct Leaf {
+    Box3 box;
+    double load = 0;
+    int node = -1;
+  };
+
+  KdPartitioning() = default;
+
+  Box3 region_;
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace spio

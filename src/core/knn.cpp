@@ -1,0 +1,97 @@
+#include "core/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace spio {
+
+double distance_to_box(const Vec3d& p, const Box3& b) {
+  double acc = 0;
+  for (int a = 0; a < 3; ++a) {
+    const double d =
+        p[a] < b.lo[a] ? b.lo[a] - p[a] : (p[a] > b.hi[a] ? p[a] - b.hi[a] : 0);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+KnnResult k_nearest(const Dataset& dataset, const Vec3d& query, int k,
+                    ReadStats* stats) {
+  SPIO_CHECK(k >= 1, ConfigError, "k must be >= 1");
+  const DatasetMetadata& meta = dataset.metadata();
+  SPIO_CHECK(meta.has_bounds, ConfigError,
+             "k-nearest queries need spatial metadata");
+
+  // Files in ascending order of best-possible distance.
+  struct Candidate {
+    double min_dist;
+    int file;
+    bool operator>(const Candidate& o) const { return min_dist > o.min_dist; }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>
+      frontier;
+  for (int fi = 0; fi < dataset.file_count(); ++fi) {
+    frontier.push({distance_to_box(
+                       query, meta.files[static_cast<std::size_t>(fi)].bounds),
+                   fi});
+  }
+
+  // Current best k as a max-heap of (distance, file, record index); the
+  // records themselves are fetched once the visiting order is final.
+  struct Hit {
+    double dist;
+    int file;
+    std::size_t record;
+    bool operator<(const Hit& o) const { return dist < o.dist; }
+  };
+  std::priority_queue<Hit> best;  // largest distance on top
+
+  // Keep the particles of visited files alive until assembly.
+  std::vector<std::pair<int, ParticleBuffer>> visited;
+
+  while (!frontier.empty()) {
+    const Candidate c = frontier.top();
+    // Prune: if we already hold k hits and even the closest unvisited
+    // file cannot beat the worst of them, the search is complete.
+    if (static_cast<int>(best.size()) >= k && c.min_dist >= best.top().dist)
+      break;
+    frontier.pop();
+
+    visited.emplace_back(c.file, dataset.read_data_file(c.file, -1, 1, stats));
+    const ParticleBuffer& buf = visited.back().second;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      const double d = distance(buf.position(i), query);
+      if (static_cast<int>(best.size()) < k) {
+        best.push({d, c.file, i});
+      } else if (d < best.top().dist) {
+        best.pop();
+        best.push({d, c.file, i});
+      }
+    }
+  }
+
+  // Drain the heap into ascending order and copy the records out.
+  std::vector<Hit> hits;
+  hits.reserve(best.size());
+  while (!best.empty()) {
+    hits.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(hits.begin(), hits.end());
+
+  KnnResult result{ParticleBuffer(meta.schema), {}};
+  result.distances.reserve(hits.size());
+  for (const Hit& h : hits) {
+    for (const auto& [file, buf] : visited) {
+      if (file == h.file) {
+        result.particles.append_from(buf, h.record);
+        break;
+      }
+    }
+    result.distances.push_back(h.dist);
+  }
+  return result;
+}
+
+}  // namespace spio

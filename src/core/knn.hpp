@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file knn.hpp
+/// k-nearest-neighbour queries over a dataset — one of the region-based
+/// analysis tasks the paper's format exists to serve (§3: "nearest
+/// neighbour search, vector field integration, stencil operations...").
+/// The spatial metadata drives an expanding-ball search: only files whose
+/// bounding boxes can still contain a closer neighbour are read.
+
+#include <vector>
+
+#include "core/reader.hpp"
+
+namespace spio {
+
+struct KnnResult {
+  /// The k neighbours' full records, sorted by ascending distance.
+  ParticleBuffer particles;
+  /// Ascending distances, parallel to `particles`.
+  std::vector<double> distances;
+};
+
+/// Find the `k` particles nearest to `query` (fewer if the dataset holds
+/// fewer). Files are visited in order of their bounding boxes' minimum
+/// distance to the query point and the search stops as soon as the next
+/// file cannot improve the current k-th distance — typically touching a
+/// small handful of files. `stats` reports the file I/O performed.
+KnnResult k_nearest(const Dataset& dataset, const Vec3d& query, int k,
+                    ReadStats* stats = nullptr);
+
+/// Minimum distance from `p` to box `b` (0 when inside).
+double distance_to_box(const Vec3d& p, const Box3& b);
+
+}  // namespace spio

@@ -1,0 +1,176 @@
+#include "core/lod.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+namespace {
+constexpr std::uint64_t kU64Max = ~0ULL;
+
+/// n · P · S^l with saturation to u64 max.
+std::uint64_t nominal(const LodParams& p, int n_readers, int level) {
+  SPIO_EXPECTS(p.valid());
+  SPIO_EXPECTS(n_readers >= 1);
+  SPIO_EXPECTS(level >= 0);
+  const double v = static_cast<double>(n_readers) *
+                   static_cast<double>(p.P) *
+                   std::pow(p.S, static_cast<double>(level));
+  if (v >= static_cast<double>(kU64Max)) return kU64Max;
+  return static_cast<std::uint64_t>(v + 0.5);
+}
+}  // namespace
+
+std::uint64_t lod_level_size(const LodParams& p, int n_readers, int level) {
+  return nominal(p, n_readers, level);
+}
+
+std::uint64_t lod_cumulative(const LodParams& p, int n_readers, int levels,
+                             std::uint64_t total) {
+  SPIO_EXPECTS(levels >= 0);
+  std::uint64_t cum = 0;
+  for (int l = 0; l < levels; ++l) {
+    const std::uint64_t sz = nominal(p, n_readers, l);
+    if (sz >= total - cum) return total;  // saturated
+    cum += sz;
+  }
+  return cum;
+}
+
+std::uint64_t lod_level_size_capped(const LodParams& p, int n_readers,
+                                    int level, std::uint64_t total) {
+  const std::uint64_t before = lod_cumulative(p, n_readers, level, total);
+  const std::uint64_t through = lod_cumulative(p, n_readers, level + 1, total);
+  return through - before;
+}
+
+int lod_level_count(const LodParams& p, int n_readers, std::uint64_t total) {
+  if (total == 0) return 0;
+  int levels = 0;
+  while (lod_cumulative(p, n_readers, levels, total) < total) ++levels;
+  return levels;
+}
+
+namespace {
+
+void shuffle_random(ParticleBuffer& buf, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::size_t n = buf.size();
+  // Fisher–Yates: after the pass, every permutation is equally likely, so
+  // every prefix is a uniform random subset — exactly the property the LOD
+  // prefix reads rely on.
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.uniform_index(static_cast<std::uint64_t>(i)));
+    buf.swap_records(i - 1, j);
+  }
+}
+
+/// Indices 0..2^bits-1 in bit-reversed order, filtered to < n.
+std::vector<std::uint32_t> bit_reversed_order(std::size_t n) {
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  if (n == 0) return order;
+  std::size_t bits = 0;
+  while ((1ULL << bits) < n) ++bits;
+  for (std::size_t i = 0; i < (1ULL << bits); ++i) {
+    std::size_t rev = 0;
+    for (std::size_t b = 0; b < bits; ++b)
+      if (i & (1ULL << b)) rev |= 1ULL << (bits - 1 - b);
+    if (rev < n) order.push_back(static_cast<std::uint32_t>(rev));
+  }
+  return order;
+}
+
+/// 30-bit Morton code (10 bits per axis) of a normalized position.
+std::uint32_t morton_code(const Vec3d& rel) {
+  auto quantize = [](double v) {
+    return static_cast<std::uint32_t>(
+        std::clamp(v, 0.0, 1.0 - 1e-12) * 1024.0);
+  };
+  auto spread = [](std::uint32_t x) {
+    // Interleave 10 bits with two zero bits each.
+    std::uint64_t v = x & 0x3FF;
+    v = (v | (v << 16)) & 0x030000FF0000FFULL;
+    v = (v | (v << 8)) & 0x0300F00F00F00FULL;
+    v = (v | (v << 4)) & 0x030C30C30C30C3ULL;
+    v = (v | (v << 2)) & 0x09249249249249ULL;
+    return v;
+  };
+  return static_cast<std::uint32_t>(spread(quantize(rel.x)) |
+                                    (spread(quantize(rel.y)) << 1) |
+                                    (spread(quantize(rel.z)) << 2));
+}
+
+void shuffle_stratified(ParticleBuffer& buf, std::uint64_t seed) {
+  const std::size_t n = buf.size();
+  if (n < 2) return;
+  const Box3 bounds = buf.bounds();
+  const Vec3d size = Vec3d::max(bounds.size(), Vec3d(1e-300));
+
+  // Sort particle indices along the Morton curve; ties (same cell) are
+  // broken pseudo-randomly so co-located particles do not keep their
+  // input order.
+  struct Key {
+    std::uint32_t morton;
+    std::uint32_t tiebreak;
+    std::uint32_t index;
+  };
+  std::vector<Key> keys(n);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3d rel = (buf.position(i) - bounds.lo) / size;
+    keys[i] = {morton_code(rel), static_cast<std::uint32_t>(rng.next()),
+               static_cast<std::uint32_t>(i)};
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    return a.morton != b.morton ? a.morton < b.morton
+                                : a.tiebreak < b.tiebreak;
+  });
+
+  // Emit the space-sorted sequence in bit-reversed rank order: each
+  // prefix visits the Morton curve at even spacing, i.e. is spatially
+  // stratified.
+  ParticleBuffer tmp(buf.schema());
+  tmp.reserve(n);
+  for (const std::uint32_t r : bit_reversed_order(n))
+    tmp.append_from(buf, keys[r].index);
+  buf = std::move(tmp);
+}
+
+void shuffle_stride(ParticleBuffer& buf) {
+  // Deterministic interleave: emit indices 0, n/2, n/4, 3n/4, ... —
+  // bit-reversed order over the input sequence. Applied out of place
+  // (records are large; a cycle-walk in place would touch each record
+  // twice anyway).
+  const std::size_t n = buf.size();
+  if (n < 2) return;
+  ParticleBuffer tmp(buf.schema());
+  tmp.reserve(n);
+  for (const std::uint32_t idx : bit_reversed_order(n))
+    tmp.append_from(buf, idx);
+  buf = std::move(tmp);
+}
+
+}  // namespace
+
+void lod_reorder(ParticleBuffer& buf, std::uint64_t seed,
+                 LodHeuristic heuristic) {
+  switch (heuristic) {
+    case LodHeuristic::kRandom:
+      shuffle_random(buf, seed);
+      return;
+    case LodHeuristic::kStride:
+      shuffle_stride(buf);
+      return;
+    case LodHeuristic::kStratified:
+      shuffle_stratified(buf, seed);
+      return;
+  }
+  throw ConfigError("unknown LOD heuristic");
+}
+
+}  // namespace spio

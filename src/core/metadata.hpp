@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file metadata.hpp
+/// The spatial metadata file (paper §3.5, Fig. 4): the dataset-level
+/// header plus one record per data file holding the file's bounding box,
+/// aggregator rank and particle count. Readers use the boxes to open only
+/// the files a spatial query touches, and the counts + LOD parameters to
+/// compute level prefixes.
+///
+/// On-disk layout of `meta.spio` (little endian):
+///   magic "SPIO" | version u32 | endian-probe u32 (0x01020304)
+///   schema | domain lo/hi (6 f64) | lod P u64 | lod S f64
+///   heuristic u8 | has_bounds u8 | has_field_ranges u8
+///   total particles u64 | file count u32
+///   then per file: partition id u32 | aggregator rank u32 | count u64 |
+///                  lo[3] f64 | hi[3] f64      (iff has_bounds)
+///                  min/max f64 per field component (iff has_field_ranges)
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/lod.hpp"
+#include "util/box.hpp"
+#include "workload/schema.hpp"
+
+namespace spio {
+
+/// Closed min/max interval of one scalar field component over one data
+/// file — the paper's §3.5 extension ("storing, e.g., the minimum and
+/// maximum values of scalar fields of the region... to narrow down
+/// range-queries on these non-spatial attributes").
+struct FieldRange {
+  double min = 0;
+  double max = 0;
+
+  bool operator==(const FieldRange&) const = default;
+
+  /// True when [min, max] intersects [lo, hi].
+  constexpr bool intersects(double lo, double hi) const {
+    return min <= hi && max >= lo;
+  }
+};
+
+/// Descriptor of one data file, as stored in the metadata file. The grey
+/// columns of the paper's Fig. 4 (file name is derived from the aggregator
+/// rank) plus the particle count needed for LOD prefix arithmetic and the
+/// per-field value ranges for attribute queries.
+struct FileRecord {
+  std::uint32_t partition_id = 0;
+  std::uint32_t aggregator_rank = 0;
+  std::uint64_t particle_count = 0;
+  Box3 bounds;  // the partition's box; files are disjoint and cover the
+                // occupied domain
+  /// One range per field component, flattened in schema order (empty when
+  /// the dataset was written without field ranges).
+  std::vector<FieldRange> field_ranges;
+
+  bool operator==(const FileRecord&) const = default;
+
+  /// Data file name, derived from the aggregator rank as in Fig. 4.
+  std::string file_name() const {
+    return "File_" + std::to_string(aggregator_rank) + ".bin";
+  }
+
+  /// (De)serialization of one record; `with_bounds`/`with_ranges` mirror
+  /// the dataset-level flags. Also used to ship records through the
+  /// metadata gather at the end of a write.
+  void serialize(BinaryWriter& w, bool with_bounds, bool with_ranges) const;
+  static FileRecord deserialize(BinaryReader& r, bool with_bounds,
+                                bool with_ranges, std::size_t range_count);
+};
+
+/// Dataset-level metadata: everything a reader needs to plan spatial and
+/// LOD-bounded reads without touching the data files.
+struct DatasetMetadata {
+  static constexpr std::uint32_t kMagic = 0x4F495053;  // "SPIO"
+  static constexpr std::uint32_t kVersion = 2;
+  /// Name of the metadata file within a dataset directory.
+  static constexpr const char* kFileName = "meta.spio";
+
+  Schema schema = Schema::uintah();
+  Box3 domain;
+  LodParams lod;
+  LodHeuristic heuristic = LodHeuristic::kRandom;
+  /// False for datasets written without spatial metadata (the Fig. 7
+  /// baseline): bounding boxes are absent and spatial queries must scan
+  /// every file.
+  bool has_bounds = true;
+  /// True when per-file field min/max ranges are recorded (§3.5
+  /// extension); enables attribute range queries without reading data.
+  bool has_field_ranges = true;
+  std::uint64_t total_particles = 0;
+  std::vector<FileRecord> files;
+
+  bool operator==(const DatasetMetadata&) const = default;
+
+  /// Serialize to bytes / parse from bytes. Parsing validates magic,
+  /// version, endianness and internal consistency and throws
+  /// `FormatError` on any violation.
+  std::vector<std::byte> serialize() const;
+  static DatasetMetadata deserialize(std::span<const std::byte> bytes);
+
+  /// Write to / read from `<dir>/meta.spio`.
+  void save(const std::filesystem::path& dir) const;
+  static DatasetMetadata load(const std::filesystem::path& dir);
+
+  /// Indices into `files` of the data files whose bounds intersect `box`.
+  /// Requires `has_bounds`.
+  std::vector<int> files_intersecting(const Box3& box) const;
+
+  /// Index of field component (field, component) into a
+  /// `FileRecord::field_ranges` table for this schema.
+  std::size_t range_index(std::size_t field, std::uint32_t component) const;
+
+  /// Total number of field components (= size of each ranges table).
+  std::size_t range_count() const;
+};
+
+}  // namespace spio

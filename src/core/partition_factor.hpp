@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file partition_factor.hpp
+/// The aggregation partition factor (Px, Py, Pz) — the paper's central
+/// tuning parameter (§3.1): the ratio of the aggregation-partition size to
+/// the simulation's per-process patch size along each axis.
+///
+///   (1,1,1)  -> every patch is its own partition: file-per-process I/O
+///   (nx,ny,nz)-> one partition spanning the domain: single shared file
+///
+/// Larger factors mean more communication during aggregation and fewer,
+/// larger output files; the law `f = ceil(nx/Px)·ceil(ny/Py)·ceil(nz/Pz)`
+/// gives the output file count.
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/vec3.hpp"
+
+namespace spio {
+
+struct PartitionFactor {
+  int px = 1;
+  int py = 1;
+  int pz = 1;
+
+  constexpr PartitionFactor() = default;
+  constexpr PartitionFactor(int x, int y, int z) : px(x), py(y), pz(z) {}
+
+  constexpr bool operator==(const PartitionFactor&) const = default;
+
+  /// Number of processes whose patches aggregate into one partition (the
+  /// communication group size of the aggregation phase).
+  constexpr std::int64_t group_size() const {
+    return static_cast<std::int64_t>(px) * py * pz;
+  }
+
+  constexpr bool valid() const { return px >= 1 && py >= 1 && pz >= 1; }
+
+  /// "PxxPyxPz", e.g. "2x2x4" — the notation used in the paper's figures.
+  std::string to_string() const {
+    return std::to_string(px) + "x" + std::to_string(py) + "x" +
+           std::to_string(pz);
+  }
+};
+
+/// Number of aggregation partitions (= output data files) produced when a
+/// `grid` of processes aggregates with `factor`: the paper's
+/// `f = (nx/Px)(ny/Py)(nz/Pz)` law, generalized with ceilings for factors
+/// that do not divide the process grid.
+constexpr std::int64_t file_count(const Vec3i& process_grid,
+                                  const PartitionFactor& factor) {
+  auto ceil_div = [](std::int64_t a, std::int64_t b) {
+    return (a + b - 1) / b;
+  };
+  return ceil_div(process_grid.x, factor.px) *
+         ceil_div(process_grid.y, factor.py) *
+         ceil_div(process_grid.z, factor.pz);
+}
+
+}  // namespace spio

@@ -1,0 +1,231 @@
+#include "core/reader.hpp"
+
+#include "util/serialize.hpp"
+#include "workload/decomposition.hpp"
+
+namespace spio {
+
+Dataset::Dataset(std::filesystem::path dir, DatasetMetadata meta)
+    : dir_(std::move(dir)), meta_(std::move(meta)) {
+  if (meta_.has_bounds && !meta_.files.empty()) {
+    index_ = std::make_shared<FileIndex>(meta_);
+  }
+}
+
+Dataset Dataset::open(const std::filesystem::path& dir) {
+  return Dataset(dir, DatasetMetadata::load(dir));
+}
+
+std::vector<int> Dataset::intersecting(const Box3& box) const {
+  if (index_) return index_->query(box);
+  // Defers to the metadata's linear path, which also raises the
+  // "no spatial metadata" error for bound-less datasets.
+  return meta_.files_intersecting(box);
+}
+
+std::uint64_t Dataset::level_prefix_count(int file_index, int levels,
+                                          int n_readers) const {
+  SPIO_EXPECTS(file_index >= 0 && file_index < file_count());
+  SPIO_EXPECTS(n_readers >= 1);
+  const FileRecord& f = meta_.files[static_cast<std::size_t>(file_index)];
+  if (levels < 0) return f.particle_count;
+  if (meta_.total_particles == 0) return 0;
+  const std::uint64_t global =
+      lod_cumulative(meta_.lod, n_readers, levels, meta_.total_particles);
+  // Proportional share of this file, rounded up so that reading "all
+  // levels" always yields the whole file. 128-bit intermediate: counts can
+  // be large enough for the product to overflow 64 bits.
+  __extension__ typedef unsigned __int128 uint128_t;
+  const uint128_t num = static_cast<uint128_t>(global) * f.particle_count +
+                        meta_.total_particles - 1;
+  const auto share =
+      static_cast<std::uint64_t>(num / meta_.total_particles);
+  return std::min(share, f.particle_count);
+}
+
+ParticleBuffer Dataset::read_data_file(int file_index, int levels,
+                                       int n_readers,
+                                       ReadStats* stats) const {
+  SPIO_EXPECTS(file_index >= 0 && file_index < file_count());
+  const FileRecord& f = meta_.files[static_cast<std::size_t>(file_index)];
+  const std::uint64_t want = level_prefix_count(file_index, levels, n_readers);
+  const std::uint64_t record = meta_.schema.record_size();
+
+  const auto path = dir_ / f.file_name();
+  const std::uint64_t on_disk = file_size_bytes(path);
+  SPIO_CHECK(on_disk == f.particle_count * record, FormatError,
+             "data file '" << f.file_name() << "' holds " << on_disk
+                           << " bytes but metadata expects "
+                           << f.particle_count * record);
+
+  ParticleBuffer buf(meta_.schema);
+  buf.adopt_bytes(read_file_range(path, 0, want * record));
+  if (stats) {
+    stats->files_opened += 1;
+    stats->bytes_read += want * record;
+    stats->particles_scanned += want;
+    stats->particles_returned += want;
+  }
+  return buf;
+}
+
+ParticleBuffer Dataset::query_box(const Box3& box, int levels, int n_readers,
+                                  ReadStats* stats) const {
+  const std::vector<int> hits = intersecting(box);
+  ParticleBuffer out(meta_.schema);
+  for (const int fi : hits) {
+    const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
+    ReadStats local;
+    ParticleBuffer file_buf = read_data_file(fi, levels, n_readers, &local);
+    if (stats) {
+      stats->files_opened += local.files_opened;
+      stats->bytes_read += local.bytes_read;
+      stats->particles_scanned += local.particles_scanned;
+    }
+    if (box.contains_box(f.bounds)) {
+      // Whole file lies inside the query: no per-particle filter needed —
+      // the payoff of spatially-coherent files.
+      if (stats) stats->particles_returned += file_buf.size();
+      out.append_bytes(file_buf.bytes());
+    } else {
+      for (std::size_t i = 0; i < file_buf.size(); ++i) {
+        if (box.contains(file_buf.position(i))) {
+          out.append_from(file_buf, i);
+          if (stats) stats->particles_returned += 1;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> Dataset::files_matching(
+    const Box3& box, std::span<const RangeFilter> filters) const {
+  std::vector<int> hits = intersecting(box);
+  if (filters.empty() || !meta_.has_field_ranges) return hits;
+  std::vector<int> out;
+  for (const int fi : hits) {
+    const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
+    bool possible = true;
+    for (const RangeFilter& rf : filters) {
+      const std::size_t idx = meta_.range_index(rf.field, rf.component);
+      if (!f.field_ranges[idx].intersects(rf.lo, rf.hi)) {
+        possible = false;
+        break;
+      }
+    }
+    if (possible) out.push_back(fi);
+  }
+  return out;
+}
+
+ParticleBuffer Dataset::query(const Box3& box,
+                              std::span<const RangeFilter> filters,
+                              int levels, int n_readers,
+                              ReadStats* stats) const {
+  for (const RangeFilter& rf : filters) {
+    SPIO_CHECK(rf.field < meta_.schema.field_count(), ConfigError,
+               "range filter on field " << rf.field << " but schema has "
+                                        << meta_.schema.field_count());
+    SPIO_CHECK(rf.component < meta_.schema.fields()[rf.field].components,
+               ConfigError,
+               "range filter component " << rf.component
+                                         << " out of bounds");
+    SPIO_CHECK(rf.lo <= rf.hi, ConfigError,
+               "range filter with lo > hi on field " << rf.field);
+  }
+  const std::vector<int> hits = files_matching(box, filters);
+  ParticleBuffer out(meta_.schema);
+  for (const int fi : hits) {
+    ParticleBuffer file_buf = read_data_file(fi, levels, n_readers, stats);
+    if (stats) stats->particles_returned -= file_buf.size();  // recount below
+    for (std::size_t i = 0; i < file_buf.size(); ++i) {
+      if (!box.contains(file_buf.position(i))) continue;
+      bool keep = true;
+      for (const RangeFilter& rf : filters) {
+        const FieldDesc& fd = meta_.schema.fields()[rf.field];
+        const double v =
+            fd.type == FieldType::kF64
+                ? file_buf.get_f64(i, rf.field, rf.component)
+                : static_cast<double>(
+                      file_buf.get_f32(i, rf.field, rf.component));
+        if (v < rf.lo || v > rf.hi) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) {
+        out.append_from(file_buf, i);
+        if (stats) stats->particles_returned += 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t Dataset::stream_box(
+    const Box3& box,
+    const std::function<bool(const ParticleBuffer& chunk)>& sink,
+    int levels, int n_readers, ReadStats* stats) const {
+  SPIO_EXPECTS(sink != nullptr);
+  std::uint64_t delivered = 0;
+  for (const int fi : intersecting(box)) {
+    const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
+    ReadStats local;
+    ParticleBuffer file_buf = read_data_file(fi, levels, n_readers, &local);
+    if (stats) {
+      stats->files_opened += local.files_opened;
+      stats->bytes_read += local.bytes_read;
+      stats->particles_scanned += local.particles_scanned;
+    }
+    if (!box.contains_box(f.bounds)) {
+      // Filter in place: compact matching records to the front.
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < file_buf.size(); ++i) {
+        if (box.contains(file_buf.position(i))) {
+          if (keep != i) file_buf.swap_records(keep, i);
+          ++keep;
+        }
+      }
+      file_buf.truncate(keep);
+    }
+    if (file_buf.empty()) continue;
+    delivered += file_buf.size();
+    if (stats) stats->particles_returned += file_buf.size();
+    if (!sink(file_buf)) break;
+  }
+  return delivered;
+}
+
+ParticleBuffer Dataset::query_box_scan_all(const Box3& box,
+                                           ReadStats* stats) const {
+  ParticleBuffer out(meta_.schema);
+  for (int fi = 0; fi < file_count(); ++fi) {
+    ReadStats local;
+    ParticleBuffer file_buf = read_data_file(fi, -1, 1, &local);
+    if (stats) {
+      stats->files_opened += local.files_opened;
+      stats->bytes_read += local.bytes_read;
+      stats->particles_scanned += local.particles_scanned;
+    }
+    for (std::size_t i = 0; i < file_buf.size(); ++i) {
+      if (box.contains(file_buf.position(i))) {
+        out.append_from(file_buf, i);
+        if (stats) stats->particles_returned += 1;
+      }
+    }
+  }
+  return out;
+}
+
+int Dataset::level_count(int n_readers) const {
+  return lod_level_count(meta_.lod, n_readers, meta_.total_particles);
+}
+
+Box3 reader_tile(const Box3& domain, int rank, int nranks) {
+  SPIO_EXPECTS(nranks >= 1);
+  SPIO_EXPECTS(rank >= 0 && rank < nranks);
+  return PatchDecomposition::for_ranks(domain, nranks).patch(rank);
+}
+
+}  // namespace spio

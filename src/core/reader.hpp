@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file reader.hpp
+/// Scalable reads for analysis and visualization (paper §4). A `Dataset`
+/// wraps one written dataset directory; spatial queries consult the
+/// metadata's bounding boxes to open only the files they intersect, and
+/// every file can be read as an LOD prefix (the first `levels` levels)
+/// instead of in full.
+///
+/// Readers are independent of the writer's rank count: any number of
+/// processes can open the same dataset and issue disjoint queries, which
+/// is the paper's visualization-read scenario (§5.3).
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "core/file_index.hpp"
+#include "core/metadata.hpp"
+#include "workload/particle_buffer.hpp"
+
+namespace spio {
+
+/// Volume counters for one read operation (accumulated when the same
+/// struct is passed to several calls).
+struct ReadStats {
+  int files_opened = 0;
+  std::uint64_t bytes_read = 0;
+  /// Particles materialized from disk before spatial filtering.
+  std::uint64_t particles_scanned = 0;
+  /// Particles returned to the caller.
+  std::uint64_t particles_returned = 0;
+};
+
+class Dataset {
+ public:
+  /// Open `<dir>/meta.spio` and validate it. Throws `IoError` /
+  /// `FormatError` on missing or corrupt metadata.
+  static Dataset open(const std::filesystem::path& dir);
+
+  const DatasetMetadata& metadata() const { return meta_; }
+  const std::filesystem::path& dir() const { return dir_; }
+  int file_count() const { return static_cast<int>(meta_.files.size()); }
+
+  /// Number of particles in the first `levels` LOD levels of file
+  /// `file_index`, for `n_readers` reading processes. `levels < 0` means
+  /// all of them. The level-size law is global (`n·P·S^l` particles across
+  /// the dataset, §3.4); each file contributes its proportional share.
+  std::uint64_t level_prefix_count(int file_index, int levels,
+                                   int n_readers) const;
+
+  /// Read the first `levels` LOD levels of one data file (`levels < 0`:
+  /// the whole file). Only the prefix bytes are read from disk.
+  ParticleBuffer read_data_file(int file_index, int levels = -1,
+                                int n_readers = 1,
+                                ReadStats* stats = nullptr) const;
+
+  /// Spatial box query via the metadata (§4): reads only the files whose
+  /// bounds intersect `box`, filters particles of partially-covered files,
+  /// optionally LOD-bounded. Requires spatial metadata.
+  ParticleBuffer query_box(const Box3& box, int levels = -1,
+                           int n_readers = 1,
+                           ReadStats* stats = nullptr) const;
+
+  /// A predicate on one scalar field component: keep particles with
+  /// value in [lo, hi]. Used by `query` to combine spatial and attribute
+  /// selection; files whose metadata range misses [lo, hi] are skipped
+  /// without being opened (§3.5 extension).
+  struct RangeFilter {
+    std::size_t field = 0;
+    std::uint32_t component = 0;
+    double lo = 0;
+    double hi = 0;
+  };
+
+  /// Combined spatial + attribute query: files are pruned first by
+  /// bounding box, then by the recorded field ranges; surviving files are
+  /// read (LOD-bounded) and particles filtered exactly. Requires spatial
+  /// metadata; attribute pruning additionally requires field ranges (it
+  /// degrades to exact filtering without them).
+  ParticleBuffer query(const Box3& box, std::span<const RangeFilter> filters,
+                       int levels = -1, int n_readers = 1,
+                       ReadStats* stats = nullptr) const;
+
+  /// Files surviving both the bounding-box and field-range pruning.
+  std::vector<int> files_matching(const Box3& box,
+                                  std::span<const RangeFilter> filters) const;
+
+  /// Streaming box query for memory-bounded consumers (the paper's
+  /// workstation-visualization motivation: "the data does not fit in the
+  /// available memory"): matching particles are delivered file by file
+  /// through `sink` instead of being materialized in one buffer. Each
+  /// chunk holds only particles inside `box`, in LOD order within its
+  /// file; peak memory is one file's prefix. Returns the number of
+  /// particles delivered. `sink` may return false to stop early (e.g.
+  /// once a display budget is filled).
+  std::uint64_t stream_box(
+      const Box3& box,
+      const std::function<bool(const ParticleBuffer& chunk)>& sink,
+      int levels = -1, int n_readers = 1, ReadStats* stats = nullptr) const;
+
+  /// The spatially-unaware baseline: read *every* file in full and filter
+  /// ("every process [must] read all particles across all the files and
+  /// then cherry-pick", §4). Works without bounding boxes.
+  ParticleBuffer query_box_scan_all(const Box3& box,
+                                    ReadStats* stats = nullptr) const;
+
+  /// Total number of LOD levels of this dataset for `n_readers`.
+  int level_count(int n_readers) const;
+
+ private:
+  Dataset(std::filesystem::path dir, DatasetMetadata meta);
+
+  /// Files intersecting `box`, via the spatial index when available.
+  std::vector<int> intersecting(const Box3& box) const;
+
+  std::filesystem::path dir_;
+  DatasetMetadata meta_;
+  /// Spatial index over file bounds (null for datasets without bounds);
+  /// shared so Dataset stays cheaply copyable.
+  std::shared_ptr<const FileIndex> index_;
+};
+
+/// The tile of the domain assigned to reader `rank` of `nranks` — the
+/// distributed-rendering read pattern: disjoint tiles covering the domain.
+Box3 reader_tile(const Box3& domain, int rank, int nranks);
+
+}  // namespace spio

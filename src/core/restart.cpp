@@ -1,0 +1,32 @@
+#include "core/restart.hpp"
+
+namespace spio {
+
+ParticleBuffer restart_read(simmpi::Comm& comm,
+                            const PatchDecomposition& decomp,
+                            const std::filesystem::path& dir,
+                            ReadStats* stats) {
+  SPIO_CHECK(comm.size() == decomp.rank_count(), ConfigError,
+             "restart decomposition has " << decomp.rank_count()
+                                          << " patches for a job of "
+                                          << comm.size() << " ranks");
+  const Dataset ds = Dataset::open(dir);
+  SPIO_CHECK(decomp.domain().contains_box(ds.metadata().domain), ConfigError,
+             "restart domain " << decomp.domain()
+                               << " does not contain the dataset domain "
+                               << ds.metadata().domain);
+
+  // Patch tiles are half-open; particles exactly on the dataset domain's
+  // upper face must land in the boundary patches, so those patches' query
+  // boxes are nudged past the face.
+  Box3 patch = decomp.patch(comm.rank());
+  const Box3& domain = decomp.domain();
+  for (int a = 0; a < 3; ++a) {
+    if (patch.hi[a] >= domain.hi[a]) {
+      patch.hi[a] += 1e-9 * (domain.hi[a] - domain.lo[a]) + 1e-300;
+    }
+  }
+  return ds.query_box(patch, /*levels=*/-1, comm.size(), stats);
+}
+
+}  // namespace spio

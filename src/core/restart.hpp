@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file restart.hpp
+/// Checkpoint restart: load a dataset back into a running SPMD job whose
+/// decomposition (and rank count) may differ from the writer's — the
+/// paper's key read-side property ("allows reads with different core
+/// counts than were used to write the data", §2.1/§4).
+
+#include <filesystem>
+
+#include "core/reader.hpp"
+#include "simmpi/comm.hpp"
+#include "workload/decomposition.hpp"
+
+namespace spio {
+
+/// Collective: every rank receives exactly the particles lying in its
+/// patch of `decomp`. Together the ranks reconstruct the full dataset
+/// with no duplicates (patches tile the domain; each particle belongs to
+/// exactly one patch, with the domain's upper faces assigned to the
+/// boundary patches).
+///
+/// The schema comes from the dataset; `decomp.domain()` must contain the
+/// dataset's domain or a `ConfigError` is raised on every rank.
+ParticleBuffer restart_read(simmpi::Comm& comm,
+                            const PatchDecomposition& decomp,
+                            const std::filesystem::path& dir,
+                            ReadStats* stats = nullptr);
+
+}  // namespace spio

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file spatial_partition.hpp
+/// Abstraction over the spatial partitionings that drive aggregation: a
+/// set of disjoint axis-aligned boxes covering (a region of) the domain,
+/// with point location. Implemented by the rectilinear `AggregationGrid`
+/// (paper §3.1) and by the density-refined `KdPartitioning` (the §7
+/// future-work extension: "creating an adaptive grid on the fly, which
+/// can re-balance the grid partition size and placement based on the
+/// particle distribution").
+
+#include "util/box.hpp"
+
+namespace spio {
+
+class SpatialPartitioning {
+ public:
+  virtual ~SpatialPartitioning() = default;
+
+  /// Number of partitions (= potential output files).
+  virtual int partition_count() const = 0;
+
+  /// Index of the partition containing `p`; points outside the covered
+  /// region are clamped to the nearest partition.
+  virtual int partition_of_point(const Vec3d& p) const = 0;
+
+  /// Axis-aligned box of partition `idx`.
+  virtual Box3 partition_box(int idx) const = 0;
+
+  /// Overall region covered by the partitioning.
+  virtual Box3 region() const = 0;
+};
+
+}  // namespace spio

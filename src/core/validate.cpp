@@ -1,0 +1,132 @@
+#include "core/validate.hpp"
+
+#include <sstream>
+
+#include "core/reader.hpp"
+
+namespace spio {
+
+namespace {
+
+template <typename... Args>
+std::string fmt(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+void deep_check_file(const Dataset& ds, int fi, ValidationReport& report) {
+  const DatasetMetadata& meta = ds.metadata();
+  const FileRecord& rec = meta.files[static_cast<std::size_t>(fi)];
+  ParticleBuffer buf(meta.schema);
+  try {
+    buf = ds.read_data_file(fi);
+  } catch (const Error& e) {
+    report.errors.push_back(e.what());
+    return;
+  }
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (meta.has_bounds && !rec.bounds.contains_closed(buf.position(i))) {
+      report.errors.push_back(
+          fmt("file '", rec.file_name(), "': particle ", i, " at ",
+              buf.position(i), " lies outside the recorded bounds ",
+              rec.bounds));
+      break;  // one example per file is enough
+    }
+  }
+  if (meta.has_field_ranges) {
+    for (std::size_t f = 0; f < meta.schema.field_count(); ++f) {
+      const FieldDesc& fd = meta.schema.fields()[f];
+      for (std::uint32_t c = 0; c < fd.components; ++c) {
+        const FieldRange& fr =
+            rec.field_ranges[meta.range_index(f, c)];
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          const double v =
+              fd.type == FieldType::kF64
+                  ? buf.get_f64(i, f, c)
+                  : static_cast<double>(buf.get_f32(i, f, c));
+          if (v < fr.min || v > fr.max) {
+            report.errors.push_back(
+                fmt("file '", rec.file_name(), "': field '", fd.name,
+                    "' component ", c, " value ", v,
+                    " outside recorded range [", fr.min, ", ", fr.max, "]"));
+            i = buf.size();  // one example per component
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validate_dataset(const std::filesystem::path& dir,
+                                  bool deep) {
+  ValidationReport report;
+
+  DatasetMetadata meta;
+  try {
+    meta = DatasetMetadata::load(dir);
+  } catch (const Error& e) {
+    report.errors.push_back(e.what());
+    return report;
+  }
+
+  std::uint64_t count_sum = 0;
+  for (const FileRecord& rec : meta.files) {
+    count_sum += rec.particle_count;
+    const auto path = dir / rec.file_name();
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      report.errors.push_back(
+          fmt("data file '", rec.file_name(), "' is missing"));
+      continue;
+    }
+    const std::uint64_t expect =
+        rec.particle_count * meta.schema.record_size();
+    if (size != expect) {
+      report.errors.push_back(fmt("data file '", rec.file_name(), "' holds ",
+                                  size, " bytes, metadata expects ", expect));
+    }
+    if (meta.has_bounds && !meta.domain.contains_box(rec.bounds)) {
+      report.warnings.push_back(fmt("file '", rec.file_name(), "' bounds ",
+                                    rec.bounds,
+                                    " extend outside the domain ",
+                                    meta.domain));
+    }
+    if (rec.particle_count == 0) {
+      report.warnings.push_back(
+          fmt("file '", rec.file_name(), "' holds no particles"));
+    }
+  }
+  // The metadata loader already enforces count_sum == total_particles; a
+  // mismatch here would mean the loader changed, so treat it as an error
+  // anyway (defense in depth for hand-edited metadata).
+  if (count_sum != meta.total_particles) {
+    report.errors.push_back(fmt("file counts sum to ", count_sum,
+                                " but the header claims ",
+                                meta.total_particles));
+  }
+
+  if (meta.has_bounds) {
+    for (std::size_t a = 0; a < meta.files.size(); ++a) {
+      for (std::size_t b = a + 1; b < meta.files.size(); ++b) {
+        if (meta.files[a].bounds.overlaps(meta.files[b].bounds)) {
+          report.warnings.push_back(
+              fmt("files '", meta.files[a].file_name(), "' and '",
+                  meta.files[b].file_name(), "' have overlapping bounds"));
+        }
+      }
+    }
+  }
+
+  if (deep && report.errors.empty()) {
+    const Dataset ds = Dataset::open(dir);
+    for (int fi = 0; fi < ds.file_count(); ++fi)
+      deep_check_file(ds, fi, report);
+  }
+  return report;
+}
+
+}  // namespace spio

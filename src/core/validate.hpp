@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file validate.hpp
+/// Dataset integrity checking, for tooling and post-crash triage: a
+/// partially-written checkpoint (e.g. a job killed mid-write) must be
+/// detected before an analysis pipeline consumes it.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace spio {
+
+struct ValidationReport {
+  /// Violations that make the dataset unusable (missing/truncated files,
+  /// corrupt metadata, inconsistent counts).
+  std::vector<std::string> errors;
+  /// Suspicious but usable conditions (bounds outside the domain,
+  /// overlapping file bounds).
+  std::vector<std::string> warnings;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Validate the dataset in `dir`.
+///
+/// Shallow checks (always): metadata parses, every data file exists with
+/// exactly `count * record_size` bytes, counts sum to the header total,
+/// file bounds are pairwise disjoint and inside the domain.
+///
+/// Deep checks (`deep = true`): read every particle and verify it lies
+/// within its file's bounds and within the recorded field ranges.
+ValidationReport validate_dataset(const std::filesystem::path& dir,
+                                  bool deep = false);
+
+}  // namespace spio

@@ -1,0 +1,316 @@
+#include "core/writer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "core/metadata.hpp"
+#include "simmpi/reduce_ops.hpp"
+#include "util/serialize.hpp"
+
+namespace spio {
+
+namespace {
+
+// Point-to-point tags of the write pipeline.
+constexpr int kTagMeta = 101;  // u64 particle count, sender -> aggregator
+constexpr int kTagData = 102;  // raw particle records, sender -> aggregator
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Partition the local particles by target aggregation partition.
+/// Aligned fast path: the whole buffer goes to one partition, no scan.
+/// General path: per-particle binning (the cost the aligned grid avoids).
+std::map<int, ParticleBuffer> bin_particles(const ParticleBuffer& local,
+                                            const AggregationPlan& plan,
+                                            bool use_fast_path) {
+  std::map<int, ParticleBuffer> bins;
+  if (local.empty()) return bins;
+  if (use_fast_path) {
+    const int p = plan.partitioning().partition_of_point(local.position(0));
+    ParticleBuffer bin(local.schema());
+    bin.adopt_bytes(std::vector<std::byte>(local.bytes().begin(),
+                                           local.bytes().end()));
+    bins.emplace(p, std::move(bin));
+    return bins;
+  }
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const int p = plan.partitioning().partition_of_point(local.position(i));
+    auto it = bins.find(p);
+    if (it == bins.end())
+      it = bins.emplace(p, ParticleBuffer(local.schema())).first;
+    it->second.append_from(local, i);
+  }
+  return bins;
+}
+
+/// Min/max of every field component over the aggregated particles (§3.5
+/// metadata extension). Precondition: non-empty buffer.
+std::vector<FieldRange> compute_field_ranges(const ParticleBuffer& buf) {
+  SPIO_EXPECTS(!buf.empty());
+  const Schema& s = buf.schema();
+  std::vector<FieldRange> ranges;
+  for (std::size_t f = 0; f < s.field_count(); ++f) {
+    const FieldDesc& fd = s.fields()[f];
+    for (std::uint32_t c = 0; c < fd.components; ++c) {
+      FieldRange r;
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        const double v = fd.type == FieldType::kF64
+                             ? buf.get_f64(i, f, c)
+                             : static_cast<double>(buf.get_f32(i, f, c));
+        if (i == 0) {
+          r.min = r.max = v;
+        } else {
+          r.min = std::min(r.min, v);
+          r.max = std::max(r.max, v);
+        }
+      }
+      ranges.push_back(r);
+    }
+  }
+  return ranges;
+}
+
+}  // namespace
+
+WriteStats WriteStats::max_over(const WriteStats& a, const WriteStats& b) {
+  WriteStats m;
+  m.setup_seconds = std::max(a.setup_seconds, b.setup_seconds);
+  m.meta_exchange_seconds =
+      std::max(a.meta_exchange_seconds, b.meta_exchange_seconds);
+  m.particle_exchange_seconds =
+      std::max(a.particle_exchange_seconds, b.particle_exchange_seconds);
+  m.reorder_seconds = std::max(a.reorder_seconds, b.reorder_seconds);
+  m.file_io_seconds = std::max(a.file_io_seconds, b.file_io_seconds);
+  m.metadata_io_seconds =
+      std::max(a.metadata_io_seconds, b.metadata_io_seconds);
+  m.particles_sent = a.particles_sent + b.particles_sent;
+  m.bytes_sent = a.bytes_sent + b.bytes_sent;
+  m.particles_written = a.particles_written + b.particles_written;
+  m.bytes_written = a.bytes_written + b.bytes_written;
+  m.files_written = a.files_written + b.files_written;
+  m.partition_count = std::max(a.partition_count, b.partition_count);
+  m.was_aggregator = a.was_aggregator || b.was_aggregator;
+  m.used_aligned_fast_path =
+      a.used_aligned_fast_path || b.used_aligned_fast_path;
+  return m;
+}
+
+WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
+                         const ParticleBuffer& local,
+                         const WriterConfig& config) {
+  SPIO_CHECK(!config.dir.empty(), ConfigError,
+             "WriterConfig.dir must be set");
+  SPIO_CHECK(config.factor.valid(), ConfigError,
+             "invalid partition factor " << config.factor.to_string());
+  SPIO_CHECK(config.lod.valid(), ConfigError,
+             "invalid LOD parameters P=" << config.lod.P
+                                         << " S=" << config.lod.S);
+  SPIO_CHECK(comm.size() == decomp.rank_count(), ConfigError,
+             "decomposition has " << decomp.rank_count()
+                                  << " patches for a job of " << comm.size()
+                                  << " ranks");
+
+  WriteStats stats;
+  const int rank = comm.rank();
+
+  // Rank 0 creates the dataset directory before anyone writes into it.
+  if (rank == 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.dir, ec);
+    SPIO_CHECK(!ec, IoError, "cannot create dataset directory '"
+                                 << config.dir.string()
+                                 << "': " << ec.message());
+  }
+  comm.barrier();
+
+  // ---- step 1 + 2: aggregation grid setup and aggregator selection ----
+  auto t0 = Clock::now();
+  const Box3 local_bounds = local.bounds();
+  // The simulation contract is that particles lie within their owner's
+  // patch; drifting particles (e.g. a checkpoint taken mid-advection)
+  // break it. Detect spill collectively so every rank picks the same
+  // plan construction.
+  const bool my_spill =
+      !local.empty() && !decomp.patch(rank).contains_box(local_bounds);
+  AggregationPlan plan = [&] {
+    if (config.adaptive || comm.allreduce(my_spill, simmpi::op::logical_or)) {
+      // All-to-all exchange of tight extents + counts (§6); also used to
+      // repair the communication sets when particles strayed.
+      RankExtent mine{local_bounds, local.size()};
+      const std::vector<RankExtent> extents = comm.allgather(mine);
+      if (!config.adaptive) {
+        return AggregationPlan::non_adaptive_with_extents(
+            decomp, config.factor, config.placement, extents);
+      }
+      return config.adaptive_refine
+                 ? AggregationPlan::adaptive_refined(
+                       decomp, config.factor, config.placement, extents)
+                 : AggregationPlan::adaptive(decomp, config.factor,
+                                             config.placement, extents);
+    }
+    return AggregationPlan::non_adaptive(decomp, config.factor,
+                                         config.placement);
+  }();
+  stats.partition_count = plan.partition_count();
+
+  // The aligned fast path ships whole buffers without a per-particle
+  // scan; it applies only when the plan is patch-aligned and this rank's
+  // particles verifiably stayed home.
+  const bool fast_path = plan.aligned() && !config.force_general_exchange &&
+                         (local.empty() ||
+                          decomp.patch(rank).contains_box(local_bounds));
+  stats.used_aligned_fast_path = fast_path && !local.empty();
+  stats.setup_seconds = seconds_since(t0);
+
+  // ---- step 3: metadata exchange (counts) ----
+  t0 = Clock::now();
+  std::map<int, ParticleBuffer> bins = bin_particles(local, plan, fast_path);
+  // Send a count to the aggregator of every partition we *might* feed
+  // (the plan's conservative target set), so receivers can post a matching
+  // number of receives without a handshake.
+  for (const int p : plan.targets_of(rank)) {
+    const auto it = bins.find(p);
+    const std::uint64_t count = it == bins.end() ? 0 : it->second.size();
+    comm.send_value<std::uint64_t>(plan.aggregator_of(p), kTagMeta, count);
+  }
+  // A bin must never target a partition outside the plan's target set —
+  // that aggregator would not expect our message.
+  for (const auto& [p, bin] : bins) {
+    SPIO_CHECK(std::binary_search(plan.targets_of(rank).begin(),
+                                  plan.targets_of(rank).end(), p),
+               ConfigError,
+               "rank " << rank << " holds particles for partition " << p
+                       << " outside its plan target set; particles stray "
+                          "outside the declared patch/extent");
+  }
+
+  const int my_partition = plan.partition_owned_by(rank);
+  std::vector<std::uint64_t> incoming_counts;
+  std::uint64_t incoming_total = 0;
+  if (my_partition >= 0) {
+    const std::vector<int>& senders = plan.senders_of(my_partition);
+    incoming_counts.resize(senders.size());
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      incoming_counts[i] =
+          comm.recv_value<std::uint64_t>(senders[i], kTagMeta);
+      incoming_total += incoming_counts[i];
+    }
+    // The metadata exchange is exactly what lets the aggregator size its
+    // buffer *before* any data moves — so an infeasible aggregation can
+    // be rejected here instead of running out of memory mid-exchange.
+    const std::uint64_t need = incoming_total * local.record_size();
+    SPIO_CHECK(config.max_aggregation_bytes == 0 ||
+                   need <= config.max_aggregation_bytes,
+               ConfigError,
+               "aggregator " << rank << " (partition " << my_partition
+                             << ") would need " << need
+                             << " bytes, over the configured limit of "
+                             << config.max_aggregation_bytes
+                             << "; use a smaller partition factor");
+  }
+  stats.meta_exchange_seconds = seconds_since(t0);
+
+  // ---- steps 4 + 5: allocate aggregation buffer, exchange particles ----
+  t0 = Clock::now();
+  for (auto& [p, bin] : bins) {
+    if (bin.empty()) continue;
+    const int agg = plan.aggregator_of(p);
+    if (agg != rank) {
+      stats.particles_sent += bin.size();
+      stats.bytes_sent += bin.byte_size();
+    }
+    comm.send_bytes(agg, kTagData, bin.take_bytes());
+  }
+  bins.clear();
+
+  ParticleBuffer aggregated(local.schema());
+  if (my_partition >= 0) {
+    aggregated.reserve(incoming_total);
+    const std::vector<int>& senders = plan.senders_of(my_partition);
+    // Deterministic assembly order (ascending sender rank) makes the
+    // aggregated buffer — and therefore the shuffled file — reproducible.
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      if (incoming_counts[i] == 0) continue;
+      simmpi::Message m = comm.recv_message(senders[i], kTagData);
+      aggregated.append_bytes(m.payload);
+    }
+    SPIO_CHECK(aggregated.size() == incoming_total, FormatError,
+               "aggregator " << rank << " assembled " << aggregated.size()
+                             << " particles but metadata promised "
+                             << incoming_total);
+  }
+  stats.particle_exchange_seconds = seconds_since(t0);
+
+  // ---- step 6: LOD re-ordering ----
+  t0 = Clock::now();
+  if (!aggregated.empty()) {
+    lod_reorder(aggregated,
+                stream_seed(config.shuffle_seed,
+                            static_cast<std::uint64_t>(my_partition)),
+                config.heuristic);
+  }
+  stats.reorder_seconds = seconds_since(t0);
+
+  // ---- step 7: write the data file ----
+  t0 = Clock::now();
+  FileRecord my_record;
+  bool have_file = false;
+  if (my_partition >= 0 && !aggregated.empty()) {
+    my_record.partition_id = static_cast<std::uint32_t>(my_partition);
+    my_record.aggregator_rank = static_cast<std::uint32_t>(rank);
+    my_record.particle_count = aggregated.size();
+    my_record.bounds = plan.partitioning().partition_box(my_partition);
+    if (config.write_field_ranges)
+      my_record.field_ranges = compute_field_ranges(aggregated);
+    write_file(config.dir / my_record.file_name(), aggregated.bytes());
+    stats.particles_written = aggregated.size();
+    stats.bytes_written = aggregated.byte_size();
+    stats.files_written = 1;
+    stats.was_aggregator = true;
+    have_file = true;
+  }
+  stats.file_io_seconds = seconds_since(t0);
+
+  // ---- step 8: gather bounds on rank 0, write the spatial metadata ----
+  t0 = Clock::now();
+  BinaryWriter record_bytes;
+  if (have_file) {
+    my_record.serialize(record_bytes, config.write_spatial_metadata,
+                        config.write_field_ranges);
+  }
+  const auto gathered = comm.allgatherv<std::byte>(record_bytes.bytes());
+  if (rank == 0) {
+    DatasetMetadata meta;
+    meta.schema = local.schema();
+    meta.domain = decomp.domain();
+    meta.lod = config.lod;
+    meta.heuristic = config.heuristic;
+    meta.has_bounds = config.write_spatial_metadata;
+    meta.has_field_ranges = config.write_field_ranges;
+    for (const auto& from_rank : gathered) {
+      if (from_rank.empty()) continue;
+      BinaryReader r(from_rank);
+      const FileRecord f = FileRecord::deserialize(
+          r, meta.has_bounds, meta.has_field_ranges, meta.range_count());
+      meta.total_particles += f.particle_count;
+      meta.files.push_back(f);
+    }
+    std::sort(meta.files.begin(), meta.files.end(),
+              [](const FileRecord& a, const FileRecord& b) {
+                return a.partition_id < b.partition_id;
+              });
+    meta.save(config.dir);
+  }
+  // The write is complete (data + metadata) only once every rank returns.
+  comm.barrier();
+  stats.metadata_io_seconds = seconds_since(t0);
+
+  return stats;
+}
+
+}  // namespace spio

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file writer.hpp
+/// The spatially-aware two-phase write pipeline (paper §3):
+///
+///   1. set up the aggregation grid          (§3.1)
+///   2. select aggregators                   (§3.2)
+///   3. exchange metadata (particle counts)  (§3.3)
+///   4. allocate aggregation buffers         (§3.3)
+///   5. exchange particles                   (§3.3)
+///   6. re-order particles into LOD order    (§3.4)
+///   7. write one data file per partition    (§3.4)
+///   8. gather bounds and write the spatial metadata file (§3.5)
+///
+/// The adaptive variant (§6) prepends an all-to-all extent exchange and
+/// builds the grid over the occupied sub-region only.
+
+#include <filesystem>
+
+#include "core/aggregation_plan.hpp"
+#include "core/lod.hpp"
+#include "simmpi/comm.hpp"
+#include "workload/decomposition.hpp"
+#include "workload/particle_buffer.hpp"
+
+namespace spio {
+
+/// Everything a write needs besides the data. The partition factor is the
+/// user-facing tuning knob; the paper's §5 sweeps it per machine.
+struct WriterConfig {
+  /// Dataset directory; created if absent. One data file per non-empty
+  /// aggregation partition plus `meta.spio` are written into it.
+  std::filesystem::path dir;
+
+  /// Aggregation partition factor (Px, Py, Pz).
+  PartitionFactor factor{1, 1, 1};
+
+  /// Level-of-detail layout parameters, recorded in the metadata.
+  LodParams lod{};
+  LodHeuristic heuristic = LodHeuristic::kRandom;
+
+  /// Use the adaptive aggregation grid (§6). Adds an all-to-all extent
+  /// exchange and covers only the occupied sub-region.
+  bool adaptive = false;
+
+  /// With `adaptive`: use the density-refined k-d partitioning (§7
+  /// extension) instead of the uniform adaptive grid — balances particle
+  /// load per file under clustered distributions.
+  bool adaptive_refine = false;
+
+  /// Write the spatial metadata file with bounding boxes. Disabled only to
+  /// produce the paper's Fig. 7 "without spatial metadata" baseline.
+  bool write_spatial_metadata = true;
+
+  /// Record per-file min/max of every field component in the metadata
+  /// (§3.5 extension), enabling attribute range queries that skip files.
+  bool write_field_ranges = true;
+
+  /// Aggregator placement policy (ablation; the paper uses uniform).
+  AggregatorPlacement placement = AggregatorPlacement::kUniform;
+
+  /// Base seed for the deterministic LOD shuffles (per-partition streams
+  /// are derived from it).
+  std::uint64_t shuffle_seed = 0x5910f00d;
+
+  /// Force the per-particle binning path even when the aligned fast path
+  /// applies; used by tests to check both paths agree.
+  bool force_general_exchange = false;
+
+  /// Upper bound on one aggregator's assembled buffer, in bytes
+  /// (0 = unlimited). §3.1 notes that all-to-one aggregation "is not
+  /// feasible due to limitations in the available memory on a single
+  /// core"; this guard turns that silent OOM into a diagnosable
+  /// `ConfigError` naming the partition and suggesting a smaller factor.
+  std::uint64_t max_aggregation_bytes = 0;
+};
+
+/// Per-rank timing and volume statistics for one write. Times are wall
+/// clock on this rank; reduce across ranks with `WriteStats::max_over`.
+struct WriteStats {
+  double setup_seconds = 0;              // plan/grid construction (+ extent
+                                         // all-to-all when adaptive)
+  double meta_exchange_seconds = 0;      // step 3
+  double particle_exchange_seconds = 0;  // steps 4–5
+  double reorder_seconds = 0;            // step 6
+  double file_io_seconds = 0;            // step 7
+  double metadata_io_seconds = 0;        // step 8
+
+  std::uint64_t particles_sent = 0;  // shipped to a *different* rank
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t particles_written = 0;
+  std::uint64_t bytes_written = 0;
+  int files_written = 0;
+  int partition_count = 0;
+  bool was_aggregator = false;
+  bool used_aligned_fast_path = false;
+
+  /// Total wall time of the phases above.
+  double total_seconds() const {
+    return setup_seconds + meta_exchange_seconds + particle_exchange_seconds +
+           reorder_seconds + file_io_seconds + metadata_io_seconds;
+  }
+
+  /// Aggregation-phase time (everything before file writes), the
+  /// "Data aggregation" share of the paper's Fig. 6 breakdown.
+  double aggregation_seconds() const {
+    return setup_seconds + meta_exchange_seconds + particle_exchange_seconds +
+           reorder_seconds;
+  }
+
+  /// Element-wise max of times, sum of volumes; the job-level view.
+  static WriteStats max_over(const WriteStats& a, const WriteStats& b);
+};
+
+/// Collective: write `local` (this rank's particles, which must carry the
+/// schema shared by all ranks) as one spio dataset. Returns this rank's
+/// statistics. Throws `ConfigError` for invalid configurations and
+/// `IoError` on filesystem failure; failures on any rank abort the job.
+WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
+                         const ParticleBuffer& local,
+                         const WriterConfig& config);
+
+}  // namespace spio

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file machine_profile.hpp
+/// Calibrated cost-model profiles for the paper's evaluation platforms.
+/// These parameters feed the write/read models that regenerate the shapes
+/// of the paper's scaling figures; they are documented estimates of each
+/// machine's architecture, not measurements, and EXPERIMENTS.md records
+/// the shape-level agreement they produce.
+///
+/// Mira (ALCF): IBM Blue Gene/Q, 49,152 nodes, 5D torus, GPFS with 384
+/// dedicated I/O nodes; a job's ranks are statically mapped to the I/O
+/// nodes of their partition (128 compute nodes per ION, 16 ranks/node in
+/// the paper's runs). Documented peak I/O ~240 GB/s.
+///
+/// Theta (ALCF): Cray XC40, Intel KNL, dragonfly network, Lustre; the
+/// paper's runs used 48 OSTs (stripe count 48, 8 MB stripes) and shared
+/// I/O routers. Lustre file creates serialize at the MDS.
+
+#include <string>
+
+namespace spio::iosim {
+
+struct MachineProfile {
+  std::string name;
+
+  // ---- storage back end ----
+  /// Number of independent I/O resources (GPFS IONs / Lustre OSTs).
+  int io_resources = 1;
+  /// Sustained write bandwidth per resource (bytes/s).
+  double resource_bw = 1e9;
+  /// Ranks served per I/O resource: a job of N ranks can engage at most
+  /// ceil(N / ranks_per_resource) resources (dedicated-ION machines);
+  /// 0 = all resources reachable by any job (Lustre).
+  int ranks_per_resource = 0;
+  /// Fixed per-file cost at the resource, expressed as equivalent bytes
+  /// (seek/allocation overhead — penalizes many small files).
+  double per_file_overhead_bytes = 0;
+  /// Metadata-server cost per file create (seconds) and how many creates
+  /// proceed concurrently.
+  double file_create_seconds = 0;
+  int mds_parallelism = 1;
+  /// File count beyond which create costs grow linearly (directory/MDS
+  /// contention knee); 0 disables.
+  double create_contention_knee = 0;
+  /// Throughput efficiency of N writers sharing one file (lock/stripe
+  /// contention): eff = shared_base_efficiency
+  ///                    / (1 + shared_lock_factor * N).
+  double shared_lock_factor = 0;
+  /// Fraction of peak a shared-file write can reach even without
+  /// contention (extent-lock ping-pong, unaligned stripes).
+  double shared_base_efficiency = 1.0;
+
+  // ---- network (aggregation phase) ----
+  /// Effective throughput at which an aggregator absorbs particle data
+  /// from its senders (bytes/s), folding together network fan-in,
+  /// receive-side packing, and router sharing. Fitted per machine; Theta's
+  /// is far below Mira's (the paper's Fig. 6: aggregation dominates on
+  /// Theta, is minor on Mira).
+  double aggregation_bw = 1e9;
+  /// Per-message latency (seconds).
+  double msg_latency = 1e-6;
+  /// Extra fan-in contention: receiving from G senders divides the
+  /// effective bandwidth by (1 + incast_factor * (G - 1)).
+  double incast_factor = 0;
+  /// Large messages amortize per-message costs: effective bandwidth is
+  /// multiplied by (msg_bytes / agg_msg_ref_bytes)^agg_msg_size_exponent
+  /// (clamped to gains only). Reference size is the paper's 4 MB/core.
+  double agg_msg_ref_bytes = 4.0 * (1 << 20);
+  double agg_msg_size_exponent = 0;
+
+  /// Seconds for one aggregator to absorb `per_sender_bytes` from each of
+  /// `senders` senders (0 for no exchange).
+  double aggregation_seconds(int senders, double per_sender_bytes) const;
+
+  /// Throughput lost when active aggregators cluster in a sub-range of
+  /// the rank space instead of spreading uniformly (§6): a fully
+  /// clustered placement multiplies I/O time by (1 + placement_loss).
+  /// Large on machines with rank-mapped dedicated I/O nodes (Mira),
+  /// small where any rank reaches any resource (Theta).
+  double placement_loss = 0;
+
+  // ---- per-writer ceiling ----
+  /// A single writer process cannot push faster than this (bytes/s);
+  /// caps small-scale throughput when few aggregators are active.
+  double per_writer_bw = 1e9;
+
+  // ---- read side ----
+  /// Per-process read bandwidth (bytes/s) and aggregate ceiling.
+  double read_bw_per_process = 1e9;
+  double read_total_bw = 1e9;
+  /// Cost of opening one file for reading (seconds).
+  double file_open_seconds = 0;
+
+  /// Resources a job of `nranks` can engage.
+  int job_resources(int nranks) const;
+
+  /// Effective per-file create cost when `files` files are created.
+  double effective_create_seconds(double files) const;
+
+  static MachineProfile mira();
+  static MachineProfile theta();
+  static MachineProfile ssd_workstation();
+};
+
+}  // namespace spio::iosim

@@ -1,0 +1,54 @@
+#include "iosim/read_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spio::iosim {
+
+namespace {
+
+/// Effective per-reader bandwidth: each stream is limited individually
+/// and all streams share the aggregate ceiling.
+double per_reader_bw(const MachineProfile& m, int readers) {
+  return std::min(m.read_bw_per_process,
+                  m.read_total_bw / std::max(1, readers));
+}
+
+}  // namespace
+
+double model_read_seconds(const MachineProfile& m, const ReadCase& c) {
+  SPIO_CHECK(c.files >= 1 && c.readers >= 1, ConfigError,
+             "read case needs >= 1 file and reader");
+  const double total = static_cast<double>(c.total_bytes);
+
+  if (c.mode == ReadMode::kWithMetadata) {
+    // Each reader opens ceil(F/n) files and pulls its 1/n share of bytes.
+    const double opens = std::ceil(static_cast<double>(c.files) / c.readers);
+    return opens * m.file_open_seconds +
+           (total / c.readers) / per_reader_bw(m, c.readers);
+  }
+
+  // Without metadata every reader opens every file and scans everything;
+  // adding readers does not shrink the per-reader load, and the shared
+  // metadata service degrades under the open storm (the Fig. 7 curve that
+  // worsens with scale).
+  const double open_storm =
+      static_cast<double>(c.files) * m.file_open_seconds *
+      (1.0 + 0.02 * (c.readers - 1));
+  return open_storm + total / per_reader_bw(m, c.readers);
+}
+
+double model_lod_read_seconds(const MachineProfile& m, const LodReadCase& c) {
+  SPIO_CHECK(c.files >= 1 && c.readers >= 1, ConfigError,
+             "LOD read case needs >= 1 file and reader");
+  SPIO_CHECK(c.levels >= 0, ConfigError, "levels must be >= 0");
+  const std::uint64_t particles =
+      lod_cumulative(c.lod, c.readers, c.levels, c.total_particles);
+  const double bytes =
+      static_cast<double>(particles) * static_cast<double>(c.record_bytes);
+  const double opens = std::ceil(static_cast<double>(c.files) / c.readers);
+  return opens * m.file_open_seconds +
+         (bytes / c.readers) / per_reader_bw(m, c.readers);
+}
+
+}  // namespace spio::iosim

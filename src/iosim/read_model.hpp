@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file read_model.hpp
+/// Cost model for post-processing reads (paper §5.3-5.4): visualization
+/// style strong scaling (Fig. 7) and progressive level-of-detail reads
+/// (Fig. 8) on datasets far larger than the functional test scale.
+
+#include <cstdint>
+
+#include "core/lod.hpp"
+#include "iosim/machine_profile.hpp"
+
+namespace spio::iosim {
+
+/// How readers locate data.
+enum class ReadMode : std::uint8_t {
+  /// Spatial metadata available: each reader opens only its own
+  /// `files / readers` share and reads exactly its tile.
+  kWithMetadata = 0,
+  /// No spatial metadata: every reader must open all files and scan all
+  /// particles to cherry-pick its region (§4).
+  kWithoutMetadata = 1,
+};
+
+struct ReadCase {
+  std::int64_t files = 8192;
+  std::uint64_t total_bytes = (1ull << 31) * 124;  // 2^31 particles x 124 B
+  int readers = 64;
+  ReadMode mode = ReadMode::kWithMetadata;
+};
+
+/// Wall time for the whole parallel read (slowest reader).
+double model_read_seconds(const MachineProfile& machine, const ReadCase& c);
+
+struct LodReadCase {
+  std::int64_t files = 8192;
+  std::uint64_t total_particles = 1ull << 31;
+  std::uint64_t record_bytes = 124;
+  int readers = 64;
+  LodParams lod{32, 2.0};
+  int levels = 1;  // read levels [0, levels)
+};
+
+/// Wall time to read the first `levels` LOD levels across all files.
+double model_lod_read_seconds(const MachineProfile& machine,
+                              const LodReadCase& c);
+
+}  // namespace spio::iosim

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file write_model.hpp
+/// Cost model for parallel writes at leadership scale. The functional
+/// library (src/core) runs for real at workstation scale; this model
+/// extrapolates the same plans to 512-262,144 ranks on the calibrated
+/// machine profiles, regenerating the *shapes* of the paper's Fig. 5
+/// (weak-scaling throughput), Fig. 6 (aggregation vs file I/O breakdown)
+/// and Fig. 11 (adaptive aggregation). Storage-side queueing (file
+/// creates at the MDS pipelined into per-resource transfers) runs through
+/// the discrete-event engine.
+
+#include <cstdint>
+
+#include "core/partition_factor.hpp"
+#include "iosim/machine_profile.hpp"
+#include "util/vec3.hpp"
+
+namespace spio::iosim {
+
+/// I/O scheme being modeled.
+enum class WriteScheme : std::uint8_t {
+  /// Our spatially-aware two-phase I/O with a partition factor.
+  kSpio = 0,
+  /// Plain file-per-process (also the spio (1,1,1) configuration and the
+  /// paper's IOR FPP reference).
+  kFilePerProcess = 1,
+  /// IOR shared-file: all ranks write one file at rank offsets.
+  kIorShared = 2,
+  /// Parallel HDF5 (h5perf-like): shared file with collective metadata
+  /// overhead; degrades past ~32K ranks (Byna et al. report failures).
+  kPhdf5 = 3,
+};
+
+const char* write_scheme_name(WriteScheme s);
+
+struct WriteCase {
+  int nprocs = 512;
+  std::uint64_t particles_per_proc = 32768;
+  std::uint64_t record_bytes = 124;
+  WriteScheme scheme = WriteScheme::kSpio;
+  /// Partition factor for kSpio; the process grid is the near-cubic
+  /// factorization of nprocs unless set explicitly.
+  PartitionFactor factor{1, 1, 1};
+  Vec3i process_grid{0, 0, 0};  // {0,0,0} = derive from nprocs
+
+  std::uint64_t bytes_per_proc() const {
+    return particles_per_proc * record_bytes;
+  }
+  std::uint64_t total_bytes() const {
+    return bytes_per_proc() * static_cast<std::uint64_t>(nprocs);
+  }
+};
+
+struct WriteBreakdown {
+  double aggregation_seconds = 0;  // two-phase data movement (Fig. 6 share)
+  double io_seconds = 0;           // creates + transfers (pipelined)
+  double create_seconds = 0;       // informational: the create component
+  std::int64_t files = 0;
+  std::int64_t group_size = 1;
+  std::uint64_t total_bytes = 0;
+
+  double total_seconds() const { return aggregation_seconds + io_seconds; }
+  double throughput_gbs() const;
+  /// Fraction of total time spent aggregating (Fig. 6's y-axis).
+  double aggregation_share() const;
+};
+
+/// Model one write. Throws `ConfigError` on invalid cases.
+WriteBreakdown model_write(const MachineProfile& machine, const WriteCase& c);
+
+/// The §6.1 experiment: `nprocs` ranks, total particle count fixed, but
+/// particles occupy only `coverage` (0,1] of the domain. `adaptive`
+/// selects the layout-aware adaptive grid (partitions over the occupied
+/// region only, aggregators uniform over the full rank space) versus the
+/// layout-agnostic grid (aggregators assigned to empty regions too, so
+/// active aggregators cluster in the rank space).
+struct AdaptiveCase {
+  int nprocs = 4096;
+  std::uint64_t total_particles = 4096ull * 32768;
+  std::uint64_t record_bytes = 124;
+  PartitionFactor factor{2, 2, 2};
+  double coverage = 1.0;
+  bool adaptive = true;
+};
+
+WriteBreakdown model_adaptive_write(const MachineProfile& machine,
+                                    const AdaptiveCase& c);
+
+}  // namespace spio::iosim

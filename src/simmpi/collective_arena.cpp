@@ -1,0 +1,61 @@
+#include "simmpi/collective_arena.hpp"
+
+#include <chrono>
+
+namespace simmpi {
+
+namespace {
+constexpr auto kAbortPoll = std::chrono::milliseconds(20);
+}
+
+CollectiveArena::CollectiveArena(int size,
+                                 std::shared_ptr<std::atomic<bool>> abort)
+    : size_(size), abort_(std::move(abort)) {
+  for (int s = 0; s < 2; ++s) {
+    slots_[s].round = static_cast<std::uint64_t>(s);
+    slots_[s].contrib.resize(static_cast<std::size_t>(size_));
+  }
+}
+
+void CollectiveArena::run(int rank, std::uint64_t round,
+                          std::vector<std::byte> contribution,
+                          const Reader& reader) {
+  Slot& s = slots_[round % 2];
+  std::unique_lock lk(s.mu);
+
+  auto wait_until = [&](auto&& pred) {
+    while (!pred()) {
+      if (abort_->load(std::memory_order_relaxed)) throw Aborted();
+      s.cv.wait_for(lk, kAbortPoll);
+    }
+  };
+
+  // Wait for the slot to be recycled for our round (the occupants of round
+  // `round - 2` must all have departed).
+  wait_until([&] { return s.round == round; });
+
+  s.contrib[static_cast<std::size_t>(rank)] = std::move(contribution);
+  ++s.arrived;
+  if (s.arrived == size_) {
+    s.cv.notify_all();
+  } else {
+    wait_until([&] { return s.arrived == size_ && s.round == round; });
+  }
+
+  // All contributions are in place; let this rank consume them. Readers run
+  // under the slot lock, which serializes them; contributions are small
+  // control-plane payloads (counts, bounding boxes), so this is not a
+  // bottleneck, and bulk data always moves through point-to-point sends.
+  if (reader) reader(s.contrib);
+
+  ++s.departed;
+  if (s.departed == size_) {
+    s.arrived = 0;
+    s.departed = 0;
+    for (auto& c : s.contrib) c.clear();
+    s.round += 2;
+    s.cv.notify_all();
+  }
+}
+
+}  // namespace simmpi

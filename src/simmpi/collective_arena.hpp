@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file collective_arena.hpp
+/// Shared-memory rendezvous used to implement collectives.
+///
+/// All ranks of a communicator execute collectives in the same order (the
+/// usual SPMD contract), so each collective is a numbered *round*. The
+/// arena double-buffers rounds in two slots (even rounds in slot 0, odd in
+/// slot 1), which lets a rank enter round r+1 while stragglers are still
+/// leaving round r without any global serialization.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/message.hpp"
+
+namespace simmpi {
+
+class CollectiveArena {
+ public:
+  /// \param size Number of ranks in the communicator.
+  /// \param abort Shared job-abort flag; waits poll it and throw `Aborted`.
+  CollectiveArena(int size, std::shared_ptr<std::atomic<bool>> abort);
+
+  /// Reads the contributions of all ranks once every rank has arrived.
+  /// The span of contributions is indexed by rank and valid only inside the
+  /// callback.
+  using Reader =
+      std::function<void(const std::vector<std::vector<std::byte>>&)>;
+
+  /// Execute one collective round. Every rank of the communicator must call
+  /// `run` with the same `round` value (its per-rank collective counter),
+  /// its own contribution bytes, and a reader invoked once all ranks have
+  /// contributed.
+  void run(int rank, std::uint64_t round, std::vector<std::byte> contribution,
+           const Reader& reader);
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t round;  // round currently being assembled in this slot
+    int arrived = 0;
+    int departed = 0;
+    std::vector<std::vector<std::byte>> contrib;
+  };
+
+  int size_;
+  std::shared_ptr<std::atomic<bool>> abort_;
+  Slot slots_[2];
+};
+
+}  // namespace simmpi

@@ -1,0 +1,74 @@
+#include "simmpi/mailbox.hpp"
+
+#include <chrono>
+#include <limits>
+
+namespace simmpi {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+// Period at which blocked receivers re-check the abort flag. Aborts are a
+// failure path only, so the latency here never affects a healthy run.
+constexpr auto kAbortPoll = std::chrono::milliseconds(20);
+}  // namespace
+
+void Mailbox::deliver(Message&& m) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::find_match(int src, int tag) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    const bool src_ok = (src == kAnySource) || (m.src == src);
+    const bool tag_ok = (tag == kAnyTag) || (m.tag == tag);
+    if (src_ok && tag_ok) return i;
+  }
+  return kNpos;
+}
+
+Message Mailbox::receive(int src, int tag, const std::atomic<bool>& abort) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    const std::size_t i = find_match(src, tag);
+    if (i != kNpos) {
+      Message m = std::move(queue_[i]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      return m;
+    }
+    if (abort.load(std::memory_order_relaxed)) throw Aborted();
+    cv_.wait_for(lk, kAbortPoll);
+  }
+}
+
+std::optional<Message> Mailbox::try_receive(int src, int tag) {
+  std::lock_guard lk(mu_);
+  const std::size_t i = find_match(src, tag);
+  if (i == kNpos) return std::nullopt;
+  Message m = std::move(queue_[i]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+  return m;
+}
+
+bool Mailbox::probe(int src, int tag, int* out_src, int* out_tag,
+                    std::size_t* out_bytes) {
+  std::lock_guard lk(mu_);
+  const std::size_t i = find_match(src, tag);
+  if (i == kNpos) return false;
+  if (out_src) *out_src = queue_[i].src;
+  if (out_tag) *out_tag = queue_[i].tag;
+  if (out_bytes) *out_bytes = queue_[i].payload.size();
+  return true;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+}  // namespace simmpi

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// Per-rank message queue with MPI-style (source, tag) matching.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "simmpi/message.hpp"
+
+namespace simmpi {
+
+/// One mailbox per rank. Senders `deliver()` messages; the owning rank
+/// `receive()`s them with source/tag matching. Matching preserves MPI's
+/// non-overtaking rule: among messages from the same source with the same
+/// tag, arrival order is receive order (we scan the queue in arrival
+/// order).
+class Mailbox {
+ public:
+  /// Enqueue a message (called from the sender's thread).
+  void deliver(Message&& m);
+
+  /// Block until a message matching (src, tag) is available and return it.
+  /// `src`/`tag` may be `kAnySource`/`kAnyTag`. Throws `Aborted` if the
+  /// abort flag becomes set while waiting.
+  Message receive(int src, int tag, const std::atomic<bool>& abort);
+
+  /// Non-blocking receive; returns the message if one matches now.
+  std::optional<Message> try_receive(int src, int tag);
+
+  /// Non-blocking probe: reports the envelope of the first matching
+  /// message without removing it.
+  bool probe(int src, int tag, int* out_src = nullptr, int* out_tag = nullptr,
+             std::size_t* out_bytes = nullptr);
+
+  /// Number of queued (unreceived) messages; used by tests.
+  std::size_t pending() const;
+
+  /// Wake any blocked receiver so it can observe the abort flag.
+  void interrupt();
+
+ private:
+  /// Index of the first matching message, or npos.
+  std::size_t find_match(int src, int tag) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace simmpi

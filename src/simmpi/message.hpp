@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file message.hpp
+/// Message envelope and wildcard constants for the simmpi runtime.
+///
+/// simmpi is a from-scratch, in-process message-passing runtime with
+/// MPI-shaped semantics: N ranks run as threads inside one process and
+/// communicate through tagged point-to-point messages and collectives. The
+/// spio library is written against this interface; porting it to real MPI
+/// is a mechanical translation (each simmpi call has a direct MPI
+/// counterpart, noted in comm.hpp).
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace simmpi {
+
+/// Wildcard source for receives (matches MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for receives (matches MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// A delivered message: origin rank, tag, and the raw payload bytes.
+struct Message {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  std::vector<std::byte> payload;
+};
+
+/// Thrown in ranks that are blocked in the runtime when another rank has
+/// failed with an exception: the runtime aborts the whole job, mirroring
+/// the default MPI error handler (MPI_ERRORS_ARE_FATAL) without deadlock.
+class Aborted : public std::runtime_error {
+ public:
+  Aborted() : std::runtime_error("simmpi: job aborted by another rank") {}
+};
+
+}  // namespace simmpi

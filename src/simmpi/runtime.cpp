@@ -1,0 +1,42 @@
+#include "simmpi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace simmpi {
+
+void run(int nranks, const std::function<void(Comm&)>& rank_main) {
+  SPIO_EXPECTS(nranks > 0);
+
+  auto abort = std::make_shared<std::atomic<bool>>(false);
+  auto state = std::make_shared<detail::CommState>(nranks, abort);
+
+  std::mutex failure_mu;
+  std::exception_ptr first_failure;
+
+  auto rank_body = [&](int rank) {
+    Comm comm(state, rank);
+    try {
+      rank_main(comm);
+    } catch (const Aborted&) {
+      // Secondary casualty of another rank's failure; nothing to record.
+    } catch (...) {
+      {
+        std::lock_guard lk(failure_mu);
+        if (!first_failure) first_failure = std::current_exception();
+      }
+      abort->store(true, std::memory_order_relaxed);
+      state->interrupt_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) threads.emplace_back(rank_body, r);
+  for (auto& t : threads) t.join();
+
+  if (first_failure) std::rethrow_exception(first_failure);
+}
+
+}  // namespace simmpi

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Job launcher: runs an SPMD function on N ranks, each on its own thread.
+
+#include <functional>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace simmpi {
+
+/// Launches rank threads and propagates failures.
+///
+/// Usage:
+///   simmpi::run(16, [&](simmpi::Comm& comm) { ... SPMD code ... });
+///
+/// If any rank throws, the job is aborted: the abort flag is raised, ranks
+/// blocked in receives or collectives unwind with `Aborted`, all threads
+/// are joined, and the first original exception is rethrown to the caller.
+void run(int nranks, const std::function<void(Comm&)>& rank_main);
+
+/// As `run`, but collects a per-rank result, indexed by rank.
+template <typename T>
+std::vector<T> run_collect(int nranks,
+                           const std::function<T(Comm&)>& rank_main) {
+  std::vector<T> results(static_cast<std::size_t>(nranks));
+  run(nranks, [&](Comm& comm) {
+    results[static_cast<std::size_t>(comm.rank())] = rank_main(comm);
+  });
+  return results;
+}
+
+}  // namespace simmpi

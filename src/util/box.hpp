@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file box.hpp
+/// Axis-aligned bounding boxes in physical (double) and index (integer)
+/// space. `Box3` is the core spatial primitive of the library: simulation
+/// patches, aggregation partitions, data-file extents and read queries are
+/// all axis-aligned boxes.
+
+#include <limits>
+#include <ostream>
+
+#include "util/vec3.hpp"
+
+namespace spio {
+
+/// An axis-aligned box over `[lo, hi)` in physical space.
+///
+/// The half-open convention matches the paper's aggregation grid: every
+/// particle position falls into exactly one aggregation partition, with the
+/// global domain's upper boundary treated inclusively by the point-location
+/// helpers in `AggregationGrid`.
+struct Box3 {
+  Vec3d lo{std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::max()};
+  Vec3d hi{std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::lowest()};
+
+  constexpr Box3() = default;
+  constexpr Box3(const Vec3d& lo_, const Vec3d& hi_) : lo(lo_), hi(hi_) {}
+
+  /// An inverted box that behaves as the identity for `extend()`.
+  static constexpr Box3 empty() { return Box3{}; }
+  /// The unit cube `[0,1)^3`.
+  static constexpr Box3 unit() { return {{0, 0, 0}, {1, 1, 1}}; }
+
+  constexpr bool operator==(const Box3& o) const = default;
+
+  /// True when the box has no volume (any `hi <= lo`).
+  constexpr bool is_empty() const {
+    return hi.x <= lo.x || hi.y <= lo.y || hi.z <= lo.z;
+  }
+
+  constexpr Vec3d size() const { return hi - lo; }
+  constexpr Vec3d center() const { return (lo + hi) * 0.5; }
+  constexpr double volume() const {
+    return is_empty() ? 0.0 : size().product();
+  }
+
+  /// Point membership under the half-open convention `[lo, hi)`.
+  constexpr bool contains(const Vec3d& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+
+  /// Point membership with the upper face included, used for the global
+  /// domain boundary where particles may sit exactly on `hi`.
+  constexpr bool contains_closed(const Vec3d& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  /// True when `inner` lies entirely within this box (closed comparison).
+  constexpr bool contains_box(const Box3& inner) const {
+    return inner.lo.x >= lo.x && inner.hi.x <= hi.x && inner.lo.y >= lo.y &&
+           inner.hi.y <= hi.y && inner.lo.z >= lo.z && inner.hi.z <= hi.z;
+  }
+
+  /// True when the two boxes share volume (open overlap test).
+  constexpr bool overlaps(const Box3& o) const {
+    return lo.x < o.hi.x && hi.x > o.lo.x && lo.y < o.hi.y && hi.y > o.lo.y &&
+           lo.z < o.hi.z && hi.z > o.lo.z;
+  }
+
+  /// Conservative overlap test: boxes that merely touch (shared face or
+  /// degenerate extent) count as overlapping. Used when a superset answer
+  /// is required, e.g. enumerating the ranks that *might* send particles
+  /// to an aggregation partition.
+  constexpr bool overlaps_closed(const Box3& o) const {
+    return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y &&
+           hi.y >= o.lo.y && lo.z <= o.hi.z && hi.z >= o.lo.z;
+  }
+
+  /// Grow the box to include point `p`.
+  constexpr void extend(const Vec3d& p) {
+    lo = Vec3d::min(lo, p);
+    hi = Vec3d::max(hi, p);
+  }
+
+  /// Grow the box to include box `b` (empty boxes are ignored).
+  constexpr void extend(const Box3& b) {
+    if (b.lo.x > b.hi.x) return;  // inverted/empty sentinel
+    lo = Vec3d::min(lo, b.lo);
+    hi = Vec3d::max(hi, b.hi);
+  }
+
+  /// Intersection of two boxes; may be empty.
+  static constexpr Box3 intersection(const Box3& a, const Box3& b) {
+    return {Vec3d::max(a.lo, b.lo), Vec3d::min(a.hi, b.hi)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Box3& b) {
+  return os << '[' << b.lo << " .. " << b.hi << ']';
+}
+
+/// An axis-aligned box over integer grid coordinates `[lo, hi)`.
+/// Used for patch index ranges on the process grid.
+struct Box3i {
+  Vec3i lo{0, 0, 0};
+  Vec3i hi{0, 0, 0};
+
+  constexpr Box3i() = default;
+  constexpr Box3i(const Vec3i& lo_, const Vec3i& hi_) : lo(lo_), hi(hi_) {}
+
+  constexpr bool operator==(const Box3i& o) const = default;
+
+  constexpr Vec3i size() const { return hi - lo; }
+  constexpr std::int64_t cell_count() const {
+    const Vec3i s = size();
+    return (s.x <= 0 || s.y <= 0 || s.z <= 0) ? 0 : s.product();
+  }
+  constexpr bool contains(const Vec3i& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Box3i& b) {
+  return os << '[' << b.lo << " .. " << b.hi << ')';
+}
+
+}  // namespace spio

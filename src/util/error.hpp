@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling for the library. Follows the Core Guidelines split
+/// between contract violations (programming errors, `SPIO_EXPECTS`) and
+/// runtime failures (I/O and format errors, exceptions derived from
+/// `spio::Error`).
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spio {
+
+/// Base class for all runtime errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a file cannot be opened, read or written.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("spio: I/O error: " + what) {}
+};
+
+/// Raised when a metadata or data file fails validation (bad magic,
+/// truncated payload, inconsistent counts, unsupported version).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what)
+      : Error("spio: format error: " + what) {}
+};
+
+/// Raised when a configuration is invalid (non-positive partition factor,
+/// mismatched schema, reader/writer parameter conflicts).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error("spio: config error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "spio: %s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace spio
+
+/// Precondition check (Core Guidelines I.6). Aborts on violation: a failed
+/// precondition is a programming error, not a recoverable condition.
+#define SPIO_EXPECTS(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::spio::detail::contract_failure("precondition", #cond, __FILE__,  \
+                                       __LINE__);                         \
+  } while (0)
+
+/// Postcondition check (Core Guidelines I.8).
+#define SPIO_ENSURES(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::spio::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                       __LINE__);                         \
+  } while (0)
+
+/// Throw `ExcType` with an ostream-formatted message when `cond` is false.
+#define SPIO_CHECK(cond, ExcType, msg)        \
+  do {                                        \
+    if (!(cond)) {                            \
+      std::ostringstream spio_check_oss_;     \
+      spio_check_oss_ << msg;                 \
+      throw ExcType(spio_check_oss_.str());   \
+    }                                         \
+  } while (0)

@@ -1,0 +1,19 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace spio {
+
+double Xoshiro256::normal() {
+  // Box-Muller transform. We draw both uniforms every call and discard the
+  // second deviate so that the stream position is a pure function of the
+  // call count (no hidden cached state to reason about in tests).
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace spio

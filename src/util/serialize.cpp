@@ -1,0 +1,77 @@
+#include "util/serialize.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace spio {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_checked(const std::filesystem::path& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  SPIO_CHECK(f != nullptr, IoError,
+             "cannot open '" << path.string() << "' (mode " << mode << ")");
+  return f;
+}
+
+}  // namespace
+
+void write_file(const std::filesystem::path& path,
+                std::span<const std::byte> bytes) {
+  FilePtr f = open_checked(path, "wb");
+  if (!bytes.empty()) {
+    const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f.get());
+    SPIO_CHECK(n == bytes.size(), IoError,
+               "short write to '" << path.string() << "': " << n << " of "
+                                  << bytes.size() << " bytes");
+  }
+}
+
+void append_file(const std::filesystem::path& path,
+                 std::span<const std::byte> bytes) {
+  FilePtr f = open_checked(path, "ab");
+  if (!bytes.empty()) {
+    const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f.get());
+    SPIO_CHECK(n == bytes.size(), IoError,
+               "short append to '" << path.string() << "': " << n << " of "
+                                   << bytes.size() << " bytes");
+  }
+}
+
+std::vector<std::byte> read_file(const std::filesystem::path& path) {
+  return read_file_range(path, 0, file_size_bytes(path));
+}
+
+std::vector<std::byte> read_file_range(const std::filesystem::path& path,
+                                       std::uint64_t offset,
+                                       std::uint64_t length) {
+  FilePtr f = open_checked(path, "rb");
+  SPIO_CHECK(std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) == 0,
+             IoError, "seek to " << offset << " failed in '" << path.string()
+                                 << "'");
+  std::vector<std::byte> out(static_cast<std::size_t>(length));
+  if (length > 0) {
+    const std::size_t n = std::fread(out.data(), 1, out.size(), f.get());
+    SPIO_CHECK(n == out.size(), FormatError,
+               "'" << path.string() << "' truncated: wanted " << length
+                   << " bytes at offset " << offset << ", got " << n);
+  }
+  return out;
+}
+
+std::uint64_t file_size_bytes(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  SPIO_CHECK(!ec, IoError,
+             "cannot stat '" << path.string() << "': " << ec.message());
+  return size;
+}
+
+}  // namespace spio

@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.stddev();
+}
+
+double percentile(std::vector<double> xs, double q) {
+  SPIO_EXPECTS(!xs.empty());
+  SPIO_EXPECTS(q >= 0.0 && q <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double idx = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  SPIO_EXPECTS(a.size() == b.size());
+  SPIO_EXPECTS(!a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace spio

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics helpers used by the benchmark harnesses and by the
+/// level-of-detail quality experiments (density-field RMSE).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spio {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, `q` in [0, 100]. Precondition: non-empty.
+double percentile(std::vector<double> xs, double q);
+
+/// Root-mean-square error between two equally-sized samples.
+/// Precondition: `a.size() == b.size()`, non-empty.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+}  // namespace spio

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+Table::Table(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  SPIO_EXPECTS(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  SPIO_EXPECTS(!rows_.empty());
+  SPIO_EXPECTS(rows_.back().size() < header_.size());
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return add(buf);
+}
+
+Table& Table::add_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return add(buf);
+}
+
+Table& Table::add_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return add(buf);
+}
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  SPIO_EXPECTS(r < rows_.size());
+  SPIO_EXPECTS(c < rows_[r].size());
+  return rows_[r][c];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << s;
+      if (c + 1 < header_.size())
+        os << std::string(width[c] - s.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  os << "# " << title_ << '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << header_[c] << (c + 1 < header_.size() ? "," : "\n");
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << r[c] << (c + 1 < r.size() ? "," : "\n");
+}
+
+}  // namespace spio

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-aligned text tables for the benchmark harnesses. Every figure
+/// reproduction prints its series through this type so the output matches
+/// the row/series structure the paper reports, and can also be dumped as
+/// CSV for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spio {
+
+/// A simple table: a title, a header row and data rows of strings.
+/// Cells are formatted by the caller via the typed `add_*` helpers.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Begin a new row; subsequent `add_*` calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add_int(long long v);
+  /// Fixed-precision floating point cell.
+  Table& add_double(double v, int precision = 3);
+  /// Scientific-looking compact cell for values spanning many decades.
+  Table& add_sci(double v, int precision = 3);
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Render with aligned columns, including title and header rule.
+  void print(std::ostream& os) const;
+  /// Render as RFC-4180-ish CSV (no quoting of commas; cells are numeric).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spio

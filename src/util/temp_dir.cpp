@@ -1,0 +1,60 @@
+#include "util/temp_dir.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+namespace {
+std::atomic<unsigned> g_counter{0};
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  const auto base = std::filesystem::temp_directory_path();
+  const auto stamp = std::chrono::steady_clock::now().time_since_epoch().count();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto candidate =
+        base / (prefix + "-" + std::to_string(stamp) + "-" +
+                std::to_string(g_counter.fetch_add(1)));
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec) && !ec) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw IoError("could not create a unique temp directory under " +
+                base.string());
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort in a destructor
+  }
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+std::filesystem::path TempDir::release() {
+  auto p = std::move(path_);
+  path_.clear();
+  return p;
+}
+
+}  // namespace spio

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file temp_dir.hpp
+/// RAII scratch directory used by tests, examples and the functional
+/// benchmarks that write real dataset files.
+
+#include <filesystem>
+#include <string>
+
+namespace spio {
+
+/// Creates a unique directory under the system temp path on construction
+/// and removes it (recursively) on destruction. Move-only.
+class TempDir {
+ public:
+  /// `prefix` is embedded in the directory name to aid debugging.
+  explicit TempDir(const std::string& prefix = "spio");
+  ~TempDir();
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  /// Convenience: `path() / name`.
+  std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+  /// Release ownership: the directory will not be deleted on destruction.
+  std::filesystem::path release();
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace spio

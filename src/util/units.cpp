@@ -1,0 +1,38 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace spio {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (b >= kGiB)
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", b / kGiB);
+  else if (b >= kMiB)
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / kMiB);
+  else if (b >= kKiB)
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / kKiB);
+  else
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+double throughput_gbs(std::uint64_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / kGB / seconds;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  else if (seconds < 1.0)
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  return buf;
+}
+
+}  // namespace spio

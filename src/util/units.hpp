@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file units.hpp
+/// Byte-size and throughput formatting helpers, and the constants used to
+/// translate between the paper's units (GB/s, MB per core) and bytes.
+
+#include <cstdint>
+#include <string>
+
+namespace spio {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+/// The paper reports GB/s in the decimal-ish HPC convention; we follow the
+/// binary convention consistently and note it in EXPERIMENTS.md.
+inline constexpr double kGB = kGiB;
+
+/// Human-readable byte count, e.g. "4.0 MiB", "1.5 GiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Throughput in GB/s from bytes and seconds. Returns 0 for t <= 0.
+double throughput_gbs(std::uint64_t bytes, double seconds);
+
+/// Human readable seconds, e.g. "33.1 ms", "2.5 s".
+std::string format_seconds(double seconds);
+
+}  // namespace spio

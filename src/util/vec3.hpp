@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Small fixed-size 3D vector used for particle positions, domain extents
+/// and integer grid coordinates throughout the library.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace spio {
+
+/// A trivially-copyable 3-component vector.
+///
+/// Instantiated as `Vec3d` (positions, physical extents) and `Vec3i`
+/// (process-grid and aggregation-grid coordinates). The type is kept
+/// aggregate/trivial so buffers of positions can be exchanged as raw bytes
+/// by the message-passing layer.
+template <typename T>
+struct Vec3 {
+  T x{};
+  T y{};
+  T z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  /// Broadcast constructor: all three components equal to `v`.
+  constexpr explicit Vec3(T v) : x(v), y(v), z(v) {}
+
+  constexpr T& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {static_cast<T>(x + o.x), static_cast<T>(y + o.y),
+            static_cast<T>(z + o.z)};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {static_cast<T>(x - o.x), static_cast<T>(y - o.y),
+            static_cast<T>(z - o.z)};
+  }
+  constexpr Vec3 operator*(T s) const {
+    return {static_cast<T>(x * s), static_cast<T>(y * s),
+            static_cast<T>(z * s)};
+  }
+  constexpr Vec3 operator/(T s) const {
+    return {static_cast<T>(x / s), static_cast<T>(y / s),
+            static_cast<T>(z / s)};
+  }
+  /// Component-wise product.
+  constexpr Vec3 operator*(const Vec3& o) const {
+    return {static_cast<T>(x * o.x), static_cast<T>(y * o.y),
+            static_cast<T>(z * o.z)};
+  }
+  /// Component-wise quotient.
+  constexpr Vec3 operator/(const Vec3& o) const {
+    return {static_cast<T>(x / o.x), static_cast<T>(y / o.y),
+            static_cast<T>(z / o.z)};
+  }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+
+  /// Product of the three components (grid cell counts, volumes).
+  constexpr T product() const { return x * y * z; }
+  /// Sum of the three components.
+  constexpr T sum() const { return x + y + z; }
+  /// Largest component value.
+  constexpr T max_component() const { return std::max({x, y, z}); }
+  /// Smallest component value.
+  constexpr T min_component() const { return std::min({x, y, z}); }
+  /// Index (0..2) of the largest component; ties resolve to the lowest axis.
+  constexpr int max_axis() const {
+    if (x >= y && x >= z) return 0;
+    if (y >= z) return 1;
+    return 2;
+  }
+
+  /// Component-wise minimum of two vectors.
+  static constexpr Vec3 min(const Vec3& a, const Vec3& b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+  }
+  /// Component-wise maximum of two vectors.
+  static constexpr Vec3 max(const Vec3& a, const Vec3& b) {
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+  }
+
+  template <typename U>
+  constexpr Vec3<U> cast() const {
+    return {static_cast<U>(x), static_cast<U>(y), static_cast<U>(z)};
+  }
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vec3<T>& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<std::int64_t>;
+
+/// Euclidean length of a double vector.
+inline double length(const Vec3d& v) {
+  return std::sqrt(v.x * v.x + v.y * v.y + v.z * v.z);
+}
+
+/// Euclidean distance between two points.
+inline double distance(const Vec3d& a, const Vec3d& b) { return length(a - b); }
+
+static_assert(sizeof(Vec3d) == 3 * sizeof(double),
+              "Vec3d must be tightly packed for raw byte exchange");
+
+}  // namespace spio

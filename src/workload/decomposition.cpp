@@ -1,0 +1,94 @@
+#include "workload/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+PatchDecomposition::PatchDecomposition(const Box3& domain, const Vec3i& grid)
+    : domain_(domain), grid_(grid) {
+  SPIO_CHECK(!domain.is_empty(), ConfigError, "domain must be non-empty");
+  SPIO_CHECK(grid.x >= 1 && grid.y >= 1 && grid.z >= 1, ConfigError,
+             "process grid must be at least 1 in every axis, got " << grid);
+}
+
+PatchDecomposition PatchDecomposition::for_ranks(const Box3& domain,
+                                                 int nranks) {
+  SPIO_CHECK(nranks > 0, ConfigError, "rank count must be positive");
+  return PatchDecomposition(domain, near_cubic_factors(nranks));
+}
+
+Vec3d PatchDecomposition::patch_size() const {
+  return domain_.size() / grid_.cast<double>();
+}
+
+Vec3i PatchDecomposition::coord_of(int rank) const {
+  SPIO_EXPECTS(rank >= 0 && rank < rank_count());
+  const std::int64_t r = rank;
+  return {r % grid_.x, (r / grid_.x) % grid_.y, r / (grid_.x * grid_.y)};
+}
+
+int PatchDecomposition::rank_of(const Vec3i& c) const {
+  SPIO_EXPECTS(c.x >= 0 && c.x < grid_.x);
+  SPIO_EXPECTS(c.y >= 0 && c.y < grid_.y);
+  SPIO_EXPECTS(c.z >= 0 && c.z < grid_.z);
+  return static_cast<int>(c.x + grid_.x * (c.y + grid_.y * c.z));
+}
+
+Box3 PatchDecomposition::patch(int rank) const {
+  const Vec3i c = coord_of(rank);
+  const Vec3d dsize = domain_.size();
+  auto edge = [&](std::int64_t i, std::int64_t n, int axis) {
+    return domain_.lo[axis] +
+           dsize[axis] * (static_cast<double>(i) / static_cast<double>(n));
+  };
+  Box3 b;
+  for (int a = 0; a < 3; ++a) {
+    b.lo[a] = edge(c[a], grid_[a], a);
+    b.hi[a] = edge(c[a] + 1, grid_[a], a);
+  }
+  return b;
+}
+
+Vec3i PatchDecomposition::cell_of(const Vec3d& p) const {
+  Vec3i c;
+  const Vec3d rel = (p - domain_.lo) / domain_.size();
+  for (int a = 0; a < 3; ++a) {
+    auto i = static_cast<std::int64_t>(
+        std::floor(rel[a] * static_cast<double>(grid_[a])));
+    c[a] = std::clamp<std::int64_t>(i, 0, grid_[a] - 1);
+  }
+  return c;
+}
+
+Vec3i near_cubic_factors(int n) {
+  SPIO_EXPECTS(n > 0);
+  // Greedy: pick the divisor of n closest to its cube root, recurse on the
+  // remaining product with the square root.
+  auto closest_divisor = [](int m, double target) {
+    int best = 1;
+    double best_dist = std::abs(target - 1.0);
+    for (int d = 1; d <= m; ++d) {
+      if (m % d != 0) continue;
+      const double dist = std::abs(target - static_cast<double>(d));
+      if (dist < best_dist) {
+        best = d;
+        best_dist = dist;
+      }
+    }
+    return best;
+  };
+  const int fx = closest_divisor(n, std::cbrt(static_cast<double>(n)));
+  const int rest = n / fx;
+  const int fy = closest_divisor(rest, std::sqrt(static_cast<double>(rest)));
+  const int fz = rest / fy;
+  Vec3i f{fx, fy, fz};
+  // Sort descending so the x axis gets the largest extent.
+  std::int64_t v[3] = {f.x, f.y, f.z};
+  std::sort(v, v + 3, std::greater<>());
+  return {v[0], v[1], v[2]};
+}
+
+}  // namespace spio

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file decomposition.hpp
+/// Uniform block decomposition of the simulation domain across ranks: an
+/// `nx × ny × nz` process grid of equally-sized axis-aligned patches. This
+/// is the simulation-side partitioning that the aggregation grid aligns
+/// itself with (paper §3.1).
+
+#include <cstdint>
+
+#include "util/box.hpp"
+#include "util/vec3.hpp"
+
+namespace spio {
+
+class PatchDecomposition {
+ public:
+  /// \param domain physical extent of the whole simulation
+  /// \param grid number of processes along each axis (all >= 1)
+  PatchDecomposition(const Box3& domain, const Vec3i& grid);
+
+  /// Factor `nranks` into a near-cubic process grid (largest factors on x)
+  /// and build the decomposition. Throws `ConfigError` if nranks <= 0.
+  static PatchDecomposition for_ranks(const Box3& domain, int nranks);
+
+  const Box3& domain() const { return domain_; }
+  const Vec3i& grid() const { return grid_; }
+  int rank_count() const { return static_cast<int>(grid_.product()); }
+
+  /// Physical size of one patch.
+  Vec3d patch_size() const;
+
+  /// Grid coordinate of `rank` (x varies fastest).
+  Vec3i coord_of(int rank) const;
+  /// Rank owning grid coordinate `c`.
+  int rank_of(const Vec3i& c) const;
+
+  /// Physical extent of `rank`'s patch. The patch at the domain's upper
+  /// boundary is computed from exact fractions so that patch unions tile
+  /// the domain without gaps.
+  Box3 patch(int rank) const;
+
+  /// Grid coordinate of the patch containing point `p` (clamped to the
+  /// domain boundary so points exactly on `domain.hi` map to the last
+  /// patch).
+  Vec3i cell_of(const Vec3d& p) const;
+
+  bool operator==(const PatchDecomposition& o) const = default;
+
+ private:
+  Box3 domain_;
+  Vec3i grid_;
+};
+
+/// Factor `n` into three near-equal factors, sorted descending.
+/// Used by `PatchDecomposition::for_ranks` and by readers choosing a
+/// process grid for parallel queries.
+Vec3i near_cubic_factors(int n);
+
+}  // namespace spio

@@ -1,0 +1,184 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace spio::workload {
+
+namespace {
+
+/// Clamp a coordinate strictly inside [lo, hi) so half-open partition
+/// membership is unambiguous.
+double clamp_open(double v, double lo, double hi) {
+  const double eps = (hi - lo) * 1e-12;
+  return std::clamp(v, lo, hi - eps);
+}
+
+Vec3d clamp_into(const Box3& box, Vec3d p) {
+  for (int a = 0; a < 3; ++a) p[a] = clamp_open(p[a], box.lo[a], box.hi[a]);
+  return p;
+}
+
+void append_particle(ParticleBuffer& buf, const Vec3d& pos, std::uint64_t id,
+                     Xoshiro256& rng) {
+  const std::size_t i = buf.size();
+  buf.append_uninitialized();
+  buf.set_position(i, pos);
+  fill_attributes(buf, i, id, rng);
+}
+
+}  // namespace
+
+void fill_attributes(ParticleBuffer& buf, std::size_t i, std::uint64_t id,
+                     Xoshiro256& rng) {
+  const Schema& s = buf.schema();
+  for (std::size_t f = 1; f < s.field_count(); ++f) {
+    const FieldDesc& fd = s.fields()[f];
+    if (fd.name == "stress") {
+      // Symmetric-ish tensor with dominant diagonal, like an MPM stress.
+      for (std::uint32_t c = 0; c < fd.components; ++c) {
+        const bool diag = (fd.components == 9) && (c % 4 == 0);
+        buf.set_f64(i, f, c, (diag ? 1.0e5 : 1.0e3) * rng.normal());
+      }
+    } else if (fd.name == "density") {
+      buf.set_f64(i, f, 0, 1000.0 + 50.0 * rng.normal());
+    } else if (fd.name == "volume") {
+      buf.set_f64(i, f, 0, 1e-9 * (1.0 + 0.1 * rng.uniform()));
+    } else if (fd.name == "id") {
+      buf.set_f64(i, f, 0, static_cast<double>(id));
+    } else if (fd.name == "type" && fd.type == FieldType::kF32) {
+      buf.set_f32(i, f, 0, static_cast<float>(rng.uniform_index(4)));
+    } else {
+      // Unknown attribute: fill with uniform noise of the right type.
+      for (std::uint32_t c = 0; c < fd.components; ++c) {
+        if (fd.type == FieldType::kF64)
+          buf.set_f64(i, f, c, rng.uniform());
+        else
+          buf.set_f32(i, f, c, static_cast<float>(rng.uniform()));
+      }
+    }
+  }
+}
+
+ParticleBuffer uniform(const Schema& schema, const Box3& patch,
+                       std::uint64_t count, std::uint64_t seed,
+                       std::uint64_t first_id) {
+  SPIO_EXPECTS(!patch.is_empty());
+  ParticleBuffer buf(schema);
+  buf.reserve(count);
+  Xoshiro256 rng(seed);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    Vec3d p;
+    for (int a = 0; a < 3; ++a)
+      p[a] = clamp_open(rng.uniform(patch.lo[a], patch.hi[a]), patch.lo[a],
+                        patch.hi[a]);
+    append_particle(buf, p, first_id + k, rng);
+  }
+  return buf;
+}
+
+ParticleBuffer gaussian_clusters(const Schema& schema, const Box3& patch,
+                                 std::uint64_t count, int clusters,
+                                 double sigma_frac, std::uint64_t seed,
+                                 std::uint64_t first_id) {
+  SPIO_EXPECTS(!patch.is_empty());
+  SPIO_EXPECTS(clusters > 0);
+  SPIO_EXPECTS(sigma_frac > 0.0);
+  ParticleBuffer buf(schema);
+  buf.reserve(count);
+  Xoshiro256 rng(seed);
+
+  std::vector<Vec3d> centers;
+  centers.reserve(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    Vec3d ctr;
+    for (int a = 0; a < 3; ++a) ctr[a] = rng.uniform(patch.lo[a], patch.hi[a]);
+    centers.push_back(ctr);
+  }
+  const Vec3d sigma = patch.size() * sigma_frac;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const Vec3d& ctr =
+        centers[static_cast<std::size_t>(rng.uniform_index(centers.size()))];
+    Vec3d p;
+    for (int a = 0; a < 3; ++a) p[a] = ctr[a] + sigma[a] * rng.normal();
+    append_particle(buf, clamp_into(patch, p), first_id + k, rng);
+  }
+  return buf;
+}
+
+Box3 coverage_region(const Box3& domain, double coverage) {
+  SPIO_EXPECTS(coverage > 0.0 && coverage <= 1.0);
+  Box3 region = domain;
+  region.hi.x = domain.lo.x + domain.size().x * coverage;
+  return region;
+}
+
+ParticleBuffer uniform_in_region(const Schema& schema, const Box3& patch,
+                                 const Box3& region, std::uint64_t count,
+                                 std::uint64_t seed, std::uint64_t first_id) {
+  const Box3 live = Box3::intersection(patch, region);
+  if (live.is_empty() || count == 0) return ParticleBuffer(schema);
+  return uniform(schema, live, count, seed, first_id);
+}
+
+ParticleBuffer plummer_sphere(const Schema& schema, const Box3& patch,
+                              std::uint64_t count, double scale_frac,
+                              std::uint64_t seed, std::uint64_t first_id) {
+  SPIO_EXPECTS(!patch.is_empty());
+  SPIO_EXPECTS(scale_frac > 0.0);
+  ParticleBuffer buf(schema);
+  buf.reserve(count);
+  Xoshiro256 rng(seed);
+  const Vec3d center = patch.center();
+  const double a = scale_frac * patch.size().min_component();
+  for (std::uint64_t k = 0; k < count; ++k) {
+    // Inverse-CDF sampling of the Plummer radial profile:
+    // r = a / sqrt(u^(-2/3) - 1) for u uniform in (0, 1).
+    double u = rng.uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    const double r = a / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    // Uniform direction on the sphere.
+    const double cos_t = rng.uniform(-1.0, 1.0);
+    const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+    const double phi = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const Vec3d p{center.x + r * sin_t * std::cos(phi),
+                  center.y + r * sin_t * std::sin(phi),
+                  center.z + r * cos_t};
+    append_particle(buf, clamp_into(patch, p), first_id + k, rng);
+  }
+  return buf;
+}
+
+ParticleBuffer injection(const Schema& schema, const Box3& patch,
+                         const Box3& domain, double t01, std::uint64_t count,
+                         std::uint64_t seed, std::uint64_t first_id) {
+  SPIO_EXPECTS(t01 >= 0.0 && t01 <= 1.0);
+  if (t01 <= 0.0) return ParticleBuffer(schema);
+  const Box3 front = coverage_region(domain, t01);
+  const Box3 live = Box3::intersection(patch, front);
+  if (live.is_empty()) return ParticleBuffer(schema);
+
+  ParticleBuffer buf(schema);
+  buf.reserve(count);
+  Xoshiro256 rng(seed);
+  const double x0 = domain.lo.x;
+  const double front_x = front.hi.x;
+  std::uint64_t id = first_id;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    Vec3d p;
+    for (int a = 0; a < 3; ++a)
+      p[a] = clamp_open(rng.uniform(live.lo[a], live.hi[a]), live.lo[a],
+                        live.hi[a]);
+    // Density decays linearly toward the jet front: keep a particle with
+    // probability (1 - progress/2), so the inlet is denser than the front.
+    const double progress = (p.x - x0) / std::max(front_x - x0, 1e-300);
+    if (rng.uniform() < 1.0 - 0.5 * progress) {
+      append_particle(buf, p, id++, rng);
+    }
+  }
+  return buf;
+}
+
+}  // namespace spio::workload

@@ -1,0 +1,76 @@
+#include "workload/schema.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+Schema::Schema(std::vector<FieldDesc> fields) : fields_(std::move(fields)) {
+  SPIO_CHECK(!fields_.empty(), ConfigError, "schema must have fields");
+  SPIO_CHECK(fields_.front().name == "position" &&
+                 fields_.front().type == FieldType::kF64 &&
+                 fields_.front().components == 3,
+             ConfigError,
+             "schema must begin with field 'position' (f64 x3)");
+  std::unordered_set<std::string> names;
+  offsets_.reserve(fields_.size());
+  for (const FieldDesc& f : fields_) {
+    SPIO_CHECK(f.components > 0, ConfigError,
+               "field '" << f.name << "' has zero components");
+    SPIO_CHECK(names.insert(f.name).second, ConfigError,
+               "duplicate field name '" << f.name << "'");
+    offsets_.push_back(record_size_);
+    record_size_ += f.byte_size();
+  }
+}
+
+Schema Schema::uintah() {
+  return Schema({
+      {"position", FieldType::kF64, 3},
+      {"stress", FieldType::kF64, 9},
+      {"density", FieldType::kF64, 1},
+      {"volume", FieldType::kF64, 1},
+      {"id", FieldType::kF64, 1},
+      {"type", FieldType::kF32, 1},
+  });
+}
+
+Schema Schema::position_only() {
+  return Schema({{"position", FieldType::kF64, 3}});
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i)
+    if (fields_[i].name == name) return i;
+  throw ConfigError("schema has no field named '" + name + "'");
+}
+
+void Schema::serialize(BinaryWriter& w) const {
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(fields_.size()));
+  for (const FieldDesc& f : fields_) {
+    w.write_string(f.name);
+    w.write<std::uint8_t>(static_cast<std::uint8_t>(f.type));
+    w.write<std::uint32_t>(f.components);
+  }
+}
+
+Schema Schema::deserialize(BinaryReader& r) {
+  const auto n = r.read<std::uint32_t>();
+  SPIO_CHECK(n > 0 && n < 4096, FormatError,
+             "implausible schema field count " << n);
+  std::vector<FieldDesc> fields;
+  fields.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    FieldDesc f;
+    f.name = r.read_string();
+    const auto t = r.read<std::uint8_t>();
+    SPIO_CHECK(t <= 1, FormatError, "unknown field type tag " << int(t));
+    f.type = static_cast<FieldType>(t);
+    f.components = r.read<std::uint32_t>();
+    fields.push_back(std::move(f));
+  }
+  return Schema(std::move(fields));
+}
+
+}  // namespace spio

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file schema.hpp
+/// Particle record schemas. A schema is an ordered list of named fields,
+/// each with an element type and component count; records are stored AoS
+/// (array of structures), which is how simulation codes hand their
+/// per-particle state to the I/O layer.
+///
+/// The default schema reproduces the paper's evaluation workload (§5.1):
+/// 15 double-precision values (position ×3, stress tensor ×9, density,
+/// volume, ID) and one single-precision value (type) = 124 bytes/particle.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace spio {
+
+/// Element type of a field.
+enum class FieldType : std::uint8_t {
+  kF32 = 0,
+  kF64 = 1,
+};
+
+/// Size in bytes of one element of `t`.
+constexpr std::size_t field_type_size(FieldType t) {
+  return t == FieldType::kF32 ? 4 : 8;
+}
+
+/// One named field of a particle record.
+struct FieldDesc {
+  std::string name;
+  FieldType type = FieldType::kF64;
+  std::uint32_t components = 1;
+
+  bool operator==(const FieldDesc&) const = default;
+
+  std::size_t byte_size() const {
+    return field_type_size(type) * components;
+  }
+};
+
+/// An ordered collection of fields defining the particle record layout.
+///
+/// Invariant: the first field is named "position" with type f64 ×3; the
+/// spatial I/O layer needs a position to place each particle.
+class Schema {
+ public:
+  /// Builds a schema; validates the position invariant and uniqueness of
+  /// field names. Throws `ConfigError` on violation.
+  explicit Schema(std::vector<FieldDesc> fields);
+
+  /// The paper's Uintah-representative schema: position f64x3,
+  /// stress f64x9, density f64, volume f64, id f64, type f32.
+  static Schema uintah();
+
+  /// Minimal schema: position only (24 B/particle). Used by tests that do
+  /// not care about attribute payloads.
+  static Schema position_only();
+
+  const std::vector<FieldDesc>& fields() const { return fields_; }
+  std::size_t field_count() const { return fields_.size(); }
+
+  /// Bytes per particle record.
+  std::size_t record_size() const { return record_size_; }
+
+  /// Byte offset of field `i` within a record.
+  std::size_t offset(std::size_t i) const { return offsets_[i]; }
+
+  /// Index of the field with `name`; throws `ConfigError` if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  bool operator==(const Schema& o) const { return fields_ == o.fields_; }
+
+  /// Serialize to / parse from the metadata file payload.
+  void serialize(BinaryWriter& w) const;
+  static Schema deserialize(BinaryReader& r);
+
+ private:
+  std::vector<FieldDesc> fields_;
+  std::vector<std::size_t> offsets_;
+  std::size_t record_size_ = 0;
+};
+
+}  // namespace spio

@@ -1,0 +1,149 @@
+#include "baselines/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/fpp.hpp"
+#include "baselines/rank_order.hpp"
+#include "baselines/shared_file.hpp"
+#include "core/reader.hpp"
+#include "core/validate.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/decomposition.hpp"
+#include "workload/generators.hpp"
+
+namespace spio::baselines {
+namespace {
+
+constexpr int kWriters = 8;
+constexpr std::uint64_t kPerRank = 300;
+
+const PatchDecomposition& legacy_decomp() {
+  static const PatchDecomposition d(Box3({0, 0, 0}, {4, 4, 4}), {2, 2, 2});
+  return d;
+}
+
+ParticleBuffer legacy_particles(int rank) {
+  return workload::uniform(
+      Schema::uintah(), legacy_decomp().patch(rank), kPerRank,
+      stream_seed(91, static_cast<std::uint64_t>(rank)),
+      static_cast<std::uint64_t>(rank) * kPerRank);
+}
+
+std::set<double> id_set(const ParticleBuffer& buf) {
+  const auto id = buf.schema().index_of("id");
+  std::set<double> out;
+  for (std::size_t i = 0; i < buf.size(); ++i) out.insert(buf.get_f64(i, id));
+  return out;
+}
+
+class Convert : public ::testing::TestWithParam<LegacyFormat> {
+ protected:
+  TempDir write_legacy(LegacyFormat format) {
+    TempDir dir("convert-src");
+    simmpi::run(kWriters, [&](simmpi::Comm& comm) {
+      const ParticleBuffer local = legacy_particles(comm.rank());
+      switch (format) {
+        case LegacyFormat::kFilePerProcess:
+          fpp_write(comm, local, dir.path());
+          break;
+        case LegacyFormat::kSharedFile:
+          shared_write(comm, local, dir.path());
+          break;
+        case LegacyFormat::kRankOrder:
+          rank_order_write(comm, local, dir.path(), 2);
+          break;
+      }
+    });
+    return dir;
+  }
+};
+
+TEST_P(Convert, ProducesAValidEquivalentSpioDataset) {
+  const TempDir src = write_legacy(GetParam());
+  TempDir dst("convert-dst");
+
+  WriterConfig cfg;
+  cfg.dir = dst.path();
+  cfg.factor = {2, 2, 1};
+  ConvertResult result;
+  // Convert with a *different* rank count than wrote the legacy data.
+  simmpi::run(4, [&](simmpi::Comm& comm) {
+    const ConvertResult r = convert_to_spio(comm, GetParam(), src.path(), cfg);
+    if (comm.rank() == 0) result = r;
+  });
+  EXPECT_EQ(result.particles, kWriters * kPerRank);
+
+  // The converted dataset is valid and holds exactly the legacy ids.
+  const auto report = validate_dataset(dst.path(), /*deep=*/true);
+  EXPECT_TRUE(report.ok()) << report.errors.front();
+  const Dataset ds = Dataset::open(dst.path());
+  EXPECT_EQ(ds.metadata().total_particles, kWriters * kPerRank);
+
+  std::set<double> expect;
+  for (int r = 0; r < kWriters; ++r) {
+    const auto ids = id_set(legacy_particles(r));
+    expect.insert(ids.begin(), ids.end());
+  }
+  EXPECT_EQ(id_set(ds.query_box(ds.metadata().domain)), expect);
+
+  // And it is spatially queryable: a sub-box returns a proper subset.
+  const auto sub = ds.query_box(Box3({0, 0, 0}, {2, 2, 2}));
+  EXPECT_GT(sub.size(), 0u);
+  EXPECT_LT(sub.size(), kWriters * kPerRank);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, Convert,
+                         ::testing::Values(LegacyFormat::kFilePerProcess,
+                                           LegacyFormat::kSharedFile,
+                                           LegacyFormat::kRankOrder),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case LegacyFormat::kFilePerProcess:
+                               return "fpp";
+                             case LegacyFormat::kSharedFile:
+                               return "shared";
+                             case LegacyFormat::kRankOrder:
+                               return "rankorder";
+                           }
+                           return "unknown";
+                         });
+
+TEST(ConvertEdge, EmptySourceRejected) {
+  TempDir src("convert-empty");
+  // Legacy FPP dataset with zero particles everywhere.
+  simmpi::run(2, [&](simmpi::Comm& comm) {
+    fpp_write(comm, ParticleBuffer(Schema::uintah()), src.path());
+  });
+  TempDir dst("convert-empty-dst");
+  WriterConfig cfg;
+  cfg.dir = dst.path();
+  EXPECT_THROW(
+      simmpi::run(2,
+                  [&](simmpi::Comm& comm) {
+                    convert_to_spio(comm, LegacyFormat::kFilePerProcess,
+                                    src.path(), cfg);
+                  }),
+      ConfigError);
+}
+
+TEST(ConvertEdge, MoreConvertersThanFiles) {
+  TempDir src("convert-few");
+  simmpi::run(2, [&](simmpi::Comm& comm) {
+    fpp_write(comm, legacy_particles(comm.rank()), src.path());
+  });
+  TempDir dst("convert-few-dst");
+  WriterConfig cfg;
+  cfg.dir = dst.path();
+  cfg.factor = {1, 1, 1};
+  simmpi::run(6, [&](simmpi::Comm& comm) {
+    convert_to_spio(comm, LegacyFormat::kFilePerProcess, src.path(), cfg);
+  });
+  EXPECT_EQ(Dataset::open(dst.path()).metadata().total_particles,
+            2 * kPerRank);
+}
+
+}  // namespace
+}  // namespace spio::baselines

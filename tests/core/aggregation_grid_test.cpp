@@ -1,0 +1,150 @@
+#include "core/aggregation_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spio {
+namespace {
+
+TEST(AggregationGrid, UniformPartitionBoxesTileRegion) {
+  const Box3 region({0, 0, 0}, {8, 4, 2});
+  const AggregationGrid g(region, {4, 2, 1});
+  EXPECT_EQ(g.partition_count(), 8);
+  double vol = 0;
+  for (int p = 0; p < g.partition_count(); ++p) {
+    const Box3 b = g.partition_box(p);
+    EXPECT_TRUE(region.contains_box(b));
+    vol += b.volume();
+  }
+  EXPECT_NEAR(vol, region.volume(), 1e-9);
+  EXPECT_EQ(g.region(), region);
+}
+
+TEST(AggregationGrid, PartitionBoxesAreDisjoint) {
+  const AggregationGrid g(Box3::unit(), {2, 2, 2});
+  for (int a = 0; a < g.partition_count(); ++a)
+    for (int b = a + 1; b < g.partition_count(); ++b)
+      EXPECT_FALSE(g.partition_box(a).overlaps(g.partition_box(b)));
+}
+
+TEST(AggregationGrid, PointLocationConsistentWithBoxes) {
+  const AggregationGrid g(Box3({-1, -1, -1}, {1, 1, 1}), {3, 2, 4});
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3d p{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const int idx = g.partition_of_point(p);
+    EXPECT_TRUE(g.partition_box(idx).contains(p)) << p;
+  }
+}
+
+TEST(AggregationGrid, UpperDomainFaceClampsToLastPartition) {
+  const AggregationGrid g(Box3::unit(), {2, 2, 2});
+  EXPECT_EQ(g.partition_of_point({1, 1, 1}), g.partition_count() - 1);
+  EXPECT_EQ(g.partition_of_point({0, 0, 0}), 0);
+  // Points outside the region clamp to boundary partitions.
+  EXPECT_EQ(g.partition_of_point({-5, -5, -5}), 0);
+  EXPECT_EQ(g.partition_of_point({5, 5, 5}), g.partition_count() - 1);
+}
+
+TEST(AggregationGrid, CoordIndexRoundTrip) {
+  const AggregationGrid g(Box3::unit(), {3, 4, 5});
+  for (int p = 0; p < g.partition_count(); ++p)
+    EXPECT_EQ(g.index_of(g.coord_of(p)), p);
+}
+
+TEST(AggregationGrid, AlignedPartitionCountMatchesFileCountLaw) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 2});
+  for (const PartitionFactor f :
+       {PartitionFactor{1, 1, 1}, {2, 2, 2}, {2, 2, 1}, {4, 4, 2}, {3, 3, 2}}) {
+    const AggregationGrid g = AggregationGrid::aligned(decomp, f);
+    EXPECT_EQ(g.partition_count(), file_count(decomp.grid(), f))
+        << f.to_string();
+  }
+}
+
+TEST(AggregationGrid, AlignedBoundariesSitOnPatchBoundaries) {
+  const PatchDecomposition decomp(Box3({0, 0, 0}, {8, 8, 8}), {4, 4, 4});
+  const AggregationGrid g =
+      AggregationGrid::aligned(decomp, PartitionFactor{2, 2, 2});
+  EXPECT_EQ(g.dims(), Vec3i(2, 2, 2));
+  // Partition 0 covers exactly the 2x2x2 block of patches at the origin.
+  EXPECT_EQ(g.partition_box(0), Box3({0, 0, 0}, {4, 4, 4}));
+}
+
+TEST(AggregationGrid, AlignedWithNonDividingFactorTakesRemainder) {
+  const PatchDecomposition decomp(Box3({0, 0, 0}, {5, 1, 1}), {5, 1, 1});
+  const AggregationGrid g =
+      AggregationGrid::aligned(decomp, PartitionFactor{2, 1, 1});
+  EXPECT_EQ(g.dims(), Vec3i(3, 1, 1));
+  EXPECT_EQ(g.partition_box(0), Box3({0, 0, 0}, {2, 1, 1}));
+  EXPECT_EQ(g.partition_box(1), Box3({2, 0, 0}, {4, 1, 1}));
+  EXPECT_EQ(g.partition_box(2), Box3({4, 0, 0}, {5, 1, 1}));  // remainder
+}
+
+TEST(AggregationGrid, EveryPatchInsideExactlyOnePartitionWhenAligned) {
+  const PatchDecomposition decomp(Box3::unit(), {6, 4, 2});
+  const AggregationGrid g =
+      AggregationGrid::aligned(decomp, PartitionFactor{3, 2, 2});
+  EXPECT_TRUE(g.is_aligned_with(decomp));
+  for (int r = 0; r < decomp.rank_count(); ++r) {
+    const Box3 patch = decomp.patch(r);
+    const int p = g.partition_of_point(patch.center());
+    EXPECT_TRUE(g.partition_box(p).contains_box(patch)) << "rank " << r;
+  }
+}
+
+TEST(AggregationGrid, MisalignedGridDetected) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+  // A 3x3 partitioning of the unit square does not align with 4x4 patches.
+  const AggregationGrid g(Box3::unit(), {3, 3, 1});
+  EXPECT_FALSE(g.is_aligned_with(decomp));
+}
+
+TEST(AggregationGrid, RejectsInvalidConstruction) {
+  EXPECT_THROW(AggregationGrid(Box3::empty(), {1, 1, 1}), ConfigError);
+  EXPECT_THROW(AggregationGrid(Box3::unit(), {0, 1, 1}), ConfigError);
+}
+
+TEST(AggregatorSelection, PaperExampleSixteenRanksFourPartitions) {
+  // §3.2: "with 16 participating processes and 4 aggregation partitions,
+  // we assign processes with ranks 0, 4, 8 and 12".
+  EXPECT_EQ(select_aggregators_uniform(16, 4),
+            (std::vector<int>{0, 4, 8, 12}));
+}
+
+TEST(AggregatorSelection, UniformCoversRankSpaceWithoutDuplicates) {
+  for (const auto& [n, k] : {std::pair{64, 8}, {100, 7}, {12, 12}, {9, 1}}) {
+    const auto aggs = select_aggregators_uniform(n, k);
+    ASSERT_EQ(aggs.size(), static_cast<std::size_t>(k));
+    std::set<int> unique(aggs.begin(), aggs.end());
+    EXPECT_EQ(unique.size(), aggs.size());
+    for (int a : aggs) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, n);
+    }
+    // Uniform spread: consecutive aggregators are ~n/k apart.
+    for (std::size_t i = 1; i < aggs.size(); ++i)
+      EXPECT_NEAR(aggs[i] - aggs[i - 1], n / k, 1.0);
+  }
+}
+
+TEST(AggregatorSelection, AllRanksAggregateAtFactorOne) {
+  const auto aggs = select_aggregators_uniform(8, 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(aggs[static_cast<std::size_t>(i)], i);
+}
+
+TEST(AggregatorSelection, PackedUsesLowRanks) {
+  EXPECT_EQ(select_aggregators_packed(16, 4), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AggregatorSelection, RejectsMorePartitionsThanRanks) {
+  EXPECT_THROW(select_aggregators_uniform(4, 5), ConfigError);
+  EXPECT_THROW(select_aggregators_uniform(4, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace spio

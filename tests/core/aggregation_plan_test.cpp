@@ -1,0 +1,198 @@
+#include "core/aggregation_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+TEST(NonAdaptivePlan, FactorOneMakesEveryRankItsOwnAggregator) {
+  const PatchDecomposition decomp(Box3::unit(), {2, 2, 2});
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, {1, 1, 1}, AggregatorPlacement::kUniform);
+  EXPECT_EQ(plan.partition_count(), 8);
+  EXPECT_TRUE(plan.aligned());
+  for (int r = 0; r < 8; ++r) {
+    const int p = plan.partition_owned_by(r);
+    ASSERT_GE(p, 0);
+    // The only sender of each partition is a single rank, and each rank
+    // targets exactly one partition.
+    EXPECT_EQ(plan.senders_of(p).size(), 1u);
+    EXPECT_EQ(plan.targets_of(r).size(), 1u);
+  }
+}
+
+TEST(NonAdaptivePlan, GroupsOfEightWithFactorTwo) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 4});
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, {2, 2, 2}, AggregatorPlacement::kUniform);
+  EXPECT_EQ(plan.partition_count(), 8);
+  for (int p = 0; p < plan.partition_count(); ++p)
+    EXPECT_EQ(plan.senders_of(p).size(), 8u);
+  // Every rank sends somewhere, to exactly one partition.
+  std::set<int> all_senders;
+  for (int p = 0; p < plan.partition_count(); ++p)
+    for (int s : plan.senders_of(p)) {
+      EXPECT_TRUE(all_senders.insert(s).second) << "rank in two partitions";
+    }
+  EXPECT_EQ(all_senders.size(), 64u);
+}
+
+TEST(NonAdaptivePlan, SendersAreSpatiallyCoherent) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, {2, 2, 1}, AggregatorPlacement::kUniform);
+  for (int p = 0; p < plan.partition_count(); ++p) {
+    const Box3 pbox = plan.grid().partition_box(p);
+    for (int s : plan.senders_of(p))
+      EXPECT_TRUE(pbox.contains_box(decomp.patch(s)));
+  }
+}
+
+TEST(NonAdaptivePlan, SenderAndTargetViewsAreConsistent) {
+  const PatchDecomposition decomp(Box3::unit(), {6, 2, 2});
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, {3, 2, 1}, AggregatorPlacement::kUniform);
+  for (int p = 0; p < plan.partition_count(); ++p)
+    for (int s : plan.senders_of(p)) {
+      const auto& t = plan.targets_of(s);
+      EXPECT_TRUE(std::find(t.begin(), t.end(), p) != t.end());
+    }
+  for (int r = 0; r < decomp.rank_count(); ++r)
+    for (int p : plan.targets_of(r)) {
+      const auto& s = plan.senders_of(p);
+      EXPECT_TRUE(std::find(s.begin(), s.end(), r) != s.end());
+    }
+}
+
+TEST(NonAdaptivePlan, PartitionOwnedByNonAggregatorIsMinusOne) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 2, 2});
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, {2, 2, 2}, AggregatorPlacement::kUniform);
+  // 2 partitions over 16 ranks -> aggregators 0 and 8.
+  EXPECT_EQ(plan.partition_owned_by(0), 0);
+  EXPECT_EQ(plan.partition_owned_by(8), 1);
+  EXPECT_EQ(plan.partition_owned_by(5), -1);
+}
+
+std::vector<RankExtent> extents_for(const PatchDecomposition& decomp,
+                                    const Box3& occupied_region,
+                                    std::uint64_t per_rank) {
+  std::vector<RankExtent> ex(static_cast<std::size_t>(decomp.rank_count()));
+  for (int r = 0; r < decomp.rank_count(); ++r) {
+    const Box3 live =
+        Box3::intersection(decomp.patch(r), occupied_region);
+    if (!live.is_empty()) {
+      ex[static_cast<std::size_t>(r)] = {live, per_rank};
+    } else {
+      ex[static_cast<std::size_t>(r)] = {Box3::empty(), 0};
+    }
+  }
+  return ex;
+}
+
+TEST(AdaptivePlan, CoversOnlyOccupiedRegion) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 4});
+  // Particles only in the x < 0.5 half.
+  const Box3 occupied({0, 0, 0}, {0.5, 1, 1});
+  const auto plan = AggregationPlan::adaptive(
+      decomp, {2, 2, 2}, AggregatorPlacement::kUniform,
+      extents_for(decomp, occupied, 100));
+  EXPECT_TRUE(plan.adaptive_mode());
+  EXPECT_FALSE(plan.aligned());
+  const Box3 region = plan.grid().region();
+  EXPECT_LE(region.hi.x, 0.5 + 1e-9);
+  // 32 occupied ranks, group size 8 -> 4 partitions.
+  EXPECT_EQ(plan.partition_count(), 4);
+}
+
+TEST(AdaptivePlan, AggregatorsSpreadOverFullRankSpace) {
+  // §6: "The adaptive grid places aggregators uniformly across the entire
+  // rank space" — even ranks that hold no particles may aggregate.
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 4});
+  const Box3 occupied({0, 0, 0}, {0.25, 1, 1});  // 16 occupied ranks
+  const auto plan = AggregationPlan::adaptive(
+      decomp, {2, 2, 2}, AggregatorPlacement::kUniform,
+      extents_for(decomp, occupied, 50));
+  EXPECT_EQ(plan.partition_count(), 2);
+  EXPECT_EQ(plan.aggregator_of(0), 0);
+  EXPECT_EQ(plan.aggregator_of(1), 32);  // spread over all 64 ranks
+}
+
+TEST(AdaptivePlan, EmptyRanksDoNotSend) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+  const Box3 occupied({0, 0, 0}, {0.5, 1, 1});
+  const auto plan = AggregationPlan::adaptive(
+      decomp, {2, 2, 1}, AggregatorPlacement::kUniform,
+      extents_for(decomp, occupied, 10));
+  for (int r = 0; r < decomp.rank_count(); ++r) {
+    const bool occupied_rank =
+        decomp.patch(r).overlaps(occupied);
+    if (!occupied_rank) {
+      EXPECT_TRUE(plan.targets_of(r).empty()) << "rank " << r;
+    } else {
+      EXPECT_FALSE(plan.targets_of(r).empty()) << "rank " << r;
+    }
+  }
+}
+
+TEST(AdaptivePlan, AllEmptyDatasetYieldsSingleIdlePartition) {
+  const PatchDecomposition decomp(Box3::unit(), {2, 2, 1});
+  std::vector<RankExtent> ex(4, {Box3::empty(), 0});
+  const auto plan = AggregationPlan::adaptive(
+      decomp, {2, 2, 1}, AggregatorPlacement::kUniform, ex);
+  EXPECT_EQ(plan.partition_count(), 1);
+  EXPECT_TRUE(plan.senders_of(0).empty());
+}
+
+TEST(AdaptivePlan, SinglePointDistributionHandled) {
+  // All particles at one point: tight bounds are degenerate.
+  const PatchDecomposition decomp(Box3::unit(), {2, 2, 1});
+  std::vector<RankExtent> ex(4, {Box3::empty(), 0});
+  const Vec3d pt{0.1, 0.1, 0.5};
+  ex[0] = {Box3(pt, pt), 42};
+  const auto plan = AggregationPlan::adaptive(
+      decomp, {2, 2, 1}, AggregatorPlacement::kUniform, ex);
+  EXPECT_EQ(plan.partition_count(), 1);
+  ASSERT_EQ(plan.senders_of(0).size(), 1u);
+  EXPECT_EQ(plan.senders_of(0)[0], 0);
+  // The grid must locate the point inside its (padded) region.
+  EXPECT_EQ(plan.grid().partition_of_point(pt), 0);
+}
+
+TEST(AdaptivePlan, PartitionCountScalesWithOccupiedRanks) {
+  const PatchDecomposition decomp(Box3::unit(), {8, 4, 4});  // 128 ranks
+  for (const double coverage : {1.0, 0.5, 0.25, 0.125}) {
+    const Box3 occ = workload::coverage_region(decomp.domain(), coverage);
+    const auto plan = AggregationPlan::adaptive(
+        decomp, {2, 2, 2}, AggregatorPlacement::kUniform,
+        extents_for(decomp, occ, 10));
+    const int occupied_ranks = static_cast<int>(128 * coverage);
+    EXPECT_EQ(plan.partition_count(), (occupied_ranks + 7) / 8)
+        << "coverage " << coverage;
+  }
+}
+
+TEST(AdaptivePlan, RejectsWrongExtentTableSize) {
+  const PatchDecomposition decomp(Box3::unit(), {2, 2, 1});
+  std::vector<RankExtent> ex(3);
+  EXPECT_THROW(AggregationPlan::adaptive(decomp, {1, 1, 1},
+                                         AggregatorPlacement::kUniform, ex),
+               ConfigError);
+}
+
+TEST(PlanPlacement, PackedVsUniform) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+  const auto uniform = AggregationPlan::non_adaptive(
+      decomp, {2, 2, 1}, AggregatorPlacement::kUniform);
+  const auto packed = AggregationPlan::non_adaptive(
+      decomp, {2, 2, 1}, AggregatorPlacement::kPacked);
+  EXPECT_EQ(uniform.aggregators(), (std::vector<int>{0, 4, 8, 12}));
+  EXPECT_EQ(packed.aggregators(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace spio

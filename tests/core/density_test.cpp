@@ -1,0 +1,94 @@
+#include "core/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+ParticleBuffer at_positions(std::initializer_list<Vec3d> points) {
+  ParticleBuffer buf(Schema::position_only());
+  std::size_t i = 0;
+  for (const Vec3d& p : points) {
+    buf.append_uninitialized();
+    buf.set_position(i++, p);
+  }
+  return buf;
+}
+
+TEST(DensityField, BinsAndNormalizes) {
+  DensityField f(Box3::unit(), {2, 1, 1});
+  f.add(at_positions({{0.1, 0.5, 0.5}, {0.2, 0.5, 0.5}, {0.9, 0.5, 0.5}}));
+  f.normalize();
+  ASSERT_EQ(f.bin_count(), 2u);
+  EXPECT_DOUBLE_EQ(f.values()[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f.values()[1], 1.0 / 3.0);
+  EXPECT_EQ(f.samples(), 3u);
+}
+
+TEST(DensityField, ClampsOutOfDomainPositions) {
+  DensityField f(Box3::unit(), {2, 2, 2});
+  f.add(at_positions({{-5, -5, -5}, {5, 5, 5}}));
+  f.normalize();
+  EXPECT_DOUBLE_EQ(f.values()[0], 0.5);          // clamped to first bin
+  EXPECT_DOUBLE_EQ(f.values().back(), 0.5);      // clamped to last bin
+}
+
+TEST(DensityField, PartialCountBinsPrefixOnly) {
+  DensityField f(Box3::unit(), {1, 1, 1});
+  f.add(at_positions({{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}}),
+        /*count=*/2);
+  EXPECT_EQ(f.samples(), 2u);
+}
+
+TEST(DensityField, RmseZeroForIdenticalDistributions) {
+  const auto buf = workload::uniform(Schema::position_only(), Box3::unit(),
+                                     500, 3);
+  DensityField a(Box3::unit(), {4, 4, 4}), b(Box3::unit(), {4, 4, 4});
+  a.add(buf);
+  b.add(buf);
+  a.normalize();
+  b.normalize();
+  EXPECT_DOUBLE_EQ(a.rmse_against(b), 0.0);
+}
+
+TEST(DensityField, RmseDetectsDifferentDistributions) {
+  DensityField a(Box3::unit(), {2, 1, 1}), b(Box3::unit(), {2, 1, 1});
+  a.add(at_positions({{0.1, 0.5, 0.5}}));
+  b.add(at_positions({{0.9, 0.5, 0.5}}));
+  a.normalize();
+  b.normalize();
+  EXPECT_DOUBLE_EQ(a.rmse_against(b), 1.0);  // sqrt((1 + 1) / 2)
+}
+
+TEST(DensityField, CoverageOfSubset) {
+  DensityField full(Box3::unit(), {4, 1, 1});
+  full.add(at_positions({{0.1, 0.5, 0.5},
+                         {0.3, 0.5, 0.5},
+                         {0.6, 0.5, 0.5},
+                         {0.9, 0.5, 0.5}}));
+  full.normalize();
+  DensityField half(Box3::unit(), {4, 1, 1});
+  half.add(at_positions({{0.1, 0.5, 0.5}, {0.6, 0.5, 0.5}}));
+  half.normalize();
+  EXPECT_DOUBLE_EQ(half.coverage_of(full), 0.5);
+  EXPECT_DOUBLE_EQ(full.coverage_of(full), 1.0);
+}
+
+TEST(DensityField, EmptyFieldNormalizesSafely) {
+  DensityField f(Box3::unit(), {2, 2, 2});
+  f.normalize();
+  EXPECT_EQ(f.samples(), 0u);
+  DensityField g(Box3::unit(), {2, 2, 2});
+  g.normalize();
+  EXPECT_DOUBLE_EQ(f.rmse_against(g), 0.0);
+}
+
+TEST(DensityField, RejectsInvalidConstruction) {
+  EXPECT_THROW(DensityField(Box3::empty(), {1, 1, 1}), ConfigError);
+  EXPECT_THROW(DensityField(Box3::unit(), {0, 1, 1}), ConfigError);
+}
+
+}  // namespace
+}  // namespace spio

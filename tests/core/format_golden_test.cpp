@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/metadata.hpp"
+
+namespace spio {
+namespace {
+
+/// On-disk format freeze: the exact byte sequence of a reference metadata
+/// file, version 2. If this test fails, the format changed — either fix
+/// the regression or bump `DatasetMetadata::kVersion` and regenerate the
+/// golden bytes (see docs/FORMAT.md).
+constexpr const char* kGoldenHex =
+    "5350494f0200000004030201060000000800000000000000706f736974696f6e0103"
+    "00000006000000000000007374726573730109000000070000000000000064656e73"
+    "69747901010000000600000000000000766f6c756d65010100000002000000000000"
+    "00696401010000000400000000000000747970650001000000000000000000000000"
+    "00000000000000000000000000000000000000000010400000000000000040000000"
+    "000000f03f2000000000000000000000000000004000010107000000000000000100"
+    "00000000000003000000070000000000000000000000000000000000000000000000"
+    "000000000000000000000000000000400000000000000040000000000000f03f0000"
+    "00000000f0bf000000000000f03f000000000000f0bf000000000000f03f00000000"
+    "0000f0bf000000000000f03f000000000000f0bf000000000000f03f000000000000"
+    "f0bf000000000000f03f000000000000f0bf000000000000f03f000000000000f0bf"
+    "000000000000f03f000000000000f0bf000000000000f03f000000000000f0bf0000"
+    "00000000f03f000000000000f0bf000000000000f03f000000000000f0bf00000000"
+    "0000f03f000000000000f0bf000000000000f03f000000000000f0bf000000000000"
+    "f03f000000000000f0bf000000000000f03f000000000000f0bf000000000000f03f"
+    "000000000000f0bf000000000000f03f";
+
+DatasetMetadata reference_metadata() {
+  DatasetMetadata m;
+  m.schema = Schema::uintah();
+  m.domain = Box3({0, 0, 0}, {4, 2, 1});
+  m.lod = {32, 2.0};
+  m.heuristic = LodHeuristic::kRandom;
+  m.total_particles = 7;
+  FileRecord f;
+  f.partition_id = 0;
+  f.aggregator_rank = 3;
+  f.particle_count = 7;
+  f.bounds = Box3({0, 0, 0}, {2, 2, 1});
+  f.field_ranges.assign(m.range_count(), FieldRange{-1.0, 1.0});
+  m.files.push_back(f);
+  return m;
+}
+
+std::string to_hex(std::span<const std::byte> bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::byte b : bytes) {
+    out.push_back(digits[static_cast<unsigned>(b) >> 4]);
+    out.push_back(digits[static_cast<unsigned>(b) & 0xF]);
+  }
+  return out;
+}
+
+TEST(FormatGolden, MetadataBytesAreFrozen) {
+  const auto bytes = reference_metadata().serialize();
+  EXPECT_EQ(bytes.size(), 526u);
+  EXPECT_EQ(to_hex(bytes), kGoldenHex);
+}
+
+TEST(FormatGolden, GoldenBytesParseBackToTheReference) {
+  std::vector<std::byte> bytes;
+  const std::string hex = kGoldenHex;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    bytes.push_back(static_cast<std::byte>(
+        std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  EXPECT_EQ(DatasetMetadata::deserialize(bytes), reference_metadata());
+}
+
+TEST(FormatGolden, MagicSpellsSpio) {
+  const auto bytes = reference_metadata().serialize();
+  EXPECT_EQ(static_cast<char>(bytes[0]), 'S');
+  EXPECT_EQ(static_cast<char>(bytes[1]), 'P');
+  EXPECT_EQ(static_cast<char>(bytes[2]), 'I');
+  EXPECT_EQ(static_cast<char>(bytes[3]), 'O');
+  EXPECT_EQ(static_cast<unsigned>(bytes[4]), 2u);  // version
+}
+
+}  // namespace
+}  // namespace spio

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/reader.hpp"
+#include "core/validate.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+/// Randomized end-to-end property check: for a seed-derived random
+/// configuration (process grid, partition factor, distribution, LOD
+/// parameters, adaptivity, heuristic), a write followed by a deep
+/// validation and a full-domain read must preserve every particle
+/// exactly once, and random box queries must agree with a brute-force
+/// scan.
+class FuzzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzRoundTrip, WriteValidateQuery) {
+  Xoshiro256 rng(stream_seed(0xF022, static_cast<std::uint64_t>(GetParam())));
+
+  // Random process grid with 4..32 ranks.
+  const Vec3i grids[] = {{2, 2, 1}, {2, 2, 2}, {4, 2, 1}, {4, 2, 2},
+                         {3, 2, 2}, {4, 4, 1}, {3, 3, 2}, {4, 4, 2}};
+  const Vec3i grid = grids[rng.uniform_index(std::size(grids))];
+  const int nranks = static_cast<int>(grid.product());
+
+  PartitionFactor factor{1 + static_cast<int>(rng.uniform_index(4)),
+                         1 + static_cast<int>(rng.uniform_index(3)),
+                         1 + static_cast<int>(rng.uniform_index(2))};
+  const Box3 domain({0, 0, 0},
+                    {1 + rng.uniform(0, 8), 1 + rng.uniform(0, 4),
+                     1 + rng.uniform(0, 4)});
+  const PatchDecomposition decomp(domain, grid);
+
+  WriterConfig cfg;
+  TempDir dir("spio-fuzz");
+  cfg.dir = dir.path();
+  cfg.factor = factor;
+  cfg.adaptive = rng.uniform() < 0.4;
+  cfg.adaptive_refine = cfg.adaptive && rng.uniform() < 0.5;
+  cfg.lod = {1 + rng.uniform_index(64), 1.0 + rng.uniform(0, 2.5)};
+  cfg.heuristic = static_cast<LodHeuristic>(rng.uniform_index(3));
+  cfg.force_general_exchange = rng.uniform() < 0.25;
+  cfg.shuffle_seed = rng.next();
+
+  const int distribution = static_cast<int>(rng.uniform_index(3));
+  const double coverage = 0.25 + 0.75 * rng.uniform();
+  const std::uint64_t per_rank = rng.uniform_index(300);
+  const std::uint64_t base_seed = rng.next();
+
+  std::uint64_t expected_total = 0;
+  {
+    // Pre-compute the expected census with the same generator calls.
+    for (int r = 0; r < nranks; ++r) {
+      ParticleBuffer buf(Schema::uintah());
+      const auto seed = stream_seed(base_seed, static_cast<std::uint64_t>(r));
+      const auto first_id = static_cast<std::uint64_t>(r) * 1000;
+      switch (distribution) {
+        case 0:
+          buf = workload::uniform(Schema::uintah(), decomp.patch(r), per_rank,
+                                  seed, first_id);
+          break;
+        case 1:
+          buf = workload::uniform_in_region(
+              Schema::uintah(), decomp.patch(r),
+              workload::coverage_region(domain, coverage), per_rank, seed,
+              first_id);
+          break;
+        default:
+          buf = workload::gaussian_clusters(Schema::uintah(), decomp.patch(r),
+                                            per_rank, 2, 0.1, seed, first_id);
+      }
+      expected_total += buf.size();
+    }
+  }
+
+  simmpi::run(nranks, [&](simmpi::Comm& comm) {
+    const int r = comm.rank();
+    const auto seed = stream_seed(base_seed, static_cast<std::uint64_t>(r));
+    const auto first_id = static_cast<std::uint64_t>(r) * 1000;
+    ParticleBuffer buf(Schema::uintah());
+    switch (distribution) {
+      case 0:
+        buf = workload::uniform(Schema::uintah(), decomp.patch(r), per_rank,
+                                seed, first_id);
+        break;
+      case 1:
+        buf = workload::uniform_in_region(
+            Schema::uintah(), decomp.patch(r),
+            workload::coverage_region(domain, coverage), per_rank, seed,
+            first_id);
+        break;
+      default:
+        buf = workload::gaussian_clusters(Schema::uintah(), decomp.patch(r),
+                                          per_rank, 2, 0.1, seed, first_id);
+    }
+    write_dataset(comm, decomp, buf, cfg);
+  });
+
+  // Deep validation: bounds containment and field ranges hold.
+  const auto report = validate_dataset(dir.path(), /*deep=*/true);
+  ASSERT_TRUE(report.ok()) << report.errors.front();
+
+  const Dataset ds = Dataset::open(dir.path());
+  ASSERT_EQ(ds.metadata().total_particles, expected_total);
+  if (expected_total == 0) return;
+
+  // Full read: exact census, unique ids.
+  const auto idf = Schema::uintah().index_of("id");
+  const auto all = ds.query_box(domain);
+  ASSERT_EQ(all.size(), expected_total);
+  std::set<double> ids;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    ids.insert(all.get_f64(i, idf));
+  ASSERT_EQ(ids.size(), expected_total);
+
+  // Random box queries agree with the brute-force scan.
+  for (int q = 0; q < 3; ++q) {
+    Box3 box;
+    for (int a = 0; a < 3; ++a) {
+      const double lo = rng.uniform(domain.lo[a], domain.hi[a]);
+      const double hi = rng.uniform(domain.lo[a], domain.hi[a]);
+      box.lo[a] = std::min(lo, hi);
+      box.hi[a] = std::max(lo, hi);
+    }
+    if (box.is_empty()) continue;
+    const auto fast = ds.query_box(box);
+    const auto slow = ds.query_box_scan_all(box);
+    std::set<double> fast_ids, slow_ids;
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      fast_ids.insert(fast.get_f64(i, idf));
+    for (std::size_t i = 0; i < slow.size(); ++i)
+      slow_ids.insert(slow.get_f64(i, idf));
+    ASSERT_EQ(fast_ids, slow_ids) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRoundTrip, ::testing::Range(0, 16),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace spio

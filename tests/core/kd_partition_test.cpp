@@ -1,0 +1,211 @@
+#include "core/kd_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+std::vector<RankExtent> uniform_extents(const Box3& region, int n,
+                                        std::uint64_t count_each) {
+  // n ranks side by side along x, equal density.
+  std::vector<RankExtent> ex;
+  const double w = region.size().x / n;
+  for (int i = 0; i < n; ++i) {
+    Box3 b = region;
+    b.lo.x = region.lo.x + i * w;
+    b.hi.x = region.lo.x + (i + 1) * w;
+    ex.push_back({b, count_each});
+  }
+  return ex;
+}
+
+TEST(KdPartitioning, SingleLeafIsTheRegion) {
+  const auto kd =
+      KdPartitioning::build(Box3::unit(), uniform_extents(Box3::unit(), 4, 10),
+                            1);
+  EXPECT_EQ(kd.partition_count(), 1);
+  EXPECT_EQ(kd.partition_box(0), Box3::unit());
+  EXPECT_EQ(kd.region(), Box3::unit());
+}
+
+TEST(KdPartitioning, LeavesAreDisjointAndCoverRegion) {
+  const auto kd = KdPartitioning::build(
+      Box3::unit(), uniform_extents(Box3::unit(), 8, 100), 7);
+  EXPECT_EQ(kd.partition_count(), 7);
+  double vol = 0;
+  for (int a = 0; a < kd.partition_count(); ++a) {
+    vol += kd.partition_box(a).volume();
+    for (int b = a + 1; b < kd.partition_count(); ++b)
+      EXPECT_FALSE(kd.partition_box(a).overlaps(kd.partition_box(b)));
+  }
+  EXPECT_NEAR(vol, 1.0, 1e-9);
+}
+
+TEST(KdPartitioning, PointLocationConsistentWithBoxes) {
+  const auto kd = KdPartitioning::build(
+      Box3({-1, -1, -1}, {1, 1, 1}),
+      uniform_extents(Box3({-1, -1, -1}, {1, 1, 1}), 6, 50), 9);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3d p{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const int idx = kd.partition_of_point(p);
+    EXPECT_TRUE(kd.partition_box(idx).contains_closed(p)) << p;
+  }
+  // Boundary corners clamp into some leaf.
+  EXPECT_GE(kd.partition_of_point({5, 5, 5}), 0);
+  EXPECT_GE(kd.partition_of_point({-5, -5, -5}), 0);
+}
+
+TEST(KdPartitioning, BalancesUniformLoad) {
+  const auto kd = KdPartitioning::build(
+      Box3::unit(), uniform_extents(Box3::unit(), 16, 1000), 8);
+  double mn = 1e300, mx = 0;
+  for (int i = 0; i < kd.partition_count(); ++i) {
+    mn = std::min(mn, kd.leaf_load(i));
+    mx = std::max(mx, kd.leaf_load(i));
+  }
+  EXPECT_EQ(kd.partition_count(), 8);
+  EXPECT_LT(mx / mn, 1.5);  // near-even loads for a uniform distribution
+}
+
+TEST(KdPartitioning, RefinesDenseRegions) {
+  // 90% of particles in the left 10% of the domain: most partitions must
+  // end up in that sliver.
+  std::vector<RankExtent> ex;
+  ex.push_back({Box3({0, 0, 0}, {0.1, 1, 1}), 9000});
+  ex.push_back({Box3({0.1, 0, 0}, {1, 1, 1}), 1000});
+  const auto kd = KdPartitioning::build(Box3::unit(), ex, 8);
+  int in_sliver = 0;
+  for (int i = 0; i < kd.partition_count(); ++i) {
+    if (kd.partition_box(i).hi.x <= 0.1 + 1e-9) ++in_sliver;
+  }
+  EXPECT_GE(in_sliver, 4);
+  // And the loads are far more even than an 8-way uniform x-split, whose
+  // first cell would hold ~91% of everything.
+  double mx = 0;
+  for (int i = 0; i < kd.partition_count(); ++i)
+    mx = std::max(mx, kd.leaf_load(i));
+  EXPECT_LT(mx, 0.35 * 10000);
+}
+
+TEST(KdPartitioning, HandlesDegenerateExtents) {
+  std::vector<RankExtent> ex;
+  const Vec3d pt{0.5, 0.5, 0.5};
+  ex.push_back({Box3(pt, pt), 100});  // zero-volume extent
+  ex.push_back({Box3({0, 0, 0}, {1, 1, 1}), 100});
+  const auto kd = KdPartitioning::build(Box3::unit(), ex, 4);
+  EXPECT_EQ(kd.partition_count(), 4);
+  // Total load is conserved (the point mass lands in exactly one leaf).
+  double total = 0;
+  for (int i = 0; i < kd.partition_count(); ++i) total += kd.leaf_load(i);
+  EXPECT_NEAR(total, 200.0, 1.0);
+}
+
+TEST(KdPartitioning, RejectsInvalidInput) {
+  EXPECT_THROW(KdPartitioning::build(Box3::empty(), {}, 2), ConfigError);
+  EXPECT_THROW(KdPartitioning::build(Box3::unit(), {}, 0), ConfigError);
+}
+
+// ---- end-to-end: refined adaptive writes ----
+
+TEST(AdaptiveRefined, RoundTripOnClusteredData) {
+  constexpr int kRanks = 16;
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+  TempDir dir("spio-kd");
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {2, 2, 1};
+  cfg.adaptive = true;
+  cfg.adaptive_refine = true;
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    // Heavy cluster in rank 0's patch, light elsewhere.
+    const std::uint64_t n = comm.rank() == 0 ? 4000 : 250;
+    const auto local = workload::uniform(
+        Schema::uintah(), decomp.patch(comm.rank()), n,
+        stream_seed(8, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * 10000);
+    write_dataset(comm, decomp, local, cfg);
+  });
+
+  const Dataset ds = Dataset::open(dir.path());
+  EXPECT_EQ(ds.metadata().total_particles, 4000u + 15u * 250u);
+  // Everything present exactly once.
+  const auto idf = Schema::uintah().index_of("id");
+  std::set<double> ids;
+  const auto all = ds.query_box(Box3::unit());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    ids.insert(all.get_f64(i, idf));
+  EXPECT_EQ(ids.size(), all.size());
+  EXPECT_EQ(all.size(), ds.metadata().total_particles);
+  // File bounds disjoint.
+  for (int a = 0; a < ds.file_count(); ++a)
+    for (int b = a + 1; b < ds.file_count(); ++b)
+      EXPECT_FALSE(
+          ds.metadata().files[static_cast<std::size_t>(a)].bounds.overlaps(
+              ds.metadata().files[static_cast<std::size_t>(b)].bounds));
+}
+
+TEST(AdaptiveRefined, BalancesFilesBetterThanUniformAdaptive) {
+  constexpr int kRanks = 16;
+  const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+
+  auto imbalance = [&](bool refine) {
+    TempDir dir("spio-kd-bal");
+    WriterConfig cfg;
+    cfg.dir = dir.path();
+    cfg.factor = {2, 2, 1};
+    cfg.adaptive = true;
+    cfg.adaptive_refine = refine;
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      // Density falls off sharply with the rank id (clustered corner),
+      // the same power-law skew as bench/abl_adaptive_refine.
+      const auto n = static_cast<std::uint64_t>(
+          6400.0 / ((1.0 + comm.rank()) * (1.0 + comm.rank())));
+      const auto local = workload::uniform(
+          Schema::uintah(), decomp.patch(comm.rank()), n,
+          stream_seed(8, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * 10000);
+      write_dataset(comm, decomp, local, cfg);
+    });
+    const Dataset ds = Dataset::open(dir.path());
+    std::uint64_t mn = ~0ull, mx = 0;
+    for (const auto& f : ds.metadata().files) {
+      mn = std::min(mn, f.particle_count);
+      mx = std::max(mx, f.particle_count);
+    }
+    return static_cast<double>(mx) /
+           static_cast<double>(std::max<std::uint64_t>(mn, 1));
+  };
+
+  const double uniform_ratio = imbalance(false);
+  const double refined_ratio = imbalance(true);
+  EXPECT_LT(refined_ratio, uniform_ratio);
+  EXPECT_LT(refined_ratio, 4.0);
+}
+
+TEST(AdaptiveRefined, PlanUsesKdPartitioning) {
+  const PatchDecomposition decomp(Box3::unit(), {4, 1, 1});
+  std::vector<RankExtent> ex;
+  for (int r = 0; r < 4; ++r)
+    ex.push_back({decomp.patch(r), r == 0 ? 1000u : 10u});
+  const auto plan = AggregationPlan::adaptive_refined(
+      decomp, {2, 1, 1}, AggregatorPlacement::kUniform, ex);
+  EXPECT_TRUE(plan.adaptive_mode());
+  EXPECT_FALSE(plan.aligned());
+  EXPECT_EQ(plan.partition_count(), 2);
+  // The split leans toward the dense rank-0 patch, not the midpoint.
+  EXPECT_LT(plan.partitioning().partition_box(0).hi.x, 0.5);
+}
+
+}  // namespace
+}  // namespace spio

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+/// Particles that drifted outside their owners' patches (a checkpoint
+/// taken mid-advection). The writer must detect the spill, repair the
+/// communication sets via an extent exchange, and still place every
+/// particle in the spatially-correct file.
+
+std::set<double> id_set(const ParticleBuffer& buf) {
+  const auto id = buf.schema().index_of("id");
+  std::set<double> out;
+  for (std::size_t i = 0; i < buf.size(); ++i) out.insert(buf.get_f64(i, id));
+  return out;
+}
+
+ParticleBuffer drifted_particles(int rank, const PatchDecomposition& decomp,
+                                 std::uint64_t n, double drift) {
+  ParticleBuffer buf = workload::uniform(
+      Schema::uintah(), decomp.patch(rank), n,
+      stream_seed(13, static_cast<std::uint64_t>(rank)),
+      static_cast<std::uint64_t>(rank) * n);
+  const Box3 domain = decomp.domain();
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    Vec3d p = buf.position(i);
+    p.x += drift;  // everyone drifts +x
+    if (p.x >= domain.hi.x) p.x -= domain.size().x;  // periodic wrap
+    buf.set_position(i, p);
+  }
+  return buf;
+}
+
+TEST(SpilledParticles, RoundTripWithDrift) {
+  constexpr int kRanks = 16;
+  constexpr std::uint64_t kPerRank = 150;
+  const PatchDecomposition decomp(Box3::unit(), {4, 2, 2});
+  TempDir dir("spio-spill");
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {2, 2, 2};
+
+  WriteStats job{};
+  std::mutex mu;
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    // Drift by 40% of a patch width: many particles cross patch (and some
+    // cross partition) boundaries.
+    const auto local =
+        drifted_particles(comm.rank(), decomp, kPerRank, 0.1);
+    const WriteStats s = write_dataset(comm, decomp, local, cfg);
+    std::lock_guard lk(mu);
+    job = WriteStats::max_over(job, s);
+  });
+  EXPECT_FALSE(job.used_aligned_fast_path);  // spill forces binning
+
+  const Dataset ds = Dataset::open(dir.path());
+  EXPECT_EQ(ds.metadata().total_particles, kRanks * kPerRank);
+  // Every particle is in the file whose bounds contain it.
+  for (int fi = 0; fi < ds.file_count(); ++fi) {
+    const auto& rec = ds.metadata().files[static_cast<std::size_t>(fi)];
+    const ParticleBuffer fb = ds.read_data_file(fi);
+    for (std::size_t i = 0; i < fb.size(); ++i)
+      ASSERT_TRUE(rec.bounds.contains_closed(fb.position(i)));
+  }
+  // Nothing lost.
+  EXPECT_EQ(id_set(ds.query_box(decomp.domain())).size(), kRanks * kPerRank);
+}
+
+TEST(SpilledParticles, LargeDriftAcrossManyPartitions) {
+  constexpr int kRanks = 8;
+  const PatchDecomposition decomp(Box3::unit(), {8, 1, 1});
+  TempDir dir("spio-spill");
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {2, 1, 1};  // 4 partitions along x
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    // Half-domain drift: particles land two partitions away.
+    const auto local = drifted_particles(comm.rank(), decomp, 100, 0.5);
+    write_dataset(comm, decomp, local, cfg);
+  });
+  const Dataset ds = Dataset::open(dir.path());
+  EXPECT_EQ(ds.metadata().total_particles, 800u);
+  EXPECT_EQ(id_set(ds.query_box(decomp.domain())).size(), 800u);
+}
+
+TEST(SpilledParticles, OnlyOneRankSpills) {
+  // A single straying rank must flip the whole job onto the extent-based
+  // plan without deadlock (the decision is collective).
+  constexpr int kRanks = 8;
+  const PatchDecomposition decomp(Box3::unit(), {2, 2, 2});
+  TempDir dir("spio-spill");
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {2, 2, 2};
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    auto local = workload::uniform(
+        Schema::uintah(), decomp.patch(comm.rank()), 100,
+        stream_seed(5, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * 100);
+    if (comm.rank() == 3) {
+      // Teleport one particle to the far corner.
+      local.set_position(0, Vec3d{0.99, 0.99, 0.99});
+    }
+    write_dataset(comm, decomp, local, cfg);
+  });
+  const Dataset ds = Dataset::open(dir.path());
+  EXPECT_EQ(id_set(ds.query_box(decomp.domain())).size(), 800u);
+}
+
+}  // namespace
+}  // namespace spio

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+class StreamQuery : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 16;
+  static constexpr std::uint64_t kPerRank = 300;
+
+  static void SetUpTestSuite() {
+    dir_ = new TempDir("spio-stream");
+    const PatchDecomposition decomp(Box3::unit(), {4, 4, 1});
+    WriterConfig cfg;
+    cfg.dir = dir_->path();
+    cfg.factor = {2, 2, 1};  // 4 files
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      const auto local = workload::uniform(
+          Schema::uintah(), decomp.patch(comm.rank()), kPerRank,
+          stream_seed(81, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+      write_dataset(comm, decomp, local, cfg);
+    });
+  }
+
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::set<double> id_set(const ParticleBuffer& buf) {
+    const auto id = buf.schema().index_of("id");
+    std::set<double> out;
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      out.insert(buf.get_f64(i, id));
+    return out;
+  }
+
+  static TempDir* dir_;
+};
+
+TempDir* StreamQuery::dir_ = nullptr;
+
+TEST_F(StreamQuery, StreamedChunksEqualMaterializedQuery) {
+  const Dataset ds = Dataset::open(dir_->path());
+  const Box3 q({0.1, 0.2, 0.0}, {0.8, 0.9, 1.0});
+  std::set<double> streamed;
+  std::uint64_t chunks = 0, total = 0;
+  const std::uint64_t delivered = ds.stream_box(q, [&](const ParticleBuffer& c) {
+    ++chunks;
+    total += c.size();
+    for (std::size_t i = 0; i < c.size(); ++i)
+      EXPECT_TRUE(q.contains(c.position(i)));  // EXPECT: lambda returns bool
+    const auto ids = id_set(c);
+    streamed.insert(ids.begin(), ids.end());
+    return true;
+  });
+  const auto reference = id_set(ds.query_box(q));
+  EXPECT_EQ(streamed, reference);
+  EXPECT_EQ(delivered, total);
+  EXPECT_EQ(delivered, reference.size());
+  EXPECT_GT(chunks, 1u);  // query spans several files
+}
+
+TEST_F(StreamQuery, PeakMemoryIsOneChunk) {
+  const Dataset ds = Dataset::open(dir_->path());
+  std::uint64_t max_chunk = 0;
+  ds.stream_box(ds.metadata().domain, [&](const ParticleBuffer& c) {
+    max_chunk = std::max<std::uint64_t>(max_chunk, c.size());
+    return true;
+  });
+  // One file holds 4 ranks' particles; chunks never exceed a file.
+  EXPECT_LE(max_chunk, 4 * kPerRank);
+  EXPECT_GT(max_chunk, 0u);
+}
+
+TEST_F(StreamQuery, SinkCanStopEarly) {
+  const Dataset ds = Dataset::open(dir_->path());
+  int chunks = 0;
+  const std::uint64_t delivered =
+      ds.stream_box(ds.metadata().domain, [&](const ParticleBuffer&) {
+        ++chunks;
+        return false;  // stop after the first chunk
+      });
+  EXPECT_EQ(chunks, 1);
+  EXPECT_EQ(delivered, 4 * kPerRank);  // exactly one file's worth
+}
+
+TEST_F(StreamQuery, LodBoundedStreaming) {
+  const Dataset ds = Dataset::open(dir_->path());
+  ReadStats rs;
+  std::uint64_t total = 0;
+  ds.stream_box(
+      ds.metadata().domain,
+      [&](const ParticleBuffer& c) {
+        total += c.size();
+        return true;
+      },
+      /*levels=*/2, /*n_readers=*/1, &rs);
+  std::uint64_t expect = 0;
+  for (int fi = 0; fi < ds.file_count(); ++fi)
+    expect += ds.level_prefix_count(fi, 2, 1);
+  EXPECT_EQ(total, expect);
+  EXPECT_LT(rs.bytes_read,
+            kRanks * kPerRank * Schema::uintah().record_size());
+}
+
+TEST_F(StreamQuery, EmptyQueryDeliversNothing) {
+  const Dataset ds = Dataset::open(dir_->path());
+  int chunks = 0;
+  const std::uint64_t delivered =
+      ds.stream_box(Box3({5, 5, 5}, {6, 6, 6}), [&](const ParticleBuffer&) {
+        ++chunks;
+        return true;
+      });
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(chunks, 0);
+}
+
+TEST(ParticleBufferTruncate, DropsTail) {
+  ParticleBuffer buf(Schema::position_only());
+  for (int i = 0; i < 5; ++i) {
+    buf.append_uninitialized();
+    buf.set_position(static_cast<std::size_t>(i), Vec3d(i, 0, 0));
+  }
+  buf.truncate(2);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.position(1), Vec3d(1, 0, 0));
+  buf.truncate(10);  // no-op
+  EXPECT_EQ(buf.size(), 2u);
+  buf.truncate(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+}  // namespace
+}  // namespace spio

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "iosim/write_model.hpp"
+
+namespace spio::iosim {
+namespace {
+
+AdaptiveCase fig11_case(double coverage, bool adaptive) {
+  AdaptiveCase c;
+  c.nprocs = 4096;
+  c.total_particles = 4096ull * 32768;
+  c.factor = {2, 2, 2};
+  c.coverage = coverage;
+  c.adaptive = adaptive;
+  return c;
+}
+
+TEST(AdaptiveModel, IdenticalAtFullCoverage) {
+  // With particles everywhere the adaptive and non-adaptive grids are the
+  // same grid, so the model must agree.
+  for (const auto& m : {MachineProfile::mira(), MachineProfile::theta()}) {
+    const double a =
+        model_adaptive_write(m, fig11_case(1.0, true)).total_seconds();
+    const double na =
+        model_adaptive_write(m, fig11_case(1.0, false)).total_seconds();
+    EXPECT_NEAR(a, na, 1e-9) << m.name;
+  }
+}
+
+TEST(AdaptiveModel, AdaptiveNeverSlower) {
+  // Fig. 11: "adaptive aggregation yields improvement over non-adaptive"
+  // on both machines, at every coverage level.
+  for (const auto& m : {MachineProfile::mira(), MachineProfile::theta()}) {
+    for (const double c : {1.0, 0.8, 0.6, 0.5, 0.4, 0.25, 0.125}) {
+      const double a =
+          model_adaptive_write(m, fig11_case(c, true)).total_seconds();
+      const double na =
+          model_adaptive_write(m, fig11_case(c, false)).total_seconds();
+      EXPECT_LE(a, na + 1e-12) << m.name << " coverage " << c;
+    }
+  }
+}
+
+TEST(AdaptiveModel, MiraGapWidensAsCoverageShrinks) {
+  // Fig. 11 (Mira): the adaptive advantage grows as the distribution
+  // becomes more non-uniform (dedicated IONs sit idle under the
+  // clustered non-adaptive aggregators).
+  const auto mira = MachineProfile::mira();
+  const double gap_50 =
+      model_adaptive_write(mira, fig11_case(0.5, false)).total_seconds() -
+      model_adaptive_write(mira, fig11_case(0.5, true)).total_seconds();
+  const double gap_100 =
+      model_adaptive_write(mira, fig11_case(1.0, false)).total_seconds() -
+      model_adaptive_write(mira, fig11_case(1.0, true)).total_seconds();
+  EXPECT_GT(gap_50, gap_100 + 0.5);
+  // The non-adaptive scheme at 50% coverage leaves rank-mapped IONs
+  // partly idle: a clear but bounded slowdown over adaptive.
+  const double ratio =
+      model_adaptive_write(mira, fig11_case(0.5, false)).total_seconds() /
+      model_adaptive_write(mira, fig11_case(0.5, true)).total_seconds();
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(AdaptiveModel, MiraAdaptiveTimeDecreasesWithCoverage) {
+  // Fig. 11 (Mira): adaptive I/O time reduces as coverage shrinks
+  // (fewer, larger files amortize per-file costs on GPFS).
+  const auto mira = MachineProfile::mira();
+  const double t100 =
+      model_adaptive_write(mira, fig11_case(1.0, true)).total_seconds();
+  const double t25 =
+      model_adaptive_write(mira, fig11_case(0.25, true)).total_seconds();
+  EXPECT_LT(t25, t100);
+}
+
+TEST(AdaptiveModel, ThetaPlacementMattersLittle) {
+  // Fig. 11 (Theta): "placement of aggregators do not have significant
+  // impact" — adaptive and non-adaptive stay within ~25% of each other.
+  const auto theta = MachineProfile::theta();
+  for (const double c : {1.0, 0.5, 0.25}) {
+    const double a =
+        model_adaptive_write(theta, fig11_case(c, true)).total_seconds();
+    const double na =
+        model_adaptive_write(theta, fig11_case(c, false)).total_seconds();
+    EXPECT_LT(na / a, 1.35) << "coverage " << c;
+  }
+}
+
+TEST(AdaptiveModel, ThetaRoughlyConstantAcrossCoverage) {
+  // Fig. 11 (Theta): adaptive time is nearly flat across coverage levels
+  // (the message-size amortization offsets the denser per-rank loads).
+  const auto theta = MachineProfile::theta();
+  const double t100 =
+      model_adaptive_write(theta, fig11_case(1.0, true)).total_seconds();
+  const double t125 =
+      model_adaptive_write(theta, fig11_case(0.125, true)).total_seconds();
+  EXPECT_LT(t125 / t100, 2.0);
+  EXPECT_GT(t125 / t100, 0.5);
+}
+
+TEST(AdaptiveModel, FileCountTracksOccupiedRanks) {
+  const auto b = model_adaptive_write(MachineProfile::mira(),
+                                      fig11_case(0.25, true));
+  // 1024 occupied ranks in groups of 8 -> 128 files.
+  EXPECT_EQ(b.files, 128);
+}
+
+TEST(AdaptiveModel, RejectsBadCoverage) {
+  EXPECT_THROW(
+      model_adaptive_write(MachineProfile::mira(), fig11_case(0.0, true)),
+      ConfigError);
+  EXPECT_THROW(
+      model_adaptive_write(MachineProfile::mira(), fig11_case(1.5, true)),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace spio::iosim

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "iosim/event_sim.hpp"
+#include "util/rng.hpp"
+
+namespace spio::iosim {
+namespace {
+
+struct Job {
+  int server;
+  double ready;
+  double service;
+};
+
+/// Reference implementation: independent literal simulation of
+/// work-conserving FIFO servers — each server serves its eligible jobs in
+/// (ready, submission) order.
+std::vector<double> reference_schedule(int servers,
+                                       const std::vector<Job>& jobs) {
+  std::vector<double> completion(jobs.size(), 0.0);
+  for (int s = 0; s < servers; ++s) {
+    // Jobs of this server in eligibility order (stable on ready time).
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (jobs[i].server == s) idx.push_back(i);
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return jobs[a].ready < jobs[b].ready;
+    });
+    double free_at = 0;
+    for (const std::size_t i : idx) {
+      free_at = std::max(free_at, jobs[i].ready) + jobs[i].service;
+      completion[i] = free_at;
+    }
+  }
+  return completion;
+}
+
+/// Randomized equivalence + invariants across many seeds.
+class EventSimProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventSimProperty, MatchesReferenceAndInvariantsHold) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  const int servers = 1 + static_cast<int>(rng.uniform_index(6));
+  const int njobs = 1 + static_cast<int>(rng.uniform_index(200));
+
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(njobs));
+  EventSim sim(servers);
+  for (int i = 0; i < njobs; ++i) {
+    Job j;
+    j.server = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(servers)));
+    j.ready = rng.uniform(0.0, 10.0);
+    j.service = rng.uniform(0.0, 2.0);
+    jobs.push_back(j);
+    sim.submit(j.server, j.ready, j.service);
+  }
+  sim.run();
+
+  const auto expect = reference_schedule(servers, jobs);
+  double busy_total = 0;
+  for (int s = 0; s < servers; ++s) busy_total += sim.busy_time(s);
+
+  double service_total = 0;
+  double max_completion = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Exact agreement with the reference scheduler.
+    ASSERT_DOUBLE_EQ(sim.completion(static_cast<int>(i)), expect[i])
+        << "job " << i << " of seed " << GetParam();
+    // A job never finishes before ready + service.
+    EXPECT_GE(sim.completion(static_cast<int>(i)),
+              jobs[i].ready + jobs[i].service - 1e-12);
+    service_total += jobs[i].service;
+    max_completion = std::max(max_completion, expect[i]);
+  }
+  // Makespan equals the latest completion; busy time conserves service.
+  EXPECT_DOUBLE_EQ(sim.makespan(), max_completion);
+  EXPECT_NEAR(busy_total, service_total, 1e-9);
+  // Work conservation lower bound: makespan >= busiest server's load.
+  for (int s = 0; s < servers; ++s)
+    EXPECT_GE(sim.makespan() + 1e-12, sim.busy_time(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventSimProperty, ::testing::Range(0, 25),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace spio::iosim

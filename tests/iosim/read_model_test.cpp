@@ -1,0 +1,138 @@
+#include "iosim/read_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spio::iosim {
+namespace {
+
+ReadCase fig7_case(int readers, ReadMode mode, std::int64_t files = 8192) {
+  ReadCase c;
+  c.files = files;
+  c.total_bytes = (1ull << 31) * 124;  // the paper's 2-billion-particle set
+  c.readers = readers;
+  c.mode = mode;
+  return c;
+}
+
+TEST(ReadModel, WithMetadataStrongScales) {
+  // Fig. 7: the red line (with metadata) drops as readers increase.
+  for (const auto& m :
+       {MachineProfile::theta(), MachineProfile::ssd_workstation()}) {
+    double prev = 1e30;
+    for (int n : {1, 4, 16, 64}) {
+      const double t = model_read_seconds(m, fig7_case(n, ReadMode::kWithMetadata));
+      EXPECT_LT(t, prev) << m.name << " n=" << n;
+      prev = t;
+    }
+  }
+}
+
+TEST(ReadModel, WithoutMetadataDoesNotScale) {
+  // Fig. 7: the green line stays flat or worsens with more readers.
+  const auto theta = MachineProfile::theta();
+  const double t64 =
+      model_read_seconds(theta, fig7_case(64, ReadMode::kWithoutMetadata));
+  const double t2048 =
+      model_read_seconds(theta, fig7_case(2048, ReadMode::kWithoutMetadata));
+  EXPECT_GE(t2048, t64);
+  // And it is far slower than the metadata-guided read.
+  EXPECT_GT(t64, 10 * model_read_seconds(
+                          theta, fig7_case(64, ReadMode::kWithMetadata)));
+}
+
+TEST(ReadModel, FppFileCountHurtsThetaMoreThanSsd) {
+  // Fig. 7: reading the 64K-file (1,1,1) dataset vs the 8K-file (2,2,2)
+  // dataset: large file counts penalize Theta (expensive opens) but are
+  // nearly free on the SSD workstation.
+  const auto theta = MachineProfile::theta();
+  const double theta_8k =
+      model_read_seconds(theta, fig7_case(64, ReadMode::kWithMetadata, 8192));
+  const double theta_64k =
+      model_read_seconds(theta, fig7_case(64, ReadMode::kWithMetadata, 65536));
+  EXPECT_GT(theta_64k, 1.3 * theta_8k);
+
+  const auto ssd = MachineProfile::ssd_workstation();
+  const double ssd_8k =
+      model_read_seconds(ssd, fig7_case(16, ReadMode::kWithMetadata, 8192));
+  const double ssd_64k =
+      model_read_seconds(ssd, fig7_case(16, ReadMode::kWithMetadata, 65536));
+  EXPECT_LT(ssd_64k, 1.05 * ssd_8k);
+}
+
+TEST(ReadModel, FppStillScalesWhenMetadataPresent) {
+  // Fig. 7's third case: despite 64K files, spatial metadata still gives
+  // strong scaling (time drops with readers).
+  const auto theta = MachineProfile::theta();
+  const double t64 =
+      model_read_seconds(theta, fig7_case(64, ReadMode::kWithMetadata, 65536));
+  const double t2048 = model_read_seconds(
+      theta, fig7_case(2048, ReadMode::kWithMetadata, 65536));
+  EXPECT_LT(t2048, t64 / 4);
+}
+
+LodReadCase fig8_case(int levels, std::int64_t files = 8192) {
+  LodReadCase c;
+  c.files = files;
+  c.total_particles = 1ull << 31;
+  c.readers = 64;
+  c.lod = {32, 2.0};
+  c.levels = levels;
+  return c;
+}
+
+TEST(LodReadModel, MonotonicInLevels) {
+  for (const auto& m :
+       {MachineProfile::theta(), MachineProfile::ssd_workstation()}) {
+    double prev = 0;
+    for (int l = 1; l <= 21; ++l) {
+      const double t = model_lod_read_seconds(m, fig8_case(l));
+      EXPECT_GE(t, prev) << m.name << " levels=" << l;
+      prev = t;
+    }
+  }
+}
+
+TEST(LodReadModel, ThetaFlatAtLowLevelsThenProportional) {
+  // Fig. 8 (Theta): "the first few levels can be read in about the same
+  // time" (file opens dominate), then time grows with particle count.
+  const auto theta = MachineProfile::theta();
+  const double l1 = model_lod_read_seconds(theta, fig8_case(1));
+  const double l6 = model_lod_read_seconds(theta, fig8_case(6));
+  EXPECT_LT(l6, 1.3 * l1);  // flat region
+  const double l18 = model_lod_read_seconds(theta, fig8_case(18));
+  const double l21 = model_lod_read_seconds(theta, fig8_case(21));
+  EXPECT_GT(l21, 4 * l18 / 3);  // proportional region: 8x data per 3 levels
+  EXPECT_GT(l21, 3 * l1);
+}
+
+TEST(LodReadModel, SsdProportionalFromTheStart) {
+  // Fig. 8 (workstation): opens are cheap, so time tracks bytes from the
+  // first levels.
+  const auto ssd = MachineProfile::ssd_workstation();
+  const double l10 = model_lod_read_seconds(ssd, fig8_case(10));
+  const double l13 = model_lod_read_seconds(ssd, fig8_case(13));
+  EXPECT_GT(l13, 3 * l10);  // 3 more levels = ~8x the bytes
+}
+
+TEST(LodReadModel, AllLevelsMatchesFullRead) {
+  // Reading every level equals the full-dataset visualization read of
+  // Fig. 7 (same files, same bytes).
+  const auto theta = MachineProfile::theta();
+  const double lod_all = model_lod_read_seconds(theta, fig8_case(21));
+  const double full =
+      model_read_seconds(theta, fig7_case(64, ReadMode::kWithMetadata));
+  EXPECT_NEAR(lod_all, full, full * 0.01);
+}
+
+TEST(ReadModel, RejectsInvalidCases) {
+  ReadCase c;
+  c.files = 0;
+  EXPECT_THROW(model_read_seconds(MachineProfile::theta(), c), ConfigError);
+  LodReadCase lc;
+  lc.levels = -1;
+  EXPECT_THROW(model_lod_read_seconds(MachineProfile::theta(), lc),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace spio::iosim

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "simmpi/reduce_ops.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace simmpi {
+namespace {
+
+TEST(Collectives, BarrierSynchronizes) {
+  constexpr int kRanks = 8;
+  std::atomic<int> before{0}, after{0};
+  run(kRanks, [&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    // Every rank must have incremented `before` before any rank passes.
+    EXPECT_EQ(before.load(), kRanks);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), kRanks);
+}
+
+TEST(Collectives, ManyBarriersBackToBack) {
+  run(4, [](Comm& comm) {
+    for (int i = 0; i < 200; ++i) comm.barrier();
+  });
+}
+
+TEST(Collectives, BcastFromEveryRoot) {
+  constexpr int kRanks = 5;
+  run(kRanks, [](Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      const double v =
+          comm.bcast(comm.rank() == root ? root * 1.5 : -1.0, root);
+      EXPECT_EQ(v, root * 1.5);
+    }
+  });
+}
+
+TEST(Collectives, GatherCollectsInRankOrderAtRootOnly) {
+  constexpr int kRanks = 6;
+  run(kRanks, [](Comm& comm) {
+    const auto at2 = comm.gather(comm.rank() * 7, /*root=*/2);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(at2.size(), static_cast<std::size_t>(kRanks));
+      for (int r = 0; r < kRanks; ++r) EXPECT_EQ(at2[r], r * 7);
+    } else {
+      EXPECT_TRUE(at2.empty());
+    }
+  });
+}
+
+TEST(Collectives, AllgatherGivesEveryRankTheTable) {
+  constexpr int kRanks = 7;
+  run(kRanks, [](Comm& comm) {
+    const auto all = comm.allgather(100 + comm.rank());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(kRanks));
+    for (int r = 0; r < kRanks; ++r) EXPECT_EQ(all[r], 100 + r);
+  });
+}
+
+TEST(Collectives, AllgathervVariableLengths) {
+  constexpr int kRanks = 5;
+  run(kRanks, [](Comm& comm) {
+    // Rank r contributes r elements [r, r, ...].
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()), comm.rank());
+    const auto all = comm.allgatherv<int>(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(kRanks));
+    for (int r = 0; r < kRanks; ++r) {
+      ASSERT_EQ(all[r].size(), static_cast<std::size_t>(r));
+      for (int v : all[r]) EXPECT_EQ(v, r);
+    }
+  });
+}
+
+TEST(Collectives, AllreduceSum) {
+  constexpr int kRanks = 9;
+  run(kRanks, [](Comm& comm) {
+    const int total = comm.allreduce(comm.rank() + 1, op::sum);
+    EXPECT_EQ(total, kRanks * (kRanks + 1) / 2);
+  });
+}
+
+TEST(Collectives, AllreduceMinMax) {
+  run(6, [](Comm& comm) {
+    EXPECT_EQ(comm.allreduce(comm.rank(), op::min), 0);
+    EXPECT_EQ(comm.allreduce(comm.rank(), op::max), comm.size() - 1);
+  });
+}
+
+TEST(Collectives, AllreduceLogical) {
+  run(4, [](Comm& comm) {
+    EXPECT_TRUE(comm.allreduce(comm.rank() == 2, op::logical_or));
+    EXPECT_FALSE(comm.allreduce(comm.rank() == 2, op::logical_and));
+  });
+}
+
+TEST(Collectives, AllreduceCustomLambda) {
+  run(4, [](Comm& comm) {
+    // Deterministic left fold over rank order: ((0*10+1)*10+2)*10+3 style.
+    const long long v = comm.allreduce<long long>(
+        comm.rank(), [](long long a, long long b) { return a * 10 + b; });
+    EXPECT_EQ(v, 123);  // 0,1,2,3 folded left-to-right
+  });
+}
+
+TEST(Collectives, ReduceDeliversToRootOnly) {
+  run(5, [](Comm& comm) {
+    const int v = comm.reduce(comm.rank() + 1, op::sum, /*root=*/3);
+    if (comm.rank() == 3) {
+      EXPECT_EQ(v, 15);
+    } else {
+      EXPECT_EQ(v, 0);  // value-initialized elsewhere
+    }
+  });
+}
+
+TEST(Collectives, ExscanPrefixSums) {
+  constexpr int kRanks = 8;
+  run(kRanks, [](Comm& comm) {
+    const int prefix = comm.exscan(comm.rank() + 1, op::sum, 0);
+    // Rank r gets sum over ranks [0, r) of (rank+1).
+    EXPECT_EQ(prefix, comm.rank() * (comm.rank() + 1) / 2);
+  });
+}
+
+TEST(Collectives, GathervCollectsVariableLengthsAtRoot) {
+  constexpr int kRanks = 5;
+  run(kRanks, [](Comm& comm) {
+    std::vector<double> mine(static_cast<std::size_t>(comm.rank() % 3),
+                             comm.rank() * 1.5);
+    const auto at3 = comm.gatherv<double>(mine, /*root=*/3);
+    if (comm.rank() == 3) {
+      ASSERT_EQ(at3.size(), static_cast<std::size_t>(kRanks));
+      for (int r = 0; r < kRanks; ++r) {
+        ASSERT_EQ(at3[r].size(), static_cast<std::size_t>(r % 3));
+        for (double v : at3[r]) EXPECT_EQ(v, r * 1.5);
+      }
+    } else {
+      EXPECT_TRUE(at3.empty());
+    }
+  });
+}
+
+TEST(Collectives, InclusiveScan) {
+  constexpr int kRanks = 7;
+  run(kRanks, [](Comm& comm) {
+    const int prefix = comm.scan(comm.rank() + 1, op::sum);
+    // Rank r gets sum over ranks [0, r] of (rank + 1).
+    EXPECT_EQ(prefix, (comm.rank() + 1) * (comm.rank() + 2) / 2);
+    EXPECT_EQ(comm.scan(comm.rank(), op::max), comm.rank());
+  });
+}
+
+TEST(Collectives, ScanAndExscanRelate) {
+  run(6, [](Comm& comm) {
+    const int inclusive = comm.scan(comm.rank() * 2, op::sum);
+    const int exclusive = comm.exscan(comm.rank() * 2, op::sum, 0);
+    EXPECT_EQ(inclusive, exclusive + comm.rank() * 2);
+  });
+}
+
+TEST(Collectives, AlltoallvPersonalizedExchange) {
+  constexpr int kRanks = 6;
+  run(kRanks, [](Comm& comm) {
+    // Rank s sends to rank d a vector of (d - s) mod n elements with value
+    // s * 100 + d.
+    std::vector<std::vector<int>> send_to(kRanks);
+    for (int d = 0; d < kRanks; ++d) {
+      const int len = (d - comm.rank() + kRanks) % kRanks;
+      send_to[d].assign(static_cast<std::size_t>(len),
+                        comm.rank() * 100 + d);
+    }
+    const auto recv_from = comm.alltoallv(send_to);
+    ASSERT_EQ(recv_from.size(), static_cast<std::size_t>(kRanks));
+    for (int s = 0; s < kRanks; ++s) {
+      const int len = (comm.rank() - s + kRanks) % kRanks;
+      ASSERT_EQ(recv_from[s].size(), static_cast<std::size_t>(len));
+      for (int v : recv_from[s]) EXPECT_EQ(v, s * 100 + comm.rank());
+    }
+  });
+}
+
+TEST(Collectives, AlltoallvAllEmpty) {
+  run(4, [](Comm& comm) {
+    std::vector<std::vector<double>> send_to(4);
+    const auto recv_from = comm.alltoallv(send_to);
+    for (const auto& v : recv_from) EXPECT_TRUE(v.empty());
+  });
+}
+
+TEST(Collectives, MixedCollectivesAndP2pInterleave) {
+  run(4, [](Comm& comm) {
+    for (int iter = 0; iter < 20; ++iter) {
+      const int total = comm.allreduce(1, op::sum);
+      EXPECT_EQ(total, comm.size());
+      if (comm.rank() == 0) {
+        comm.send_value<int>(1, iter, iter);
+      } else if (comm.rank() == 1) {
+        EXPECT_EQ(comm.recv_value<int>(0, iter), iter);
+      }
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Collectives, SingleRankDegenerateCases) {
+  run(1, [](Comm& comm) {
+    comm.barrier();
+    EXPECT_EQ(comm.bcast(5, 0), 5);
+    EXPECT_EQ(comm.allreduce(3, op::sum), 3);
+    EXPECT_EQ(comm.exscan(3, op::sum, 0), 0);
+    const auto all = comm.allgather(9);
+    EXPECT_EQ(all, std::vector<int>{9});
+  });
+}
+
+TEST(Collectives, TrivialStructPayload) {
+  struct Extent {
+    double lo, hi;
+    long long count;
+  };
+  run(3, [](Comm& comm) {
+    Extent mine{comm.rank() * 1.0, comm.rank() + 1.0, comm.rank() * 10};
+    const auto all = comm.allgather(mine);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_EQ(all[r].lo, r * 1.0);
+      EXPECT_EQ(all[r].hi, r + 1.0);
+      EXPECT_EQ(all[r].count, r * 10);
+    }
+  });
+}
+
+TEST(Collectives, LargeRankCount) {
+  constexpr int kRanks = 128;
+  run(kRanks, [](Comm& comm) {
+    const long long total =
+        comm.allreduce<long long>(comm.rank(), op::sum);
+    EXPECT_EQ(total, static_cast<long long>(kRanks) * (kRanks - 1) / 2);
+  });
+}
+
+}  // namespace
+}  // namespace simmpi

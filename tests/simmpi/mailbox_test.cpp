@@ -1,0 +1,96 @@
+#include "simmpi/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace simmpi {
+namespace {
+
+Message msg(int src, int tag, std::size_t bytes = 0) {
+  return Message{src, tag, std::vector<std::byte>(bytes)};
+}
+
+TEST(Mailbox, TryReceiveMatchesSourceAndTag) {
+  Mailbox mb;
+  mb.deliver(msg(1, 7));
+  mb.deliver(msg(2, 7));
+  EXPECT_FALSE(mb.try_receive(3, 7).has_value());
+  EXPECT_FALSE(mb.try_receive(1, 8).has_value());
+  const auto m = mb.try_receive(2, 7);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, 2);
+  EXPECT_EQ(mb.pending(), 1u);
+}
+
+TEST(Mailbox, WildcardsMatchFirstArrival) {
+  Mailbox mb;
+  mb.deliver(msg(5, 1));
+  mb.deliver(msg(6, 2));
+  const auto any = mb.try_receive(kAnySource, kAnyTag);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(any->src, 5);
+  const auto by_tag = mb.try_receive(kAnySource, 2);
+  ASSERT_TRUE(by_tag.has_value());
+  EXPECT_EQ(by_tag->src, 6);
+}
+
+TEST(Mailbox, FifoPerSourceAndTag) {
+  Mailbox mb;
+  mb.deliver(msg(1, 0, 10));
+  mb.deliver(msg(1, 0, 20));
+  mb.deliver(msg(1, 0, 30));
+  EXPECT_EQ(mb.try_receive(1, 0)->payload.size(), 10u);
+  EXPECT_EQ(mb.try_receive(1, 0)->payload.size(), 20u);
+  EXPECT_EQ(mb.try_receive(1, 0)->payload.size(), 30u);
+}
+
+TEST(Mailbox, ProbeReportsEnvelopeWithoutConsuming) {
+  Mailbox mb;
+  mb.deliver(msg(4, 9, 128));
+  int src = -1, tag = -1;
+  std::size_t bytes = 0;
+  EXPECT_TRUE(mb.probe(kAnySource, kAnyTag, &src, &tag, &bytes));
+  EXPECT_EQ(src, 4);
+  EXPECT_EQ(tag, 9);
+  EXPECT_EQ(bytes, 128u);
+  EXPECT_EQ(mb.pending(), 1u);
+  EXPECT_FALSE(mb.probe(4, 10));
+}
+
+TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
+  Mailbox mb;
+  std::atomic<bool> abort{false};
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.deliver(msg(0, 3, 5));
+  });
+  const Message m = mb.receive(0, 3, abort);
+  EXPECT_EQ(m.payload.size(), 5u);
+  producer.join();
+}
+
+TEST(Mailbox, BlockingReceiveThrowsOnAbort) {
+  Mailbox mb;
+  std::atomic<bool> abort{false};
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    abort.store(true);
+    mb.interrupt();
+  });
+  EXPECT_THROW(mb.receive(0, 0, abort), Aborted);
+  killer.join();
+}
+
+TEST(Mailbox, ReceiveSkipsNonMatchingMessages) {
+  Mailbox mb;
+  std::atomic<bool> abort{false};
+  mb.deliver(msg(1, 1));
+  mb.deliver(msg(2, 2));
+  const Message m = mb.receive(2, 2, abort);
+  EXPECT_EQ(m.src, 2);
+  EXPECT_EQ(mb.pending(), 1u);  // the (1,1) message is still queued
+}
+
+}  // namespace
+}  // namespace simmpi

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "simmpi/reduce_ops.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace simmpi {
+namespace {
+
+TEST(Split, EvenOddGroups) {
+  constexpr int kRanks = 8;
+  run(kRanks, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), kRanks / 2);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collectives work within the sub-communicator.
+    const int sum = sub.allreduce(comm.rank(), op::sum);
+    const int expect = comm.rank() % 2 == 0 ? (0 + 2 + 4 + 6) : (1 + 3 + 5 + 7);
+    EXPECT_EQ(sum, expect);
+  });
+}
+
+TEST(Split, KeyOrdersNewRanks) {
+  constexpr int kRanks = 4;
+  run(kRanks, [](Comm& comm) {
+    // Reverse the rank order via the key.
+    Comm sub = comm.split(0, comm.size() - comm.rank());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(Split, SingletonGroups) {
+  run(4, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank(), 0);
+    EXPECT_EQ(sub.size(), 1);
+    EXPECT_EQ(sub.rank(), 0);
+    EXPECT_EQ(sub.allreduce(comm.rank(), op::sum), comm.rank());
+  });
+}
+
+TEST(Split, P2pWithinSubCommunicator) {
+  run(6, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() / 3, comm.rank());  // {0,1,2} {3,4,5}
+    ASSERT_EQ(sub.size(), 3);
+    if (sub.rank() == 0) {
+      sub.send_value<int>(1, 0, comm.rank());
+    } else if (sub.rank() == 1) {
+      const int v = sub.recv_value<int>(0, 0);
+      // Sub-rank 0 of my group is global rank (group * 3).
+      EXPECT_EQ(v, (comm.rank() / 3) * 3);
+    }
+  });
+}
+
+TEST(Split, ParentStillUsableAfterSplit) {
+  run(4, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    sub.barrier();
+    EXPECT_EQ(comm.allreduce(1, op::sum), 4);
+    sub.barrier();
+    EXPECT_EQ(comm.allreduce(2, op::sum), 8);
+  });
+}
+
+TEST(Split, NestedSplits) {
+  constexpr int kRanks = 8;
+  run(kRanks, [](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 4, comm.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    const int partner_sum = quarter.allreduce(comm.rank(), op::sum);
+    // Partners are global ranks {2k, 2k+1}.
+    EXPECT_EQ(partner_sum, (comm.rank() / 2) * 4 + 1);
+  });
+}
+
+TEST(Split, RepeatedSplitsDoNotCollide) {
+  run(4, [](Comm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      Comm sub = comm.split(comm.rank() % 2, comm.rank());
+      EXPECT_EQ(sub.size(), 2);
+      sub.barrier();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace simmpi

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simmpi/reduce_ops.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace simmpi {
+namespace {
+
+/// Every collective exercised at a sweep of rank counts, including
+/// awkward ones (primes, powers of two, 1).
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, BarrierCompletes) {
+  run(GetParam(), [](Comm& comm) {
+    for (int i = 0; i < 5; ++i) comm.barrier();
+  });
+}
+
+TEST_P(RankSweep, AllreduceSumMatchesClosedForm) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    const long long sum = comm.allreduce<long long>(comm.rank(), op::sum);
+    EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+  });
+}
+
+TEST_P(RankSweep, BcastFromLastRank) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    const int root = n - 1;
+    const double v = comm.bcast(comm.rank() == root ? 3.25 : -1.0, root);
+    EXPECT_EQ(v, 3.25);
+  });
+}
+
+TEST_P(RankSweep, AllgatherOrdered) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * comm.rank());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) EXPECT_EQ(all[r], r * r);
+  });
+}
+
+TEST_P(RankSweep, ExscanPrefix) {
+  run(GetParam(), [](Comm& comm) {
+    const std::uint64_t prefix =
+        comm.exscan<std::uint64_t>(1, op::sum, 0);
+    EXPECT_EQ(prefix, static_cast<std::uint64_t>(comm.rank()));
+  });
+}
+
+TEST_P(RankSweep, AlltoallvTransposesTags) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    std::vector<std::vector<int>> send_to(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d)
+      send_to[static_cast<std::size_t>(d)] = {comm.rank() * 1000 + d};
+    const auto recv = comm.alltoallv(send_to);
+    for (int s = 0; s < n; ++s) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)][0],
+                s * 1000 + comm.rank());
+    }
+  });
+}
+
+TEST_P(RankSweep, RingExchange) {
+  const int n = GetParam();
+  run(n, [&](Comm& comm) {
+    const int right = (comm.rank() + 1) % n;
+    const int left = (comm.rank() + n - 1) % n;
+    comm.send_value<int>(right, 0, comm.rank());
+    EXPECT_EQ(comm.recv_value<int>(left, 0), left);
+  });
+}
+
+TEST_P(RankSweep, SplitIntoHalves) {
+  const int n = GetParam();
+  if (n < 2) return;
+  run(n, [&](Comm& comm) {
+    const int color = comm.rank() < n / 2 ? 0 : 1;
+    Comm sub = comm.split(color, comm.rank());
+    const int expect = color == 0 ? n / 2 : n - n / 2;
+    EXPECT_EQ(sub.size(), expect);
+    EXPECT_EQ(sub.allreduce(1, op::sum), expect);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, RankSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 33, 64),
+                         [](const auto& info) {
+                           return "ranks" + std::to_string(info.param);
+                         });
+
+/// Randomized point-to-point traffic with full verification: every rank
+/// sends a deterministic pseudo-random set of messages; receivers check
+/// payloads against the same generator.
+TEST(P2pFuzz, RandomTrafficPatternsVerify) {
+  constexpr int kRanks = 12;
+  constexpr int kRounds = 30;
+  run(kRanks, [&](Comm& comm) {
+    // Deterministic plan shared by all ranks: round r, sender s sends to
+    // ((s + r*7 + 1) % n) a vector of (s + r) % 9 ints of value s*100+r.
+    for (int round = 0; round < kRounds; ++round) {
+      const int dst = (comm.rank() + round * 7 + 1) % kRanks;
+      std::vector<int> payload(
+          static_cast<std::size_t>((comm.rank() + round) % 9),
+          comm.rank() * 100 + round);
+      comm.send<int>(dst, round, payload);
+    }
+    for (int round = 0; round < kRounds; ++round) {
+      // Who sends to me this round? s with (s + round*7 + 1) % n == me.
+      const int src =
+          ((comm.rank() - round * 7 - 1) % kRanks + kRanks) % kRanks;
+      const auto got = comm.recv<int>(src, round);
+      ASSERT_EQ(got.size(),
+                static_cast<std::size_t>((src + round) % 9));
+      for (int v : got) EXPECT_EQ(v, src * 100 + round);
+    }
+  });
+}
+
+TEST(P2pFuzz, InterleavedTagsAndSources) {
+  constexpr int kRanks = 6;
+  run(kRanks, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Everyone floods rank 0 with tagged messages; rank 0 drains them
+      // in reverse order of both tag and source — matching must pick the
+      // right message regardless of arrival order.
+      for (int tag = 7; tag >= 0; --tag)
+        for (int src = kRanks - 1; src >= 1; --src)
+          EXPECT_EQ(comm.recv_value<int>(src, tag), src * 10 + tag);
+    } else {
+      for (int tag = 0; tag < 8; ++tag)
+        comm.send_value<int>(0, tag, comm.rank() * 10 + tag);
+    }
+  });
+}
+
+TEST(Stress, TwoHundredRanksAllreduce) {
+  constexpr int kRanks = 200;
+  run(kRanks, [&](Comm& comm) {
+    const long long sum = comm.allreduce<long long>(1, op::sum);
+    EXPECT_EQ(sum, kRanks);
+  });
+}
+
+TEST(Stress, ManyConcurrentSubCommunicators) {
+  constexpr int kRanks = 48;
+  run(kRanks, [&](Comm& comm) {
+    for (int groups : {2, 3, 4, 6, 8}) {
+      Comm sub = comm.split(comm.rank() % groups, comm.rank());
+      const int members = kRanks / groups;
+      EXPECT_EQ(sub.size(), members);
+      // Chain of p2p inside the subgroup.
+      if (sub.rank() + 1 < sub.size()) {
+        sub.send_value<int>(sub.rank() + 1, 0, sub.rank());
+      }
+      if (sub.rank() > 0) {
+        EXPECT_EQ(sub.recv_value<int>(sub.rank() - 1, 0), sub.rank() - 1);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace simmpi

@@ -1,0 +1,97 @@
+#include "util/box.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spio {
+namespace {
+
+TEST(Box3, EmptyByDefault) {
+  Box3 b;
+  EXPECT_TRUE(b.is_empty());
+  EXPECT_EQ(b.volume(), 0.0);
+}
+
+TEST(Box3, UnitCube) {
+  const Box3 u = Box3::unit();
+  EXPECT_FALSE(u.is_empty());
+  EXPECT_DOUBLE_EQ(u.volume(), 1.0);
+  EXPECT_EQ(u.center(), Vec3d(0.5, 0.5, 0.5));
+  EXPECT_EQ(u.size(), Vec3d(1, 1, 1));
+}
+
+TEST(Box3, HalfOpenContainment) {
+  const Box3 b({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_TRUE(b.contains({0.999, 0.5, 0.5}));
+  EXPECT_FALSE(b.contains({1, 0.5, 0.5}));  // hi face excluded
+  EXPECT_FALSE(b.contains({-0.001, 0.5, 0.5}));
+}
+
+TEST(Box3, ClosedContainmentIncludesHiFace) {
+  const Box3 b({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(b.contains_closed({1, 1, 1}));
+  EXPECT_FALSE(b.contains_closed({1.0001, 1, 1}));
+}
+
+TEST(Box3, ContainsBox) {
+  const Box3 outer({0, 0, 0}, {10, 10, 10});
+  EXPECT_TRUE(outer.contains_box(Box3({1, 1, 1}, {9, 9, 9})));
+  EXPECT_TRUE(outer.contains_box(outer));
+  EXPECT_FALSE(outer.contains_box(Box3({1, 1, 1}, {11, 9, 9})));
+}
+
+TEST(Box3, OverlapIsOpen) {
+  const Box3 a({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(a.overlaps(Box3({0.5, 0.5, 0.5}, {2, 2, 2})));
+  // Sharing only a face is not an overlap (no shared volume).
+  EXPECT_FALSE(a.overlaps(Box3({1, 0, 0}, {2, 1, 1})));
+  EXPECT_FALSE(a.overlaps(Box3({5, 5, 5}, {6, 6, 6})));
+}
+
+TEST(Box3, ExtendByPoints) {
+  Box3 b = Box3::empty();
+  b.extend(Vec3d{1, 2, 3});
+  b.extend(Vec3d{-1, 5, 0});
+  EXPECT_EQ(b.lo, Vec3d(-1, 2, 0));
+  EXPECT_EQ(b.hi, Vec3d(1, 5, 3));
+}
+
+TEST(Box3, ExtendByBoxIgnoresEmpty) {
+  Box3 b({0, 0, 0}, {1, 1, 1});
+  b.extend(Box3::empty());
+  EXPECT_EQ(b, Box3({0, 0, 0}, {1, 1, 1}));
+  b.extend(Box3({2, 2, 2}, {3, 3, 3}));
+  EXPECT_EQ(b, Box3({0, 0, 0}, {3, 3, 3}));
+}
+
+TEST(Box3, EmptyExtendedByPointIsThatPoint) {
+  Box3 b = Box3::empty();
+  b.extend(Vec3d{4, 4, 4});
+  EXPECT_EQ(b.lo, Vec3d(4, 4, 4));
+  EXPECT_EQ(b.hi, Vec3d(4, 4, 4));
+  EXPECT_TRUE(b.is_empty());  // a point has no volume
+}
+
+TEST(Box3, Intersection) {
+  const Box3 a({0, 0, 0}, {2, 2, 2});
+  const Box3 b({1, 1, 1}, {3, 3, 3});
+  EXPECT_EQ(Box3::intersection(a, b), Box3({1, 1, 1}, {2, 2, 2}));
+  EXPECT_TRUE(
+      Box3::intersection(a, Box3({5, 5, 5}, {6, 6, 6})).is_empty());
+}
+
+TEST(Box3, VolumeOfDegenerateBoxIsZero) {
+  EXPECT_EQ(Box3({0, 0, 0}, {1, 1, 0}).volume(), 0.0);
+  EXPECT_EQ(Box3({0, 0, 0}, {0, 1, 1}).volume(), 0.0);
+}
+
+TEST(Box3i, CellCountAndContains) {
+  const Box3i b({0, 0, 0}, {2, 3, 4});
+  EXPECT_EQ(b.cell_count(), 24);
+  EXPECT_TRUE(b.contains({1, 2, 3}));
+  EXPECT_FALSE(b.contains({2, 0, 0}));
+  EXPECT_EQ(Box3i({1, 1, 1}, {1, 5, 5}).cell_count(), 0);
+}
+
+}  // namespace
+}  // namespace spio

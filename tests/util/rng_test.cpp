@@ -1,0 +1,100 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace spio {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DeterministicSequence) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformIndexCoversRangeWithoutBias) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t bound = 7;
+  std::vector<int> counts(bound, 0);
+  constexpr int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(bound)];
+  for (std::uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(counts[k], n / static_cast<int>(bound), 600)
+        << "bucket " << k;
+  }
+}
+
+TEST(Xoshiro256, UniformIndexOfOneIsAlwaysZero) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Xoshiro256, NormalHasUnitMoments) {
+  Xoshiro256 rng(5);
+  double sum = 0.0, sq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(StreamSeed, DistinctStreamsGetDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s)
+    seeds.insert(stream_seed(123, s));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(StreamSeed, PureFunctionOfInputs) {
+  EXPECT_EQ(stream_seed(1, 2), stream_seed(1, 2));
+  EXPECT_NE(stream_seed(1, 2), stream_seed(2, 1));
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 rng(0);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace spio

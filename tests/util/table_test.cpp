@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spio {
+namespace {
+
+TEST(Table, CellsStoredByRowAndColumn) {
+  Table t("demo", {"a", "b"});
+  t.row().add_int(1).add_double(2.5, 1);
+  t.row().add("x").add("y");
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "1");
+  EXPECT_EQ(t.cell(0, 1), "2.5");
+  EXPECT_EQ(t.cell(1, 1), "y");
+}
+
+TEST(Table, PrintContainsTitleHeaderAndData) {
+  Table t("Figure 5 (Mira)", {"procs", "GB/s"});
+  t.row().add_int(512).add_double(1.25, 2);
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("Figure 5 (Mira)"), std::string::npos);
+  EXPECT_NE(s.find("procs"), std::string::npos);
+  EXPECT_NE(s.find("512"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t("series", {"x", "y"});
+  t.row().add_int(1).add_int(2);
+  t.row().add_int(3).add_int(4);
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "# series\nx,y\n1,2\n3,4\n");
+}
+
+TEST(Table, SciFormatting) {
+  Table t("sci", {"v"});
+  t.row().add_sci(123456789.0, 3);
+  EXPECT_EQ(t.cell(0, 0), "1.23e+08");
+}
+
+TEST(Table, ColumnsAlignForVaryingWidths) {
+  Table t("align", {"name", "value"});
+  t.row().add("a").add_int(1);
+  t.row().add("longer-name").add_int(22);
+  std::ostringstream oss;
+  t.print(oss);
+  // Each printed data line must place the second column at the same offset.
+  std::istringstream in(oss.str());
+  std::string line;
+  std::getline(in, line);  // title
+  std::getline(in, line);  // header
+  const auto header_pos = line.find("value");
+  std::getline(in, line);  // rule
+  std::getline(in, line);  // row 1
+  EXPECT_EQ(line.find('1'), header_pos);
+}
+
+}  // namespace
+}  // namespace spio

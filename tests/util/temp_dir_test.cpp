@@ -1,0 +1,61 @@
+#include "util/temp_dir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace spio {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(TempDir, CreatesDirectory) {
+  TempDir d("spio-test");
+  EXPECT_TRUE(fs::is_directory(d.path()));
+}
+
+TEST(TempDir, RemovedOnDestruction) {
+  fs::path p;
+  {
+    TempDir d("spio-test");
+    p = d.path();
+    std::ofstream(d.file("x.txt")) << "hello";
+    EXPECT_TRUE(fs::exists(p / "x.txt"));
+  }
+  EXPECT_FALSE(fs::exists(p));
+}
+
+TEST(TempDir, UniqueAcrossInstances) {
+  TempDir a("spio-test"), b("spio-test");
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(TempDir, MoveTransfersOwnership) {
+  fs::path p;
+  {
+    TempDir a("spio-test");
+    p = a.path();
+    TempDir b = std::move(a);
+    EXPECT_EQ(b.path(), p);
+    EXPECT_TRUE(fs::exists(p));
+  }
+  EXPECT_FALSE(fs::exists(p));
+}
+
+TEST(TempDir, ReleasePreventsCleanup) {
+  fs::path p;
+  {
+    TempDir d("spio-test");
+    p = d.release();
+  }
+  EXPECT_TRUE(fs::exists(p));
+  fs::remove_all(p);
+}
+
+TEST(TempDir, FileHelperJoinsPath) {
+  TempDir d("spio-test");
+  EXPECT_EQ(d.file("data.bin"), d.path() / "data.bin");
+}
+
+}  // namespace
+}  // namespace spio

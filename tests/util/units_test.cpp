@@ -1,0 +1,33 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spio {
+namespace {
+
+TEST(FormatBytes, PicksAppropriateUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4096), "4.0 KiB");
+  EXPECT_EQ(format_bytes(4 * 1024 * 1024), "4.0 MiB");
+  EXPECT_EQ(format_bytes(3ull * 1024 * 1024 * 1024), "3.0 GiB");
+}
+
+TEST(ThroughputGbs, BasicConversion) {
+  // 1 GiB in 1 second = 1 GB/s in our convention.
+  EXPECT_DOUBLE_EQ(throughput_gbs(1ull << 30, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(throughput_gbs(1ull << 31, 2.0), 1.0);
+}
+
+TEST(ThroughputGbs, ZeroOrNegativeTimeIsZero) {
+  EXPECT_EQ(throughput_gbs(1000, 0.0), 0.0);
+  EXPECT_EQ(throughput_gbs(1000, -1.0), 0.0);
+}
+
+TEST(FormatSeconds, PicksScale) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5 us");
+  EXPECT_EQ(format_seconds(0.033), "33.0 ms");
+  EXPECT_EQ(format_seconds(2.5), "2.50 s");
+}
+
+}  // namespace
+}  // namespace spio

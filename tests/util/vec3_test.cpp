@@ -1,0 +1,89 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spio {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3d v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, BroadcastConstructor) {
+  Vec3d v(2.5);
+  EXPECT_EQ(v, Vec3d(2.5, 2.5, 2.5));
+}
+
+TEST(Vec3, IndexAccessMatchesComponents) {
+  Vec3d v{1, 2, 3};
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  v[1] = 9;
+  EXPECT_EQ(v.y, 9);
+}
+
+TEST(Vec3, Arithmetic) {
+  Vec3d a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3d(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3d(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3d(2, 4, 6));
+  EXPECT_EQ(b / 2.0, Vec3d(2, 2.5, 3));
+  EXPECT_EQ(a * b, Vec3d(4, 10, 18));
+  EXPECT_EQ(b / a, Vec3d(4, 2.5, 2));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3d a{1, 1, 1};
+  a += Vec3d{1, 2, 3};
+  EXPECT_EQ(a, Vec3d(2, 3, 4));
+  a -= Vec3d{1, 1, 1};
+  EXPECT_EQ(a, Vec3d(1, 2, 3));
+}
+
+TEST(Vec3, ProductSumAndExtrema) {
+  Vec3i v{2, 3, 4};
+  EXPECT_EQ(v.product(), 24);
+  EXPECT_EQ(v.sum(), 9);
+  EXPECT_EQ(v.max_component(), 4);
+  EXPECT_EQ(v.min_component(), 2);
+}
+
+TEST(Vec3, MaxAxisBreaksTiesLow) {
+  EXPECT_EQ(Vec3d(3, 1, 2).max_axis(), 0);
+  EXPECT_EQ(Vec3d(1, 3, 2).max_axis(), 1);
+  EXPECT_EQ(Vec3d(1, 2, 3).max_axis(), 2);
+  EXPECT_EQ(Vec3d(2, 2, 2).max_axis(), 0);
+  EXPECT_EQ(Vec3d(1, 2, 2).max_axis(), 1);
+}
+
+TEST(Vec3, MinMaxCombinators) {
+  Vec3d a{1, 5, 3}, b{2, 4, 3};
+  EXPECT_EQ(Vec3d::min(a, b), Vec3d(1, 4, 3));
+  EXPECT_EQ(Vec3d::max(a, b), Vec3d(2, 5, 3));
+}
+
+TEST(Vec3, CastConvertsComponentwise) {
+  Vec3d v{1.9, 2.1, -3.7};
+  Vec3i i = v.cast<std::int64_t>();
+  EXPECT_EQ(i, Vec3i(1, 2, -3));
+}
+
+TEST(Vec3, LengthAndDistance) {
+  EXPECT_DOUBLE_EQ(length(Vec3d(3, 4, 0)), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Vec3d(1, 1, 1), Vec3d(1, 1, 4)), 3.0);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream oss;
+  oss << Vec3i{1, 2, 3};
+  EXPECT_EQ(oss.str(), "(1, 2, 3)");
+}
+
+}  // namespace
+}  // namespace spio

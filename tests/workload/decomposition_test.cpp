@@ -1,0 +1,100 @@
+#include "workload/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spio {
+namespace {
+
+TEST(Decomposition, RankCoordinateRoundTrip) {
+  const PatchDecomposition d(Box3::unit(), {4, 3, 2});
+  EXPECT_EQ(d.rank_count(), 24);
+  for (int r = 0; r < d.rank_count(); ++r)
+    EXPECT_EQ(d.rank_of(d.coord_of(r)), r);
+}
+
+TEST(Decomposition, XVariesFastest) {
+  const PatchDecomposition d(Box3::unit(), {4, 3, 2});
+  EXPECT_EQ(d.coord_of(0), Vec3i(0, 0, 0));
+  EXPECT_EQ(d.coord_of(1), Vec3i(1, 0, 0));
+  EXPECT_EQ(d.coord_of(4), Vec3i(0, 1, 0));
+  EXPECT_EQ(d.coord_of(12), Vec3i(0, 0, 1));
+}
+
+TEST(Decomposition, PatchesTileTheDomain) {
+  const Box3 domain({-2, 0, 1}, {6, 3, 5});
+  const PatchDecomposition d(domain, {4, 2, 2});
+  double total_volume = 0;
+  for (int r = 0; r < d.rank_count(); ++r) {
+    const Box3 p = d.patch(r);
+    EXPECT_FALSE(p.is_empty());
+    EXPECT_TRUE(domain.contains_box(p));
+    total_volume += p.volume();
+  }
+  EXPECT_NEAR(total_volume, domain.volume(), 1e-9);
+}
+
+TEST(Decomposition, NeighboringPatchesShareFaces) {
+  const PatchDecomposition d(Box3::unit(), {4, 1, 1});
+  for (int r = 0; r + 1 < 4; ++r) {
+    EXPECT_DOUBLE_EQ(d.patch(r).hi.x, d.patch(r + 1).lo.x);
+  }
+  EXPECT_DOUBLE_EQ(d.patch(3).hi.x, 1.0);
+}
+
+TEST(Decomposition, PatchSize) {
+  const PatchDecomposition d(Box3({0, 0, 0}, {8, 4, 2}), {4, 2, 1});
+  EXPECT_EQ(d.patch_size(), Vec3d(2, 2, 2));
+}
+
+TEST(Decomposition, CellOfLocatesPoints) {
+  const PatchDecomposition d(Box3::unit(), {4, 4, 4});
+  EXPECT_EQ(d.cell_of({0.1, 0.1, 0.1}), Vec3i(0, 0, 0));
+  EXPECT_EQ(d.cell_of({0.30, 0.60, 0.80}), Vec3i(1, 2, 3));
+  // Points exactly on the upper domain face clamp into the last cell.
+  EXPECT_EQ(d.cell_of({1.0, 1.0, 1.0}), Vec3i(3, 3, 3));
+  EXPECT_EQ(d.cell_of({0.0, 0.0, 0.0}), Vec3i(0, 0, 0));
+}
+
+TEST(Decomposition, EveryPatchPointMapsBackToItsRank) {
+  const PatchDecomposition d(Box3({0, 0, 0}, {10, 10, 10}), {3, 2, 2});
+  for (int r = 0; r < d.rank_count(); ++r) {
+    const Vec3d c = d.patch(r).center();
+    EXPECT_EQ(d.rank_of(d.cell_of(c)), r);
+  }
+}
+
+TEST(Decomposition, ForRanksProducesExactRankCount) {
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16, 17, 36, 64, 100, 512}) {
+    const auto d = PatchDecomposition::for_ranks(Box3::unit(), n);
+    EXPECT_EQ(d.rank_count(), n) << "n=" << n;
+  }
+}
+
+TEST(Decomposition, NearCubicFactorsAreBalanced) {
+  EXPECT_EQ(near_cubic_factors(8), Vec3i(2, 2, 2));
+  EXPECT_EQ(near_cubic_factors(64), Vec3i(4, 4, 4));
+  EXPECT_EQ(near_cubic_factors(1), Vec3i(1, 1, 1));
+  const Vec3i f36 = near_cubic_factors(36);
+  EXPECT_EQ(f36.product(), 36);
+  EXPECT_LE(f36.max_component(), 6);
+  const Vec3i f17 = near_cubic_factors(17);  // prime
+  EXPECT_EQ(f17.product(), 17);
+}
+
+TEST(Decomposition, FactorsSortedDescending) {
+  const Vec3i f = near_cubic_factors(12);
+  EXPECT_GE(f.x, f.y);
+  EXPECT_GE(f.y, f.z);
+  EXPECT_EQ(f.product(), 12);
+}
+
+TEST(Decomposition, RejectsInvalidConfig) {
+  EXPECT_THROW(PatchDecomposition(Box3::empty(), {1, 1, 1}), ConfigError);
+  EXPECT_THROW(PatchDecomposition(Box3::unit(), {0, 1, 1}), ConfigError);
+  EXPECT_THROW(PatchDecomposition::for_ranks(Box3::unit(), 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace spio

@@ -1,0 +1,202 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spio::workload {
+namespace {
+
+const Box3 kPatch({2, 2, 2}, {4, 4, 4});
+
+TEST(UniformGenerator, CountAndContainment) {
+  const auto buf = uniform(Schema::uintah(), kPatch, 1000, 42);
+  EXPECT_EQ(buf.size(), 1000u);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_TRUE(kPatch.contains(buf.position(i))) << i;
+}
+
+TEST(UniformGenerator, Deterministic) {
+  const auto a = uniform(Schema::uintah(), kPatch, 100, 7);
+  const auto b = uniform(Schema::uintah(), kPatch, 100, 7);
+  ASSERT_EQ(a.byte_size(), b.byte_size());
+  EXPECT_EQ(std::memcmp(a.bytes().data(), b.bytes().data(), a.byte_size()), 0);
+}
+
+TEST(UniformGenerator, SeedChangesOutput) {
+  const auto a = uniform(Schema::uintah(), kPatch, 100, 7);
+  const auto b = uniform(Schema::uintah(), kPatch, 100, 8);
+  EXPECT_NE(std::memcmp(a.bytes().data(), b.bytes().data(), a.byte_size()), 0);
+}
+
+TEST(UniformGenerator, IdsAreSequentialFromFirstId) {
+  const auto buf = uniform(Schema::uintah(), kPatch, 10, 1, /*first_id=*/500);
+  const auto id = buf.schema().index_of("id");
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_EQ(buf.get_f64(i, id), 500.0 + static_cast<double>(i));
+}
+
+TEST(UniformGenerator, AttributesArePhysicsPlausible) {
+  const auto buf = uniform(Schema::uintah(), kPatch, 200, 3);
+  const auto density = buf.schema().index_of("density");
+  const auto volume = buf.schema().index_of("volume");
+  const auto type = buf.schema().index_of("type");
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_GT(buf.get_f64(i, density), 0.0);
+    EXPECT_GT(buf.get_f64(i, volume), 0.0);
+    const float t = buf.get_f32(i, type);
+    EXPECT_GE(t, 0.0f);
+    EXPECT_LT(t, 4.0f);
+  }
+}
+
+TEST(UniformGenerator, PositionsFillThePatch) {
+  // With 5000 samples every octant of the patch should be hit.
+  const auto buf = uniform(Schema::position_only(), kPatch, 5000, 11);
+  int octant_count[8] = {0};
+  const Vec3d mid = kPatch.center();
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const Vec3d p = buf.position(i);
+    const int o = (p.x >= mid.x) | ((p.y >= mid.y) << 1) | ((p.z >= mid.z) << 2);
+    ++octant_count[o];
+  }
+  for (int o = 0; o < 8; ++o) EXPECT_GT(octant_count[o], 300) << o;
+}
+
+TEST(ZeroCount, ProducesEmptyBuffer) {
+  EXPECT_TRUE(uniform(Schema::uintah(), kPatch, 0, 1).empty());
+}
+
+TEST(GaussianClusters, ContainedAndClustered) {
+  const auto buf =
+      gaussian_clusters(Schema::uintah(), kPatch, 2000, 3, 0.05, 13);
+  EXPECT_EQ(buf.size(), 2000u);
+  Box3 bounds = Box3::empty();
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_TRUE(kPatch.contains(buf.position(i)));
+    bounds.extend(buf.position(i));
+  }
+  // Clusters with sigma 5% of patch occupy far less than the whole patch
+  // volume most of the time; just assert the distribution is not uniform:
+  // count particles in the densest octant vs the sparsest.
+  int octant_count[8] = {0};
+  const Vec3d mid = kPatch.center();
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const Vec3d p = buf.position(i);
+    const int o = (p.x >= mid.x) | ((p.y >= mid.y) << 1) | ((p.z >= mid.z) << 2);
+    ++octant_count[o];
+  }
+  int mn = octant_count[0], mx = octant_count[0];
+  for (int o = 1; o < 8; ++o) {
+    mn = std::min(mn, octant_count[o]);
+    mx = std::max(mx, octant_count[o]);
+  }
+  EXPECT_GT(mx, 2 * std::max(mn, 1));
+}
+
+TEST(CoverageRegion, ShrinksAlongX) {
+  const Box3 domain({0, 0, 0}, {8, 2, 2});
+  const Box3 half = coverage_region(domain, 0.5);
+  EXPECT_EQ(half, Box3({0, 0, 0}, {4, 2, 2}));
+  const Box3 full = coverage_region(domain, 1.0);
+  EXPECT_EQ(full, domain);
+  const Box3 eighth = coverage_region(domain, 0.125);
+  EXPECT_DOUBLE_EQ(eighth.hi.x, 1.0);
+}
+
+TEST(UniformInRegion, EmptyIntersectionYieldsNoParticles) {
+  const Box3 region({0, 0, 0}, {1, 1, 1});  // disjoint from kPatch
+  EXPECT_TRUE(
+      uniform_in_region(Schema::uintah(), kPatch, region, 100, 5).empty());
+}
+
+TEST(UniformInRegion, PartialIntersectionStaysInside) {
+  const Box3 region({0, 0, 0}, {3, 10, 10});  // overlaps half of kPatch in x
+  const auto buf = uniform_in_region(Schema::uintah(), kPatch, region, 500, 5);
+  EXPECT_EQ(buf.size(), 500u);
+  const Box3 live = Box3::intersection(kPatch, region);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_TRUE(live.contains(buf.position(i)));
+}
+
+TEST(PlummerSphere, CountContainmentAndDeterminism) {
+  const auto a = plummer_sphere(Schema::uintah(), kPatch, 1500, 0.05, 31);
+  const auto b = plummer_sphere(Schema::uintah(), kPatch, 1500, 0.05, 31);
+  EXPECT_EQ(a.size(), 1500u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_TRUE(kPatch.contains(a.position(i)));
+  EXPECT_EQ(std::memcmp(a.bytes().data(), b.bytes().data(), a.byte_size()), 0);
+}
+
+TEST(PlummerSphere, CentrallyConcentrated) {
+  const auto buf =
+      plummer_sphere(Schema::position_only(), kPatch, 20000, 0.05, 7);
+  const Vec3d center = kPatch.center();
+  const double half_extent = kPatch.size().min_component() / 2;
+  int inner = 0, outer = 0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const double r = distance(buf.position(i), center);
+    if (r < 0.1 * half_extent) ++inner;
+    if (r > 0.5 * half_extent) ++outer;
+  }
+  // Plummer theory: M(<a) = a^3/(2a^2)^(3/2) ~ 35% of the mass inside
+  // r = a (here a = 0.1 = the "inner" radius), and ~6% beyond r = 0.5.
+  // Uniform sampling would put ~0.05% inside the inner ball.
+  EXPECT_GT(inner, 4 * std::max(outer, 1));
+  EXPECT_NEAR(static_cast<double>(inner) / static_cast<double>(buf.size()),
+              0.354, 0.04);
+  EXPECT_NEAR(static_cast<double>(outer) / static_cast<double>(buf.size()),
+              0.057, 0.03);
+}
+
+TEST(PlummerSphere, ScaleRadiusControlsSpread) {
+  const auto tight =
+      plummer_sphere(Schema::position_only(), kPatch, 4000, 0.02, 5);
+  const auto wide =
+      plummer_sphere(Schema::position_only(), kPatch, 4000, 0.3, 5);
+  auto mean_radius = [&](const ParticleBuffer& b) {
+    double s = 0;
+    for (std::size_t i = 0; i < b.size(); ++i)
+      s += distance(b.position(i), kPatch.center());
+    return s / static_cast<double>(b.size());
+  };
+  EXPECT_LT(mean_radius(tight), 0.5 * mean_radius(wide));
+}
+
+TEST(Injection, TimeZeroIsEmpty) {
+  const Box3 domain({0, 0, 0}, {10, 10, 10});
+  EXPECT_TRUE(injection(Schema::uintah(), kPatch, domain, 0.0, 100, 9).empty());
+}
+
+TEST(Injection, FrontAdvancesWithTime) {
+  const Box3 domain({0, 0, 0}, {10, 10, 10});
+  const Box3 patch({0, 0, 0}, {10, 10, 10});  // single-rank view
+  const auto early = injection(Schema::uintah(), patch, domain, 0.2, 4000, 9);
+  const auto late = injection(Schema::uintah(), patch, domain, 0.9, 4000, 9);
+  ASSERT_FALSE(early.empty());
+  ASSERT_FALSE(late.empty());
+  EXPECT_LT(early.bounds().hi.x, 2.01);
+  EXPECT_GT(late.bounds().hi.x, 5.0);
+}
+
+TEST(Injection, DensityDecaysTowardFront) {
+  const Box3 domain({0, 0, 0}, {10, 10, 10});
+  const Box3 patch = domain;
+  const auto buf = injection(Schema::uintah(), patch, domain, 1.0, 20000, 21);
+  // Count particles in the first and last thirds of the occupied region.
+  int head = 0, tail = 0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const double x = buf.position(i).x;
+    if (x < 10.0 / 3.0) ++head;
+    if (x > 20.0 / 3.0) ++tail;
+  }
+  EXPECT_GT(head, tail);
+}
+
+TEST(Injection, RanksOutsideFrontAreEmpty) {
+  const Box3 domain({0, 0, 0}, {10, 10, 10});
+  const Box3 far_patch({8, 0, 0}, {10, 10, 10});
+  EXPECT_TRUE(
+      injection(Schema::uintah(), far_patch, domain, 0.5, 100, 3).empty());
+}
+
+}  // namespace
+}  // namespace spio::workload

@@ -1,0 +1,90 @@
+#include "workload/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace spio {
+namespace {
+
+TEST(Schema, UintahRecordSizeMatchesPaper) {
+  // Paper §5.1: 15 doubles + 1 float per particle = 124 bytes.
+  const Schema s = Schema::uintah();
+  EXPECT_EQ(s.record_size(), 15 * 8 + 4u);
+}
+
+TEST(Schema, UintahFieldLayout) {
+  const Schema s = Schema::uintah();
+  EXPECT_EQ(s.field_count(), 6u);
+  EXPECT_EQ(s.offset(s.index_of("position")), 0u);
+  EXPECT_EQ(s.offset(s.index_of("stress")), 24u);
+  EXPECT_EQ(s.offset(s.index_of("density")), 96u);
+  EXPECT_EQ(s.offset(s.index_of("volume")), 104u);
+  EXPECT_EQ(s.offset(s.index_of("id")), 112u);
+  EXPECT_EQ(s.offset(s.index_of("type")), 120u);
+}
+
+TEST(Schema, PositionOnlyIs24Bytes) {
+  EXPECT_EQ(Schema::position_only().record_size(), 24u);
+}
+
+TEST(Schema, RequiresPositionFirst) {
+  EXPECT_THROW(Schema({{"density", FieldType::kF64, 1}}), ConfigError);
+  EXPECT_THROW(Schema({{"position", FieldType::kF32, 3}}), ConfigError);
+  EXPECT_THROW(Schema({{"position", FieldType::kF64, 2}}), ConfigError);
+}
+
+TEST(Schema, RejectsEmptyAndDuplicates) {
+  EXPECT_THROW(Schema({}), ConfigError);
+  EXPECT_THROW(Schema({{"position", FieldType::kF64, 3},
+                       {"a", FieldType::kF64, 1},
+                       {"a", FieldType::kF32, 1}}),
+               ConfigError);
+}
+
+TEST(Schema, RejectsZeroComponents) {
+  EXPECT_THROW(Schema({{"position", FieldType::kF64, 3},
+                       {"bad", FieldType::kF64, 0}}),
+               ConfigError);
+}
+
+TEST(Schema, IndexOfMissingFieldThrows) {
+  EXPECT_THROW(Schema::uintah().index_of("pressure"), ConfigError);
+}
+
+TEST(Schema, SerializationRoundTrip) {
+  const Schema s = Schema::uintah();
+  BinaryWriter w;
+  s.serialize(w);
+  BinaryReader r(w.bytes());
+  const Schema back = Schema::deserialize(r);
+  EXPECT_EQ(back, s);
+  EXPECT_EQ(back.record_size(), s.record_size());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Schema, DeserializeRejectsGarbage) {
+  BinaryWriter w;
+  w.write<std::uint32_t>(0);  // zero fields
+  {
+    BinaryReader r(w.bytes());
+    EXPECT_THROW(Schema::deserialize(r), FormatError);
+  }
+  BinaryWriter w2;
+  w2.write<std::uint32_t>(1);
+  w2.write_string("position");
+  w2.write<std::uint8_t>(42);  // bad type tag
+  w2.write<std::uint32_t>(3);
+  {
+    BinaryReader r(w2.bytes());
+    EXPECT_THROW(Schema::deserialize(r), FormatError);
+  }
+}
+
+TEST(Schema, EqualityComparesFieldLists) {
+  EXPECT_EQ(Schema::uintah(), Schema::uintah());
+  EXPECT_FALSE(Schema::uintah() == Schema::position_only());
+}
+
+}  // namespace
+}  // namespace spio

@@ -1,0 +1,98 @@
+/// \file spio_convert.cpp
+/// Convert a legacy particle dataset (file-per-process, shared file, or
+/// rank-order sub-filed) into a spatially-aware spio dataset.
+///
+/// Usage:
+///   spio_convert --from fpp|shared|rankorder <src-dir> <dst-dir>
+///                [--ranks N] [--factor PxxPyxPz] [--adaptive] [--refine]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baselines/convert.hpp"
+#include "simmpi/runtime.hpp"
+
+using namespace spio;
+using namespace spio::baselines;
+
+namespace {
+
+bool parse_factor(const std::string& s, PartitionFactor* out) {
+  int px = 0, py = 0, pz = 0;
+  if (std::sscanf(s.c_str(), "%dx%dx%d", &px, &py, &pz) != 3) return false;
+  *out = {px, py, pz};
+  return out->valid();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LegacyFormat format = LegacyFormat::kFilePerProcess;
+  std::filesystem::path src, dst;
+  int ranks = 8;
+  WriterConfig cfg;
+  cfg.factor = {2, 2, 2};
+
+  bool have_format = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--from") {
+      const std::string v = next();
+      if (v == "fpp") format = LegacyFormat::kFilePerProcess;
+      else if (v == "shared") format = LegacyFormat::kSharedFile;
+      else if (v == "rankorder") format = LegacyFormat::kRankOrder;
+      else {
+        std::cerr << "unknown format '" << v << "'\n";
+        return 2;
+      }
+      have_format = true;
+    } else if (arg == "--ranks") {
+      ranks = std::atoi(next());
+    } else if (arg == "--factor") {
+      if (!parse_factor(next(), &cfg.factor)) {
+        std::cerr << "bad factor (want e.g. 2x2x2)\n";
+        return 2;
+      }
+    } else if (arg == "--adaptive") {
+      cfg.adaptive = true;
+    } else if (arg == "--refine") {
+      cfg.adaptive = true;
+      cfg.adaptive_refine = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!have_format || positional.size() != 2 || ranks < 1) {
+    std::cerr << "usage: spio_convert --from fpp|shared|rankorder <src> "
+                 "<dst> [--ranks N] [--factor PxxPyxPz] [--adaptive] "
+                 "[--refine]\n";
+    return 2;
+  }
+  src = positional[0];
+  cfg.dir = positional[1];
+
+  try {
+    ConvertResult result;
+    simmpi::run(ranks, [&](simmpi::Comm& comm) {
+      const ConvertResult r = convert_to_spio(comm, format, src, cfg);
+      if (comm.rank() == 0) result = r;
+    });
+    std::cout << "converted " << result.particles << " particles: "
+              << result.source_files << " legacy file(s) -> "
+              << result.output_files << " spio file(s) at "
+              << cfg.dir.string() << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

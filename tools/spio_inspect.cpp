@@ -1,0 +1,126 @@
+/// \file spio_inspect.cpp
+/// Command-line dataset inspector and validator.
+///
+/// Usage:
+///   spio_inspect <dataset-dir> [--deep] [--files]
+///
+///   --deep    also read every particle and check bounds / field ranges
+///   --files   print the full per-file table (default: first 16 files)
+
+#include <cstring>
+#include <iostream>
+
+#include "core/reader.hpp"
+#include "core/timeseries.hpp"
+#include "core/validate.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace spio;
+
+namespace {
+
+const char* heuristic_name(LodHeuristic h) {
+  switch (h) {
+    case LodHeuristic::kRandom:
+      return "random";
+    case LodHeuristic::kStride:
+      return "stride";
+    case LodHeuristic::kStratified:
+      return "stratified";
+  }
+  return "?";
+}
+
+int inspect_dataset(const std::filesystem::path& dir, bool deep,
+                    bool all_files) {
+  const Dataset ds = Dataset::open(dir);
+  const DatasetMetadata& m = ds.metadata();
+
+  std::cout << "dataset: " << dir.string() << "\n"
+            << "  particles : " << m.total_particles << " ("
+            << format_bytes(m.total_particles * m.schema.record_size())
+            << ")\n"
+            << "  files     : " << m.files.size() << "\n"
+            << "  domain    : " << m.domain << "\n"
+            << "  LOD       : P=" << m.lod.P << " S=" << m.lod.S << " ("
+            << ds.level_count(1) << " levels for 1 reader), "
+            << heuristic_name(m.heuristic) << " order\n"
+            << "  metadata  : bounds=" << (m.has_bounds ? "yes" : "no")
+            << " field-ranges=" << (m.has_field_ranges ? "yes" : "no")
+            << "\n  schema    : " << m.schema.record_size()
+            << " B/particle\n";
+  for (const FieldDesc& f : m.schema.fields()) {
+    std::cout << "    " << f.name << " "
+              << (f.type == FieldType::kF64 ? "f64" : "f32") << " x"
+              << f.components << "\n";
+  }
+
+  Table t("files", {"file", "particles", "bytes", "bounds"});
+  const std::size_t limit = all_files ? m.files.size()
+                                      : std::min<std::size_t>(16, m.files.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const FileRecord& f = m.files[i];
+    std::ostringstream b;
+    if (m.has_bounds) b << f.bounds;
+    t.row()
+        .add(f.file_name())
+        .add_int(static_cast<long long>(f.particle_count))
+        .add(format_bytes(f.particle_count * m.schema.record_size()))
+        .add(b.str());
+  }
+  t.print(std::cout);
+  if (limit < m.files.size()) {
+    std::cout << "(" << m.files.size() - limit
+              << " more files; pass --files to list all)\n";
+  }
+
+  const ValidationReport report = validate_dataset(dir, deep);
+  for (const std::string& w : report.warnings)
+    std::cout << "warning: " << w << "\n";
+  for (const std::string& e : report.errors)
+    std::cout << "ERROR: " << e << "\n";
+  std::cout << (report.ok() ? "dataset OK" : "dataset INVALID")
+            << (deep ? " (deep check)" : "") << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: spio_inspect <dataset-dir> [--deep] [--files]\n";
+    return 2;
+  }
+  const std::filesystem::path dir = argv[1];
+  bool deep = false, all_files = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--deep") == 0) deep = true;
+    else if (std::strcmp(argv[i], "--files") == 0) all_files = true;
+    else {
+      std::cerr << "unknown option: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    // A series base directory? Inspect every step.
+    if (std::filesystem::exists(dir / TimeSeries::kIndexName)) {
+      const TimeSeries series = TimeSeries::open(dir);
+      std::cout << "time series with " << series.step_count()
+                << " step(s)\n\n";
+      int rc = 0;
+      for (const int step : series.steps()) {
+        std::cout << "--- step " << step << " ---\n";
+        rc |= inspect_dataset(TimeSeries::step_dir(dir, step), deep,
+                              all_files);
+        std::cout << "\n";
+      }
+      return rc;
+    }
+    return inspect_dataset(dir, deep, all_files);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
