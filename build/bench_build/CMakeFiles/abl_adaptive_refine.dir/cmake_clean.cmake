@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_adaptive_refine"
+  "../bench/abl_adaptive_refine.pdb"
+  "CMakeFiles/abl_adaptive_refine.dir/abl_adaptive_refine.cpp.o"
+  "CMakeFiles/abl_adaptive_refine.dir/abl_adaptive_refine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

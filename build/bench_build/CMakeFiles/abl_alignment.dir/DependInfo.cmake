@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_alignment.cpp" "bench_build/CMakeFiles/abl_alignment.dir/abl_alignment.cpp.o" "gcc" "bench_build/CMakeFiles/abl_alignment.dir/abl_alignment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosim/CMakeFiles/spio_iosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/spio_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_alignment"
+  "../bench/abl_alignment.pdb"
+  "CMakeFiles/abl_alignment.dir/abl_alignment.cpp.o"
+  "CMakeFiles/abl_alignment.dir/abl_alignment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_placement"
+  "../bench/abl_placement.pdb"
+  "CMakeFiles/abl_placement.dir/abl_placement.cpp.o"
+  "CMakeFiles/abl_placement.dir/abl_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_shuffle_heuristic"
+  "../bench/abl_shuffle_heuristic.pdb"
+  "CMakeFiles/abl_shuffle_heuristic.dir/abl_shuffle_heuristic.cpp.o"
+  "CMakeFiles/abl_shuffle_heuristic.dir/abl_shuffle_heuristic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_shuffle_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_filecount"
+  "../bench/fig03_filecount.pdb"
+  "CMakeFiles/fig03_filecount.dir/fig03_filecount.cpp.o"
+  "CMakeFiles/fig03_filecount.dir/fig03_filecount.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_filecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_weak_scaling"
+  "../bench/fig05_weak_scaling.pdb"
+  "CMakeFiles/fig05_weak_scaling.dir/fig05_weak_scaling.cpp.o"
+  "CMakeFiles/fig05_weak_scaling.dir/fig05_weak_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_time_breakdown"
+  "../bench/fig06_time_breakdown.pdb"
+  "CMakeFiles/fig06_time_breakdown.dir/fig06_time_breakdown.cpp.o"
+  "CMakeFiles/fig06_time_breakdown.dir/fig06_time_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_time_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

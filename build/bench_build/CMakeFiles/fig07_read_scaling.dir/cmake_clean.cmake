@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_read_scaling"
+  "../bench/fig07_read_scaling.pdb"
+  "CMakeFiles/fig07_read_scaling.dir/fig07_read_scaling.cpp.o"
+  "CMakeFiles/fig07_read_scaling.dir/fig07_read_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_read_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_lod_reads"
+  "../bench/fig08_lod_reads.pdb"
+  "CMakeFiles/fig08_lod_reads.dir/fig08_lod_reads.cpp.o"
+  "CMakeFiles/fig08_lod_reads.dir/fig08_lod_reads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_lod_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

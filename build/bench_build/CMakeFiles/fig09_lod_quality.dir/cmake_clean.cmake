@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_lod_quality"
+  "../bench/fig09_lod_quality.pdb"
+  "CMakeFiles/fig09_lod_quality.dir/fig09_lod_quality.cpp.o"
+  "CMakeFiles/fig09_lod_quality.dir/fig09_lod_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_lod_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

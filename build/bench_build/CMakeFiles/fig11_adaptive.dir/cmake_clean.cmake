@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_adaptive"
+  "../bench/fig11_adaptive.pdb"
+  "CMakeFiles/fig11_adaptive.dir/fig11_adaptive.cpp.o"
+  "CMakeFiles/fig11_adaptive.dir/fig11_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

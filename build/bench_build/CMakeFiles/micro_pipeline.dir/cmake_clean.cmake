@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_pipeline"
+  "../bench/micro_pipeline.pdb"
+  "CMakeFiles/micro_pipeline.dir/micro_pipeline.cpp.o"
+  "CMakeFiles/micro_pipeline.dir/micro_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_shuffle"
+  "../bench/micro_shuffle.pdb"
+  "CMakeFiles/micro_shuffle.dir/micro_shuffle.cpp.o"
+  "CMakeFiles/micro_shuffle.dir/micro_shuffle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

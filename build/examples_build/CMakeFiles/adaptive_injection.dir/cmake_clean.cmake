@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/adaptive_injection"
+  "../examples/adaptive_injection.pdb"
+  "CMakeFiles/adaptive_injection.dir/adaptive_injection.cpp.o"
+  "CMakeFiles/adaptive_injection.dir/adaptive_injection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

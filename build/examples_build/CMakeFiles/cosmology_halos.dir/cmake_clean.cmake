@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cosmology_halos"
+  "../examples/cosmology_halos.pdb"
+  "CMakeFiles/cosmology_halos.dir/cosmology_halos.cpp.o"
+  "CMakeFiles/cosmology_halos.dir/cosmology_halos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology_halos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lod_progressive"
+  "../examples/lod_progressive.pdb"
+  "CMakeFiles/lod_progressive.dir/lod_progressive.cpp.o"
+  "CMakeFiles/lod_progressive.dir/lod_progressive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lod_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/range_query"
+  "../examples/range_query.pdb"
+  "CMakeFiles/range_query.dir/range_query.cpp.o"
+  "CMakeFiles/range_query.dir/range_query.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

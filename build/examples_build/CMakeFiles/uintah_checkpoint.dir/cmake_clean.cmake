@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/uintah_checkpoint"
+  "../examples/uintah_checkpoint.pdb"
+  "CMakeFiles/uintah_checkpoint.dir/uintah_checkpoint.cpp.o"
+  "CMakeFiles/uintah_checkpoint.dir/uintah_checkpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uintah_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

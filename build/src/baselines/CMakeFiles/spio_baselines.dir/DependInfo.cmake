@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/convert.cpp" "src/baselines/CMakeFiles/spio_baselines.dir/convert.cpp.o" "gcc" "src/baselines/CMakeFiles/spio_baselines.dir/convert.cpp.o.d"
+  "/root/repo/src/baselines/fpp.cpp" "src/baselines/CMakeFiles/spio_baselines.dir/fpp.cpp.o" "gcc" "src/baselines/CMakeFiles/spio_baselines.dir/fpp.cpp.o.d"
+  "/root/repo/src/baselines/ior_like.cpp" "src/baselines/CMakeFiles/spio_baselines.dir/ior_like.cpp.o" "gcc" "src/baselines/CMakeFiles/spio_baselines.dir/ior_like.cpp.o.d"
+  "/root/repo/src/baselines/rank_order.cpp" "src/baselines/CMakeFiles/spio_baselines.dir/rank_order.cpp.o" "gcc" "src/baselines/CMakeFiles/spio_baselines.dir/rank_order.cpp.o.d"
+  "/root/repo/src/baselines/shared_file.cpp" "src/baselines/CMakeFiles/spio_baselines.dir/shared_file.cpp.o" "gcc" "src/baselines/CMakeFiles/spio_baselines.dir/shared_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

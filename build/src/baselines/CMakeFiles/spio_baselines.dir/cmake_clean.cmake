@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spio_baselines.dir/convert.cpp.o"
+  "CMakeFiles/spio_baselines.dir/convert.cpp.o.d"
+  "CMakeFiles/spio_baselines.dir/fpp.cpp.o"
+  "CMakeFiles/spio_baselines.dir/fpp.cpp.o.d"
+  "CMakeFiles/spio_baselines.dir/ior_like.cpp.o"
+  "CMakeFiles/spio_baselines.dir/ior_like.cpp.o.d"
+  "CMakeFiles/spio_baselines.dir/rank_order.cpp.o"
+  "CMakeFiles/spio_baselines.dir/rank_order.cpp.o.d"
+  "CMakeFiles/spio_baselines.dir/shared_file.cpp.o"
+  "CMakeFiles/spio_baselines.dir/shared_file.cpp.o.d"
+  "libspio_baselines.a"
+  "libspio_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation_grid.cpp" "src/core/CMakeFiles/spio_core.dir/aggregation_grid.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/aggregation_grid.cpp.o.d"
+  "/root/repo/src/core/aggregation_plan.cpp" "src/core/CMakeFiles/spio_core.dir/aggregation_plan.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/aggregation_plan.cpp.o.d"
+  "/root/repo/src/core/density.cpp" "src/core/CMakeFiles/spio_core.dir/density.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/density.cpp.o.d"
+  "/root/repo/src/core/distributed_read.cpp" "src/core/CMakeFiles/spio_core.dir/distributed_read.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/distributed_read.cpp.o.d"
+  "/root/repo/src/core/file_index.cpp" "src/core/CMakeFiles/spio_core.dir/file_index.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/file_index.cpp.o.d"
+  "/root/repo/src/core/kd_partition.cpp" "src/core/CMakeFiles/spio_core.dir/kd_partition.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/kd_partition.cpp.o.d"
+  "/root/repo/src/core/knn.cpp" "src/core/CMakeFiles/spio_core.dir/knn.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/knn.cpp.o.d"
+  "/root/repo/src/core/lod.cpp" "src/core/CMakeFiles/spio_core.dir/lod.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/lod.cpp.o.d"
+  "/root/repo/src/core/metadata.cpp" "src/core/CMakeFiles/spio_core.dir/metadata.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/metadata.cpp.o.d"
+  "/root/repo/src/core/reader.cpp" "src/core/CMakeFiles/spio_core.dir/reader.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/reader.cpp.o.d"
+  "/root/repo/src/core/restart.cpp" "src/core/CMakeFiles/spio_core.dir/restart.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/restart.cpp.o.d"
+  "/root/repo/src/core/timeseries.cpp" "src/core/CMakeFiles/spio_core.dir/timeseries.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/timeseries.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/spio_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/validate.cpp.o.d"
+  "/root/repo/src/core/writer.cpp" "src/core/CMakeFiles/spio_core.dir/writer.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

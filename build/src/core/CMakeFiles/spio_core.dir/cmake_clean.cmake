@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spio_core.dir/aggregation_grid.cpp.o"
+  "CMakeFiles/spio_core.dir/aggregation_grid.cpp.o.d"
+  "CMakeFiles/spio_core.dir/aggregation_plan.cpp.o"
+  "CMakeFiles/spio_core.dir/aggregation_plan.cpp.o.d"
+  "CMakeFiles/spio_core.dir/density.cpp.o"
+  "CMakeFiles/spio_core.dir/density.cpp.o.d"
+  "CMakeFiles/spio_core.dir/distributed_read.cpp.o"
+  "CMakeFiles/spio_core.dir/distributed_read.cpp.o.d"
+  "CMakeFiles/spio_core.dir/file_index.cpp.o"
+  "CMakeFiles/spio_core.dir/file_index.cpp.o.d"
+  "CMakeFiles/spio_core.dir/kd_partition.cpp.o"
+  "CMakeFiles/spio_core.dir/kd_partition.cpp.o.d"
+  "CMakeFiles/spio_core.dir/knn.cpp.o"
+  "CMakeFiles/spio_core.dir/knn.cpp.o.d"
+  "CMakeFiles/spio_core.dir/lod.cpp.o"
+  "CMakeFiles/spio_core.dir/lod.cpp.o.d"
+  "CMakeFiles/spio_core.dir/metadata.cpp.o"
+  "CMakeFiles/spio_core.dir/metadata.cpp.o.d"
+  "CMakeFiles/spio_core.dir/reader.cpp.o"
+  "CMakeFiles/spio_core.dir/reader.cpp.o.d"
+  "CMakeFiles/spio_core.dir/restart.cpp.o"
+  "CMakeFiles/spio_core.dir/restart.cpp.o.d"
+  "CMakeFiles/spio_core.dir/timeseries.cpp.o"
+  "CMakeFiles/spio_core.dir/timeseries.cpp.o.d"
+  "CMakeFiles/spio_core.dir/validate.cpp.o"
+  "CMakeFiles/spio_core.dir/validate.cpp.o.d"
+  "CMakeFiles/spio_core.dir/writer.cpp.o"
+  "CMakeFiles/spio_core.dir/writer.cpp.o.d"
+  "libspio_core.a"
+  "libspio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

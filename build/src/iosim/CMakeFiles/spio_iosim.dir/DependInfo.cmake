@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iosim/event_sim.cpp" "src/iosim/CMakeFiles/spio_iosim.dir/event_sim.cpp.o" "gcc" "src/iosim/CMakeFiles/spio_iosim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/iosim/machine_profile.cpp" "src/iosim/CMakeFiles/spio_iosim.dir/machine_profile.cpp.o" "gcc" "src/iosim/CMakeFiles/spio_iosim.dir/machine_profile.cpp.o.d"
+  "/root/repo/src/iosim/read_model.cpp" "src/iosim/CMakeFiles/spio_iosim.dir/read_model.cpp.o" "gcc" "src/iosim/CMakeFiles/spio_iosim.dir/read_model.cpp.o.d"
+  "/root/repo/src/iosim/write_model.cpp" "src/iosim/CMakeFiles/spio_iosim.dir/write_model.cpp.o" "gcc" "src/iosim/CMakeFiles/spio_iosim.dir/write_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

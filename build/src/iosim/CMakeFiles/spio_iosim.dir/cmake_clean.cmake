@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spio_iosim.dir/event_sim.cpp.o"
+  "CMakeFiles/spio_iosim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/spio_iosim.dir/machine_profile.cpp.o"
+  "CMakeFiles/spio_iosim.dir/machine_profile.cpp.o.d"
+  "CMakeFiles/spio_iosim.dir/read_model.cpp.o"
+  "CMakeFiles/spio_iosim.dir/read_model.cpp.o.d"
+  "CMakeFiles/spio_iosim.dir/write_model.cpp.o"
+  "CMakeFiles/spio_iosim.dir/write_model.cpp.o.d"
+  "libspio_iosim.a"
+  "libspio_iosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spio_simmpi.dir/collective_arena.cpp.o"
+  "CMakeFiles/spio_simmpi.dir/collective_arena.cpp.o.d"
+  "CMakeFiles/spio_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/spio_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/spio_simmpi.dir/mailbox.cpp.o"
+  "CMakeFiles/spio_simmpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/spio_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/spio_simmpi.dir/runtime.cpp.o.d"
+  "libspio_simmpi.a"
+  "libspio_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

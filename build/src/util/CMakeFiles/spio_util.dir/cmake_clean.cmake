@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spio_util.dir/rng.cpp.o"
+  "CMakeFiles/spio_util.dir/rng.cpp.o.d"
+  "CMakeFiles/spio_util.dir/serialize.cpp.o"
+  "CMakeFiles/spio_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/spio_util.dir/stats.cpp.o"
+  "CMakeFiles/spio_util.dir/stats.cpp.o.d"
+  "CMakeFiles/spio_util.dir/table.cpp.o"
+  "CMakeFiles/spio_util.dir/table.cpp.o.d"
+  "CMakeFiles/spio_util.dir/temp_dir.cpp.o"
+  "CMakeFiles/spio_util.dir/temp_dir.cpp.o.d"
+  "CMakeFiles/spio_util.dir/units.cpp.o"
+  "CMakeFiles/spio_util.dir/units.cpp.o.d"
+  "libspio_util.a"
+  "libspio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/decomposition.cpp" "src/workload/CMakeFiles/spio_workload.dir/decomposition.cpp.o" "gcc" "src/workload/CMakeFiles/spio_workload.dir/decomposition.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/spio_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/spio_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/particle_buffer.cpp" "src/workload/CMakeFiles/spio_workload.dir/particle_buffer.cpp.o" "gcc" "src/workload/CMakeFiles/spio_workload.dir/particle_buffer.cpp.o.d"
+  "/root/repo/src/workload/schema.cpp" "src/workload/CMakeFiles/spio_workload.dir/schema.cpp.o" "gcc" "src/workload/CMakeFiles/spio_workload.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

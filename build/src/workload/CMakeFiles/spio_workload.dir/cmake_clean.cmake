@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spio_workload.dir/decomposition.cpp.o"
+  "CMakeFiles/spio_workload.dir/decomposition.cpp.o.d"
+  "CMakeFiles/spio_workload.dir/generators.cpp.o"
+  "CMakeFiles/spio_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/spio_workload.dir/particle_buffer.cpp.o"
+  "CMakeFiles/spio_workload.dir/particle_buffer.cpp.o.d"
+  "CMakeFiles/spio_workload.dir/schema.cpp.o"
+  "CMakeFiles/spio_workload.dir/schema.cpp.o.d"
+  "libspio_workload.a"
+  "libspio_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

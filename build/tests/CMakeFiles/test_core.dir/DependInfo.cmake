@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregation_grid_test.cpp" "tests/CMakeFiles/test_core.dir/core/aggregation_grid_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/aggregation_grid_test.cpp.o.d"
+  "/root/repo/tests/core/aggregation_plan_test.cpp" "tests/CMakeFiles/test_core.dir/core/aggregation_plan_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/aggregation_plan_test.cpp.o.d"
+  "/root/repo/tests/core/communication_locality_test.cpp" "tests/CMakeFiles/test_core.dir/core/communication_locality_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/communication_locality_test.cpp.o.d"
+  "/root/repo/tests/core/concurrent_jobs_test.cpp" "tests/CMakeFiles/test_core.dir/core/concurrent_jobs_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/concurrent_jobs_test.cpp.o.d"
+  "/root/repo/tests/core/density_test.cpp" "tests/CMakeFiles/test_core.dir/core/density_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/density_test.cpp.o.d"
+  "/root/repo/tests/core/distributed_read_test.cpp" "tests/CMakeFiles/test_core.dir/core/distributed_read_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/distributed_read_test.cpp.o.d"
+  "/root/repo/tests/core/file_index_test.cpp" "tests/CMakeFiles/test_core.dir/core/file_index_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/file_index_test.cpp.o.d"
+  "/root/repo/tests/core/format_golden_test.cpp" "tests/CMakeFiles/test_core.dir/core/format_golden_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/format_golden_test.cpp.o.d"
+  "/root/repo/tests/core/fuzz_roundtrip_test.cpp" "tests/CMakeFiles/test_core.dir/core/fuzz_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/fuzz_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/core/kd_partition_test.cpp" "tests/CMakeFiles/test_core.dir/core/kd_partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/kd_partition_test.cpp.o.d"
+  "/root/repo/tests/core/knn_test.cpp" "tests/CMakeFiles/test_core.dir/core/knn_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/knn_test.cpp.o.d"
+  "/root/repo/tests/core/lod_reads_test.cpp" "tests/CMakeFiles/test_core.dir/core/lod_reads_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lod_reads_test.cpp.o.d"
+  "/root/repo/tests/core/lod_test.cpp" "tests/CMakeFiles/test_core.dir/core/lod_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lod_test.cpp.o.d"
+  "/root/repo/tests/core/metadata_test.cpp" "tests/CMakeFiles/test_core.dir/core/metadata_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metadata_test.cpp.o.d"
+  "/root/repo/tests/core/partition_factor_test.cpp" "tests/CMakeFiles/test_core.dir/core/partition_factor_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/partition_factor_test.cpp.o.d"
+  "/root/repo/tests/core/range_query_test.cpp" "tests/CMakeFiles/test_core.dir/core/range_query_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/range_query_test.cpp.o.d"
+  "/root/repo/tests/core/restart_test.cpp" "tests/CMakeFiles/test_core.dir/core/restart_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/restart_test.cpp.o.d"
+  "/root/repo/tests/core/scale_integration_test.cpp" "tests/CMakeFiles/test_core.dir/core/scale_integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scale_integration_test.cpp.o.d"
+  "/root/repo/tests/core/spill_test.cpp" "tests/CMakeFiles/test_core.dir/core/spill_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spill_test.cpp.o.d"
+  "/root/repo/tests/core/stream_query_test.cpp" "tests/CMakeFiles/test_core.dir/core/stream_query_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/stream_query_test.cpp.o.d"
+  "/root/repo/tests/core/timeseries_test.cpp" "tests/CMakeFiles/test_core.dir/core/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/timeseries_test.cpp.o.d"
+  "/root/repo/tests/core/validate_test.cpp" "tests/CMakeFiles/test_core.dir/core/validate_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/validate_test.cpp.o.d"
+  "/root/repo/tests/core/writer_reader_test.cpp" "tests/CMakeFiles/test_core.dir/core/writer_reader_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/writer_reader_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spio_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

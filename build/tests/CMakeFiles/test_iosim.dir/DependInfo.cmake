@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/iosim/adaptive_model_test.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/adaptive_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/adaptive_model_test.cpp.o.d"
+  "/root/repo/tests/iosim/event_sim_property_test.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/event_sim_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/event_sim_property_test.cpp.o.d"
+  "/root/repo/tests/iosim/event_sim_test.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/event_sim_test.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/event_sim_test.cpp.o.d"
+  "/root/repo/tests/iosim/read_model_test.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/read_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/read_model_test.cpp.o.d"
+  "/root/repo/tests/iosim/write_model_test.cpp" "tests/CMakeFiles/test_iosim.dir/iosim/write_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_iosim.dir/iosim/write_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosim/CMakeFiles/spio_iosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spio_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iosim.dir/iosim/adaptive_model_test.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/adaptive_model_test.cpp.o.d"
+  "CMakeFiles/test_iosim.dir/iosim/event_sim_property_test.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/event_sim_property_test.cpp.o.d"
+  "CMakeFiles/test_iosim.dir/iosim/event_sim_test.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/event_sim_test.cpp.o.d"
+  "CMakeFiles/test_iosim.dir/iosim/read_model_test.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/read_model_test.cpp.o.d"
+  "CMakeFiles/test_iosim.dir/iosim/write_model_test.cpp.o"
+  "CMakeFiles/test_iosim.dir/iosim/write_model_test.cpp.o.d"
+  "test_iosim"
+  "test_iosim.pdb"
+  "test_iosim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simmpi/collectives_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/collectives_test.cpp.o.d"
+  "/root/repo/tests/simmpi/failure_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/failure_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/failure_test.cpp.o.d"
+  "/root/repo/tests/simmpi/mailbox_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/mailbox_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/mailbox_test.cpp.o.d"
+  "/root/repo/tests/simmpi/p2p_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/p2p_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/p2p_test.cpp.o.d"
+  "/root/repo/tests/simmpi/split_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/split_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/split_test.cpp.o.d"
+  "/root/repo/tests/simmpi/sweep_test.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/box_test.cpp" "tests/CMakeFiles/test_util.dir/util/box_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/box_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/serialize_test.cpp" "tests/CMakeFiles/test_util.dir/util/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/serialize_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/temp_dir_test.cpp" "tests/CMakeFiles/test_util.dir/util/temp_dir_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/temp_dir_test.cpp.o.d"
+  "/root/repo/tests/util/units_test.cpp" "tests/CMakeFiles/test_util.dir/util/units_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/units_test.cpp.o.d"
+  "/root/repo/tests/util/vec3_test.cpp" "tests/CMakeFiles/test_util.dir/util/vec3_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/vec3_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

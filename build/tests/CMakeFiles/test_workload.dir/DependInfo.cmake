@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/decomposition_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/decomposition_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/decomposition_test.cpp.o.d"
+  "/root/repo/tests/workload/generators_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/generators_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/generators_test.cpp.o.d"
+  "/root/repo/tests/workload/particle_buffer_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/particle_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/particle_buffer_test.cpp.o.d"
+  "/root/repo/tests/workload/schema_test.cpp" "tests/CMakeFiles/test_workload.dir/workload/schema_test.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/schema_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

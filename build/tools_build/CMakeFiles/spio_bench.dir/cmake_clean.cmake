@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/spio_bench"
+  "../tools/spio_bench.pdb"
+  "CMakeFiles/spio_bench.dir/spio_bench.cpp.o"
+  "CMakeFiles/spio_bench.dir/spio_bench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/spio_convert"
+  "../tools/spio_convert.pdb"
+  "CMakeFiles/spio_convert.dir/spio_convert.cpp.o"
+  "CMakeFiles/spio_convert.dir/spio_convert.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

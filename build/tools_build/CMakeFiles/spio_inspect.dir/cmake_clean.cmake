@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/spio_inspect"
+  "../tools/spio_inspect.pdb"
+  "CMakeFiles/spio_inspect.dir/spio_inspect.cpp.o"
+  "CMakeFiles/spio_inspect.dir/spio_inspect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
