@@ -253,10 +253,11 @@ bench_build/CMakeFiles/abl_alignment.dir/abl_alignment.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/workload/schema.hpp \
- /root/repo/src/util/serialize.hpp /root/repo/src/simmpi/comm.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/util/serialize.hpp /root/repo/src/faultsim/reliable.hpp \
+ /root/repo/src/simmpi/comm.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -271,8 +272,9 @@ bench_build/CMakeFiles/abl_alignment.dir/abl_alignment.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
- /root/repo/src/simmpi/runtime.hpp /root/repo/src/util/table.hpp \
- /root/repo/src/util/temp_dir.hpp /root/repo/src/workload/generators.hpp
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional /root/repo/src/simmpi/runtime.hpp \
+ /root/repo/src/util/table.hpp /root/repo/src/util/temp_dir.hpp \
+ /root/repo/src/workload/generators.hpp

@@ -257,8 +257,10 @@ examples_build/CMakeFiles/range_query.dir/range_query.cpp.o: \
  /root/repo/src/core/aggregation_grid.hpp \
  /root/repo/src/core/partition_factor.hpp \
  /root/repo/src/core/spatial_partition.hpp \
- /root/repo/src/workload/decomposition.hpp /root/repo/src/simmpi/comm.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
+ /root/repo/src/workload/decomposition.hpp \
+ /root/repo/src/faultsim/reliable.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/simmpi/comm.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -269,8 +271,8 @@ examples_build/CMakeFiles/range_query.dir/range_query.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
- /root/repo/src/simmpi/runtime.hpp /root/repo/src/util/units.hpp \
- /root/repo/src/workload/generators.hpp
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional /root/repo/src/simmpi/runtime.hpp \
+ /root/repo/src/util/units.hpp /root/repo/src/workload/generators.hpp

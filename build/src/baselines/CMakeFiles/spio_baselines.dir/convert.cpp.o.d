@@ -250,7 +250,8 @@ src/baselines/CMakeFiles/spio_baselines.dir/convert.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/workload/schema.hpp \
- /root/repo/src/util/serialize.hpp /root/repo/src/simmpi/comm.hpp \
+ /root/repo/src/util/serialize.hpp /root/repo/src/faultsim/reliable.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/simmpi/comm.hpp \
  /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -269,11 +270,11 @@ src/baselines/CMakeFiles/spio_baselines.dir/convert.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
- /root/repo/src/baselines/fpp.hpp /root/repo/src/core/reader.hpp \
- /root/repo/src/core/file_index.hpp /root/repo/src/core/metadata.hpp \
- /root/repo/src/baselines/rank_order.hpp \
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional /root/repo/src/baselines/fpp.hpp \
+ /root/repo/src/core/reader.hpp /root/repo/src/core/file_index.hpp \
+ /root/repo/src/core/metadata.hpp /root/repo/src/baselines/rank_order.hpp \
  /root/repo/src/baselines/shared_file.hpp \
  /root/repo/src/simmpi/reduce_ops.hpp

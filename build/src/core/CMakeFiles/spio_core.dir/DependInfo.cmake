@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/density.cpp" "src/core/CMakeFiles/spio_core.dir/density.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/density.cpp.o.d"
   "/root/repo/src/core/distributed_read.cpp" "src/core/CMakeFiles/spio_core.dir/distributed_read.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/distributed_read.cpp.o.d"
   "/root/repo/src/core/file_index.cpp" "src/core/CMakeFiles/spio_core.dir/file_index.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/file_index.cpp.o.d"
+  "/root/repo/src/core/journal.cpp" "src/core/CMakeFiles/spio_core.dir/journal.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/journal.cpp.o.d"
   "/root/repo/src/core/kd_partition.cpp" "src/core/CMakeFiles/spio_core.dir/kd_partition.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/kd_partition.cpp.o.d"
   "/root/repo/src/core/knn.cpp" "src/core/CMakeFiles/spio_core.dir/knn.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/knn.cpp.o.d"
   "/root/repo/src/core/lod.cpp" "src/core/CMakeFiles/spio_core.dir/lod.cpp.o" "gcc" "src/core/CMakeFiles/spio_core.dir/lod.cpp.o.d"
@@ -28,6 +29,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
   "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/spio_faultsim.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
   )
 

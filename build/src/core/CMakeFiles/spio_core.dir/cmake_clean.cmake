@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/spio_core.dir/distributed_read.cpp.o.d"
   "CMakeFiles/spio_core.dir/file_index.cpp.o"
   "CMakeFiles/spio_core.dir/file_index.cpp.o.d"
+  "CMakeFiles/spio_core.dir/journal.cpp.o"
+  "CMakeFiles/spio_core.dir/journal.cpp.o.d"
   "CMakeFiles/spio_core.dir/kd_partition.cpp.o"
   "CMakeFiles/spio_core.dir/kd_partition.cpp.o.d"
   "CMakeFiles/spio_core.dir/knn.cpp.o"

@@ -253,4 +253,5 @@ src/core/CMakeFiles/spio_core.dir/reader.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/error.hpp \
  /root/repo/src/workload/schema.hpp /root/repo/src/util/serialize.hpp \
+ /root/repo/src/core/journal.hpp /usr/include/c++/12/optional \
  /root/repo/src/workload/decomposition.hpp

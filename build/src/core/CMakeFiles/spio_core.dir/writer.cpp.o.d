@@ -250,7 +250,8 @@ src/core/CMakeFiles/spio_core.dir/writer.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/workload/schema.hpp \
- /root/repo/src/util/serialize.hpp /root/repo/src/simmpi/comm.hpp \
+ /root/repo/src/util/serialize.hpp /root/repo/src/faultsim/reliable.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/simmpi/comm.hpp \
  /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -269,8 +270,10 @@ src/core/CMakeFiles/spio_core.dir/writer.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
- /usr/include/c++/12/chrono /root/repo/src/core/metadata.hpp \
- /root/repo/src/simmpi/reduce_ops.hpp
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional /root/repo/src/core/journal.hpp \
+ /root/repo/src/core/metadata.hpp /root/repo/src/faultsim/checked_io.hpp \
+ /root/repo/src/faultsim/fault_plan.hpp \
+ /root/repo/src/simmpi/reduce_ops.hpp /root/repo/src/util/checksum.hpp

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/checked_io.cpp" "src/faultsim/CMakeFiles/spio_faultsim.dir/checked_io.cpp.o" "gcc" "src/faultsim/CMakeFiles/spio_faultsim.dir/checked_io.cpp.o.d"
+  "/root/repo/src/faultsim/fault_plan.cpp" "src/faultsim/CMakeFiles/spio_faultsim.dir/fault_plan.cpp.o" "gcc" "src/faultsim/CMakeFiles/spio_faultsim.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/faultsim/reliable.cpp" "src/faultsim/CMakeFiles/spio_faultsim.dir/reliable.cpp.o" "gcc" "src/faultsim/CMakeFiles/spio_faultsim.dir/reliable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spio_faultsim.dir/checked_io.cpp.o"
+  "CMakeFiles/spio_faultsim.dir/checked_io.cpp.o.d"
+  "CMakeFiles/spio_faultsim.dir/fault_plan.cpp.o"
+  "CMakeFiles/spio_faultsim.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/spio_faultsim.dir/reliable.cpp.o"
+  "CMakeFiles/spio_faultsim.dir/reliable.cpp.o.d"
+  "libspio_faultsim.a"
+  "libspio_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spio_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

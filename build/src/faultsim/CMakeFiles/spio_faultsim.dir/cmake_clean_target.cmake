@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspio_faultsim.a"
+)

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/checksum.cpp" "src/util/CMakeFiles/spio_util.dir/checksum.cpp.o" "gcc" "src/util/CMakeFiles/spio_util.dir/checksum.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/spio_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/spio_util.dir/rng.cpp.o.d"
   "/root/repo/src/util/serialize.cpp" "src/util/CMakeFiles/spio_util.dir/serialize.cpp.o" "gcc" "src/util/CMakeFiles/spio_util.dir/serialize.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/spio_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/spio_util.dir/stats.cpp.o.d"

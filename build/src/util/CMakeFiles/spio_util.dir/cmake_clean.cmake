@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/spio_util.dir/checksum.cpp.o"
+  "CMakeFiles/spio_util.dir/checksum.cpp.o.d"
   "CMakeFiles/spio_util.dir/rng.cpp.o"
   "CMakeFiles/spio_util.dir/rng.cpp.o.d"
   "CMakeFiles/spio_util.dir/serialize.cpp.o"

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/baselines/CMakeFiles/spio_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/spio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/spio_faultsim.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

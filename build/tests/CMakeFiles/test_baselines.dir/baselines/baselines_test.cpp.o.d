@@ -337,9 +337,10 @@ tests/CMakeFiles/test_baselines.dir/baselines/baselines_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/baselines/ior_like.hpp \
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/baselines/ior_like.hpp \
  /root/repo/src/baselines/rank_order.hpp \
  /root/repo/src/baselines/shared_file.hpp \
  /root/repo/src/simmpi/runtime.hpp /root/repo/src/util/temp_dir.hpp \

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos/chaos_recovery_test.cpp" "tests/CMakeFiles/test_chaos.dir/chaos/chaos_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/test_chaos.dir/chaos/chaos_recovery_test.cpp.o.d"
+  "/root/repo/tests/chaos/chaos_write_test.cpp" "tests/CMakeFiles/test_chaos.dir/chaos/chaos_write_test.cpp.o" "gcc" "tests/CMakeFiles/test_chaos.dir/chaos/chaos_write_test.cpp.o.d"
+  "/root/repo/tests/chaos/fault_plan_test.cpp" "tests/CMakeFiles/test_chaos.dir/chaos/fault_plan_test.cpp.o" "gcc" "tests/CMakeFiles/test_chaos.dir/chaos/fault_plan_test.cpp.o.d"
+  "/root/repo/tests/chaos/reliable_exchange_test.cpp" "tests/CMakeFiles/test_chaos.dir/chaos/reliable_exchange_test.cpp.o" "gcc" "tests/CMakeFiles/test_chaos.dir/chaos/reliable_exchange_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/spio_faultsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chaos.dir/chaos/chaos_recovery_test.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/chaos_recovery_test.cpp.o.d"
+  "CMakeFiles/test_chaos.dir/chaos/chaos_write_test.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/chaos_write_test.cpp.o.d"
+  "CMakeFiles/test_chaos.dir/chaos/fault_plan_test.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/fault_plan_test.cpp.o.d"
+  "CMakeFiles/test_chaos.dir/chaos/reliable_exchange_test.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/reliable_exchange_test.cpp.o.d"
+  "test_chaos"
+  "test_chaos.pdb"
+  "test_chaos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -342,9 +342,12 @@ tests/CMakeFiles/test_core.dir/core/concurrent_jobs_test.cpp.o: \
  /root/repo/src/core/aggregation_grid.hpp \
  /root/repo/src/core/partition_factor.hpp \
  /root/repo/src/core/spatial_partition.hpp \
- /root/repo/src/workload/decomposition.hpp /root/repo/src/simmpi/comm.hpp \
+ /root/repo/src/workload/decomposition.hpp \
+ /root/repo/src/faultsim/reliable.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/simmpi/comm.hpp \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/runtime.hpp \
- /root/repo/src/util/temp_dir.hpp /root/repo/src/workload/generators.hpp
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/runtime.hpp /root/repo/src/util/temp_dir.hpp \
+ /root/repo/src/workload/generators.hpp

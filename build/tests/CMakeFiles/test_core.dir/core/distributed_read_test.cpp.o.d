@@ -267,10 +267,10 @@ tests/CMakeFiles/test_core.dir/core/distributed_read_test.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
- /root/repo/src/workload/decomposition.hpp \
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional /root/repo/src/workload/decomposition.hpp \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -344,5 +344,6 @@ tests/CMakeFiles/test_core.dir/core/distributed_read_test.cpp.o: \
  /root/repo/src/core/aggregation_grid.hpp \
  /root/repo/src/core/partition_factor.hpp \
  /root/repo/src/core/spatial_partition.hpp \
+ /root/repo/src/faultsim/reliable.hpp /usr/include/c++/12/chrono \
  /root/repo/src/simmpi/runtime.hpp /root/repo/src/util/temp_dir.hpp \
  /root/repo/src/workload/generators.hpp

@@ -334,7 +334,8 @@ tests/CMakeFiles/test_core.dir/core/kd_partition_test.cpp.o: \
  /root/repo/src/core/lod.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/workload/particle_buffer.hpp /usr/include/c++/12/cstring \
  /root/repo/src/workload/schema.hpp /root/repo/src/util/serialize.hpp \
- /root/repo/src/core/writer.hpp /root/repo/src/simmpi/comm.hpp \
+ /root/repo/src/core/writer.hpp /root/repo/src/faultsim/reliable.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/simmpi/comm.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -343,7 +344,8 @@ tests/CMakeFiles/test_core.dir/core/kd_partition_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/runtime.hpp \
- /root/repo/src/util/temp_dir.hpp /root/repo/src/workload/generators.hpp
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/simmpi/runtime.hpp /root/repo/src/util/temp_dir.hpp \
+ /root/repo/src/workload/generators.hpp

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/util/box_test.cpp" "tests/CMakeFiles/test_util.dir/util/box_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/box_test.cpp.o.d"
+  "/root/repo/tests/util/checksum_test.cpp" "tests/CMakeFiles/test_util.dir/util/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/checksum_test.cpp.o.d"
   "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
   "/root/repo/tests/util/serialize_test.cpp" "tests/CMakeFiles/test_util.dir/util/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/serialize_test.cpp.o.d"
   "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_util.dir/util/box_test.cpp.o"
   "CMakeFiles/test_util.dir/util/box_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/checksum_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/checksum_test.cpp.o.d"
   "CMakeFiles/test_util.dir/util/rng_test.cpp.o"
   "CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
   "CMakeFiles/test_util.dir/util/serialize_test.cpp.o"

@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/test_util[1]_include.cmake")
 include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")
 include("/root/repo/build/tests/test_baselines[1]_include.cmake")
 include("/root/repo/build/tests/test_iosim[1]_include.cmake")
 include("/root/repo/build/tests/test_workload[1]_include.cmake")

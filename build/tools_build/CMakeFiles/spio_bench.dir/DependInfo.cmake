@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/spio_core.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/spio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/spio_faultsim.dir/DependInfo.cmake"
   "/root/repo/build/src/simmpi/CMakeFiles/spio_simmpi.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/spio_util.dir/DependInfo.cmake"
   )

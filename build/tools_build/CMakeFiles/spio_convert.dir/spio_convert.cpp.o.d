@@ -250,7 +250,8 @@ tools_build/CMakeFiles/spio_convert.dir/spio_convert.cpp.o: \
  /root/repo/src/util/rng.hpp /root/repo/src/workload/particle_buffer.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/workload/schema.hpp \
- /root/repo/src/util/serialize.hpp /root/repo/src/simmpi/comm.hpp \
+ /root/repo/src/util/serialize.hpp /root/repo/src/faultsim/reliable.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/simmpi/comm.hpp \
  /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -269,7 +270,7 @@ tools_build/CMakeFiles/spio_convert.dir/spio_convert.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /root/repo/src/simmpi/collective_arena.hpp \
- /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
- /root/repo/src/simmpi/runtime.hpp
+ /root/repo/src/simmpi/message.hpp /root/repo/src/simmpi/hooks.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional /root/repo/src/simmpi/runtime.hpp

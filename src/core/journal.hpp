@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file journal.hpp
+/// Crash consistency for the two-phase write path.
+///
+/// The write protocol brackets every dataset write with a journal file:
+///
+///   1. rank 0 creates `write.journal` in the dataset directory and
+///      removes any previous `meta.spio` / `checksums.spio` (so a stale
+///      metadata file can never vouch for half-overwritten data);
+///   2. all ranks write their data files;
+///   3. rank 0 writes `checksums.spio`, then `meta.spio` (the commit
+///      point), then removes the journal.
+///
+/// A crash anywhere in between leaves the journal behind, so the on-disk
+/// states are unambiguous:
+///
+///   journal absent             -> dataset is complete (or was never
+///                                 written by a journaling writer);
+///   journal present, metadata
+///   valid and files intact     -> crash between commit and journal
+///                                 removal: complete, journal is stale;
+///   journal present otherwise  -> incomplete write.
+///
+/// `check_and_repair` classifies a directory and optionally finalizes a
+/// stale journal or clears out partial artifacts.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+/// Raised when a dataset directory holds a detectably incomplete write
+/// (a crash-orphaned journal with missing or inconsistent artifacts).
+class IncompleteDatasetError : public Error {
+ public:
+  explicit IncompleteDatasetError(const std::string& what)
+      : Error("spio: incomplete dataset: " + what) {}
+};
+
+/// The write-intent journal of one dataset directory.
+struct WriteJournal {
+  static constexpr std::uint32_t kMagic = 0x4A575053;  // "SPWJ"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr const char* kFileName = "write.journal";
+
+  /// Open the journal (rank 0, before any data write): create the journal
+  /// file, then invalidate any previous commit by removing `meta.spio`
+  /// and `checksums.spio`. Ordered so that a crash at any point leaves a
+  /// detectable state (see file header).
+  static void begin(const std::filesystem::path& dir);
+
+  /// Close the journal (rank 0, after `meta.spio` is durable).
+  static void commit(const std::filesystem::path& dir);
+
+  /// True when `dir` holds an open journal.
+  static bool present(const std::filesystem::path& dir);
+};
+
+/// Per-data-file CRC-64 table, written as the optional sidecar
+/// `checksums.spio` next to `meta.spio`. Lets readers and validators
+/// detect silent data corruption that file sizes cannot reveal. A
+/// separate file keeps the frozen `meta.spio` format unchanged.
+struct ChecksumTable {
+  static constexpr std::uint32_t kMagic = 0x4B435053;  // "SPCK"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr const char* kFileName = "checksums.spio";
+
+  struct Entry {
+    std::uint32_t aggregator_rank = 0;  // names the data file (Fig. 4)
+    std::uint64_t crc = 0;              // CRC-64/XZ of the file's bytes
+
+    bool operator==(const Entry&) const = default;
+  };
+  std::vector<Entry> entries;
+
+  bool operator==(const ChecksumTable&) const = default;
+
+  /// CRC recorded for `File_<aggregator_rank>.bin`, if any.
+  std::optional<std::uint64_t> crc_for(std::uint32_t aggregator_rank) const;
+
+  void save(const std::filesystem::path& dir) const;
+  /// Throws `IoError` when absent, `FormatError` when malformed.
+  static ChecksumTable load(const std::filesystem::path& dir);
+  static bool present(const std::filesystem::path& dir);
+};
+
+/// Classification of a dataset directory by `check_and_repair`.
+enum class RepairOutcome {
+  kClean,             // no journal: nothing to do
+  kFinalizedJournal,  // complete dataset under a stale journal; removed it
+  kIncomplete,        // partial write detected and left in place
+  kRemovedPartial,    // partial write detected; artifacts deleted
+};
+
+/// Inspect `dir` for an interrupted write and repair what is repairable:
+/// a stale journal over a complete dataset is finalized (removed); a
+/// genuinely incomplete write is reported, and with `remove_partial` its
+/// artifacts (`meta.spio`, `checksums.spio`, `File_*.bin`, the journal)
+/// are deleted so the directory can be rewritten from scratch.
+RepairOutcome check_and_repair(const std::filesystem::path& dir,
+                               bool remove_partial = false);
+
+}  // namespace spio

@@ -1,5 +1,6 @@
 #include "core/reader.hpp"
 
+#include "core/journal.hpp"
 #include "util/serialize.hpp"
 #include "workload/decomposition.hpp"
 
@@ -13,7 +14,20 @@ Dataset::Dataset(std::filesystem::path dir, DatasetMetadata meta)
 }
 
 Dataset Dataset::open(const std::filesystem::path& dir) {
-  return Dataset(dir, DatasetMetadata::load(dir));
+  try {
+    return Dataset(dir, DatasetMetadata::load(dir));
+  } catch (const Error&) {
+    // Unreadable metadata under an open write journal means the writer
+    // crashed mid-write: report the richer diagnosis (and how to repair)
+    // instead of a bare I/O or parse failure.
+    if (WriteJournal::present(dir)) {
+      throw IncompleteDatasetError(
+          "'" + dir.string() +
+          "' holds an interrupted write (journal present, metadata "
+          "unreadable); run check_and_repair to clear it");
+    }
+    throw;
+  }
 }
 
 std::vector<int> Dataset::intersecting(const Box3& box) const {

@@ -1,5 +1,7 @@
 #include "core/restart.hpp"
 
+#include "core/journal.hpp"
+
 namespace spio {
 
 ParticleBuffer restart_read(simmpi::Comm& comm,
@@ -10,6 +12,19 @@ ParticleBuffer restart_read(simmpi::Comm& comm,
              "restart decomposition has " << decomp.rank_count()
                                           << " patches for a job of "
                                           << comm.size() << " ranks");
+  // Crash-consistency gate: rank 0 inspects the write journal, finalizing
+  // a stale one (crash between metadata commit and journal removal), and
+  // every rank agrees on the verdict before any metadata is trusted.
+  const bool incomplete = comm.bcast<bool>(
+      comm.rank() == 0 &&
+          check_and_repair(dir, /*remove_partial=*/false) ==
+              RepairOutcome::kIncomplete,
+      0);
+  SPIO_CHECK(!incomplete, IncompleteDatasetError,
+             "cannot restart from '"
+                 << dir.string()
+                 << "': the last write did not complete (journal present); "
+                    "run check_and_repair to clear the partial data");
   const Dataset ds = Dataset::open(dir);
   SPIO_CHECK(decomp.domain().contains_box(ds.metadata().domain), ConfigError,
              "restart domain " << decomp.domain()

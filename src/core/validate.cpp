@@ -1,8 +1,12 @@
 #include "core/validate.hpp"
 
+#include <optional>
 #include <sstream>
 
+#include "core/journal.hpp"
 #include "core/reader.hpp"
+#include "util/checksum.hpp"
+#include "util/serialize.hpp"
 
 namespace spio {
 
@@ -63,11 +67,17 @@ void deep_check_file(const Dataset& ds, int fi, ValidationReport& report) {
 ValidationReport validate_dataset(const std::filesystem::path& dir,
                                   bool deep) {
   ValidationReport report;
+  const bool journal_open = WriteJournal::present(dir);
 
   DatasetMetadata meta;
   try {
     meta = DatasetMetadata::load(dir);
   } catch (const Error& e) {
+    if (journal_open) {
+      report.errors.push_back(
+          "write journal present and metadata unreadable: the last write "
+          "did not complete (repair with check_and_repair)");
+    }
     report.errors.push_back(e.what());
     return report;
   }
@@ -116,6 +126,56 @@ ValidationReport validate_dataset(const std::filesystem::path& dir,
           report.warnings.push_back(
               fmt("files '", meta.files[a].file_name(), "' and '",
                   meta.files[b].file_name(), "' have overlapping bounds"));
+        }
+      }
+    }
+  }
+
+  // An open journal over an otherwise-consistent dataset is a crash
+  // between the metadata commit and the journal removal: the data is
+  // whole, but the directory should be finalized.
+  if (journal_open) {
+    if (report.errors.empty()) {
+      report.warnings.push_back(
+          "stale write journal over a complete dataset (finalize with "
+          "check_and_repair)");
+    } else {
+      report.errors.push_back(
+          "write journal present: the last write did not complete (repair "
+          "with check_and_repair)");
+    }
+  }
+
+  if (deep && report.errors.empty()) {
+    // Checksum pass first: it catches silent corruption (bit rot, torn
+    // writes that kept the expected size) that the per-particle checks
+    // below could misattribute to writer bugs.
+    std::optional<ChecksumTable> crcs;
+    if (ChecksumTable::present(dir)) {
+      try {
+        crcs = ChecksumTable::load(dir);
+      } catch (const Error& e) {
+        report.errors.push_back(e.what());
+      }
+    }
+    if (crcs) {
+      for (const FileRecord& rec : meta.files) {
+        const auto want = crcs->crc_for(rec.aggregator_rank);
+        if (!want) {
+          report.warnings.push_back(
+              fmt("file '", rec.file_name(),
+                  "' has no entry in the checksum table"));
+          continue;
+        }
+        try {
+          const auto bytes = read_file(dir / rec.file_name());
+          if (crc64(bytes) != *want) {
+            report.errors.push_back(
+                fmt("file '", rec.file_name(),
+                    "' fails its recorded checksum: silent data corruption"));
+          }
+        } catch (const Error& e) {
+          report.errors.push_back(e.what());
         }
       }
     }

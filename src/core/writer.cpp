@@ -4,17 +4,22 @@
 #include <chrono>
 #include <map>
 
+#include "core/journal.hpp"
 #include "core/metadata.hpp"
+#include "faultsim/checked_io.hpp"
+#include "faultsim/fault_plan.hpp"
 #include "simmpi/reduce_ops.hpp"
+#include "util/checksum.hpp"
 #include "util/serialize.hpp"
 
 namespace spio {
 
 namespace {
 
-// Point-to-point tags of the write pipeline.
-constexpr int kTagMeta = 101;  // u64 particle count, sender -> aggregator
-constexpr int kTagData = 102;  // raw particle records, sender -> aggregator
+// Point-to-point tags of the write pipeline; owned by the fault layer so
+// fault plans address the same sites the writer uses.
+constexpr int kTagMeta = faultsim::kTagMetaExchange;      // u64 count
+constexpr int kTagData = faultsim::kTagParticleExchange;  // particle records
 
 using Clock = std::chrono::steady_clock;
 
@@ -118,15 +123,39 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   WriteStats stats;
   const int rank = comm.rank();
 
-  // Rank 0 creates the dataset directory before anyone writes into it.
+  // Rank 0 creates the dataset directory and opens the write journal
+  // before anyone writes into it: from here until the metadata commit,
+  // a crash leaves a journal that marks the directory incomplete.
   if (rank == 0) {
     std::error_code ec;
     std::filesystem::create_directories(config.dir, ec);
     SPIO_CHECK(!ec, IoError, "cannot create dataset directory '"
                                  << config.dir.string()
                                  << "': " << ec.message());
+    if (config.journal) WriteJournal::begin(config.dir);
   }
   comm.barrier();
+
+  // Fault-injection plumbing: phase announcements (scripted rank death)
+  // and the acknowledged exchange that recovers dropped, duplicated and
+  // delayed messages. Without an injector both collapse to the plain
+  // protocol.
+  const auto enter_phase = [&](faultsim::WritePhase phase) {
+    if (config.faults) config.faults->on_phase(rank, phase);
+  };
+  const auto exchange = [&](std::vector<faultsim::Outbound> out,
+                            const std::vector<int>& expect, int tag) {
+    if (config.faults) {
+      return faultsim::reliable_exchange(comm, std::move(out), expect, tag,
+                                         config.retry);
+    }
+    for (auto& o : out) comm.send_bytes(o.dst, tag, std::move(o.payload));
+    std::vector<std::vector<std::byte>> in;
+    in.reserve(expect.size());
+    for (const int s : expect) in.push_back(comm.recv_message(s, tag).payload);
+    return in;
+  };
+  enter_phase(faultsim::WritePhase::kSetup);
 
   // ---- step 1 + 2: aggregation grid setup and aggregator selection ----
   auto t0 = Clock::now();
@@ -168,16 +197,9 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   stats.setup_seconds = seconds_since(t0);
 
   // ---- step 3: metadata exchange (counts) ----
+  enter_phase(faultsim::WritePhase::kMetaExchange);
   t0 = Clock::now();
   std::map<int, ParticleBuffer> bins = bin_particles(local, plan, fast_path);
-  // Send a count to the aggregator of every partition we *might* feed
-  // (the plan's conservative target set), so receivers can post a matching
-  // number of receives without a handshake.
-  for (const int p : plan.targets_of(rank)) {
-    const auto it = bins.find(p);
-    const std::uint64_t count = it == bins.end() ? 0 : it->second.size();
-    comm.send_value<std::uint64_t>(plan.aggregator_of(p), kTagMeta, count);
-  }
   // A bin must never target a partition outside the plan's target set —
   // that aggregator would not expect our message.
   for (const auto& [p, bin] : bins) {
@@ -188,16 +210,33 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
                        << " outside its plan target set; particles stray "
                           "outside the declared patch/extent");
   }
+  // Send a count to the aggregator of every partition we *might* feed
+  // (the plan's conservative target set), so receivers can post a matching
+  // number of receives without a handshake.
+  std::vector<faultsim::Outbound> count_msgs;
+  for (const int p : plan.targets_of(rank)) {
+    const auto it = bins.find(p);
+    const std::uint64_t count = it == bins.end() ? 0 : it->second.size();
+    BinaryWriter w;
+    w.write<std::uint64_t>(count);
+    count_msgs.push_back({plan.aggregator_of(p), w.take()});
+  }
 
   const int my_partition = plan.partition_owned_by(rank);
-  std::vector<std::uint64_t> incoming_counts;
+  const std::vector<int> count_senders =
+      my_partition >= 0 ? plan.senders_of(my_partition) : std::vector<int>{};
+  const auto count_payloads =
+      exchange(std::move(count_msgs), count_senders, kTagMeta);
+
+  std::vector<std::uint64_t> incoming_counts(count_senders.size());
   std::uint64_t incoming_total = 0;
   if (my_partition >= 0) {
-    const std::vector<int>& senders = plan.senders_of(my_partition);
-    incoming_counts.resize(senders.size());
-    for (std::size_t i = 0; i < senders.size(); ++i) {
-      incoming_counts[i] =
-          comm.recv_value<std::uint64_t>(senders[i], kTagMeta);
+    for (std::size_t i = 0; i < count_senders.size(); ++i) {
+      BinaryReader r(count_payloads[i]);
+      incoming_counts[i] = r.read<std::uint64_t>();
+      SPIO_CHECK(r.remaining() == 0, FormatError,
+                 "count message from rank " << count_senders[i]
+                                            << " carries trailing bytes");
       incoming_total += incoming_counts[i];
     }
     // The metadata exchange is exactly what lets the aggregator size its
@@ -216,7 +255,9 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   stats.meta_exchange_seconds = seconds_since(t0);
 
   // ---- steps 4 + 5: allocate aggregation buffer, exchange particles ----
+  enter_phase(faultsim::WritePhase::kParticleExchange);
   t0 = Clock::now();
+  std::vector<faultsim::Outbound> particle_msgs;
   for (auto& [p, bin] : bins) {
     if (bin.empty()) continue;
     const int agg = plan.aggregator_of(p);
@@ -224,21 +265,24 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
       stats.particles_sent += bin.size();
       stats.bytes_sent += bin.byte_size();
     }
-    comm.send_bytes(agg, kTagData, bin.take_bytes());
+    particle_msgs.push_back({agg, bin.take_bytes()});
   }
   bins.clear();
 
+  // Only senders that announced a non-zero count actually ship data.
+  std::vector<int> particle_senders;
+  for (std::size_t i = 0; i < count_senders.size(); ++i)
+    if (incoming_counts[i] > 0) particle_senders.push_back(count_senders[i]);
+
   ParticleBuffer aggregated(local.schema());
+  aggregated.reserve(incoming_total);
+  // Deterministic assembly order (ascending sender rank) makes the
+  // aggregated buffer — and therefore the shuffled file — reproducible.
+  const auto particle_payloads =
+      exchange(std::move(particle_msgs), particle_senders, kTagData);
+  for (const auto& payload : particle_payloads)
+    aggregated.append_bytes(payload);
   if (my_partition >= 0) {
-    aggregated.reserve(incoming_total);
-    const std::vector<int>& senders = plan.senders_of(my_partition);
-    // Deterministic assembly order (ascending sender rank) makes the
-    // aggregated buffer — and therefore the shuffled file — reproducible.
-    for (std::size_t i = 0; i < senders.size(); ++i) {
-      if (incoming_counts[i] == 0) continue;
-      simmpi::Message m = comm.recv_message(senders[i], kTagData);
-      aggregated.append_bytes(m.payload);
-    }
     SPIO_CHECK(aggregated.size() == incoming_total, FormatError,
                "aggregator " << rank << " assembled " << aggregated.size()
                              << " particles but metadata promised "
@@ -257,8 +301,10 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   stats.reorder_seconds = seconds_since(t0);
 
   // ---- step 7: write the data file ----
+  enter_phase(faultsim::WritePhase::kDataWrite);
   t0 = Clock::now();
   FileRecord my_record;
+  std::uint64_t my_crc = 0;
   bool have_file = false;
   if (my_partition >= 0 && !aggregated.empty()) {
     my_record.partition_id = static_cast<std::uint32_t>(my_partition);
@@ -267,7 +313,16 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
     my_record.bounds = plan.partitioning().partition_box(my_partition);
     if (config.write_field_ranges)
       my_record.field_ranges = compute_field_ranges(aggregated);
-    write_file(config.dir / my_record.file_name(), aggregated.bytes());
+    const auto path = config.dir / my_record.file_name();
+    if (config.faults) {
+      // Validated write: read back, compare checksums, rewrite torn or
+      // corrupted attempts within a bounded budget.
+      my_crc = faultsim::checked_write_file(path, aggregated.bytes(),
+                                            config.faults, rank);
+    } else {
+      if (config.write_checksums) my_crc = crc64(aggregated.bytes());
+      write_file(path, aggregated.bytes());
+    }
     stats.particles_written = aggregated.size();
     stats.bytes_written = aggregated.byte_size();
     stats.files_written = 1;
@@ -277,11 +332,15 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   stats.file_io_seconds = seconds_since(t0);
 
   // ---- step 8: gather bounds on rank 0, write the spatial metadata ----
+  enter_phase(faultsim::WritePhase::kCommit);
   t0 = Clock::now();
   BinaryWriter record_bytes;
   if (have_file) {
     my_record.serialize(record_bytes, config.write_spatial_metadata,
                         config.write_field_ranges);
+    // The file checksum rides the gather wire format (it never enters the
+    // frozen meta.spio layout; rank 0 splits it into checksums.spio).
+    record_bytes.write<std::uint64_t>(my_crc);
   }
   const auto gathered = comm.allgatherv<std::byte>(record_bytes.bytes());
   if (rank == 0) {
@@ -292,11 +351,13 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
     meta.heuristic = config.heuristic;
     meta.has_bounds = config.write_spatial_metadata;
     meta.has_field_ranges = config.write_field_ranges;
+    std::vector<ChecksumTable::Entry> crcs;
     for (const auto& from_rank : gathered) {
       if (from_rank.empty()) continue;
       BinaryReader r(from_rank);
       const FileRecord f = FileRecord::deserialize(
           r, meta.has_bounds, meta.has_field_ranges, meta.range_count());
+      crcs.push_back({f.aggregator_rank, r.read<std::uint64_t>()});
       meta.total_particles += f.particle_count;
       meta.files.push_back(f);
     }
@@ -304,7 +365,19 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
               [](const FileRecord& a, const FileRecord& b) {
                 return a.partition_id < b.partition_id;
               });
+    if (config.write_checksums) {
+      std::sort(crcs.begin(), crcs.end(),
+                [](const ChecksumTable::Entry& a,
+                   const ChecksumTable::Entry& b) {
+                  return a.aggregator_rank < b.aggregator_rank;
+                });
+      ChecksumTable table;
+      table.entries = std::move(crcs);
+      table.save(config.dir);
+    }
+    // meta.spio is the commit point; the journal closes only after it.
     meta.save(config.dir);
+    if (config.journal) WriteJournal::commit(config.dir);
   }
   // The write is complete (data + metadata) only once every rank returns.
   comm.barrier();

@@ -19,9 +19,14 @@
 
 #include "core/aggregation_plan.hpp"
 #include "core/lod.hpp"
+#include "faultsim/reliable.hpp"
 #include "simmpi/comm.hpp"
 #include "workload/decomposition.hpp"
 #include "workload/particle_buffer.hpp"
+
+namespace spio::faultsim {
+class FaultInjector;
+}  // namespace spio::faultsim
 
 namespace spio {
 
@@ -73,6 +78,24 @@ struct WriterConfig {
   /// core"; this guard turns that silent OOM into a diagnosable
   /// `ConfigError` naming the partition and suggesting a smaller factor.
   std::uint64_t max_aggregation_bytes = 0;
+
+  /// Bracket the write with `write.journal` so an interrupted job leaves
+  /// a detectable (and repairable) state; see core/journal.hpp.
+  bool journal = true;
+
+  /// Record per-file CRC-64 checksums in the `checksums.spio` sidecar,
+  /// letting readers detect silent data corruption.
+  bool write_checksums = true;
+
+  /// Fault injector for chaos testing (not owned; null in production).
+  /// When set, the writer announces phase entries to it, routes both
+  /// exchanges through the acknowledged retry protocol, and validates
+  /// every data-file write with read-back + bounded rewrite.
+  faultsim::FaultInjector* faults = nullptr;
+
+  /// Retransmission policy for the reliable exchanges (used only when
+  /// `faults` is set).
+  faultsim::RetryPolicy retry{};
 };
 
 /// Per-rank timing and volume statistics for one write. Times are wall

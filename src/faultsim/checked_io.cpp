@@ -1,0 +1,75 @@
+#include "faultsim/checked_io.hpp"
+
+#include <vector>
+
+#include "util/checksum.hpp"
+#include "util/serialize.hpp"
+
+namespace spio::faultsim {
+
+std::uint64_t checked_write_file(const std::filesystem::path& path,
+                                 std::span<const std::byte> data,
+                                 FaultInjector* injector, int rank,
+                                 const CheckedIoPolicy& policy) {
+  SPIO_EXPECTS(policy.max_attempts > 0);
+  const std::uint64_t want = crc64(data);
+
+  for (int attempt = 1;; ++attempt) {
+    const FileFaultKind fault =
+        injector ? injector->next_file_fault(rank, path.filename().string())
+                 : FileFaultKind::kNone;
+
+    bool flush_failed = false;
+    switch (fault) {
+      case FileFaultKind::kTornWrite: {
+        // Only a prefix reaches the disk (crash or full device mid-write).
+        write_file(path, data.subspan(0, data.size() / 2));
+        break;
+      }
+      case FileFaultKind::kCorruptByte: {
+        std::vector<std::byte> bad(data.begin(), data.end());
+        if (!bad.empty()) bad[bad.size() / 3] ^= std::byte{0x40};
+        write_file(path, bad);
+        break;
+      }
+      case FileFaultKind::kFailedSync: {
+        // The data reached the page cache but the flush failed; the
+        // on-disk state is untrustworthy, so the attempt must not count
+        // as durable even though a read-back could succeed.
+        write_file(path, data);
+        flush_failed = true;
+        break;
+      }
+      case FileFaultKind::kNone:
+      case FileFaultKind::kBitRot: {
+        write_file(path, data);
+        break;
+      }
+    }
+
+    // Read back and revalidate; a torn or corrupted write is caught here
+    // and rewritten, up to the budget.
+    bool valid = !flush_failed;
+    if (valid) {
+      const std::vector<std::byte> back = read_file(path);
+      valid = crc64(back) == want;
+    }
+    if (valid) {
+      if (fault == FileFaultKind::kBitRot) {
+        // Corrupt *after* validation passed: silent on the write path by
+        // construction; only reader-side checksums can detect it.
+        std::vector<std::byte> rotted = read_file(path);
+        if (!rotted.empty()) rotted[rotted.size() / 2] ^= std::byte{0x01};
+        write_file(path, rotted);
+      }
+      return want;
+    }
+
+    SPIO_CHECK(attempt < policy.max_attempts, FaultError,
+               "rank " << rank << " could not produce a valid copy of '"
+                       << path.string() << "' after " << attempt
+                       << " write attempts");
+  }
+}
+
+}  // namespace spio::faultsim

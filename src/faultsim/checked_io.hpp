@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file checked_io.hpp
+/// Rewrite-and-revalidate file writes: the writer's defense against torn
+/// writes, corrupted buffers and failed flushes.
+///
+/// `checked_write_file` writes a payload, reads it back, and compares
+/// CRC-64 checksums. A mismatch (or a simulated failed flush) triggers a
+/// bounded rewrite; exhausting the budget throws `FaultError`. Under a
+/// null injector the function is a plain write + one read-back
+/// verification pass.
+///
+/// The one fault this cannot catch is `kBitRot`: the injector corrupts
+/// the file *after* validation passes, modeling media decay between write
+/// and read. Only the reader-side checksum table (`checksums.spio`)
+/// detects it — which is exactly the property the chaos suite asserts.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+
+#include "faultsim/fault_plan.hpp"
+
+namespace spio::faultsim {
+
+/// Validated-write retry budget.
+struct CheckedIoPolicy {
+  int max_attempts = 4;
+};
+
+/// Write `data` to `path` with read-back CRC validation and bounded
+/// rewrite on failure. `injector` (may be null) supplies storage faults
+/// for `rank`'s write attempts. Returns the CRC-64 of `data` — the value
+/// recorded in the dataset's checksum table. Throws `FaultError` when the
+/// retry budget is exhausted and `IoError` on real filesystem failure.
+std::uint64_t checked_write_file(const std::filesystem::path& path,
+                                 std::span<const std::byte> data,
+                                 FaultInjector* injector, int rank,
+                                 const CheckedIoPolicy& policy = {});
+
+}  // namespace spio::faultsim

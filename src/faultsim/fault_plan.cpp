@@ -1,0 +1,211 @@
+#include "faultsim/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace spio::faultsim {
+
+namespace {
+
+std::string_view action_name(simmpi::SendAction a) {
+  switch (a) {
+    case simmpi::SendAction::kDeliver:
+      return "deliver";
+    case simmpi::SendAction::kDrop:
+      return "drop";
+    case simmpi::SendAction::kDuplicate:
+      return "duplicate";
+    case simmpi::SendAction::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view phase_name(WritePhase phase) {
+  switch (phase) {
+    case WritePhase::kSetup:
+      return "setup";
+    case WritePhase::kMetaExchange:
+      return "meta_exchange";
+    case WritePhase::kParticleExchange:
+      return "particle_exchange";
+    case WritePhase::kDataWrite:
+      return "data_write";
+    case WritePhase::kCommit:
+      return "commit";
+  }
+  return "?";
+}
+
+std::string_view file_fault_name(FileFaultKind kind) {
+  switch (kind) {
+    case FileFaultKind::kNone:
+      return "none";
+    case FileFaultKind::kTornWrite:
+      return "torn_write";
+    case FileFaultKind::kCorruptByte:
+      return "corrupt_byte";
+    case FileFaultKind::kFailedSync:
+      return "failed_sync";
+    case FileFaultKind::kBitRot:
+      return "bit_rot";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int nranks) {
+  SPIO_EXPECTS(nranks > 0);
+  Xoshiro256 rng(stream_seed(seed, 0xFA17ULL));
+  const auto n = static_cast<std::uint64_t>(nranks);
+  FaultPlan plan;
+
+  // 1–2 message rules, at most one per data tag. `after = 0` and a small
+  // `count` keep every schedule deterministic and within the retry budget
+  // (see file header of fault_plan.hpp). Two rules on the *same* tag
+  // would break replay determinism: the first rule's fault decides
+  // whether a retransmission (a timing artifact) ever reaches the second
+  // rule's window.
+  const std::uint64_t nmsg = 1 + rng.uniform_index(2);
+  const std::uint64_t first_tag = rng.uniform_index(2);
+  for (std::uint64_t i = 0; i < nmsg; ++i) {
+    MessageRule r;
+    switch (rng.uniform_index(3)) {
+      case 0:
+        r.action = simmpi::SendAction::kDrop;
+        break;
+      case 1:
+        r.action = simmpi::SendAction::kDuplicate;
+        break;
+      default:
+        r.action = simmpi::SendAction::kDelay;
+        break;
+    }
+    r.tag = (first_tag + i) % 2 == 0 ? kTagMetaExchange : kTagParticleExchange;
+    r.src = rng.uniform_index(2) == 0
+                ? -1
+                : static_cast<int>(rng.uniform_index(n));
+    r.dst = rng.uniform_index(3) == 0
+                ? static_cast<int>(rng.uniform_index(n))
+                : -1;
+    r.after = 0;
+    r.count = 1 + static_cast<int>(rng.uniform_index(2));
+    plan.messages.push_back(r);
+  }
+
+  // ~2/3 of seeds add a recoverable storage fault on the data files.
+  if (rng.uniform_index(3) != 0) {
+    FileRule f;
+    switch (rng.uniform_index(3)) {
+      case 0:
+        f.kind = FileFaultKind::kTornWrite;
+        break;
+      case 1:
+        f.kind = FileFaultKind::kCorruptByte;
+        break;
+      default:
+        f.kind = FileFaultKind::kFailedSync;
+        break;
+    }
+    f.rank = rng.uniform_index(2) == 0
+                 ? -1
+                 : static_cast<int>(rng.uniform_index(n));
+    f.path_contains = "File_";
+    f.after = 0;
+    f.count = 1 + static_cast<int>(rng.uniform_index(2));
+    plan.files.push_back(f);
+  }
+
+  // ~1/4 of seeds kill one rank at a random phase: those schedules must
+  // end in a detected incomplete write, not a recovered one.
+  if (rng.uniform_index(4) == 0) {
+    DeathRule d;
+    d.rank = static_cast<int>(rng.uniform_index(n));
+    d.phase = static_cast<WritePhase>(
+        rng.uniform_index(static_cast<std::uint64_t>(kNumWritePhases)));
+    plan.deaths.push_back(d);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int nranks)
+    : plan_(std::move(plan)),
+      nranks_(nranks),
+      seen_msgs_(plan_.messages.size(),
+                 std::vector<int>(static_cast<std::size_t>(nranks), 0)),
+      seen_files_(plan_.files.size(),
+                  std::vector<int>(static_cast<std::size_t>(nranks), 0)),
+      log_(static_cast<std::size_t>(nranks)),
+      next_seq_(static_cast<std::size_t>(nranks), 0) {
+  SPIO_EXPECTS(nranks > 0);
+}
+
+void FaultInjector::record(int rank, std::string description) {
+  const auto r = static_cast<std::size_t>(rank);
+  log_[r].push_back(FaultEvent{rank, next_seq_[r]++, std::move(description)});
+}
+
+simmpi::SendAction FaultInjector::on_send(int src, int dst, int tag,
+                                          std::size_t bytes) {
+  SPIO_EXPECTS(src >= 0 && src < nranks_);
+  for (std::size_t i = 0; i < plan_.messages.size(); ++i) {
+    const MessageRule& r = plan_.messages[i];
+    if (r.src != -1 && r.src != src) continue;
+    if (r.dst != -1 && r.dst != dst) continue;
+    if (r.tag != -1 && r.tag != tag) continue;
+    const int idx = seen_msgs_[i][static_cast<std::size_t>(src)]++;
+    if (idx < r.after || idx >= r.after + r.count) continue;
+    std::ostringstream oss;
+    oss << action_name(r.action) << " msg tag=" << tag << " src=" << src
+        << " dst=" << dst << " bytes=" << bytes;
+    record(src, oss.str());
+    return r.action;
+  }
+  return simmpi::SendAction::kDeliver;
+}
+
+void FaultInjector::on_phase(int rank, WritePhase phase) {
+  SPIO_EXPECTS(rank >= 0 && rank < nranks_);
+  for (const DeathRule& d : plan_.deaths) {
+    if (d.rank != rank || d.phase != phase) continue;
+    std::ostringstream oss;
+    oss << "death rank=" << rank << " phase=" << phase_name(phase);
+    record(rank, oss.str());
+    throw RankDeath(oss.str());
+  }
+}
+
+FileFaultKind FaultInjector::next_file_fault(int rank, std::string_view path) {
+  SPIO_EXPECTS(rank >= 0 && rank < nranks_);
+  for (std::size_t i = 0; i < plan_.files.size(); ++i) {
+    const FileRule& r = plan_.files[i];
+    if (r.rank != -1 && r.rank != rank) continue;
+    if (!r.path_contains.empty() &&
+        path.find(r.path_contains) == std::string_view::npos)
+      continue;
+    const int idx = seen_files_[i][static_cast<std::size_t>(rank)]++;
+    if (idx < r.after || idx >= r.after + r.count) continue;
+    std::ostringstream oss;
+    oss << file_fault_name(r.kind) << " file=" << path << " rank=" << rank;
+    record(rank, oss.str());
+    return r.kind;
+  }
+  return FileFaultKind::kNone;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::vector<FaultEvent> all;
+  for (const auto& per_rank : log_)
+    all.insert(all.end(), per_rank.begin(), per_rank.end());
+  std::sort(all.begin(), all.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.rank, a.seq) < std::tie(b.rank, b.seq);
+            });
+  return all;
+}
+
+}  // namespace spio::faultsim

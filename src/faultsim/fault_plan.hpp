@@ -1,0 +1,200 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// Deterministic fault injection for the two-phase write path.
+///
+/// A `FaultPlan` scripts faults by *site* (message tag / file path /
+/// pipeline phase) and *trigger* (the n-th matching event on a rank). A
+/// `FaultInjector` executes the plan: it implements `simmpi::CommHooks`
+/// for message faults, is consulted by `checked_write_file` for storage
+/// faults, and is called by the writer at phase boundaries for rank
+/// death. Every applied fault is recorded in a per-rank event log so a
+/// test can assert that the same seed produces the same fault sequence.
+///
+/// Determinism model: triggers are counted per (rule, rank), and each
+/// rank's stream of first transmissions and file-write attempts is
+/// deterministic. Retransmission *counts* can vary with scheduling, so a
+/// plan meant to be replayed exactly should use `after = 0` for message
+/// rules — the faulted events are then the first `count` transmissions,
+/// which never depend on timing. `FaultPlan::random` obeys this, and it
+/// never targets acknowledgement tags, so every schedule it produces is
+/// recoverable by the writer's bounded-retry protocol.
+///
+/// A scheduled rank death is itself deterministic, but it aborts the job
+/// while other ranks are mid-phase: which of *their* scheduled faults
+/// were applied before the abort depends on thread scheduling. Tests
+/// replaying a death schedule should compare the death events, not the
+/// full log.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simmpi/hooks.hpp"
+#include "util/error.hpp"
+
+namespace spio::faultsim {
+
+/// A fault-injection outcome the subsystem classifies as *structured*:
+/// retry budgets exhausted, unacknowledged peers, unrecoverable storage.
+/// Distinct from `IoError`/`FormatError` so tests can tell an injected,
+/// detected failure from an accidental one.
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what)
+      : Error("spio: injected fault: " + what) {}
+};
+
+/// Thrown by a phase hook to simulate a rank dying at a chosen point of
+/// the write pipeline. The simmpi runtime treats it like any rank
+/// failure: the job aborts and `simmpi::run` rethrows it to the caller.
+class RankDeath : public Error {
+ public:
+  explicit RankDeath(const std::string& what)
+      : Error("spio: injected rank death: " + what) {}
+};
+
+/// Write-pipeline phases at which a rank death can be scheduled. The
+/// writer announces each phase entry to the injector.
+enum class WritePhase : int {
+  kSetup = 0,             // grid construction + aggregator selection (§3.1–3.2)
+  kMetaExchange = 1,      // particle-count exchange (§3.3)
+  kParticleExchange = 2,  // particle data exchange (§3.3)
+  kDataWrite = 3,         // per-partition data files (§3.4)
+  kCommit = 4,            // metadata gather + meta.spio write (§3.5)
+};
+constexpr int kNumWritePhases = 5;
+
+/// Human-readable phase name (event logs, test output).
+std::string_view phase_name(WritePhase phase);
+
+/// Point-to-point tags of the write protocol. Owned by this layer (not
+/// the writer) so fault plans and the writer agree on the fault surface
+/// without a dependency cycle.
+constexpr int kTagMetaExchange = 101;
+constexpr int kTagParticleExchange = 102;
+
+/// Acknowledgement tag paired with a data tag by `reliable_exchange`.
+constexpr int kAckTagOffset = 10;
+constexpr int ack_tag(int tag) { return tag + kAckTagOffset; }
+
+/// Fault one point-to-point message stream. Matches sends where every
+/// non-wildcard field agrees; the trigger window [after, after + count)
+/// is counted per sending rank.
+struct MessageRule {
+  simmpi::SendAction action = simmpi::SendAction::kDrop;
+  int src = -1;   // sending rank, -1 = any
+  int dst = -1;   // destination rank, -1 = any
+  int tag = -1;   // message tag, -1 = any (matches ACK tags too — such a
+                  // plan can defeat recovery; see file header)
+  int after = 0;  // matching sends to let pass per sender first
+  int count = 1;  // matching sends to fault per sender
+
+  bool operator==(const MessageRule&) const = default;
+};
+
+/// Storage fault kinds applied by `checked_write_file`.
+enum class FileFaultKind : int {
+  kNone = 0,
+  kTornWrite,    // only a prefix of the payload reaches the file
+  kCorruptByte,  // one payload byte is flipped before the write
+  kFailedSync,   // the write "succeeds" but the flush fails (IoError-like)
+  kBitRot,       // the file is corrupted *after* write validation passes;
+                 // only reader-side checksum validation can catch it
+};
+
+/// Human-readable file-fault name (event logs, test output).
+std::string_view file_fault_name(FileFaultKind kind);
+
+/// Fault the n-th checked file write on a rank whose target path contains
+/// `path_contains` (empty = any file).
+struct FileRule {
+  FileFaultKind kind = FileFaultKind::kTornWrite;
+  int rank = -1;              // writing rank, -1 = any
+  std::string path_contains;  // substring of the target file name
+  int after = 0;              // matching writes to let pass per rank first
+  int count = 1;              // matching writes to fault per rank
+
+  bool operator==(const FileRule&) const = default;
+};
+
+/// Kill `rank` when it enters `phase`.
+struct DeathRule {
+  int rank = 0;
+  WritePhase phase = WritePhase::kDataWrite;
+
+  bool operator==(const DeathRule&) const = default;
+};
+
+/// A complete fault schedule. Plain data: build one by hand for targeted
+/// tests or with `random` for chaos schedules.
+struct FaultPlan {
+  std::vector<MessageRule> messages;
+  std::vector<FileRule> files;
+  std::vector<DeathRule> deaths;
+
+  bool operator==(const FaultPlan&) const = default;
+
+  /// Deterministic pseudo-random plan for a `nranks`-rank write. The same
+  /// (seed, nranks) always yields the same plan. Every generated schedule
+  /// is recoverable or ends in a structured failure: message rules use
+  /// `after = 0`, target only the writer's data tags (never ACKs), and
+  /// fault fewer events than the retry budget; file rules use recoverable
+  /// kinds (no bit rot); a minority of seeds schedule one rank death.
+  static FaultPlan random(std::uint64_t seed, int nranks);
+};
+
+/// One applied fault. `seq` orders events within a rank; cross-rank order
+/// is not meaningful (ranks run concurrently).
+struct FaultEvent {
+  int rank = 0;
+  std::uint64_t seq = 0;
+  std::string description;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Executes a `FaultPlan`. Install via `simmpi::RunOptions::comm_hooks`
+/// for message faults and pass to the writer (WriterConfig::faults) for
+/// phase and storage faults. One injector serves one job: per-rank state
+/// is sized at construction and each slot is touched only by that rank's
+/// thread, so no locking is needed (and `events()` must only be called
+/// after the job has joined).
+class FaultInjector final : public simmpi::CommHooks {
+ public:
+  FaultInjector(FaultPlan plan, int nranks);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// simmpi::CommHooks: decide the fate of one message.
+  simmpi::SendAction on_send(int src, int dst, int tag,
+                             std::size_t bytes) override;
+
+  /// Called by the writer when `rank` enters `phase`. Throws `RankDeath`
+  /// if the plan schedules this rank's death here.
+  void on_phase(int rank, WritePhase phase);
+
+  /// Called by `checked_write_file` before each write attempt of `path`
+  /// on `rank`; returns the storage fault to apply to this attempt.
+  FileFaultKind next_file_fault(int rank, std::string_view path);
+
+  /// All applied faults, merged across ranks and sorted by (rank, seq).
+  /// Deterministic for `after = 0` plans; see the file header.
+  std::vector<FaultEvent> events() const;
+
+ private:
+  void record(int rank, std::string description);
+
+  FaultPlan plan_;
+  int nranks_;
+  // seen_*[rule][rank]: matching events observed so far. Slot [*][r] is
+  // only touched by rank r's thread.
+  std::vector<std::vector<int>> seen_msgs_;
+  std::vector<std::vector<int>> seen_files_;
+  std::vector<std::vector<FaultEvent>> log_;   // per rank
+  std::vector<std::uint64_t> next_seq_;        // per rank
+};
+
+}  // namespace spio::faultsim

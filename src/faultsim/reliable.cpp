@@ -1,0 +1,94 @@
+#include "faultsim/reliable.hpp"
+
+#include <thread>
+
+#include "faultsim/fault_plan.hpp"
+
+namespace spio::faultsim {
+
+std::vector<std::vector<std::byte>> reliable_exchange(
+    simmpi::Comm& comm, std::vector<Outbound> to_send,
+    const std::vector<int>& recv_from, int tag, const RetryPolicy& policy) {
+  SPIO_EXPECTS(tag >= 0);
+  SPIO_EXPECTS(policy.max_attempts > 0);
+  const int atag = ack_tag(tag);
+  using Clock = std::chrono::steady_clock;
+
+  // Destination -> outbound index; doubles as the distinctness check the
+  // (src, tag) dedup scheme relies on.
+  std::vector<int> out_index(static_cast<std::size_t>(comm.size()), -1);
+  for (std::size_t i = 0; i < to_send.size(); ++i) {
+    const int dst = to_send[i].dst;
+    SPIO_EXPECTS(dst >= 0 && dst < comm.size());
+    SPIO_EXPECTS(out_index[static_cast<std::size_t>(dst)] == -1);
+    out_index[static_cast<std::size_t>(dst)] = static_cast<int>(i);
+  }
+  std::vector<int> in_index(static_cast<std::size_t>(comm.size()), -1);
+  for (std::size_t i = 0; i < recv_from.size(); ++i) {
+    const int src = recv_from[i];
+    SPIO_EXPECTS(src >= 0 && src < comm.size());
+    SPIO_EXPECTS(in_index[static_cast<std::size_t>(src)] == -1);
+    in_index[static_cast<std::size_t>(src)] = static_cast<int>(i);
+  }
+
+  std::vector<std::vector<std::byte>> received(recv_from.size());
+  std::vector<bool> got(recv_from.size(), false);
+  std::vector<bool> acked(to_send.size(), false);
+  std::vector<int> attempts(to_send.size(), 0);
+  std::vector<Clock::time_point> last_tx(to_send.size());
+  std::size_t got_count = 0;
+  std::size_t acked_count = 0;
+
+  auto transmit = [&](std::size_t i) {
+    comm.send_bytes(to_send[i].dst, tag, to_send[i].payload);  // keep a copy
+    ++attempts[i];
+    last_tx[i] = Clock::now();
+  };
+  for (std::size_t i = 0; i < to_send.size(); ++i) transmit(i);
+
+  while (acked_count < to_send.size() || got_count < recv_from.size()) {
+    if (comm.aborting()) throw simmpi::Aborted();
+    bool progress = false;
+
+    int src = -1;
+    while (comm.iprobe(simmpi::kAnySource, tag, &src)) {
+      simmpi::Message m = comm.recv_message(src, tag);
+      const int idx = in_index[static_cast<std::size_t>(m.src)];
+      if (idx >= 0 && !got[static_cast<std::size_t>(idx)]) {
+        got[static_cast<std::size_t>(idx)] = true;
+        ++got_count;
+        received[static_cast<std::size_t>(idx)] = std::move(m.payload);
+      }
+      // ACK unconditionally: a duplicate means the sender has not seen
+      // our previous ACK (or a duplication fault fired — harmless).
+      comm.send_bytes(m.src, atag, {});
+      progress = true;
+    }
+
+    while (comm.iprobe(simmpi::kAnySource, atag, &src)) {
+      comm.recv_message(src, atag);
+      const int idx = out_index[static_cast<std::size_t>(src)];
+      if (idx >= 0 && !acked[static_cast<std::size_t>(idx)]) {
+        acked[static_cast<std::size_t>(idx)] = true;
+        ++acked_count;
+      }
+      progress = true;
+    }
+
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < to_send.size(); ++i) {
+      if (acked[i] || now - last_tx[i] < policy.ack_timeout) continue;
+      SPIO_CHECK(attempts[i] < policy.max_attempts, FaultError,
+                 "rank " << comm.rank() << " got no acknowledgement from rank "
+                         << to_send[i].dst << " on tag " << tag << " after "
+                         << attempts[i] << " attempts");
+      transmit(i);
+      progress = true;
+    }
+
+    if (!progress) std::this_thread::sleep_for(policy.poll_interval);
+  }
+  return received;
+}
+
+}  // namespace spio::faultsim

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file reliable.hpp
+/// Stop-and-wait reliable exchange over simmpi point-to-point messaging.
+///
+/// The writer's two exchange phases (counts, then particle payloads) send
+/// at most one message per (sender, destination, tag) pair. Under fault
+/// injection those messages can be dropped, duplicated or delayed; this
+/// layer recovers all three with per-message acknowledgements and bounded
+/// retransmission:
+///
+///   - every received payload is acknowledged on `ack_tag(tag)`, even
+///     duplicates (the sender may have missed an earlier ACK);
+///   - duplicates are filtered by (source, tag) — safe because the write
+///     protocol sends at most one message per pair and phase;
+///   - a sender retransmits after `ack_timeout` without an ACK, up to
+///     `max_attempts`, then throws `FaultError` (a structured failure,
+///     never a hang);
+///   - sending and receiving are one combined loop: a rank services
+///     inbound payloads while waiting for its own ACKs, so two ranks
+///     exchanging with each other cannot deadlock.
+///
+/// If another rank dies, the runtime's abort flag unblocks the loop via
+/// `Comm::aborting()` and the usual `Aborted` unwind.
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace spio::faultsim {
+
+/// One outbound message of an exchange.
+struct Outbound {
+  int dst = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Retransmission policy. The defaults suit in-process chaos tests (small
+/// jobs, millisecond delivery); a real network transport would scale the
+/// timeout with measured round-trip time.
+struct RetryPolicy {
+  int max_attempts = 5;
+  std::chrono::milliseconds ack_timeout{80};
+  std::chrono::milliseconds poll_interval{1};
+};
+
+/// Send every message in `to_send` (destinations must be distinct) and
+/// receive exactly one payload from each rank in `recv_from`, all on
+/// `tag`, reliably. Returns the received payloads indexed like
+/// `recv_from`. Collective in spirit: every participating rank must call
+/// it with matching send/receive sets or the exchange cannot complete.
+/// Throws `FaultError` when a peer never acknowledges within the retry
+/// budget and `simmpi::Aborted` when the job aborts underneath it.
+std::vector<std::vector<std::byte>> reliable_exchange(
+    simmpi::Comm& comm, std::vector<Outbound> to_send,
+    const std::vector<int>& recv_from, int tag,
+    const RetryPolicy& policy = {});
+
+}  // namespace spio::faultsim

@@ -13,6 +13,7 @@ CommState::CommState(int sz, std::shared_ptr<std::atomic<bool>> abort_flag)
       abort(std::move(abort_flag)),
       mailboxes(static_cast<std::size_t>(sz)),
       arena(sz, abort),
+      delayed(static_cast<std::size_t>(sz)),
       p2p_bytes(static_cast<std::size_t>(sz) * static_cast<std::size_t>(sz)),
       p2p_msgs(static_cast<std::size_t>(sz) * static_cast<std::size_t>(sz)) {}
 
@@ -29,10 +30,44 @@ void Comm::send_bytes(int dst, int tag, std::vector<std::byte> payload) {
   const std::size_t cell = static_cast<std::size_t>(rank_) *
                                static_cast<std::size_t>(st_->size) +
                            static_cast<std::size_t>(dst);
+  // Accounting covers every *attempted* send: a dropped message was still
+  // paid for by the sender, matching what a network counter would report.
   st_->p2p_bytes[cell].fetch_add(payload.size(), std::memory_order_relaxed);
   st_->p2p_msgs[cell].fetch_add(1, std::memory_order_relaxed);
-  st_->mailboxes[static_cast<std::size_t>(dst)].deliver(
-      Message{rank_, tag, std::move(payload)});
+
+  if (st_->hooks) {
+    switch (st_->hooks->on_send(rank_, dst, tag, payload.size())) {
+      case SendAction::kDrop:
+        return;
+      case SendAction::kDelay:
+        st_->delayed[static_cast<std::size_t>(rank_)].push_back(
+            {dst, Message{rank_, tag, std::move(payload)}});
+        return;
+      case SendAction::kDuplicate:
+        deliver(dst, Message{rank_, tag, payload});
+        deliver(dst, Message{rank_, tag, std::move(payload)});
+        flush_delayed();
+        return;
+      case SendAction::kDeliver:
+        break;
+    }
+    deliver(dst, Message{rank_, tag, std::move(payload)});
+    // Stashed messages arrive *after* this newer one: the observable
+    // reordering a delay fault exists to produce.
+    flush_delayed();
+    return;
+  }
+  deliver(dst, Message{rank_, tag, std::move(payload)});
+}
+
+void Comm::deliver(int dst, Message&& m) {
+  st_->mailboxes[static_cast<std::size_t>(dst)].deliver(std::move(m));
+}
+
+void Comm::flush_delayed() {
+  auto& stash = st_->delayed[static_cast<std::size_t>(rank_)];
+  for (auto& d : stash) deliver(d.dst, std::move(d.msg));
+  stash.clear();
 }
 
 Message Comm::recv_message(int src, int tag) {
@@ -52,6 +87,9 @@ void Comm::barrier() {
 
 void Comm::collective(std::vector<std::byte> contribution,
                       const CollectiveArena::Reader& reader) {
+  // A collective is a delivery horizon for delayed messages: everything
+  // stashed must be visible to peers that synchronize with us here.
+  if (st_->hooks) flush_delayed();
   st_->arena.run(rank_, round_++, std::move(contribution), reader);
 }
 
@@ -111,6 +149,7 @@ Comm Comm::split(int color, int key) {
       auto& entry = st_->split_children[map_key];
       entry.child = std::make_shared<detail::CommState>(
           static_cast<int>(group.size()), st_->abort);
+      entry.child->hooks = st_->hooks;  // faults follow sub-communicators
       entry.fetches_left = static_cast<int>(group.size());
       st_->split_cv.notify_all();
     }

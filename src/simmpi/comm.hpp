@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "simmpi/collective_arena.hpp"
+#include "simmpi/hooks.hpp"
 #include "simmpi/mailbox.hpp"
 #include "simmpi/message.hpp"
 #include "util/error.hpp"
@@ -41,6 +42,13 @@ class Comm;
 
 namespace detail {
 
+/// A message held back by a `SendAction::kDelay` verdict, waiting for the
+/// sender's next delivery opportunity.
+struct DelayedMessage {
+  int dst = 0;
+  Message msg;
+};
+
 /// State shared by all rank handles of one communicator.
 struct CommState {
   CommState(int size, std::shared_ptr<std::atomic<bool>> abort_flag);
@@ -49,6 +57,14 @@ struct CommState {
   std::shared_ptr<std::atomic<bool>> abort;
   std::vector<Mailbox> mailboxes;
   CollectiveArena arena;
+
+  /// Transport interposition (fault injection); null in production. Set
+  /// once before any rank runs; sub-communicators inherit it on split.
+  CommHooks* hooks = nullptr;
+
+  /// Per-sender stash of delayed messages. Slot `r` is touched only by
+  /// rank r's thread, so no lock is needed.
+  std::vector<std::vector<DelayedMessage>> delayed;
 
   /// Point-to-point traffic accounting: bytes/messages sent from rank s
   /// to rank d at index s * size + d. Collectives do not appear here
@@ -112,6 +128,14 @@ class Comm {
 
   int rank() const { return rank_; }
   int size() const { return st_->size; }
+
+  /// True once the job's abort flag is raised (another rank failed).
+  /// Polling loops outside the runtime's blocking calls (e.g. retry
+  /// protocols) must check this and throw `Aborted` to preserve the
+  /// no-deadlock guarantee on rank death.
+  bool aborting() const {
+    return st_->abort->load(std::memory_order_relaxed);
+  }
 
   // ---- point-to-point, bytes ----
 
@@ -406,6 +430,14 @@ class Comm {
   /// Run one arena round with this rank's contribution.
   void collective(std::vector<std::byte> contribution,
                   const CollectiveArena::Reader& reader);
+
+  /// Hand a message to the destination mailbox (post-hook delivery).
+  void deliver(int dst, Message&& m);
+
+  /// Deliver every message this rank has stashed under a delay verdict.
+  /// Called after each later delivery and at collective entry, so delayed
+  /// messages arrive out of order but are never lost.
+  void flush_delayed();
 
   std::shared_ptr<detail::CommState> st_;
   int rank_ = 0;

@@ -7,10 +7,16 @@
 namespace simmpi {
 
 void run(int nranks, const std::function<void(Comm&)>& rank_main) {
+  run(nranks, RunOptions{}, rank_main);
+}
+
+void run(int nranks, const RunOptions& options,
+         const std::function<void(Comm&)>& rank_main) {
   SPIO_EXPECTS(nranks > 0);
 
   auto abort = std::make_shared<std::atomic<bool>>(false);
   auto state = std::make_shared<detail::CommState>(nranks, abort);
+  state->hooks = options.comm_hooks;
 
   std::mutex failure_mu;
   std::exception_ptr first_failure;

@@ -10,6 +10,13 @@
 
 namespace simmpi {
 
+/// Optional knobs for a job launch.
+struct RunOptions {
+  /// Transport interposition (fault injection). Not owned; must outlive
+  /// the `run` call. Null means the zero-overhead production path.
+  CommHooks* comm_hooks = nullptr;
+};
+
 /// Launches rank threads and propagates failures.
 ///
 /// Usage:
@@ -19,6 +26,10 @@ namespace simmpi {
 /// blocked in receives or collectives unwind with `Aborted`, all threads
 /// are joined, and the first original exception is rethrown to the caller.
 void run(int nranks, const std::function<void(Comm&)>& rank_main);
+
+/// As `run`, with launch options (e.g. installed `CommHooks`).
+void run(int nranks, const RunOptions& options,
+         const std::function<void(Comm&)>& rank_main);
 
 /// As `run`, but collects a per-rank result, indexed by rank.
 template <typename T>

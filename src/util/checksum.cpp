@@ -1,0 +1,36 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace spio {
+
+namespace {
+
+// Reflected form of the ECMA-182 polynomial 0x42F0E1EBA9EA3693.
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;
+
+constexpr std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint64_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint64_t crc64(std::span<const std::byte> data) {
+  std::uint64_t crc = ~0ULL;
+  for (const std::byte b : data) {
+    crc = kTable[(crc ^ static_cast<std::uint64_t>(b)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace spio

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file checksum.hpp
+/// CRC-64/XZ (reflected ECMA-182 polynomial) over byte spans. Used by the
+/// writer's rewrite-and-revalidate recovery path and by the optional
+/// `checksums.spio` sidecar that lets readers detect silent data-file
+/// corruption (bit rot, torn writes that escaped the writer).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace spio {
+
+/// CRC-64/XZ of `data`. Matches the widely-used xz/liblzma parameters
+/// (poly 0x42F0E1EBA9EA3693 reflected, init/xorout ~0), so values can be
+/// cross-checked with external tooling.
+std::uint64_t crc64(std::span<const std::byte> data);
+
+}  // namespace spio

@@ -1,0 +1,238 @@
+/// Targeted fault scenarios: one hand-written FaultPlan per failure mode
+/// the subsystem claims to handle, asserting the specific recovery (or
+/// the specific structured detection) rather than the chaos harness's
+/// statistical sweep.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "chaos/chaos_util.hpp"
+#include "core/reader.hpp"
+#include "core/restart.hpp"
+#include "core/validate.hpp"
+#include "util/serialize.hpp"
+
+namespace spio::chaos {
+namespace {
+
+using faultsim::FaultPlan;
+using faultsim::FileFaultKind;
+using faultsim::WritePhase;
+using simmpi::SendAction;
+
+bool any_event_contains(const ChaosOutcome& out, std::string_view needle) {
+  for (const auto& e : out.events)
+    if (e.description.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+void expect_clean_recovery(const std::filesystem::path& dir,
+                           const ChaosOutcome& out) {
+  ASSERT_TRUE(out.completed) << out.what;
+  EXPECT_FALSE(WriteJournal::present(dir));
+  const ValidationReport deep = validate_dataset(dir, true);
+  EXPECT_TRUE(deep.ok()) << deep.errors.front();
+  EXPECT_TRUE(snapshot_dir(dir) == golden_snapshot())
+      << "recovered dataset differs from fault-free run";
+}
+
+// ---- message faults: the reliable exchange recovers ----
+
+TEST(ChaosRecovery, DroppedCountMessageIsResent) {
+  FaultPlan plan;
+  plan.messages.push_back(
+      {SendAction::kDrop, -1, -1, faultsim::kTagMetaExchange, 0, 1});
+  TempDir dir("spio-chaos-drop-count");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "drop"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, DroppedParticleMessageIsResent) {
+  FaultPlan plan;
+  plan.messages.push_back(
+      {SendAction::kDrop, -1, -1, faultsim::kTagParticleExchange, 0, 2});
+  TempDir dir("spio-chaos-drop-data");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "drop"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, DuplicatedParticleMessagesAreDeduplicated) {
+  FaultPlan plan;
+  plan.messages.push_back(
+      {SendAction::kDuplicate, -1, -1, faultsim::kTagParticleExchange, 0, 2});
+  TempDir dir("spio-chaos-dup");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "dup"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, DelayedMessagesAreReorderedHarmlessly) {
+  FaultPlan plan;
+  plan.messages.push_back(
+      {SendAction::kDelay, -1, -1, faultsim::kTagMetaExchange, 0, 1});
+  plan.messages.push_back(
+      {SendAction::kDelay, -1, -1, faultsim::kTagParticleExchange, 0, 1});
+  TempDir dir("spio-chaos-delay");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "delay"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, AckDirectedFaultsEndInStructuredError) {
+  // A plan hostile enough to defeat the ARQ (every ACK dropped, forever)
+  // must exhaust the bounded retries with a FaultError — never hang.
+  FaultPlan plan;
+  plan.messages.push_back(
+      {SendAction::kDrop, -1, -1,
+       faultsim::ack_tag(faultsim::kTagParticleExchange), 0, 1000});
+  faultsim::RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.ack_timeout = std::chrono::milliseconds(5);
+  TempDir dir("spio-chaos-ack");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan, retry);
+  ASSERT_TRUE(out.fault_error) << out.what;
+  EXPECT_NE(out.what.find("injected fault"), std::string::npos);
+  // The interrupted write is detected and repairable.
+  EXPECT_TRUE(WriteJournal::present(dir.path()));
+  EXPECT_EQ(check_and_repair(dir.path(), true), RepairOutcome::kRemovedPartial);
+  write_golden(dir.path());
+  EXPECT_TRUE(snapshot_dir(dir.path()) == golden_snapshot());
+}
+
+// ---- storage faults: rewrite-and-revalidate ----
+
+TEST(ChaosRecovery, TornWriteIsRewritten) {
+  FaultPlan plan;
+  plan.files.push_back({FileFaultKind::kTornWrite, -1, "File_", 0, 1});
+  TempDir dir("spio-chaos-torn");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "torn_write"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, CorruptedByteIsRewritten) {
+  FaultPlan plan;
+  plan.files.push_back({FileFaultKind::kCorruptByte, -1, "File_", 0, 2});
+  TempDir dir("spio-chaos-corrupt");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "corrupt_byte"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, FailedSyncIsRetried) {
+  FaultPlan plan;
+  plan.files.push_back({FileFaultKind::kFailedSync, -1, "File_", 0, 1});
+  TempDir dir("spio-chaos-sync");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "failed_sync"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, PersistentTornWriteExhaustsBudgetStructurally) {
+  // Fault windows wider than the rewrite budget: the writer must give up
+  // with FaultError, leaving a detectable incomplete write behind.
+  FaultPlan plan;
+  plan.files.push_back({FileFaultKind::kTornWrite, -1, "File_", 0, 100});
+  TempDir dir("spio-chaos-torn-forever");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  ASSERT_TRUE(out.fault_error) << out.what;
+  EXPECT_TRUE(WriteJournal::present(dir.path()));
+  EXPECT_THROW(Dataset::open(dir.path()), IncompleteDatasetError);
+  EXPECT_EQ(check_and_repair(dir.path(), true), RepairOutcome::kRemovedPartial);
+  write_golden(dir.path());
+  EXPECT_TRUE(snapshot_dir(dir.path()) == golden_snapshot());
+}
+
+TEST(ChaosRecovery, BitRotIsSilentUntilDeepValidation) {
+  // Bit rot corrupts after write validation passes: the write completes,
+  // shallow checks see nothing, and only the recorded checksums catch it.
+  FaultPlan plan;
+  plan.files.push_back({FileFaultKind::kBitRot, -1, "File_", 0, 1});
+  TempDir dir("spio-chaos-bitrot");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  ASSERT_TRUE(out.completed) << out.what;
+  EXPECT_TRUE(any_event_contains(out, "bit_rot"));
+  EXPECT_FALSE(WriteJournal::present(dir.path()));
+  EXPECT_TRUE(validate_dataset(dir.path(), false).ok());
+  const ValidationReport deep = validate_dataset(dir.path(), true);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.errors[0].find("checksum"), std::string::npos);
+}
+
+// ---- rank death: journal makes the crash detectable and repairable ----
+
+TEST(ChaosRecovery, RankDeathDuringDataWriteIsDetectedByRestart) {
+  FaultPlan plan;
+  plan.deaths.push_back({2, WritePhase::kDataWrite});
+  TempDir dir("spio-chaos-death");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  ASSERT_TRUE(out.rank_death) << out.what;
+  EXPECT_NE(out.what.find("data_write"), std::string::npos);
+  EXPECT_TRUE(WriteJournal::present(dir.path()));
+
+  // A restarting job must refuse the torso of the dataset on every rank.
+  const PatchDecomposition decomp = test_decomp();
+  EXPECT_THROW(simmpi::run(kRanks,
+                           [&](simmpi::Comm& comm) {
+                             restart_read(comm, decomp, dir.path());
+                           }),
+               IncompleteDatasetError);
+
+  // Repair, rewrite, and restart cleanly: every particle exactly once.
+  EXPECT_EQ(check_and_repair(dir.path(), true), RepairOutcome::kRemovedPartial);
+  write_golden(dir.path());
+  std::atomic<std::uint64_t> total{0};
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    total += restart_read(comm, decomp, dir.path()).size();
+  });
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(kRanks) * kPerRank);
+}
+
+TEST(ChaosRecovery, RankDeathAtCommitLeavesIncompleteClassification) {
+  // Death between the data writes and the metadata commit: the exact
+  // window the journal exists for. Data files are whole, metadata is
+  // absent — check_and_repair must call it incomplete, not finalize it.
+  FaultPlan plan;
+  plan.deaths.push_back({0, WritePhase::kCommit});
+  TempDir dir("spio-chaos-death-commit");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  ASSERT_TRUE(out.rank_death) << out.what;
+  EXPECT_TRUE(WriteJournal::present(dir.path()));
+  EXPECT_FALSE(std::filesystem::exists(
+      dir.path() / DatasetMetadata::kFileName));
+  EXPECT_EQ(check_and_repair(dir.path(), false), RepairOutcome::kIncomplete);
+  EXPECT_TRUE(WriteJournal::present(dir.path()));  // left in place
+}
+
+// ---- journal protocol edges ----
+
+TEST(ChaosRecovery, StaleJournalOverCompleteDatasetIsFinalized) {
+  // Crash after the commit point but before journal removal: everything
+  // is durable, only the journal lingers. Repair finalizes instead of
+  // discarding a perfectly good dataset.
+  TempDir dir("spio-chaos-stale");
+  write_golden(dir.path());
+  BinaryWriter w;
+  w.write<std::uint32_t>(WriteJournal::kMagic);
+  w.write<std::uint32_t>(WriteJournal::kVersion);
+  write_file(dir.path() / WriteJournal::kFileName, w.bytes());
+
+  // Validation flags the oddity without calling the dataset broken.
+  const ValidationReport report = validate_dataset(dir.path(), false);
+  EXPECT_TRUE(report.ok());
+  ASSERT_FALSE(report.warnings.empty());
+  EXPECT_NE(report.warnings[0].find("journal"), std::string::npos);
+
+  EXPECT_EQ(check_and_repair(dir.path(), false),
+            RepairOutcome::kFinalizedJournal);
+  EXPECT_FALSE(WriteJournal::present(dir.path()));
+  EXPECT_TRUE(snapshot_dir(dir.path()) == golden_snapshot());
+  EXPECT_TRUE(validate_dataset(dir.path(), true).ok());
+}
+
+}  // namespace
+}  // namespace spio::chaos

@@ -1,0 +1,125 @@
+#pragma once
+
+/// Shared plumbing for the chaos suite: a standard 4-rank write job that
+/// runs under a fault plan and classifies its outcome, plus directory
+/// snapshots for byte-exact comparison against a fault-free golden run.
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/journal.hpp"
+#include "core/writer.hpp"
+#include "faultsim/checked_io.hpp"
+#include "faultsim/fault_plan.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio::chaos {
+
+constexpr int kRanks = 4;
+constexpr std::uint64_t kPerRank = 64;
+
+inline PatchDecomposition test_decomp() {
+  return PatchDecomposition(Box3::unit(), {2, 2, 1});
+}
+
+inline ParticleBuffer local_particles(const PatchDecomposition& decomp,
+                                      int rank,
+                                      std::uint64_t per_rank = kPerRank) {
+  return workload::uniform(
+      Schema::uintah(), decomp.patch(rank), per_rank,
+      stream_seed(2024, static_cast<std::uint64_t>(rank)),
+      static_cast<std::uint64_t>(rank) * per_rank);
+}
+
+inline WriterConfig base_config(const std::filesystem::path& dir) {
+  WriterConfig cfg;
+  cfg.dir = dir;
+  cfg.factor = {2, 1, 1};
+  return cfg;
+}
+
+/// Short timeouts so injected drops cost milliseconds, and headroom above
+/// the largest `count` a random plan generates.
+inline faultsim::RetryPolicy fast_retry() {
+  faultsim::RetryPolicy p;
+  p.max_attempts = 6;
+  p.ack_timeout = std::chrono::milliseconds(25);
+  return p;
+}
+
+/// Reference dataset written with no injector installed (the production
+/// code path). Chaos runs that recover must reproduce it byte for byte.
+inline void write_golden(const std::filesystem::path& dir) {
+  const PatchDecomposition decomp = test_decomp();
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    write_dataset(comm, decomp, local_particles(decomp, comm.rank()),
+                  base_config(dir));
+  });
+}
+
+struct ChaosOutcome {
+  bool completed = false;
+  bool rank_death = false;   // structured: injected death propagated
+  bool fault_error = false;  // structured: retry budget exhausted
+  std::string what;
+  std::vector<faultsim::FaultEvent> events;
+};
+
+/// One write job under `plan`. Every run must end in exactly one of the
+/// three outcome states — anything else (deadlock, crash, silent loss)
+/// fails the calling test.
+inline ChaosOutcome run_chaos_write(
+    const std::filesystem::path& dir, const faultsim::FaultPlan& plan,
+    const faultsim::RetryPolicy& retry = fast_retry()) {
+  const PatchDecomposition decomp = test_decomp();
+  faultsim::FaultInjector inj(plan, kRanks);
+  ChaosOutcome out;
+  try {
+    simmpi::run(kRanks, simmpi::RunOptions{&inj}, [&](simmpi::Comm& comm) {
+      WriterConfig cfg = base_config(dir);
+      cfg.faults = &inj;
+      cfg.retry = retry;
+      write_dataset(comm, decomp, local_particles(decomp, comm.rank()), cfg);
+    });
+    out.completed = true;
+  } catch (const faultsim::RankDeath& e) {
+    out.rank_death = true;
+    out.what = e.what();
+  } catch (const faultsim::FaultError& e) {
+    out.fault_error = true;
+    out.what = e.what();
+  }
+  out.events = inj.events();
+  return out;
+}
+
+/// Name -> contents of every regular file in `dir`.
+inline std::map<std::string, std::vector<std::byte>> snapshot_dir(
+    const std::filesystem::path& dir) {
+  std::map<std::string, std::vector<std::byte>> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    files.emplace(entry.path().filename().string(),
+                  read_file(entry.path()));
+  }
+  return files;
+}
+
+/// Contents of a fault-free golden run, written once per test binary.
+inline const std::map<std::string, std::vector<std::byte>>&
+golden_snapshot() {
+  static const auto snapshot = [] {
+    TempDir dir("spio-chaos-golden");
+    write_golden(dir.path());
+    return snapshot_dir(dir.path());
+  }();
+  return snapshot;
+}
+
+}  // namespace spio::chaos

@@ -1,0 +1,129 @@
+#include "faultsim/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faultsim/fault_plan.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace spio::faultsim {
+namespace {
+
+using simmpi::Comm;
+using simmpi::RunOptions;
+using simmpi::SendAction;
+
+constexpr int kTag = kTagParticleExchange;
+
+std::vector<std::byte> payload_for(int src, int dst) {
+  // Distinct, recognizable contents per (src, dst) pair.
+  std::vector<std::byte> p(8);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<std::byte>(17 * src + 3 * dst + static_cast<int>(i));
+  return p;
+}
+
+/// All-to-all over reliable_exchange (including self-sends); verifies
+/// every payload arrives intact exactly once.
+void all_to_all_job(Comm& comm, const RetryPolicy& policy) {
+  std::vector<Outbound> out;
+  std::vector<int> expect;
+  for (int d = 0; d < comm.size(); ++d) {
+    out.push_back({d, payload_for(comm.rank(), d)});
+    expect.push_back(d);
+  }
+  const auto in = reliable_exchange(comm, std::move(out), expect, kTag,
+                                    policy);
+  ASSERT_EQ(in.size(), static_cast<std::size_t>(comm.size()));
+  for (int s = 0; s < comm.size(); ++s)
+    EXPECT_EQ(in[static_cast<std::size_t>(s)], payload_for(s, comm.rank()))
+        << "from rank " << s << " at rank " << comm.rank();
+}
+
+TEST(ReliableExchange, FaultFreeAllToAll) {
+  simmpi::run(4, [&](Comm& comm) { all_to_all_job(comm, {}); });
+}
+
+TEST(ReliableExchange, RecoversDroppedMessages) {
+  FaultPlan plan;
+  plan.messages.push_back({SendAction::kDrop, -1, -1, kTag, 0, 2});
+  FaultInjector inj(plan, 4);
+  RetryPolicy policy;
+  policy.ack_timeout = std::chrono::milliseconds(20);
+  simmpi::run(4, RunOptions{&inj},
+              [&](Comm& comm) { all_to_all_job(comm, policy); });
+  EXPECT_FALSE(inj.events().empty());
+}
+
+TEST(ReliableExchange, DeduplicatesDuplicatedMessages) {
+  FaultPlan plan;
+  plan.messages.push_back({SendAction::kDuplicate, -1, -1, kTag, 0, 3});
+  FaultInjector inj(plan, 4);
+  simmpi::run(4, RunOptions{&inj},
+              [&](Comm& comm) { all_to_all_job(comm, {}); });
+}
+
+TEST(ReliableExchange, ToleratesDelayedMessages) {
+  FaultPlan plan;
+  plan.messages.push_back({SendAction::kDelay, -1, -1, kTag, 0, 2});
+  FaultInjector inj(plan, 4);
+  RetryPolicy policy;
+  policy.ack_timeout = std::chrono::milliseconds(20);
+  simmpi::run(4, RunOptions{&inj},
+              [&](Comm& comm) { all_to_all_job(comm, policy); });
+}
+
+TEST(ReliableExchange, MixedFaultsAcrossBothDirections) {
+  FaultPlan plan;
+  plan.messages.push_back({SendAction::kDrop, 0, -1, kTag, 0, 1});
+  plan.messages.push_back({SendAction::kDuplicate, 1, -1, kTag, 0, 2});
+  plan.messages.push_back({SendAction::kDelay, 2, -1, kTag, 0, 1});
+  FaultInjector inj(plan, 3);
+  RetryPolicy policy;
+  policy.ack_timeout = std::chrono::milliseconds(20);
+  simmpi::run(3, RunOptions{&inj},
+              [&](Comm& comm) { all_to_all_job(comm, policy); });
+}
+
+TEST(ReliableExchange, UnresponsivePeerEndsInStructuredFaultError) {
+  // Rank 1 never participates, so rank 0's message is never acknowledged:
+  // the sender must fail with FaultError after its bounded retries — a
+  // structured outcome, never a hang.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.ack_timeout = std::chrono::milliseconds(5);
+  EXPECT_THROW(
+      simmpi::run(2,
+                  [&](Comm& comm) {
+                    if (comm.rank() != 0) return;  // rank 1: deaf
+                    std::vector<Outbound> out;
+                    out.push_back({1, payload_for(0, 1)});
+                    reliable_exchange(comm, std::move(out), {}, kTag, policy);
+                  }),
+      FaultError);
+}
+
+TEST(ReliableExchange, DroppedAcksTerminateInBoundedTime) {
+  // Dropping an ACK forces a retransmission, which the receiver dedups
+  // and re-ACKs — *if* it is still in the exchange. A receiver that is
+  // already satisfied may leave before the retransmission arrives (the
+  // two-generals limit: no closing handshake), stranding the sender. The
+  // protocol's actual guarantee is bounded termination: either the
+  // exchange completes correctly or the sender raises FaultError — never
+  // a hang. This is why random chaos plans never target ACK tags.
+  FaultPlan plan;
+  plan.messages.push_back(
+      {SendAction::kDrop, -1, -1, ack_tag(kTag), 0, 1});
+  FaultInjector inj(plan, 2);
+  RetryPolicy policy;
+  policy.ack_timeout = std::chrono::milliseconds(10);
+  try {
+    simmpi::run(2, RunOptions{&inj},
+                [&](Comm& comm) { all_to_all_job(comm, policy); });
+  } catch (const FaultError&) {
+    // Structured failure: a satisfied peer left the exchange first.
+  }
+  EXPECT_FALSE(inj.events().empty());
+}
+
+}  // namespace
+}  // namespace spio::faultsim

@@ -82,5 +82,33 @@ TEST(FormatGolden, MagicSpellsSpio) {
   EXPECT_EQ(static_cast<unsigned>(bytes[4]), 2u);  // version
 }
 
+TEST(FormatGolden, TruncatedMetadataRaisesStructuredError) {
+  // A torn metadata write (the crash mode the write journal exists for)
+  // must surface as FormatError at every truncation point — never an
+  // out-of-bounds read, a crash, or a silently short parse.
+  const auto whole = reference_metadata().serialize();
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{4}, std::size_t{5},
+        std::size_t{16}, std::size_t{100}, whole.size() / 2,
+        whole.size() - 1}) {
+    std::vector<std::byte> torn(whole.begin(),
+                                whole.begin() + static_cast<long>(keep));
+    EXPECT_THROW(DatasetMetadata::deserialize(torn), FormatError)
+        << "truncated to " << keep << " bytes";
+  }
+}
+
+TEST(FormatGolden, TrailingGarbageAfterMetadataIsRejected) {
+  auto bytes = reference_metadata().serialize();
+  bytes.push_back(std::byte{0x5A});
+  EXPECT_THROW(DatasetMetadata::deserialize(bytes), FormatError);
+}
+
+TEST(FormatGolden, CorruptedMagicIsRejected) {
+  auto bytes = reference_metadata().serialize();
+  bytes[0] = std::byte{'X'};
+  EXPECT_THROW(DatasetMetadata::deserialize(bytes), FormatError);
+}
+
 }  // namespace
 }  // namespace spio

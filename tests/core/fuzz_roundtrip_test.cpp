@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 
 #include "core/reader.hpp"
@@ -21,8 +22,27 @@ namespace {
 /// scan.
 class FuzzRoundTrip : public ::testing::TestWithParam<int> {};
 
+/// Base seed of the fuzz streams. Overridable with SPIO_TEST_SEED (any
+/// strtoull base-0 literal, e.g. `SPIO_TEST_SEED=0xBEEF`) so a failing
+/// configuration can be replayed — or new ground explored — without a
+/// rebuild. Each parameterized instance derives its stream from
+/// (base, instance index).
+std::uint64_t base_fuzz_seed() {
+  static const std::uint64_t seed = [] {
+    if (const char* env = std::getenv("SPIO_TEST_SEED"))
+      return std::strtoull(env, nullptr, 0);
+    return 0xF022ULL;
+  }();
+  return seed;
+}
+
 TEST_P(FuzzRoundTrip, WriteValidateQuery) {
-  Xoshiro256 rng(stream_seed(0xF022, static_cast<std::uint64_t>(GetParam())));
+  // Printed via SCOPED_TRACE on any failure below, so the exact stream is
+  // always in the report.
+  SCOPED_TRACE("SPIO_TEST_SEED=" + std::to_string(base_fuzz_seed()) +
+               " instance=" + std::to_string(GetParam()));
+  Xoshiro256 rng(
+      stream_seed(base_fuzz_seed(), static_cast<std::uint64_t>(GetParam())));
 
   // Random process grid with 4..32 ranks.
   const Vec3i grids[] = {{2, 2, 1}, {2, 2, 2}, {4, 2, 1}, {4, 2, 2},

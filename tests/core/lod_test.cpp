@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -94,6 +95,51 @@ TEST(LodParamsStruct, Validity) {
   EXPECT_FALSE((LodParams{32, 0.5}).valid());
 }
 
+TEST(LodLevels, FormulaPropertyForNonDefaultScaleFactors) {
+  // Property sweep over non-default S: every level obeys the paper's
+  // n·P·S^l law (rounded), capped sizes partition the total, and the
+  // cumulative prefix is monotone. Exercises S values that do not divide
+  // totals evenly.
+  for (const double s : {1.3, 1.7, 2.5, 4.0}) {
+    const LodParams p{13, s};
+    for (const int n : {1, 2, 5}) {
+      for (const std::uint64_t total : {0ull, 1ull, 13ull, 999ull, 40000ull}) {
+        const int levels = lod_level_count(p, n, total);
+        std::uint64_t sum = 0;
+        std::uint64_t prev_cum = 0;
+        for (int l = 0; l < levels; ++l) {
+          const std::uint64_t nominal = lod_level_size(p, n, l);
+          const std::uint64_t expected = static_cast<std::uint64_t>(
+              std::llround(n * 13 * std::pow(s, l)));
+          EXPECT_EQ(nominal, expected)
+              << "S=" << s << " n=" << n << " l=" << l;
+          EXPECT_LE(lod_level_size_capped(p, n, l, total), nominal);
+          sum += lod_level_size_capped(p, n, l, total);
+          const std::uint64_t cum = lod_cumulative(p, n, l + 1, total);
+          EXPECT_GE(cum, prev_cum);
+          EXPECT_EQ(cum, sum);
+          prev_cum = cum;
+        }
+        EXPECT_EQ(sum, total) << "S=" << s << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(LodLevels, DegenerateTotalsHaveConsistentEdges) {
+  const LodParams p{32, 2.0};
+  // No particles: no levels, empty prefixes at every depth.
+  EXPECT_EQ(lod_level_count(p, 1, 0), 0);
+  EXPECT_EQ(lod_level_size_capped(p, 1, 0, 0), 0u);
+  EXPECT_EQ(lod_cumulative(p, 1, 5, 0), 0u);
+  // A single particle: exactly one level holding it.
+  EXPECT_EQ(lod_level_count(p, 1, 1), 1);
+  EXPECT_EQ(lod_level_size_capped(p, 1, 0, 1), 1u);
+  EXPECT_EQ(lod_cumulative(p, 1, 1, 1), 1u);
+  // Readers outnumbering particles still terminate with one level.
+  EXPECT_EQ(lod_level_count(p, 1024, 1), 1);
+}
+
 // ---- shuffle ----
 
 ParticleBuffer numbered_particles(std::size_t n) {
@@ -128,6 +174,26 @@ TEST(LodShuffle, DeterministicInSeed) {
   lod_reorder(a, 7);
   lod_reorder(b, 7);
   EXPECT_EQ(std::memcmp(a.bytes().data(), b.bytes().data(), a.byte_size()), 0);
+}
+
+TEST(LodShuffle, DeterministicAcrossManySeedsAndHeuristics) {
+  // Seeded property: for every heuristic, replaying any seed reproduces
+  // the permutation byte for byte (the chaos harness's golden-run
+  // comparisons depend on this).
+  for (const auto h : {LodHeuristic::kRandom, LodHeuristic::kStride,
+                       LodHeuristic::kStratified}) {
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+      ParticleBuffer a = numbered_particles(151);
+      ParticleBuffer b = numbered_particles(151);
+      lod_reorder(a, seed, h);
+      lod_reorder(b, seed, h);
+      ASSERT_EQ(std::memcmp(a.bytes().data(), b.bytes().data(),
+                            a.byte_size()),
+                0)
+          << "heuristic=" << static_cast<int>(h) << " seed=" << seed;
+      EXPECT_EQ(ids_of(a), ids_of(numbered_particles(151)));
+    }
+  }
 }
 
 TEST(LodShuffle, DifferentSeedsDiffer) {

@@ -12,12 +12,13 @@
 namespace spio {
 namespace {
 
-TempDir write_sample(std::uint64_t per_rank = 200) {
+TempDir write_sample(std::uint64_t per_rank = 200, bool checksums = true) {
   TempDir dir("spio-validate");
   const PatchDecomposition decomp(Box3::unit(), {2, 2, 1});
   WriterConfig cfg;
   cfg.dir = dir.path();
   cfg.factor = {2, 1, 1};
+  cfg.write_checksums = checksums;
   simmpi::run(4, [&](simmpi::Comm& comm) {
     const auto local = workload::uniform(
         Schema::uintah(), decomp.patch(comm.rank()), per_rank,
@@ -76,7 +77,8 @@ TEST(Validate, MissingMetadataReported) {
 TEST(Validate, DeepCheckCatchesSwappedFiles) {
   // Swap the contents of two data files: sizes still match (same count),
   // so only the deep check notices particles outside their bounds.
-  const TempDir dir = write_sample();
+  // Checksums disabled to exercise the per-particle detection path.
+  const TempDir dir = write_sample(200, /*checksums=*/false);
   const auto meta = DatasetMetadata::load(dir.path());
   ASSERT_EQ(meta.files.size(), 2u);
   ASSERT_EQ(meta.files[0].particle_count, meta.files[1].particle_count);
@@ -93,9 +95,29 @@ TEST(Validate, DeepCheckCatchesSwappedFiles) {
   EXPECT_NE(deep.errors[0].find("outside"), std::string::npos);
 }
 
-TEST(Validate, DeepCheckCatchesMutatedValues) {
-  // Flip a density value beyond its recorded range.
+TEST(Validate, ChecksumCatchesSwappedFiles) {
+  // With checksums recorded, the same swap is attributed to corruption by
+  // the checksum pass before any particle is inspected.
   const TempDir dir = write_sample();
+  const auto meta = DatasetMetadata::load(dir.path());
+  ASSERT_EQ(meta.files.size(), 2u);
+  const auto a = dir.path() / meta.files[0].file_name();
+  const auto b = dir.path() / meta.files[1].file_name();
+  const auto ab = read_file(a);
+  const auto bb = read_file(b);
+  write_file(a, bb);
+  write_file(b, ab);
+
+  EXPECT_TRUE(validate_dataset(dir.path(), false).ok());
+  const ValidationReport deep = validate_dataset(dir.path(), true);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.errors[0].find("checksum"), std::string::npos);
+}
+
+TEST(Validate, DeepCheckCatchesMutatedValues) {
+  // Flip a density value beyond its recorded range. Checksums disabled to
+  // exercise the field-range detection path.
+  const TempDir dir = write_sample(200, /*checksums=*/false);
   const auto meta = DatasetMetadata::load(dir.path());
   const auto victim = dir.path() / meta.files[0].file_name();
   auto bytes = read_file(victim);

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
+#include "core/journal.hpp"
+#include "core/writer.hpp"
+#include "faultsim/fault_plan.hpp"
 #include "simmpi/runtime.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
 
 namespace simmpi {
 namespace {
@@ -82,6 +88,61 @@ TEST(Failure, SplitBlockedPeersUnwind) {
                    }),
                std::runtime_error);
 }
+
+// ---- rank death at each pipeline phase of the real writer ----
+
+/// One rank dies at a chosen phase of the two-phase write pipeline (via
+/// the fault injector); whatever phase it is, the surviving ranks must
+/// unwind instead of deadlocking, the caller must see the RankDeath, and
+/// the journal must make the interrupted write detectable on disk.
+class PipelinePhaseDeath
+    : public ::testing::TestWithParam<spio::faultsim::WritePhase> {};
+
+TEST_P(PipelinePhaseDeath, PropagatesAndLeavesDetectableState) {
+  const spio::faultsim::WritePhase phase = GetParam();
+  spio::faultsim::FaultPlan plan;
+  plan.deaths.push_back({2, phase});
+  spio::faultsim::FaultInjector inj(plan, 4);
+
+  spio::TempDir dir("spio-phase-death");
+  const spio::PatchDecomposition decomp(spio::Box3::unit(), {2, 2, 1});
+  try {
+    run(4, RunOptions{&inj}, [&](Comm& comm) {
+      spio::WriterConfig cfg;
+      cfg.dir = dir.path();
+      cfg.factor = {2, 1, 1};
+      cfg.faults = &inj;
+      const auto local = spio::workload::uniform(
+          spio::Schema::uintah(), decomp.patch(comm.rank()), 40,
+          spio::stream_seed(11, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * 40);
+      spio::write_dataset(comm, decomp, local, cfg);
+    });
+    FAIL() << "write survived a scheduled rank death";
+  } catch (const spio::faultsim::RankDeath& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find(spio::faultsim::phase_name(phase)),
+              std::string::npos);
+  }
+
+  // The journal is opened before any phase begins, so every death leaves
+  // an interrupted write that repair can clear.
+  EXPECT_TRUE(spio::WriteJournal::present(dir.path()));
+  EXPECT_EQ(spio::check_and_repair(dir.path(), /*remove_partial=*/true),
+            spio::RepairOutcome::kRemovedPartial);
+  EXPECT_FALSE(spio::WriteJournal::present(dir.path()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, PipelinePhaseDeath,
+    ::testing::Values(spio::faultsim::WritePhase::kSetup,
+                      spio::faultsim::WritePhase::kMetaExchange,
+                      spio::faultsim::WritePhase::kParticleExchange,
+                      spio::faultsim::WritePhase::kDataWrite,
+                      spio::faultsim::WritePhase::kCommit),
+    [](const ::testing::TestParamInfo<spio::faultsim::WritePhase>& info) {
+      return std::string(spio::faultsim::phase_name(info.param));
+    });
 
 }  // namespace
 }  // namespace simmpi

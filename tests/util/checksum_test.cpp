@@ -1,0 +1,46 @@
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace spio {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+TEST(Crc64, MatchesCrc64XzCheckValue) {
+  // The standard CRC-64/XZ check value.
+  EXPECT_EQ(crc64(bytes_of("123456789")), 0x995DC9BBDF1939FAULL);
+}
+
+TEST(Crc64, EmptyInputIsZero) {
+  EXPECT_EQ(crc64({}), 0u);
+}
+
+TEST(Crc64, DetectsSingleBitFlip) {
+  auto a = bytes_of("the quick brown fox jumps over the lazy dog");
+  auto b = a;
+  b[17] ^= std::byte{0x01};
+  EXPECT_NE(crc64(a), crc64(b));
+}
+
+TEST(Crc64, DetectsSwappedBlocks) {
+  // Same bytes, different order — a plain sum would miss this.
+  auto ab = bytes_of("blockAblockB");
+  auto ba = bytes_of("blockBblockA");
+  EXPECT_NE(crc64(ab), crc64(ba));
+}
+
+TEST(Crc64, IsAPureFunction) {
+  const auto data = bytes_of("spio checksum determinism");
+  EXPECT_EQ(crc64(data), crc64(data));
+}
+
+}  // namespace
+}  // namespace spio

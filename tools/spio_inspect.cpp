@@ -2,14 +2,18 @@
 /// Command-line dataset inspector and validator.
 ///
 /// Usage:
-///   spio_inspect <dataset-dir> [--deep] [--files]
+///   spio_inspect <dataset-dir> [--deep] [--files] [--repair]
 ///
 ///   --deep    also read every particle and check bounds / field ranges
+///             (and verify data-file checksums when recorded)
 ///   --files   print the full per-file table (default: first 16 files)
+///   --repair  finalize a stale write journal, or delete the artifacts of
+///             an interrupted write so the directory can be rewritten
 
 #include <cstring>
 #include <iostream>
 
+#include "core/journal.hpp"
 #include "core/reader.hpp"
 #include "core/timeseries.hpp"
 #include "core/validate.hpp"
@@ -48,6 +52,10 @@ int inspect_dataset(const std::filesystem::path& dir, bool deep,
             << heuristic_name(m.heuristic) << " order\n"
             << "  metadata  : bounds=" << (m.has_bounds ? "yes" : "no")
             << " field-ranges=" << (m.has_field_ranges ? "yes" : "no")
+            << "\n  integrity : journal="
+            << (WriteJournal::present(dir) ? "OPEN (interrupted write?)"
+                                           : "closed")
+            << " checksums=" << (ChecksumTable::present(dir) ? "yes" : "no")
             << "\n  schema    : " << m.schema.record_size()
             << " B/particle\n";
   for (const FieldDesc& f : m.schema.fields()) {
@@ -89,14 +97,16 @@ int inspect_dataset(const std::filesystem::path& dir, bool deep,
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: spio_inspect <dataset-dir> [--deep] [--files]\n";
+    std::cerr << "usage: spio_inspect <dataset-dir> [--deep] [--files] "
+                 "[--repair]\n";
     return 2;
   }
   const std::filesystem::path dir = argv[1];
-  bool deep = false, all_files = false;
+  bool deep = false, all_files = false, repair = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--deep") == 0) deep = true;
     else if (std::strcmp(argv[i], "--files") == 0) all_files = true;
+    else if (std::strcmp(argv[i], "--repair") == 0) repair = true;
     else {
       std::cerr << "unknown option: " << argv[i] << "\n";
       return 2;
@@ -104,6 +114,21 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (repair) {
+      switch (check_and_repair(dir, /*remove_partial=*/true)) {
+        case RepairOutcome::kClean:
+          std::cout << "no journal: nothing to repair\n";
+          break;
+        case RepairOutcome::kFinalizedJournal:
+          std::cout << "finalized stale journal; dataset is complete\n";
+          break;
+        case RepairOutcome::kRemovedPartial:
+          std::cout << "removed the artifacts of an interrupted write\n";
+          return 0;
+        case RepairOutcome::kIncomplete:
+          break;  // unreachable with remove_partial
+      }
+    }
     // A series base directory? Inspect every step.
     if (std::filesystem::exists(dir / TimeSeries::kIndexName)) {
       const TimeSeries series = TimeSeries::open(dir);
