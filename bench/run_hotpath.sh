@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_hotpath.json, the committed machine-readable perf
+# baseline for the write pipeline's hot paths (binning, exchange, LOD
+# reorder, CRC, file write; micro kernels vs their pre-optimization
+# references).
+#
+# Usage: bench/run_hotpath.sh [build-dir] [reps]
+#
+# Run from the repository root on an otherwise idle machine. The JSON is
+# written to the repository root; commit it when refreshing the baseline.
+set -eu
+
+BUILD_DIR="${1:-build}"
+REPS="${2:-5}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="$REPO_ROOT/$BUILD_DIR/tools/spio_bench"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target spio_bench" >&2
+  exit 1
+fi
+
+exec "$BENCH" --hotpath --reps "$REPS" --json "$REPO_ROOT/BENCH_hotpath.json"

@@ -22,6 +22,7 @@ AggregationGrid::AggregationGrid(const Box3& region, const Vec3i& dims)
     edges_[a].front() = region.lo[a];
     edges_[a].back() = region.hi[a];
   }
+  compute_inv_cells();
 }
 
 AggregationGrid AggregationGrid::aligned(const PatchDecomposition& decomp,
@@ -43,6 +44,7 @@ AggregationGrid AggregationGrid::aligned(const PatchDecomposition& decomp,
                             psize[a] * static_cast<double>(i * f[a]));
     g.edges_[a].push_back(decomp.domain().hi[a]);
   }
+  g.compute_inv_cells();
   return g;
 }
 

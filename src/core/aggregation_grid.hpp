@@ -50,11 +50,41 @@ class AggregationGrid final : public SpatialPartitioning {
   /// face thus belongs to the last partition).
   int partition_of_point(const Vec3d& p) const override;
 
+  /// Same mapping as `partition_of_point`, devirtualized and O(1) for the
+  /// per-particle binning loop: a closed-form index estimate from the
+  /// (uniform) leading edge spacing, then a local walk against the stored
+  /// edges. The walk makes the result *exactly* the binary search's — the
+  /// estimate can be off where ceil-division shortens the trailing
+  /// partition, or by an ulp right at an interior edge.
+  int locate(const Vec3d& p) const {
+    Vec3i c;
+    for (int a = 0; a < 3; ++a) {
+      const std::vector<double>& e = edges_[a];
+      const std::int64_t dims = dims_[a];
+      const double est = (p[a] - e.front()) * inv_cell_[a];
+      std::int64_t i =
+          est > 0.0 ? static_cast<std::int64_t>(est) : 0;  // NaN -> 0
+      if (i > dims - 1) i = dims - 1;
+      while (i + 1 < dims &&
+             p[a] >= e[static_cast<std::size_t>(i) + 1])
+        ++i;
+      while (i > 0 && p[a] < e[static_cast<std::size_t>(i)]) --i;
+      c[a] = i;
+    }
+    return static_cast<int>(c.x + dims_.x * (c.y + dims_.y * c.z));
+  }
+
   /// Axis-aligned box of partition `idx`.
   Box3 partition_box(int idx) const override;
 
   Vec3i coord_of(int idx) const;
   int index_of(const Vec3i& c) const;
+
+  /// Partition boundary coordinates along `axis` (`dims()[axis] + 1`
+  /// strictly increasing entries); backs the binning loop's hoisted
+  /// locator state.
+  const std::vector<double>& edges(int axis) const { return edges_[axis]; }
+  const Vec3d& inv_cell() const { return inv_cell_; }
 
   /// True when every patch of `decomp` lies entirely within a single
   /// partition — the precondition for the writer's no-scan fast path.
@@ -68,10 +98,20 @@ class AggregationGrid final : public SpatialPartitioning {
  private:
   AggregationGrid() = default;
 
+  /// Cache 1/(nominal cell size) per axis for `locate`'s index estimate.
+  /// Derived from the leading edge pair, which both constructions space
+  /// nominally (only the trailing partition can be shorter).
+  void compute_inv_cells() {
+    for (int a = 0; a < 3; ++a)
+      inv_cell_[a] =
+          dims_[a] > 1 ? 1.0 / (edges_[a][1] - edges_[a][0]) : 0.0;
+  }
+
   Vec3i dims_{1, 1, 1};
   /// Per-axis partition boundary coordinates, `dims_[a] + 1` entries each,
   /// strictly increasing.
   std::vector<double> edges_[3];
+  Vec3d inv_cell_{0, 0, 0};
 };
 
 /// Select the aggregator rank for each of `nparts` partitions from

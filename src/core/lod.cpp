@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "util/error.hpp"
@@ -69,6 +70,23 @@ void shuffle_random(ParticleBuffer& buf, std::uint64_t seed) {
   }
 }
 
+/// Rebuild `buf` as the permutation buf[order[0]], buf[order[1]], ... via
+/// one pre-sized allocation and one record memcpy per particle (the
+/// per-record append path re-checked bounds and grew the vector
+/// incrementally).
+void gather_records(ParticleBuffer& buf,
+                    const std::vector<std::uint32_t>& order) {
+  const std::size_t rs = buf.record_size();
+  const std::byte* src = buf.bytes().data();
+  std::vector<std::byte> out(order.size() * rs);
+  std::byte* dst = out.data();
+  for (const std::uint32_t idx : order) {
+    std::memcpy(dst, src + static_cast<std::size_t>(idx) * rs, rs);
+    dst += rs;
+  }
+  buf.adopt_bytes(std::move(out));
+}
+
 /// Indices 0..2^bits-1 in bit-reversed order, filtered to < n.
 std::vector<std::uint32_t> bit_reversed_order(std::size_t n) {
   std::vector<std::uint32_t> order;
@@ -134,11 +152,11 @@ void shuffle_stratified(ParticleBuffer& buf, std::uint64_t seed) {
   // Emit the space-sorted sequence in bit-reversed rank order: each
   // prefix visits the Morton curve at even spacing, i.e. is spatially
   // stratified.
-  ParticleBuffer tmp(buf.schema());
-  tmp.reserve(n);
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
   for (const std::uint32_t r : bit_reversed_order(n))
-    tmp.append_from(buf, keys[r].index);
-  buf = std::move(tmp);
+    order.push_back(keys[r].index);
+  gather_records(buf, order);
 }
 
 void shuffle_stride(ParticleBuffer& buf) {
@@ -148,11 +166,7 @@ void shuffle_stride(ParticleBuffer& buf) {
   // twice anyway).
   const std::size_t n = buf.size();
   if (n < 2) return;
-  ParticleBuffer tmp(buf.schema());
-  tmp.reserve(n);
-  for (const std::uint32_t idx : bit_reversed_order(n))
-    tmp.append_from(buf, idx);
-  buf = std::move(tmp);
+  gather_records(buf, bit_reversed_order(n));
 }
 
 }  // namespace

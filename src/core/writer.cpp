@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <map>
+#include <span>
 
 #include "core/journal.hpp"
 #include "core/metadata.hpp"
@@ -27,60 +29,211 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Partition the local particles by target aggregation partition.
-/// Aligned fast path: the whole buffer goes to one partition, no scan.
-/// General path: per-particle binning (the cost the aligned grid avoids).
-std::map<int, ParticleBuffer> bin_particles(const ParticleBuffer& local,
-                                            const AggregationPlan& plan,
-                                            bool use_fast_path) {
-  std::map<int, ParticleBuffer> bins;
-  if (local.empty()) return bins;
-  if (use_fast_path) {
-    const int p = plan.partitioning().partition_of_point(local.position(0));
-    ParticleBuffer bin(local.schema());
-    bin.adopt_bytes(std::vector<std::byte>(local.bytes().begin(),
-                                           local.bytes().end()));
-    bins.emplace(p, std::move(bin));
-    return bins;
+/// Per-axis grid state hoisted out of the binning loop: raw edge pointer,
+/// dimension, and inverse nominal cell size in one flat struct, so the
+/// per-particle lookup runs on registers instead of re-walking the grid's
+/// vectors through the virtual interface. `operator()` reproduces
+/// `AggregationGrid::locate` exactly (same estimate, same local walk
+/// against the same stored edges).
+struct HoistedLocator {
+  struct Axis {
+    const double* edges;
+    std::int64_t dims;
+    double lo;
+    double inv;
+  };
+  Axis ax[3];
+  std::int64_t dx, dy;
+
+  explicit HoistedLocator(const AggregationGrid& g)
+      : dx(g.dims().x), dy(g.dims().y) {
+    for (int a = 0; a < 3; ++a) {
+      ax[a].edges = g.edges(a).data();
+      ax[a].dims = g.dims()[a];
+      ax[a].lo = g.edges(a).front();
+      ax[a].inv = g.inv_cell()[a];
+    }
   }
-  for (std::size_t i = 0; i < local.size(); ++i) {
-    const int p = plan.partitioning().partition_of_point(local.position(i));
-    auto it = bins.find(p);
-    if (it == bins.end())
-      it = bins.emplace(p, ParticleBuffer(local.schema())).first;
-    it->second.append_from(local, i);
+
+  std::int64_t axis_index(int a, double p) const {
+    const Axis& x = ax[a];
+    const double est = (p - x.lo) * x.inv;
+    std::int64_t i = est > 0.0 ? static_cast<std::int64_t>(est) : 0;
+    if (i > x.dims - 1) i = x.dims - 1;
+    while (i + 1 < x.dims && p >= x.edges[i + 1]) ++i;
+    while (i > 0 && p < x.edges[i]) --i;
+    return i;
   }
-  return bins;
+
+  int operator()(const Vec3d& p) const {
+    return static_cast<int>(axis_index(0, p.x) +
+                            dx * (axis_index(1, p.y) +
+                                  dy * axis_index(2, p.z)));
+  }
+};
+
+double load_component(const std::byte* p, bool f64) {
+  if (f64) {
+    double v;
+    std::memcpy(&v, p, sizeof(double));
+    return v;
+  }
+  float v;
+  std::memcpy(&v, p, sizeof(float));
+  return static_cast<double>(v);
 }
 
-/// Min/max of every field component over the aggregated particles (§3.5
-/// metadata extension). Precondition: non-empty buffer.
+}  // namespace
+
+namespace writer_detail {
+
+int BinnedParticles::index_of(int partition) const {
+  const auto it =
+      std::lower_bound(partitions.begin(), partitions.end(), partition);
+  if (it == partitions.end() || *it != partition) return -1;
+  return static_cast<int>(it - partitions.begin());
+}
+
+BinnedParticles bin_particles(const ParticleBuffer& local,
+                              const AggregationPlan& plan,
+                              bool use_fast_path) {
+  BinnedParticles out;
+  if (local.empty()) return out;
+  const std::size_t n = local.size();
+  const std::size_t rs = local.record_size();
+  const std::byte* base = local.bytes().data();
+  const SpatialPartitioning& part = plan.partitioning();
+
+  if (use_fast_path) {
+    out.partitions.push_back(part.partition_of_point(local.position(0)));
+    out.counts.push_back(n);
+    out.payloads.emplace_back(local.bytes().begin(), local.bytes().end());
+    return out;
+  }
+
+  // Pass 1: partition of every particle + histogram. Positions are read
+  // straight off the AoS records (the schema pins position as field 0).
+  // The concrete-grid branch trades the virtual binary search for the
+  // inlined O(1) locator; both return identical indices.
+  const auto nparts = static_cast<std::size_t>(plan.partition_count());
+  std::vector<std::uint32_t> part_of(n);
+  std::vector<std::uint64_t> hist(nparts, 0);
+  if (const auto* grid = dynamic_cast<const AggregationGrid*>(&part)) {
+    const HoistedLocator locate(*grid);
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3d pos;
+      std::memcpy(&pos, base + i * rs, sizeof(Vec3d));
+      const int p = locate(pos);
+      part_of[i] = static_cast<std::uint32_t>(p);
+      ++hist[static_cast<std::size_t>(p)];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3d pos;
+      std::memcpy(&pos, base + i * rs, sizeof(Vec3d));
+      const int p = part.partition_of_point(pos);
+      part_of[i] = static_cast<std::uint32_t>(p);
+      ++hist[static_cast<std::size_t>(p)];
+    }
+  }
+
+  // Bin directory: ascending partition ids, payload capacity reserved
+  // exactly but *not* value-initialized — the scatter writes every byte,
+  // and zero-filling tens of MB first would double the store traffic.
+  std::vector<std::int32_t> bin_of(nparts, -1);
+  for (std::size_t p = 0; p < nparts; ++p) {
+    if (hist[p] == 0) continue;
+    bin_of[p] = static_cast<std::int32_t>(out.partitions.size());
+    out.partitions.push_back(static_cast<int>(p));
+    out.counts.push_back(hist[p]);
+    out.payloads.emplace_back();
+    out.payloads.back().reserve(hist[p] * rs);
+  }
+
+  // Pass 2: contiguous scatter, one record append per particle (a memcpy
+  // within reserved capacity). Scanning the input in order keeps original
+  // particle order within each bin, so the file bytes match the
+  // per-particle reference exactly.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& payload = out.payloads[static_cast<std::size_t>(bin_of[part_of[i]])];
+    const std::byte* rec = base + i * rs;
+    payload.insert(payload.end(), rec, rec + rs);
+  }
+  return out;
+}
+
+BinnedParticles bin_particles_reference(const ParticleBuffer& local,
+                                        const AggregationPlan& plan,
+                                        bool use_fast_path) {
+  std::map<int, ParticleBuffer> bins;
+  if (!local.empty()) {
+    if (use_fast_path) {
+      const int p = plan.partitioning().partition_of_point(local.position(0));
+      ParticleBuffer bin(local.schema());
+      bin.adopt_bytes(std::vector<std::byte>(local.bytes().begin(),
+                                             local.bytes().end()));
+      bins.emplace(p, std::move(bin));
+    } else {
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        const int p =
+            plan.partitioning().partition_of_point(local.position(i));
+        auto it = bins.find(p);
+        if (it == bins.end())
+          it = bins.emplace(p, ParticleBuffer(local.schema())).first;
+        it->second.append_from(local, i);
+      }
+    }
+  }
+  BinnedParticles out;
+  for (auto& [p, bin] : bins) {
+    out.partitions.push_back(p);
+    out.counts.push_back(bin.size());
+    out.payloads.push_back(bin.take_bytes());
+  }
+  return out;
+}
+
 std::vector<FieldRange> compute_field_ranges(const ParticleBuffer& buf) {
   SPIO_EXPECTS(!buf.empty());
   const Schema& s = buf.schema();
-  std::vector<FieldRange> ranges;
+
+  // Flattened component directory: byte offset within a record + type.
+  struct Comp {
+    std::size_t offset;
+    bool f64;
+  };
+  std::vector<Comp> comps;
   for (std::size_t f = 0; f < s.field_count(); ++f) {
     const FieldDesc& fd = s.fields()[f];
-    for (std::uint32_t c = 0; c < fd.components; ++c) {
-      FieldRange r;
-      for (std::size_t i = 0; i < buf.size(); ++i) {
-        const double v = fd.type == FieldType::kF64
-                             ? buf.get_f64(i, f, c)
-                             : static_cast<double>(buf.get_f32(i, f, c));
-        if (i == 0) {
-          r.min = r.max = v;
-        } else {
-          r.min = std::min(r.min, v);
-          r.max = std::max(r.max, v);
-        }
-      }
-      ranges.push_back(r);
+    const std::size_t elem = field_type_size(fd.type);
+    for (std::uint32_t c = 0; c < fd.components; ++c)
+      comps.push_back({s.offset(f) + c * elem, fd.type == FieldType::kF64});
+  }
+
+  const std::byte* base = buf.bytes().data();
+  const std::size_t rs = buf.record_size();
+  const std::size_t n = buf.size();
+
+  // Record-major: every record is touched once, all component ranges are
+  // updated from it while it is in cache (vs. fields x components sweeps
+  // over the whole AoS buffer).
+  std::vector<FieldRange> ranges(comps.size());
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    const double v = load_component(base + comps[c].offset, comps[c].f64);
+    ranges[c].min = ranges[c].max = v;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::byte* rec = base + i * rs;
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+      const double v = load_component(rec + comps[c].offset, comps[c].f64);
+      ranges[c].min = std::min(ranges[c].min, v);
+      ranges[c].max = std::max(ranges[c].max, v);
     }
   }
   return ranges;
 }
 
-}  // namespace
+}  // namespace writer_detail
 
 WriteStats WriteStats::max_over(const WriteStats& a, const WriteStats& b) {
   WriteStats m;
@@ -199,24 +352,40 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   // ---- step 3: metadata exchange (counts) ----
   enter_phase(faultsim::WritePhase::kMetaExchange);
   t0 = Clock::now();
-  std::map<int, ParticleBuffer> bins = bin_particles(local, plan, fast_path);
+  // On the aligned fast path the single bin is the whole local buffer;
+  // materializing it is deferred until we know whether it must travel at
+  // all (a self-aggregated buffer is never copied into a message).
+  int fast_partition = -1;
+  if (fast_path && !local.empty())
+    fast_partition = plan.partitioning().partition_of_point(local.position(0));
+  writer_detail::BinnedParticles bins;
+  if (!fast_path) bins = writer_detail::bin_particles(local, plan, false);
+
   // A bin must never target a partition outside the plan's target set —
   // that aggregator would not expect our message.
-  for (const auto& [p, bin] : bins) {
+  const auto check_target = [&](int p) {
     SPIO_CHECK(std::binary_search(plan.targets_of(rank).begin(),
                                   plan.targets_of(rank).end(), p),
                ConfigError,
                "rank " << rank << " holds particles for partition " << p
                        << " outside its plan target set; particles stray "
                           "outside the declared patch/extent");
-  }
+  };
+  if (fast_partition >= 0) check_target(fast_partition);
+  for (const int p : bins.partitions) check_target(p);
+
   // Send a count to the aggregator of every partition we *might* feed
   // (the plan's conservative target set), so receivers can post a matching
   // number of receives without a handshake.
   std::vector<faultsim::Outbound> count_msgs;
   for (const int p : plan.targets_of(rank)) {
-    const auto it = bins.find(p);
-    const std::uint64_t count = it == bins.end() ? 0 : it->second.size();
+    std::uint64_t count = 0;
+    if (p == fast_partition) {
+      count = local.size();
+    } else {
+      const int b = bins.index_of(p);
+      if (b >= 0) count = bins.counts[static_cast<std::size_t>(b)];
+    }
     BinaryWriter w;
     w.write<std::uint64_t>(count);
     count_msgs.push_back({plan.aggregator_of(p), w.take()});
@@ -257,31 +426,82 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   // ---- steps 4 + 5: allocate aggregation buffer, exchange particles ----
   enter_phase(faultsim::WritePhase::kParticleExchange);
   t0 = Clock::now();
-  std::vector<faultsim::Outbound> particle_msgs;
-  for (auto& [p, bin] : bins) {
-    if (bin.empty()) continue;
-    const int agg = plan.aggregator_of(p);
-    if (agg != rank) {
-      stats.particles_sent += bin.size();
-      stats.bytes_sent += bin.byte_size();
-    }
-    particle_msgs.push_back({agg, bin.take_bytes()});
-  }
-  bins.clear();
+  // Self-send elision: a bin whose aggregator is this rank is spliced
+  // into the aggregation buffer directly instead of looping through the
+  // mailbox. Disabled under fault injection so scripted transport faults
+  // keep addressing the same message sites as before.
+  bool self_elided = false;
+  std::span<const std::byte> self_bytes{};
+  std::vector<std::byte> self_owned;  // keeps a general-path self bin alive
 
-  // Only senders that announced a non-zero count actually ship data.
+  std::vector<faultsim::Outbound> particle_msgs;
+  if (fast_partition >= 0) {
+    const int agg = plan.aggregator_of(fast_partition);
+    if (agg == rank && !config.faults) {
+      // The whole local buffer stays home: no copy, no message.
+      self_elided = true;
+      self_bytes = local.bytes();
+    } else {
+      if (agg != rank) {
+        stats.particles_sent += local.size();
+        stats.bytes_sent += local.byte_size();
+      }
+      particle_msgs.push_back({agg, std::vector<std::byte>(
+                                        local.bytes().begin(),
+                                        local.bytes().end())});
+    }
+  }
+  for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+    const int agg = plan.aggregator_of(bins.partitions[b]);
+    if (agg == rank && !config.faults) {
+      self_elided = true;
+      self_owned = std::move(bins.payloads[b]);
+      self_bytes = self_owned;
+      continue;
+    }
+    if (agg != rank) {
+      stats.particles_sent += bins.counts[b];
+      stats.bytes_sent += bins.payloads[b].size();
+    }
+    particle_msgs.push_back({agg, std::move(bins.payloads[b])});
+  }
+
+  // Only senders that announced a non-zero count actually ship data; an
+  // elided self-send never enters the mailbox, so it is not expected.
   std::vector<int> particle_senders;
-  for (std::size_t i = 0; i < count_senders.size(); ++i)
-    if (incoming_counts[i] > 0) particle_senders.push_back(count_senders[i]);
+  for (std::size_t i = 0; i < count_senders.size(); ++i) {
+    if (incoming_counts[i] == 0) continue;
+    if (self_elided && count_senders[i] == rank) continue;
+    particle_senders.push_back(count_senders[i]);
+  }
 
   ParticleBuffer aggregated(local.schema());
-  aggregated.reserve(incoming_total);
-  // Deterministic assembly order (ascending sender rank) makes the
-  // aggregated buffer — and therefore the shuffled file — reproducible.
-  const auto particle_payloads =
+  // Deterministic assembly order (ascending sender rank, the elided local
+  // payload spliced at this rank's ordinal) makes the aggregated buffer —
+  // and therefore the shuffled file — reproducible and byte-identical to
+  // the pre-elision protocol.
+  auto particle_payloads =
       exchange(std::move(particle_msgs), particle_senders, kTagData);
-  for (const auto& payload : particle_payloads)
-    aggregated.append_bytes(payload);
+  if (particle_payloads.size() == 1 && !self_elided) {
+    // Single remote contributor: adopt the payload, zero copies.
+    aggregated.adopt_bytes(std::move(particle_payloads[0]));
+  } else if (particle_payloads.empty() && self_elided &&
+             !self_owned.empty()) {
+    // Sole contributor is this rank's own general-path bin: adopt it.
+    aggregated.adopt_bytes(std::move(self_owned));
+  } else {
+    aggregated.reserve(incoming_total);
+    std::size_t next = 0;
+    bool spliced = !self_elided;
+    for (const int s : particle_senders) {
+      if (!spliced && rank < s) {
+        aggregated.append_bytes(self_bytes);
+        spliced = true;
+      }
+      aggregated.append_bytes(particle_payloads[next++]);
+    }
+    if (!spliced) aggregated.append_bytes(self_bytes);
+  }
   if (my_partition >= 0) {
     SPIO_CHECK(aggregated.size() == incoming_total, FormatError,
                "aggregator " << rank << " assembled " << aggregated.size()
@@ -312,15 +532,18 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
     my_record.particle_count = aggregated.size();
     my_record.bounds = plan.partitioning().partition_box(my_partition);
     if (config.write_field_ranges)
-      my_record.field_ranges = compute_field_ranges(aggregated);
+      my_record.field_ranges = writer_detail::compute_field_ranges(aggregated);
     const auto path = config.dir / my_record.file_name();
     if (config.faults) {
       // Validated write: read back, compare checksums, rewrite torn or
       // corrupted attempts within a bounded budget.
       my_crc = faultsim::checked_write_file(path, aggregated.bytes(),
                                             config.faults, rank);
+    } else if (config.write_checksums) {
+      // The CRC streams alongside the write — one pass over the buffer
+      // instead of a checksum scan followed by a write scan.
+      my_crc = crc64_write_file(path, aggregated.bytes());
     } else {
-      if (config.write_checksums) my_crc = crc64(aggregated.bytes());
       write_file(path, aggregated.bytes());
     }
     stats.particles_written = aggregated.size();

@@ -19,6 +19,7 @@
 
 #include "core/aggregation_plan.hpp"
 #include "core/lod.hpp"
+#include "core/metadata.hpp"
 #include "faultsim/reliable.hpp"
 #include "simmpi/comm.hpp"
 #include "workload/decomposition.hpp"
@@ -142,5 +143,45 @@ struct WriteStats {
 WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
                          const ParticleBuffer& local,
                          const WriterConfig& config);
+
+namespace writer_detail {
+
+/// Result of the binning pass: only non-empty bins appear, partition ids
+/// ascending, and each payload keeps its particles in original input
+/// order (the ordering the file format's reproducibility rests on).
+struct BinnedParticles {
+  std::vector<int> partitions;                 // ascending, non-empty only
+  std::vector<std::uint64_t> counts;           // particles per bin
+  std::vector<std::vector<std::byte>> payloads;  // raw records per bin
+
+  std::size_t bin_count() const { return partitions.size(); }
+
+  /// Index of `partition` among the bins, or -1 if it received nothing.
+  int index_of(int partition) const;
+};
+
+/// Partition the local particles by target aggregation partition with a
+/// two-pass histogram + contiguous scatter (one partition lookup and one
+/// record memcpy per particle). Aligned fast path: the whole buffer goes
+/// to one partition, no per-particle scan. Exposed for the perf harness
+/// and differential tests; `write_dataset` is the production entry point.
+BinnedParticles bin_particles(const ParticleBuffer& local,
+                              const AggregationPlan& plan,
+                              bool use_fast_path);
+
+/// Pre-optimization reference binning (ordered map + per-particle
+/// append). Kept as the differential-testing oracle for `bin_particles`
+/// and as the perf baseline the committed BENCH_hotpath.json speedups are
+/// measured against.
+BinnedParticles bin_particles_reference(const ParticleBuffer& local,
+                                        const AggregationPlan& plan,
+                                        bool use_fast_path);
+
+/// Min/max of every field component over the aggregated particles (§3.5
+/// metadata extension), in one record-major pass over the AoS buffer.
+/// Precondition: non-empty buffer.
+std::vector<FieldRange> compute_field_ranges(const ParticleBuffer& buf);
+
+}  // namespace writer_detail
 
 }  // namespace spio

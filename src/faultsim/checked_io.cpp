@@ -12,7 +12,11 @@ std::uint64_t checked_write_file(const std::filesystem::path& path,
                                  FaultInjector* injector, int rank,
                                  const CheckedIoPolicy& policy) {
   SPIO_EXPECTS(policy.max_attempts > 0);
-  const std::uint64_t want = crc64(data);
+  // On the fault-free path the CRC is computed *during* the data write
+  // (one pass over the buffer); fault paths pre-compute it because they
+  // write something other than `data`.
+  std::uint64_t want = 0;
+  bool have_want = false;
 
   for (int attempt = 1;; ++attempt) {
     const FileFaultKind fault =
@@ -23,10 +27,18 @@ std::uint64_t checked_write_file(const std::filesystem::path& path,
     switch (fault) {
       case FileFaultKind::kTornWrite: {
         // Only a prefix reaches the disk (crash or full device mid-write).
+        if (!have_want) {
+          want = crc64(data);
+          have_want = true;
+        }
         write_file(path, data.subspan(0, data.size() / 2));
         break;
       }
       case FileFaultKind::kCorruptByte: {
+        if (!have_want) {
+          want = crc64(data);
+          have_want = true;
+        }
         std::vector<std::byte> bad(data.begin(), data.end());
         if (!bad.empty()) bad[bad.size() / 3] ^= std::byte{0x40};
         write_file(path, bad);
@@ -36,23 +48,25 @@ std::uint64_t checked_write_file(const std::filesystem::path& path,
         // The data reached the page cache but the flush failed; the
         // on-disk state is untrustworthy, so the attempt must not count
         // as durable even though a read-back could succeed.
-        write_file(path, data);
+        want = crc64_write_file(path, data);
+        have_want = true;
         flush_failed = true;
         break;
       }
       case FileFaultKind::kNone:
       case FileFaultKind::kBitRot: {
-        write_file(path, data);
+        want = crc64_write_file(path, data);
+        have_want = true;
         break;
       }
     }
 
     // Read back and revalidate; a torn or corrupted write is caught here
-    // and rewritten, up to the budget.
+    // and rewritten, up to the budget. The read-back streams through a
+    // fixed-size chunk buffer instead of materializing the whole file.
     bool valid = !flush_failed;
     if (valid) {
-      const std::vector<std::byte> back = read_file(path);
-      valid = crc64(back) == want;
+      valid = crc64_file(path) == want;
     }
     if (valid) {
       if (fault == FileFaultKind::kBitRot) {

@@ -1,5 +1,6 @@
 #include "simmpi/mailbox.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
@@ -13,34 +14,56 @@ constexpr auto kAbortPoll = std::chrono::milliseconds(20);
 }  // namespace
 
 void Mailbox::deliver(Message&& m) {
-  {
-    std::lock_guard lk(mu_);
-    queue_.push_back(std::move(m));
+  std::lock_guard lk(mu_);
+  // Posted-receive fast path: hand the payload directly to the first
+  // (FIFO) waiter it matches and wake only that waiter. Waiters are
+  // registered only when the queue held no match for them, so a direct
+  // hand-off of this newer message preserves non-overtaking order.
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    Waiter* w = *it;
+    if (matches(m, w->src, w->tag)) {
+      w->msg = std::move(m);
+      w->ready = true;
+      waiters_.erase(it);
+      // Notify under the lock: the waiter frame is freed once receive()
+      // observes `ready`, which it can only do after we release mu_.
+      w->cv.notify_one();
+      return;
+    }
   }
-  cv_.notify_all();
+  // No waiter wants it: queue for a later receive. Nobody is blocked on
+  // this message, so no wakeup is needed.
+  queue_.push_back(std::move(m));
 }
 
 std::size_t Mailbox::find_match(int src, int tag) const {
   for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Message& m = queue_[i];
-    const bool src_ok = (src == kAnySource) || (m.src == src);
-    const bool tag_ok = (tag == kAnyTag) || (m.tag == tag);
-    if (src_ok && tag_ok) return i;
+    if (matches(queue_[i], src, tag)) return i;
   }
   return kNpos;
 }
 
 Message Mailbox::receive(int src, int tag, const std::atomic<bool>& abort) {
   std::unique_lock lk(mu_);
+  const std::size_t i = find_match(src, tag);
+  if (i != kNpos) {
+    Message m = std::move(queue_[i]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    return m;
+  }
+  Waiter w;
+  w.src = src;
+  w.tag = tag;
+  waiters_.push_back(&w);
   for (;;) {
-    const std::size_t i = find_match(src, tag);
-    if (i != kNpos) {
-      Message m = std::move(queue_[i]);
-      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
-      return m;
+    if (w.ready) return std::move(w.msg);
+    if (abort.load(std::memory_order_relaxed)) {
+      // Deregister before unwinding; `w` is about to go out of scope.
+      waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &w),
+                     waiters_.end());
+      throw Aborted();
     }
-    if (abort.load(std::memory_order_relaxed)) throw Aborted();
-    cv_.wait_for(lk, kAbortPoll);
+    w.cv.wait_for(lk, kAbortPoll);
   }
 }
 
@@ -69,6 +92,9 @@ std::size_t Mailbox::pending() const {
   return queue_.size();
 }
 
-void Mailbox::interrupt() { cv_.notify_all(); }
+void Mailbox::interrupt() {
+  std::lock_guard lk(mu_);
+  for (Waiter* w : waiters_) w->cv.notify_one();
+}
 
 }  // namespace simmpi

@@ -8,6 +8,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "simmpi/message.hpp"
 
@@ -18,6 +19,14 @@ namespace simmpi {
 /// non-overtaking rule: among messages from the same source with the same
 /// tag, arrival order is receive order (we scan the queue in arrival
 /// order).
+///
+/// Blocked receivers register a *posted receive*: `deliver()` hands a
+/// matching payload straight to the waiting receiver's slot and wakes
+/// exactly that receiver (`notify_one` on its private condition
+/// variable), skipping the queue insert / scan / erase of the slow path.
+/// A receiver only posts after finding no match in the queue (under the
+/// same lock), so direct hand-off cannot overtake an already-queued
+/// message.
 class Mailbox {
  public:
   /// Enqueue a message (called from the sender's thread).
@@ -43,12 +52,27 @@ class Mailbox {
   void interrupt();
 
  private:
+  /// A blocked receiver's posted receive; lives on the receiver's stack
+  /// for the duration of the wait.
+  struct Waiter {
+    int src = kAnySource;
+    int tag = kAnyTag;
+    bool ready = false;
+    Message msg;
+    std::condition_variable cv;
+  };
+
+  static bool matches(const Message& m, int src, int tag) {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
   /// Index of the first matching message, or npos.
   std::size_t find_match(int src, int tag) const;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::vector<Waiter*> waiters_;  // registration (FIFO) order
 };
 
 }  // namespace simmpi

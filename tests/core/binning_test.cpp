@@ -1,0 +1,146 @@
+/// \file binning_test.cpp
+/// Differential tests for the writer's two-pass histogram+scatter binning
+/// against the preserved map-and-append reference, and for the grid's
+/// O(1) point locator against its binary search. The optimized paths must
+/// be *byte-identical*, not just equivalent — the file format's
+/// reproducibility rests on bins keeping original particle order.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/aggregation_grid.hpp"
+#include "core/writer.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+void expect_bins_identical(const writer_detail::BinnedParticles& a,
+                           const writer_detail::BinnedParticles& b) {
+  ASSERT_EQ(a.bin_count(), b.bin_count());
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.counts, b.counts);
+  for (std::size_t i = 0; i < a.bin_count(); ++i) {
+    EXPECT_EQ(a.payloads[i], b.payloads[i]) << "payload bytes of bin " << i;
+  }
+}
+
+struct BinningCase {
+  int ranks;
+  PartitionFactor factor;
+  std::uint64_t particles;
+};
+
+class BinningDifferential : public ::testing::TestWithParam<BinningCase> {};
+
+TEST_P(BinningDifferential, GeneralPathMatchesReference) {
+  const auto [ranks, factor, particles] = GetParam();
+  const auto decomp = PatchDecomposition::for_ranks(Box3::unit(), ranks);
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, factor, AggregatorPlacement::kUniform);
+  // Domain-wide positions: particles scatter over every partition, the
+  // case the general path exists for.
+  const auto local = workload::uniform(Schema::uintah(), Box3::unit(),
+                                       particles, stream_seed(5, 1), 0);
+  expect_bins_identical(
+      writer_detail::bin_particles(local, plan, false),
+      writer_detail::bin_particles_reference(local, plan, false));
+}
+
+TEST_P(BinningDifferential, FastPathMatchesReference) {
+  const auto [ranks, factor, particles] = GetParam();
+  const auto decomp = PatchDecomposition::for_ranks(Box3::unit(), ranks);
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, factor, AggregatorPlacement::kUniform);
+  // Patch-confined positions, as the aligned fast path requires.
+  const auto local = workload::uniform(Schema::uintah(), decomp.patch(0),
+                                       particles, stream_seed(5, 2), 0);
+  expect_bins_identical(
+      writer_detail::bin_particles(local, plan, true),
+      writer_detail::bin_particles_reference(local, plan, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BinningDifferential,
+    ::testing::Values(BinningCase{8, {2, 2, 2}, 1000},
+                      BinningCase{8, {1, 1, 1}, 1000},
+                      BinningCase{16, {2, 1, 1}, 5000},
+                      BinningCase{27, {1, 1, 1}, 2000},
+                      BinningCase{64, {2, 2, 2}, 10000},
+                      BinningCase{64, {1, 1, 1}, 1}));
+
+TEST(Binning, EmptyBufferYieldsNoBins) {
+  const auto decomp = PatchDecomposition::for_ranks(Box3::unit(), 8);
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, {1, 1, 1}, AggregatorPlacement::kUniform);
+  const ParticleBuffer empty(Schema::uintah());
+  EXPECT_EQ(writer_detail::bin_particles(empty, plan, false).bin_count(), 0u);
+  EXPECT_EQ(writer_detail::bin_particles(empty, plan, true).bin_count(), 0u);
+}
+
+TEST(Binning, PositionOnlySchemaMatchesReference) {
+  const auto decomp = PatchDecomposition::for_ranks(Box3::unit(), 16);
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, {1, 1, 1}, AggregatorPlacement::kUniform);
+  const auto local = workload::uniform(Schema::position_only(), Box3::unit(),
+                                       3000, stream_seed(6, 0), 0);
+  expect_bins_identical(
+      writer_detail::bin_particles(local, plan, false),
+      writer_detail::bin_particles_reference(local, plan, false));
+}
+
+TEST(Binning, IndexOfFindsEveryBinAndRejectsOthers) {
+  const auto decomp = PatchDecomposition::for_ranks(Box3::unit(), 8);
+  const auto plan = AggregationPlan::non_adaptive(
+      decomp, {1, 1, 1}, AggregatorPlacement::kUniform);
+  const auto local = workload::uniform(Schema::uintah(), Box3::unit(), 2000,
+                                       stream_seed(7, 0), 0);
+  const auto bins = writer_detail::bin_particles(local, plan, false);
+  for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+    EXPECT_EQ(bins.index_of(bins.partitions[b]), static_cast<int>(b));
+  }
+  EXPECT_EQ(bins.index_of(-1), -1);
+  EXPECT_EQ(bins.index_of(plan.partition_count()), -1);
+}
+
+TEST(GridLocate, MatchesBinarySearchOnRandomAndBoundaryPoints) {
+  for (const Vec3i dims : {Vec3i{1, 1, 1}, Vec3i{2, 3, 4}, Vec3i{8, 8, 8}}) {
+    const Box3 region({-1.5, 0.0, 2.0}, {2.5, 1.0, 7.0});
+    const AggregationGrid grid(region, dims);
+    Xoshiro256 rng(99);
+    for (int i = 0; i < 5000; ++i) {
+      const Vec3d p{region.lo.x + rng.uniform() * 5.0 - 0.5,
+                    region.lo.y + rng.uniform() * 1.5 - 0.25,
+                    region.lo.z + rng.uniform() * 6.0 - 0.5};
+      EXPECT_EQ(grid.locate(p), grid.partition_of_point(p))
+          << "dims " << dims << " point " << p;
+    }
+    // Every edge coordinate exactly, including the clamped outer faces.
+    for (int a = 0; a < 3; ++a) {
+      for (const double e : grid.edges(a)) {
+        Vec3d p = region.center();
+        p[a] = e;
+        EXPECT_EQ(grid.locate(p), grid.partition_of_point(p));
+      }
+    }
+  }
+}
+
+TEST(GridLocate, MatchesBinarySearchOnAlignedGridWithRemainder) {
+  // 5 patches grouped by 2: the trailing partition covers a single patch,
+  // so the uniform-spacing index estimate overshoots there and must be
+  // walked back.
+  const auto decomp = PatchDecomposition::for_ranks(Box3::unit(), 125);
+  const auto grid = AggregationGrid::aligned(decomp, {2, 2, 2});
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const Vec3d p{rng.uniform() * 1.2 - 0.1, rng.uniform() * 1.2 - 0.1,
+                  rng.uniform() * 1.2 - 0.1};
+    EXPECT_EQ(grid.locate(p), grid.partition_of_point(p)) << p;
+  }
+}
+
+}  // namespace
+}  // namespace spio

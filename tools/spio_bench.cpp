@@ -1,17 +1,28 @@
 /// \file spio_bench.cpp
 /// Parameterized write/read benchmark for the spio pipeline on the local
-/// machine — this library's h5perf. Writes a synthetic Uintah-style
-/// workload with a sweep of partition factors, reporting per-phase times
-/// (the real Fig. 6 breakdown at laptop scale), then measures
-/// metadata-guided read strong scaling on the best configuration.
+/// machine — this library's h5perf. Two modes:
+///
+/// Sweep (default): writes a synthetic Uintah-style workload with a sweep
+/// of partition factors, reporting per-phase times (the real Fig. 6
+/// breakdown at laptop scale), then measures metadata-guided read strong
+/// scaling on the best configuration.
+///
+/// Hotpath (`--hotpath`): machine-readable per-stage benchmark of the
+/// write pipeline's hot paths (binning, exchange, LOD reorder, CRC, file
+/// write) at 8 and 32 ranks, plus micro-benchmarks that pit the optimized
+/// kernels against their pre-optimization reference implementations.
+/// `bench/run_hotpath.sh` uses it to regenerate BENCH_hotpath.json, the
+/// committed perf baseline CI compares against.
 ///
 /// Usage:
 ///   spio_bench [--ranks N] [--particles P] [--reps R] [--dir path]
 ///              [--factors f1,f2,...]   (factors like 2x2x1)
+///              [--json FILE] [--hotpath]
 
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -19,6 +30,8 @@
 #include "core/reader.hpp"
 #include "core/writer.hpp"
 #include "simmpi/runtime.hpp"
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/temp_dir.hpp"
 #include "util/units.hpp"
@@ -40,6 +53,275 @@ bool parse_factor(const std::string& s, PartitionFactor* out) {
   return out->valid();
 }
 
+/// Minimal JSON emitter: enough structure for BENCH_*.json files without
+/// pulling in a dependency. Numbers print with full double precision.
+class Json {
+ public:
+  void open_obj(const std::string& key = "") { tag(key); out_ << "{"; fresh_ = true; }
+  void close_obj() { out_ << "}"; fresh_ = false; }
+  void open_arr(const std::string& key) { tag(key); out_ << "["; fresh_ = true; }
+  void close_arr() { out_ << "]"; fresh_ = false; }
+  void field(const std::string& key, double v) {
+    tag(key);
+    out_ << v;
+  }
+  void field(const std::string& key, std::uint64_t v) {
+    tag(key);
+    out_ << v;
+  }
+  void field(const std::string& key, int v) { tag(key); out_ << v; }
+  void field(const std::string& key, const std::string& v) {
+    tag(key);
+    out_ << '"' << v << '"';
+  }
+  std::string str() const { return out_.str(); }
+
+ private:
+  void tag(const std::string& key) {
+    if (!fresh_) out_ << ",";
+    fresh_ = false;
+    if (!key.empty()) out_ << '"' << key << "\":";
+  }
+  std::ostringstream out_;
+  bool fresh_ = true;
+};
+
+void write_json(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "cannot open '" << path << "' for writing\n";
+    std::exit(1);
+  }
+  f << body << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Best wall time of `reps` runs of `fn`.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+// ---- hotpath mode ----
+
+/// One write job at `ranks` with per-stage timings (max over ranks, the
+/// job-level Fig. 6 view) plus isolated bin / crc measurements on the
+/// same data shapes.
+void hotpath_job(Json& j, int ranks, std::uint64_t per_rank,
+                 const PartitionFactor& factor, int reps) {
+  const Schema schema = Schema::uintah();
+  const PatchDecomposition decomp =
+      PatchDecomposition::for_ranks(Box3::unit(), ranks);
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(ranks) * per_rank * schema.record_size();
+
+  // Stage timings from the real pipeline (general exchange, so the
+  // binning/exchange stages measure the per-particle path the paper's
+  // Fig. 6 breakdown times).
+  WriteStats job{};
+  double best_wall = 1e300;
+  TempDir scratch("spio-hotpath");
+  for (int rep = 0; rep < reps; ++rep) {
+    WriteStats rep_job{};
+    std::mutex mu;
+    const auto t0 = std::chrono::steady_clock::now();
+    simmpi::run(ranks, [&](simmpi::Comm& comm) {
+      const auto local = workload::uniform(
+          schema, decomp.patch(comm.rank()), per_rank,
+          stream_seed(77 + rep, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * per_rank);
+      WriterConfig cfg;
+      cfg.dir = scratch.path() /
+                ("job_" + std::to_string(ranks) + "_" + std::to_string(rep));
+      cfg.factor = factor;
+      cfg.force_general_exchange = true;
+      const WriteStats s = write_dataset(comm, decomp, local, cfg);
+      std::lock_guard lk(mu);
+      rep_job = WriteStats::max_over(rep_job, s);
+    });
+    const double wall = seconds_since(t0);
+    if (wall < best_wall) {
+      best_wall = wall;
+      job = rep_job;
+    }
+  }
+
+  // Isolated general-path binning of one rank's buffer against the job's
+  // plan (binning lives inside meta_exchange_seconds in the job view).
+  const auto plan =
+      AggregationPlan::non_adaptive(decomp, factor, AggregatorPlacement::kUniform);
+  const auto local = workload::uniform(schema, decomp.patch(0), per_rank,
+                                       stream_seed(77, 0), 0);
+  const double bin_s = best_seconds(reps, [&] {
+    const auto bins = writer_detail::bin_particles(local, plan, false);
+    if (bins.bin_count() == 0) std::abort();
+  });
+
+  // CRC over an aggregator-sized buffer (the checksum cost of one file).
+  const std::uint64_t agg_bytes =
+      total_bytes / static_cast<std::uint64_t>(plan.partition_count());
+  std::vector<std::byte> crc_buf(agg_bytes);
+  Xoshiro256 rng(9);
+  for (auto& b : crc_buf) b = static_cast<std::byte>(rng.next());
+  volatile std::uint64_t sink = 0;
+  const double crc_s =
+      best_seconds(reps, [&] { sink = sink ^ crc64(crc_buf); });
+
+  const double mb = static_cast<double>(total_bytes) / 1e6;
+  j.open_obj();
+  j.field("ranks", ranks);
+  j.field("particles_per_rank", per_rank);
+  j.field("factor", factor.to_string());
+  j.field("partitions", plan.partition_count());
+  j.field("total_mb", mb);
+  j.field("wall_seconds", best_wall);
+  j.open_obj("stages_seconds");
+  j.field("bin", bin_s);
+  j.field("exchange",
+          job.meta_exchange_seconds + job.particle_exchange_seconds);
+  j.field("reorder", job.reorder_seconds);
+  j.field("crc", crc_s);
+  j.field("write", job.file_io_seconds);
+  j.close_obj();
+  j.open_obj("stages_mbps");
+  const double rank_mb =
+      static_cast<double>(per_rank * schema.record_size()) / 1e6;
+  j.field("bin", rank_mb / bin_s);
+  j.field("exchange",
+          mb / (job.meta_exchange_seconds + job.particle_exchange_seconds));
+  j.field("reorder", mb / job.reorder_seconds);
+  j.field("crc", static_cast<double>(agg_bytes) / 1e6 / crc_s);
+  j.field("write", mb / job.file_io_seconds);
+  j.close_obj();
+  j.close_obj();
+}
+
+int run_hotpath(const std::string& json_path, int reps) {
+  const Schema schema = Schema::uintah();
+  Json j;
+  j.open_obj();
+  j.field("bench", "hotpath");
+  j.field("generated_by", "tools/spio_bench --hotpath --json BENCH_hotpath.json");
+  j.field("schema_bytes_per_particle",
+          static_cast<std::uint64_t>(schema.record_size()));
+
+  // -- micro: crc64 slicing-by-16 vs byte-at-a-time reference --
+  // Two working sets: 4 MiB (cache-hot, the shape the fused
+  // crc64_write_file path actually sees — it checksums 1 MiB chunks right
+  // after writing them) and 64 MiB (DRAM-resident stream). Reps are
+  // interleaved so both implementations see the same machine state.
+  j.open_arr("crc64");
+  for (const std::size_t mib : {std::size_t{4}, std::size_t{64}}) {
+    const std::size_t bytes = mib << 20;
+    std::vector<std::byte> buf(bytes);
+    Xoshiro256 rng(1);
+    for (auto& b : buf) b = static_cast<std::byte>(rng.next());
+    if (crc64(buf) != crc64_bytewise(buf)) {
+      std::cerr << "crc64 implementations disagree\n";
+      return 1;
+    }
+    volatile std::uint64_t sink = 0;
+    double ref_s = 1e300, opt_s = 1e300;
+    for (int r = 0; r < std::max(reps, 5); ++r) {
+      ref_s = std::min(
+          ref_s, best_seconds(1, [&] { sink = sink ^ crc64_bytewise(buf); }));
+      opt_s =
+          std::min(opt_s, best_seconds(1, [&] { sink = sink ^ crc64(buf); }));
+    }
+    const double gb = static_cast<double>(bytes) / 1e9;
+    j.open_obj();
+    j.field("bytes", static_cast<std::uint64_t>(bytes));
+    j.field("bytewise_gbs", gb / ref_s);
+    j.field("slice16_gbs", gb / opt_s);
+    j.field("speedup", ref_s / opt_s);
+    j.close_obj();
+    std::cout << "crc64 (" << mib << " MiB)  " << gb / ref_s << " -> "
+              << gb / opt_s << " GB/s  (x" << ref_s / opt_s << ")\n";
+  }
+  j.close_arr();
+
+  // -- micro: general-path binning, histogram+scatter vs map reference --
+  // Paper-scale partition count (512 ranks, one partition per rank) with
+  // particles spread over the whole domain so every partition receives a
+  // share — the worst case the general path exists for (drifted
+  // particles). Reference and optimized reps are interleaved so both see
+  // the same thermal/allocator state; both are warmed once untimed.
+  j.open_arr("binning_general");
+  {
+    constexpr int kRanks = 512;
+    constexpr std::uint64_t kParticles = 1000000;
+    const PatchDecomposition decomp =
+        PatchDecomposition::for_ranks(Box3::unit(), kRanks);
+    const auto plan = AggregationPlan::non_adaptive(
+        decomp, {1, 1, 1}, AggregatorPlacement::kUniform);
+    const Schema schemas[2] = {Schema::uintah(), Schema::position_only()};
+    for (const Schema& s : schemas) {
+      const auto local = workload::uniform(s, Box3::unit(), kParticles,
+                                           stream_seed(2, 0), 0);
+      (void)writer_detail::bin_particles(local, plan, false);
+      (void)writer_detail::bin_particles_reference(local, plan, false);
+      double ref_s = 1e300, opt_s = 1e300;
+      for (int r = 0; r < std::max(reps, 5); ++r) {
+        ref_s = std::min(ref_s, best_seconds(1, [&] {
+          const auto bins =
+              writer_detail::bin_particles_reference(local, plan, false);
+          if (bins.bin_count() == 0) std::abort();
+        }));
+        opt_s = std::min(opt_s, best_seconds(1, [&] {
+          const auto bins = writer_detail::bin_particles(local, plan, false);
+          if (bins.bin_count() == 0) std::abort();
+        }));
+      }
+      const double mp = static_cast<double>(kParticles) / 1e6;
+      j.open_obj();
+      j.field("schema_bytes", static_cast<std::uint64_t>(s.record_size()));
+      j.field("particles", kParticles);
+      j.field("partitions", plan.partition_count());
+      j.field("reference_mpps", mp / ref_s);
+      j.field("optimized_mpps", mp / opt_s);
+      j.field("speedup", ref_s / opt_s);
+      j.close_obj();
+      std::cout << "binning (" << s.record_size() << " B/rec) " << mp / ref_s
+                << " -> " << mp / opt_s << " Mparticles/s  (x"
+                << ref_s / opt_s << ")\n";
+    }
+  }
+  j.close_arr();
+
+  // -- micro: per-file field-range pass (record-major) --
+  {
+    constexpr std::uint64_t kParticles = 500000;
+    const auto buf = workload::uniform(schema, Box3::unit(), kParticles,
+                                       stream_seed(3, 0), 0);
+    const double s = best_seconds(reps, [&] {
+      const auto ranges = writer_detail::compute_field_ranges(buf);
+      if (ranges.empty()) std::abort();
+    });
+    j.open_obj("field_ranges");
+    j.field("particles", kParticles);
+    j.field("gbs", static_cast<double>(buf.byte_size()) / 1e9 / s);
+    j.close_obj();
+    std::cout << "field ranges " << static_cast<double>(buf.byte_size()) / 1e9 / s
+              << " GB/s\n";
+  }
+
+  // -- pipeline stage breakdown at 8 and 32 ranks --
+  j.open_arr("jobs");
+  hotpath_job(j, 8, 50000, {2, 2, 1}, reps);
+  hotpath_job(j, 32, 20000, {2, 2, 2}, reps);
+  j.close_arr();
+  j.close_obj();
+
+  if (!json_path.empty()) write_json(json_path, j.str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,6 +329,8 @@ int main(int argc, char** argv) {
   std::uint64_t particles = 20000;
   int reps = 3;
   std::filesystem::path base;
+  std::string json_path;
+  bool hotpath = false;
   std::vector<PartitionFactor> factors = {
       {1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {4, 2, 2}};
 
@@ -63,6 +347,8 @@ int main(int argc, char** argv) {
     else if (arg == "--particles") particles = std::strtoull(next(), nullptr, 10);
     else if (arg == "--reps") reps = std::atoi(next());
     else if (arg == "--dir") base = next();
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--hotpath") hotpath = true;
     else if (arg == "--factors") {
       factors.clear();
       std::stringstream ss(next());
@@ -77,7 +363,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: spio_bench [--ranks N] [--particles P] "
-                   "[--reps R] [--dir path] [--factors f1,f2,...]\n";
+                   "[--reps R] [--dir path] [--factors f1,f2,...] "
+                   "[--json FILE] [--hotpath]\n";
       return 2;
     }
   }
@@ -85,6 +372,8 @@ int main(int argc, char** argv) {
     std::cerr << "invalid parameters\n";
     return 2;
   }
+
+  if (hotpath) return run_hotpath(json_path, reps);
 
   TempDir scratch("spio-bench");
   const std::filesystem::path work = base.empty() ? scratch.path() : base;
@@ -97,6 +386,14 @@ int main(int argc, char** argv) {
   std::cout << "spio_bench: " << ranks << " ranks x " << particles
             << " particles (" << format_bytes(total_bytes)
             << " per write), best of " << reps << " reps\n\n";
+
+  Json j;
+  j.open_obj();
+  j.field("bench", "write_sweep");
+  j.field("ranks", ranks);
+  j.field("particles_per_rank", particles);
+  j.field("total_bytes", total_bytes);
+  j.open_arr("write");
 
   Table wt("write sweep", {"factor", "files", "write (ms)", "GB/s",
                            "agg %", "shuffle %", "file I/O %"});
@@ -140,17 +437,31 @@ int main(int argc, char** argv) {
                     1)
         .add_double(100.0 * job.reorder_seconds / t, 1)
         .add_double(100.0 * job.file_io_seconds / t, 1);
+    j.open_obj();
+    j.field("factor", f.to_string());
+    j.field("files", job.files_written);
+    j.field("write_ms", best_rep);
+    j.field("gbs", throughput_gbs(total_bytes, best_rep / 1e3));
+    j.field("meta_exchange_s", job.meta_exchange_seconds);
+    j.field("particle_exchange_s", job.particle_exchange_seconds);
+    j.field("reorder_s", job.reorder_seconds);
+    j.field("file_io_s", job.file_io_seconds);
+    j.field("metadata_io_s", job.metadata_io_seconds);
+    j.close_obj();
     if (best_rep < best_ms) {
       best_ms = best_rep;
       best = f;
     }
   }
   wt.print(std::cout);
+  j.close_arr();
 
   // Read strong scaling on the best configuration's first rep.
   const auto dataset = work / ("w_" + best.to_string() + "_0");
   Table rt("read strong scaling on " + best.to_string() + " dataset",
            {"readers", "read (ms)", "files/reader", "GB/s"});
+  j.field("best_factor", best.to_string());
+  j.open_arr("read");
   for (int readers = 1; readers <= ranks; readers *= 2) {
     double best_rep = 1e300;
     std::uint64_t files = 0;
@@ -176,7 +487,16 @@ int main(int argc, char** argv) {
         .add_double(best_rep, 1)
         .add_double(static_cast<double>(files) / readers, 1)
         .add_double(throughput_gbs(total_bytes, best_rep / 1e3), 3);
+    j.open_obj();
+    j.field("readers", readers);
+    j.field("read_ms", best_rep);
+    j.field("files_per_reader", static_cast<double>(files) / readers);
+    j.field("gbs", throughput_gbs(total_bytes, best_rep / 1e3));
+    j.close_obj();
   }
   rt.print(std::cout);
+  j.close_arr();
+  j.close_obj();
+  if (!json_path.empty()) write_json(json_path, j.str());
   return 0;
 }
