@@ -8,17 +8,30 @@
 #
 # Run from the repository root on an otherwise idle machine. The JSON is
 # written to the repository root; commit it when refreshing the baseline.
+#
+# The 8-rank stage run also emits a Chrome trace which is structurally
+# validated with `spio_trace --check` — a smoke test that the tracing
+# subsystem survives a real pipeline run (see docs/OBSERVABILITY.md).
 set -eu
 
 BUILD_DIR="${1:-build}"
 REPS="${2:-5}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BENCH="$REPO_ROOT/$BUILD_DIR/tools/spio_bench"
+TRACE_TOOL="$REPO_ROOT/$BUILD_DIR/tools/spio_trace"
 
 if [ ! -x "$BENCH" ]; then
   echo "error: $BENCH not found; build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target spio_bench" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target spio_bench spio_trace" >&2
   exit 1
 fi
 
-exec "$BENCH" --hotpath --reps "$REPS" --json "$REPO_ROOT/BENCH_hotpath.json"
+TRACE_JSON="$REPO_ROOT/$BUILD_DIR/hotpath_trace.json"
+"$BENCH" --hotpath --reps "$REPS" --json "$REPO_ROOT/BENCH_hotpath.json" \
+  --trace "$TRACE_JSON"
+
+if [ -x "$TRACE_TOOL" ]; then
+  "$TRACE_TOOL" --check "$TRACE_JSON"
+else
+  echo "warning: $TRACE_TOOL not built; skipping trace validation" >&2
+fi

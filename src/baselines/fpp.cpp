@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace spio::baselines {
@@ -17,6 +18,7 @@ std::string rank_file_name(int rank) {
 
 void fpp_write(simmpi::Comm& comm, const ParticleBuffer& local,
                const std::filesystem::path& dir) {
+  obs::ScopedSpan span("baseline.fpp.write", "baseline");
   if (comm.rank() == 0) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -71,6 +73,7 @@ ParticleBuffer FppDataset::read_rank_file(int rank, ReadStats* stats) const {
 }
 
 ParticleBuffer FppDataset::query_box(const Box3& box, ReadStats* stats) const {
+  obs::ScopedSpan span("baseline.fpp.query_box", "baseline");
   ParticleBuffer out(schema_);
   for (int r = 0; r < file_count(); ++r) {
     const ParticleBuffer buf = read_rank_file(r, stats);

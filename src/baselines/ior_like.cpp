@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/trace.hpp"
 #include "simmpi/reduce_ops.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -15,6 +16,7 @@ double IorResult::throughput_gbs() const {
 }
 
 IorResult ior_write(simmpi::Comm& comm, const IorConfig& config) {
+  obs::ScopedSpan span("baseline.ior.write", "baseline");
   SPIO_CHECK(!config.dir.empty(), ConfigError, "IorConfig.dir must be set");
   SPIO_CHECK(config.transfer_bytes > 0 && config.block_bytes > 0, ConfigError,
              "IOR block and transfer sizes must be positive");

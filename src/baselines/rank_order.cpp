@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace spio::baselines {
@@ -19,6 +20,7 @@ std::string group_file_name(int group) {
 
 void rank_order_write(simmpi::Comm& comm, const ParticleBuffer& local,
                       const std::filesystem::path& dir, int group_size) {
+  obs::ScopedSpan span("baseline.rank_order.write", "baseline");
   SPIO_CHECK(group_size >= 1, ConfigError, "group size must be >= 1");
   if (comm.rank() == 0) {
     std::error_code ec;
@@ -108,6 +110,7 @@ ParticleBuffer RankOrderDataset::read_group_file(int group,
 
 ParticleBuffer RankOrderDataset::query_box(const Box3& box,
                                            ReadStats* stats) const {
+  obs::ScopedSpan span("baseline.rank_order.query_box", "baseline");
   ParticleBuffer out(schema_);
   for (int g = 0; g < file_count(); ++g) {
     const ParticleBuffer buf = read_group_file(g, stats);

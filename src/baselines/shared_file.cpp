@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "simmpi/reduce_ops.hpp"
 #include "util/serialize.hpp"
 
@@ -30,6 +31,7 @@ void write_at(const std::filesystem::path& path, std::uint64_t offset,
 
 void shared_write(simmpi::Comm& comm, const ParticleBuffer& local,
                   const std::filesystem::path& dir) {
+  obs::ScopedSpan span("baseline.shared.write", "baseline");
   const std::uint64_t my_bytes = local.byte_size();
   const std::uint64_t offset =
       comm.exscan<std::uint64_t>(my_bytes, simmpi::op::sum, 0);
@@ -110,6 +112,7 @@ ParticleBuffer SharedDataset::read_rank_slice(int rank,
 
 ParticleBuffer SharedDataset::query_box(const Box3& box,
                                         ReadStats* stats) const {
+  obs::ScopedSpan span("baseline.shared.query_box", "baseline");
   const ParticleBuffer all = read_all(stats);
   ParticleBuffer out(schema_);
   for (std::size_t i = 0; i < all.size(); ++i) {

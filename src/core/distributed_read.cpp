@@ -1,6 +1,23 @@
 #include "core/distributed_read.hpp"
 
+#include <chrono>
+#include <type_traits>
+
+#include "obs/metrics.hpp"
+#include "obs/run_record.hpp"
+#include "obs/trace.hpp"
+
 namespace spio {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
 
 int file_reader(const DatasetMetadata& meta, int file_index,
                 const PatchDecomposition& decomp) {
@@ -20,29 +37,41 @@ ParticleBuffer distributed_read(simmpi::Comm& comm,
              "decomposition has " << decomp.rank_count()
                                   << " patches for a job of " << comm.size()
                                   << " ranks");
+  // Ranks are threads of one process, so everyone sees the same
+  // collection state and agrees on the record-emission gather below.
+  const bool record_run = obs::run_records_enabled();
+  obs::ScopedSpan whole_span("read.distributed", "reader");
   const Dataset ds = Dataset::open(dir);
   SPIO_CHECK(decomp.domain().contains_box(ds.metadata().domain), ConfigError,
              "reader domain " << decomp.domain()
                               << " does not contain the dataset domain "
                               << ds.metadata().domain);
 
+  // Local accumulator regardless of the caller's interest: it also feeds
+  // the metrics registry and the run record.
+  ReadStats acc;
+
   // Phase 1: read my assigned files and bin their particles by owner
   // tile. Binning uses the decomposition's point location, which clamps
   // boundary particles into the domain's edge patches.
+  obs::ScopedSpan io_span("read.distributed.local_io", "reader");
   std::vector<ParticleBuffer> outgoing(
       static_cast<std::size_t>(comm.size()),
       ParticleBuffer(ds.metadata().schema));
   for (int fi = 0; fi < ds.file_count(); ++fi) {
     if (file_reader(ds.metadata(), fi, decomp) != comm.rank()) continue;
     const ParticleBuffer buf = ds.read_data_file(fi, levels, comm.size(),
-                                                 stats);
+                                                 &acc);
     for (std::size_t i = 0; i < buf.size(); ++i) {
       const int owner = decomp.rank_of(decomp.cell_of(buf.position(i)));
       outgoing[static_cast<std::size_t>(owner)].append_from(buf, i);
     }
   }
+  io_span.end();
 
   // Phase 2: personalized exchange of the binned bytes.
+  obs::ScopedSpan exchange_span("read.distributed.exchange", "reader");
+  const Clock::time_point t0 = Clock::now();
   std::vector<std::vector<std::byte>> send_to(
       static_cast<std::size_t>(comm.size()));
   for (int r = 0; r < comm.size(); ++r)
@@ -52,6 +81,48 @@ ParticleBuffer distributed_read(simmpi::Comm& comm,
 
   ParticleBuffer mine(ds.metadata().schema);
   for (const auto& payload : received) mine.append_bytes(payload);
+  acc.exchange_seconds = seconds_since(t0);
+  exchange_span.end();
+
+  // What this rank *returns* is what it owns after the exchange, not what
+  // it scanned on behalf of others.
+  acc.particles_returned = mine.size();
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("reader.particles_returned").add(mine.size());
+    reg.counter("reader.bytes_returned").add(mine.byte_size());
+    const std::uint64_t read = reg.counter("reader.bytes_read").value();
+    const std::uint64_t ret = reg.counter("reader.bytes_returned").value();
+    if (ret > 0)
+      reg.gauge("reader.read_amplification")
+          .set(static_cast<double>(read) / static_cast<double>(ret));
+  }
+  if (stats) stats->accumulate(acc);
+
+  if (record_run) {
+    // Merge the read section into the dataset's Darshan-style run record.
+    static_assert(std::is_trivially_copyable_v<ReadStats>);
+    const std::vector<ReadStats> all = comm.gather<ReadStats>(acc, 0);
+    if (comm.rank() == 0) {
+      obs::ReadRunInfo info;
+      info.ranks = comm.size();
+      info.levels = levels;
+      for (int r = 0; r < comm.size(); ++r) {
+        const ReadStats& s = all[static_cast<std::size_t>(r)];
+        info.phases.push_back({r, s.file_io_seconds, s.exchange_seconds});
+        info.totals.files_opened += static_cast<std::uint64_t>(s.files_opened);
+        info.totals.bytes_read += s.bytes_read;
+        info.totals.particles_scanned += s.particles_scanned;
+        info.totals.particles_returned += s.particles_returned;
+      }
+      if (info.totals.particles_returned > 0)
+        info.totals.read_amplification =
+            static_cast<double>(info.totals.particles_scanned) /
+            static_cast<double>(info.totals.particles_returned);
+      obs::save_read_record(dir, info,
+                            obs::MetricsRegistry::global().snapshot());
+    }
+  }
   return mine;
 }
 

@@ -1,10 +1,51 @@
 #include "core/reader.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "core/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 #include "workload/decomposition.hpp"
 
 namespace spio {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Return-side counters for one query (naming: docs/OBSERVABILITY.md).
+/// The scan-side counters live in `read_data_file`, so query layers and
+/// direct file readers never double-count.
+void publish_returned(std::uint64_t particles, std::uint64_t bytes) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("reader.particles_returned").add(particles);
+  reg.counter("reader.bytes_returned").add(bytes);
+  const std::uint64_t read = reg.counter("reader.bytes_read").value();
+  const std::uint64_t ret = reg.counter("reader.bytes_returned").value();
+  if (ret > 0)
+    reg.gauge("reader.read_amplification")
+        .set(static_cast<double>(read) / static_cast<double>(ret));
+}
+
+}  // namespace
+
+ReadStats ReadStats::max_over(const ReadStats& a, const ReadStats& b) {
+  ReadStats m;
+  m.files_opened = a.files_opened + b.files_opened;
+  m.bytes_read = a.bytes_read + b.bytes_read;
+  m.particles_scanned = a.particles_scanned + b.particles_scanned;
+  m.particles_returned = a.particles_returned + b.particles_returned;
+  m.file_io_seconds = std::max(a.file_io_seconds, b.file_io_seconds);
+  m.exchange_seconds = std::max(a.exchange_seconds, b.exchange_seconds);
+  return m;
+}
 
 Dataset::Dataset(std::filesystem::path dir, DatasetMetadata meta)
     : dir_(std::move(dir)), meta_(std::move(meta)) {
@@ -61,6 +102,8 @@ ParticleBuffer Dataset::read_data_file(int file_index, int levels,
                                        int n_readers,
                                        ReadStats* stats) const {
   SPIO_EXPECTS(file_index >= 0 && file_index < file_count());
+  obs::ScopedSpan span("read.file", "reader");
+  const Clock::time_point t0 = Clock::now();
   const FileRecord& f = meta_.files[static_cast<std::size_t>(file_index)];
   const std::uint64_t want = level_prefix_count(file_index, levels, n_readers);
   const std::uint64_t record = meta_.schema.record_size();
@@ -79,12 +122,20 @@ ParticleBuffer Dataset::read_data_file(int file_index, int levels,
     stats->bytes_read += want * record;
     stats->particles_scanned += want;
     stats->particles_returned += want;
+    stats->file_io_seconds += seconds_since(t0);
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("reader.files_opened").add(1);
+    reg.counter("reader.bytes_read").add(want * record);
+    reg.counter("reader.particles_scanned").add(want);
   }
   return buf;
 }
 
 ParticleBuffer Dataset::query_box(const Box3& box, int levels, int n_readers,
                                   ReadStats* stats) const {
+  obs::ScopedSpan span("read.query_box", "reader");
   const std::vector<int> hits = intersecting(box);
   ParticleBuffer out(meta_.schema);
   for (const int fi : hits) {
@@ -110,6 +161,7 @@ ParticleBuffer Dataset::query_box(const Box3& box, int levels, int n_readers,
       }
     }
   }
+  publish_returned(out.size(), out.byte_size());
   return out;
 }
 
@@ -137,6 +189,7 @@ ParticleBuffer Dataset::query(const Box3& box,
                               std::span<const RangeFilter> filters,
                               int levels, int n_readers,
                               ReadStats* stats) const {
+  obs::ScopedSpan span("read.query", "reader");
   for (const RangeFilter& rf : filters) {
     SPIO_CHECK(rf.field < meta_.schema.field_count(), ConfigError,
                "range filter on field " << rf.field << " but schema has "
@@ -174,6 +227,7 @@ ParticleBuffer Dataset::query(const Box3& box,
       }
     }
   }
+  publish_returned(out.size(), out.byte_size());
   return out;
 }
 
@@ -182,6 +236,7 @@ std::uint64_t Dataset::stream_box(
     const std::function<bool(const ParticleBuffer& chunk)>& sink,
     int levels, int n_readers, ReadStats* stats) const {
   SPIO_EXPECTS(sink != nullptr);
+  obs::ScopedSpan span("read.stream_box", "reader");
   std::uint64_t delivered = 0;
   for (const int fi : intersecting(box)) {
     const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
@@ -208,11 +263,13 @@ std::uint64_t Dataset::stream_box(
     if (stats) stats->particles_returned += file_buf.size();
     if (!sink(file_buf)) break;
   }
+  publish_returned(delivered, delivered * meta_.schema.record_size());
   return delivered;
 }
 
 ParticleBuffer Dataset::query_box_scan_all(const Box3& box,
                                            ReadStats* stats) const {
+  obs::ScopedSpan span("read.scan_all", "reader");
   ParticleBuffer out(meta_.schema);
   for (int fi = 0; fi < file_count(); ++fi) {
     ReadStats local;
@@ -229,6 +286,7 @@ ParticleBuffer Dataset::query_box_scan_all(const Box3& box,
       }
     }
   }
+  publish_returned(out.size(), out.byte_size());
   return out;
 }
 

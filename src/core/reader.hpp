@@ -22,8 +22,9 @@
 
 namespace spio {
 
-/// Volume counters for one read operation (accumulated when the same
-/// struct is passed to several calls).
+/// Volume and timing counters for one read operation (accumulated when
+/// the same struct is passed to several calls). The symmetric partner of
+/// `WriteStats`: reduce across ranks with `ReadStats::max_over`.
 struct ReadStats {
   int files_opened = 0;
   std::uint64_t bytes_read = 0;
@@ -31,6 +32,34 @@ struct ReadStats {
   std::uint64_t particles_scanned = 0;
   /// Particles returned to the caller.
   std::uint64_t particles_returned = 0;
+
+  /// Wall time spent inside data-file reads on this rank.
+  double file_io_seconds = 0;
+  /// Wall time of the redistribution exchange (`distributed_read` only).
+  double exchange_seconds = 0;
+
+  /// Read amplification: particles fetched from disk per particle
+  /// actually returned (1.0 = perfect locality; equals the byte ratio
+  /// since every record has the same size). 0 when nothing was returned.
+  double read_amplification() const {
+    if (particles_returned == 0) return 0.0;
+    return static_cast<double>(particles_scanned) /
+           static_cast<double>(particles_returned);
+  }
+
+  /// Field-wise merge of another rank's (or another call's) counters.
+  void accumulate(const ReadStats& o) {
+    files_opened += o.files_opened;
+    bytes_read += o.bytes_read;
+    particles_scanned += o.particles_scanned;
+    particles_returned += o.particles_returned;
+    file_io_seconds += o.file_io_seconds;
+    exchange_seconds += o.exchange_seconds;
+  }
+
+  /// Element-wise max of times, sum of volumes; the job-level view
+  /// (mirrors `WriteStats::max_over`).
+  static ReadStats max_over(const ReadStats& a, const ReadStats& b);
 };
 
 class Dataset {

@@ -5,11 +5,16 @@
 #include <cstring>
 #include <map>
 #include <span>
+#include <string>
+#include <type_traits>
 
 #include "core/journal.hpp"
 #include "core/metadata.hpp"
 #include "faultsim/checked_io.hpp"
 #include "faultsim/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_record.hpp"
+#include "obs/trace.hpp"
 #include "simmpi/reduce_ops.hpp"
 #include "util/checksum.hpp"
 #include "util/serialize.hpp"
@@ -71,6 +76,61 @@ struct HoistedLocator {
                                   dy * axis_index(2, p.z)));
   }
 };
+
+const char* heuristic_name(LodHeuristic h) {
+  switch (h) {
+    case LodHeuristic::kRandom:
+      return "random";
+    case LodHeuristic::kStride:
+      return "stride";
+    case LodHeuristic::kStratified:
+      return "stratified";
+  }
+  return "unknown";
+}
+
+/// Mirror one rank's WriteStats into the metrics registry (naming scheme:
+/// docs/OBSERVABILITY.md). One-shot per write, so it runs whenever
+/// collection is on regardless of how hot the pipeline itself was.
+void publish_write_stats(const WriteStats& s) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("writer.particles_sent").add(s.particles_sent);
+  reg.counter("writer.bytes_sent").add(s.bytes_sent);
+  reg.counter("writer.particles_written").add(s.particles_written);
+  reg.counter("writer.bytes_written").add(s.bytes_written);
+  reg.counter("writer.files_written")
+      .add(static_cast<std::uint64_t>(s.files_written));
+  if (s.was_aggregator) reg.counter("writer.aggregators").add(1);
+  const auto us = [](double sec) {
+    return static_cast<std::uint64_t>(sec * 1e6);
+  };
+  reg.counter("writer.setup_us").add(us(s.setup_seconds));
+  reg.counter("writer.meta_exchange_us").add(us(s.meta_exchange_seconds));
+  reg.counter("writer.particle_exchange_us")
+      .add(us(s.particle_exchange_seconds));
+  reg.counter("writer.reorder_us").add(us(s.reorder_seconds));
+  reg.counter("writer.file_io_us").add(us(s.file_io_seconds));
+  reg.counter("writer.metadata_io_us").add(us(s.metadata_io_seconds));
+}
+
+/// Flat config echo for the run record.
+std::map<std::string, std::string> config_echo(const WriterConfig& c) {
+  const auto yesno = [](bool b) { return std::string(b ? "true" : "false"); };
+  std::map<std::string, std::string> out;
+  out["factor"] = c.factor.to_string();
+  out["adaptive"] = yesno(c.adaptive);
+  out["adaptive_refine"] = yesno(c.adaptive_refine);
+  out["lod_P"] = std::to_string(c.lod.P);
+  out["lod_S"] = std::to_string(c.lod.S);
+  out["heuristic"] = heuristic_name(c.heuristic);
+  out["write_spatial_metadata"] = yesno(c.write_spatial_metadata);
+  out["write_field_ranges"] = yesno(c.write_field_ranges);
+  out["write_checksums"] = yesno(c.write_checksums);
+  out["journal"] = yesno(c.journal);
+  out["fault_injection"] = yesno(c.faults != nullptr);
+  return out;
+}
 
 double load_component(const std::byte* p, bool f64) {
   if (f64) {
@@ -276,6 +336,13 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   WriteStats stats;
   const int rank = comm.rank();
 
+  // simmpi ranks are threads of one process, so every rank observes the
+  // same collection state and agrees on the record-emission collectives
+  // below without a broadcast.
+  const bool record_run = config.run_record && obs::run_records_enabled();
+  obs::ScopedSpan whole_span("write.dataset", "writer");
+  obs::PhaseSpan phase("writer");
+
   // Rank 0 creates the dataset directory and opens the write journal
   // before anyone writes into it: from here until the metadata commit,
   // a crash leaves a journal that marks the directory incomplete.
@@ -311,6 +378,7 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   enter_phase(faultsim::WritePhase::kSetup);
 
   // ---- step 1 + 2: aggregation grid setup and aggregator selection ----
+  phase.begin("write.setup");
   auto t0 = Clock::now();
   const Box3 local_bounds = local.bounds();
   // The simulation contract is that particles lie within their owner's
@@ -351,6 +419,7 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
 
   // ---- step 3: metadata exchange (counts) ----
   enter_phase(faultsim::WritePhase::kMetaExchange);
+  phase.begin("write.meta_exchange");
   t0 = Clock::now();
   // On the aligned fast path the single bin is the whole local buffer;
   // materializing it is deferred until we know whether it must travel at
@@ -425,6 +494,7 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
 
   // ---- steps 4 + 5: allocate aggregation buffer, exchange particles ----
   enter_phase(faultsim::WritePhase::kParticleExchange);
+  phase.begin("write.particle_exchange");
   t0 = Clock::now();
   // Self-send elision: a bin whose aggregator is this rank is spliced
   // into the aggregation buffer directly instead of looping through the
@@ -511,6 +581,7 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   stats.particle_exchange_seconds = seconds_since(t0);
 
   // ---- step 6: LOD re-ordering ----
+  phase.begin("write.reorder");
   t0 = Clock::now();
   if (!aggregated.empty()) {
     lod_reorder(aggregated,
@@ -522,6 +593,7 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
 
   // ---- step 7: write the data file ----
   enter_phase(faultsim::WritePhase::kDataWrite);
+  phase.begin("write.file_io");
   t0 = Clock::now();
   FileRecord my_record;
   std::uint64_t my_crc = 0;
@@ -556,6 +628,7 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
 
   // ---- step 8: gather bounds on rank 0, write the spatial metadata ----
   enter_phase(faultsim::WritePhase::kCommit);
+  phase.begin("write.metadata_io");
   t0 = Clock::now();
   BinaryWriter record_bytes;
   if (have_file) {
@@ -605,7 +678,38 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   // The write is complete (data + metadata) only once every rank returns.
   comm.barrier();
   stats.metadata_io_seconds = seconds_since(t0);
+  phase.end();
+  whole_span.end();
+  publish_write_stats(stats);
 
+  if (record_run) {
+    // Gather every rank's stats so rank 0 can lay down the Darshan-style
+    // run record next to the dataset. All ranks take the same branch (see
+    // record_run above), so the extra collective is uniform.
+    static_assert(std::is_trivially_copyable_v<WriteStats>);
+    const std::vector<WriteStats> all = comm.gather<WriteStats>(stats, 0);
+    if (rank == 0) {
+      obs::WriteRunInfo info;
+      info.ranks = comm.size();
+      info.schema_bytes = local.record_size();
+      info.partition_count = stats.partition_count;
+      info.config = config_echo(config);
+      for (int r = 0; r < comm.size(); ++r) {
+        const WriteStats& s = all[static_cast<std::size_t>(r)];
+        info.phases.push_back({r, s.setup_seconds, s.meta_exchange_seconds,
+                               s.particle_exchange_seconds, s.reorder_seconds,
+                               s.file_io_seconds, s.metadata_io_seconds});
+        info.totals.particles_sent += s.particles_sent;
+        info.totals.bytes_sent += s.bytes_sent;
+        info.totals.particles_written += s.particles_written;
+        info.totals.bytes_written += s.bytes_written;
+        info.totals.files_written +=
+            static_cast<std::uint64_t>(s.files_written);
+      }
+      obs::save_write_record(config.dir, info,
+                             obs::MetricsRegistry::global().snapshot());
+    }
+  }
   return stats;
 }
 

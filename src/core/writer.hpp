@@ -29,6 +29,10 @@ namespace spio::faultsim {
 class FaultInjector;
 }  // namespace spio::faultsim
 
+namespace spio::obs {
+class MetricsRegistry;
+}  // namespace spio::obs
+
 namespace spio {
 
 /// Everything a write needs besides the data. The partition factor is the
@@ -97,6 +101,13 @@ struct WriterConfig {
   /// Retransmission policy for the reliable exchanges (used only when
   /// `faults` is set).
   faultsim::RetryPolicy retry{};
+
+  /// Emit the Darshan-style `trace.spio.json` run record next to the
+  /// dataset (config, per-rank phase seconds, counter dump). Effective
+  /// only while the observability layer is collecting
+  /// (`obs::run_records_enabled()`), so default runs leave the dataset
+  /// directory byte-identical to earlier releases.
+  bool run_record = true;
 };
 
 /// Per-rank timing and volume statistics for one write. Times are wall

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/checksum.hpp"
 #include "util/serialize.hpp"
 
@@ -17,8 +19,12 @@ std::uint64_t checked_write_file(const std::filesystem::path& path,
   // write something other than `data`.
   std::uint64_t want = 0;
   bool have_want = false;
+  if (obs::enabled())
+    obs::MetricsRegistry::global().counter("faultsim.checked_writes").add(1);
 
   for (int attempt = 1;; ++attempt) {
+    if (attempt > 1 && obs::enabled())
+      obs::MetricsRegistry::global().counter("faultsim.rewrites").add(1);
     const FileFaultKind fault =
         injector ? injector->next_file_fault(rank, path.filename().string())
                  : FileFaultKind::kNone;

@@ -3,6 +3,8 @@
 #include <thread>
 
 #include "faultsim/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spio::faultsim {
 
@@ -30,6 +32,10 @@ std::vector<std::vector<std::byte>> reliable_exchange(
     SPIO_EXPECTS(in_index[static_cast<std::size_t>(src)] == -1);
     in_index[static_cast<std::size_t>(src)] = static_cast<int>(i);
   }
+
+  obs::ScopedSpan span("faultsim.exchange", "faultsim");
+  if (obs::enabled())
+    obs::MetricsRegistry::global().counter("faultsim.exchanges").add(1);
 
   std::vector<std::vector<std::byte>> received(recv_from.size());
   std::vector<bool> got(recv_from.size(), false);
@@ -78,6 +84,13 @@ std::vector<std::vector<std::byte>> reliable_exchange(
     const auto now = Clock::now();
     for (std::size_t i = 0; i < to_send.size(); ++i) {
       if (acked[i] || now - last_tx[i] < policy.ack_timeout) continue;
+      if (obs::enabled()) {
+        // Every expiry is a timeout; only those within budget become a
+        // retransmission (the out-of-budget one throws below).
+        obs::MetricsRegistry::global().counter("faultsim.timeouts").add(1);
+        if (attempts[i] < policy.max_attempts)
+          obs::MetricsRegistry::global().counter("faultsim.retries").add(1);
+      }
       SPIO_CHECK(attempts[i] < policy.max_attempts, FaultError,
                  "rank " << comm.rank() << " got no acknowledgement from rank "
                          << to_send[i].dst << " on tag " << tag << " after "

@@ -1,0 +1,446 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace spio::obs {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a position cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    SPIO_CHECK(pos_ == text_.size(), FormatError,
+               "JSON: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    SPIO_CHECK(false, FormatError,
+               "JSON: " << what << " at offset " << pos_);
+    std::abort();  // unreachable; SPIO_CHECK throws
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue::null_value();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our own writers; pass them through raw).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        digits = true;
+      ++pos_;
+    }
+    if (!digits) fail("expected a value");
+    std::string raw(text_.substr(start, pos_ - start));
+    const double v = std::strtod(raw.c_str(), nullptr);
+    // Keep the exact source token so integer counters round-trip.
+    return JsonValue::number_from_token(std::move(raw), v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double x) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = x;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  v.str_ = buf;
+  return v;
+}
+
+JsonValue JsonValue::number(std::uint64_t x) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = static_cast<double>(x);
+  v.str_ = std::to_string(x);
+  return v;
+}
+
+JsonValue JsonValue::number(std::int64_t x) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = static_cast<double>(x);
+  v.str_ = std::to_string(x);
+  return v;
+}
+
+JsonValue JsonValue::number_from_token(std::string raw, double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.num_ = v;
+  out.str_ = std::move(raw);
+  return out;
+}
+
+JsonValue JsonValue::string(std::string_view s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = s;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+bool JsonValue::as_bool() const {
+  SPIO_CHECK(is_bool(), FormatError, "JSON: value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  SPIO_CHECK(is_number(), FormatError, "JSON: value is not a number");
+  return num_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  SPIO_CHECK(is_number(), FormatError, "JSON: value is not a number");
+  // Prefer the raw token: doubles lose integers above 2^53.
+  if (!str_.empty() && str_.find_first_of(".eE") == std::string::npos &&
+      str_[0] != '-') {
+    return std::strtoull(str_.c_str(), nullptr, 10);
+  }
+  return static_cast<std::uint64_t>(num_);
+}
+
+std::int64_t JsonValue::as_i64() const {
+  SPIO_CHECK(is_number(), FormatError, "JSON: value is not a number");
+  if (!str_.empty() && str_.find_first_of(".eE") == std::string::npos) {
+    return std::strtoll(str_.c_str(), nullptr, 10);
+  }
+  return static_cast<std::int64_t>(num_);
+}
+
+const std::string& JsonValue::as_string() const {
+  SPIO_CHECK(is_string(), FormatError, "JSON: value is not a string");
+  return str_;
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return arr_.size();
+  if (is_object()) return obj_.size();
+  SPIO_CHECK(false, FormatError, "JSON: value has no size");
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  SPIO_CHECK(is_array(), FormatError, "JSON: value is not an array");
+  SPIO_CHECK(i < arr_.size(), FormatError,
+             "JSON: array index " << i << " out of range (size "
+                                  << arr_.size() << ")");
+  return arr_[i];
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  SPIO_CHECK(is_array(), FormatError, "JSON: value is not an array");
+  arr_.push_back(std::move(v));
+  return arr_.back();
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  SPIO_CHECK(is_object(), FormatError, "JSON: value is not an object");
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  SPIO_CHECK(v != nullptr, FormatError,
+             "JSON: missing key '" << std::string(key) << "'");
+  return *v;
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue v) {
+  SPIO_CHECK(is_object(), FormatError, "JSON: value is not an object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  obj_.emplace_back(std::string(key), std::move(v));
+  return obj_.back().second;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  SPIO_CHECK(is_object(), FormatError, "JSON: value is not an object");
+  return obj_;
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      if (std::isfinite(num_)) {
+        out += str_.empty() ? "0" : str_;
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    case Kind::kString:
+      out += '"';
+      append_json_escaped(out, str_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        out += '"';
+        append_json_escaped(out, obj_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace spio::obs

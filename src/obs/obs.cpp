@@ -1,0 +1,64 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace spio::obs {
+
+namespace detail {
+
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace detail
+
+namespace {
+
+thread_local int tls_rank = -1;
+
+/// SPIO_TRACE handling: read once, enable collection, and register an
+/// exit flush so even a tool that never calls `flush_env()` explicitly
+/// leaves a loadable trace behind.
+const std::string& env_path_storage() {
+  static const std::string path = [] {
+    const char* v = std::getenv("SPIO_TRACE");
+    return std::string(v ? v : "");
+  }();
+  return path;
+}
+
+const bool g_env_init = [] {
+  (void)detail::epoch();  // pin the epoch before any rank thread starts
+  if (!env_path_storage().empty()) {
+    enable();
+    std::atexit([] { Tracer::instance().flush_env(); });
+  }
+  return true;
+}();
+
+}  // namespace
+
+void enable() { detail::g_enabled.store(true, std::memory_order_relaxed); }
+
+void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - detail::epoch())
+      .count();
+}
+
+void set_thread_rank(int rank) { tls_rank = rank; }
+
+int thread_rank() { return tls_rank; }
+
+const char* env_trace_path() {
+  (void)g_env_init;
+  return env_path_storage().c_str();
+}
+
+}  // namespace spio::obs

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file obs.hpp
+/// Global switches of the observability subsystem (docs/OBSERVABILITY.md).
+///
+/// Everything in `src/obs/` hangs off one process-wide enable flag so the
+/// instrumented hot paths (simmpi sends, reader file loop, writer phases)
+/// pay exactly one relaxed atomic load when observability is off. The
+/// flag is raised either programmatically (`obs::enable()`) or by the
+/// `SPIO_TRACE=<path>` environment variable, which additionally arranges
+/// for the merged Chrome trace to be written to `<path>` at process exit
+/// and after every instrumented collective operation.
+///
+/// Rank attribution: simmpi runs each rank on its own thread, so spans
+/// and counters are tagged with a thread-local rank id installed by the
+/// runtime (`ThreadRankGuard` in `simmpi::run`). Code running outside a
+/// rank thread (single-process tools) reports as rank 0.
+
+#include <atomic>
+#include <chrono>
+
+namespace spio::obs {
+
+namespace detail {
+/// The process-wide switch. Inline so `enabled()` compiles to one
+/// relaxed load at every instrumentation site.
+inline std::atomic<bool> g_enabled{false};
+
+/// Process start on the steady clock; all trace timestamps are offsets
+/// from it so they stay small and comparable across rank threads.
+std::chrono::steady_clock::time_point epoch();
+}  // namespace detail
+
+/// True when tracing + metrics collection is on. The fast-path guard:
+/// every instrumentation site checks this first and does nothing else
+/// when it is false.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn collection on/off for the whole process. Ranks of one simmpi job
+/// share the process, so all of them observe the same state; toggle only
+/// between jobs, not while one is running.
+void enable();
+void disable();
+
+/// Microseconds since process start (steady clock), the timestamp unit
+/// of the Chrome trace output.
+double now_us();
+
+/// Rank attribution for the calling thread; -1 = not a rank thread
+/// (reported as rank 0 in traces).
+void set_thread_rank(int rank);
+int thread_rank();
+
+/// RAII rank binding for a rank thread's lifetime (used by simmpi::run).
+class ThreadRankGuard {
+ public:
+  explicit ThreadRankGuard(int rank) : prev_(thread_rank()) {
+    set_thread_rank(rank);
+  }
+  ~ThreadRankGuard() { set_thread_rank(prev_); }
+  ThreadRankGuard(const ThreadRankGuard&) = delete;
+  ThreadRankGuard& operator=(const ThreadRankGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// Path from `SPIO_TRACE` (empty when the variable is unset). When set,
+/// the process enables collection at startup and flushes the merged
+/// Chrome trace there at exit and at the end of every instrumented
+/// write/read collective.
+const char* env_trace_path();
+
+/// Run records (`trace.spio.json` next to a dataset) are emitted when
+/// collection is enabled; see run_record.hpp.
+inline bool run_records_enabled() { return enabled(); }
+
+}  // namespace spio::obs

@@ -1,0 +1,189 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spio::obs {
+
+namespace {
+
+thread_local void* tls_buffer = nullptr;
+
+/// JSON string escaping for event names (names are code-controlled
+/// literals, but the export must stay valid JSON whatever they hold).
+void append_escaped(std::string& out, const char* s) {
+  for (const char* p = s; *p; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  out += ss.str();
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();  // leaked: outlives rank threads & atexit
+  return *t;
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  if (tls_buffer) return *static_cast<Buffer*>(tls_buffer);
+  std::lock_guard lk(mu_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer& b = *buffers_.back();
+  b.events.reserve(1024);
+  tls_buffer = &b;
+  return b;
+}
+
+void Tracer::record_complete(const char* name, const char* cat, double ts_us,
+                             double dur_us) {
+  Buffer& b = local_buffer();
+  std::lock_guard lk(b.mu);
+  b.events.push_back(Event{name, cat, nullptr, ts_us, dur_us, 0,
+                           std::max(thread_rank(), 0)});
+}
+
+void Tracer::record_instant(const char* name, const char* cat,
+                            std::uint64_t arg, const char* arg_name) {
+  if (!enabled()) return;
+  Buffer& b = local_buffer();
+  std::lock_guard lk(b.mu);
+  b.events.push_back(Event{name, cat, arg_name, now_us(), -1.0, arg,
+                           std::max(thread_rank(), 0)});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard bl(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard lk(mu_);
+  for (const auto& b : buffers_) {
+    std::lock_guard bl(b->mu);
+    b->events.clear();
+  }
+}
+
+std::string Tracer::chrome_json() const {
+  // Snapshot all buffers, then merge-sort by timestamp so the file reads
+  // chronologically (viewers do not require it, tests do).
+  std::vector<Event> all;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& b : buffers_) {
+      std::lock_guard bl(b->mu);
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::set<int> ranks;
+  for (const Event& e : all) ranks.insert(e.rank);
+
+  std::string out;
+  out.reserve(128 + all.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"spio\"},"
+         "\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  // One named track per rank (pid 0 groups the whole job).
+  for (const int r : ranks) {
+    sep();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(r);
+    out += ",\"args\":{\"name\":\"rank ";
+    out += std::to_string(r);
+    out += "\"}}";
+  }
+  for (const Event& e : all) {
+    sep();
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.cat);
+    out += "\",\"ph\":\"";
+    out += (e.dur_us < 0 ? "i" : "X");
+    out += "\",\"ts\":";
+    append_double(out, e.ts_us);
+    if (e.dur_us >= 0) {
+      out += ",\"dur\":";
+      append_double(out, e.dur_us);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(e.rank);
+    if (e.arg_name) {
+      out += ",\"args\":{\"";
+      append_escaped(out, e.arg_name);
+      out += "\":";
+      out += std::to_string(e.arg);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::write_chrome_trace(const std::filesystem::path& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  SPIO_CHECK(f.good(), IoError,
+             "cannot open trace file '" << path.string() << "' for writing");
+  f << chrome_json() << "\n";
+  f.flush();
+  SPIO_CHECK(f.good(), IoError,
+             "failed writing trace file '" << path.string() << "'");
+}
+
+void Tracer::flush_env() const {
+  const char* path = env_trace_path();
+  if (path && *path) write_chrome_trace(path);
+}
+
+}  // namespace spio::obs

@@ -4,7 +4,39 @@
 #include <chrono>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
 namespace simmpi {
+
+namespace {
+
+/// Transport metrics (naming scheme: docs/OBSERVABILITY.md). References
+/// are resolved once; when observability is off, the call sites skip
+/// them entirely behind the single `obs::enabled()` load.
+struct TransportMetrics {
+  spio::obs::Counter& msg_count;
+  spio::obs::Counter& bytes_sent;
+  spio::obs::Counter& recv_count;
+  spio::obs::Counter& recv_wait_us;
+  spio::obs::Counter& collectives;
+  spio::obs::Counter& collective_wait_us;
+  spio::obs::Histogram& msg_bytes;
+
+  static TransportMetrics& get() {
+    auto& reg = spio::obs::MetricsRegistry::global();
+    static TransportMetrics m{reg.counter("simmpi.msg_count"),
+                              reg.counter("simmpi.bytes_sent"),
+                              reg.counter("simmpi.recv_count"),
+                              reg.counter("simmpi.recv_wait_us"),
+                              reg.counter("simmpi.collectives"),
+                              reg.counter("simmpi.collective_wait_us"),
+                              reg.histogram("simmpi.msg_bytes")};
+    return m;
+  }
+};
+
+}  // namespace
 
 namespace detail {
 
@@ -34,6 +66,12 @@ void Comm::send_bytes(int dst, int tag, std::vector<std::byte> payload) {
   // paid for by the sender, matching what a network counter would report.
   st_->p2p_bytes[cell].fetch_add(payload.size(), std::memory_order_relaxed);
   st_->p2p_msgs[cell].fetch_add(1, std::memory_order_relaxed);
+  if (spio::obs::enabled()) {
+    auto& m = TransportMetrics::get();
+    m.msg_count.add(1);
+    m.bytes_sent.add(payload.size());
+    m.msg_bytes.observe(payload.size());
+  }
 
   if (st_->hooks) {
     switch (st_->hooks->on_send(rank_, dst, tag, payload.size())) {
@@ -72,6 +110,18 @@ void Comm::flush_delayed() {
 
 Message Comm::recv_message(int src, int tag) {
   SPIO_EXPECTS(src == kAnySource || (src >= 0 && src < size()));
+  if (spio::obs::enabled()) {
+    // Wait-time accounting: everything between entry and delivery is
+    // time this rank spent blocked on the transport.
+    const double t0 = spio::obs::now_us();
+    Message m = st_->mailboxes[static_cast<std::size_t>(rank_)].receive(
+        src, tag, *st_->abort);
+    auto& tm = TransportMetrics::get();
+    tm.recv_count.add(1);
+    tm.recv_wait_us.add(
+        static_cast<std::uint64_t>(spio::obs::now_us() - t0));
+    return m;
+  }
   return st_->mailboxes[static_cast<std::size_t>(rank_)].receive(src, tag,
                                                                  *st_->abort);
 }
@@ -90,6 +140,15 @@ void Comm::collective(std::vector<std::byte> contribution,
   // A collective is a delivery horizon for delayed messages: everything
   // stashed must be visible to peers that synchronize with us here.
   if (st_->hooks) flush_delayed();
+  if (spio::obs::enabled()) {
+    const double t0 = spio::obs::now_us();
+    st_->arena.run(rank_, round_++, std::move(contribution), reader);
+    auto& tm = TransportMetrics::get();
+    tm.collectives.add(1);
+    tm.collective_wait_us.add(
+        static_cast<std::uint64_t>(spio::obs::now_us() - t0));
+    return;
+  }
   st_->arena.run(rank_, round_++, std::move(contribution), reader);
 }
 

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace simmpi {
 
 void run(int nranks, const std::function<void(Comm&)>& rank_main) {
@@ -22,6 +24,9 @@ void run(int nranks, const RunOptions& options,
   std::exception_ptr first_failure;
 
   auto rank_body = [&](int rank) {
+    // Tag this thread for the observability layer: spans and counters
+    // recorded anywhere under rank_main attribute to this rank's track.
+    const spio::obs::ThreadRankGuard obs_rank(rank);
     Comm comm(state, rank);
     try {
       rank_main(comm);

@@ -101,6 +101,40 @@ TEST_F(DistributedRead, EachFileOpenedExactlyOnce) {
   EXPECT_GT(restart_opens.load(), opens.load());
 }
 
+TEST_F(DistributedRead, ReadStatsAccountBytesTimesAndAmplification) {
+  constexpr int kReaders = 4;
+  const PatchDecomposition decomp =
+      PatchDecomposition::for_ranks(Box3::unit(), kReaders);
+  const Dataset ds = Dataset::open(dir_->path());
+  const std::uint64_t record = ds.metadata().schema.record_size();
+
+  ReadStats sum;
+  std::mutex mu;
+  simmpi::run(kReaders, [&](simmpi::Comm& comm) {
+    ReadStats rs;
+    const ParticleBuffer mine =
+        distributed_read(comm, decomp, dir_->path(), -1, &rs);
+    // particles_returned counts what this rank owns after the exchange.
+    EXPECT_EQ(rs.particles_returned, mine.size());
+    EXPECT_GE(rs.file_io_seconds, 0.0);
+    EXPECT_GE(rs.exchange_seconds, 0.0);
+    std::lock_guard lk(mu);
+    sum.accumulate(rs);
+  });
+
+  // Each file is opened once and read in full, so the job scans exactly
+  // the dataset and returns every particle: amplification 1.0.
+  EXPECT_EQ(sum.particles_scanned, kTotal);
+  EXPECT_EQ(sum.particles_returned, kTotal);
+  EXPECT_EQ(sum.bytes_read, kTotal * record);
+  EXPECT_DOUBLE_EQ(sum.read_amplification(), 1.0);
+
+  // The job-level reduction sums volumes but maxes times.
+  const ReadStats m = ReadStats::max_over(sum, sum);
+  EXPECT_EQ(m.bytes_read, 2 * sum.bytes_read);
+  EXPECT_DOUBLE_EQ(m.file_io_seconds, sum.file_io_seconds);
+}
+
 TEST_F(DistributedRead, AgreesWithRestartReadPerRank) {
   constexpr int kReaders = 4;
   const PatchDecomposition decomp =

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace spio::obs {
+namespace {
+
+TEST(Json, ParsesPrimitives) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3").as_double(), -2500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": "x"}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue& a = v.at("a");
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.at(std::size_t{0}).as_i64(), 1);
+  EXPECT_TRUE(a.at(std::size_t{2}).at("b").as_bool());
+  EXPECT_EQ(v.at("c").at("d").as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_TRUE(v.contains("c"));
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const JsonValue v = JsonValue::parse(R"("line\nquote\"tab\tback\\")");
+  EXPECT_EQ(v.as_string(), "line\nquote\"tab\tback\\");
+  // Serialization re-escapes: parse(dump(x)) == x.
+  EXPECT_EQ(JsonValue::parse(v.dump()).as_string(), v.as_string());
+}
+
+TEST(Json, UnicodeEscapeDecodesToUtf8) {
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, LargeU64CountersSurviveRoundTrip) {
+  // 2^63 + 9 is not representable as a double; the raw-token path must
+  // carry it through parse -> dump -> parse without precision loss.
+  const std::uint64_t big = (std::uint64_t{1} << 63) + 9;
+  const JsonValue direct = JsonValue::number(big);
+  EXPECT_EQ(direct.as_u64(), big);
+  const JsonValue reparsed = JsonValue::parse(direct.dump());
+  EXPECT_EQ(reparsed.as_u64(), big);
+  const JsonValue again = JsonValue::parse(reparsed.dump());
+  EXPECT_EQ(again.as_u64(), big);
+}
+
+TEST(Json, BuildsDocumentsProgrammatically) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue::string("spio"));
+  doc.set("count", JsonValue::number(std::uint64_t{42}));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue::number(1));
+  arr.push_back(JsonValue::boolean(false));
+  doc.set("items", std::move(arr));
+  doc.set("name", JsonValue::string("spio2"));  // replace, keep order
+
+  const JsonValue back = JsonValue::parse(doc.dump());
+  EXPECT_EQ(back.at("name").as_string(), "spio2");
+  EXPECT_EQ(back.at("count").as_u64(), 42u);
+  EXPECT_EQ(back.at("items").size(), 2u);
+  // Insertion order is preserved through set-replace.
+  EXPECT_EQ(back.members()[0].first, "name");
+}
+
+TEST(Json, PrettyPrintReparsesToSameStructure) {
+  const JsonValue v =
+      JsonValue::parse(R"({"a": [1, 2], "b": {"c": null}})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const JsonValue back = JsonValue::parse(pretty);
+  EXPECT_EQ(back.at("a").size(), 2u);
+  EXPECT_TRUE(back.at("b").at("c").is_null());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), FormatError);
+  EXPECT_THROW(JsonValue::parse("{"), FormatError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), FormatError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1,}"), FormatError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), FormatError);
+  EXPECT_THROW(JsonValue::parse("tru"), FormatError);
+  EXPECT_THROW(JsonValue::parse("1 2"), FormatError);  // trailing garbage
+}
+
+TEST(Json, TypedAccessorsRejectKindMismatch) {
+  const JsonValue num = JsonValue::parse("3");
+  EXPECT_THROW(num.as_string(), FormatError);
+  EXPECT_THROW(num.at("x"), FormatError);
+  const JsonValue obj = JsonValue::parse("{}");
+  EXPECT_THROW(obj.as_double(), FormatError);
+  EXPECT_THROW(obj.at("absent"), FormatError);
+}
+
+}  // namespace
+}  // namespace spio::obs

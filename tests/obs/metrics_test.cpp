@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace spio::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.count");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  // The reference stays valid and addresses the same metric.
+  c.add(7);
+  EXPECT_EQ(reg.counter("t.count").value(), 7u);
+}
+
+TEST(Metrics, SameNameYieldsSameObject) {
+  MetricsRegistry reg;
+  EXPECT_EQ(&reg.counter("a"), &reg.counter("a"));
+  EXPECT_EQ(&reg.gauge("g"), &reg.gauge("g"));
+  EXPECT_EQ(&reg.histogram("h"), &reg.histogram("h"));
+  // Namespaces are per-kind: a counter "x" and a gauge "x" coexist.
+  reg.counter("x").add(1);
+  reg.gauge("x").set(2.5);
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value(), 2.5);
+}
+
+TEST(Metrics, HistogramUsesLog2Buckets) {
+  Histogram h;
+  h.observe(0);     // bucket 0
+  h.observe(1);     // bucket 1: [1, 1]
+  h.observe(2);     // bucket 2: [2, 3]
+  h.observe(3);     // bucket 2
+  h.observe(1024);  // bucket 11: [1024, 2047]
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.bucket(3), 0u);
+
+  EXPECT_EQ(Histogram::bucket_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_bound(11), 2047u);
+  EXPECT_EQ(Histogram::bucket_bound(64), ~std::uint64_t{0});
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Metrics, HistogramCoversTheFullU64Range) {
+  Histogram h;
+  h.observe(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket(64), 1u);
+}
+
+TEST(Metrics, SnapshotCapturesAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("writer.bytes_written").add(1000);
+  reg.gauge("reader.read_amplification").set(1.5);
+  reg.histogram("simmpi.msg_bytes").observe(500);
+  reg.histogram("simmpi.msg_bytes").observe(600);
+
+  const MetricsRegistry::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.count("writer.bytes_written"), 1u);
+  EXPECT_EQ(snap.counters.at("writer.bytes_written"), 1000u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("reader.read_amplification"), 1.5);
+  const auto& h = snap.histograms.at("simmpi.msg_bytes");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 1100u);
+  // Only non-empty buckets appear: 500 lands in [256, 511] (bucket 9),
+  // 600 in [512, 1023] (bucket 10).
+  ASSERT_EQ(h.buckets.size(), 2u);
+  EXPECT_EQ(h.buckets[0].first, 511u);
+  EXPECT_EQ(h.buckets[0].second, 1u);
+  EXPECT_EQ(h.buckets[1].first, 1023u);
+  EXPECT_EQ(h.buckets[1].second, 1u);
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace spio::obs

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/temp_dir.hpp"
+
+namespace spio::obs {
+namespace {
+
+/// Every tracer test runs against the process-wide singleton, so each
+/// starts from a clean, disabled state and leaves one behind.
+class Trace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disable();
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    disable();
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(Trace, DisabledSpansRecordNothing) {
+  const std::size_t before = Tracer::instance().event_count();
+  {
+    ScopedSpan s("t.disabled", "test");
+    ScopedSpan nested("t.disabled.inner", "test");
+  }
+  PhaseSpan p("test");
+  p.begin("t.phase");
+  p.end();
+  Tracer::instance().record_complete("manual", "test", 0, 1);  // bypasses gate
+  EXPECT_EQ(Tracer::instance().event_count(), before + 1);
+}
+
+TEST_F(Trace, ScopedSpanRecordsCompleteEvent) {
+  enable();
+  {
+    ScopedSpan s("t.outer", "test");
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);
+
+  const JsonValue doc = JsonValue::parse(Tracer::instance().chrome_json());
+  const JsonValue& events = doc.at("traceEvents");
+  // thread_name metadata for this thread's track + the span itself.
+  bool found = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.at("ph").as_string() != "X") continue;
+    found = true;
+    EXPECT_EQ(e.at("name").as_string(), "t.outer");
+    EXPECT_EQ(e.at("cat").as_string(), "test");
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+    EXPECT_TRUE(e.contains("pid"));
+    EXPECT_TRUE(e.contains("tid"));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Trace, EndIsIdempotentAndEarly) {
+  enable();
+  ScopedSpan s("t.early", "test");
+  s.end();
+  s.end();
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);
+}
+
+TEST_F(Trace, NestedSpansStayWithinParent) {
+  enable();
+  {
+    ScopedSpan outer("t.outer", "test");
+    {
+      ScopedSpan inner("t.inner", "test");
+    }
+  }
+  const JsonValue doc = JsonValue::parse(Tracer::instance().chrome_json());
+  const JsonValue& events = doc.at("traceEvents");
+  double outer_ts = -1, outer_end = -1, inner_ts = -1, inner_end = -1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.at("ph").as_string() != "X") continue;
+    const double ts = e.at("ts").as_double();
+    const double end = ts + e.at("dur").as_double();
+    if (e.at("name").as_string() == "t.outer") {
+      outer_ts = ts;
+      outer_end = end;
+    } else {
+      inner_ts = ts;
+      inner_end = end;
+    }
+  }
+  ASSERT_GE(outer_ts, 0);
+  ASSERT_GE(inner_ts, 0);
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST_F(Trace, PhaseSpanEmitsBackToBackPhases) {
+  enable();
+  PhaseSpan p("test");
+  p.begin("t.phase_a");
+  p.begin("t.phase_b");  // closes a, opens b
+  p.end();
+  EXPECT_EQ(Tracer::instance().event_count(), 2u);
+}
+
+TEST_F(Trace, InstantEventCarriesArgument) {
+  enable();
+  Tracer::instance().record_instant("t.instant", "test", 12345, "bytes");
+  const JsonValue doc = JsonValue::parse(Tracer::instance().chrome_json());
+  const JsonValue& events = doc.at("traceEvents");
+  bool found = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.at("ph").as_string() != "i") continue;
+    found = true;
+    EXPECT_EQ(e.at("name").as_string(), "t.instant");
+    EXPECT_EQ(e.at("args").at("bytes").as_u64(), 12345u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Trace, RankThreadsGetTheirOwnTracks) {
+  enable();
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([r] {
+      const ThreadRankGuard guard(r);
+      ScopedSpan s("t.ranked", "test");
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const JsonValue doc = JsonValue::parse(Tracer::instance().chrome_json());
+  const JsonValue& events = doc.at("traceEvents");
+  std::set<std::int64_t> span_tids, named_tids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.at("ph").as_string() == "X")
+      span_tids.insert(e.at("tid").as_i64());
+    if (e.at("ph").as_string() == "M" &&
+        e.at("name").as_string() == "thread_name")
+      named_tids.insert(e.at("tid").as_i64());
+  }
+  EXPECT_EQ(span_tids, (std::set<std::int64_t>{0, 1, 2}));
+  // Every rank track is named for the trace viewer.
+  for (const auto tid : span_tids) EXPECT_EQ(named_tids.count(tid), 1u);
+}
+
+TEST_F(Trace, WriteChromeTraceProducesLoadableFile) {
+  enable();
+  {
+    ScopedSpan s("t.file", "test");
+  }
+  TempDir dir("spio-trace");
+  const auto path = dir.path() / "trace.json";
+  Tracer::instance().write_chrome_trace(path);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(ss.str());
+  EXPECT_TRUE(doc.at("traceEvents").is_array());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+}
+
+TEST_F(Trace, ClearDropsEverything) {
+  enable();
+  {
+    ScopedSpan s("t.clearme", "test");
+  }
+  EXPECT_GT(Tracer::instance().event_count(), 0u);
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace spio::obs

@@ -1,0 +1,74 @@
+/// \file obs_overhead_test.cpp
+/// Perf floor (ctest label `perf`) for the observability subsystem's
+/// disabled path: an instrumentation site that is off must cost about
+/// one relaxed atomic load — nanoseconds, not microseconds — so spans
+/// can live on hot paths (per-message transport, per-file reads) without
+/// a recompile-time switch. The bar is generous for loaded CI boxes;
+/// a regression here means someone put work ahead of the enabled() gate.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace spio {
+namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double best_seconds(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) best = std::min(best, seconds_of(fn));
+  return best;
+}
+
+TEST(ObsOverhead, DisabledSpansAreNanosecondCheap) {
+  obs::disable();
+  obs::Tracer::instance().clear();
+
+  constexpr int kIters = 1000000;
+  const double s = best_seconds(3, [&] {
+    for (int i = 0; i < kIters; ++i) {
+      obs::ScopedSpan span("perf.noop", "perf");
+    }
+  });
+  // Nothing may have been recorded while disabled.
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 0u);
+
+  const double ns_per_span = s / kIters * 1e9;
+  EXPECT_LE(ns_per_span, 200.0)
+      << "a disabled span costs " << ns_per_span
+      << " ns; the enabled() gate should keep it at a handful";
+}
+
+TEST(ObsOverhead, CachedCounterAddStaysCheapWhileEnabled) {
+  obs::enable();
+  auto& c = obs::MetricsRegistry::global().counter("perf.overhead_probe");
+  c.reset();
+
+  constexpr int kIters = 1000000;
+  const double s = best_seconds(3, [&] {
+    for (int i = 0; i < kIters; ++i) c.add(1);
+  });
+  EXPECT_GE(c.value(), static_cast<std::uint64_t>(kIters));
+
+  const double ns_per_add = s / kIters * 1e9;
+  EXPECT_LE(ns_per_add, 100.0)
+      << "a cached counter add costs " << ns_per_add
+      << " ns; it should be one relaxed fetch_add";
+
+  obs::disable();
+  c.reset();
+}
+
+}  // namespace
+}  // namespace spio

@@ -17,7 +17,11 @@
 /// Usage:
 ///   spio_bench [--ranks N] [--particles P] [--reps R] [--dir path]
 ///              [--factors f1,f2,...]   (factors like 2x2x1)
-///              [--json FILE] [--hotpath]
+///              [--json FILE] [--hotpath] [--trace FILE]
+///
+/// `--trace FILE` turns on the observability layer for the whole run and
+/// writes the merged Chrome trace-event JSON (chrome://tracing, Perfetto)
+/// to FILE on exit; `spio_trace FILE` renders it as a phase table.
 
 #include <atomic>
 #include <chrono>
@@ -29,6 +33,8 @@
 
 #include "core/reader.hpp"
 #include "core/writer.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "simmpi/runtime.hpp"
 #include "util/checksum.hpp"
 #include "util/rng.hpp"
@@ -330,6 +336,7 @@ int main(int argc, char** argv) {
   int reps = 3;
   std::filesystem::path base;
   std::string json_path;
+  std::filesystem::path trace_path;
   bool hotpath = false;
   std::vector<PartitionFactor> factors = {
       {1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {4, 2, 2}};
@@ -349,6 +356,7 @@ int main(int argc, char** argv) {
     else if (arg == "--dir") base = next();
     else if (arg == "--json") json_path = next();
     else if (arg == "--hotpath") hotpath = true;
+    else if (arg == "--trace") trace_path = next();
     else if (arg == "--factors") {
       factors.clear();
       std::stringstream ss(next());
@@ -364,7 +372,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: spio_bench [--ranks N] [--particles P] "
                    "[--reps R] [--dir path] [--factors f1,f2,...] "
-                   "[--json FILE] [--hotpath]\n";
+                   "[--json FILE] [--hotpath] [--trace FILE]\n";
       return 2;
     }
   }
@@ -373,7 +381,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (hotpath) return run_hotpath(json_path, reps);
+  if (!trace_path.empty()) obs::enable();
+  const auto flush_trace = [&] {
+    if (trace_path.empty()) return;
+    obs::Tracer::instance().write_chrome_trace(trace_path);
+    std::cout << "trace written to " << trace_path.string() << "\n";
+  };
+
+  if (hotpath) {
+    const int rc = run_hotpath(json_path, reps);
+    flush_trace();
+    return rc;
+  }
 
   TempDir scratch("spio-bench");
   const std::filesystem::path work = base.empty() ? scratch.path() : base;
@@ -498,5 +517,6 @@ int main(int argc, char** argv) {
   j.close_arr();
   j.close_obj();
   if (!json_path.empty()) write_json(json_path, j.str());
+  flush_trace();
   return 0;
 }

@@ -10,6 +10,7 @@
 ///   --repair  finalize a stale write journal, or delete the artifacts of
 ///             an interrupted write so the directory can be rewritten
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 
@@ -17,6 +18,7 @@
 #include "core/reader.hpp"
 #include "core/timeseries.hpp"
 #include "core/validate.hpp"
+#include "obs/run_record.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -34,6 +36,58 @@ const char* heuristic_name(LodHeuristic h) {
       return "stratified";
   }
   return "?";
+}
+
+/// Pretty-print `trace.spio.json` when the dataset carries one. Phase
+/// columns report the max over ranks (the job-critical path, the view the
+/// paper's Fig. 6 plots).
+void print_run_record(const std::filesystem::path& dir) {
+  if (!obs::run_record_present(dir)) return;
+  try {
+    const obs::JsonValue rec = obs::load_run_record(dir);
+    std::cout << "  run record: " << obs::kRunRecordFile << "\n";
+    const auto max_phase = [](const obs::JsonValue& phases,
+                              const char* key) {
+      double m = 0;
+      for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (const obs::JsonValue* v = phases.at(i).find(key))
+          m = std::max(m, v->as_double());
+      }
+      return m;
+    };
+    if (const obs::JsonValue* w = rec.find("write")) {
+      const obs::JsonValue& totals = w->at("totals");
+      std::cout << "    write: " << w->at("ranks").as_i64() << " ranks, "
+                << totals.at("files_written").as_u64() << " files, "
+                << format_bytes(totals.at("bytes_written").as_u64())
+                << " written, factor "
+                << w->at("config").at("factor").as_string() << "\n"
+                << "      max phase seconds: setup="
+                << max_phase(w->at("phase_seconds"), "setup")
+                << " meta_exchange="
+                << max_phase(w->at("phase_seconds"), "meta_exchange")
+                << " particle_exchange="
+                << max_phase(w->at("phase_seconds"), "particle_exchange")
+                << " reorder=" << max_phase(w->at("phase_seconds"), "reorder")
+                << " file_io=" << max_phase(w->at("phase_seconds"), "file_io")
+                << " metadata_io="
+                << max_phase(w->at("phase_seconds"), "metadata_io") << "\n";
+    }
+    if (const obs::JsonValue* r = rec.find("read")) {
+      const obs::JsonValue& totals = r->at("totals");
+      std::cout << "    read : " << r->at("ranks").as_i64() << " ranks, "
+                << totals.at("files_opened").as_u64() << " files, "
+                << format_bytes(totals.at("bytes_read").as_u64())
+                << " read, amplification "
+                << totals.at("read_amplification").as_double() << "\n"
+                << "      max phase seconds: file_io="
+                << max_phase(r->at("phase_seconds"), "file_io")
+                << " exchange="
+                << max_phase(r->at("phase_seconds"), "exchange") << "\n";
+    }
+  } catch (const Error& e) {
+    std::cout << "  run record: unreadable (" << e.what() << ")\n";
+  }
 }
 
 int inspect_dataset(const std::filesystem::path& dir, bool deep,
@@ -63,6 +117,7 @@ int inspect_dataset(const std::filesystem::path& dir, bool deep,
               << (f.type == FieldType::kF64 ? "f64" : "f32") << " x"
               << f.components << "\n";
   }
+  print_run_record(dir);
 
   Table t("files", {"file", "particles", "bytes", "bounds"});
   const std::size_t limit = all_files ? m.files.size()

@@ -1,0 +1,285 @@
+/// \file spio_trace.cpp
+/// Render and validate spio observability artifacts.
+///
+/// Usage:
+///   spio_trace <trace.json>    [--check] [--csv]
+///   spio_trace <dataset-dir>   [--csv]
+///
+/// Given a Chrome trace-event JSON file (from `spio_bench --trace` or
+/// `SPIO_TRACE=path`), prints a Fig. 6-style per-rank, per-phase
+/// breakdown of the write pipeline plus a span summary. Given a dataset
+/// directory holding a `trace.spio.json` run record, prints the record's
+/// phase tables instead.
+///
+/// `--check` validates the trace structurally — the document parses, the
+/// `traceEvents` array is well-formed, spans nest properly within each
+/// rank track — and exits non-zero on any violation (used by
+/// `bench/run_hotpath.sh` as a CI gate).
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/run_record.hpp"
+#include "util/serialize.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace spio;
+
+namespace {
+
+struct Span {
+  std::string name;
+  std::string cat;
+  double ts = 0;
+  double dur = 0;
+  int tid = 0;
+};
+
+constexpr const char* kWritePhases[] = {
+    "write.setup",       "write.meta_exchange", "write.particle_exchange",
+    "write.reorder",     "write.file_io",       "write.metadata_io",
+};
+
+/// Extract the complete ("X") spans of a Chrome trace document.
+std::vector<Span> complete_spans(const obs::JsonValue& doc) {
+  std::vector<Span> out;
+  const obs::JsonValue& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::JsonValue& e = events.at(i);
+    if (e.at("ph").as_string() != "X") continue;
+    Span s;
+    s.name = e.at("name").as_string();
+    if (const obs::JsonValue* c = e.find("cat")) s.cat = c->as_string();
+    s.ts = e.at("ts").as_double();
+    s.dur = e.at("dur").as_double();
+    if (const obs::JsonValue* t = e.find("tid")) s.tid = int(t->as_i64());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Structural validation: every event carries the required keys, and the
+/// complete spans of each rank track either nest or are disjoint (the
+/// shape Perfetto needs to build a flame graph).
+int check_trace(const obs::JsonValue& doc) {
+  int problems = 0;
+  const auto complain = [&](const std::string& what) {
+    std::cerr << "check: " << what << "\n";
+    ++problems;
+  };
+  const obs::JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is_array()) {
+    complain("document has no traceEvents array");
+    return 1;
+  }
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const obs::JsonValue& e = events->at(i);
+    if (!e.is_object() || !e.contains("ph") || !e.contains("name")) {
+      complain("event " + std::to_string(i) + " lacks ph/name");
+      continue;
+    }
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "X" && (!e.contains("ts") || !e.contains("dur")))
+      complain("complete event " + std::to_string(i) + " lacks ts/dur");
+    if (ph == "i" && !e.contains("ts"))
+      complain("instant event " + std::to_string(i) + " lacks ts");
+  }
+
+  // Nesting check per track: with spans sorted by begin time, an open
+  // interval must fully contain any span starting inside it.
+  std::map<int, std::vector<Span>> tracks;
+  for (Span& s : complete_spans(doc)) tracks[s.tid].push_back(std::move(s));
+  for (auto& [tid, spans] : tracks) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const Span& a, const Span& b) { return a.ts < b.ts; });
+    std::vector<const Span*> open;
+    for (const Span& s : spans) {
+      while (!open.empty() && s.ts >= open.back()->ts + open.back()->dur)
+        open.pop_back();
+      // Tolerate timer granularity: a child may end a hair after its
+      // parent's recorded end.
+      if (!open.empty() &&
+          s.ts + s.dur > open.back()->ts + open.back()->dur + 1.0) {
+        complain("span '" + s.name + "' on rank " + std::to_string(tid) +
+                 " overlaps '" + open.back()->name + "' without nesting");
+      }
+      open.push_back(&s);
+    }
+  }
+  if (problems == 0) std::cout << "trace OK\n";
+  return problems == 0 ? 0 : 1;
+}
+
+/// The Fig. 6-style view: per-rank seconds in each write phase (summed
+/// over possibly several writes in the trace), plus an aggregation/IO
+/// split, and the symmetric read table when read spans are present.
+void render_trace(const obs::JsonValue& doc, bool csv) {
+  const std::vector<Span> spans = complete_spans(doc);
+
+  // name -> tid -> total microseconds.
+  std::map<std::string, std::map<int, double>> by_name;
+  std::map<std::string, std::pair<std::uint64_t, double>> summary;
+  for (const Span& s : spans) {
+    by_name[s.name][s.tid] += s.dur;
+    auto& [count, total] = summary[s.name];
+    ++count;
+    total += s.dur;
+  }
+
+  const auto ranks_of = [&](const char* const* names, std::size_t n) {
+    std::vector<int> ranks;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = by_name.find(names[i]);
+      if (it == by_name.end()) continue;
+      for (const auto& [tid, _] : it->second)
+        if (std::find(ranks.begin(), ranks.end(), tid) == ranks.end())
+          ranks.push_back(tid);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    return ranks;
+  };
+
+  const std::vector<int> wranks =
+      ranks_of(kWritePhases, std::size(kWritePhases));
+  if (!wranks.empty()) {
+    Table t("write pipeline (ms per rank, Fig. 6 breakdown)",
+            {"rank", "setup", "meta_exch", "particle_exch", "reorder",
+             "file_io", "metadata_io", "aggregation %"});
+    for (const int r : wranks) {
+      double phase_ms[std::size(kWritePhases)] = {};
+      double total = 0;
+      for (std::size_t p = 0; p < std::size(kWritePhases); ++p) {
+        const auto it = by_name.find(kWritePhases[p]);
+        if (it == by_name.end()) continue;
+        const auto rt = it->second.find(r);
+        if (rt == it->second.end()) continue;
+        phase_ms[p] = rt->second / 1e3;
+        total += phase_ms[p];
+      }
+      const double agg =
+          phase_ms[0] + phase_ms[1] + phase_ms[2] + phase_ms[3];
+      t.row().add_int(r);
+      for (const double ms : phase_ms) t.add_double(ms, 2);
+      t.add_double(total > 0 ? 100.0 * agg / total : 0.0, 1);
+    }
+    csv ? t.print_csv(std::cout) : t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  Table s("span summary", {"span", "count", "total ms", "mean us"});
+  for (const auto& [name, ct] : summary) {
+    s.row()
+        .add(name)
+        .add_int(static_cast<long long>(ct.first))
+        .add_double(ct.second / 1e3, 2)
+        .add_double(ct.second / static_cast<double>(ct.first), 1);
+  }
+  csv ? s.print_csv(std::cout) : s.print(std::cout);
+}
+
+/// Render a dataset's `trace.spio.json` run record.
+void render_record(const std::filesystem::path& dir, bool csv) {
+  const obs::JsonValue rec = obs::load_run_record(dir);
+  const auto print = [&](Table& t) {
+    csv ? t.print_csv(std::cout) : t.print(std::cout);
+    std::cout << "\n";
+  };
+  if (const obs::JsonValue* w = rec.find("write")) {
+    Table t("write phases (seconds per rank)",
+            {"rank", "setup", "meta_exch", "particle_exch", "reorder",
+             "file_io", "metadata_io"});
+    const obs::JsonValue& phases = w->at("phase_seconds");
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const obs::JsonValue& p = phases.at(i);
+      t.row()
+          .add_int(p.at("rank").as_i64())
+          .add_double(p.at("setup").as_double(), 4)
+          .add_double(p.at("meta_exchange").as_double(), 4)
+          .add_double(p.at("particle_exchange").as_double(), 4)
+          .add_double(p.at("reorder").as_double(), 4)
+          .add_double(p.at("file_io").as_double(), 4)
+          .add_double(p.at("metadata_io").as_double(), 4);
+    }
+    print(t);
+    const obs::JsonValue& totals = w->at("totals");
+    std::cout << "write totals: "
+              << totals.at("particles_written").as_u64() << " particles, "
+              << format_bytes(totals.at("bytes_written").as_u64()) << " in "
+              << totals.at("files_written").as_u64() << " files, "
+              << format_bytes(totals.at("bytes_sent").as_u64())
+              << " exchanged\n\n";
+  }
+  if (const obs::JsonValue* r = rec.find("read")) {
+    Table t("read phases (seconds per rank)",
+            {"rank", "file_io", "exchange"});
+    const obs::JsonValue& phases = r->at("phase_seconds");
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const obs::JsonValue& p = phases.at(i);
+      t.row()
+          .add_int(p.at("rank").as_i64())
+          .add_double(p.at("file_io").as_double(), 4)
+          .add_double(p.at("exchange").as_double(), 4);
+    }
+    print(t);
+    const obs::JsonValue& totals = r->at("totals");
+    std::cout << "read totals: " << totals.at("files_opened").as_u64()
+              << " files, " << format_bytes(totals.at("bytes_read").as_u64())
+              << " read, amplification "
+              << totals.at("read_amplification").as_double() << "\n";
+  }
+  if (!rec.contains("write") && !rec.contains("read"))
+    std::cout << "run record holds no write or read section\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: spio_trace <trace.json | dataset-dir> "
+                 "[--check] [--csv]\n";
+    return 2;
+  }
+  std::filesystem::path target;
+  bool check = false, csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+    else if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    else if (target.empty() && argv[i][0] != '-') target = argv[i];
+    else {
+      std::cerr << "unknown option: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (target.empty()) {
+    std::cerr << "usage: spio_trace <trace.json | dataset-dir> "
+                 "[--check] [--csv]\n";
+    return 2;
+  }
+
+  try {
+    if (std::filesystem::is_directory(target)) {
+      if (!obs::run_record_present(target)) {
+        std::cerr << "no " << obs::kRunRecordFile << " in '"
+                  << target.string() << "' (write with tracing enabled)\n";
+        return 1;
+      }
+      render_record(target, csv);
+      return 0;
+    }
+    const std::vector<std::byte> bytes = read_file(target);
+    const obs::JsonValue doc = obs::JsonValue::parse(
+        std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size()));
+    if (check) return check_trace(doc);
+    render_trace(doc, csv);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
