@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
 #include "simmpi/runtime.hpp"
@@ -61,6 +62,7 @@ Layout run_case(double concentration, bool refine) {
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   Table t("Ablation: adaptive grid refinement (16 ranks, skewed "
           "distributions)",
           {"skew", "scheme", "files", "largest file", "smallest file",

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <mutex>
 
+#include "bench_env.hpp"
 #include "core/writer.hpp"
 #include "simmpi/runtime.hpp"
 #include "util/table.hpp"
@@ -19,6 +20,7 @@
 using namespace spio;
 
 int main() {
+  spio::bench::init_observability();
   constexpr int kRanks = 16;
   const PatchDecomposition decomp(Box3::unit(), {4, 2, 2});
 

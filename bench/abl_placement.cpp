@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "iosim/event_sim.hpp"
 #include "iosim/machine_profile.hpp"
 #include "util/table.hpp"
@@ -44,6 +45,7 @@ double storage_time_with_placement(const MachineProfile& m, int nprocs,
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   const auto mira = MachineProfile::mira();
   const std::uint64_t bytes_per_proc = 32768ull * 124;
 

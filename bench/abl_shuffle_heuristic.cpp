@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/lod.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -39,6 +40,7 @@ std::vector<double> density(const ParticleBuffer& buf, std::size_t count,
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   const Box3 box = Box3::unit();
   constexpr std::size_t kN = 200000;
 

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file bench_env.hpp
+/// Observability plumbing shared by the figure/ablation binaries.
+///
+/// Calling `spio::bench::init_observability()` first thing in main()
+/// honors the standard environment switches (docs/OBSERVABILITY.md):
+///
+///   SPIO_TRACE=path   collect spans and flush a Chrome trace at exit
+///   SPIO_LOG=level[:path]  structured logging to stderr or a file
+///
+/// The always-on flight recorder needs no opt-in; SPIO_FLIGHT=off
+/// disables it. Explicit initialization keeps the benchmarks working
+/// even if a linker drops the obs layer's self-registering translation
+/// units from a static archive.
+
+#include "obs/obs.hpp"
+
+namespace spio::bench {
+
+inline void init_observability() { obs::init_from_env(); }
+
+}  // namespace spio::bench

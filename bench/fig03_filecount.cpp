@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_env.hpp"
 #include "core/partition_factor.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -12,6 +13,7 @@
 using namespace spio;
 
 int main() {
+  spio::bench::init_observability();
   {
     // Fig. 3: 16 processes on a 4x4 grid (2D; z = 1).
     Table t("Figure 3: aggregation configurations for a 4x4 process grid",

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "iosim/write_model.hpp"
 #include "util/table.hpp"
 
@@ -61,6 +62,7 @@ void panel(const MachineProfile& machine, std::uint64_t ppc,
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   // The paper sweeps the full factor list on Theta and a reduced list on
   // Mira ("we reduced the number of experiments performed on Mira").
   const std::vector<PartitionFactor> mira_factors = {

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "iosim/write_model.hpp"
 #include "util/table.hpp"
 
@@ -43,6 +44,7 @@ void panel(const MachineProfile& machine, std::uint64_t ppc,
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   const std::vector<PartitionFactor> mira_factors = {
       {1, 1, 1}, {2, 2, 2}, {2, 2, 4}, {2, 4, 4}};
   const std::vector<PartitionFactor> theta_factors = {

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
 #include "iosim/read_model.hpp"
@@ -121,6 +122,7 @@ void functional_panel() {
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   model_panel(MachineProfile::theta(), {64, 128, 256, 512, 1024, 2048});
   model_panel(MachineProfile::ssd_workstation(), {1, 2, 4, 8, 16, 32, 64});
   functional_panel();

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
 #include "iosim/read_model.hpp"
@@ -96,6 +97,7 @@ void functional_panel() {
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   model_panel(MachineProfile::theta());
   model_panel(MachineProfile::ssd_workstation());
   functional_panel();

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/density.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
@@ -64,6 +65,7 @@ void ascii_render(const ParticleBuffer& buf, const Box3& domain,
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   // Coal-jet style injection workload, written with LOD ordering.
   constexpr int kRanks = 32;
   constexpr std::uint64_t kPerRank = 20000;

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
 #include "iosim/write_model.hpp"
@@ -110,6 +111,7 @@ void functional_panel() {
 }  // namespace
 
 int main() {
+  spio::bench::init_observability();
   model_panel(MachineProfile::mira());
   model_panel(MachineProfile::theta());
   functional_panel();

@@ -9,9 +9,14 @@
 # Run from the repository root on an otherwise idle machine. The JSON is
 # written to the repository root; commit it when refreshing the baseline.
 #
-# The 8-rank stage run also emits a Chrome trace which is structurally
-# validated with `spio_trace --check` — a smoke test that the tracing
-# subsystem survives a real pipeline run (see docs/OBSERVABILITY.md).
+# Three observability gates ride along (docs/OBSERVABILITY.md):
+#   - the fresh results are compared against the committed baseline with
+#     `spio_bench --compare`; any stage MB/s or micro-kernel speedup more
+#     than 15% below BENCH_hotpath.json fails the script,
+#   - the 8-rank stage run also emits a Chrome trace which is validated
+#     with `spio_trace --check`,
+#   - the flight recorder dumps a postmortem smoke bundle which is
+#     validated with `spio_trace --check` as well.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -26,12 +31,26 @@ if [ ! -x "$BENCH" ]; then
   exit 1
 fi
 
+BASELINE="$REPO_ROOT/BENCH_hotpath.json"
 TRACE_JSON="$REPO_ROOT/$BUILD_DIR/hotpath_trace.json"
-"$BENCH" --hotpath --reps "$REPS" --json "$REPO_ROOT/BENCH_hotpath.json" \
-  --trace "$TRACE_JSON"
+BUNDLE_DIR="$REPO_ROOT/$BUILD_DIR"
+
+# Gate against the committed baseline when one exists; the same
+# invocation rewrites it (the baseline is read before the overwrite).
+COMPARE_ARGS=""
+if [ -f "$BASELINE" ]; then
+  COMPARE_ARGS="--compare $BASELINE"
+else
+  echo "no committed baseline at $BASELINE; generating without the gate" >&2
+fi
+
+# shellcheck disable=SC2086  # COMPARE_ARGS is intentionally word-split
+"$BENCH" --hotpath --reps "$REPS" --json "$BASELINE" $COMPARE_ARGS \
+  --trace "$TRACE_JSON" --dump-postmortem "$BUNDLE_DIR"
 
 if [ -x "$TRACE_TOOL" ]; then
   "$TRACE_TOOL" --check "$TRACE_JSON"
+  "$TRACE_TOOL" --check "$BUNDLE_DIR/postmortem.spio.json"
 else
-  echo "warning: $TRACE_TOOL not built; skipping trace validation" >&2
+  echo "warning: $TRACE_TOOL not built; skipping artifact validation" >&2
 fi

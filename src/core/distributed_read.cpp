@@ -3,7 +3,9 @@
 #include <chrono>
 #include <type_traits>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/run_record.hpp"
 #include "obs/trace.hpp"
 
@@ -41,6 +43,7 @@ ParticleBuffer distributed_read(simmpi::Comm& comm,
   // collection state and agrees on the record-emission gather below.
   const bool record_run = obs::run_records_enabled();
   obs::ScopedSpan whole_span("read.distributed", "reader");
+  try {
   const Dataset ds = Dataset::open(dir);
   SPIO_CHECK(decomp.domain().contains_box(ds.metadata().domain), ConfigError,
              "reader domain " << decomp.domain()
@@ -124,6 +127,27 @@ ParticleBuffer distributed_read(simmpi::Comm& comm,
     }
   }
   return mine;
+  } catch (const simmpi::Aborted&) {
+    // Secondary casualty: the rank that actually failed owns the bundle.
+    throw;
+  } catch (const std::exception& e) {
+    // Covers the journal-trigger path too: an incomplete dataset makes
+    // `Dataset::open` refuse, and the bundle explains the refusal.
+    obs::log::Event(obs::log::Level::kError, "read.failed")
+        .kv("rank", comm.rank())
+        .kv("dir", dir.string())
+        .kv("reason", e.what());
+    std::error_code ec;
+    if (std::filesystem::is_directory(dir, ec)) {
+      obs::PostmortemInfo info;
+      info.reason = e.what();
+      info.failed_rank = comm.rank();
+      info.phase = "read";
+      info.job_ranks = comm.size();
+      obs::save_postmortem(dir, info);
+    }
+    throw;
+  }
 }
 
 }  // namespace spio

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "core/metadata.hpp"
+#include "obs/log.hpp"
+#include "obs/postmortem.hpp"
 #include "util/serialize.hpp"
 
 namespace spio {
@@ -39,9 +41,12 @@ void WriteJournal::begin(const std::filesystem::path& dir) {
   write_file(dir / kFileName, w.bytes());
   // Only after the journal is durable may the previous commit be
   // invalidated — a crash in between must read as "incomplete", never as
-  // "the old dataset is still whole".
+  // "the old dataset is still whole". A stale postmortem bundle belongs
+  // to the previous failed attempt; a fresh write restarts the
+  // directory's failure history.
   remove_if_exists(dir / DatasetMetadata::kFileName);
   remove_if_exists(dir / ChecksumTable::kFileName);
+  remove_if_exists(dir / obs::kPostmortemFile);
 }
 
 void WriteJournal::commit(const std::filesystem::path& dir) {
@@ -113,16 +118,39 @@ RepairOutcome check_and_repair(const std::filesystem::path& dir,
   } catch (const Error&) {
     complete = false;
   }
+  const auto log_outcome = [&](const char* outcome) {
+    obs::log::Event(obs::log::Level::kInfo, "journal.repair")
+        .kv("dir", dir.string())
+        .kv("outcome", outcome);
+  };
   if (complete) {
     WriteJournal::commit(dir);
+    log_outcome("finalized_journal");
     return RepairOutcome::kFinalizedJournal;
   }
-  if (!remove_partial) return RepairOutcome::kIncomplete;
+  if (!remove_partial) {
+    // An incomplete dataset left standing should explain itself: when
+    // the failing write could not dump a bundle (hard process crash),
+    // lay one down now from this process's flight rings. A bundle the
+    // writer already produced carries more context — keep it.
+    if (!obs::postmortem_present(dir)) {
+      obs::PostmortemInfo info;
+      info.reason =
+          "incomplete dataset detected by check_and_repair (journal "
+          "present, metadata or data files missing)";
+      info.phase = "repair";
+      obs::save_postmortem(dir, info);
+    }
+    log_outcome("incomplete");
+    return RepairOutcome::kIncomplete;
+  }
 
-  // Clear out every artifact the writer could have produced, leaving the
+  // Clear out every artifact the writer could have produced — the
+  // postmortem bundle of the failed attempt included — leaving the
   // journal's removal for last so an interrupted repair stays detectable.
   remove_if_exists(dir / DatasetMetadata::kFileName);
   remove_if_exists(dir / ChecksumTable::kFileName);
+  remove_if_exists(dir / obs::kPostmortemFile);
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
@@ -133,6 +161,7 @@ RepairOutcome check_and_repair(const std::filesystem::path& dir,
   SPIO_CHECK(!ec, IoError,
              "cannot scan '" << dir.string() << "': " << ec.message());
   remove_if_exists(dir / WriteJournal::kFileName);
+  log_outcome("removed_partial");
   return RepairOutcome::kRemovedPartial;
 }
 

@@ -12,7 +12,9 @@
 #include "core/metadata.hpp"
 #include "faultsim/checked_io.hpp"
 #include "faultsim/fault_plan.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/run_record.hpp"
 #include "obs/trace.hpp"
 #include "simmpi/reduce_ops.hpp"
@@ -141,6 +143,97 @@ double load_component(const std::byte* p, bool f64) {
   float v;
   std::memcpy(&v, p, sizeof(float));
   return static_cast<double>(v);
+}
+
+/// The failing rank's partial stats for the postmortem bundle: whatever
+/// phases completed keep their timings, everything after the failure
+/// point reads zero.
+obs::JsonValue write_stats_to_json(const WriteStats& s) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("setup_seconds", obs::JsonValue::number(s.setup_seconds));
+  out.set("meta_exchange_seconds",
+          obs::JsonValue::number(s.meta_exchange_seconds));
+  out.set("particle_exchange_seconds",
+          obs::JsonValue::number(s.particle_exchange_seconds));
+  out.set("reorder_seconds", obs::JsonValue::number(s.reorder_seconds));
+  out.set("file_io_seconds", obs::JsonValue::number(s.file_io_seconds));
+  out.set("metadata_io_seconds",
+          obs::JsonValue::number(s.metadata_io_seconds));
+  out.set("particles_sent", obs::JsonValue::number(s.particles_sent));
+  out.set("bytes_sent", obs::JsonValue::number(s.bytes_sent));
+  out.set("particles_written", obs::JsonValue::number(s.particles_written));
+  out.set("bytes_written", obs::JsonValue::number(s.bytes_written));
+  out.set("files_written",
+          obs::JsonValue::number(std::int64_t{s.files_written}));
+  out.set("partition_count",
+          obs::JsonValue::number(std::int64_t{s.partition_count}));
+  out.set("was_aggregator", obs::JsonValue::boolean(s.was_aggregator));
+  return out;
+}
+
+/// Echo of the *immutable* fault plan. The injector's per-rank event log
+/// is deliberately not read here: other ranks may still be appending to
+/// it when one rank fails (it is only aggregatable after the job joins);
+/// the flight recorder's kFault records carry the fired injections.
+obs::JsonValue fault_plan_to_json(const faultsim::FaultPlan& plan) {
+  using obs::JsonValue;
+  JsonValue out = JsonValue::object();
+  JsonValue messages = JsonValue::array();
+  for (const faultsim::MessageRule& r : plan.messages) {
+    JsonValue m = JsonValue::object();
+    m.set("action",
+          JsonValue::string(faultsim::send_action_name(r.action)));
+    m.set("tag", JsonValue::number(std::int64_t{r.tag}));
+    m.set("src", JsonValue::number(std::int64_t{r.src}));
+    m.set("dst", JsonValue::number(std::int64_t{r.dst}));
+    m.set("after", JsonValue::number(std::int64_t{r.after}));
+    m.set("count", JsonValue::number(std::int64_t{r.count}));
+    messages.push_back(std::move(m));
+  }
+  out.set("messages", std::move(messages));
+  JsonValue files = JsonValue::array();
+  for (const faultsim::FileRule& r : plan.files) {
+    JsonValue f = JsonValue::object();
+    f.set("kind", JsonValue::string(faultsim::file_fault_name(r.kind)));
+    f.set("rank", JsonValue::number(std::int64_t{r.rank}));
+    f.set("path_contains", JsonValue::string(r.path_contains));
+    f.set("after", JsonValue::number(std::int64_t{r.after}));
+    f.set("count", JsonValue::number(std::int64_t{r.count}));
+    files.push_back(std::move(f));
+  }
+  out.set("files", std::move(files));
+  JsonValue deaths = JsonValue::array();
+  for (const faultsim::DeathRule& d : plan.deaths) {
+    JsonValue dd = JsonValue::object();
+    dd.set("rank", JsonValue::number(std::int64_t{d.rank}));
+    dd.set("phase", JsonValue::string(faultsim::phase_name(d.phase)));
+    deaths.push_back(std::move(dd));
+  }
+  out.set("deaths", std::move(deaths));
+  return out;
+}
+
+void dump_write_postmortem(const WriterConfig& config, const WriteStats& stats,
+                           int job_ranks, int rank,
+                           faultsim::WritePhase phase, const char* reason) {
+  obs::PostmortemInfo info;
+  info.reason = reason;
+  info.failed_rank = rank;
+  info.phase = std::string(faultsim::phase_name(phase));
+  info.job_ranks = job_ranks;
+  info.sections.emplace_back("write_stats", write_stats_to_json(stats));
+  obs::JsonValue cfg = obs::JsonValue::object();
+  for (const auto& [k, v] : config_echo(config))
+    cfg.set(k, obs::JsonValue::string(v));
+  info.sections.emplace_back("config", std::move(cfg));
+  if (config.faults)
+    info.sections.emplace_back("fault_plan",
+                               fault_plan_to_json(config.faults->plan()));
+  obs::log::Event(obs::log::Level::kError, "write.failed")
+      .kv("rank", rank)
+      .kv("phase", info.phase)
+      .kv("reason", reason);
+  obs::save_postmortem(config.dir, info);
 }
 
 }  // namespace
@@ -318,22 +411,15 @@ WriteStats WriteStats::max_over(const WriteStats& a, const WriteStats& b) {
   return m;
 }
 
-WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
-                         const ParticleBuffer& local,
-                         const WriterConfig& config) {
-  SPIO_CHECK(!config.dir.empty(), ConfigError,
-             "WriterConfig.dir must be set");
-  SPIO_CHECK(config.factor.valid(), ConfigError,
-             "invalid partition factor " << config.factor.to_string());
-  SPIO_CHECK(config.lod.valid(), ConfigError,
-             "invalid LOD parameters P=" << config.lod.P
-                                         << " S=" << config.lod.S);
-  SPIO_CHECK(comm.size() == decomp.rank_count(), ConfigError,
-             "decomposition has " << decomp.rank_count()
-                                  << " patches for a job of " << comm.size()
-                                  << " ranks");
+namespace {
 
-  WriteStats stats;
+/// The write pipeline proper. `stats` and `cur_phase` live in the caller
+/// so the postmortem wrapper below can bundle the partial stats and the
+/// phase the failing rank was in.
+void write_dataset_impl(simmpi::Comm& comm, const PatchDecomposition& decomp,
+                        const ParticleBuffer& local,
+                        const WriterConfig& config, WriteStats& stats,
+                        faultsim::WritePhase& cur_phase) {
   const int rank = comm.rank();
 
   // simmpi ranks are threads of one process, so every rank observes the
@@ -355,13 +441,19 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
     if (config.journal) WriteJournal::begin(config.dir);
   }
   comm.barrier();
+  // Fatal-signal black box: if the process dies mid-write, the installed
+  // crash handler (when any) dumps the flight rings next to this dataset.
+  obs::set_crash_dump_dir(config.dir);
 
   // Fault-injection plumbing: phase announcements (scripted rank death)
   // and the acknowledged exchange that recovers dropped, duplicated and
   // delayed messages. Without an injector both collapse to the plain
   // protocol.
-  const auto enter_phase = [&](faultsim::WritePhase phase) {
-    if (config.faults) config.faults->on_phase(rank, phase);
+  const auto enter_phase = [&](faultsim::WritePhase phase_id) {
+    cur_phase = phase_id;
+    obs::flight_record(obs::FlightType::kPhase,
+                       faultsim::phase_name(phase_id).data());
+    if (config.faults) config.faults->on_phase(rank, phase_id);
   };
   const auto exchange = [&](std::vector<faultsim::Outbound> out,
                             const std::vector<int>& expect, int tag) {
@@ -630,6 +722,12 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
   enter_phase(faultsim::WritePhase::kCommit);
   phase.begin("write.metadata_io");
   t0 = Clock::now();
+  // Per-partition load balance (the paper's §6 adaptive-aggregation
+  // motivation): rank 0 measures it at the commit point, where the
+  // per-file particle counts are in hand.
+  std::uint64_t lb_max = 0;
+  double lb_mean = 0;
+  double lb_imbalance = 0;
   BinaryWriter record_bytes;
   if (have_file) {
     my_record.serialize(record_bytes, config.write_spatial_metadata,
@@ -661,6 +759,24 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
               [](const FileRecord& a, const FileRecord& b) {
                 return a.partition_id < b.partition_id;
               });
+    if (!meta.files.empty()) {
+      std::uint64_t sum = 0;
+      for (const FileRecord& f : meta.files) {
+        lb_max = std::max(lb_max, f.particle_count);
+        sum += f.particle_count;
+      }
+      lb_mean = static_cast<double>(sum) /
+                static_cast<double>(meta.files.size());
+      lb_imbalance =
+          lb_mean > 0 ? static_cast<double>(lb_max) / lb_mean : 0.0;
+      if (obs::enabled()) {
+        auto& reg = obs::MetricsRegistry::global();
+        reg.gauge("write.partition_particles_max")
+            .set(static_cast<double>(lb_max));
+        reg.gauge("write.partition_particles_mean").set(lb_mean);
+        reg.gauge("write.partition_imbalance").set(lb_imbalance);
+      }
+    }
     if (config.write_checksums) {
       std::sort(crcs.begin(), crcs.end(),
                 [](const ChecksumTable::Entry& a,
@@ -674,6 +790,11 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
     // meta.spio is the commit point; the journal closes only after it.
     meta.save(config.dir);
     if (config.journal) WriteJournal::commit(config.dir);
+    obs::log::Event(obs::log::Level::kInfo, "write.commit")
+        .kv("dir", config.dir.string())
+        .kv("particles", meta.total_particles)
+        .kv("files", static_cast<std::uint64_t>(meta.files.size()))
+        .kv("imbalance", lb_imbalance);
   }
   // The write is complete (data + metadata) only once every rank returns.
   comm.barrier();
@@ -706,11 +827,49 @@ WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
         info.totals.files_written +=
             static_cast<std::uint64_t>(s.files_written);
       }
+      info.load_balance.partition_particles_max = lb_max;
+      info.load_balance.partition_particles_mean = lb_mean;
+      info.load_balance.imbalance = lb_imbalance;
       obs::save_write_record(config.dir, info,
                              obs::MetricsRegistry::global().snapshot());
     }
   }
-  return stats;
+}
+
+}  // namespace
+
+WriteStats write_dataset(simmpi::Comm& comm, const PatchDecomposition& decomp,
+                         const ParticleBuffer& local,
+                         const WriterConfig& config) {
+  SPIO_CHECK(!config.dir.empty(), ConfigError,
+             "WriterConfig.dir must be set");
+  SPIO_CHECK(config.factor.valid(), ConfigError,
+             "invalid partition factor " << config.factor.to_string());
+  SPIO_CHECK(config.lod.valid(), ConfigError,
+             "invalid LOD parameters P=" << config.lod.P
+                                         << " S=" << config.lod.S);
+  SPIO_CHECK(comm.size() == decomp.rank_count(), ConfigError,
+             "decomposition has " << decomp.rank_count()
+                                  << " patches for a job of " << comm.size()
+                                  << " ranks");
+
+  WriteStats stats;
+  faultsim::WritePhase cur_phase = faultsim::WritePhase::kSetup;
+  try {
+    write_dataset_impl(comm, decomp, local, config, stats, cur_phase);
+    return stats;
+  } catch (const simmpi::Aborted&) {
+    // Secondary casualty of another rank's failure: that rank owns the
+    // postmortem; dumping here would overwrite it with less context.
+    throw;
+  } catch (const std::exception& e) {
+    // A failure before rank 0 created the directory has nowhere to dump.
+    std::error_code ec;
+    if (std::filesystem::is_directory(config.dir, ec))
+      dump_write_postmortem(config, stats, comm.size(), comm.rank(),
+                            cur_phase, e.what());
+    throw;
+  }
 }
 
 }  // namespace spio

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "util/checksum.hpp"
@@ -23,8 +25,14 @@ std::uint64_t checked_write_file(const std::filesystem::path& path,
     obs::MetricsRegistry::global().counter("faultsim.checked_writes").add(1);
 
   for (int attempt = 1;; ++attempt) {
-    if (attempt > 1 && obs::enabled())
-      obs::MetricsRegistry::global().counter("faultsim.rewrites").add(1);
+    if (attempt > 1) {
+      if (obs::enabled())
+        obs::MetricsRegistry::global().counter("faultsim.rewrites").add(1);
+      obs::log::Event(obs::log::Level::kWarn, "faultsim.rewrite")
+          .kv("rank", rank)
+          .kv("file", path.filename().string())
+          .kv("attempt", attempt);
+    }
     const FileFaultKind fault =
         injector ? injector->next_file_fault(rank, path.filename().string())
                  : FileFaultKind::kNone;
@@ -85,6 +93,14 @@ std::uint64_t checked_write_file(const std::filesystem::path& path,
       return want;
     }
 
+    if (attempt >= policy.max_attempts) {
+      obs::flight_record(obs::FlightType::kMark, "checked_write_exhausted",
+                         static_cast<std::uint64_t>(attempt));
+      obs::log::Event(obs::log::Level::kError, "faultsim.checked_write_failed")
+          .kv("rank", rank)
+          .kv("file", path.filename().string())
+          .kv("attempts", attempt);
+    }
     SPIO_CHECK(attempt < policy.max_attempts, FaultError,
                "rank " << rank << " could not produce a valid copy of '"
                        << path.string() << "' after " << attempt

@@ -4,13 +4,13 @@
 #include <sstream>
 #include <tuple>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "util/rng.hpp"
 
 namespace spio::faultsim {
 
-namespace {
-
-std::string_view action_name(simmpi::SendAction a) {
+std::string_view send_action_name(simmpi::SendAction a) {
   switch (a) {
     case simmpi::SendAction::kDeliver:
       return "deliver";
@@ -23,8 +23,6 @@ std::string_view action_name(simmpi::SendAction a) {
   }
   return "?";
 }
-
-}  // namespace
 
 std::string_view phase_name(WritePhase phase) {
   switch (phase) {
@@ -145,6 +143,14 @@ FaultInjector::FaultInjector(FaultPlan plan, int nranks)
 }
 
 void FaultInjector::record(int rank, std::string description) {
+  // Mirror every injection into the always-on flight recorder (and the
+  // log when one is configured) so postmortem bundles carry the fault
+  // history without touching the per-rank log_, which is only safe to
+  // aggregate after the job joins.
+  obs::flight_record(obs::FlightType::kFault, description.c_str());
+  obs::log::Event(obs::log::Level::kWarn, "faultsim.inject")
+      .kv("rank", rank)
+      .kv("what", description);
   const auto r = static_cast<std::size_t>(rank);
   log_[r].push_back(FaultEvent{rank, next_seq_[r]++, std::move(description)});
 }
@@ -160,7 +166,7 @@ simmpi::SendAction FaultInjector::on_send(int src, int dst, int tag,
     const int idx = seen_msgs_[i][static_cast<std::size_t>(src)]++;
     if (idx < r.after || idx >= r.after + r.count) continue;
     std::ostringstream oss;
-    oss << action_name(r.action) << " msg tag=" << tag << " src=" << src
+    oss << send_action_name(r.action) << " msg tag=" << tag << " src=" << src
         << " dst=" << dst << " bytes=" << bytes;
     record(src, oss.str());
     return r.action;

@@ -95,6 +95,9 @@ struct MessageRule {
   bool operator==(const MessageRule&) const = default;
 };
 
+/// Human-readable send-action name (event logs, postmortem bundles).
+std::string_view send_action_name(simmpi::SendAction a);
+
 /// Storage fault kinds applied by `checked_write_file`.
 enum class FileFaultKind : int {
   kNone = 0,

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "faultsim/fault_plan.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -91,6 +92,17 @@ std::vector<std::vector<std::byte>> reliable_exchange(
         if (attempts[i] < policy.max_attempts)
           obs::MetricsRegistry::global().counter("faultsim.retries").add(1);
       }
+      obs::flight_record(obs::FlightType::kMark, "ack_timeout",
+                         static_cast<std::uint64_t>(to_send[i].dst),
+                         static_cast<std::uint64_t>(attempts[i]));
+      obs::log::Event(attempts[i] < policy.max_attempts
+                          ? obs::log::Level::kWarn
+                          : obs::log::Level::kError,
+                      "faultsim.ack_timeout")
+          .kv("rank", comm.rank())
+          .kv("dst", to_send[i].dst)
+          .kv("tag", tag)
+          .kv("attempt", attempts[i]);
       SPIO_CHECK(attempts[i] < policy.max_attempts, FaultError,
                  "rank " << comm.rank() << " got no acknowledgement from rank "
                          << to_send[i].dst << " on tag " << tag << " after "

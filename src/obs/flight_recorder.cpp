@@ -1,0 +1,154 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+namespace spio::obs {
+
+namespace {
+
+/// Pack the fixed fields into word 0:
+///   bits  0..7   type
+///   bits  8..15  detail (log level / tag low byte / fault kind)
+///   bits 16..31  rank (int16 bit pattern)
+///   bits 32..63  sequence number (low 32 bits of the cursor)
+std::uint64_t pack_head(FlightType type, std::uint8_t detail,
+                        std::int16_t rank, std::uint32_t seq) {
+  return (std::uint64_t{seq} << 32) |
+         (std::uint64_t{static_cast<std::uint16_t>(rank)} << 16) |
+         (std::uint64_t{detail} << 8) | std::uint64_t{static_cast<std::uint8_t>(type)};
+}
+
+/// SPIO_FLIGHT=off|0 disables the recorder for the whole process (an
+/// escape hatch; the recorder is meant to be always on).
+const bool g_flight_env_init = [] {
+  const char* v = std::getenv("SPIO_FLIGHT");
+  if (v && (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0))
+    FlightRecorder::instance().set_enabled(false);
+  return true;
+}();
+
+}  // namespace
+
+const char* flight_type_name(FlightType t) {
+  switch (t) {
+    case FlightType::kSpanBegin: return "span_begin";
+    case FlightType::kSpanEnd: return "span_end";
+    case FlightType::kLog: return "log";
+    case FlightType::kSend: return "send";
+    case FlightType::kRecv: return "recv";
+    case FlightType::kFault: return "fault";
+    case FlightType::kPhase: return "phase";
+    case FlightType::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+FlightRecorder::Ring& FlightRecorder::ring_for_slot(std::size_t slot) {
+  Ring* r = rings_[slot].load(std::memory_order_acquire);
+  if (r) return *r;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  r = rings_[slot].load(std::memory_order_relaxed);
+  if (!r) {
+    owned_.push_back(std::make_unique<Ring>());
+    r = owned_.back().get();
+    rings_[slot].store(r, std::memory_order_release);
+  }
+  return *r;
+}
+
+void FlightRecorder::push(FlightType type, const char* text, std::uint64_t a,
+                          std::uint64_t b, std::uint8_t detail) {
+  (void)g_flight_env_init;
+  const int rank = thread_rank();
+  const std::size_t slot = (rank < 0 || rank > kMaxRank)
+                               ? 0
+                               : static_cast<std::size_t>(rank) + 1;
+  Ring& ring = ring_for_slot(slot);
+  const std::uint64_t i = ring.cursor.fetch_add(1, std::memory_order_relaxed);
+  std::atomic<std::uint64_t>* w =
+      &ring.words[(i % kCapacity) * kWordsPerRecord];
+
+  const std::int16_t r16 = static_cast<std::int16_t>(
+      rank < -1 ? -1 : (rank > kMaxRank ? kMaxRank : rank));
+  w[0].store(pack_head(type, detail, r16, static_cast<std::uint32_t>(i)),
+             std::memory_order_relaxed);
+  w[1].store(std::bit_cast<std::uint64_t>(now_us()),
+             std::memory_order_relaxed);
+  w[2].store(a, std::memory_order_relaxed);
+  w[3].store(b, std::memory_order_relaxed);
+
+  std::uint64_t tw[4] = {0, 0, 0, 0};
+  if (text) {
+    for (std::size_t k = 0; k < 32 && text[k] != '\0'; ++k)
+      tw[k / 8] |= std::uint64_t{static_cast<unsigned char>(text[k])}
+                   << (8 * (k % 8));
+  }
+  for (std::size_t k = 0; k < 4; ++k)
+    w[4 + k].store(tw[k], std::memory_order_relaxed);
+}
+
+std::vector<FlightRingSnapshot> FlightRecorder::snapshot() const {
+  std::vector<FlightRingSnapshot> out;
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    const Ring* ring = rings_[slot].load(std::memory_order_acquire);
+    if (!ring) continue;
+    FlightRingSnapshot snap;
+    snap.rank = slot == 0 ? -1 : static_cast<int>(slot) - 1;
+    snap.recorded = ring->cursor.load(std::memory_order_relaxed);
+    const std::uint64_t n = std::min<std::uint64_t>(snap.recorded, kCapacity);
+    snap.dropped = snap.recorded - n;
+    snap.events.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::atomic<std::uint64_t>* w = &ring->words[i * kWordsPerRecord];
+      FlightRecord rec;
+      const std::uint64_t w0 = w[0].load(std::memory_order_relaxed);
+      const std::uint64_t raw_type = w0 & 0xffu;
+      rec.type = raw_type <= 7 ? static_cast<FlightType>(raw_type)
+                               : FlightType::kMark;
+      rec.detail = static_cast<std::uint8_t>((w0 >> 8) & 0xffu);
+      rec.rank = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>((w0 >> 16) & 0xffffu));
+      rec.seq = static_cast<std::uint32_t>(w0 >> 32);
+      rec.ts_us =
+          std::bit_cast<double>(w[1].load(std::memory_order_relaxed));
+      rec.a = w[2].load(std::memory_order_relaxed);
+      rec.b = w[3].load(std::memory_order_relaxed);
+      for (std::size_t k = 0; k < 32; ++k) {
+        const std::uint64_t tw = w[4 + k / 8].load(std::memory_order_relaxed);
+        rec.text[k] = static_cast<char>((tw >> (8 * (k % 8))) & 0xffu);
+      }
+      rec.text[32] = '\0';
+      snap.events.push_back(rec);
+    }
+    std::stable_sort(snap.events.begin(), snap.events.end(),
+                     [](const FlightRecord& x, const FlightRecord& y) {
+                       return x.ts_us < y.ts_us;
+                     });
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::record_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t slot = 0; slot < kSlots; ++slot)
+    if (const Ring* ring = rings_[slot].load(std::memory_order_acquire))
+      total += ring->cursor.load(std::memory_order_relaxed);
+  return total;
+}
+
+void FlightRecorder::clear() {
+  for (std::size_t slot = 0; slot < kSlots; ++slot)
+    if (Ring* ring = rings_[slot].load(std::memory_order_acquire))
+      ring->cursor.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace spio::obs

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file flight_recorder.hpp
+/// Always-on per-rank flight recorder (docs/OBSERVABILITY.md).
+///
+/// A fixed-capacity ring of 64-byte binary records per rank that keeps
+/// the *most recent* span begin/ends, log events, simmpi sends/receives
+/// and faultsim injections — even when tracing (`obs::enabled()`) is
+/// off. Unlike the opt-in `Tracer`, the recorder exists so a failed run
+/// can explain itself: on any failure path the rings are dumped into a
+/// `postmortem.spio.json` bundle next to the dataset (postmortem.hpp).
+///
+/// Concurrency model: records are stored as 8 relaxed `std::atomic`
+/// words per slot and the write cursor is a relaxed `fetch_add`, so the
+/// recorder is lock-free and data-race-free by construction (TSan-clean;
+/// `tests/obs/flight_recorder_test.cpp` stresses it). A reader that
+/// snapshots while writers wrap may observe a torn record — acceptable
+/// for a black box, never undefined behavior.
+///
+/// Cost model: one relaxed load (the kill switch), one `fetch_add`, one
+/// clock read and nine relaxed stores per record. The `perf`-label
+/// overhead floor test bounds the combined disabled-span + recorder
+/// path.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace spio::obs {
+
+/// What a flight record describes. Values are stable (they appear in
+/// postmortem bundles as names, but tests rely on the mapping).
+enum class FlightType : std::uint8_t {
+  kSpanBegin = 0,  ///< ScopedSpan/PhaseSpan opened; text = span name
+  kSpanEnd = 1,    ///< span closed; text = span name
+  kLog = 2,        ///< log event emitted; detail = level, text = event
+  kSend = 3,       ///< simmpi send; a = dst, b = bytes, detail = tag (mod 256)
+  kRecv = 4,       ///< simmpi recv; a = src, b = bytes, detail = tag (mod 256)
+  kFault = 5,      ///< faultsim injection; text = kind, a/b = site args
+  kPhase = 6,      ///< writer phase entered; text = phase name
+  kMark = 7,       ///< free-form marker
+};
+
+const char* flight_type_name(FlightType t);
+
+/// One decoded ring record (the atomic words unpacked; see
+/// `FlightRecorder::record` for the field meanings per type).
+struct FlightRecord {
+  double ts_us = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t seq = 0;
+  std::int16_t rank = -1;
+  FlightType type = FlightType::kMark;
+  std::uint8_t detail = 0;
+  char text[33] = {};  // NUL-terminated, truncated to 32 chars
+};
+
+/// Snapshot of one rank's ring, oldest first (sorted by timestamp).
+struct FlightRingSnapshot {
+  int rank = -1;               ///< -1 = non-rank threads
+  std::uint64_t recorded = 0;  ///< total records ever pushed
+  std::uint64_t dropped = 0;   ///< records overwritten by wraparound
+  std::vector<FlightRecord> events;
+};
+
+class FlightRecorder {
+ public:
+  /// Records kept per rank ring; 64 bytes each.
+  static constexpr std::size_t kCapacity = 1024;
+  /// Rank ids above this share the overflow ring (slot 0, like rank -1).
+  static constexpr int kMaxRank = 511;
+
+  static FlightRecorder& instance();
+
+  /// Append a record to the calling thread's rank ring (lock-free; the
+  /// ring is allocated on first use). `text` may be null; at most 32
+  /// chars are kept. No-op when the recorder is disabled.
+  void record(FlightType type, const char* text, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint8_t detail = 0) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    push(type, text, a, b, detail);
+  }
+
+  /// Decode every allocated ring. Safe to call at any time, including
+  /// concurrently with writers (see the torn-record caveat above).
+  std::vector<FlightRingSnapshot> snapshot() const;
+
+  /// Total records ever pushed across all rings (diagnostics/tests).
+  std::uint64_t record_count() const;
+
+  /// Reset every ring's cursor (records become invisible; storage and
+  /// registration stay). Test helper — not safe against concurrent
+  /// writers that have reserved but not yet filled a slot.
+  void clear();
+
+  /// Kill switch (`SPIO_FLIGHT=off`). The recorder is on by default.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool is_enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kWordsPerRecord = 8;
+  static constexpr std::size_t kSlots = std::size_t{kMaxRank} + 2;
+
+  /// One rank's storage: a power-of-two ring of packed records.
+  struct Ring {
+    std::atomic<std::uint64_t> cursor{0};
+    std::array<std::atomic<std::uint64_t>, kCapacity * kWordsPerRecord>
+        words{};
+  };
+
+  FlightRecorder() = default;
+
+  void push(FlightType type, const char* text, std::uint64_t a,
+            std::uint64_t b, std::uint8_t detail);
+  Ring& ring_for_slot(std::size_t slot);
+
+  std::atomic<bool> enabled_{true};
+  std::array<std::atomic<Ring*>, kSlots> rings_{};
+  std::mutex alloc_mu_;  // serializes ring allocation only
+  std::vector<std::unique_ptr<Ring>> owned_;
+};
+
+/// Convenience front door for instrumentation sites (inline: one call,
+/// then the recorder's own relaxed-load gate).
+inline void flight_record(FlightType type, const char* text,
+                          std::uint64_t a = 0, std::uint64_t b = 0,
+                          std::uint8_t detail = 0) {
+  FlightRecorder::instance().record(type, text, a, b, detail);
+}
+
+}  // namespace spio::obs

@@ -1,0 +1,186 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
+
+namespace spio::obs::log {
+
+namespace {
+
+/// Sink state. Never destroyed so atexit-time log sites stay safe.
+struct Sink {
+  std::mutex mu;
+  std::FILE* file = nullptr;  // null = stderr
+};
+
+Sink& sink() {
+  static Sink* s = new Sink();
+  return *s;
+}
+
+const bool g_log_env_init = [] {
+  init_from_env();
+  return true;
+}();
+
+/// A value needs quoting when it would break key=value tokenization.
+bool needs_quotes(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v)
+    if (c == ' ' || c == '=' || c == '"' || c == '\n' || c == '\t')
+      return true;
+  return false;
+}
+
+void append_value(std::string& line, std::string_view v) {
+  if (!needs_quotes(v)) {
+    line.append(v);
+    return;
+  }
+  line.push_back('"');
+  for (const char c : v)
+    line.push_back(c == '"' || c == '\n' || c == '\t' ? '\'' : c);
+  line.push_back('"');
+}
+
+}  // namespace
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+bool parse_level(std::string_view text, Level* out) {
+  if (text == "trace") *out = Level::kTrace;
+  else if (text == "debug") *out = Level::kDebug;
+  else if (text == "info") *out = Level::kInfo;
+  else if (text == "warn" || text == "warning") *out = Level::kWarn;
+  else if (text == "error") *out = Level::kError;
+  else if (text == "off" || text == "none") *out = Level::kOff;
+  else return false;
+  return true;
+}
+
+bool parse_spec(std::string_view spec, Level* level, std::string* path) {
+  const std::size_t colon = spec.find(':');
+  const std::string_view level_part =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  Level parsed;
+  if (!parse_level(level_part, &parsed)) return false;
+  *level = parsed;
+  *path = colon == std::string_view::npos
+              ? std::string()
+              : std::string(spec.substr(colon + 1));
+  return true;
+}
+
+void set_level(Level l) {
+  detail::g_min_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+Level level() {
+  return static_cast<Level>(
+      detail::g_min_level.load(std::memory_order_relaxed));
+}
+
+void set_sink_path(const std::string& path) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.file) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  if (!path.empty()) s.file = std::fopen(path.c_str(), "a");
+}
+
+void init_from_env() {
+  static const bool once = [] {
+    const char* spec = std::getenv("SPIO_LOG");
+    if (!spec || !*spec) return true;
+    Level parsed;
+    std::string path;
+    if (!parse_spec(spec, &parsed, &path)) {
+      std::fprintf(stderr, "[spio] ignoring malformed SPIO_LOG='%s'\n", spec);
+      return true;
+    }
+    set_level(parsed);
+    if (!path.empty()) set_sink_path(path);
+    return true;
+  }();
+  (void)once;
+}
+
+namespace detail {
+
+void emit(Level l, const std::string& line) {
+  (void)l;
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::FILE* out = s.file ? s.file : stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fputc('\n', out);
+  std::fflush(out);
+}
+
+}  // namespace detail
+
+Event::Event(Level l, const char* event)
+    : active_(enabled(l)), level_(l), event_(event) {
+  if (!active_) return;
+  char head[96];
+  const int rank = thread_rank();
+  std::snprintf(head, sizeof head, "[spio] %s r%d +%.1fus %s",
+                level_name(l), rank, now_us(), event);
+  line_ = head;
+}
+
+Event::~Event() {
+  if (!active_) return;
+  flight_record(FlightType::kLog, event_, 0, 0,
+                static_cast<std::uint8_t>(level_));
+  detail::emit(level_, line_);
+}
+
+Event& Event::kv(std::string_view key, std::string_view value) {
+  if (!active_) return *this;
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  append_value(line_, value);
+  return *this;
+}
+
+Event& Event::kv(std::string_view key, double value) {
+  if (!active_) return *this;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return kv(key, std::string_view(buf));
+}
+
+Event& Event::kv(std::string_view key, std::uint64_t value) {
+  if (!active_) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  return kv(key, std::string_view(buf));
+}
+
+Event& Event::kv(std::string_view key, std::int64_t value) {
+  if (!active_) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  return kv(key, std::string_view(buf));
+}
+
+}  // namespace spio::obs::log

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled structured logging (docs/OBSERVABILITY.md).
+///
+/// A log site builds an `Event` with a severity and a dotted event name,
+/// chains `kv()` fields onto it, and the line is emitted when the event
+/// goes out of scope:
+///
+///   obs::log::Event(obs::log::Level::kWarn, "faultsim.rewrite")
+///       .kv("file", path).kv("attempt", attempt);
+///
+/// renders as
+///
+///   [spio] WARN  r2 +15234.7us faultsim.rewrite file=File_2.bin attempt=2
+///
+/// Sinks and levels come from `SPIO_LOG=level[:path]` (levels: trace,
+/// debug, info, warn, error, off; default sink stderr) or the setters
+/// below. Cost model: with logging off (the default) a log site is one
+/// relaxed atomic load — `kv()` and the destructor return immediately —
+/// so hot paths may log unconditionally. Active events are also pushed
+/// into the always-on flight recorder, so the last log lines before a
+/// failure appear in postmortem bundles even when no sink is configured.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace spio::obs::log {
+
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+namespace detail {
+/// Minimum emitted level; kOff disables every site. Inline so `enabled`
+/// compiles to one relaxed load.
+inline std::atomic<int> g_min_level{static_cast<int>(Level::kOff)};
+}  // namespace detail
+
+/// The fast-path guard: true when events at `l` would be emitted.
+inline bool enabled(Level l) {
+  return static_cast<int>(l) >=
+         detail::g_min_level.load(std::memory_order_relaxed);
+}
+
+/// Upper-case, width-5 level tag ("TRACE", "WARN ", ...).
+const char* level_name(Level l);
+
+/// Parse a level keyword ("warn"); returns false on unknown input.
+bool parse_level(std::string_view text, Level* out);
+
+/// Parse an `SPIO_LOG` spec: `level` or `level:path`. Returns false
+/// (leaving the outputs untouched) on a malformed spec.
+bool parse_spec(std::string_view spec, Level* level, std::string* path);
+
+/// Set the minimum emitted level (kOff silences everything).
+void set_level(Level l);
+Level level();
+
+/// Redirect emitted lines to `path` (append mode); an empty path
+/// restores the default stderr sink.
+void set_sink_path(const std::string& path);
+
+/// Apply `SPIO_LOG` from the environment (idempotent; also runs via a
+/// static initializer in any binary linking this file).
+void init_from_env();
+
+namespace detail {
+void emit(Level l, const std::string& line);
+}
+
+/// One structured log event; emits on destruction when its level passes
+/// the filter at construction time. Inactive events do no work: `kv` is
+/// a relaxed-load-guarded no-op and the line buffer stays empty.
+class Event {
+ public:
+  Event(Level l, const char* event);
+  ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  Event& kv(std::string_view key, std::string_view value);
+  Event& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  Event& kv(std::string_view key, const std::string& value) {
+    return kv(key, std::string_view(value));
+  }
+  Event& kv(std::string_view key, bool value) {
+    return kv(key, value ? std::string_view("true") : std::string_view("false"));
+  }
+  Event& kv(std::string_view key, double value);
+  Event& kv(std::string_view key, std::uint64_t value);
+  Event& kv(std::string_view key, std::int64_t value);
+  /// Funnel every other integer width (int, unsigned, size_t, ...) into
+  /// the two fixed-width overloads without colliding with them on LP64.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::uint64_t> &&
+             !std::is_same_v<T, std::int64_t>)
+  Event& kv(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>)
+      return kv(key, static_cast<std::int64_t>(value));
+    else
+      return kv(key, static_cast<std::uint64_t>(value));
+  }
+
+ private:
+  bool active_;
+  Level level_;
+  const char* event_;
+  std::string line_;
+};
+
+}  // namespace spio::obs::log

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 
 namespace spio::obs {
@@ -59,6 +60,11 @@ int thread_rank() { return tls_rank; }
 const char* env_trace_path() {
   (void)g_env_init;
   return env_path_storage().c_str();
+}
+
+void init_from_env() {
+  (void)env_trace_path();
+  log::init_from_env();
 }
 
 }  // namespace spio::obs

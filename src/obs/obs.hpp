@@ -73,6 +73,13 @@ class ThreadRankGuard {
 /// write/read collective.
 const char* env_trace_path();
 
+/// Apply the observability environment (`SPIO_TRACE`, `SPIO_LOG`)
+/// explicitly. Both variables are also read by static initializers in
+/// any binary linking obs, so this mainly documents intent at tool/bench
+/// entry points and guards against initializer elision in static
+/// archives.
+void init_from_env();
+
 /// Run records (`trace.spio.json` next to a dataset) are emitted when
 /// collection is enabled; see run_record.hpp.
 inline bool run_records_enabled() { return enabled(); }

@@ -1,0 +1,204 @@
+#include "obs/postmortem.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/run_record.hpp"
+#include "util/error.hpp"
+
+namespace spio::obs {
+
+namespace {
+
+/// Serializes concurrent dumps (several ranks can fail at once).
+std::mutex& dump_mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+/// Crash-handler target directory: a fixed buffer so the signal handler
+/// can read it without touching the allocator.
+char g_crash_dir[4096] = {};
+std::mutex g_crash_dir_mu;
+
+extern "C" void crash_signal_handler(int sig) {
+  // Best effort only: everything below is formally async-signal-unsafe,
+  // which is acceptable for a last-gasp diagnostic before re-raising.
+  if (g_crash_dir[0] != '\0') {
+    PostmortemInfo info;
+    info.reason = std::string("fatal signal ") + std::to_string(sig) + " (" +
+                  strsignal(sig) + ")";
+    info.failed_rank = thread_rank();
+    info.phase = "signal";
+    save_postmortem(g_crash_dir, info);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+JsonValue flight_to_json(const std::vector<FlightRingSnapshot>& rings) {
+  JsonValue fr = JsonValue::object();
+  fr.set("capacity",
+         JsonValue::number(std::uint64_t{FlightRecorder::kCapacity}));
+  JsonValue ranks = JsonValue::array();
+  for (const FlightRingSnapshot& ring : rings) {
+    JsonValue r = JsonValue::object();
+    r.set("rank", JsonValue::number(std::int64_t{ring.rank}));
+    r.set("recorded", JsonValue::number(ring.recorded));
+    r.set("dropped", JsonValue::number(ring.dropped));
+    JsonValue events = JsonValue::array();
+    for (const FlightRecord& e : ring.events) {
+      JsonValue ev = JsonValue::object();
+      ev.set("ts_us", JsonValue::number(e.ts_us));
+      ev.set("type", JsonValue::string(flight_type_name(e.type)));
+      ev.set("name", JsonValue::string(e.text));
+      ev.set("seq", JsonValue::number(std::uint64_t{e.seq}));
+      if (e.a != 0) ev.set("a", JsonValue::number(e.a));
+      if (e.b != 0) ev.set("b", JsonValue::number(e.b));
+      if (e.detail != 0)
+        ev.set("detail", JsonValue::number(std::uint64_t{e.detail}));
+      events.push_back(std::move(ev));
+    }
+    r.set("events", std::move(events));
+    ranks.push_back(std::move(r));
+  }
+  fr.set("ranks", std::move(ranks));
+  return fr;
+}
+
+bool save_postmortem(const std::filesystem::path& dir,
+                     const PostmortemInfo& info) noexcept {
+  try {
+    std::lock_guard<std::mutex> lock(dump_mutex());
+    JsonValue doc = JsonValue::object();
+    doc.set("format", JsonValue::string("spio.postmortem"));
+    doc.set("version", JsonValue::number(std::int64_t{1}));
+    doc.set("reason", JsonValue::string(info.reason));
+    doc.set("failed_rank", JsonValue::number(std::int64_t{info.failed_rank}));
+    doc.set("phase", JsonValue::string(info.phase));
+    doc.set("job_ranks", JsonValue::number(std::int64_t{info.job_ranks}));
+    doc.set("metrics", metrics_to_json(MetricsRegistry::global().snapshot()));
+    doc.set("flight_recorder",
+            flight_to_json(FlightRecorder::instance().snapshot()));
+    for (const auto& [key, section] : info.sections) {
+      JsonValue copy = section;
+      doc.set(key, std::move(copy));
+    }
+
+    const std::filesystem::path path = dir / kPostmortemFile;
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f.good()) return false;
+    f << doc.dump(2) << "\n";
+    f.flush();
+    return f.good();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool postmortem_present(const std::filesystem::path& dir) {
+  std::error_code ec;
+  return std::filesystem::exists(dir / kPostmortemFile, ec);
+}
+
+JsonValue load_postmortem(const std::filesystem::path& dir) {
+  const std::filesystem::path path = dir / kPostmortemFile;
+  std::ifstream f(path, std::ios::binary);
+  SPIO_CHECK(f.good(), IoError,
+             "cannot open postmortem '" << path.string() << "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  JsonValue doc = JsonValue::parse(ss.str());
+  SPIO_CHECK(doc.is_object() && doc.contains("format") &&
+                 doc.at("format").is_string() &&
+                 doc.at("format").as_string() == "spio.postmortem",
+             FormatError,
+             "'" << path.string() << "' is not an spio postmortem bundle");
+  return doc;
+}
+
+std::vector<std::string> validate_postmortem(const JsonValue& doc) {
+  std::vector<std::string> problems;
+  const auto complain = [&](const std::string& what) {
+    problems.push_back(what);
+  };
+  if (!doc.is_object()) {
+    complain("bundle is not a JSON object");
+    return problems;
+  }
+  if (!doc.contains("format") || !doc.at("format").is_string() ||
+      doc.at("format").as_string() != "spio.postmortem")
+    complain("format is not 'spio.postmortem'");
+  if (!doc.contains("version")) complain("missing version");
+  if (!doc.contains("reason") || !doc.at("reason").is_string() ||
+      doc.at("reason").as_string().empty())
+    complain("missing or empty reason");
+  if (!doc.contains("failed_rank")) complain("missing failed_rank");
+  if (!doc.contains("metrics") || !doc.at("metrics").is_object())
+    complain("missing metrics object");
+
+  const JsonValue* fr = doc.find("flight_recorder");
+  if (!fr || !fr->is_object()) {
+    complain("missing flight_recorder section");
+    return problems;
+  }
+  if (!fr->contains("capacity")) complain("flight_recorder lacks capacity");
+  const JsonValue* ranks = fr->find("ranks");
+  if (!ranks || !ranks->is_array()) {
+    complain("flight_recorder lacks a ranks array");
+    return problems;
+  }
+  for (std::size_t i = 0; i < ranks->size(); ++i) {
+    const JsonValue& r = ranks->at(i);
+    const std::string where = "flight ring " + std::to_string(i);
+    if (!r.is_object() || !r.contains("rank") || !r.contains("recorded") ||
+        !r.contains("dropped") || !r.contains("events") ||
+        !r.at("events").is_array()) {
+      complain(where + " lacks rank/recorded/dropped/events");
+      continue;
+    }
+    double prev_ts = -1;
+    const JsonValue& events = r.at("events");
+    for (std::size_t j = 0; j < events.size(); ++j) {
+      const JsonValue& e = events.at(j);
+      if (!e.is_object() || !e.contains("ts_us") || !e.contains("type") ||
+          !e.contains("name")) {
+        complain(where + " event " + std::to_string(j) +
+                 " lacks ts_us/type/name");
+        continue;
+      }
+      const double ts = e.at("ts_us").as_double();
+      if (ts < prev_ts)
+        complain(where + " event " + std::to_string(j) +
+                 " breaks timestamp order");
+      prev_ts = ts;
+    }
+  }
+  return problems;
+}
+
+void set_crash_dump_dir(const std::filesystem::path& dir) {
+  std::lock_guard<std::mutex> lock(g_crash_dir_mu);
+  const std::string s = dir.string();
+  const std::size_t n = std::min(s.size(), sizeof(g_crash_dir) - 1);
+  std::memcpy(g_crash_dir, s.data(), n);
+  g_crash_dir[n] = '\0';
+}
+
+void install_crash_handler() {
+  static const bool once = [] {
+    for (const int sig :
+         {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+      std::signal(sig, crash_signal_handler);
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace spio::obs

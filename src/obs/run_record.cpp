@@ -103,6 +103,14 @@ void save_write_record(const std::filesystem::path& dataset_dir,
   totals.set("files_written", JsonValue::number(info.totals.files_written));
   w.set("totals", std::move(totals));
 
+  JsonValue lb = JsonValue::object();
+  lb.set("partition_particles_max",
+         JsonValue::number(info.load_balance.partition_particles_max));
+  lb.set("partition_particles_mean",
+         JsonValue::number(info.load_balance.partition_particles_mean));
+  lb.set("imbalance", JsonValue::number(info.load_balance.imbalance));
+  w.set("load_balance", std::move(lb));
+
   w.set("counters", metrics_to_json(metrics));
 
   JsonValue env = JsonValue::object();

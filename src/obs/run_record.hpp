@@ -66,6 +66,15 @@ struct WriteRunInfo {
     std::uint64_t bytes_written = 0;
     std::uint64_t files_written = 0;
   } totals;
+  /// Per-partition load balance (the paper's §6 adaptive-aggregation
+  /// motivation, measured): filled by rank 0 at commit from the
+  /// per-file particle counts. `imbalance` = max/mean (1.0 = perfectly
+  /// balanced); mirrored into the `write.partition_*` gauges.
+  struct LoadBalance {
+    std::uint64_t partition_particles_max = 0;
+    double partition_particles_mean = 0;
+    double imbalance = 0;
+  } load_balance;
 };
 
 /// One rank's distributed-read phase seconds (mirrors `ReadStats`).

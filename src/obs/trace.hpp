@@ -11,7 +11,8 @@
 ///
 /// Cost model:
 ///   - collection disabled: constructing a `ScopedSpan` is one relaxed
-///     atomic load, nothing else (verified by the `perf`-label overhead
+///     atomic load plus one flight-recorder record (a clock read and a
+///     handful of relaxed stores; verified by the `perf`-label overhead
 ///     test);
 ///   - collection enabled: one uncontended mutex acquire and one vector
 ///     append per event; event buffers grow geometrically, so there is
@@ -28,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace spio::obs {
@@ -91,12 +93,16 @@ class Tracer {
 };
 
 /// RAII span: opens at construction, closes at destruction (or at an
-/// explicit early `end()`). Does nothing when collection is disabled.
+/// explicit early `end()`). The tracer only sees the span when
+/// collection is enabled; the always-on flight recorder keeps a
+/// begin/end record either way (the `perf`-label floor test bounds the
+/// combined disabled-path cost).
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* cat)
-      : name_(name), cat_(cat), active_(enabled()) {
-    if (active_) t0_ = now_us();
+      : name_(name), cat_(cat), traced_(enabled()) {
+    if (traced_) t0_ = now_us();
+    flight_record(FlightType::kSpanBegin, name_);
   }
   ~ScopedSpan() { end(); }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -104,16 +110,19 @@ class ScopedSpan {
 
   /// Close the span now (idempotent).
   void end() {
-    if (!active_) return;
-    active_ = false;
-    Tracer::instance().record_complete(name_, cat_, t0_, now_us() - t0_);
+    if (done_) return;
+    done_ = true;
+    flight_record(FlightType::kSpanEnd, name_);
+    if (traced_)
+      Tracer::instance().record_complete(name_, cat_, t0_, now_us() - t0_);
   }
 
  private:
   const char* name_;
   const char* cat_;
   double t0_ = 0;
-  bool active_;
+  bool traced_;
+  bool done_ = false;
 };
 
 /// Sequential-phase span for straight-line pipelines (the writer's eight
@@ -128,14 +137,17 @@ class PhaseSpan {
 
   void begin(const char* name) {
     end();
-    if (!enabled()) return;
     name_ = name;
-    t0_ = now_us();
+    traced_ = enabled();
+    if (traced_) t0_ = now_us();
+    flight_record(FlightType::kSpanBegin, name_);
   }
 
   void end() {
     if (!name_) return;
-    Tracer::instance().record_complete(name_, cat_, t0_, now_us() - t0_);
+    flight_record(FlightType::kSpanEnd, name_);
+    if (traced_)
+      Tracer::instance().record_complete(name_, cat_, t0_, now_us() - t0_);
     name_ = nullptr;
   }
 
@@ -143,6 +155,7 @@ class PhaseSpan {
   const char* cat_;
   const char* name_ = nullptr;
   double t0_ = 0;
+  bool traced_ = false;
 };
 
 }  // namespace spio::obs

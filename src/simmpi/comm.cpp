@@ -4,6 +4,7 @@
 #include <chrono>
 #include <tuple>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 
@@ -66,6 +67,12 @@ void Comm::send_bytes(int dst, int tag, std::vector<std::byte> payload) {
   // paid for by the sender, matching what a network counter would report.
   st_->p2p_bytes[cell].fetch_add(payload.size(), std::memory_order_relaxed);
   st_->p2p_msgs[cell].fetch_add(1, std::memory_order_relaxed);
+  // Always-on black box: the last sends before a failure show up in
+  // postmortem bundles (a = destination, b = bytes, detail = tag low
+  // byte) even with tracing off.
+  spio::obs::flight_record(spio::obs::FlightType::kSend, "p2p",
+                           static_cast<std::uint64_t>(dst), payload.size(),
+                           static_cast<std::uint8_t>(tag & 0xff));
   if (spio::obs::enabled()) {
     auto& m = TransportMetrics::get();
     m.msg_count.add(1);
@@ -120,10 +127,19 @@ Message Comm::recv_message(int src, int tag) {
     tm.recv_count.add(1);
     tm.recv_wait_us.add(
         static_cast<std::uint64_t>(spio::obs::now_us() - t0));
+    spio::obs::flight_record(spio::obs::FlightType::kRecv, "p2p",
+                             static_cast<std::uint64_t>(m.src),
+                             m.payload.size(),
+                             static_cast<std::uint8_t>(m.tag & 0xff));
     return m;
   }
-  return st_->mailboxes[static_cast<std::size_t>(rank_)].receive(src, tag,
-                                                                 *st_->abort);
+  Message m = st_->mailboxes[static_cast<std::size_t>(rank_)].receive(
+      src, tag, *st_->abort);
+  spio::obs::flight_record(spio::obs::FlightType::kRecv, "p2p",
+                           static_cast<std::uint64_t>(m.src),
+                           m.payload.size(),
+                           static_cast<std::uint8_t>(m.tag & 0xff));
+  return m;
 }
 
 bool Comm::iprobe(int src, int tag, int* out_src, std::size_t* out_bytes) {

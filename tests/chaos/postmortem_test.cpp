@@ -1,0 +1,153 @@
+/// \file postmortem_test.cpp
+/// Automatic fault postmortems: every structured failure of the write
+/// path — an injected phase death at any of the five phases, a
+/// checked-write retry budget exhausted, an incomplete dataset found by
+/// `check_and_repair` — must leave a parseable `postmortem.spio.json`
+/// bundle next to the dataset, and repair must remove it so a recovered
+/// directory stays byte-identical to a fault-free golden run.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "chaos/chaos_util.hpp"
+#include "core/journal.hpp"
+#include "faultsim/fault_plan.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/postmortem.hpp"
+#include "util/temp_dir.hpp"
+
+namespace spio {
+namespace {
+
+/// True when any ring of the bundle holds an event of `type` whose name
+/// starts with `prefix`.
+bool bundle_has_event(const obs::JsonValue& doc, const std::string& type,
+                      const std::string& prefix) {
+  const obs::JsonValue& ranks = doc.at("flight_recorder").at("ranks");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const obs::JsonValue& events = ranks.at(i).at("events");
+    for (std::size_t j = 0; j < events.size(); ++j) {
+      const obs::JsonValue& e = events.at(j);
+      if (e.at("type").as_string() == type &&
+          e.at("name").as_string().rfind(prefix, 0) == 0)
+        return true;
+    }
+  }
+  return false;
+}
+
+TEST(Postmortem, EveryPhaseDeathLeavesAParseableBundle) {
+  for (int p = 0; p < faultsim::kNumWritePhases; ++p) {
+    const auto phase = static_cast<faultsim::WritePhase>(p);
+    const std::string phase_str(faultsim::phase_name(phase));
+    SCOPED_TRACE("death at " + phase_str);
+
+    obs::FlightRecorder::instance().clear();
+    TempDir dir("spio-postmortem");
+    faultsim::FaultPlan plan;
+    plan.deaths.push_back({/*rank=*/1, phase});
+    const chaos::ChaosOutcome out = chaos::run_chaos_write(dir.path(), plan);
+    ASSERT_TRUE(out.rank_death) << out.what;
+
+    ASSERT_TRUE(obs::postmortem_present(dir.path()));
+    const obs::JsonValue doc = obs::load_postmortem(dir.path());
+    const auto problems = obs::validate_postmortem(doc);
+    EXPECT_TRUE(problems.empty())
+        << "first problem: " << (problems.empty() ? "" : problems.front());
+
+    // Only the dying rank dumps; its secondary casualties (Aborted) must
+    // not overwrite the bundle with their own rank/phase.
+    EXPECT_EQ(doc.at("failed_rank").as_i64(), 1);
+    EXPECT_EQ(doc.at("phase").as_string(), phase_str);
+    EXPECT_EQ(doc.at("job_ranks").as_i64(), chaos::kRanks);
+    EXPECT_NE(doc.at("reason").as_string().find("injected rank death"),
+              std::string::npos)
+        << doc.at("reason").as_string();
+
+    // The writer's context sections and the fault-plan echo ride along.
+    EXPECT_TRUE(doc.contains("write_stats"));
+    EXPECT_TRUE(doc.contains("config"));
+    const obs::JsonValue& deaths = doc.at("fault_plan").at("deaths");
+    ASSERT_EQ(deaths.size(), 1u);
+    EXPECT_EQ(deaths.at(0).at("rank").as_i64(), 1);
+    EXPECT_EQ(deaths.at(0).at("phase").as_string(), phase_str);
+
+    // The black box recorded the injection and the phase entry.
+    EXPECT_TRUE(bundle_has_event(doc, "fault", "death rank=1"));
+    EXPECT_TRUE(bundle_has_event(doc, "phase", phase_str));
+  }
+}
+
+TEST(Postmortem, CheckedWriteExhaustionLeavesABundle) {
+  obs::FlightRecorder::instance().clear();
+  TempDir dir("spio-postmortem");
+  // Fail every write attempt of every data file: the retry budget (6
+  // attempts under fast_retry) exhausts and the aggregator throws a
+  // structured FaultError.
+  faultsim::FaultPlan plan;
+  faultsim::FileRule rule;
+  rule.kind = faultsim::FileFaultKind::kFailedSync;
+  rule.rank = -1;
+  rule.path_contains = "File_";
+  rule.after = 0;
+  rule.count = 1000;
+  plan.files.push_back(rule);
+  const chaos::ChaosOutcome out = chaos::run_chaos_write(dir.path(), plan);
+  ASSERT_TRUE(out.fault_error) << out.what;
+
+  ASSERT_TRUE(obs::postmortem_present(dir.path()));
+  const obs::JsonValue doc = obs::load_postmortem(dir.path());
+  EXPECT_TRUE(obs::validate_postmortem(doc).empty());
+  EXPECT_EQ(doc.at("phase").as_string(), "data_write");
+  EXPECT_NE(doc.at("reason").as_string().find("injected fault"),
+            std::string::npos)
+      << doc.at("reason").as_string();
+  EXPECT_TRUE(bundle_has_event(doc, "fault", "failed_sync"));
+  EXPECT_TRUE(bundle_has_event(doc, "mark", "checked_write_exhausted"));
+}
+
+TEST(Postmortem, RepairExplainsAnUnexplainedIncompleteDataset) {
+  TempDir dir("spio-postmortem");
+  faultsim::FaultPlan plan;
+  plan.deaths.push_back({/*rank=*/0, faultsim::WritePhase::kDataWrite});
+  ASSERT_TRUE(chaos::run_chaos_write(dir.path(), plan).rank_death);
+
+  // Simulate a hard crash that could not dump: no bundle on disk.
+  std::filesystem::remove(dir.path() / obs::kPostmortemFile);
+
+  // A non-destructive check must lay down a minimal bundle...
+  ASSERT_EQ(check_and_repair(dir.path(), /*remove_partial=*/false),
+            RepairOutcome::kIncomplete);
+  ASSERT_TRUE(obs::postmortem_present(dir.path()));
+  const obs::JsonValue doc = obs::load_postmortem(dir.path());
+  EXPECT_TRUE(obs::validate_postmortem(doc).empty());
+  EXPECT_EQ(doc.at("phase").as_string(), "repair");
+
+  // ...and a second check must keep the existing, richer bundle.
+  ASSERT_EQ(check_and_repair(dir.path(), /*remove_partial=*/false),
+            RepairOutcome::kIncomplete);
+}
+
+TEST(Postmortem, RepairRemovesBundleAndRewriteMatchesGolden) {
+  TempDir dir("spio-postmortem");
+  faultsim::FaultPlan plan;
+  plan.deaths.push_back({/*rank=*/2, faultsim::WritePhase::kCommit});
+  ASSERT_TRUE(chaos::run_chaos_write(dir.path(), plan).rank_death);
+  ASSERT_TRUE(obs::postmortem_present(dir.path()));
+
+  ASSERT_EQ(check_and_repair(dir.path(), /*remove_partial=*/true),
+            RepairOutcome::kRemovedPartial);
+  EXPECT_FALSE(obs::postmortem_present(dir.path()))
+      << "repair must clear the failed attempt's bundle";
+
+  chaos::write_golden(dir.path());
+  EXPECT_TRUE(chaos::snapshot_dir(dir.path()) == chaos::golden_snapshot())
+      << "a repaired-and-rewritten directory must be byte-identical to a "
+         "fault-free run";
+}
+
+}  // namespace
+}  // namespace spio

@@ -1,0 +1,168 @@
+/// \file log_test.cpp
+/// Structured logging: spec parsing, level filtering, the file sink's
+/// line format (prefix, rank, event name, key=value fields, quoting),
+/// and the guarantee that active log events land in the flight recorder.
+
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
+#include "util/temp_dir.hpp"
+
+namespace spio {
+namespace {
+
+using obs::log::Level;
+
+/// Every line of a text file.
+std::vector<std::string> lines_of(const std::filesystem::path& p) {
+  std::ifstream f(p);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(f, line)) lines.push_back(line);
+  return lines;
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::log::set_level(Level::kOff);
+    obs::log::set_sink_path("");
+    obs::set_thread_rank(-1);
+    obs::FlightRecorder::instance().clear();
+  }
+};
+
+TEST_F(LogTest, ParseLevelAcceptsKeywordsAndRejectsJunk) {
+  Level l = Level::kOff;
+  EXPECT_TRUE(obs::log::parse_level("trace", &l));
+  EXPECT_EQ(l, Level::kTrace);
+  EXPECT_TRUE(obs::log::parse_level("warn", &l));
+  EXPECT_EQ(l, Level::kWarn);
+  EXPECT_TRUE(obs::log::parse_level("warning", &l));
+  EXPECT_EQ(l, Level::kWarn);
+  EXPECT_TRUE(obs::log::parse_level("off", &l));
+  EXPECT_EQ(l, Level::kOff);
+  EXPECT_FALSE(obs::log::parse_level("verbose", &l));
+  EXPECT_FALSE(obs::log::parse_level("", &l));
+}
+
+TEST_F(LogTest, ParseSpecSplitsLevelAndPath) {
+  Level l = Level::kOff;
+  std::string path = "untouched";
+  EXPECT_TRUE(obs::log::parse_spec("debug", &l, &path));
+  EXPECT_EQ(l, Level::kDebug);
+  EXPECT_EQ(path, "");
+
+  EXPECT_TRUE(obs::log::parse_spec("info:/tmp/spio.log", &l, &path));
+  EXPECT_EQ(l, Level::kInfo);
+  EXPECT_EQ(path, "/tmp/spio.log");
+
+  // Paths may themselves contain ':' (only the first one splits).
+  EXPECT_TRUE(obs::log::parse_spec("error:log:v2.txt", &l, &path));
+  EXPECT_EQ(path, "log:v2.txt");
+
+  l = Level::kError;
+  path = "untouched";
+  EXPECT_FALSE(obs::log::parse_spec("chatty:/tmp/x", &l, &path));
+  EXPECT_EQ(l, Level::kError) << "outputs must survive a malformed spec";
+  EXPECT_EQ(path, "untouched");
+  EXPECT_FALSE(obs::log::parse_spec("", &l, &path));
+}
+
+TEST_F(LogTest, LevelFilterGatesEmission) {
+  obs::log::set_level(Level::kWarn);
+  EXPECT_FALSE(obs::log::enabled(Level::kDebug));
+  EXPECT_FALSE(obs::log::enabled(Level::kInfo));
+  EXPECT_TRUE(obs::log::enabled(Level::kWarn));
+  EXPECT_TRUE(obs::log::enabled(Level::kError));
+
+  TempDir dir("spio-log");
+  const auto sink = dir.path() / "out.log";
+  obs::log::set_sink_path(sink.string());
+  obs::log::Event(Level::kInfo, "suppressed.event").kv("k", 1);
+  obs::log::Event(Level::kError, "emitted.event").kv("k", 2);
+  obs::log::set_sink_path("");
+
+  const auto lines = lines_of(sink);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("emitted.event"), std::string::npos);
+  EXPECT_NE(lines[0].find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, LineFormatCarriesPrefixRankAndFields) {
+  obs::log::set_level(Level::kInfo);
+  TempDir dir("spio-log");
+  const auto sink = dir.path() / "out.log";
+  obs::log::set_sink_path(sink.string());
+
+  obs::set_thread_rank(7);
+  obs::log::Event(Level::kInfo, "writer.commit")
+      .kv("dir", "/data/run1")
+      .kv("files", std::uint64_t{16})
+      .kv("ok", true)
+      .kv("ratio", 1.5);
+  obs::set_thread_rank(-1);
+  obs::log::set_sink_path("");
+
+  const auto lines = lines_of(sink);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.rfind("[spio] INFO ", 0), 0u) << line;
+  EXPECT_NE(line.find(" r7 "), std::string::npos) << line;
+  EXPECT_NE(line.find("writer.commit"), std::string::npos) << line;
+  EXPECT_NE(line.find("dir=/data/run1"), std::string::npos) << line;
+  EXPECT_NE(line.find("files=16"), std::string::npos) << line;
+  EXPECT_NE(line.find("ok=true"), std::string::npos) << line;
+  EXPECT_NE(line.find("ratio=1.5"), std::string::npos) << line;
+}
+
+TEST_F(LogTest, ValuesWithSpacesOrEqualsAreQuoted) {
+  obs::log::set_level(Level::kInfo);
+  TempDir dir("spio-log");
+  const auto sink = dir.path() / "out.log";
+  obs::log::set_sink_path(sink.string());
+
+  obs::log::Event(Level::kInfo, "quoting.test")
+      .kv("msg", "drop msg tag=101 src=2")
+      .kv("plain", "bare");
+  obs::log::set_sink_path("");
+
+  const auto lines = lines_of(sink);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("msg=\"drop msg tag=101 src=2\""),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("plain=bare"), std::string::npos) << lines[0];
+}
+
+TEST_F(LogTest, ActiveEventsLandInFlightRecorder) {
+  obs::FlightRecorder::instance().clear();
+  obs::log::set_level(Level::kWarn);
+  { obs::log::Event(Level::kWarn, "flight.mirrored"); }
+  { obs::log::Event(Level::kDebug, "flight.suppressed"); }
+  obs::log::set_level(Level::kOff);
+
+  bool mirrored = false, suppressed = false;
+  for (const auto& ring : obs::FlightRecorder::instance().snapshot())
+    for (const auto& e : ring.events) {
+      if (std::string(e.text) == "flight.mirrored" &&
+          e.type == obs::FlightType::kLog)
+        mirrored = true;
+      if (std::string(e.text) == "flight.suppressed") suppressed = true;
+    }
+  EXPECT_TRUE(mirrored)
+      << "an emitted log event must appear in the flight ring";
+  EXPECT_FALSE(suppressed)
+      << "a filtered log event must not reach the flight ring";
+}
+
+}  // namespace
+}  // namespace spio

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <functional>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -34,6 +35,11 @@ double best_seconds(int reps, const std::function<void()>& fn) {
 TEST(ObsOverhead, DisabledSpansAreNanosecondCheap) {
   obs::disable();
   obs::Tracer::instance().clear();
+  obs::FlightRecorder::instance().clear();
+  // The floor is measured with the black box LIVE: a disabled span still
+  // feeds the always-on flight recorder (two ring records), and that
+  // combined path must stay within the same budget.
+  ASSERT_TRUE(obs::FlightRecorder::instance().is_enabled());
 
   constexpr int kIters = 1000000;
   const double s = best_seconds(3, [&] {
@@ -41,13 +47,35 @@ TEST(ObsOverhead, DisabledSpansAreNanosecondCheap) {
       obs::ScopedSpan span("perf.noop", "perf");
     }
   });
-  // Nothing may have been recorded while disabled.
+  // Nothing may reach the tracer while disabled — but every span must
+  // have hit the flight ring (begin + end per iteration).
   EXPECT_EQ(obs::Tracer::instance().event_count(), 0u);
+  EXPECT_GE(obs::FlightRecorder::instance().record_count(),
+            2u * kIters);
 
   const double ns_per_span = s / kIters * 1e9;
   EXPECT_LE(ns_per_span, 200.0)
       << "a disabled span costs " << ns_per_span
       << " ns; the enabled() gate should keep it at a handful";
+  obs::FlightRecorder::instance().clear();
+}
+
+TEST(ObsOverhead, FlightRecordIsNanosecondCheap) {
+  obs::FlightRecorder::instance().clear();
+  constexpr int kIters = 1000000;
+  const double s = best_seconds(3, [&] {
+    for (int i = 0; i < kIters; ++i)
+      obs::flight_record(obs::FlightType::kMark, "perf.flight",
+                         static_cast<std::uint64_t>(i));
+  });
+  EXPECT_GE(obs::FlightRecorder::instance().record_count(),
+            static_cast<std::uint64_t>(kIters));
+
+  const double ns_per_record = s / kIters * 1e9;
+  EXPECT_LE(ns_per_record, 150.0)
+      << "a flight record costs " << ns_per_record
+      << " ns; it should be one clock read plus relaxed stores";
+  obs::FlightRecorder::instance().clear();
 }
 
 TEST(ObsOverhead, CachedCounterAddStaysCheapWhileEnabled) {

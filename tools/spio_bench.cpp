@@ -17,11 +17,18 @@
 /// Usage:
 ///   spio_bench [--ranks N] [--particles P] [--reps R] [--dir path]
 ///              [--factors f1,f2,...]   (factors like 2x2x1)
-///              [--json FILE] [--hotpath] [--trace FILE]
+///              [--json FILE] [--hotpath] [--compare FILE] [--trace FILE]
 ///
 /// `--trace FILE` turns on the observability layer for the whole run and
 /// writes the merged Chrome trace-event JSON (chrome://tracing, Perfetto)
 /// to FILE on exit; `spio_trace FILE` renders it as a phase table.
+///
+/// `--compare FILE` (hotpath mode) gates the fresh results against a
+/// committed baseline: any per-stage MB/s or micro-kernel speedup more
+/// than 15% below FILE's value fails the run with a non-zero exit — the
+/// perf-regression gate `bench/run_hotpath.sh` applies against
+/// BENCH_hotpath.json. The baseline is read before `--json` overwrites
+/// it, so both flags may name the same file.
 
 #include <atomic>
 #include <chrono>
@@ -33,8 +40,11 @@
 
 #include "core/reader.hpp"
 #include "core/writer.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
+#include "util/serialize.hpp"
 #include "simmpi/runtime.hpp"
 #include "util/checksum.hpp"
 #include "util/rng.hpp"
@@ -208,7 +218,115 @@ void hotpath_job(Json& j, int ranks, std::uint64_t per_rank,
   j.close_obj();
 }
 
-int run_hotpath(const std::string& json_path, int reps) {
+// ---- perf-regression gate ----
+
+/// Array element whose `key` field equals `want`, or null. Hotpath arrays
+/// are keyed by a shape discriminator (bytes, schema_bytes, ranks) so a
+/// baseline regenerated with different entries still matches by shape.
+const obs::JsonValue* find_entry(const obs::JsonValue* arr, const char* key,
+                                 std::int64_t want) {
+  if (!arr || !arr->is_array()) return nullptr;
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const obs::JsonValue& e = arr->at(i);
+    if (!e.is_object()) continue;
+    if (const obs::JsonValue* k = e.find(key))
+      if (k->as_i64() == want) return &e;
+  }
+  return nullptr;
+}
+
+/// Gate fresh hotpath results against a committed baseline document.
+/// Compares micro-kernel speedups (crc64, binning) and per-stage MB/s of
+/// each pipeline job; a metric more than `kTolerance` below baseline is a
+/// regression. Metrics present in only one document are reported but
+/// never fail the gate (the baseline may predate a new stage).
+int compare_hotpath(const std::string& baseline_text,
+                    const std::string& current_text) {
+  constexpr double kTolerance = 0.15;
+  const obs::JsonValue base = obs::JsonValue::parse(baseline_text);
+  const obs::JsonValue cur = obs::JsonValue::parse(current_text);
+
+  struct Row {
+    std::string metric;
+    double baseline;
+    double current;
+  };
+  std::vector<Row> rows;
+  const auto add = [&](std::string metric, const obs::JsonValue* b,
+                       const obs::JsonValue* c, const char* key) {
+    if (!b || !c) return;
+    const obs::JsonValue* bv = b->find(key);
+    const obs::JsonValue* cv = c->find(key);
+    if (!bv || !cv) return;
+    rows.push_back({std::move(metric), bv->as_double(), cv->as_double()});
+  };
+
+  if (const obs::JsonValue* cc = cur.find("crc64"))
+    for (std::size_t i = 0; i < cc->size(); ++i) {
+      const std::int64_t bytes = cc->at(i).at("bytes").as_i64();
+      add("crc64[" + std::to_string(bytes >> 20) + "MiB].speedup",
+          find_entry(base.find("crc64"), "bytes", bytes), &cc->at(i),
+          "speedup");
+    }
+  if (const obs::JsonValue* cb = cur.find("binning_general"))
+    for (std::size_t i = 0; i < cb->size(); ++i) {
+      const std::int64_t sb = cb->at(i).at("schema_bytes").as_i64();
+      add("binning[" + std::to_string(sb) + "B].speedup",
+          find_entry(base.find("binning_general"), "schema_bytes", sb),
+          &cb->at(i), "speedup");
+    }
+  if (const obs::JsonValue* cj = cur.find("jobs"))
+    for (std::size_t i = 0; i < cj->size(); ++i) {
+      const std::int64_t ranks = cj->at(i).at("ranks").as_i64();
+      const obs::JsonValue* bj = find_entry(base.find("jobs"), "ranks", ranks);
+      const obs::JsonValue* bs = bj ? bj->find("stages_mbps") : nullptr;
+      const obs::JsonValue* cs = cj->at(i).find("stages_mbps");
+      for (const char* stage : {"bin", "exchange", "reorder", "crc", "write"})
+        add("job" + std::to_string(ranks) + "." + stage + "_mbps", bs, cs,
+            stage);
+    }
+
+  if (rows.empty()) {
+    std::cerr << "compare: no common hotpath metrics between baseline and "
+                 "this run\n";
+    return 1;
+  }
+
+  int regressions = 0;
+  Table t("hotpath vs baseline (gate: >15% regression fails)",
+          {"metric", "baseline", "current", "ratio", "status"});
+  for (const Row& r : rows) {
+    const double ratio = r.baseline > 0 ? r.current / r.baseline : 1.0;
+    const bool regressed = ratio < 1.0 - kTolerance;
+    if (regressed) ++regressions;
+    t.row()
+        .add(r.metric)
+        .add_double(r.baseline, 2)
+        .add_double(r.current, 2)
+        .add_double(ratio, 3)
+        .add(regressed ? "REGRESSED" : "ok");
+  }
+  t.print(std::cout);
+  if (regressions > 0) {
+    std::cerr << "compare: " << regressions
+              << " metric(s) regressed more than "
+              << static_cast<int>(kTolerance * 100) << "% vs baseline\n";
+    return 1;
+  }
+  std::cout << "compare: all " << rows.size()
+            << " metrics within tolerance\n";
+  return 0;
+}
+
+int run_hotpath(const std::string& json_path, const std::string& compare_path,
+                int reps) {
+  // Read the baseline up front: --json may overwrite the same file.
+  std::string baseline_text;
+  if (!compare_path.empty()) {
+    const std::vector<std::byte> bytes = read_file(compare_path);
+    baseline_text.assign(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size());
+  }
   const Schema schema = Schema::uintah();
   Json j;
   j.open_obj();
@@ -325,6 +443,7 @@ int run_hotpath(const std::string& json_path, int reps) {
   j.close_obj();
 
   if (!json_path.empty()) write_json(json_path, j.str());
+  if (!compare_path.empty()) return compare_hotpath(baseline_text, j.str());
   return 0;
 }
 
@@ -336,7 +455,9 @@ int main(int argc, char** argv) {
   int reps = 3;
   std::filesystem::path base;
   std::string json_path;
+  std::string compare_path;
   std::filesystem::path trace_path;
+  std::filesystem::path postmortem_dir;
   bool hotpath = false;
   std::vector<PartitionFactor> factors = {
       {1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {4, 2, 2}};
@@ -356,6 +477,8 @@ int main(int argc, char** argv) {
     else if (arg == "--dir") base = next();
     else if (arg == "--json") json_path = next();
     else if (arg == "--hotpath") hotpath = true;
+    else if (arg == "--compare") compare_path = next();
+    else if (arg == "--dump-postmortem") postmortem_dir = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--factors") {
       factors.clear();
@@ -372,7 +495,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: spio_bench [--ranks N] [--particles P] "
                    "[--reps R] [--dir path] [--factors f1,f2,...] "
-                   "[--json FILE] [--hotpath] [--trace FILE]\n";
+                   "[--json FILE] [--hotpath] [--compare FILE] "
+                   "[--dump-postmortem DIR] [--trace FILE]\n";
       return 2;
     }
   }
@@ -381,15 +505,36 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::init_from_env();  // honor SPIO_TRACE / SPIO_LOG like the tests do
   if (!trace_path.empty()) obs::enable();
   const auto flush_trace = [&] {
     if (trace_path.empty()) return;
     obs::Tracer::instance().write_chrome_trace(trace_path);
     std::cout << "trace written to " << trace_path.string() << "\n";
   };
+  // `--dump-postmortem DIR`: write a postmortem bundle from the live
+  // flight recorder after the run. Not a failure — a smoke artifact so
+  // CI can validate the black-box format against a real pipeline run.
+  const auto dump_postmortem = [&] {
+    if (postmortem_dir.empty()) return;
+    obs::PostmortemInfo info;
+    info.reason = "benchmark smoke bundle (not a failure)";
+    info.phase = "bench";
+    if (obs::save_postmortem(postmortem_dir, info))
+      std::cout << "wrote "
+                << (postmortem_dir / obs::kPostmortemFile).string() << "\n";
+    else
+      std::cerr << "cannot write postmortem bundle to '"
+                << postmortem_dir.string() << "'\n";
+  };
 
+  if (!compare_path.empty() && !hotpath) {
+    std::cerr << "--compare requires --hotpath\n";
+    return 2;
+  }
   if (hotpath) {
-    const int rc = run_hotpath(json_path, reps);
+    const int rc = run_hotpath(json_path, compare_path, reps);
+    dump_postmortem();
     flush_trace();
     return rc;
   }
@@ -517,6 +662,7 @@ int main(int argc, char** argv) {
   j.close_arr();
   j.close_obj();
   if (!json_path.empty()) write_json(json_path, j.str());
+  dump_postmortem();
   flush_trace();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "core/reader.hpp"
 #include "core/timeseries.hpp"
 #include "core/validate.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/run_record.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -110,6 +111,10 @@ int inspect_dataset(const std::filesystem::path& dir, bool deep,
             << (WriteJournal::present(dir) ? "OPEN (interrupted write?)"
                                            : "closed")
             << " checksums=" << (ChecksumTable::present(dir) ? "yes" : "no")
+            << " postmortem="
+            << (obs::postmortem_present(dir)
+                    ? "PRESENT (see spio_trace --postmortem)"
+                    : "none")
             << "\n  schema    : " << m.schema.record_size()
             << " B/particle\n";
   for (const FieldDesc& f : m.schema.fields()) {

@@ -3,7 +3,8 @@
 ///
 /// Usage:
 ///   spio_trace <trace.json>    [--check] [--csv]
-///   spio_trace <dataset-dir>   [--csv]
+///   spio_trace <bundle.json>   [--check]
+///   spio_trace <dataset-dir>   [--csv] [--postmortem] [--check]
 ///
 /// Given a Chrome trace-event JSON file (from `spio_bench --trace` or
 /// `SPIO_TRACE=path`), prints a Fig. 6-style per-rank, per-phase
@@ -11,18 +12,27 @@
 /// directory holding a `trace.spio.json` run record, prints the record's
 /// phase tables instead.
 ///
-/// `--check` validates the trace structurally — the document parses, the
-/// `traceEvents` array is well-formed, spans nest properly within each
-/// rank track — and exits non-zero on any violation (used by
-/// `bench/run_hotpath.sh` as a CI gate).
+/// A `postmortem.spio.json` failure bundle is recognized by its
+/// `"format"` key (or forced with `--postmortem`, which on a dataset
+/// directory loads the bundle the failed write left behind) and rendered
+/// as a per-rank timeline of the flight recorder's last events.
+///
+/// `--check` validates the artifact structurally — a Chrome trace must
+/// parse, carry a well-formed `traceEvents` array, and nest its spans
+/// within each rank track; a postmortem bundle must satisfy
+/// `obs::validate_postmortem` — and exits non-zero on any violation
+/// (used by `bench/run_hotpath.sh` as a CI gate).
 
 #include <algorithm>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/run_record.hpp"
 #include "util/serialize.hpp"
 #include "util/table.hpp"
@@ -182,6 +192,70 @@ void render_trace(const obs::JsonValue& doc, bool csv) {
   csv ? s.print_csv(std::cout) : s.print(std::cout);
 }
 
+/// `--check` for failure bundles: structural validation via the library.
+int check_postmortem(const obs::JsonValue& doc) {
+  const std::vector<std::string> problems = obs::validate_postmortem(doc);
+  for (const std::string& p : problems) std::cerr << "check: " << p << "\n";
+  if (problems.empty()) std::cout << "postmortem bundle OK\n";
+  return problems.empty() ? 0 : 1;
+}
+
+/// Render a failure bundle: the reason header, the fault-plan echo, and
+/// a per-rank timeline of the flight recorder's last events — the view
+/// of "what was every rank doing when it died".
+void render_postmortem(const obs::JsonValue& doc) {
+  std::cout << "postmortem bundle\n"
+            << "  reason     : " << doc.at("reason").as_string() << "\n"
+            << "  failed rank: " << doc.at("failed_rank").as_i64() << "\n"
+            << "  phase      : " << doc.at("phase").as_string() << "\n";
+  if (const obs::JsonValue* jr = doc.find("job_ranks"))
+    std::cout << "  job ranks  : " << jr->as_i64() << "\n";
+  if (const obs::JsonValue* plan = doc.find("fault_plan")) {
+    const auto count = [&](const char* key) {
+      const obs::JsonValue* a = plan->find(key);
+      return a && a->is_array() ? a->size() : std::size_t{0};
+    };
+    std::cout << "  fault plan : " << count("messages")
+              << " message rule(s), " << count("files") << " file rule(s), "
+              << count("deaths") << " death rule(s)\n";
+  }
+  if (const obs::JsonValue* ws = doc.find("write_stats")) {
+    if (ws->contains("particles_written") && ws->contains("bytes_written"))
+      std::cout << "  progress   : "
+                << ws->at("particles_written").as_u64() << " particles, "
+                << format_bytes(ws->at("bytes_written").as_u64())
+                << " written before the failure\n";
+  }
+
+  const obs::JsonValue& fr = doc.at("flight_recorder");
+  std::cout << "\nflight recorder (ring capacity "
+            << fr.at("capacity").as_u64() << " events per rank)\n";
+  const obs::JsonValue& ranks = fr.at("ranks");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const obs::JsonValue& r = ranks.at(i);
+    const long long rank = r.at("rank").as_i64();
+    std::cout << "\n"
+              << (rank < 0 ? std::string("non-rank threads")
+                           : "rank " + std::to_string(rank))
+              << ": " << r.at("recorded").as_u64() << " event(s), "
+              << r.at("dropped").as_u64() << " overwritten\n";
+    const obs::JsonValue& events = r.at("events");
+    for (std::size_t j = 0; j < events.size(); ++j) {
+      const obs::JsonValue& e = events.at(j);
+      std::ostringstream extra;
+      if (const obs::JsonValue* a = e.find("a")) extra << "  a=" << a->as_u64();
+      if (const obs::JsonValue* b = e.find("b")) extra << " b=" << b->as_u64();
+      if (const obs::JsonValue* d = e.find("detail"))
+        extra << " detail=" << d->as_u64();
+      std::cout << "  +" << std::fixed << std::setprecision(1)
+                << std::setw(12) << e.at("ts_us").as_double() << "us  "
+                << std::left << std::setw(11) << e.at("type").as_string()
+                << std::right << e.at("name").as_string() << extra.str()
+                << "\n";
+    }
+  }
+}
+
 /// Render a dataset's `trace.spio.json` run record.
 void render_record(const std::filesystem::path& dir, bool csv) {
   const obs::JsonValue rec = obs::load_run_record(dir);
@@ -239,16 +313,19 @@ void render_record(const std::filesystem::path& dir, bool csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: spio_trace <trace.json | bundle.json | dataset-dir> "
+      "[--check] [--csv] [--postmortem]\n";
   if (argc < 2) {
-    std::cerr << "usage: spio_trace <trace.json | dataset-dir> "
-                 "[--check] [--csv]\n";
+    std::cerr << kUsage;
     return 2;
   }
   std::filesystem::path target;
-  bool check = false, csv = false;
+  bool check = false, csv = false, postmortem = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) check = true;
     else if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    else if (std::strcmp(argv[i], "--postmortem") == 0) postmortem = true;
     else if (target.empty() && argv[i][0] != '-') target = argv[i];
     else {
       std::cerr << "unknown option: " << argv[i] << "\n";
@@ -256,13 +333,23 @@ int main(int argc, char** argv) {
     }
   }
   if (target.empty()) {
-    std::cerr << "usage: spio_trace <trace.json | dataset-dir> "
-                 "[--check] [--csv]\n";
+    std::cerr << kUsage;
     return 2;
   }
 
   try {
     if (std::filesystem::is_directory(target)) {
+      if (postmortem || (check && obs::postmortem_present(target))) {
+        if (!obs::postmortem_present(target)) {
+          std::cerr << "no " << obs::kPostmortemFile << " in '"
+                    << target.string() << "' (no failed write to explain)\n";
+          return 1;
+        }
+        const obs::JsonValue doc = obs::load_postmortem(target);
+        if (check) return check_postmortem(doc);
+        render_postmortem(doc);
+        return 0;
+      }
       if (!obs::run_record_present(target)) {
         std::cerr << "no " << obs::kRunRecordFile << " in '"
                   << target.string() << "' (write with tracing enabled)\n";
@@ -275,6 +362,14 @@ int main(int argc, char** argv) {
     const obs::JsonValue doc = obs::JsonValue::parse(
         std::string_view(reinterpret_cast<const char*>(bytes.data()),
                          bytes.size()));
+    const bool is_bundle = doc.is_object() && doc.contains("format") &&
+                           doc.at("format").is_string() &&
+                           doc.at("format").as_string() == "spio.postmortem";
+    if (is_bundle || postmortem) {
+      if (check) return check_postmortem(doc);
+      render_postmortem(doc);
+      return 0;
+    }
     if (check) return check_trace(doc);
     render_trace(doc, csv);
     return 0;
