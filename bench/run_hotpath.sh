@@ -54,3 +54,17 @@ if [ -x "$TRACE_TOOL" ]; then
 else
   echo "warning: $TRACE_TOOL not built; skipping artifact validation" >&2
 fi
+
+# Read-path baseline (BENCH_readpath.json): the fused filter kernels vs
+# their references, plus cold/warm/range-filter/distributed end-to-end
+# stages through the read engine. Gated the same way.
+READ_BASELINE="$REPO_ROOT/BENCH_readpath.json"
+READ_COMPARE_ARGS=""
+if [ -f "$READ_BASELINE" ]; then
+  READ_COMPARE_ARGS="--compare $READ_BASELINE"
+else
+  echo "no committed baseline at $READ_BASELINE; generating without the gate" >&2
+fi
+
+# shellcheck disable=SC2086  # READ_COMPARE_ARGS is intentionally word-split
+"$BENCH" --readpath --reps "$REPS" --json "$READ_BASELINE" $READ_COMPARE_ARGS

@@ -1,0 +1,452 @@
+#include "core/read_engine.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/serialize.hpp"
+
+namespace spio {
+
+namespace {
+
+/// Default LRU budget when `SPIO_READ_CACHE` is unset: enough for the
+/// working set of a laptop-scale analysis session, small next to the
+/// datasets the paper targets.
+constexpr std::uint64_t kDefaultCacheBytes = 256ull << 20;
+
+int default_concurrency() {
+  if (const char* env = std::getenv("SPIO_READ_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return 1;
+  return hw > 16 ? 16 : static_cast<int>(hw);
+}
+
+std::uint64_t default_cache_budget() {
+  if (const char* env = std::getenv("SPIO_READ_CACHE")) {
+    std::uint64_t bytes = 0;
+    if (read_detail::parse_size_bytes(env, &bytes)) return bytes;
+  }
+  return kDefaultCacheBytes;
+}
+
+void publish_counter(const char* name, std::uint64_t delta) {
+  if (delta == 0 || !obs::enabled()) return;
+  obs::MetricsRegistry::global().counter(name).add(delta);
+}
+
+}  // namespace
+
+ReadEngine& ReadEngine::instance() {
+  static ReadEngine engine;
+  return engine;
+}
+
+ReadEngine::ReadEngine()
+    : budget_(default_cache_budget()),
+      pool_(std::make_unique<ThreadPool>(default_concurrency())) {}
+
+FileSig ReadEngine::probe(const std::filesystem::path& path) const {
+  FileSig sig;
+  sig.size = file_size_bytes(path);  // throws IoError when absent
+  if (cache_enabled()) {
+    std::error_code ec;
+    const auto t = std::filesystem::last_write_time(path, ec);
+    if (!ec) sig.mtime_ns = static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t.time_since_epoch())
+            .count());
+  }
+  return sig;
+}
+
+ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
+                                      std::uint64_t prefix_bytes,
+                                      const FileSig& sig) {
+  if (!cache_enabled() || prefix_bytes == 0) {
+    Fetched f;
+    f.owned = read_file_range(path, 0, prefix_bytes);
+    f.outcome = CacheOutcome::kBypass;
+    return f;
+  }
+
+  const std::string key =
+      path.string() + '\1' + std::to_string(prefix_bytes);
+  std::uint64_t evicted_delta = 0;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      Entry& e = *it->second;
+      if (e.sig.size == sig.size && e.sig.mtime_ns == sig.mtime_ns) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        Fetched f;
+        f.shared = e.data;
+        f.outcome = CacheOutcome::kHit;
+        publish_counter("reader.cache.hits", 1);
+        return f;
+      }
+      // Stale entry (the file was rewritten in place): drop it and fall
+      // through to a fresh read.
+      evicted_delta += e.data->size();
+      evict_locked(it->second);
+    }
+  }
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+
+  // One-pass read into uninitialized storage (no vector zero-fill).
+  auto block = std::make_shared<ByteBlock>(
+      static_cast<std::size_t>(prefix_bytes));
+  read_file_range_into(path, 0, {block->data(), block->size()});
+  std::shared_ptr<const ByteBlock> data = std::move(block);
+  evicted_delta = 0;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.misses;
+    if (data->size() <= budget_) {
+      const auto raced = map_.find(key);  // a concurrent miss beat us
+      if (raced != map_.end()) {
+        evicted_delta += raced->second->data->size();
+        evict_locked(raced->second);
+      }
+      const std::uint64_t before = stats_.bytes_evicted;
+      shrink_to_locked(budget_ - data->size());
+      evicted_delta += stats_.bytes_evicted - before;
+      lru_.push_front(Entry{key, data, sig});
+      map_.emplace(key, lru_.begin());
+      bytes_held_ += data->size();
+    }
+  }
+  publish_counter("reader.cache.misses", 1);
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+  Fetched f;
+  f.shared = std::move(data);
+  f.outcome = CacheOutcome::kMiss;
+  return f;
+}
+
+ThreadPool& ReadEngine::pool() { return *pool_; }
+
+int ReadEngine::concurrency() const { return pool_->concurrency(); }
+
+bool ReadEngine::cache_enabled() const {
+  std::lock_guard lk(mu_);
+  return budget_ > 0;
+}
+
+std::uint64_t ReadEngine::cache_budget() const {
+  std::lock_guard lk(mu_);
+  return budget_;
+}
+
+ReadCacheStats ReadEngine::cache_stats() const {
+  std::lock_guard lk(mu_);
+  ReadCacheStats s = stats_;
+  s.bytes_held = bytes_held_;
+  s.entries = map_.size();
+  return s;
+}
+
+void ReadEngine::clear_cache() {
+  std::uint64_t evicted_delta = 0;
+  {
+    std::lock_guard lk(mu_);
+    const std::uint64_t before = stats_.bytes_evicted;
+    shrink_to_locked(0);
+    evicted_delta = stats_.bytes_evicted - before;
+  }
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+}
+
+void ReadEngine::set_cache_budget(std::uint64_t bytes) {
+  std::uint64_t evicted_delta = 0;
+  {
+    std::lock_guard lk(mu_);
+    budget_ = bytes;
+    const std::uint64_t before = stats_.bytes_evicted;
+    shrink_to_locked(budget_);
+    evicted_delta = stats_.bytes_evicted - before;
+  }
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+}
+
+void ReadEngine::reset_cache_stats() {
+  std::lock_guard lk(mu_);
+  stats_ = ReadCacheStats{};
+}
+
+void ReadEngine::set_concurrency(int threads) {
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void ReadEngine::evict_locked(LruList::iterator it) {
+  bytes_held_ -= it->data->size();
+  stats_.bytes_evicted += it->data->size();
+  ++stats_.evictions;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
+void ReadEngine::shrink_to_locked(std::uint64_t target) {
+  while (bytes_held_ > target && !lru_.empty())
+    evict_locked(std::prev(lru_.end()));
+}
+
+namespace read_detail {
+
+bool parse_size_bytes(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return false;
+  std::uint64_t mult = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': mult = 1ull << 10; break;
+      case 'm': case 'M': mult = 1ull << 20; break;
+      case 'g': case 'G': mult = 1ull << 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+  }
+  *out = static_cast<std::uint64_t>(v) * mult;
+  return true;
+}
+
+namespace {
+
+constexpr std::size_t kNoRun = static_cast<std::size_t>(-1);
+
+/// A ParticleBuffer holding a copy of `bytes` — the reference oracles
+/// run the exact retained per-particle loops, which are written against
+/// the buffer API.
+ParticleBuffer materialize(std::span<const std::byte> bytes,
+                           const Schema& schema) {
+  ParticleBuffer buf(schema);
+  buf.append_bytes(bytes);
+  return buf;
+}
+
+/// Per-filter state with the component's byte offset and element type
+/// hoisted out of the record loop.
+struct HoistedRange {
+  std::size_t offset = 0;
+  bool is_f64 = true;
+  double lo = 0;
+  double hi = 0;
+};
+
+std::vector<HoistedRange> hoist_filters(const Schema& schema,
+                                        std::span<const RangeFilter> filters) {
+  std::vector<HoistedRange> hoisted;
+  hoisted.reserve(filters.size());
+  for (const RangeFilter& rf : filters) {
+    const FieldDesc& fd = schema.fields()[rf.field];
+    HoistedRange h;
+    h.is_f64 = fd.type == FieldType::kF64;
+    h.offset = schema.offset(rf.field) +
+               static_cast<std::size_t>(rf.component) *
+                   field_type_size(fd.type);
+    h.lo = rf.lo;
+    h.hi = rf.hi;
+    hoisted.push_back(h);
+  }
+  return hoisted;
+}
+
+inline bool position_in_box(const std::byte* rec, std::size_t pos_off,
+                            const Box3& box) {
+  double p[3];
+  std::memcpy(p, rec + pos_off, sizeof p);
+  // Exactly Box3::contains — half-open, NaN excluded.
+  return p[0] >= box.lo.x && p[0] < box.hi.x && p[1] >= box.lo.y &&
+         p[1] < box.hi.y && p[2] >= box.lo.z && p[2] < box.hi.z;
+}
+
+}  // namespace
+
+std::uint64_t filter_box(std::span<const std::byte> bytes,
+                         const Schema& schema, const Box3& box,
+                         ParticleBuffer& out) {
+  const std::size_t rec = schema.record_size();
+  SPIO_EXPECTS(rec > 0 && bytes.size() % rec == 0);
+  const std::size_t n = bytes.size() / rec;
+  const std::size_t pos_off = schema.offset(0);
+  const std::byte* base = bytes.data();
+  std::uint64_t kept = 0;
+  std::size_t run_start = kNoRun;
+  // Single pass: a run is copied the moment it closes, so its source
+  // bytes are still in L1/L2 from the position test that closed it.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (position_in_box(base + i * rec, pos_off, box)) {
+      if (run_start == kNoRun) run_start = i;
+    } else if (run_start != kNoRun) {
+      out.append_records(base + run_start * rec, i - run_start);
+      kept += i - run_start;
+      run_start = kNoRun;
+    }
+  }
+  if (run_start != kNoRun) {
+    out.append_records(base + run_start * rec, n - run_start);
+    kept += n - run_start;
+  }
+  return kept;
+}
+
+std::uint64_t filter_box_reference(std::span<const std::byte> bytes,
+                                   const Schema& schema, const Box3& box,
+                                   ParticleBuffer& out) {
+  const ParticleBuffer buf = materialize(bytes, schema);
+  std::uint64_t kept = 0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (box.contains(buf.position(i))) {
+      out.append_from(buf, i);
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+std::uint64_t filter_box_ranges(std::span<const std::byte> bytes,
+                                const Schema& schema, const Box3& box,
+                                std::span<const RangeFilter> filters,
+                                ParticleBuffer& out) {
+  const std::size_t rec = schema.record_size();
+  SPIO_EXPECTS(rec > 0 && bytes.size() % rec == 0);
+  const std::size_t n = bytes.size() / rec;
+  const std::size_t pos_off = schema.offset(0);
+  const std::vector<HoistedRange> hoisted = hoist_filters(schema, filters);
+  const std::byte* base = bytes.data();
+  std::uint64_t kept = 0;
+  std::size_t run_start = kNoRun;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::byte* r = base + i * rec;
+    bool keep = position_in_box(r, pos_off, box);
+    for (std::size_t k = 0; keep && k < hoisted.size(); ++k) {
+      const HoistedRange& h = hoisted[k];
+      double v;
+      if (h.is_f64) {
+        std::memcpy(&v, r + h.offset, sizeof(double));
+      } else {
+        float f;
+        std::memcpy(&f, r + h.offset, sizeof(float));
+        v = static_cast<double>(f);
+      }
+      // NaN passes, exactly as in the reference predicate.
+      if (v < h.lo || v > h.hi) keep = false;
+    }
+    if (keep) {
+      if (run_start == kNoRun) run_start = i;
+    } else if (run_start != kNoRun) {
+      out.append_records(base + run_start * rec, i - run_start);
+      kept += i - run_start;
+      run_start = kNoRun;
+    }
+  }
+  if (run_start != kNoRun) {
+    out.append_records(base + run_start * rec, n - run_start);
+    kept += n - run_start;
+  }
+  return kept;
+}
+
+std::uint64_t filter_box_ranges_reference(std::span<const std::byte> bytes,
+                                          const Schema& schema,
+                                          const Box3& box,
+                                          std::span<const RangeFilter> filters,
+                                          ParticleBuffer& out) {
+  const ParticleBuffer buf = materialize(bytes, schema);
+  std::uint64_t kept = 0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (!box.contains(buf.position(i))) continue;
+    bool keep = true;
+    for (const RangeFilter& rf : filters) {
+      const FieldDesc& fd = schema.fields()[rf.field];
+      const double v =
+          fd.type == FieldType::kF64
+              ? buf.get_f64(i, rf.field, rf.component)
+              : static_cast<double>(buf.get_f32(i, rf.field, rf.component));
+      if (v < rf.lo || v > rf.hi) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      out.append_from(buf, i);
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+void bin_by_owner(std::span<const std::byte> bytes, const Schema& schema,
+                  const PatchDecomposition& decomp,
+                  std::vector<ParticleBuffer>& outgoing) {
+  SPIO_EXPECTS(outgoing.size() ==
+               static_cast<std::size_t>(decomp.rank_count()));
+  const std::size_t rec = schema.record_size();
+  SPIO_EXPECTS(rec > 0 && bytes.size() % rec == 0);
+  const std::size_t n = bytes.size() / rec;
+  const std::size_t pos_off = schema.offset(0);
+  const std::byte* base = bytes.data();
+
+  // Pass 1: one point-location per record, folded into owner-tagged
+  // runs; per-owner totals let pass 2 reserve each bin exactly.
+  struct OwnerRun {
+    std::size_t start;
+    std::size_t len;
+    int owner;
+  };
+  std::vector<OwnerRun> runs;
+  std::vector<std::size_t> totals(outgoing.size(), 0);
+  int cur_owner = -1;
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double p[3];
+    std::memcpy(p, base + i * rec + pos_off, sizeof p);
+    const int owner = decomp.rank_of(decomp.cell_of({p[0], p[1], p[2]}));
+    if (owner != cur_owner) {
+      if (cur_owner >= 0 && i > run_start) {
+        runs.push_back({run_start, i - run_start, cur_owner});
+        totals[static_cast<std::size_t>(cur_owner)] += i - run_start;
+      }
+      cur_owner = owner;
+      run_start = i;
+    }
+  }
+  if (cur_owner >= 0 && n > run_start) {
+    runs.push_back({run_start, n - run_start, cur_owner});
+    totals[static_cast<std::size_t>(cur_owner)] += n - run_start;
+  }
+
+  // Pass 2: single memcpy per run into exactly-sized bins.
+  for (std::size_t o = 0; o < outgoing.size(); ++o)
+    if (totals[o] > 0) outgoing[o].reserve(outgoing[o].size() + totals[o]);
+  for (const OwnerRun& r : runs)
+    outgoing[static_cast<std::size_t>(r.owner)].append_records(
+        base + r.start * rec, r.len);
+}
+
+void bin_by_owner_reference(std::span<const std::byte> bytes,
+                            const Schema& schema,
+                            const PatchDecomposition& decomp,
+                            std::vector<ParticleBuffer>& outgoing) {
+  SPIO_EXPECTS(outgoing.size() ==
+               static_cast<std::size_t>(decomp.rank_count()));
+  const ParticleBuffer buf = materialize(bytes, schema);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const int owner = decomp.rank_of(decomp.cell_of(buf.position(i)));
+    outgoing[static_cast<std::size_t>(owner)].append_from(buf, i);
+  }
+}
+
+}  // namespace read_detail
+
+}  // namespace spio

@@ -1,0 +1,238 @@
+#pragma once
+
+/// \file read_engine.hpp
+/// The shared read engine every query entry point routes through
+/// (docs/PERF.md "Read path"). Three jobs:
+///
+///   1. **Worker pool** — a process-wide bounded `ThreadPool`
+///      (`SPIO_READ_THREADS=n`, default = hardware concurrency clamped
+///      to 16) so a query's N intersecting files are read and filtered
+///      concurrently. Results are always merged in file-index order, so
+///      output stays byte-identical to the serial path; a pool forced to
+///      1 reproduces serial execution exactly.
+///   2. **File-buffer cache** — an LRU cache of file *prefixes* keyed by
+///      `(path, prefix_bytes)` with a byte budget
+///      (`SPIO_READ_CACHE=bytes`, suffixes k/m/g accepted; default
+///      256 MiB; `0` disables). Repeated box/LOD/timeseries/restart
+///      queries against the same dataset skip disk entirely. Entries are
+///      validated against the file's (size, mtime) signature on every
+///      hit, so a dataset rewritten in place is never served stale.
+///      Counters: `reader.cache.{hits,misses,bytes_evicted}`.
+///   3. **Fused filter kernels** (`read_detail`) — run-detecting
+///      compaction replacing the per-particle `contains` + `append_from`
+///      loops: the position offset/stride is hoisted once per file and
+///      contiguous matching records are copied with single `memcpy`s.
+///      The original loops are retained as `*_reference` oracles
+///      (mirroring `writer_detail::bin_particles_reference`), and
+///      differential tests pin the fused kernels to them byte-for-byte.
+///
+/// Thread safety: `probe`/`fetch` and the cache maintenance hooks are
+/// safe to call from any thread (simmpi ranks share one process and one
+/// engine). `set_concurrency` swaps the pool and must not race in-flight
+/// queries — call it between queries (tests and benchmarks only).
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "workload/decomposition.hpp"
+#include "workload/particle_buffer.hpp"
+
+namespace spio {
+
+/// A predicate on one scalar field component: keep particles with value
+/// in [lo, hi]. Combined with the spatial box by `Dataset::query`
+/// (re-exported there as `Dataset::RangeFilter`).
+struct RangeFilter {
+  std::size_t field = 0;
+  std::uint32_t component = 0;
+  double lo = 0;
+  double hi = 0;
+};
+
+/// (size, mtime) identity of a file at probe time; the cache's staleness
+/// check. `mtime_ns` is 0 when the cache is disabled (not sampled).
+struct FileSig {
+  std::uint64_t size = 0;
+  std::int64_t mtime_ns = 0;
+};
+
+/// How a `fetch` was satisfied. `kBypass` = cache disabled (or an empty
+/// prefix): a plain read, exactly the pre-engine behaviour.
+enum class CacheOutcome : std::uint8_t { kBypass = 0, kHit = 1, kMiss = 2 };
+
+/// Point-in-time cache counters (also mirrored into the metrics
+/// registry as `reader.cache.*` when observability is on).
+struct ReadCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      ///< entries dropped (budget or stale)
+  std::uint64_t bytes_evicted = 0;  ///< payload bytes of those entries
+  std::uint64_t bytes_held = 0;     ///< current resident payload bytes
+  std::uint64_t entries = 0;        ///< current resident entry count
+};
+
+/// An exactly-sized, immutable-after-fill byte block. Unlike
+/// `std::vector`, construction does NOT zero the storage, so a cache
+/// miss reads a file prefix in one pass (fread) instead of two
+/// (memset + fread) — a full-memory-bandwidth saving on large prefixes.
+class ByteBlock {
+ public:
+  explicit ByteBlock(std::size_t size)
+      : data_(new std::byte[size]), size_(size) {}
+  std::byte* data() { return data_.get(); }
+  std::size_t size() const { return size_; }
+  std::span<const std::byte> span() const { return {data_.get(), size_}; }
+
+ private:
+  std::unique_ptr<std::byte[]> data_;
+  std::size_t size_;
+};
+
+class ReadEngine {
+ public:
+  /// The process-wide engine (thread-safe magic static). Configured from
+  /// `SPIO_READ_THREADS` / `SPIO_READ_CACHE` on first use.
+  static ReadEngine& instance();
+
+  /// One file prefix as returned by `fetch`: shared with the cache when
+  /// the cache holds it, owned when the fetch bypassed the cache.
+  struct Fetched {
+    std::shared_ptr<const ByteBlock> shared;
+    std::vector<std::byte> owned;
+    CacheOutcome outcome = CacheOutcome::kBypass;
+
+    std::span<const std::byte> bytes() const {
+      return shared ? shared->span() : std::span<const std::byte>(owned);
+    }
+    /// The payload, moved when uniquely owned (bypass) and copied when
+    /// shared with the cache — for `ParticleBuffer::adopt_bytes`.
+    std::vector<std::byte> take_or_copy() {
+      if (!shared) return std::move(owned);
+      const std::span<const std::byte> s = shared->span();
+      return std::vector<std::byte>(s.begin(), s.end());
+    }
+  };
+
+  /// Stat `path` (throws `IoError` when missing). Samples mtime only
+  /// when the cache is on; a disabled cache keeps the pre-engine
+  /// one-stat-per-read cost.
+  FileSig probe(const std::filesystem::path& path) const;
+
+  /// The first `prefix_bytes` of `path`, through the cache. `sig` must
+  /// come from a `probe` of the same path (it validates cached entries
+  /// and stamps fresh ones). Throws `IoError`/`FormatError` like
+  /// `read_file_range` on a miss.
+  Fetched fetch(const std::filesystem::path& path, std::uint64_t prefix_bytes,
+                const FileSig& sig);
+
+  /// The shared worker pool (size = `concurrency()`).
+  ThreadPool& pool();
+  /// Maximum concurrent per-file reads (1 = serial, inline).
+  int concurrency() const;
+
+  bool cache_enabled() const;
+  std::uint64_t cache_budget() const;
+  ReadCacheStats cache_stats() const;
+
+  // -- maintenance / test hooks ------------------------------------------
+  /// Drop every cached entry (counted as evictions).
+  void clear_cache();
+  /// Re-budget the cache; 0 disables it (and drops residents). Counters
+  /// are preserved.
+  void set_cache_budget(std::uint64_t bytes);
+  /// Zero the hit/miss/eviction counters (residents stay).
+  void reset_cache_stats();
+  /// Swap the worker pool for one of `threads`. Must not race in-flight
+  /// queries.
+  void set_concurrency(int threads);
+
+ private:
+  ReadEngine();
+
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const ByteBlock> data;
+    FileSig sig;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Unlink + account one resident entry (caller holds `mu_`).
+  void evict_locked(LruList::iterator it);
+  /// Evict from the tail until `bytes_held_ <= target` (caller holds
+  /// `mu_`).
+  void shrink_to_locked(std::uint64_t target);
+
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> map_;
+  std::uint64_t budget_ = 0;
+  std::uint64_t bytes_held_ = 0;
+  ReadCacheStats stats_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+namespace read_detail {
+
+/// Parse a byte-size string with an optional k/m/g suffix (binary
+/// multiples); the `SPIO_READ_CACHE` syntax. Returns false on garbage.
+bool parse_size_bytes(const std::string& text, std::uint64_t* out);
+
+/// Fused spatial filter: append every record of `bytes` whose position
+/// lies in `box` (half-open, `Box3::contains`) to `out`, copying each
+/// contiguous matching run with a single `memcpy` the moment the run
+/// closes — while its bytes are still cache-hot from the scan. Returns
+/// the number of records appended. Record order is preserved, so the
+/// output is byte-identical to `filter_box_reference`. Callers that know
+/// an upper bound should `reserve` `out` first to avoid regrowth.
+std::uint64_t filter_box(std::span<const std::byte> bytes,
+                         const Schema& schema, const Box3& box,
+                         ParticleBuffer& out);
+
+/// The retained pre-engine loop (`box.contains(position(i))` +
+/// `append_from`), the differential-testing oracle for `filter_box`.
+std::uint64_t filter_box_reference(std::span<const std::byte> bytes,
+                                   const Schema& schema, const Box3& box,
+                                   ParticleBuffer& out);
+
+/// Fused spatial + attribute filter (the `Dataset::query` kernel): keep
+/// records inside `box` whose filtered field components all fall in
+/// their [lo, hi]. Field offsets and element types are hoisted once;
+/// matching runs are copied with single `memcpy`s. NaN component values
+/// pass a filter, exactly as in the reference (`!(v < lo || v > hi)`).
+std::uint64_t filter_box_ranges(std::span<const std::byte> bytes,
+                                const Schema& schema, const Box3& box,
+                                std::span<const RangeFilter> filters,
+                                ParticleBuffer& out);
+
+/// The retained pre-engine loop, oracle for `filter_box_ranges`.
+std::uint64_t filter_box_ranges_reference(std::span<const std::byte> bytes,
+                                          const Schema& schema,
+                                          const Box3& box,
+                                          std::span<const RangeFilter> filters,
+                                          ParticleBuffer& out);
+
+/// Fused owner binning (the `distributed_read` kernel): append each
+/// record to `outgoing[rank_of(cell_of(position))]`, copying runs with
+/// equal owner with single `memcpy`s. `outgoing.size()` must equal
+/// `decomp.rank_count()`. Per-owner record order is preserved.
+void bin_by_owner(std::span<const std::byte> bytes, const Schema& schema,
+                  const PatchDecomposition& decomp,
+                  std::vector<ParticleBuffer>& outgoing);
+
+/// The retained pre-engine loop, oracle for `bin_by_owner`.
+void bin_by_owner_reference(std::span<const std::byte> bytes,
+                            const Schema& schema,
+                            const PatchDecomposition& decomp,
+                            std::vector<ParticleBuffer>& outgoing);
+
+}  // namespace read_detail
+
+}  // namespace spio

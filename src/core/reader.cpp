@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
+#include <functional>
+#include <future>
+#include <optional>
 
 #include "core/journal.hpp"
+#include "core/read_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/serialize.hpp"
@@ -42,6 +47,8 @@ ReadStats ReadStats::max_over(const ReadStats& a, const ReadStats& b) {
   m.bytes_read = a.bytes_read + b.bytes_read;
   m.particles_scanned = a.particles_scanned + b.particles_scanned;
   m.particles_returned = a.particles_returned + b.particles_returned;
+  m.cache_hits = a.cache_hits + b.cache_hits;
+  m.cache_misses = a.cache_misses + b.cache_misses;
   m.file_io_seconds = std::max(a.file_io_seconds, b.file_io_seconds);
   m.exchange_seconds = std::max(a.exchange_seconds, b.exchange_seconds);
   return m;
@@ -98,9 +105,9 @@ std::uint64_t Dataset::level_prefix_count(int file_index, int levels,
   return std::min(share, f.particle_count);
 }
 
-ParticleBuffer Dataset::read_data_file(int file_index, int levels,
-                                       int n_readers,
-                                       ReadStats* stats) const {
+Dataset::FilePrefix Dataset::fetch_file(int file_index, int levels,
+                                        int n_readers,
+                                        ReadStats* stats) const {
   SPIO_EXPECTS(file_index >= 0 && file_index < file_count());
   obs::ScopedSpan span("read.file", "reader");
   const Clock::time_point t0 = Clock::now();
@@ -109,28 +116,148 @@ ParticleBuffer Dataset::read_data_file(int file_index, int levels,
   const std::uint64_t record = meta_.schema.record_size();
 
   const auto path = dir_ / f.file_name();
-  const std::uint64_t on_disk = file_size_bytes(path);
-  SPIO_CHECK(on_disk == f.particle_count * record, FormatError,
-             "data file '" << f.file_name() << "' holds " << on_disk
+  ReadEngine& eng = ReadEngine::instance();
+  const FileSig sig = eng.probe(path);
+  SPIO_CHECK(sig.size == f.particle_count * record, FormatError,
+             "data file '" << f.file_name() << "' holds " << sig.size
                            << " bytes but metadata expects "
                            << f.particle_count * record);
 
-  ParticleBuffer buf(meta_.schema);
-  buf.adopt_bytes(read_file_range(path, 0, want * record));
+  FilePrefix prefix;
+  prefix.fetched = eng.fetch(path, want * record, sig);
+  prefix.count = want;
+  const bool opened = prefix.fetched.outcome != CacheOutcome::kHit;
   if (stats) {
-    stats->files_opened += 1;
-    stats->bytes_read += want * record;
+    if (opened) {
+      stats->files_opened += 1;
+      stats->bytes_read += want * record;
+      if (prefix.fetched.outcome == CacheOutcome::kMiss)
+        stats->cache_misses += 1;
+    } else {
+      stats->cache_hits += 1;
+    }
     stats->particles_scanned += want;
-    stats->particles_returned += want;
     stats->file_io_seconds += seconds_since(t0);
   }
   if (obs::enabled()) {
     auto& reg = obs::MetricsRegistry::global();
-    reg.counter("reader.files_opened").add(1);
-    reg.counter("reader.bytes_read").add(want * record);
+    if (opened) {
+      reg.counter("reader.files_opened").add(1);
+      reg.counter("reader.bytes_read").add(want * record);
+    }
     reg.counter("reader.particles_scanned").add(want);
   }
+  return prefix;
+}
+
+ParticleBuffer Dataset::read_data_file(int file_index, int levels,
+                                       int n_readers,
+                                       ReadStats* stats) const {
+  FilePrefix prefix = fetch_file(file_index, levels, n_readers, stats);
+  ParticleBuffer buf(meta_.schema);
+  buf.adopt_bytes(prefix.fetched.take_or_copy());
+  if (stats) stats->particles_returned += prefix.count;
   return buf;
+}
+
+std::uint64_t Dataset::filter_files_into(std::span<const int> files,
+                                         int levels, int n_readers,
+                                         const Box3& box,
+                                         std::span<const RangeFilter> filters,
+                                         bool whole_file_fast_path,
+                                         ParticleBuffer& out,
+                                         ReadStats* stats) const {
+  const std::size_t n = files.size();
+
+  /// Fetch + filter file `files[k]` into `dst`, counting into `st`.
+  /// Returns records appended.
+  const auto filter_one = [&](std::size_t k, ParticleBuffer& dst,
+                              ReadStats* st) -> std::uint64_t {
+    const int fi = files[k];
+    const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
+    FilePrefix prefix = fetch_file(fi, levels, n_readers, st);
+    if (whole_file_fast_path && box.contains_box(f.bounds)) {
+      // Whole file lies inside the query: no per-particle filter
+      // needed — the payoff of spatially-coherent files.
+      dst.append_bytes(prefix.bytes());
+      return prefix.count;
+    }
+    if (filters.empty())
+      return read_detail::filter_box(prefix.bytes(), meta_.schema, box, dst);
+    return read_detail::filter_box_ranges(prefix.bytes(), meta_.schema, box,
+                                          filters, dst);
+  };
+
+  ReadEngine& eng = ReadEngine::instance();
+  std::uint64_t returned = 0;
+  if (n <= 1 || eng.concurrency() <= 1) {
+    // Serial: filter every file straight into `out` — no per-file
+    // buffers, no merge copy. This IS the merge order.
+    for (std::size_t k = 0; k < n; ++k) returned += filter_one(k, out, stats);
+    if (stats) stats->particles_returned += returned;
+    return returned;
+  }
+
+  // The merge below emits straight into `out` the moment each file's
+  // fetch resolves, so the exact total is not known up front. Reserve
+  // the metadata upper bound (every record of every prefix matching) and
+  // trim below when a selective query leaves most of it unused — the
+  // trim copy is cheapest exactly when the result is small.
+  std::uint64_t upper = 0;
+  for (std::size_t k = 0; k < n; ++k)
+    upper += level_prefix_count(files[k], levels, n_readers);
+  const std::size_t prior = out.size();
+  out.reserve(prior + static_cast<std::size_t>(upper));
+
+  // Workers only fetch; the main thread filters each prefix into `out`
+  // in `files` order — the serial loop's order, so output (and the
+  // rethrow point of a failing file) stays identical — as soon as its
+  // fetch resolves. Filtering file k rides in the I/O-wait gaps of the
+  // still-running fetches of files k+1..n.
+  struct PerFile {
+    FilePrefix prefix;
+    ReadStats stats;
+  };
+  std::vector<PerFile> results(n);
+  std::vector<std::future<void>> pending;
+  pending.reserve(n);
+  for (std::size_t k = 0; k < n; ++k)
+    pending.push_back(eng.pool().submit([this, &results, files, levels,
+                                         n_readers, k] {
+      results[k].prefix =
+          fetch_file(files[k], levels, n_readers, &results[k].stats);
+    }));
+
+  std::exception_ptr first_error;
+  for (std::size_t k = 0; k < n; ++k) {
+    try {
+      pending[k].get();  // rethrows this file's fetch error, if any
+      if (first_error) continue;  // drain remaining fetches, don't filter
+      PerFile& r = results[k];
+      if (stats) stats->accumulate(r.stats);
+      const FileRecord& f = meta_.files[static_cast<std::size_t>(files[k])];
+      if (whole_file_fast_path && box.contains_box(f.bounds)) {
+        // Whole file lies inside the query: no per-particle filter
+        // needed — the payoff of spatially-coherent files.
+        out.append_bytes(r.prefix.bytes());
+        returned += r.prefix.count;
+      } else if (filters.empty()) {
+        returned +=
+            read_detail::filter_box(r.prefix.bytes(), meta_.schema, box, out);
+      } else {
+        returned += read_detail::filter_box_ranges(
+            r.prefix.bytes(), meta_.schema, box, filters, out);
+      }
+      r.prefix = FilePrefix{};  // drop the buffer before the next file
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  // Selective query against a big reservation: hand the slack back.
+  if (out.size() - prior < upper / 2) out.shrink_to_fit();
+  if (stats) stats->particles_returned += returned;
+  return returned;
 }
 
 ParticleBuffer Dataset::query_box(const Box3& box, int levels, int n_readers,
@@ -138,29 +265,8 @@ ParticleBuffer Dataset::query_box(const Box3& box, int levels, int n_readers,
   obs::ScopedSpan span("read.query_box", "reader");
   const std::vector<int> hits = intersecting(box);
   ParticleBuffer out(meta_.schema);
-  for (const int fi : hits) {
-    const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
-    ReadStats local;
-    ParticleBuffer file_buf = read_data_file(fi, levels, n_readers, &local);
-    if (stats) {
-      stats->files_opened += local.files_opened;
-      stats->bytes_read += local.bytes_read;
-      stats->particles_scanned += local.particles_scanned;
-    }
-    if (box.contains_box(f.bounds)) {
-      // Whole file lies inside the query: no per-particle filter needed —
-      // the payoff of spatially-coherent files.
-      if (stats) stats->particles_returned += file_buf.size();
-      out.append_bytes(file_buf.bytes());
-    } else {
-      for (std::size_t i = 0; i < file_buf.size(); ++i) {
-        if (box.contains(file_buf.position(i))) {
-          out.append_from(file_buf, i);
-          if (stats) stats->particles_returned += 1;
-        }
-      }
-    }
-  }
+  filter_files_into(hits, levels, n_readers, box, {},
+                    /*whole_file_fast_path=*/true, out, stats);
   publish_returned(out.size(), out.byte_size());
   return out;
 }
@@ -203,30 +309,8 @@ ParticleBuffer Dataset::query(const Box3& box,
   }
   const std::vector<int> hits = files_matching(box, filters);
   ParticleBuffer out(meta_.schema);
-  for (const int fi : hits) {
-    ParticleBuffer file_buf = read_data_file(fi, levels, n_readers, stats);
-    if (stats) stats->particles_returned -= file_buf.size();  // recount below
-    for (std::size_t i = 0; i < file_buf.size(); ++i) {
-      if (!box.contains(file_buf.position(i))) continue;
-      bool keep = true;
-      for (const RangeFilter& rf : filters) {
-        const FieldDesc& fd = meta_.schema.fields()[rf.field];
-        const double v =
-            fd.type == FieldType::kF64
-                ? file_buf.get_f64(i, rf.field, rf.component)
-                : static_cast<double>(
-                      file_buf.get_f32(i, rf.field, rf.component));
-        if (v < rf.lo || v > rf.hi) {
-          keep = false;
-          break;
-        }
-      }
-      if (keep) {
-        out.append_from(file_buf, i);
-        if (stats) stats->particles_returned += 1;
-      }
-    }
-  }
+  filter_files_into(hits, levels, n_readers, box, filters,
+                    /*whole_file_fast_path=*/false, out, stats);
   publish_returned(out.size(), out.byte_size());
   return out;
 }
@@ -237,32 +321,74 @@ std::uint64_t Dataset::stream_box(
     int levels, int n_readers, ReadStats* stats) const {
   SPIO_EXPECTS(sink != nullptr);
   obs::ScopedSpan span("read.stream_box", "reader");
-  std::uint64_t delivered = 0;
-  for (const int fi : intersecting(box)) {
-    const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
-    ReadStats local;
-    ParticleBuffer file_buf = read_data_file(fi, levels, n_readers, &local);
-    if (stats) {
-      stats->files_opened += local.files_opened;
-      stats->bytes_read += local.bytes_read;
-      stats->particles_scanned += local.particles_scanned;
-    }
-    if (!box.contains_box(f.bounds)) {
-      // Filter in place: compact matching records to the front.
-      std::size_t keep = 0;
-      for (std::size_t i = 0; i < file_buf.size(); ++i) {
-        if (box.contains(file_buf.position(i))) {
-          if (keep != i) file_buf.swap_records(keep, i);
-          ++keep;
-        }
+  const std::vector<int> hits = intersecting(box);
+
+  struct Chunk {
+    ParticleBuffer buf;
+    ReadStats stats;
+    std::exception_ptr error;
+  };
+  const auto produce = [&](int fi, Chunk& c) {
+    try {
+      const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
+      const FilePrefix prefix = fetch_file(fi, levels, n_readers, &c.stats);
+      if (box.contains_box(f.bounds)) {
+        c.buf.append_bytes(prefix.bytes());
+      } else {
+        read_detail::filter_box(prefix.bytes(), meta_.schema, box, c.buf);
       }
-      file_buf.truncate(keep);
+    } catch (...) {
+      c.error = std::current_exception();
     }
-    if (file_buf.empty()) continue;
-    delivered += file_buf.size();
-    if (stats) stats->particles_returned += file_buf.size();
-    if (!sink(file_buf)) break;
+  };
+
+  // Prefetch window: while the sink consumes one chunk, the pool
+  // produces the next ones. A window of 1 (pool forced to 1) is exactly
+  // the serial path: produce, deliver, repeat — and an early-stopping
+  // sink then reads nothing past the chunk it rejected. With a wider
+  // window, up to `window` file prefixes are resident at once and an
+  // early stop may have prefetched (and so counts in `stats`) up to
+  // `window - 1` files beyond the delivered one.
+  ReadEngine& eng = ReadEngine::instance();
+  const std::size_t window = std::max<std::size_t>(
+      1, std::min<std::size_t>(hits.size(),
+                               static_cast<std::size_t>(eng.concurrency())));
+
+  std::deque<std::unique_ptr<Chunk>> inflight;
+  std::deque<std::future<void>> pending;
+  std::size_t next = 0;
+  bool stopped = false;
+  std::exception_ptr failure;
+  std::uint64_t delivered = 0;
+
+  const auto launch = [&] {
+    while (!stopped && !failure && next < hits.size() &&
+           inflight.size() < window) {
+      auto chunk =
+          std::make_unique<Chunk>(Chunk{ParticleBuffer(meta_.schema), {}, {}});
+      Chunk* c = chunk.get();
+      const int fi = hits[next++];
+      inflight.push_back(std::move(chunk));
+      pending.push_back(eng.pool().submit([&produce, fi, c] { produce(fi, *c); }));
+    }
+  };
+
+  launch();
+  while (!inflight.empty()) {
+    pending.front().wait();
+    pending.pop_front();
+    const std::unique_ptr<Chunk> c = std::move(inflight.front());
+    inflight.pop_front();
+    if (c->error && !failure) failure = c->error;
+    if (stats) stats->accumulate(c->stats);
+    if (!failure && !stopped && !c->buf.empty()) {
+      delivered += c->buf.size();
+      if (stats) stats->particles_returned += c->buf.size();
+      if (!sink(c->buf)) stopped = true;
+    }
+    launch();
   }
+  if (failure) std::rethrow_exception(failure);
   publish_returned(delivered, delivered * meta_.schema.record_size());
   return delivered;
 }
@@ -271,21 +397,13 @@ ParticleBuffer Dataset::query_box_scan_all(const Box3& box,
                                            ReadStats* stats) const {
   obs::ScopedSpan span("read.scan_all", "reader");
   ParticleBuffer out(meta_.schema);
-  for (int fi = 0; fi < file_count(); ++fi) {
-    ReadStats local;
-    ParticleBuffer file_buf = read_data_file(fi, -1, 1, &local);
-    if (stats) {
-      stats->files_opened += local.files_opened;
-      stats->bytes_read += local.bytes_read;
-      stats->particles_scanned += local.particles_scanned;
-    }
-    for (std::size_t i = 0; i < file_buf.size(); ++i) {
-      if (box.contains(file_buf.position(i))) {
-        out.append_from(file_buf, i);
-        if (stats) stats->particles_returned += 1;
-      }
-    }
-  }
+  std::vector<int> all(static_cast<std::size_t>(file_count()));
+  for (int fi = 0; fi < file_count(); ++fi)
+    all[static_cast<std::size_t>(fi)] = fi;
+  // No whole-file shortcut: the baseline deliberately filters every
+  // particle ("read all particles ... and then cherry-pick", §4).
+  filter_files_into(all, /*levels=*/-1, /*n_readers=*/1, box, {},
+                    /*whole_file_fast_path=*/false, out, stats);
   publish_returned(out.size(), out.byte_size());
   return out;
 }

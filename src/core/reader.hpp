@@ -10,6 +10,15 @@
 /// Readers are independent of the writer's rank count: any number of
 /// processes can open the same dataset and issue disjoint queries, which
 /// is the paper's visualization-read scenario (§5.3).
+///
+/// Every query entry point routes through the shared `ReadEngine`
+/// (read_engine.hpp): the intersecting files of a query are read and
+/// filtered concurrently by a bounded worker pool (`SPIO_READ_THREADS`),
+/// file prefixes are served from an LRU buffer cache (`SPIO_READ_CACHE`)
+/// so repeated queries skip disk, and per-particle filtering runs
+/// through fused run-copy kernels. Results are merged in file-index
+/// order, so output is byte-identical to the serial path; a pool of 1
+/// with the cache disabled reproduces serial reads exactly.
 
 #include <filesystem>
 #include <functional>
@@ -18,6 +27,7 @@
 
 #include "core/file_index.hpp"
 #include "core/metadata.hpp"
+#include "core/read_engine.hpp"
 #include "workload/particle_buffer.hpp"
 
 namespace spio {
@@ -26,12 +36,21 @@ namespace spio {
 /// the same struct is passed to several calls). The symmetric partner of
 /// `WriteStats`: reduce across ranks with `ReadStats::max_over`.
 struct ReadStats {
+  /// Files actually opened and read from disk; a read-cache hit opens
+  /// nothing and is counted in `cache_hits` instead.
   int files_opened = 0;
+  /// Bytes fetched from disk (cache hits add nothing here).
   std::uint64_t bytes_read = 0;
-  /// Particles materialized from disk before spatial filtering.
+  /// Particles materialized (from disk or the read cache) before
+  /// spatial filtering.
   std::uint64_t particles_scanned = 0;
   /// Particles returned to the caller.
   std::uint64_t particles_returned = 0;
+  /// File prefixes served from the read engine's buffer cache / fetched
+  /// from disk and inserted into it. Both stay 0 when the cache is
+  /// disabled (`SPIO_READ_CACHE=0`).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   /// Wall time spent inside data-file reads on this rank.
   double file_io_seconds = 0;
@@ -53,6 +72,8 @@ struct ReadStats {
     bytes_read += o.bytes_read;
     particles_scanned += o.particles_scanned;
     particles_returned += o.particles_returned;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
     file_io_seconds += o.file_io_seconds;
     exchange_seconds += o.exchange_seconds;
   }
@@ -95,13 +116,9 @@ class Dataset {
   /// A predicate on one scalar field component: keep particles with
   /// value in [lo, hi]. Used by `query` to combine spatial and attribute
   /// selection; files whose metadata range misses [lo, hi] are skipped
-  /// without being opened (§3.5 extension).
-  struct RangeFilter {
-    std::size_t field = 0;
-    std::uint32_t component = 0;
-    double lo = 0;
-    double hi = 0;
-  };
+  /// without being opened (§3.5 extension). (An alias of the
+  /// namespace-scope `spio::RangeFilter` the fused kernels take.)
+  using RangeFilter = spio::RangeFilter;
 
   /// Combined spatial + attribute query: files are pruned first by
   /// bounding box, then by the recorded field ranges; surviving files are
@@ -143,6 +160,37 @@ class Dataset {
 
   /// Files intersecting `box`, via the spatial index when available.
   std::vector<int> intersecting(const Box3& box) const;
+
+  /// One file's LOD prefix as fetched through the read engine (bytes
+  /// shared with the buffer cache when it is on) plus its record count.
+  struct FilePrefix {
+    ReadEngine::Fetched fetched;
+    std::uint64_t count = 0;
+    std::span<const std::byte> bytes() const { return fetched.bytes(); }
+  };
+
+  /// Scan-side fetch of file `file_index`'s LOD prefix. Counts only scan
+  /// accounting into `stats` (files_opened, bytes_read,
+  /// particles_scanned, cache_*, file_io_seconds) — never
+  /// `particles_returned`, so callers never have to un-count records
+  /// they end up filtering out.
+  FilePrefix fetch_file(int file_index, int levels, int n_readers,
+                        ReadStats* stats) const;
+
+  /// The shared fan-out body of `query_box` / `query` /
+  /// `query_box_scan_all`: read every file of `files` through the engine
+  /// (concurrently when the pool allows), filter with the fused kernels,
+  /// and merge the per-file results into `out` in `files` order — the
+  /// serial path's order, keeping output byte-identical.
+  /// `whole_file_fast_path` enables the contains_box shortcut (spatial
+  /// queries only; attribute queries must always filter). Returns
+  /// particles appended to `out`.
+  std::uint64_t filter_files_into(std::span<const int> files, int levels,
+                                  int n_readers, const Box3& box,
+                                  std::span<const RangeFilter> filters,
+                                  bool whole_file_fast_path,
+                                  ParticleBuffer& out,
+                                  ReadStats* stats) const;
 
   std::filesystem::path dir_;
   DatasetMetadata meta_;

@@ -52,18 +52,22 @@ std::vector<std::byte> read_file(const std::filesystem::path& path) {
 std::vector<std::byte> read_file_range(const std::filesystem::path& path,
                                        std::uint64_t offset,
                                        std::uint64_t length) {
+  std::vector<std::byte> out(static_cast<std::size_t>(length));
+  read_file_range_into(path, offset, out);
+  return out;
+}
+
+void read_file_range_into(const std::filesystem::path& path,
+                          std::uint64_t offset, std::span<std::byte> out) {
   FilePtr f = open_checked(path, "rb");
   SPIO_CHECK(std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) == 0,
              IoError, "seek to " << offset << " failed in '" << path.string()
                                  << "'");
-  std::vector<std::byte> out(static_cast<std::size_t>(length));
-  if (length > 0) {
-    const std::size_t n = std::fread(out.data(), 1, out.size(), f.get());
-    SPIO_CHECK(n == out.size(), FormatError,
-               "'" << path.string() << "' truncated: wanted " << length
-                   << " bytes at offset " << offset << ", got " << n);
-  }
-  return out;
+  if (out.empty()) return;
+  const std::size_t n = std::fread(out.data(), 1, out.size(), f.get());
+  SPIO_CHECK(n == out.size(), FormatError,
+             "'" << path.string() << "' truncated: wanted " << out.size()
+                 << " bytes at offset " << offset << ", got " << n);
 }
 
 std::uint64_t file_size_bytes(const std::filesystem::path& path) {

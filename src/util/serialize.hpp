@@ -150,6 +150,12 @@ std::vector<std::byte> read_file_range(const std::filesystem::path& path,
                                        std::uint64_t offset,
                                        std::uint64_t length);
 
+/// Read `[offset, offset + out.size())` into caller-provided storage —
+/// the allocation-free twin of `read_file_range` for callers that manage
+/// their own (possibly uninitialized) buffers. Same error behaviour.
+void read_file_range_into(const std::filesystem::path& path,
+                          std::uint64_t offset, std::span<std::byte> out);
+
 /// Size of the file in bytes. Throws `IoError` if it does not exist.
 std::uint64_t file_size_bytes(const std::filesystem::path& path);
 

@@ -1,0 +1,61 @@
+#include "util/thread_pool.hpp"
+
+namespace spio {
+
+ThreadPool::ThreadPool(int threads) : concurrency_(threads < 1 ? 1 : threads) {
+  if (concurrency_ < 2) return;
+  workers_.reserve(static_cast<std::size_t>(concurrency_));
+  for (int i = 0; i < concurrency_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  if (workers_.empty()) {
+    task();  // inline pool: run now, on the caller
+    return fut;
+  }
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (workers_.empty()) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (auto& t : tasks) futures.push_back(submit(std::move(t)));
+  for (auto& f : futures) f.wait();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+}  // namespace spio

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Small bounded worker pool shared by the read engine (and reusable by
+/// any other subsystem that needs fan-out over independent tasks).
+///
+/// Semantics are chosen for determinism and exact serial fallback:
+///   - `ThreadPool(1)` spawns no threads at all; `submit` runs the task
+///     inline on the calling thread and returns an already-satisfied
+///     future. A pool of size 1 therefore reproduces single-threaded
+///     execution *exactly* (same call stack, same ordering, same
+///     exception propagation point).
+///   - `ThreadPool(n >= 2)` spawns `n` workers draining one FIFO queue.
+///     Multiple threads may submit concurrently (simmpi ranks are
+///     threads of one process and share the global read engine's pool);
+///     tasks never block on other tasks, so the bounded pool cannot
+///     deadlock.
+///
+/// Exceptions thrown by a task are captured in its future
+/// (`std::packaged_task` semantics) and rethrown to the waiter.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spio {
+
+class ThreadPool {
+ public:
+  /// \param threads maximum task concurrency; clamped to >= 1.
+  ///        1 = inline execution, no threads spawned.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maximum number of tasks that can run concurrently (1 = inline).
+  int concurrency() const { return concurrency_; }
+
+  /// Schedule `fn`; the returned future is satisfied when it completes
+  /// (holding its exception if it threw). Inline pools run `fn` before
+  /// returning.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run every task of `tasks` and block until all have completed.
+  /// Task order of *completion* is unspecified; callers that need a
+  /// deterministic result order must write into per-task slots and merge
+  /// after this returns. Exceptions are captured per task; `run_batch`
+  /// itself does not throw on task failure (inspect per-task state).
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+ private:
+  void worker_loop();
+
+  const int concurrency_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spio

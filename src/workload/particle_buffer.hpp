@@ -30,6 +30,9 @@ class ParticleBuffer {
   void reserve(std::size_t particles) {
     data_.reserve(particles * record_size_);
   }
+  /// Return over-reserved capacity to the allocator (used after a
+  /// selective query reserved for the worst case).
+  void shrink_to_fit() { data_.shrink_to_fit(); }
   void clear() { data_.clear(); }
 
   /// Append a zero-initialized record and return a writable view of it.
@@ -44,6 +47,15 @@ class ParticleBuffer {
 
   /// Append all records held in `bytes` (a multiple of record_size()).
   void append_bytes(std::span<const std::byte> bytes);
+
+  /// Append `count` whole records starting at `p` — the fused read
+  /// kernels' inner-loop appender. Unchecked (those kernels address by
+  /// record index, so the payload is whole records by construction) and
+  /// header-inline: a short matching run must cost one `memcpy`, not an
+  /// out-of-line call plus a divisibility check.
+  void append_records(const std::byte* p, std::size_t count) {
+    data_.insert(data_.end(), p, p + count * record_size_);
+  }
 
   /// Read-only view of record `i`.
   std::span<const std::byte> record(std::size_t i) const;

@@ -81,22 +81,26 @@ TEST_F(DistributedRead, EachFileOpenedExactlyOnce) {
   constexpr int kReaders = 8;
   const PatchDecomposition decomp =
       PatchDecomposition::for_ranks(Box3::unit(), kReaders);
+  // Count files *touched* (disk opens + read-cache hits): an earlier
+  // test in this process may have warmed the engine's cache for this
+  // dataset, and what this test pins is the access pattern, not where
+  // the bytes came from.
   std::atomic<int> opens{0};
   simmpi::run(kReaders, [&](simmpi::Comm& comm) {
     ReadStats rs;
     distributed_read(comm, decomp, dir_->path(), -1, &rs);
-    opens += rs.files_opened;
+    opens += rs.files_opened + static_cast<int>(rs.cache_hits);
   });
   const Dataset ds = Dataset::open(dir_->path());
   EXPECT_EQ(opens.load(), ds.file_count());
 
-  // Independent restart_read opens strictly more in total: boundary
-  // files are touched by several tiles.
+  // Independent restart_read touches strictly more in total: boundary
+  // files are read by several tiles.
   std::atomic<int> restart_opens{0};
   simmpi::run(kReaders, [&](simmpi::Comm& comm) {
     ReadStats rs;
     restart_read(comm, decomp, dir_->path(), &rs);
-    restart_opens += rs.files_opened;
+    restart_opens += rs.files_opened + static_cast<int>(rs.cache_hits);
   });
   EXPECT_GT(restart_opens.load(), opens.load());
 }

@@ -80,6 +80,8 @@ TEST(ReadStats, MaxOverTakesSlowestTimesAndSumsVolumes) {
   a.bytes_read = 1000;
   a.particles_scanned = 10;
   a.particles_returned = 5;
+  a.cache_hits = 1;
+  a.cache_misses = 2;
   a.file_io_seconds = 3.0;
   a.exchange_seconds = 0.5;
   ReadStats b;
@@ -87,6 +89,8 @@ TEST(ReadStats, MaxOverTakesSlowestTimesAndSumsVolumes) {
   b.bytes_read = 500;
   b.particles_scanned = 4;
   b.particles_returned = 4;
+  b.cache_hits = 4;
+  b.cache_misses = 8;
   b.file_io_seconds = 1.0;
   b.exchange_seconds = 2.0;
 
@@ -95,6 +99,8 @@ TEST(ReadStats, MaxOverTakesSlowestTimesAndSumsVolumes) {
   EXPECT_EQ(m.bytes_read, 1500u);
   EXPECT_EQ(m.particles_scanned, 14u);
   EXPECT_EQ(m.particles_returned, 9u);
+  EXPECT_EQ(m.cache_hits, 5u);
+  EXPECT_EQ(m.cache_misses, 10u);
   EXPECT_DOUBLE_EQ(m.file_io_seconds, 3.0);
   EXPECT_DOUBLE_EQ(m.exchange_seconds, 2.0);
 }
@@ -106,6 +112,8 @@ TEST(ReadStats, AccumulateAddsEveryField) {
   one.bytes_read = 100;
   one.particles_scanned = 8;
   one.particles_returned = 2;
+  one.cache_hits = 3;
+  one.cache_misses = 1;
   one.file_io_seconds = 0.25;
   one.exchange_seconds = 0.125;
   acc.accumulate(one);
@@ -114,6 +122,8 @@ TEST(ReadStats, AccumulateAddsEveryField) {
   EXPECT_EQ(acc.bytes_read, 200u);
   EXPECT_EQ(acc.particles_scanned, 16u);
   EXPECT_EQ(acc.particles_returned, 4u);
+  EXPECT_EQ(acc.cache_hits, 6u);
+  EXPECT_EQ(acc.cache_misses, 2u);
   EXPECT_DOUBLE_EQ(acc.file_io_seconds, 0.5);
   EXPECT_DOUBLE_EQ(acc.exchange_seconds, 0.25);
 }

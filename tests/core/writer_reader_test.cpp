@@ -193,10 +193,12 @@ TEST(BoxQuery, TouchesOnlyIntersectingFiles) {
   // spatially-unaware baseline reads all four.
   const Box3 q({0.1, 0.1, 0.1}, {0.9, 3.9, 3.9});
   ds.query_box(q, -1, 1, &rs);
-  EXPECT_EQ(rs.files_opened, 1);
+  EXPECT_EQ(rs.files_opened + static_cast<int>(rs.cache_hits), 1);
+  // The baseline touches all four files; the one the query above read
+  // may now be served from the read cache instead of reopened.
   ReadStats rs_scan;
   ds.query_box_scan_all(q, &rs_scan);
-  EXPECT_EQ(rs_scan.files_opened, 4);
+  EXPECT_EQ(rs_scan.files_opened + static_cast<int>(rs_scan.cache_hits), 4);
 }
 
 TEST(BoxQuery, FullyContainedFileSkipsFiltering) {

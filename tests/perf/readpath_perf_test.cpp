@@ -1,0 +1,93 @@
+/// \file readpath_perf_test.cpp
+/// Perf smoke tests for the read engine (ctest label `perf`). Like
+/// hotpath_perf_test.cpp the bars are several times below what
+/// bench/run_hotpath.sh measures, so they trip only on a genuine
+/// re-pessimization. One floor is exact rather than generous: a
+/// warm-cache query must not open a single file — that is a semantic
+/// property of the buffer cache, not a timing.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+
+#include "core/read_engine.hpp"
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double best_seconds(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) best = std::min(best, seconds_of(fn));
+  return best;
+}
+
+TEST(ReadpathPerf, WarmCacheQueryOpensZeroFiles) {
+  TempDir dir("spio-readperf");
+  const PatchDecomposition decomp =
+      PatchDecomposition::for_ranks(Box3::unit(), 8);
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {1, 1, 1};  // one file per patch: the query spans 8 files
+  simmpi::run(8, [&](simmpi::Comm& comm) {
+    const auto local = workload::uniform(
+        Schema::uintah(), decomp.patch(comm.rank()), 2000,
+        stream_seed(55, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * 2000);
+    write_dataset(comm, decomp, local, cfg);
+  });
+
+  ReadEngine& eng = ReadEngine::instance();
+  const std::uint64_t prev_budget = eng.cache_budget();
+  eng.set_cache_budget(256ull << 20);
+  eng.clear_cache();
+
+  const Dataset ds = Dataset::open(dir.path());
+  const Box3 box({0.1, 0.1, 0.1}, {0.9, 0.9, 0.9});
+  ds.query_box(box);  // prime
+
+  ReadStats warm;
+  const ParticleBuffer out = ds.query_box(box, -1, 1, &warm);
+  EXPECT_GT(out.size(), 0u);
+  EXPECT_EQ(warm.files_opened, 0) << "warm-cache query touched disk";
+  EXPECT_EQ(warm.bytes_read, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+
+  eng.set_cache_budget(prev_budget);
+}
+
+TEST(ReadpathPerf, FusedFilterBoxSustainsTwoMillionParticlesPerSecond) {
+  constexpr std::uint64_t kParticles = 500000;
+  const auto buf = workload::uniform(Schema::uintah(), Box3::unit(),
+                                     kParticles, stream_seed(56, 0), 0);
+  const Box3 half({0, 0, 0}, {0.5, 1, 1});
+
+  ParticleBuffer out(Schema::uintah());
+  const double s = best_seconds(3, [&] {
+    out.clear();
+    const auto n =
+        read_detail::filter_box(buf.bytes(), buf.schema(), half, out);
+    ASSERT_GT(n, 0u);
+  });
+
+  const double mpps = static_cast<double>(kParticles) / 1e6 / s;
+  EXPECT_GE(mpps, 2.0) << "fused filter_box dropped to " << mpps
+                       << " Mparticles/s; the run-copy kernel sustains "
+                          "several times this";
+}
+
+}  // namespace
+}  // namespace spio

@@ -30,6 +30,9 @@
 /// BENCH_hotpath.json. The baseline is read before `--json` overwrites
 /// it, so both flags may name the same file.
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -38,6 +41,12 @@
 #include <mutex>
 #include <sstream>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "core/distributed_read.hpp"
+#include "core/read_engine.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
 #include "obs/json.hpp"
@@ -235,6 +244,64 @@ const obs::JsonValue* find_entry(const obs::JsonValue* arr, const char* key,
   return nullptr;
 }
 
+/// String-keyed variant: readpath arrays are keyed by a name
+/// ("kernel", "stage").
+const obs::JsonValue* find_entry(const obs::JsonValue* arr, const char* key,
+                                 const std::string& want) {
+  if (!arr || !arr->is_array()) return nullptr;
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const obs::JsonValue& e = arr->at(i);
+    if (!e.is_object()) continue;
+    if (const obs::JsonValue* k = e.find(key))
+      if (k->is_string() && k->as_string() == want) return &e;
+  }
+  return nullptr;
+}
+
+struct GateRow {
+  std::string metric;
+  double baseline;
+  double current;
+  /// Fractional regression allowed before the row fails. CPU-bound
+  /// metrics use the default; cold-I/O stage ratios get a wider band
+  /// because both their terms ride host I/O weather (see
+  /// docs/PERF.md "Read path").
+  double tolerance = 0.15;
+};
+
+/// The shared regression check of `--compare`: any row more than its
+/// tolerance below its baseline fails the gate. Metrics present in
+/// only one document never fail it (the baseline may predate a stage).
+int gate_rows(const std::vector<GateRow>& rows, const std::string& title,
+              const char* what) {
+  if (rows.empty()) {
+    std::cerr << "compare: no common " << what
+              << " metrics between baseline and this run\n";
+    return 1;
+  }
+  int regressions = 0;
+  Table t(title, {"metric", "baseline", "current", "ratio", "status"});
+  for (const GateRow& r : rows) {
+    const double ratio = r.baseline > 0 ? r.current / r.baseline : 1.0;
+    const bool regressed = ratio < 1.0 - r.tolerance;
+    if (regressed) ++regressions;
+    t.row()
+        .add(r.metric)
+        .add_double(r.baseline, 2)
+        .add_double(r.current, 2)
+        .add_double(ratio, 3)
+        .add(regressed ? "REGRESSED" : "ok");
+  }
+  t.print(std::cout);
+  if (regressions > 0) {
+    std::cerr << "compare: " << regressions
+              << " metric(s) regressed past tolerance vs baseline\n";
+    return 1;
+  }
+  std::cout << "compare: all " << rows.size() << " metrics within tolerance\n";
+  return 0;
+}
+
 /// Gate fresh hotpath results against a committed baseline document.
 /// Compares micro-kernel speedups (crc64, binning) and per-stage MB/s of
 /// each pipeline job; a metric more than `kTolerance` below baseline is a
@@ -242,16 +309,10 @@ const obs::JsonValue* find_entry(const obs::JsonValue* arr, const char* key,
 /// never fail the gate (the baseline may predate a new stage).
 int compare_hotpath(const std::string& baseline_text,
                     const std::string& current_text) {
-  constexpr double kTolerance = 0.15;
   const obs::JsonValue base = obs::JsonValue::parse(baseline_text);
   const obs::JsonValue cur = obs::JsonValue::parse(current_text);
 
-  struct Row {
-    std::string metric;
-    double baseline;
-    double current;
-  };
-  std::vector<Row> rows;
+  std::vector<GateRow> rows;
   const auto add = [&](std::string metric, const obs::JsonValue* b,
                        const obs::JsonValue* c, const char* key) {
     if (!b || !c) return;
@@ -286,36 +347,8 @@ int compare_hotpath(const std::string& baseline_text,
             stage);
     }
 
-  if (rows.empty()) {
-    std::cerr << "compare: no common hotpath metrics between baseline and "
-                 "this run\n";
-    return 1;
-  }
-
-  int regressions = 0;
-  Table t("hotpath vs baseline (gate: >15% regression fails)",
-          {"metric", "baseline", "current", "ratio", "status"});
-  for (const Row& r : rows) {
-    const double ratio = r.baseline > 0 ? r.current / r.baseline : 1.0;
-    const bool regressed = ratio < 1.0 - kTolerance;
-    if (regressed) ++regressions;
-    t.row()
-        .add(r.metric)
-        .add_double(r.baseline, 2)
-        .add_double(r.current, 2)
-        .add_double(ratio, 3)
-        .add(regressed ? "REGRESSED" : "ok");
-  }
-  t.print(std::cout);
-  if (regressions > 0) {
-    std::cerr << "compare: " << regressions
-              << " metric(s) regressed more than "
-              << static_cast<int>(kTolerance * 100) << "% vs baseline\n";
-    return 1;
-  }
-  std::cout << "compare: all " << rows.size()
-            << " metrics within tolerance\n";
-  return 0;
+  return gate_rows(rows, "hotpath vs baseline (gate: >15% regression fails)",
+                   "hotpath");
 }
 
 int run_hotpath(const std::string& json_path, const std::string& compare_path,
@@ -447,6 +480,476 @@ int run_hotpath(const std::string& json_path, const std::string& compare_path,
   return 0;
 }
 
+// ---- readpath mode ----
+
+/// The pre-engine serial box query: per-file reads (`read_data_file` is a
+/// plain read when the caller disabled the cache) filtered with the
+/// retained reference kernels — the exact code every fused kernel is
+/// pinned to by the differential tests. Both the measurement baseline of
+/// the engine speedups and the byte-identity oracle for their results.
+ParticleBuffer serial_query_box_reference(const Dataset& ds, const Box3& box) {
+  ParticleBuffer out(ds.metadata().schema);
+  for (const int fi : ds.metadata().files_intersecting(box)) {
+    const ParticleBuffer buf = ds.read_data_file(fi);
+    const auto& f = ds.metadata().files[static_cast<std::size_t>(fi)];
+    if (box.contains_box(f.bounds))
+      out.append_bytes(buf.bytes());
+    else
+      read_detail::filter_box_reference(buf.bytes(), ds.metadata().schema, box,
+                                        out);
+  }
+  return out;
+}
+
+/// Serial reference for `Dataset::query` (same pruning, reference
+/// filtering).
+ParticleBuffer serial_query_reference(
+    const Dataset& ds, const Box3& box,
+    std::span<const Dataset::RangeFilter> filters) {
+  ParticleBuffer out(ds.metadata().schema);
+  for (const int fi : ds.files_matching(box, filters)) {
+    const ParticleBuffer buf = ds.read_data_file(fi);
+    read_detail::filter_box_ranges_reference(buf.bytes(), ds.metadata().schema,
+                                             box, filters, out);
+  }
+  return out;
+}
+
+void readpath_kernel_entry(Json& j, const char* name, std::uint64_t particles,
+                           double ref_s, double opt_s) {
+  const double mp = static_cast<double>(particles) / 1e6;
+  j.open_obj();
+  j.field("kernel", std::string(name));
+  j.field("particles", particles);
+  j.field("reference_mpps", mp / ref_s);
+  j.field("optimized_mpps", mp / opt_s);
+  j.field("speedup", ref_s / opt_s);
+  j.close_obj();
+  std::cout << name << "  " << mp / ref_s << " -> " << mp / opt_s
+            << " Mparticles/s  (x" << ref_s / opt_s << ")\n";
+}
+
+/// Gate fresh readpath results against a committed baseline: kernel
+/// speedups (fused vs reference) and end-to-end stage speedups (engine
+/// vs the serial reference path).
+int compare_readpath(const std::string& baseline_text,
+                     const std::string& current_text) {
+  const obs::JsonValue base = obs::JsonValue::parse(baseline_text);
+  const obs::JsonValue cur = obs::JsonValue::parse(current_text);
+
+  std::vector<GateRow> rows;
+  const auto add = [&](std::string metric, const obs::JsonValue* b,
+                       const obs::JsonValue* c, const char* key) {
+    if (!b || !c) return;
+    const obs::JsonValue* bv = b->find(key);
+    const obs::JsonValue* cv = c->find(key);
+    if (!bv || !cv) return;
+    rows.push_back({std::move(metric), bv->as_double(), cv->as_double()});
+  };
+
+  if (const obs::JsonValue* ck = cur.find("kernels"))
+    for (std::size_t i = 0; i < ck->size(); ++i) {
+      const std::string& name = ck->at(i).at("kernel").as_string();
+      add("kernel." + name + ".speedup",
+          find_entry(base.find("kernels"), "kernel", name), &ck->at(i),
+          "speedup");
+    }
+  if (const obs::JsonValue* cs = cur.find("stages"))
+    for (std::size_t i = 0; i < cs->size(); ++i) {
+      const obs::JsonValue& c = cs->at(i);
+      const std::string& name = c.at("stage").as_string();
+      const obs::JsonValue* b =
+          find_entry(base.find("stages"), "stage", name);
+      if (name.rfind("cold", 0) == 0) {
+        // A cold stage's ratio divides two device-read times, and host
+        // I/O weather moves them by different amounts hour to hour
+        // (measured 1.7x-2.3x on an idle box, docs/PERF.md). Gate it at
+        // 35% so the gate trips on a real re-pessimization — losing the
+        // pool puts it at 1.0x, far below the band — not on a slow disk
+        // hour.
+        const std::size_t before = rows.size();
+        add("stage." + name + ".speedup", b, &c, "speedup");
+        if (rows.size() > before) rows.back().tolerance = 0.35;
+      } else if (c.find("engine_ms") && c.find("particles") && b &&
+                 b->find("engine_ms") && b->find("particles")) {
+        // Warm stages are CPU-bound on the engine side but their
+        // *speedup* numerator is still a cold serial read riding I/O
+        // weather, so gate the engine's own throughput instead.
+        rows.push_back({"stage." + name + ".engine_mpps",
+                        b->at("particles").as_double() * 1e-3 /
+                            b->at("engine_ms").as_double(),
+                        c.at("particles").as_double() * 1e-3 /
+                            c.at("engine_ms").as_double()});
+      }
+      // distributed_read has neither field pair: reported only.
+    }
+
+  return gate_rows(rows,
+                   "readpath vs baseline (gate: >15% regression fails; "
+                   "cold speedups 35%, warm stages on engine throughput)",
+                   "readpath");
+}
+
+/// Evict `path`'s pages from the OS page cache so the next read comes
+/// from the device — the definition of a *cold* read. Pages must be
+/// clean (the dataset is sync()ed once after writing); dirty pages
+/// survive the advice and would leave the "cold" stages measuring
+/// memcpy speed instead of I/O.
+void drop_page_cache(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
+int run_readpath(const std::string& json_path, const std::string& compare_path,
+                 int reps) {
+  std::string baseline_text;
+  if (!compare_path.empty()) {
+    const std::vector<std::byte> bytes = read_file(compare_path);
+    baseline_text.assign(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size());
+  }
+#if defined(__GLIBC__)
+  // The stages below churn ~12 MB read buffers every repetition. Keep
+  // such blocks on the heap arena instead of per-allocation mmap/munmap
+  // so no loop — serial baseline or engine — pays fresh-page faults a
+  // long-lived process would not see. Applied identically to both sides.
+  mallopt(M_MMAP_THRESHOLD, 256 << 20);
+  mallopt(M_TRIM_THRESHOLD, 256 << 20);
+#endif
+  const Schema schema = Schema::uintah();
+  ReadEngine& eng = ReadEngine::instance();
+
+  Json j;
+  j.open_obj();
+  j.field("bench", "readpath");
+  j.field("generated_by",
+          "tools/spio_bench --readpath --json BENCH_readpath.json");
+  j.field("schema_bytes_per_particle",
+          static_cast<std::uint64_t>(schema.record_size()));
+
+  // -- micro: fused filter kernels vs their reference loops --
+  // One buffer, spatially sorted the way data files are on disk (the
+  // writer's LOD reorder groups records by locality), a box that keeps
+  // about half of it. Reps interleave reference and fused so both see
+  // the same machine state.
+  j.open_arr("kernels");
+  {
+    constexpr std::uint64_t kParticles = 1000000;
+    const Box3 half({0.0, 0.0, 0.0}, {0.5, 1.0, 1.0});
+    const auto local = workload::uniform(schema, Box3::unit(), kParticles,
+                                         stream_seed(11, 0), 0);
+    const std::vector<Dataset::RangeFilter> filters{
+        {schema.index_of("density"), 0, 1000.0, 1100.0}};
+
+    const auto time_pair = [&](auto&& ref, auto&& opt, double* ref_s,
+                               double* opt_s) {
+      *ref_s = 1e300;
+      *opt_s = 1e300;
+      for (int r = 0; r < std::max(reps, 5); ++r) {
+        *ref_s = std::min(*ref_s, best_seconds(1, ref));
+        *opt_s = std::min(*opt_s, best_seconds(1, opt));
+      }
+    };
+
+    // filter_box: verify byte identity once, then time.
+    {
+      ParticleBuffer a(schema), b(schema);
+      read_detail::filter_box_reference(local.bytes(), schema, half, a);
+      read_detail::filter_box(local.bytes(), schema, half, b);
+      if (a.bytes().size() != b.bytes().size() ||
+          std::memcmp(a.bytes().data(), b.bytes().data(), a.byte_size()) != 0) {
+        std::cerr << "filter_box disagrees with its reference\n";
+        return 1;
+      }
+      double ref_s, opt_s;
+      time_pair(
+          [&] {
+            ParticleBuffer out(schema);
+            if (read_detail::filter_box_reference(local.bytes(), schema, half,
+                                                  out) == 0)
+              std::abort();
+          },
+          [&] {
+            ParticleBuffer out(schema);
+            if (read_detail::filter_box(local.bytes(), schema, half, out) == 0)
+              std::abort();
+          },
+          &ref_s, &opt_s);
+      readpath_kernel_entry(j, "filter_box", kParticles, ref_s, opt_s);
+    }
+
+    // filter_box_ranges: spatial + one attribute predicate.
+    {
+      ParticleBuffer a(schema), b(schema);
+      read_detail::filter_box_ranges_reference(local.bytes(), schema, half,
+                                               filters, a);
+      read_detail::filter_box_ranges(local.bytes(), schema, half, filters, b);
+      if (a.bytes().size() != b.bytes().size() ||
+          std::memcmp(a.bytes().data(), b.bytes().data(), a.byte_size()) != 0) {
+        std::cerr << "filter_box_ranges disagrees with its reference\n";
+        return 1;
+      }
+      double ref_s, opt_s;
+      time_pair(
+          [&] {
+            ParticleBuffer out(schema);
+            if (read_detail::filter_box_ranges_reference(
+                    local.bytes(), schema, half, filters, out) == 0)
+              std::abort();
+          },
+          [&] {
+            ParticleBuffer out(schema);
+            if (read_detail::filter_box_ranges(local.bytes(), schema, half,
+                                               filters, out) == 0)
+              std::abort();
+          },
+          &ref_s, &opt_s);
+      readpath_kernel_entry(j, "filter_box_ranges", kParticles, ref_s, opt_s);
+    }
+
+    // bin_by_owner: the distributed_read scatter at 8 reader tiles.
+    {
+      const PatchDecomposition decomp =
+          PatchDecomposition::for_ranks(Box3::unit(), 8);
+      const auto bins_of = [&](auto&& kernel) {
+        std::vector<ParticleBuffer> bins(8, ParticleBuffer(schema));
+        kernel(local.bytes(), schema, decomp, bins);
+        return bins;
+      };
+      const auto a = bins_of(read_detail::bin_by_owner_reference);
+      const auto b = bins_of(read_detail::bin_by_owner);
+      for (int r = 0; r < 8; ++r) {
+        const auto sa = a[static_cast<std::size_t>(r)].bytes();
+        const auto sb = b[static_cast<std::size_t>(r)].bytes();
+        if (sa.size() != sb.size() ||
+            std::memcmp(sa.data(), sb.data(), sa.size()) != 0) {
+          std::cerr << "bin_by_owner disagrees with its reference\n";
+          return 1;
+        }
+      }
+      double ref_s, opt_s;
+      time_pair(
+          [&] {
+            if (bins_of(read_detail::bin_by_owner_reference).empty())
+              std::abort();
+          },
+          [&] {
+            if (bins_of(read_detail::bin_by_owner).empty()) std::abort();
+          },
+          &ref_s, &opt_s);
+      readpath_kernel_entry(j, "bin_by_owner", kParticles, ref_s, opt_s);
+    }
+  }
+  j.close_arr();
+
+  // -- end-to-end stages on a written dataset --
+  // 216 ranks (6x6x6 patches), one partition per patch -> 216 files of
+  // ~450 KB, the many-partition-files layout the paper's aggregation
+  // targets. The off-grid centered box overlaps every file, fully
+  // contains the 64 interior ones (whole-file fast path) and partially
+  // overlaps the 152 boundary ones (the fused filter path). Serial cold
+  // reads pay the per-file readahead ramp on every one of the 216 files
+  // — at ~450 KB the window never even reaches full size — while the
+  // engine's pooled reads keep the device queue full instead: the
+  // multi-file fan-out the read engine exists for, and the regime where
+  // the serial-vs-pooled gap is widest and steadiest (the ratio grows
+  // with file count at fixed total bytes; 64 big files measure ~1.6x on
+  // raw I/O, 216 small ones ~1.9x).
+  constexpr int kRanks = 216;
+  constexpr std::uint64_t kPerRank = 3700;
+  TempDir scratch("spio-readpath");
+  const std::filesystem::path dsdir = scratch.path() / "ds";
+  {
+    const PatchDecomposition decomp =
+        PatchDecomposition::for_ranks(Box3::unit(), kRanks);
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      const auto local = workload::uniform(
+          schema, decomp.patch(comm.rank()), kPerRank,
+          stream_seed(21, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+      WriterConfig cfg;
+      cfg.dir = dsdir;
+      cfg.factor = {1, 1, 1};
+      write_dataset(comm, decomp, local, cfg);
+    });
+  }
+  ::sync();  // make every data-file page clean so fadvise can evict it
+  const Dataset ds = Dataset::open(dsdir);
+  const Box3 qbox({0.05, 0.05, 0.05}, {0.95, 0.95, 0.95});
+  const std::vector<Dataset::RangeFilter> qfilters{
+      {schema.index_of("density"), 0, 1000.0, 1100.0}};
+  const auto drop_dataset_pages = [&] {
+    for (const auto& f : ds.metadata().files)
+      drop_page_cache(dsdir / f.file_name());
+  };
+
+  const auto bytes_equal = [](const ParticleBuffer& a,
+                              const ParticleBuffer& b) {
+    return a.byte_size() == b.byte_size() &&
+           std::memcmp(a.bytes().data(), b.bytes().data(), a.byte_size()) == 0;
+  };
+  const auto stage_entry = [&](const char* name, double serial_s,
+                               double engine_s, std::uint64_t particles,
+                               const ReadStats& rs) {
+    j.open_obj();
+    j.field("stage", std::string(name));
+    j.field("serial_ms", serial_s * 1e3);
+    j.field("engine_ms", engine_s * 1e3);
+    j.field("speedup", serial_s / engine_s);
+    j.field("particles", particles);
+    j.field("files_opened", static_cast<std::uint64_t>(rs.files_opened));
+    j.field("cache_hits", rs.cache_hits);
+    j.close_obj();
+    std::cout << name << "  " << serial_s * 1e3 << " -> " << engine_s * 1e3
+              << " ms  (x" << serial_s / engine_s << ")\n";
+  };
+
+  j.field("engine_threads", static_cast<std::uint64_t>(16));
+  j.open_arr("stages");
+  // Two engine states, toggled per repetition:
+  //  * serial baseline — no cache, no pool, reference kernels: the
+  //    pre-engine read path exactly. Every serial repetition starts with
+  //    the dataset evicted from the page cache (outside the clock): the
+  //    baseline a cold engine query is judged against must itself read
+  //    from the device, not replay yesterday's pages.
+  //  * engine — a 16-thread pool (cold per-file reads overlap 16 deep in
+  //    the device queue) and a cache big enough to hold the whole
+  //    dataset. Both fixed here — not from
+  //    SPIO_READ_THREADS/SPIO_READ_CACHE — so the committed baseline is
+  //    reproducible.
+  constexpr int kEngineThreads = 16;
+  const auto serial_state = [&] {
+    eng.set_concurrency(1);
+    eng.set_cache_budget(0);
+  };
+  const auto engine_state = [&] {
+    eng.set_concurrency(kEngineThreads);
+    eng.set_cache_budget(512ull << 20);
+  };
+
+  ParticleBuffer ref_box(schema);
+  double serial_box_s = 1e300;
+
+  // cold box query: page cache and buffer cache both emptied before
+  // every rep (outside the clock — eviction is maintenance, not query
+  // time). What remains is the real cold path: concurrent device reads
+  // feeding the fused filters. Serial and engine reps are interleaved —
+  // one of each per iteration, like the hotpath kernels — so a shift in
+  // host I/O weather during the run moves both sides of the ratio
+  // instead of skewing whichever block it lands on.
+  {
+    ParticleBuffer out(schema);
+    ReadStats rs;
+    double s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      serial_state();
+      drop_dataset_pages();
+      auto t0 = std::chrono::steady_clock::now();
+      ref_box = serial_query_box_reference(ds, qbox);
+      serial_box_s = std::min(serial_box_s, seconds_since(t0));
+
+      engine_state();
+      eng.clear_cache();
+      drop_dataset_pages();
+      rs = ReadStats{};
+      t0 = std::chrono::steady_clock::now();
+      out = ds.query_box(qbox, -1, 1, &rs);
+      s = std::min(s, seconds_since(t0));
+    }
+    if (!bytes_equal(out, ref_box)) {
+      std::cerr << "cold query_box differs from the serial reference\n";
+      return 1;
+    }
+    stage_entry("cold_box", serial_box_s, s, out.size(), rs);
+  }
+
+  serial_state();
+  ParticleBuffer ref_rq(schema);
+  double serial_rq_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    drop_dataset_pages();
+    const auto t0 = std::chrono::steady_clock::now();
+    ref_rq = serial_query_reference(ds, qbox, qfilters);
+    serial_rq_s = std::min(serial_rq_s, seconds_since(t0));
+  }
+  engine_state();
+
+  // warm cached query: every prefix served from the buffer cache.
+  {
+    (void)ds.query_box(qbox);  // prime
+    ParticleBuffer out(schema);
+    ReadStats rs;
+    const double s = best_seconds(reps, [&] {
+      rs = ReadStats{};
+      out = ds.query_box(qbox, -1, 1, &rs);
+    });
+    if (!bytes_equal(out, ref_box)) {
+      std::cerr << "warm query_box differs from the serial reference\n";
+      return 1;
+    }
+    if (rs.files_opened != 0 || rs.cache_hits == 0) {
+      std::cerr << "warm query_box still opened files\n";
+      return 1;
+    }
+    stage_entry("warm_box", serial_box_s, s, out.size(), rs);
+  }
+
+  // range-filter query (spatial + attribute), warm cache.
+  {
+    ParticleBuffer out(schema);
+    ReadStats rs;
+    const double s = best_seconds(reps, [&] {
+      rs = ReadStats{};
+      out = ds.query(qbox, qfilters, -1, 1, &rs);
+    });
+    if (!bytes_equal(out, ref_rq)) {
+      std::cerr << "query differs from the serial reference\n";
+      return 1;
+    }
+    stage_entry("range_filter", serial_rq_s, s, out.size(), rs);
+  }
+
+  // 8-rank distributed_read of the 64-file dataset (tile exchange end
+  // to end, warm cache).
+  {
+    constexpr int kReadRanks = 8;
+    const PatchDecomposition decomp =
+        PatchDecomposition::for_ranks(Box3::unit(), kReadRanks);
+    std::atomic<std::uint64_t> particles{0};
+    const double s = best_seconds(reps, [&] {
+      particles = 0;
+      simmpi::run(kReadRanks, [&](simmpi::Comm& comm) {
+        const ParticleBuffer mine = distributed_read(comm, decomp, dsdir);
+        particles += mine.size();
+      });
+    });
+    j.open_obj();
+    j.field("stage", std::string("distributed_read8"));
+    j.field("wall_ms", s * 1e3);
+    j.field("particles", particles.load());
+    j.close_obj();
+    std::cout << "distributed_read8  " << s * 1e3 << " ms ("
+              << particles.load() << " particles)\n";
+  }
+  j.close_arr();
+
+  const ReadCacheStats cs = eng.cache_stats();
+  j.open_obj("cache");
+  j.field("hits", cs.hits);
+  j.field("misses", cs.misses);
+  j.field("evictions", cs.evictions);
+  j.field("bytes_evicted", cs.bytes_evicted);
+  j.field("bytes_held", cs.bytes_held);
+  j.close_obj();
+  j.close_obj();
+
+  if (!json_path.empty()) write_json(json_path, j.str());
+  if (!compare_path.empty()) return compare_readpath(baseline_text, j.str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -459,6 +962,7 @@ int main(int argc, char** argv) {
   std::filesystem::path trace_path;
   std::filesystem::path postmortem_dir;
   bool hotpath = false;
+  bool readpath = false;
   std::vector<PartitionFactor> factors = {
       {1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {4, 2, 2}};
 
@@ -477,6 +981,7 @@ int main(int argc, char** argv) {
     else if (arg == "--dir") base = next();
     else if (arg == "--json") json_path = next();
     else if (arg == "--hotpath") hotpath = true;
+    else if (arg == "--readpath") readpath = true;
     else if (arg == "--compare") compare_path = next();
     else if (arg == "--dump-postmortem") postmortem_dir = next();
     else if (arg == "--trace") trace_path = next();
@@ -495,7 +1000,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: spio_bench [--ranks N] [--particles P] "
                    "[--reps R] [--dir path] [--factors f1,f2,...] "
-                   "[--json FILE] [--hotpath] [--compare FILE] "
+                   "[--json FILE] [--hotpath] [--readpath] [--compare FILE] "
                    "[--dump-postmortem DIR] [--trace FILE]\n";
       return 2;
     }
@@ -528,12 +1033,17 @@ int main(int argc, char** argv) {
                 << postmortem_dir.string() << "'\n";
   };
 
-  if (!compare_path.empty() && !hotpath) {
-    std::cerr << "--compare requires --hotpath\n";
+  if (!compare_path.empty() && !hotpath && !readpath) {
+    std::cerr << "--compare requires --hotpath or --readpath\n";
     return 2;
   }
-  if (hotpath) {
-    const int rc = run_hotpath(json_path, compare_path, reps);
+  if (hotpath && readpath) {
+    std::cerr << "--hotpath and --readpath are separate runs\n";
+    return 2;
+  }
+  if (hotpath || readpath) {
+    const int rc = hotpath ? run_hotpath(json_path, compare_path, reps)
+                           : run_readpath(json_path, compare_path, reps);
     dump_postmortem();
     flush_trace();
     return rc;
