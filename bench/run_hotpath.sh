@@ -17,6 +17,11 @@
 #     with `spio_trace --check`,
 #   - the flight recorder dumps a postmortem smoke bundle which is
 #     validated with `spio_trace --check` as well.
+#
+# After the write-path run it regenerates and gates BENCH_readpath.json
+# (read engine) and BENCH_servepath.json (concurrent query service),
+# then runs the service + read test suites under ThreadSanitizer
+# (`ctest --preset tsan-serve`) as a final concurrency gate.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -68,3 +73,26 @@ fi
 
 # shellcheck disable=SC2086  # READ_COMPARE_ARGS is intentionally word-split
 "$BENCH" --readpath --reps "$REPS" --json "$READ_BASELINE" $READ_COMPARE_ARGS
+
+# Query-service baseline (BENCH_servepath.json): closed-loop Zipfian
+# hot-spot QPS at 1/4/16 clients plus the 16-client scaling factor
+# through the concurrent query service. Gated the same way (but with a
+# wider 35% band: closed-loop QPS rides scheduler weather).
+SERVE_BASELINE="$REPO_ROOT/BENCH_servepath.json"
+SERVE_COMPARE_ARGS=""
+if [ -f "$SERVE_BASELINE" ]; then
+  SERVE_COMPARE_ARGS="--compare $SERVE_BASELINE"
+else
+  echo "no committed baseline at $SERVE_BASELINE; generating without the gate" >&2
+fi
+
+# shellcheck disable=SC2086  # SERVE_COMPARE_ARGS is intentionally word-split
+"$BENCH" --serve --reps "$REPS" --json "$SERVE_BASELINE" $SERVE_COMPARE_ARGS
+
+# Concurrency gate: the service + read suites must be TSan-clean. Uses
+# the tsan preset's build tree, configuring/building it on first run.
+echo "== tsan-serve: service + read suites under ThreadSanitizer =="
+(cd "$REPO_ROOT" \
+  && cmake --preset tsan >/dev/null \
+  && cmake --build --preset tsan -j >/dev/null \
+  && ctest --preset tsan-serve)

@@ -1,0 +1,184 @@
+#include "core/prefix_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace spio {
+
+namespace {
+
+void publish_counter(const char* name, std::uint64_t delta) {
+  if (delta == 0 || !obs::enabled()) return;
+  obs::MetricsRegistry::global().counter(name).add(delta);
+}
+
+}  // namespace
+
+std::shared_ptr<const ByteBlock> PrefixCache::lookup(const std::string& key,
+                                                     const FileSig& sig) {
+  std::uint64_t evicted_delta = 0;
+  std::shared_ptr<const ByteBlock> found;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      Entry& e = *it->second;
+      if (e.sig.size == sig.size && e.sig.mtime_ns == sig.mtime_ns) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        found = e.data;
+      } else {
+        // Stale entry (the file was rewritten in place): drop it; the
+        // caller re-reads and re-inserts under the fresh signature.
+        evicted_delta += e.data->size();
+        evict_locked(it->second);
+      }
+    }
+  }
+  if (found) {
+    publish_counter("reader.cache.hits", 1);
+    return found;
+  }
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+  return nullptr;
+}
+
+void PrefixCache::insert(const std::string& key,
+                         std::shared_ptr<const ByteBlock> data,
+                         const FileSig& sig) {
+  std::uint64_t evicted_delta = 0;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.misses;
+    if (data->size() <= budget_) {
+      const auto raced = map_.find(key);  // a concurrent miss beat us
+      if (raced != map_.end()) {
+        evicted_delta += raced->second->data->size();
+        evict_locked(raced->second);
+      }
+      const std::uint64_t before = stats_.bytes_evicted;
+      shrink_to_locked(budget_ - data->size());
+      evicted_delta += stats_.bytes_evicted - before;
+      bytes_held_ += data->size();
+      lru_.push_front(Entry{key, std::move(data), sig});
+      map_.emplace(key, lru_.begin());
+    }
+  }
+  publish_counter("reader.cache.misses", 1);
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+}
+
+void PrefixCache::invalidate(const std::string& key) {
+  std::uint64_t evicted_delta = 0;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return;
+    evicted_delta = it->second->data->size();
+    evict_locked(it->second);
+  }
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+}
+
+void PrefixCache::clear() {
+  std::uint64_t evicted_delta = 0;
+  {
+    std::lock_guard lk(mu_);
+    const std::uint64_t before = stats_.bytes_evicted;
+    shrink_to_locked(0);
+    evicted_delta = stats_.bytes_evicted - before;
+  }
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+}
+
+void PrefixCache::set_budget(std::uint64_t bytes) {
+  std::uint64_t evicted_delta = 0;
+  {
+    std::lock_guard lk(mu_);
+    budget_ = bytes;
+    const std::uint64_t before = stats_.bytes_evicted;
+    shrink_to_locked(budget_);
+    evicted_delta = stats_.bytes_evicted - before;
+  }
+  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+}
+
+std::uint64_t PrefixCache::budget() const {
+  std::lock_guard lk(mu_);
+  return budget_;
+}
+
+void PrefixCache::reset_stats() {
+  std::lock_guard lk(mu_);
+  stats_ = ReadCacheStats{};
+}
+
+ReadCacheStats PrefixCache::stats() const {
+  std::lock_guard lk(mu_);
+  ReadCacheStats s = stats_;
+  s.bytes_held = bytes_held_;
+  s.entries = map_.size();
+  return s;
+}
+
+void PrefixCache::evict_locked(LruList::iterator it) {
+  bytes_held_ -= it->data->size();
+  stats_.bytes_evicted += it->data->size();
+  ++stats_.evictions;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
+void PrefixCache::shrink_to_locked(std::uint64_t target) {
+  while (bytes_held_ > target && !lru_.empty())
+    evict_locked(std::prev(lru_.end()));
+}
+
+ShardedPrefixCache::ShardedPrefixCache(std::uint64_t total_budget,
+                                       int shards) {
+  const std::size_t n = shards < 1 ? 1 : static_cast<std::size_t>(shards);
+  shards_.reserve(n);
+  const std::uint64_t each = total_budget / n;
+  const std::uint64_t extra = total_budget % n;
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(
+        std::make_unique<PrefixCache>(each + (i < extra ? 1 : 0)));
+}
+
+void ShardedPrefixCache::clear() {
+  for (auto& s : shards_) s->clear();
+}
+
+std::uint64_t ShardedPrefixCache::budget() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->budget();
+  return total;
+}
+
+void ShardedPrefixCache::set_budget(std::uint64_t bytes) {
+  const std::size_t n = shards_.size();
+  const std::uint64_t each = bytes / n;
+  const std::uint64_t extra = bytes % n;
+  for (std::size_t i = 0; i < n; ++i)
+    shards_[i]->set_budget(each + (i < extra ? 1 : 0));
+}
+
+void ShardedPrefixCache::reset_stats() {
+  for (auto& s : shards_) s->reset_stats();
+}
+
+ReadCacheStats ShardedPrefixCache::stats() const {
+  ReadCacheStats total;
+  for (const auto& s : shards_) {
+    const ReadCacheStats one = s->stats();
+    total.hits += one.hits;
+    total.misses += one.misses;
+    total.evictions += one.evictions;
+    total.bytes_evicted += one.bytes_evicted;
+    total.bytes_held += one.bytes_held;
+    total.entries += one.entries;
+  }
+  return total;
+}
+
+}  // namespace spio

@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file prefix_cache.hpp
+/// The read path's file-prefix buffer cache, extracted from ReadEngine
+/// and sharded for concurrent service traffic (docs/PERF.md "Query
+/// service").
+///
+/// `PrefixCache` is one LRU shard: entries keyed by an opaque string
+/// (the engine uses `path + '\1' + prefix_bytes`), each validated
+/// against the file's `(size, mtime)` signature on every hit so a
+/// dataset rewritten in place is never served stale. A byte budget
+/// bounds residency; inserting evicts from the LRU tail.
+///
+/// `ShardedPrefixCache` routes each key to one of N shards by hash
+/// (`SPIO_CACHE_SHARDS`, default 8) so 64 service threads hitting a hot
+/// region contend on N mutexes instead of one. The total budget is
+/// split evenly across shards; the same key always lands on the same
+/// shard, so per-key LRU/staleness semantics are those of the
+/// single-shard cache. What sharding gives up is *global* LRU order —
+/// eviction pressure is per shard — which the differential property
+/// tests (tests/core/prefix_cache_test.cpp) pin down: under an
+/// effectively unbounded budget a sharded cache is op-for-op
+/// indistinguishable from the single-shard reference.
+///
+/// Counters (`reader.cache.{hits,misses,bytes_evicted}`) are published
+/// into the metrics registry by the shard that served the operation.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <list>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spio {
+
+/// (size, mtime) identity of a file at probe time; the cache's staleness
+/// check. `mtime_ns` is 0 when the cache is disabled (not sampled).
+struct FileSig {
+  std::uint64_t size = 0;
+  std::int64_t mtime_ns = 0;
+};
+
+/// Point-in-time cache counters (also mirrored into the metrics
+/// registry as `reader.cache.*` when observability is on). The
+/// `singleflight_*` pair is filled in by `ReadEngine::cache_stats` —
+/// dedup happens above the cache, in the engine's fetch path.
+struct ReadCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      ///< entries dropped (budget or stale)
+  std::uint64_t bytes_evicted = 0;  ///< payload bytes of those entries
+  std::uint64_t bytes_held = 0;     ///< current resident payload bytes
+  std::uint64_t entries = 0;        ///< current resident entry count
+  std::uint64_t singleflight_leaders = 0;    ///< misses that did the read
+  std::uint64_t singleflight_followers = 0;  ///< waiters served by a leader
+};
+
+/// An exactly-sized, immutable-after-fill byte block. Unlike
+/// `std::vector`, construction does NOT zero the storage, so a cache
+/// miss reads a file prefix in one pass (fread) instead of two
+/// (memset + fread) — a full-memory-bandwidth saving on large prefixes.
+class ByteBlock {
+ public:
+  explicit ByteBlock(std::size_t size)
+      : data_(new std::byte[size]), size_(size) {}
+  std::byte* data() { return data_.get(); }
+  std::size_t size() const { return size_; }
+  std::span<const std::byte> span() const { return {data_.get(), size_}; }
+
+ private:
+  std::unique_ptr<std::byte[]> data_;
+  std::size_t size_;
+};
+
+/// One LRU shard. Thread-safe; every operation takes the shard mutex.
+class PrefixCache {
+ public:
+  explicit PrefixCache(std::uint64_t budget) : budget_(budget) {}
+
+  /// The cached block for `key` when resident AND signature-fresh;
+  /// nullptr on a miss. A resident entry whose signature differs from
+  /// `sig` is dropped (counted as an eviction) — in-place rewrites are
+  /// never served stale. A fresh hit moves the entry to the LRU front.
+  std::shared_ptr<const ByteBlock> lookup(const std::string& key,
+                                          const FileSig& sig);
+
+  /// Insert `data` for `key`, stamped with `sig`, counting one miss.
+  /// Evicts from the LRU tail to fit the budget; a block larger than the
+  /// whole budget is not cached at all (the miss still counts). An
+  /// existing entry under `key` (a raced concurrent miss) is replaced.
+  void insert(const std::string& key, std::shared_ptr<const ByteBlock> data,
+              const FileSig& sig);
+
+  /// Drop `key` if resident (counted as an eviction). No-op otherwise.
+  void invalidate(const std::string& key);
+
+  /// Drop every resident entry (counted as evictions).
+  void clear();
+
+  /// Re-budget; 0 disables caching (and drops residents). Counters are
+  /// preserved.
+  void set_budget(std::uint64_t bytes);
+  std::uint64_t budget() const;
+
+  /// Zero the hit/miss/eviction counters (residents stay).
+  void reset_stats();
+  ReadCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const ByteBlock> data;
+    FileSig sig;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Unlink + account one resident entry (caller holds `mu_`).
+  void evict_locked(LruList::iterator it);
+  /// Evict from the tail until `bytes_held_ <= target` (caller holds
+  /// `mu_`).
+  void shrink_to_locked(std::uint64_t target);
+
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> map_;
+  std::uint64_t budget_ = 0;
+  std::uint64_t bytes_held_ = 0;
+  ReadCacheStats stats_;
+};
+
+/// N independent `PrefixCache` shards behind one facade. Keys route by
+/// `std::hash` of the key string; budgets and stats are aggregated.
+class ShardedPrefixCache {
+ public:
+  /// \param total_budget bytes across all shards (split evenly, the
+  ///        first `total % shards` shards get one extra byte).
+  /// \param shards clamped to >= 1.
+  ShardedPrefixCache(std::uint64_t total_budget, int shards);
+
+  std::shared_ptr<const ByteBlock> lookup(const std::string& key,
+                                          const FileSig& sig) {
+    return shard_for(key).lookup(key, sig);
+  }
+  void insert(const std::string& key, std::shared_ptr<const ByteBlock> data,
+              const FileSig& sig) {
+    shard_for(key).insert(key, std::move(data), sig);
+  }
+  void invalidate(const std::string& key) { shard_for(key).invalidate(key); }
+  void clear();
+
+  bool enabled() const { return budget() > 0; }
+  std::uint64_t budget() const;
+  /// Re-split `bytes` across the existing shards, evicting as needed.
+  void set_budget(std::uint64_t bytes);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  std::size_t shard_of(const std::string& key) const {
+    return std::hash<std::string>{}(key) % shards_.size();
+  }
+
+  void reset_stats();
+  /// Aggregated over shards (sum of counters; `singleflight_*` stays 0
+  /// here — the engine owns those).
+  ReadCacheStats stats() const;
+
+ private:
+  PrefixCache& shard_for(const std::string& key) {
+    return *shards_[shard_of(key)];
+  }
+
+  std::vector<std::unique_ptr<PrefixCache>> shards_;
+};
+
+}  // namespace spio

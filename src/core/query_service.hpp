@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file query_service.hpp
+/// The concurrent query front end (docs/PERF.md "Query service"): many
+/// clients, one process-wide ReadEngine underneath.
+///
+/// A `QueryService` is a bounded admission queue feeding a fixed worker
+/// pool. Clients `submit` a query function (anything returning a
+/// `ParticleBuffer` — typically a lambda over `Dataset::query_box`) and
+/// get a future for a shared, immutable result. The service adds what
+/// the bare engine cannot:
+///
+///   - **Bounded admission** — at most `queue_depth` queries wait
+///     (`SPIO_SERVE_QUEUE`, default 256). A full queue rejects new work
+///     with `RejectedError` instead of letting latency grow without
+///     bound; accepted work is never dropped, even across `shutdown`.
+///   - **Per-query deadlines** — a query past `Options::deadline` aborts
+///     at the next per-file fetch boundary (or before it starts, if it
+///     expired while queued) with `TimeoutError`. Shared state — the
+///     prefix cache, the single-flight table, the admission queue — is
+///     never corrupted by an expired query; the torture suite
+///     (tests/core/query_service_test.cpp) hammers exactly this.
+///   - **Query coalescing** — callers that tag a query with a
+///     `coalesce_key` (same key ⟺ same query against the same dataset)
+///     join an identical queued/executing query instead of enqueueing a
+///     duplicate: one execution, every waiter shares the one result
+///     buffer. This is single-flight one level above the engine's
+///     per-prefix dedup, and under a hot-spot (Zipfian) multi-client
+///     load it is where most of the throughput comes from.
+///   - **Drain-on-shutdown** — `shutdown()` stops admission, finishes
+///     everything accepted (`ThreadPool::drain_and_stop`), and resolves
+///     every outstanding future.
+///
+/// Results are `std::shared_ptr<const ParticleBuffer>`: immutable and
+/// shared between coalesced waiters without a copy. Byte-identity with
+/// the serial oracle is unchanged — the service runs the exact same
+/// query functions, it only schedules them.
+///
+/// Instrumentation (when observability is on): `service.queue_depth`
+/// (gauge), `service.rejected`, `service.deadline_expired`,
+/// `service.coalesced`, `service.completed`, `service.failed`
+/// (counters), plus a `serve.query` span per executed query. The
+/// engine-level `service.singleflight_{leader,follower}` counters fire
+/// underneath whenever concurrent queries race on a cold prefix.
+///
+/// Thread safety: `submit`/`run`/`stats` may be called from any thread.
+/// `shutdown` may be called concurrently with submitters (they get
+/// `RejectedError`) but not from inside a query function.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "workload/particle_buffer.hpp"
+
+namespace spio {
+
+/// Construction-time knobs; zero/empty fields fall back to the
+/// environment (`SPIO_SERVE_THREADS`, `SPIO_SERVE_QUEUE`) and then to
+/// built-in defaults.
+struct ServiceConfig {
+  int workers = 0;      ///< worker threads; default min(hw, 16), >= 2
+  int queue_depth = 0;  ///< max queued (not yet executing) queries; 256
+  /// When set, the first non-timeout query failure dumps a postmortem
+  /// bundle (`obs::save_postmortem`) into this directory — once per
+  /// service, like the write path's on-failure bundles.
+  std::filesystem::path postmortem_dir;
+};
+
+/// Per-query options (re-exported as `QueryService::Options`).
+struct QueryOptions {
+  /// Absolute expiry; default (epoch) = no deadline. Coalesced
+  /// followers inherit the leader's deadline.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Non-empty: queries with equal keys are interchangeable and may
+  /// share one execution and one result.
+  std::string coalesce_key;
+};
+
+/// Point-in-time service counters.
+struct ServiceStats {
+  std::uint64_t accepted = 0;    ///< submits admitted (incl. coalesced)
+  std::uint64_t rejected = 0;    ///< submits refused (queue full / stopped)
+  std::uint64_t coalesced = 0;   ///< submits that joined an identical query
+  std::uint64_t completed = 0;   ///< client queries resolved with a result
+  std::uint64_t failed = 0;      ///< executions failed (excl. timeouts)
+  std::uint64_t deadline_expired = 0;  ///< executions aborted by deadline
+  std::uint64_t queue_depth = 0;       ///< currently queued
+  std::uint64_t inflight = 0;          ///< currently executing
+};
+
+class QueryService {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Shared immutable query result (coalesced waiters share one).
+  using Result = std::shared_ptr<const ParticleBuffer>;
+  /// A query: runs on a service worker, returns the result buffer.
+  /// Throws `spio::Error` subclasses on failure.
+  using QueryFn = std::function<ParticleBuffer()>;
+
+  using Options = QueryOptions;
+
+  /// The process-wide service (thread-safe magic static), configured
+  /// from the environment on first use.
+  static QueryService& instance();
+
+  explicit QueryService(const ServiceConfig& cfg = {});
+  /// Drains and joins (see `shutdown`).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admit `fn`. Throws `RejectedError` immediately when the queue is
+  /// full or the service is shut down; otherwise the returned future
+  /// resolves to the shared result, or to the query's `TimeoutError` /
+  /// I/O error.
+  std::future<Result> submit(QueryFn fn, Options opt = {});
+
+  /// `submit` + wait: the closed-loop client call.
+  Result run(QueryFn fn, Options opt = {});
+
+  /// Stop admission (further submits are rejected), execute everything
+  /// already accepted, resolve every future, join the workers.
+  /// Idempotent.
+  void shutdown();
+
+  ServiceStats stats() const;
+  int workers() const { return workers_; }
+  int queue_depth() const { return depth_; }
+
+ private:
+  /// One admitted query; coalesced waiters append their promises.
+  struct Job {
+    QueryFn fn;
+    Options opt;
+    std::vector<std::promise<Result>> waiters;
+    bool done = false;  // guarded by mu_: no more waiters may attach
+  };
+
+  /// Pop + execute the front job (runs on a pool worker; one call per
+  /// admitted job).
+  void drain_one();
+  void note_failure(const std::string& what);
+
+  int workers_ = 0;
+  int depth_ = 0;
+  std::filesystem::path postmortem_dir_;
+
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<Job>> by_key_;
+  bool stopping_ = false;
+  bool postmortem_saved_ = false;
+  std::uint64_t inflight_ = 0;
+  ServiceStats tallies_;  // accepted/rejected/... (queue_depth derived)
+
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace spio

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "util/error.hpp"
 #include "util/serialize.hpp"
 
 namespace spio {
@@ -36,6 +37,14 @@ std::uint64_t default_cache_budget() {
   return kDefaultCacheBytes;
 }
 
+int default_cache_shards() {
+  if (const char* env = std::getenv("SPIO_CACHE_SHARDS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return 8;
+}
+
 void publish_counter(const char* name, std::uint64_t delta) {
   if (delta == 0 || !obs::enabled()) return;
   obs::MetricsRegistry::global().counter(name).add(delta);
@@ -49,7 +58,8 @@ ReadEngine& ReadEngine::instance() {
 }
 
 ReadEngine::ReadEngine()
-    : budget_(default_cache_budget()),
+    : cache_(std::make_unique<ShardedPrefixCache>(default_cache_budget(),
+                                                  default_cache_shards())),
       pool_(std::make_unique<ThreadPool>(default_concurrency())) {}
 
 FileSig ReadEngine::probe(const std::filesystem::path& path) const {
@@ -69,7 +79,8 @@ FileSig ReadEngine::probe(const std::filesystem::path& path) const {
 ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
                                       std::uint64_t prefix_bytes,
                                       const FileSig& sig) {
-  if (!cache_enabled() || prefix_bytes == 0) {
+  if (!cache_->enabled() || prefix_bytes == 0) {
+    run_fetch_hook(path, prefix_bytes);
     Fetched f;
     f.owned = read_file_range(path, 0, prefix_bytes);
     f.outcome = CacheOutcome::kBypass;
@@ -78,54 +89,79 @@ ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
 
   const std::string key =
       path.string() + '\1' + std::to_string(prefix_bytes);
-  std::uint64_t evicted_delta = 0;
-  {
-    std::lock_guard lk(mu_);
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-      Entry& e = *it->second;
-      if (e.sig.size == sig.size && e.sig.mtime_ns == sig.mtime_ns) {
-        lru_.splice(lru_.begin(), lru_, it->second);
-        ++stats_.hits;
-        Fetched f;
-        f.shared = e.data;
-        f.outcome = CacheOutcome::kHit;
-        publish_counter("reader.cache.hits", 1);
-        return f;
-      }
-      // Stale entry (the file was rewritten in place): drop it and fall
-      // through to a fresh read.
-      evicted_delta += e.data->size();
-      evict_locked(it->second);
-    }
+  if (std::shared_ptr<const ByteBlock> data = cache_->lookup(key, sig)) {
+    Fetched f;
+    f.shared = std::move(data);
+    f.outcome = CacheOutcome::kHit;
+    return f;
   }
-  publish_counter("reader.cache.bytes_evicted", evicted_delta);
 
-  // One-pass read into uninitialized storage (no vector zero-fill).
-  auto block = std::make_shared<ByteBlock>(
-      static_cast<std::size_t>(prefix_bytes));
-  read_file_range_into(path, 0, {block->data(), block->size()});
-  std::shared_ptr<const ByteBlock> data = std::move(block);
-  evicted_delta = 0;
+  // Single flight: the first thread to miss on this key becomes the
+  // leader and does the read; concurrent missers wait as followers and
+  // share the leader's buffer. Exactly one disk open per cold key, no
+  // matter how many queries race on it.
+  std::shared_ptr<InFlight> fl;
+  bool leader = false;
   {
-    std::lock_guard lk(mu_);
-    ++stats_.misses;
-    if (data->size() <= budget_) {
-      const auto raced = map_.find(key);  // a concurrent miss beat us
-      if (raced != map_.end()) {
-        evicted_delta += raced->second->data->size();
-        evict_locked(raced->second);
-      }
-      const std::uint64_t before = stats_.bytes_evicted;
-      shrink_to_locked(budget_ - data->size());
-      evicted_delta += stats_.bytes_evicted - before;
-      lru_.push_front(Entry{key, data, sig});
-      map_.emplace(key, lru_.begin());
-      bytes_held_ += data->size();
+    std::lock_guard lk(sf_mu_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      fl = std::make_shared<InFlight>();
+      inflight_.emplace(key, fl);
+      leader = true;
+      ++sf_leaders_;
+    } else {
+      fl = it->second;
+      ++sf_followers_;
     }
   }
-  publish_counter("reader.cache.misses", 1);
-  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+
+  if (!leader) {
+    publish_counter("service.singleflight_follower", 1);
+    std::unique_lock lk(fl->mu);
+    fl->cv.wait(lk, [&] { return fl->done; });
+    if (fl->error) std::rethrow_exception(fl->error);
+    Fetched f;
+    f.shared = fl->data;
+    f.outcome = CacheOutcome::kFollower;
+    return f;
+  }
+
+  publish_counter("service.singleflight_leader", 1);
+  std::shared_ptr<const ByteBlock> data;
+  try {
+    run_fetch_hook(path, prefix_bytes);
+    // One-pass read into uninitialized storage (no vector zero-fill).
+    auto block = std::make_shared<ByteBlock>(
+        static_cast<std::size_t>(prefix_bytes));
+    read_file_range_into(path, 0, {block->data(), block->size()});
+    data = std::move(block);
+    cache_->insert(key, data, sig);
+  } catch (...) {
+    {
+      std::lock_guard lk(sf_mu_);
+      inflight_.erase(key);
+    }
+    {
+      std::lock_guard lk(fl->mu);
+      fl->error = std::current_exception();
+      fl->done = true;
+    }
+    fl->cv.notify_all();
+    throw;
+  }
+  // Unpublish the flight *before* waking the followers: a fetch arriving
+  // after this point starts fresh (and will hit the cache).
+  {
+    std::lock_guard lk(sf_mu_);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard lk(fl->mu);
+    fl->data = data;
+    fl->done = true;
+  }
+  fl->cv.notify_all();
   Fetched f;
   f.shared = std::move(data);
   f.outcome = CacheOutcome::kMiss;
@@ -136,70 +172,83 @@ ThreadPool& ReadEngine::pool() { return *pool_; }
 
 int ReadEngine::concurrency() const { return pool_->concurrency(); }
 
-bool ReadEngine::cache_enabled() const {
-  std::lock_guard lk(mu_);
-  return budget_ > 0;
-}
+bool ReadEngine::cache_enabled() const { return cache_->enabled(); }
 
-std::uint64_t ReadEngine::cache_budget() const {
-  std::lock_guard lk(mu_);
-  return budget_;
-}
+std::uint64_t ReadEngine::cache_budget() const { return cache_->budget(); }
 
 ReadCacheStats ReadEngine::cache_stats() const {
-  std::lock_guard lk(mu_);
-  ReadCacheStats s = stats_;
-  s.bytes_held = bytes_held_;
-  s.entries = map_.size();
+  ReadCacheStats s = cache_->stats();
+  std::lock_guard lk(sf_mu_);
+  s.singleflight_leaders = sf_leaders_;
+  s.singleflight_followers = sf_followers_;
   return s;
 }
 
-void ReadEngine::clear_cache() {
-  std::uint64_t evicted_delta = 0;
-  {
-    std::lock_guard lk(mu_);
-    const std::uint64_t before = stats_.bytes_evicted;
-    shrink_to_locked(0);
-    evicted_delta = stats_.bytes_evicted - before;
-  }
-  publish_counter("reader.cache.bytes_evicted", evicted_delta);
-}
+int ReadEngine::cache_shards() const { return cache_->shard_count(); }
+
+void ReadEngine::clear_cache() { cache_->clear(); }
 
 void ReadEngine::set_cache_budget(std::uint64_t bytes) {
-  std::uint64_t evicted_delta = 0;
-  {
-    std::lock_guard lk(mu_);
-    budget_ = bytes;
-    const std::uint64_t before = stats_.bytes_evicted;
-    shrink_to_locked(budget_);
-    evicted_delta = stats_.bytes_evicted - before;
-  }
-  publish_counter("reader.cache.bytes_evicted", evicted_delta);
+  cache_->set_budget(bytes);
 }
 
 void ReadEngine::reset_cache_stats() {
-  std::lock_guard lk(mu_);
-  stats_ = ReadCacheStats{};
+  cache_->reset_stats();
+  std::lock_guard lk(sf_mu_);
+  sf_leaders_ = 0;
+  sf_followers_ = 0;
 }
 
 void ReadEngine::set_concurrency(int threads) {
   pool_ = std::make_unique<ThreadPool>(threads);
 }
 
-void ReadEngine::evict_locked(LruList::iterator it) {
-  bytes_held_ -= it->data->size();
-  stats_.bytes_evicted += it->data->size();
-  ++stats_.evictions;
-  map_.erase(it->key);
-  lru_.erase(it);
+void ReadEngine::set_cache_shards(int shards) {
+  cache_ = std::make_unique<ShardedPrefixCache>(cache_->budget(), shards);
 }
 
-void ReadEngine::shrink_to_locked(std::uint64_t target) {
-  while (bytes_held_ > target && !lru_.empty())
-    evict_locked(std::prev(lru_.end()));
+void ReadEngine::set_fetch_hook(FetchHook hook) {
+  std::lock_guard lk(hook_mu_);
+  fetch_hook_ = std::move(hook);
+}
+
+void ReadEngine::run_fetch_hook(const std::filesystem::path& path,
+                                std::uint64_t prefix_bytes) {
+  FetchHook hook;
+  {
+    std::lock_guard lk(hook_mu_);
+    hook = fetch_hook_;
+  }
+  if (hook) hook(path, prefix_bytes);
 }
 
 namespace read_detail {
+
+namespace {
+thread_local const DeadlineToken* t_deadline = nullptr;
+}  // namespace
+
+const DeadlineToken* current_deadline() { return t_deadline; }
+
+void check_deadline() {
+  const DeadlineToken* d = t_deadline;
+  if (!d) return;
+  if (std::chrono::steady_clock::now() >= d->at)
+    throw TimeoutError("query deadline expired");
+}
+
+ScopedDeadline::ScopedDeadline(std::chrono::steady_clock::time_point at)
+    : token_{at}, prev_(t_deadline) {
+  t_deadline =
+      at == std::chrono::steady_clock::time_point{} ? nullptr : &token_;
+}
+
+ScopedDeadline::ScopedDeadline(const DeadlineToken* inherited)
+    : token_{}, prev_(t_deadline) {
+  t_deadline = inherited;
+}
+
+ScopedDeadline::~ScopedDeadline() { t_deadline = prev_; }
 
 bool parse_size_bytes(const std::string& text, std::uint64_t* out) {
   if (text.empty()) return false;

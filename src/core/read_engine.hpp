@@ -2,7 +2,7 @@
 
 /// \file read_engine.hpp
 /// The shared read engine every query entry point routes through
-/// (docs/PERF.md "Read path"). Three jobs:
+/// (docs/PERF.md "Read path"). Four jobs:
 ///
 ///   1. **Worker pool** — a process-wide bounded `ThreadPool`
 ///      (`SPIO_READ_THREADS=n`, default = hardware concurrency clamped
@@ -13,12 +13,19 @@
 ///   2. **File-buffer cache** — an LRU cache of file *prefixes* keyed by
 ///      `(path, prefix_bytes)` with a byte budget
 ///      (`SPIO_READ_CACHE=bytes`, suffixes k/m/g accepted; default
-///      256 MiB; `0` disables). Repeated box/LOD/timeseries/restart
-///      queries against the same dataset skip disk entirely. Entries are
-///      validated against the file's (size, mtime) signature on every
-///      hit, so a dataset rewritten in place is never served stale.
+///      256 MiB; `0` disables), sharded `SPIO_CACHE_SHARDS` ways
+///      (default 8) so concurrent service traffic contends on N mutexes
+///      instead of one — see prefix_cache.hpp. Entries are validated
+///      against the file's (size, mtime) signature on every hit, so a
+///      dataset rewritten in place is never served stale.
 ///      Counters: `reader.cache.{hits,misses,bytes_evicted}`.
-///   3. **Fused filter kernels** (`read_detail`) — run-detecting
+///   3. **Single-flight fetch** — concurrent misses on the same
+///      `(path, prefix_bytes)` are deduplicated: exactly one *leader*
+///      reads the file while the other callers wait as *followers* and
+///      share the leader's buffer (`CacheOutcome::kFollower`). K
+///      concurrent queries over a cold hot-spot cost one disk read, not
+///      K. Counters: `service.singleflight_{leader,follower}`.
+///   4. **Fused filter kernels** (`read_detail`) — run-detecting
 ///      compaction replacing the per-particle `contains` + `append_from`
 ///      loops: the position offset/stride is hoisted once per file and
 ///      contiguous matching records are copied with single `memcpy`s.
@@ -26,14 +33,24 @@
 ///      (mirroring `writer_detail::bin_particles_reference`), and
 ///      differential tests pin the fused kernels to them byte-for-byte.
 ///
+/// `read_detail` also hosts the cooperative **deadline** machinery used
+/// by the query service: a thread-local expiry instant installed with
+/// `ScopedDeadline` and polled with `check_deadline()` at every
+/// per-file fetch boundary, so an expired query aborts with
+/// `TimeoutError` between files — never mid-buffer, never leaving the
+/// cache or single-flight table corrupted.
+///
 /// Thread safety: `probe`/`fetch` and the cache maintenance hooks are
 /// safe to call from any thread (simmpi ranks share one process and one
-/// engine). `set_concurrency` swaps the pool and must not race in-flight
-/// queries — call it between queries (tests and benchmarks only).
+/// engine). `set_concurrency`/`set_cache_shards` swap the pool/cache and
+/// must not race in-flight queries — call them between queries (tests
+/// and benchmarks only).
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
-#include <list>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -41,6 +58,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/prefix_cache.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/decomposition.hpp"
 #include "workload/particle_buffer.hpp"
@@ -57,49 +75,30 @@ struct RangeFilter {
   double hi = 0;
 };
 
-/// (size, mtime) identity of a file at probe time; the cache's staleness
-/// check. `mtime_ns` is 0 when the cache is disabled (not sampled).
-struct FileSig {
-  std::uint64_t size = 0;
-  std::int64_t mtime_ns = 0;
-};
-
 /// How a `fetch` was satisfied. `kBypass` = cache disabled (or an empty
-/// prefix): a plain read, exactly the pre-engine behaviour.
-enum class CacheOutcome : std::uint8_t { kBypass = 0, kHit = 1, kMiss = 2 };
-
-/// Point-in-time cache counters (also mirrored into the metrics
-/// registry as `reader.cache.*` when observability is on).
-struct ReadCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;      ///< entries dropped (budget or stale)
-  std::uint64_t bytes_evicted = 0;  ///< payload bytes of those entries
-  std::uint64_t bytes_held = 0;     ///< current resident payload bytes
-  std::uint64_t entries = 0;        ///< current resident entry count
-};
-
-/// An exactly-sized, immutable-after-fill byte block. Unlike
-/// `std::vector`, construction does NOT zero the storage, so a cache
-/// miss reads a file prefix in one pass (fread) instead of two
-/// (memset + fread) — a full-memory-bandwidth saving on large prefixes.
-class ByteBlock {
- public:
-  explicit ByteBlock(std::size_t size)
-      : data_(new std::byte[size]), size_(size) {}
-  std::byte* data() { return data_.get(); }
-  std::size_t size() const { return size_; }
-  std::span<const std::byte> span() const { return {data_.get(), size_}; }
-
- private:
-  std::unique_ptr<std::byte[]> data_;
-  std::size_t size_;
+/// prefix): a plain read, exactly the pre-engine behaviour. `kFollower`
+/// = another thread's in-flight read was joined — no disk open on this
+/// call, but not a cache hit either.
+enum class CacheOutcome : std::uint8_t {
+  kBypass = 0,
+  kHit = 1,
+  kMiss = 2,
+  kFollower = 3,
 };
 
 class ReadEngine {
  public:
+  /// Called just before every real disk read (leader and bypass paths;
+  /// hits and followers never fire it) with the path and prefix length.
+  /// Test/chaos hook: inject latency by sleeping, or I/O failure by
+  /// throwing — a thrown exception propagates exactly like a read error
+  /// (followers of a failed leader rethrow it too).
+  using FetchHook = std::function<void(const std::filesystem::path&,
+                                       std::uint64_t)>;
+
   /// The process-wide engine (thread-safe magic static). Configured from
-  /// `SPIO_READ_THREADS` / `SPIO_READ_CACHE` on first use.
+  /// `SPIO_READ_THREADS` / `SPIO_READ_CACHE` / `SPIO_CACHE_SHARDS` on
+  /// first use.
   static ReadEngine& instance();
 
   /// One file prefix as returned by `fetch`: shared with the cache when
@@ -126,10 +125,11 @@ class ReadEngine {
   /// one-stat-per-read cost.
   FileSig probe(const std::filesystem::path& path) const;
 
-  /// The first `prefix_bytes` of `path`, through the cache. `sig` must
-  /// come from a `probe` of the same path (it validates cached entries
-  /// and stamps fresh ones). Throws `IoError`/`FormatError` like
-  /// `read_file_range` on a miss.
+  /// The first `prefix_bytes` of `path`, through the cache and the
+  /// single-flight table. `sig` must come from a `probe` of the same
+  /// path (it validates cached entries and stamps fresh ones). Throws
+  /// `IoError`/`FormatError` like `read_file_range` on a miss; a
+  /// follower rethrows its leader's failure.
   Fetched fetch(const std::filesystem::path& path, std::uint64_t prefix_bytes,
                 const FileSig& sig);
 
@@ -140,7 +140,9 @@ class ReadEngine {
 
   bool cache_enabled() const;
   std::uint64_t cache_budget() const;
+  /// Aggregated over shards, plus the engine's single-flight counters.
   ReadCacheStats cache_stats() const;
+  int cache_shards() const;
 
   // -- maintenance / test hooks ------------------------------------------
   /// Drop every cached entry (counted as evictions).
@@ -148,35 +150,44 @@ class ReadEngine {
   /// Re-budget the cache; 0 disables it (and drops residents). Counters
   /// are preserved.
   void set_cache_budget(std::uint64_t bytes);
-  /// Zero the hit/miss/eviction counters (residents stay).
+  /// Zero the hit/miss/eviction and single-flight counters (residents
+  /// stay).
   void reset_cache_stats();
   /// Swap the worker pool for one of `threads`. Must not race in-flight
   /// queries.
   void set_concurrency(int threads);
+  /// Rebuild the cache with `shards` shards (budget preserved, residents
+  /// and hit/miss counters dropped). Must not race in-flight queries.
+  void set_cache_shards(int shards);
+  /// Install (or, with nullptr, remove) the pre-read hook. Must not race
+  /// in-flight queries — tests install it while the service is idle.
+  void set_fetch_hook(FetchHook hook);
 
  private:
   ReadEngine();
 
-  struct Entry {
-    std::string key;
+  /// One in-flight read that followers wait on.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
     std::shared_ptr<const ByteBlock> data;
-    FileSig sig;
+    std::exception_ptr error;
   };
-  using LruList = std::list<Entry>;
 
-  /// Unlink + account one resident entry (caller holds `mu_`).
-  void evict_locked(LruList::iterator it);
-  /// Evict from the tail until `bytes_held_ <= target` (caller holds
-  /// `mu_`).
-  void shrink_to_locked(std::uint64_t target);
+  void run_fetch_hook(const std::filesystem::path& path,
+                      std::uint64_t prefix_bytes);
 
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<std::string, LruList::iterator> map_;
-  std::uint64_t budget_ = 0;
-  std::uint64_t bytes_held_ = 0;
-  ReadCacheStats stats_;
+  std::unique_ptr<ShardedPrefixCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex sf_mu_;  // guards inflight_ and the sf_* counters
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  std::uint64_t sf_leaders_ = 0;
+  std::uint64_t sf_followers_ = 0;
+
+  std::mutex hook_mu_;
+  FetchHook fetch_hook_;
 };
 
 namespace read_detail {
@@ -184,6 +195,48 @@ namespace read_detail {
 /// Parse a byte-size string with an optional k/m/g suffix (binary
 /// multiples); the `SPIO_READ_CACHE` syntax. Returns false on garbage.
 bool parse_size_bytes(const std::string& text, std::uint64_t* out);
+
+// -- cooperative deadlines -----------------------------------------------
+
+/// A query's expiry instant, installed thread-locally for the duration
+/// of its execution.
+struct DeadlineToken {
+  std::chrono::steady_clock::time_point at;
+};
+
+/// The calling thread's active deadline (nullptr when none). Engine pool
+/// lambdas capture this at submit time and re-install it on the worker
+/// via `ScopedDeadline`, so per-file fetches honor the query's deadline
+/// across threads.
+const DeadlineToken* current_deadline();
+
+/// Throw `TimeoutError` if the calling thread's deadline has passed.
+/// Polled at per-file fetch boundaries — cheap (one TLS load when no
+/// deadline is set) and always at a point where no shared state is held.
+void check_deadline();
+
+/// RAII install/restore of the thread's deadline.
+class ScopedDeadline {
+ public:
+  /// Install `at` as the deadline; a default-constructed (epoch) time
+  /// point installs "no deadline" (clearing any inherited one).
+  explicit ScopedDeadline(std::chrono::steady_clock::time_point at);
+  /// Re-install a deadline captured on another thread with
+  /// `current_deadline()` (may be nullptr). The token must outlive this
+  /// scope — guaranteed when the capturing query drains its pool futures
+  /// before returning.
+  explicit ScopedDeadline(const DeadlineToken* inherited);
+  ~ScopedDeadline();
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  DeadlineToken token_;
+  const DeadlineToken* prev_;
+};
+
+// -- fused filter kernels -------------------------------------------------
 
 /// Fused spatial filter: append every record of `bytes` whose position
 /// lies in `box` (half-open, `Box3::contains`) to `out`, copying each

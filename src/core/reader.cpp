@@ -109,6 +109,9 @@ Dataset::FilePrefix Dataset::fetch_file(int file_index, int levels,
                                         int n_readers,
                                         ReadStats* stats) const {
   SPIO_EXPECTS(file_index >= 0 && file_index < file_count());
+  // Cooperative cancellation point: an expired query aborts here,
+  // between files, before touching the engine or any shared state.
+  read_detail::check_deadline();
   obs::ScopedSpan span("read.file", "reader");
   const Clock::time_point t0 = Clock::now();
   const FileRecord& f = meta_.files[static_cast<std::size_t>(file_index)];
@@ -126,7 +129,10 @@ Dataset::FilePrefix Dataset::fetch_file(int file_index, int levels,
   FilePrefix prefix;
   prefix.fetched = eng.fetch(path, want * record, sig);
   prefix.count = want;
-  const bool opened = prefix.fetched.outcome != CacheOutcome::kHit;
+  // A single-flight follower shared another query's read: like a hit,
+  // this call opened nothing and read no bytes of its own.
+  const bool opened = prefix.fetched.outcome == CacheOutcome::kBypass ||
+                      prefix.fetched.outcome == CacheOutcome::kMiss;
   if (stats) {
     if (opened) {
       stats->files_opened += 1;
@@ -221,9 +227,14 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
   std::vector<PerFile> results(n);
   std::vector<std::future<void>> pending;
   pending.reserve(n);
+  // Carry the submitting query's deadline onto the pool workers. The
+  // token outlives the tasks: every future is drained below before this
+  // frame returns.
+  const read_detail::DeadlineToken* deadline = read_detail::current_deadline();
   for (std::size_t k = 0; k < n; ++k)
     pending.push_back(eng.pool().submit([this, &results, files, levels,
-                                         n_readers, k] {
+                                         n_readers, k, deadline] {
+      read_detail::ScopedDeadline dl(deadline);
       results[k].prefix =
           fetch_file(files[k], levels, n_readers, &results[k].stats);
     }));
@@ -369,7 +380,14 @@ std::uint64_t Dataset::stream_box(
       Chunk* c = chunk.get();
       const int fi = hits[next++];
       inflight.push_back(std::move(chunk));
-      pending.push_back(eng.pool().submit([&produce, fi, c] { produce(fi, *c); }));
+      // As in filter_files_into: the deadline token outlives the task
+      // (the loop below drains every pending future before returning).
+      const read_detail::DeadlineToken* deadline =
+          read_detail::current_deadline();
+      pending.push_back(eng.pool().submit([&produce, fi, c, deadline] {
+        read_detail::ScopedDeadline dl(deadline);
+        produce(fi, *c);
+      }));
     }
   };
 

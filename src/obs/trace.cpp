@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -13,6 +14,23 @@ namespace spio::obs {
 namespace {
 
 thread_local void* tls_buffer = nullptr;
+
+/// Threads outside the simmpi rank range (the main thread, read-engine
+/// and query-service pool workers) each get their own trace track at
+/// `kAuxTidBase + n` in first-record order. Folding them onto one tid
+/// would interleave concurrent workers' spans on a single track and
+/// break the per-track nesting invariant `spio_trace --check` enforces.
+constexpr int kAuxTidBase = 1000;
+std::atomic<int> next_aux_tid{kAuxTidBase};
+thread_local int tls_aux_tid = -1;
+
+int current_tid() {
+  const int r = thread_rank();
+  if (r >= 0) return r;
+  if (tls_aux_tid < 0)
+    tls_aux_tid = next_aux_tid.fetch_add(1, std::memory_order_relaxed);
+  return tls_aux_tid;
+}
 
 /// JSON string escaping for event names (names are code-controlled
 /// literals, but the export must stay valid JSON whatever they hold).
@@ -73,7 +91,7 @@ void Tracer::record_complete(const char* name, const char* cat, double ts_us,
   Buffer& b = local_buffer();
   std::lock_guard lk(b.mu);
   b.events.push_back(Event{name, cat, nullptr, ts_us, dur_us, 0,
-                           std::max(thread_rank(), 0)});
+                           current_tid()});
 }
 
 void Tracer::record_instant(const char* name, const char* cat,
@@ -82,7 +100,7 @@ void Tracer::record_instant(const char* name, const char* cat,
   Buffer& b = local_buffer();
   std::lock_guard lk(b.mu);
   b.events.push_back(Event{name, cat, arg_name, now_us(), -1.0, arg,
-                           std::max(thread_rank(), 0)});
+                           current_tid()});
 }
 
 std::size_t Tracer::event_count() const {
@@ -131,13 +149,14 @@ std::string Tracer::chrome_json() const {
     if (!first) out += ",";
     first = false;
   };
-  // One named track per rank (pid 0 groups the whole job).
+  // One named track per rank / auxiliary thread (pid 0 groups the job).
   for (const int r : ranks) {
     sep();
     out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
     out += std::to_string(r);
-    out += ",\"args\":{\"name\":\"rank ";
-    out += std::to_string(r);
+    out += ",\"args\":{\"name\":\"";
+    out += r < kAuxTidBase ? "rank " + std::to_string(r)
+                           : "thread " + std::to_string(r - kAuxTidBase);
     out += "\"}}";
   }
   for (const Event& e : all) {

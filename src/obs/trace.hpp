@@ -7,7 +7,9 @@
 /// (`ph:"X"`, begin + duration) and instant events (`ph:"i"`) into
 /// per-thread buffers; `chrome_json()` merges every rank's buffer into
 /// one trace-event file loadable in `chrome://tracing` or Perfetto.
-/// Each simmpi rank renders as its own thread track (`tid` = rank).
+/// Each simmpi rank renders as its own thread track (`tid` = rank);
+/// non-rank threads (main, pool workers) get distinct tracks at
+/// `tid >= 1000` so concurrent workers' spans never interleave.
 ///
 /// Cost model:
 ///   - collection disabled: constructing a `ScopedSpan` is one relaxed

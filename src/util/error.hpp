@@ -42,6 +42,23 @@ class ConfigError : public Error {
       : Error("spio: config error: " + what) {}
 };
 
+/// Raised when a query's deadline expires before it completes. The query
+/// is abandoned at a safe point (between file fetches); shared state —
+/// cache, engine pool, service queue — is never left corrupted.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : Error("spio: timeout: " + what) {}
+};
+
+/// Raised when the query service refuses new work: the bounded admission
+/// queue is full, or the service has been shut down.
+class RejectedError : public Error {
+ public:
+  explicit RejectedError(const std::string& what)
+      : Error("spio: rejected: " + what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr,
                                           const char* file, int line) {

@@ -2,21 +2,15 @@
 
 namespace spio {
 
-ThreadPool::ThreadPool(int threads) : concurrency_(threads < 1 ? 1 : threads) {
-  if (concurrency_ < 2) return;
+ThreadPool::ThreadPool(int threads, bool inline_when_single)
+    : concurrency_(threads < 1 ? 1 : threads) {
+  if (concurrency_ < 2 && inline_when_single) return;
   workers_.reserve(static_cast<std::size_t>(concurrency_));
   for (int i = 0; i < concurrency_; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lk(mu_);
-    stop_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
-}
+ThreadPool::~ThreadPool() { drain_and_stop(); }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
@@ -27,7 +21,16 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   }
   {
     std::lock_guard lk(mu_);
-    queue_.push_back(std::move(task));
+    if (!stop_) {
+      queue_.push_back(std::move(task));  // leaves `task` without state
+    }
+    // else: the drain has begun (or finished) — run on the caller
+    // instead of racing the workers' exit; an accepted task is never
+    // dropped.
+  }
+  if (task.valid()) {
+    task();
+    return fut;
   }
   cv_.notify_one();
   return fut;
@@ -42,6 +45,36 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   futures.reserve(tasks.size());
   for (auto& t : tasks) futures.push_back(submit(std::move(t)));
   for (auto& f : futures) f.wait();
+}
+
+void ThreadPool::drain_and_stop() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();  // from here on, submit runs inline
+  // Workers exit only on an empty queue and submits after stop_ run
+  // inline, so nothing should be left. Run any stragglers defensively —
+  // a task must execute exactly once, never be dropped.
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::lock_guard lk(mu_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard lk(mu_);
+  return stop_;
 }
 
 void ThreadPool::worker_loop() {

@@ -9,12 +9,21 @@
 ///     inline on the calling thread and returns an already-satisfied
 ///     future. A pool of size 1 therefore reproduces single-threaded
 ///     execution *exactly* (same call stack, same ordering, same
-///     exception propagation point).
+///     exception propagation point). The query service passes
+///     `inline_when_single = false` to get a real single worker thread
+///     instead — its admission queue must be able to fill up.
 ///   - `ThreadPool(n >= 2)` spawns `n` workers draining one FIFO queue.
 ///     Multiple threads may submit concurrently (simmpi ranks are
 ///     threads of one process and share the global read engine's pool);
 ///     tasks never block on other tasks, so the bounded pool cannot
 ///     deadlock.
+///
+/// Shutdown is always *drain* semantics: `drain_and_stop()` (also run by
+/// the destructor) stops accepting queued work, lets the workers finish
+/// everything already queued — including tasks that running tasks enqueue
+/// while the drain is in progress — and joins them. A `submit` that
+/// arrives after the drain completed runs inline on the caller, so an
+/// accepted task is always executed, never dropped.
 ///
 /// Exceptions thrown by a task are captured in its future
 /// (`std::packaged_task` semantics) and rethrown to the waiter.
@@ -33,8 +42,10 @@ namespace spio {
 class ThreadPool {
  public:
   /// \param threads maximum task concurrency; clamped to >= 1.
-  ///        1 = inline execution, no threads spawned.
-  explicit ThreadPool(int threads);
+  /// \param inline_when_single with the default `true`, a pool of 1 runs
+  ///        tasks inline on the submitter (exact serial reproduction);
+  ///        `false` spawns one real worker thread even for size 1.
+  explicit ThreadPool(int threads, bool inline_when_single = true);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -44,8 +55,8 @@ class ThreadPool {
   int concurrency() const { return concurrency_; }
 
   /// Schedule `fn`; the returned future is satisfied when it completes
-  /// (holding its exception if it threw). Inline pools run `fn` before
-  /// returning.
+  /// (holding its exception if it threw). Inline pools — and any pool
+  /// after `drain_and_stop` — run `fn` before returning.
   std::future<void> submit(std::function<void()> fn);
 
   /// Run every task of `tasks` and block until all have completed.
@@ -55,11 +66,22 @@ class ThreadPool {
   /// itself does not throw on task failure (inspect per-task state).
   void run_batch(std::vector<std::function<void()>> tasks);
 
+  /// Finish every queued task, join the workers, and switch the pool to
+  /// inline execution. Idempotent and safe to call from any thread that
+  /// is not itself a pool worker. This is the QueryService shutdown
+  /// path: every task accepted before the drain is executed exactly
+  /// once.
+  void drain_and_stop();
+
+  /// True once `drain_and_stop` has begun (subsequent submits run
+  /// inline).
+  bool stopped() const;
+
  private:
   void worker_loop();
 
   const int concurrency_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::packaged_task<void()>> queue_;
   bool stop_ = false;

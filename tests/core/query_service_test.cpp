@@ -1,0 +1,411 @@
+/// \file query_service_test.cpp
+/// The concurrency torture suite for QueryService (ISSUE 6): the serial
+/// path is THE semantics, and a saturated service must reproduce it
+/// byte for byte. Pinned here:
+///   - 64 client threads hammering mixed box/LOD/range queries stay
+///     byte-identical to serial oracles (coalesced and uncoalesced),
+///   - K concurrent same-prefix queries cost exactly one disk open
+///     (single-flight: 1 leader, K-1 followers),
+///   - a full admission queue rejects with `RejectedError`,
+///   - a deadline expiring mid-I/O returns `TimeoutError` and leaves
+///     the cache/engine fully usable (the next query is byte-identical),
+///   - shutdown with queries in flight drains them all cleanly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/query_service.hpp"
+#include "core/read_engine.hpp"
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+/// Scoped engine configuration (mirrors read_engine_test): pool size +
+/// cache budget, restored on exit.
+class EngineConfig {
+ public:
+  EngineConfig(int threads, std::uint64_t budget)
+      : prev_threads_(ReadEngine::instance().concurrency()),
+        prev_budget_(ReadEngine::instance().cache_budget()) {
+    ReadEngine::instance().set_concurrency(threads);
+    ReadEngine::instance().set_cache_budget(budget);
+  }
+  ~EngineConfig() {
+    ReadEngine::instance().set_concurrency(prev_threads_);
+    ReadEngine::instance().set_cache_budget(prev_budget_);
+  }
+
+ private:
+  int prev_threads_;
+  std::uint64_t prev_budget_;
+};
+
+/// Scoped fetch hook, always uninstalled on exit (and engine counters
+/// reset so per-test assertions start from zero).
+class ScopedFetchHook {
+ public:
+  explicit ScopedFetchHook(ReadEngine::FetchHook hook) {
+    ReadEngine::instance().set_fetch_hook(std::move(hook));
+  }
+  ~ScopedFetchHook() { ReadEngine::instance().set_fetch_hook(nullptr); }
+};
+
+bool same_bytes(std::span<const std::byte> a, std::span<const std::byte> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+class QueryServiceTorture : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 8;
+  static constexpr std::uint64_t kPerRank = 500;
+
+  static void SetUpTestSuite() {
+    dir_ = new TempDir("spio-serve");
+    const PatchDecomposition decomp =
+        PatchDecomposition::for_ranks(Box3::unit(), kRanks);
+    WriterConfig cfg;
+    cfg.dir = dir_->path();
+    cfg.factor = {1, 1, 1};  // one file per patch: queries fan out
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      const auto local = workload::uniform(
+          Schema::uintah(), decomp.patch(comm.rank()), kPerRank,
+          stream_seed(91, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+      write_dataset(comm, decomp, local, cfg);
+    });
+  }
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static TempDir* dir_;
+};
+
+TempDir* QueryServiceTorture::dir_ = nullptr;
+
+/// One query shape the torture mix draws from, with its serial-oracle
+/// result bytes precomputed.
+struct TortureCase {
+  std::function<ParticleBuffer(const Dataset&)> run;
+  std::vector<std::byte> want;
+  std::string key;
+};
+
+TEST_F(QueryServiceTorture, SixtyFourClientsStayByteIdenticalToSerialOracle) {
+  const Dataset ds = Dataset::open(dir_->path());
+
+  // Mixed shapes: full boxes, an LOD prefix query, a range query.
+  std::vector<TortureCase> cases;
+  const std::vector<Box3> boxes = {
+      Box3({0.05, 0.05, 0.05}, {0.95, 0.95, 0.95}),
+      Box3({0.0, 0.0, 0.0}, {0.5, 1.0, 1.0}),
+      Box3({0.3, 0.1, 0.2}, {0.7, 0.8, 0.9}),
+  };
+  for (std::size_t b = 0; b < boxes.size(); ++b) {
+    const Box3 box = boxes[b];
+    cases.push_back({[box](const Dataset& d) { return d.query_box(box); },
+                     {},
+                     "box:" + std::to_string(b)});
+    cases.push_back(
+        {[box](const Dataset& d) { return d.query_box(box, 2); },
+         {},
+         "lod:" + std::to_string(b)});
+  }
+  {
+    const Box3 box = boxes[0];
+    const std::vector<RangeFilter> filters = {{2, 0, 0.2, 0.8}};
+    cases.push_back({[box, filters](const Dataset& d) {
+                       return d.query(box, filters);
+                     },
+                     {},
+                     "range:0"});
+  }
+
+  // Serial oracles: cache off, pool forced to 1 — the pre-engine path.
+  {
+    EngineConfig serial(1, 0);
+    for (TortureCase& c : cases) {
+      const ParticleBuffer ref = c.run(ds);
+      c.want.assign(ref.bytes().begin(), ref.bytes().end());
+    }
+  }
+
+  EngineConfig cfg(4, 256ull << 20);
+  ReadEngine::instance().clear_cache();
+  QueryService svc(ServiceConfig{8, 512, {}});
+
+  constexpr int kClients = 64;
+  constexpr int kQueriesPerClient = 6;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int cl = 0; cl < kClients; ++cl)
+    clients.emplace_back([&, cl] {
+      Xoshiro256 rng(stream_seed(92, static_cast<std::uint64_t>(cl)));
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const TortureCase& c = cases[rng.uniform_index(cases.size())];
+        QueryService::Options opt;
+        // Half the clients coalesce; results must agree either way.
+        if (cl % 2 == 0) opt.coalesce_key = c.key;
+        const QueryService::Result got =
+            svc.run([&c, &ds] { return c.run(ds); }, opt);
+        if (!same_bytes(got->bytes(),
+                        std::span<const std::byte>(c.want)))
+          mismatches.fetch_add(1);
+        completed.fetch_add(1);
+      }
+    });
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(completed.load(), kClients * kQueriesPerClient);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.accepted, static_cast<std::uint64_t>(kClients) *
+                             kQueriesPerClient);
+  EXPECT_EQ(st.completed, st.accepted);
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_EQ(st.failed, 0u);
+  svc.shutdown();
+}
+
+TEST_F(QueryServiceTorture, ConcurrentSamePrefixQueriesCostExactlyOneOpen) {
+  const Dataset ds = Dataset::open(dir_->path());
+  EngineConfig cfg(1, 256ull << 20);
+  ReadEngine& eng = ReadEngine::instance();
+  eng.clear_cache();
+  eng.reset_cache_stats();
+
+  constexpr int kClients = 8;
+  // Hold every fetch open long enough that all K clients pile onto the
+  // in-flight read before the leader finishes.
+  std::atomic<int> disk_reads{0};
+  ScopedFetchHook hook([&](const std::filesystem::path&, std::uint64_t) {
+    disk_reads.fetch_add(1);
+    // Generous: even under TSan every client must reach the in-flight
+    // join while the leader is still inside this sleep.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  });
+
+  QueryService svc(ServiceConfig{kClients, 64, {}});
+  std::atomic<int> started{0};
+  std::vector<ReadStats> stats(kClients);
+  std::vector<std::future<QueryService::Result>> futures;
+  for (int i = 0; i < kClients; ++i)
+    futures.push_back(svc.submit([&, i] {
+      // Rough start barrier: wait until every client's query function
+      // is running so the fetches genuinely race.
+      started.fetch_add(1);
+      while (started.load() < kClients) std::this_thread::yield();
+      return ds.read_data_file(0, -1, 1, &stats[i]);
+    }));
+
+  std::vector<QueryService::Result> results;
+  for (auto& f : futures) results.push_back(f.get());
+  svc.shutdown();
+
+  // Exactly one disk read; every result shares those bytes.
+  EXPECT_EQ(disk_reads.load(), 1);
+  std::uint64_t opens = 0, cache_hits = 0;
+  for (const ReadStats& rs : stats) {
+    opens += rs.files_opened;
+    cache_hits += rs.cache_hits;
+  }
+  EXPECT_EQ(opens, 1u);
+  EXPECT_EQ(cache_hits, static_cast<std::uint64_t>(kClients) - 1);
+  const ReadCacheStats cs = eng.cache_stats();
+  EXPECT_EQ(cs.singleflight_leaders, 1u);
+  EXPECT_EQ(cs.singleflight_followers,
+            static_cast<std::uint64_t>(kClients) - 1);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_TRUE(same_bytes(results[0]->bytes(), results[i]->bytes()));
+}
+
+TEST_F(QueryServiceTorture, FullAdmissionQueueRejectsWithTypedError) {
+  const Dataset ds = Dataset::open(dir_->path());
+  QueryService svc(ServiceConfig{1, 2, {}});
+
+  // Block the single worker, then fill the two queue slots.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocked = svc.submit([gate, &ds] {
+    gate.wait();
+    return ds.query_box(Box3::unit());
+  });
+  // The worker may not have dequeued the blocker yet; admit the two
+  // fillers with retry until both sit in the queue.
+  std::vector<std::future<QueryService::Result>> fillers;
+  while (fillers.size() < 2) {
+    try {
+      fillers.push_back(svc.submit([gate, &ds] {
+        gate.wait();
+        return ds.query_box(Box3::unit());
+      }));
+    } catch (const RejectedError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Wait until the blocker is actually executing (queue == 2 fillers).
+  while (svc.stats().inflight == 0) std::this_thread::yield();
+
+  EXPECT_THROW(svc.submit([&ds] { return ds.query_box(Box3::unit()); }),
+               RejectedError);
+  EXPECT_GE(svc.stats().rejected, 1u);
+
+  release.set_value();
+  EXPECT_NO_THROW(blocked.get());
+  for (auto& f : fillers) EXPECT_NO_THROW(f.get());
+  svc.shutdown();
+  EXPECT_THROW(svc.submit([&ds] { return ds.query_box(Box3::unit()); }),
+               RejectedError);
+}
+
+TEST_F(QueryServiceTorture, DeadlineExpiryMidIoLeavesEngineUsable) {
+  const Dataset ds = Dataset::open(dir_->path());
+  EngineConfig cfg(1, 256ull << 20);
+  ReadEngine::instance().clear_cache();
+  const Box3 box = ds.metadata().domain;
+
+  ParticleBuffer want(ds.metadata().schema);
+  {
+    EngineConfig serial(1, 0);
+    want = ds.query_box(box);
+  }
+
+  // 3 ms per file over 8 files vs a 10 ms budget: the deadline expires
+  // mid-query, strictly between file fetches.
+  ScopedFetchHook hook([](const std::filesystem::path&, std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  });
+
+  QueryService svc(ServiceConfig{2, 16, {}});
+  QueryService::Options opt;
+  opt.deadline = QueryService::Clock::now() + std::chrono::milliseconds(10);
+  EXPECT_THROW(svc.run([&] { return ds.query_box(box); }, opt),
+               TimeoutError);
+  EXPECT_EQ(svc.stats().deadline_expired, 1u);
+  EXPECT_EQ(svc.stats().failed, 0u);  // timeouts are not failures
+
+  // The expired query corrupted nothing: the same query, no deadline,
+  // completes byte-identical to the serial oracle (partially-warmed
+  // cache and all).
+  const QueryService::Result got =
+      svc.run([&] { return ds.query_box(box); });
+  EXPECT_TRUE(same_bytes(got->bytes(), want.bytes()));
+  svc.shutdown();
+}
+
+TEST_F(QueryServiceTorture, DeadlineExpiredInQueueNeverRuns) {
+  const Dataset ds = Dataset::open(dir_->path());
+  QueryService svc(ServiceConfig{1, 8, {}});
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = svc.submit([gate, &ds] {
+    gate.wait();
+    return ds.query_box(Box3::unit());
+  });
+  while (svc.stats().inflight == 0) std::this_thread::yield();
+
+  std::atomic<bool> ran{false};
+  QueryService::Options opt;
+  opt.deadline = QueryService::Clock::now() - std::chrono::milliseconds(1);
+  auto doomed = svc.submit(
+      [&]() -> ParticleBuffer {
+        ran.store(true);
+        return ds.query_box(Box3::unit());
+      },
+      opt);
+
+  release.set_value();
+  EXPECT_NO_THROW(blocker.get());
+  EXPECT_THROW(doomed.get(), TimeoutError);
+  EXPECT_FALSE(ran.load()) << "expired-in-queue query must not execute";
+  svc.shutdown();
+}
+
+TEST_F(QueryServiceTorture, CoalescedQueriesShareOneExecutionAndOneBuffer) {
+  const Dataset ds = Dataset::open(dir_->path());
+  QueryService svc(ServiceConfig{1, 32, {}});
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> executions{0};
+  const Box3 box({0.1, 0.1, 0.1}, {0.9, 0.9, 0.9});
+  const auto fn = [&]() -> ParticleBuffer {
+    executions.fetch_add(1);
+    gate.wait();
+    return ds.query_box(box);
+  };
+
+  QueryService::Options opt;
+  opt.coalesce_key = "shared-box";
+  constexpr int kWaiters = 6;
+  std::vector<std::future<QueryService::Result>> futures;
+  for (int i = 0; i < kWaiters; ++i) futures.push_back(svc.submit(fn, opt));
+  release.set_value();
+
+  std::vector<QueryService::Result> results;
+  for (auto& f : futures) results.push_back(f.get());
+  EXPECT_EQ(executions.load(), 1);
+  for (int i = 1; i < kWaiters; ++i)
+    EXPECT_EQ(results[0].get(), results[i].get())
+        << "coalesced waiters must share one buffer";
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.coalesced, static_cast<std::uint64_t>(kWaiters) - 1);
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kWaiters));
+  svc.shutdown();
+}
+
+TEST_F(QueryServiceTorture, ShutdownWithInflightQueriesDrainsCleanly) {
+  const Dataset ds = Dataset::open(dir_->path());
+  EngineConfig cfg(1, 256ull << 20);
+  ScopedFetchHook hook([](const std::filesystem::path&, std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  ReadEngine::instance().clear_cache();
+
+  ParticleBuffer want(ds.metadata().schema);
+  {
+    EngineConfig serial(1, 0);
+    want = ds.query_box(Box3::unit());
+  }
+
+  auto svc = std::make_unique<QueryService>(ServiceConfig{2, 32, {}});
+  constexpr int kQueries = 6;
+  std::vector<std::future<QueryService::Result>> futures;
+  for (int i = 0; i < kQueries; ++i)
+    futures.push_back(
+        svc->submit([&ds] { return ds.query_box(Box3::unit()); }));
+
+  svc->shutdown();  // queries are queued/executing right now
+
+  // Every accepted future must be resolved — with the right bytes.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const QueryService::Result got = f.get();
+    EXPECT_TRUE(same_bytes(got->bytes(), want.bytes()));
+  }
+  EXPECT_EQ(svc->stats().completed, static_cast<std::uint64_t>(kQueries));
+  svc.reset();  // destructor after shutdown: no-op, no crash
+}
+
+}  // namespace
+}  // namespace spio

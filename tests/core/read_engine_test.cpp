@@ -418,11 +418,14 @@ TEST_F(ReadEngineQueries, TinyBudgetEvictsAndZeroBudgetBypasses) {
 
   {
     // Budget of the largest file prefix: every fetch fits but evicts
-    // the previously-cached file.
+    // the previously-cached file. One shard — this is a test of LRU
+    // budget arithmetic, and a sharded cache splits the budget N ways.
     std::uint64_t one_file = 0;
     for (const auto& f : ds.metadata().files)
       one_file = std::max<std::uint64_t>(
           one_file, f.particle_count * ds.metadata().schema.record_size());
+    const int prev_shards = eng.cache_shards();
+    eng.set_cache_shards(1);
     EngineConfig cfg(1, one_file);
     eng.clear_cache();
     eng.reset_cache_stats();
@@ -433,6 +436,7 @@ TEST_F(ReadEngineQueries, TinyBudgetEvictsAndZeroBudgetBypasses) {
     EXPECT_GT(cs.bytes_evicted, 0u);
     EXPECT_LE(cs.bytes_held, one_file);
     EXPECT_LE(cs.entries, 1u);
+    eng.set_cache_shards(prev_shards);
   }
   {
     // Zero budget: plain reads, no cache traffic at all.

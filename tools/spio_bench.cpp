@@ -14,10 +14,21 @@
 /// `bench/run_hotpath.sh` uses it to regenerate BENCH_hotpath.json, the
 /// committed perf baseline CI compares against.
 ///
+/// Serve (`--serve`): closed-loop multi-client benchmark of the
+/// concurrent query service (core/query_service.hpp) over the same
+/// 216-file dataset as `--readpath`: a Zipfian hot-spot mix of box, LOD
+/// and range-filter queries at 1, 4 and 16 clients, reporting QPS and
+/// p50/p99 latency per client count plus the 16-client scaling factor.
+/// On a single core the scaling comes from query coalescing — hot-spot
+/// clients share one execution and one result buffer — which is exactly
+/// what the service exists to prove. `bench/run_hotpath.sh` regenerates
+/// BENCH_servepath.json from it.
+///
 /// Usage:
 ///   spio_bench [--ranks N] [--particles P] [--reps R] [--dir path]
 ///              [--factors f1,f2,...]   (factors like 2x2x1)
-///              [--json FILE] [--hotpath] [--compare FILE] [--trace FILE]
+///              [--json FILE] [--hotpath] [--readpath] [--serve]
+///              [--compare FILE] [--trace FILE]
 ///
 /// `--trace FILE` turns on the observability layer for the whole run and
 /// writes the merged Chrome trace-event JSON (chrome://tracing, Perfetto)
@@ -33,19 +44,24 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #if defined(__GLIBC__)
 #include <malloc.h>
 #endif
 
 #include "core/distributed_read.hpp"
+#include "core/query_service.hpp"
 #include "core/read_engine.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
@@ -950,6 +966,292 @@ int run_readpath(const std::string& json_path, const std::string& compare_path,
   return 0;
 }
 
+// ---- servepath mode ----
+
+/// One entry in the hot query set: a ready-to-run query function, its
+/// coalescing key, and the expected (direct-query) result bytes.
+struct HotQuery {
+  std::string key;
+  QueryService::QueryFn fn;
+  const ParticleBuffer* want = nullptr;
+};
+
+/// Completion record: when (relative to window start) and how long.
+struct ServeSample {
+  double done_s;
+  double latency_ms;
+};
+
+struct ServeWindow {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t queries = 0;
+  ServiceStats stats;
+};
+
+/// Zipf(s) CDF over ranks 1..n: rank r gets weight 1/r^s. The hot-spot
+/// shape of real query traffic — a few regions of the domain (the
+/// interesting physics) absorb most of the queries.
+std::vector<double> zipf_cdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double sum = 0;
+  for (std::size_t r = 0; r < n; ++r) sum += 1.0 / std::pow(r + 1.0, s);
+  double acc = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += (1.0 / std::pow(r + 1.0, s)) / sum;
+    cdf[r] = acc;
+  }
+  cdf[n - 1] = 1.0;  // guard against rounding
+  return cdf;
+}
+
+std::size_t zipf_pick(const std::vector<double>& cdf, double u) {
+  return static_cast<std::size_t>(
+      std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+}
+
+/// One closed-loop window: `n_clients` threads each keep exactly one
+/// query outstanding against a fresh service (4 workers, deep queue).
+/// Samples completing inside the measure interval (after warmup) yield
+/// QPS and latency percentiles. Each client byte-checks its first
+/// completion of every hot query against the direct-query result.
+ServeWindow run_serve_window(const std::vector<HotQuery>& hot,
+                             const std::vector<double>& cdf, int n_clients,
+                             std::atomic<int>* mismatches) {
+  constexpr double kWarmupS = 0.3;
+  constexpr double kMeasureS = 1.2;
+  QueryService svc(ServiceConfig{4, 1024, {}});
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<ServeSample>> samples(
+      static_cast<std::size_t>(n_clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < n_clients; ++c)
+    clients.emplace_back([&, c] {
+      Xoshiro256 rng(stream_seed(9000 + static_cast<std::uint64_t>(n_clients),
+                                 static_cast<std::uint64_t>(c)));
+      std::vector<bool> checked(hot.size(), false);
+      auto& mine = samples[static_cast<std::size_t>(c)];
+      mine.reserve(4096);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t i = zipf_pick(cdf, rng.uniform());
+        const HotQuery& q = hot[i];
+        QueryService::Options opt;
+        opt.coalesce_key = q.key;
+        const auto q0 = std::chrono::steady_clock::now();
+        const QueryService::Result got = svc.run(q.fn, opt);
+        const auto q1 = std::chrono::steady_clock::now();
+        mine.push_back(
+            {std::chrono::duration<double>(q1 - t0).count(),
+             std::chrono::duration<double, std::milli>(q1 - q0).count()});
+        if (!checked[i]) {
+          checked[i] = true;
+          if (got->byte_size() != q.want->byte_size() ||
+              std::memcmp(got->bytes().data(), q.want->bytes().data(),
+                          got->byte_size()) != 0)
+            mismatches->fetch_add(1);
+        }
+      }
+    });
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kWarmupS + kMeasureS));
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  ServeWindow w;
+  w.stats = svc.stats();
+  svc.shutdown();
+
+  std::vector<double> lat;
+  for (const auto& v : samples)
+    for (const ServeSample& s : v)
+      if (s.done_s >= kWarmupS && s.done_s < kWarmupS + kMeasureS)
+        lat.push_back(s.latency_ms);
+  std::sort(lat.begin(), lat.end());
+  w.queries = lat.size();
+  w.qps = static_cast<double>(lat.size()) / kMeasureS;
+  if (!lat.empty()) {
+    w.p50_ms = lat[lat.size() / 2];
+    w.p99_ms = lat[std::min(lat.size() - 1, (lat.size() * 99) / 100)];
+  }
+  return w;
+}
+
+/// Gate fresh servepath results against a committed baseline: QPS per
+/// client count and the 16-client scaling factor. Wide tolerance —
+/// closed-loop QPS rides scheduler and I/O weather much harder than the
+/// CPU-bound kernel metrics.
+int compare_servepath(const std::string& baseline_text,
+                      const std::string& current_text) {
+  const obs::JsonValue base = obs::JsonValue::parse(baseline_text);
+  const obs::JsonValue cur = obs::JsonValue::parse(current_text);
+  constexpr double kServeTolerance = 0.35;
+
+  std::vector<GateRow> rows;
+  if (const obs::JsonValue* cc = cur.find("clients"))
+    for (std::size_t i = 0; i < cc->size(); ++i) {
+      const std::int64_t n = cc->at(i).at("clients").as_i64();
+      const obs::JsonValue* b = find_entry(base.find("clients"), "clients", n);
+      const obs::JsonValue* bq = b ? b->find("qps") : nullptr;
+      const obs::JsonValue* cq = cc->at(i).find("qps");
+      if (bq && cq)
+        rows.push_back({"serve[" + std::to_string(n) + "c].qps",
+                        bq->as_double(), cq->as_double(), kServeTolerance});
+    }
+  const obs::JsonValue* bs = base.find("scaling_16c");
+  const obs::JsonValue* cs = cur.find("scaling_16c");
+  if (bs && cs)
+    rows.push_back(
+        {"scaling_16c", bs->as_double(), cs->as_double(), kServeTolerance});
+
+  return gate_rows(rows,
+                   "servepath vs baseline (gate: >35% regression fails; "
+                   "closed-loop QPS rides scheduler weather)",
+                   "servepath");
+}
+
+int run_servepath(const std::string& json_path, const std::string& compare_path,
+                  int reps) {
+  std::string baseline_text;
+  if (!compare_path.empty()) {
+    const std::vector<std::byte> bytes = read_file(compare_path);
+    baseline_text.assign(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size());
+  }
+#if defined(__GLIBC__)
+  // Same arena policy as readpath: query results churn MB-sized buffers
+  // every completion; keep them off the mmap path.
+  mallopt(M_MMAP_THRESHOLD, 256 << 20);
+  mallopt(M_TRIM_THRESHOLD, 256 << 20);
+#endif
+  const Schema schema = Schema::uintah();
+  ReadEngine& eng = ReadEngine::instance();
+
+  // The readpath dataset: 216 files (6x6x6 patches, one partition per
+  // patch), the many-partition-files layout a query service fronts.
+  constexpr int kRanks = 216;
+  constexpr std::uint64_t kPerRank = 3700;
+  TempDir scratch("spio-servepath");
+  const std::filesystem::path dsdir = scratch.path() / "ds";
+  {
+    const PatchDecomposition decomp =
+        PatchDecomposition::for_ranks(Box3::unit(), kRanks);
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      const auto local = workload::uniform(
+          schema, decomp.patch(comm.rank()), kPerRank,
+          stream_seed(21, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+      WriterConfig cfg;
+      cfg.dir = dsdir;
+      cfg.factor = {1, 1, 1};
+      write_dataset(comm, decomp, local, cfg);
+    });
+  }
+  const Dataset ds = Dataset::open(dsdir);
+
+  // Serving state: warm cache (the steady state of a query service; the
+  // cold ramp is readpath's subject), fixed engine shape for a
+  // reproducible committed baseline.
+  eng.set_concurrency(16);
+  eng.set_cache_budget(512ull << 20);
+  eng.clear_cache();
+
+  // The hot query set: a Zipf(3.0) spot over 8 mixed queries — 5 box, 2
+  // LOD (coarse levels only), 1 range filter — each over a ~0.3-wide
+  // sub-box, i.e. a handful of the 216 files. The skew is the point:
+  // real exploratory traffic hammers the few regions where the physics
+  // is, and the service turns that overlap into coalesced executions.
+  constexpr double kZipfS = 3.0;
+  const std::vector<Dataset::RangeFilter> dens{
+      {schema.index_of("density"), 0, 1000.0, 1050.0}};
+  struct HotSpec {
+    const char* key;
+    Box3 box;
+    int levels;     // -1 = all
+    bool filtered;  // apply `dens`
+  };
+  const std::vector<HotSpec> specs{
+      {"box-a", Box3({0.05, 0.05, 0.05}, {0.35, 0.35, 0.35}), -1, false},
+      {"box-b", Box3({0.60, 0.60, 0.60}, {0.90, 0.90, 0.90}), -1, false},
+      {"box-c", Box3({0.05, 0.60, 0.05}, {0.35, 0.90, 0.35}), -1, false},
+      {"box-d", Box3({0.60, 0.05, 0.60}, {0.90, 0.35, 0.90}), -1, false},
+      {"box-e", Box3({0.35, 0.35, 0.35}, {0.65, 0.65, 0.65}), -1, false},
+      {"lod-a", Box3({0.05, 0.05, 0.60}, {0.35, 0.35, 0.90}), 2, false},
+      {"lod-b", Box3({0.60, 0.60, 0.05}, {0.90, 0.90, 0.35}), 2, false},
+      {"rng-a", Box3({0.20, 0.20, 0.20}, {0.50, 0.50, 0.50}), -1, true},
+  };
+  std::vector<HotQuery> hot;
+  std::vector<std::unique_ptr<ParticleBuffer>> wants;
+  for (const HotSpec& s : specs) {
+    HotQuery q;
+    q.key = s.key;
+    if (s.filtered)
+      q.fn = [&ds, box = s.box, &dens] { return ds.query(box, dens); };
+    else
+      q.fn = [&ds, box = s.box, levels = s.levels] {
+        return ds.query_box(box, levels);
+      };
+    // Direct-query oracle (and cache prime): the service must hand back
+    // exactly these bytes for every client, coalesced or not.
+    wants.push_back(std::make_unique<ParticleBuffer>(q.fn()));
+    q.want = wants.back().get();
+    hot.push_back(std::move(q));
+  }
+  const std::vector<double> cdf = zipf_cdf(hot.size(), kZipfS);
+
+  Json j;
+  j.open_obj();
+  j.field("bench", "servepath");
+  j.field("generated_by", "tools/spio_bench --serve --json BENCH_servepath.json");
+  j.field("dataset_files",
+          static_cast<std::uint64_t>(ds.metadata().files.size()));
+  j.field("workers", 4);
+  j.field("queue_depth", 1024);
+  j.field("hot_queries", static_cast<std::uint64_t>(hot.size()));
+  j.field("zipf_s", kZipfS);
+
+  std::atomic<int> mismatches{0};
+  double qps1 = 0, qps16 = 0;
+  j.open_arr("clients");
+  for (const int n : {1, 4, 16}) {
+    ServeWindow best;
+    for (int r = 0; r < reps; ++r) {
+      const ServeWindow w = run_serve_window(hot, cdf, n, &mismatches);
+      if (w.qps > best.qps) best = w;
+    }
+    j.open_obj();
+    j.field("clients", n);
+    j.field("qps", best.qps);
+    j.field("p50_ms", best.p50_ms);
+    j.field("p99_ms", best.p99_ms);
+    j.field("queries", best.queries);
+    j.field("accepted", best.stats.accepted);
+    j.field("coalesced", best.stats.coalesced);
+    j.field("rejected", best.stats.rejected);
+    j.close_obj();
+    std::cout << n << " client(s): " << best.qps << " qps  p50 "
+              << best.p50_ms << " ms  p99 " << best.p99_ms << " ms  ("
+              << best.stats.coalesced << " of " << best.stats.accepted
+              << " coalesced)\n";
+    if (n == 1) qps1 = best.qps;
+    if (n == 16) qps16 = best.qps;
+  }
+  j.close_arr();
+  const double scaling = qps1 > 0 ? qps16 / qps1 : 0;
+  j.field("scaling_16c", scaling);
+  j.close_obj();
+  std::cout << "scaling_16c: x" << scaling << "\n";
+
+  if (mismatches.load() != 0) {
+    std::cerr << "serve: " << mismatches.load()
+              << " result(s) differ from the direct query\n";
+    return 1;
+  }
+  if (!json_path.empty()) write_json(json_path, j.str());
+  if (!compare_path.empty()) return compare_servepath(baseline_text, j.str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -963,6 +1265,7 @@ int main(int argc, char** argv) {
   std::filesystem::path postmortem_dir;
   bool hotpath = false;
   bool readpath = false;
+  bool serve = false;
   std::vector<PartitionFactor> factors = {
       {1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {4, 2, 2}};
 
@@ -982,6 +1285,7 @@ int main(int argc, char** argv) {
     else if (arg == "--json") json_path = next();
     else if (arg == "--hotpath") hotpath = true;
     else if (arg == "--readpath") readpath = true;
+    else if (arg == "--serve") serve = true;
     else if (arg == "--compare") compare_path = next();
     else if (arg == "--dump-postmortem") postmortem_dir = next();
     else if (arg == "--trace") trace_path = next();
@@ -1000,7 +1304,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: spio_bench [--ranks N] [--particles P] "
                    "[--reps R] [--dir path] [--factors f1,f2,...] "
-                   "[--json FILE] [--hotpath] [--readpath] [--compare FILE] "
+                   "[--json FILE] [--hotpath] [--readpath] [--serve] "
+                   "[--compare FILE] "
                    "[--dump-postmortem DIR] [--trace FILE]\n";
       return 2;
     }
@@ -1033,17 +1338,20 @@ int main(int argc, char** argv) {
                 << postmortem_dir.string() << "'\n";
   };
 
-  if (!compare_path.empty() && !hotpath && !readpath) {
-    std::cerr << "--compare requires --hotpath or --readpath\n";
+  if (!compare_path.empty() && !hotpath && !readpath && !serve) {
+    std::cerr << "--compare requires --hotpath, --readpath or --serve\n";
     return 2;
   }
-  if (hotpath && readpath) {
-    std::cerr << "--hotpath and --readpath are separate runs\n";
+  if (static_cast<int>(hotpath) + static_cast<int>(readpath) +
+          static_cast<int>(serve) >
+      1) {
+    std::cerr << "--hotpath, --readpath and --serve are separate runs\n";
     return 2;
   }
-  if (hotpath || readpath) {
-    const int rc = hotpath ? run_hotpath(json_path, compare_path, reps)
-                           : run_readpath(json_path, compare_path, reps);
+  if (hotpath || readpath || serve) {
+    const int rc = hotpath   ? run_hotpath(json_path, compare_path, reps)
+                   : readpath ? run_readpath(json_path, compare_path, reps)
+                             : run_servepath(json_path, compare_path, reps);
     dump_postmortem();
     flush_trace();
     return rc;

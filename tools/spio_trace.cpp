@@ -115,7 +115,7 @@ int check_trace(const obs::JsonValue& doc) {
       // parent's recorded end.
       if (!open.empty() &&
           s.ts + s.dur > open.back()->ts + open.back()->dur + 1.0) {
-        complain("span '" + s.name + "' on rank " + std::to_string(tid) +
+        complain("span '" + s.name + "' on track " + std::to_string(tid) +
                  " overlaps '" + open.back()->name + "' without nesting");
       }
       open.push_back(&s);
