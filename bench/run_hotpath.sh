@@ -19,9 +19,12 @@
 #     validated with `spio_trace --check` as well.
 #
 # After the write-path run it regenerates and gates BENCH_readpath.json
-# (read engine) and BENCH_servepath.json (concurrent query service),
-# then runs the service + read test suites under ThreadSanitizer
-# (`ctest --preset tsan-serve`) as a final concurrency gate.
+# (read engine, including the SIMD kernel rows) and BENCH_servepath.json
+# (concurrent query service), runs the SIMD differential suite under
+# both dispatch paths (`ctest -L simd` twice, the second with
+# SPIO_SIMD=off forcing the scalar fallback), then runs the service +
+# read test suites under ThreadSanitizer (`ctest --preset tsan-serve`)
+# as a final concurrency gate.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -73,6 +76,16 @@ fi
 
 # shellcheck disable=SC2086  # READ_COMPARE_ARGS is intentionally word-split
 "$BENCH" --readpath --reps "$REPS" --json "$READ_BASELINE" $READ_COMPARE_ARGS
+
+# SIMD correctness gate: the differential suite (SIMD kernels pinned
+# byte-for-byte to the scalar references) under the host's best ISA,
+# then again with dispatch forced to the scalar fallback — the readpath
+# baseline above is only meaningful if both paths produce identical
+# bytes.
+echo "== simd: differential suite, native dispatch =="
+(cd "$REPO_ROOT/$BUILD_DIR" && ctest -L simd --output-on-failure)
+echo "== simd: differential suite, SPIO_SIMD=off scalar fallback =="
+(cd "$REPO_ROOT/$BUILD_DIR" && SPIO_SIMD=off ctest -L simd --output-on-failure)
 
 # Query-service baseline (BENCH_servepath.json): closed-loop Zipfian
 # hot-spot QPS at 1/4/16 clients plus the 16-client scaling factor

@@ -64,13 +64,15 @@ ParticleBuffer distributed_read(simmpi::Comm& comm,
       ParticleBuffer(ds.metadata().schema));
   for (int fi = 0; fi < ds.file_count(); ++fi) {
     if (file_reader(ds.metadata(), fi, decomp) != comm.rank()) continue;
-    const ParticleBuffer buf = ds.read_data_file(fi, levels, comm.size(),
-                                                 &acc);
-    // Fused owner binning: spatially-coherent files yield long runs of
-    // one owner, copied with single memcpys
-    // (read_detail::bin_by_owner_reference is the retained oracle).
-    read_detail::bin_by_owner(buf.bytes(), ds.metadata().schema, decomp,
-                              outgoing);
+    // Fetch (not read_data_file) keeps the prefix shared with the cache
+    // and carries its SoA position mirror, so a warm distributed read
+    // bins through the SIMD kernel. Owner binning is fused either way:
+    // spatially-coherent files yield long runs of one owner, copied
+    // with single memcpys (bin_by_owner_reference is the oracle).
+    const Dataset::FilePrefix prefix =
+        ds.fetch_file(fi, levels, comm.size(), &acc);
+    read_detail::bin_by_owner_dispatch(prefix.bytes(), ds.metadata().schema,
+                                       decomp, prefix.mirror(), outgoing);
   }
   io_span.end();
 

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "simd/position_mirror.hpp"
 
 namespace spio {
 
@@ -14,10 +15,16 @@ void publish_counter(const char* name, std::uint64_t delta) {
 
 }  // namespace
 
-std::shared_ptr<const ByteBlock> PrefixCache::lookup(const std::string& key,
-                                                     const FileSig& sig) {
+std::uint64_t PrefixCache::entry_bytes(const Entry& e) {
+  return e.data->size() + (e.mirror ? e.mirror->byte_size() : 0);
+}
+
+std::shared_ptr<const ByteBlock> PrefixCache::lookup(
+    const std::string& key, const FileSig& sig,
+    std::shared_ptr<const PositionMirror>* mirror) {
   std::uint64_t evicted_delta = 0;
   std::shared_ptr<const ByteBlock> found;
+  if (mirror) mirror->reset();
   {
     std::lock_guard lk(mu_);
     const auto it = map_.find(key);
@@ -27,10 +34,12 @@ std::shared_ptr<const ByteBlock> PrefixCache::lookup(const std::string& key,
         lru_.splice(lru_.begin(), lru_, it->second);
         ++stats_.hits;
         found = e.data;
+        if (mirror) *mirror = e.mirror;
       } else {
-        // Stale entry (the file was rewritten in place): drop it; the
-        // caller re-reads and re-inserts under the fresh signature.
-        evicted_delta += e.data->size();
+        // Stale entry (the file was rewritten in place): drop it — the
+        // mirror with it — and the caller re-reads and re-inserts under
+        // the fresh signature.
+        evicted_delta += entry_bytes(e);
         evict_locked(it->second);
       }
     }
@@ -45,22 +54,25 @@ std::shared_ptr<const ByteBlock> PrefixCache::lookup(const std::string& key,
 
 void PrefixCache::insert(const std::string& key,
                          std::shared_ptr<const ByteBlock> data,
-                         const FileSig& sig) {
+                         const FileSig& sig,
+                         std::shared_ptr<const PositionMirror> mirror) {
+  const std::uint64_t charge =
+      data->size() + (mirror ? mirror->byte_size() : 0);
   std::uint64_t evicted_delta = 0;
   {
     std::lock_guard lk(mu_);
     ++stats_.misses;
-    if (data->size() <= budget_) {
+    if (charge <= budget_) {
       const auto raced = map_.find(key);  // a concurrent miss beat us
       if (raced != map_.end()) {
-        evicted_delta += raced->second->data->size();
+        evicted_delta += entry_bytes(*raced->second);
         evict_locked(raced->second);
       }
       const std::uint64_t before = stats_.bytes_evicted;
-      shrink_to_locked(budget_ - data->size());
+      shrink_to_locked(budget_ - charge);
       evicted_delta += stats_.bytes_evicted - before;
-      bytes_held_ += data->size();
-      lru_.push_front(Entry{key, std::move(data), sig});
+      bytes_held_ += charge;
+      lru_.push_front(Entry{key, std::move(data), std::move(mirror), sig});
       map_.emplace(key, lru_.begin());
     }
   }
@@ -74,7 +86,7 @@ void PrefixCache::invalidate(const std::string& key) {
     std::lock_guard lk(mu_);
     const auto it = map_.find(key);
     if (it == map_.end()) return;
-    evicted_delta = it->second->data->size();
+    evicted_delta = entry_bytes(*it->second);
     evict_locked(it->second);
   }
   publish_counter("reader.cache.bytes_evicted", evicted_delta);
@@ -122,8 +134,9 @@ ReadCacheStats PrefixCache::stats() const {
 }
 
 void PrefixCache::evict_locked(LruList::iterator it) {
-  bytes_held_ -= it->data->size();
-  stats_.bytes_evicted += it->data->size();
+  const std::uint64_t bytes = entry_bytes(*it);
+  bytes_held_ -= bytes;
+  stats_.bytes_evicted += bytes;
   ++stats_.evictions;
   map_.erase(it->key);
   lru_.erase(it);

@@ -36,6 +36,8 @@
 
 namespace spio {
 
+class PositionMirror;  // simd/position_mirror.hpp
+
 /// (size, mtime) identity of a file at probe time; the cache's staleness
 /// check. `mtime_ns` is 0 when the cache is disabled (not sampled).
 struct FileSig {
@@ -84,15 +86,23 @@ class PrefixCache {
   /// nullptr on a miss. A resident entry whose signature differs from
   /// `sig` is dropped (counted as an eviction) — in-place rewrites are
   /// never served stale. A fresh hit moves the entry to the LRU front.
-  std::shared_ptr<const ByteBlock> lookup(const std::string& key,
-                                          const FileSig& sig);
+  /// When `mirror` is non-null it receives the entry's SoA position
+  /// mirror (may be null — not every entry has one); a stale drop or a
+  /// miss leaves it null, so a mirror can never outlive its bytes.
+  std::shared_ptr<const ByteBlock> lookup(
+      const std::string& key, const FileSig& sig,
+      std::shared_ptr<const PositionMirror>* mirror = nullptr);
 
   /// Insert `data` for `key`, stamped with `sig`, counting one miss.
-  /// Evicts from the LRU tail to fit the budget; a block larger than the
-  /// whole budget is not cached at all (the miss still counts). An
+  /// Evicts from the LRU tail to fit the budget; an entry larger than
+  /// the whole budget is not cached at all (the miss still counts). An
   /// existing entry under `key` (a raced concurrent miss) is replaced.
+  /// `mirror`, when given, rides with the entry: its bytes are charged
+  /// against the budget alongside the block's, and it is dropped with
+  /// the entry on eviction, staleness, and invalidation.
   void insert(const std::string& key, std::shared_ptr<const ByteBlock> data,
-              const FileSig& sig);
+              const FileSig& sig,
+              std::shared_ptr<const PositionMirror> mirror = nullptr);
 
   /// Drop `key` if resident (counted as an eviction). No-op otherwise.
   void invalidate(const std::string& key);
@@ -113,9 +123,13 @@ class PrefixCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const ByteBlock> data;
+    std::shared_ptr<const PositionMirror> mirror;  // may be null
     FileSig sig;
   };
   using LruList = std::list<Entry>;
+
+  /// What the entry charges against the budget: block plus mirror.
+  static std::uint64_t entry_bytes(const Entry& e);
 
   /// Unlink + account one resident entry (caller holds `mu_`).
   void evict_locked(LruList::iterator it);
@@ -140,13 +154,15 @@ class ShardedPrefixCache {
   /// \param shards clamped to >= 1.
   ShardedPrefixCache(std::uint64_t total_budget, int shards);
 
-  std::shared_ptr<const ByteBlock> lookup(const std::string& key,
-                                          const FileSig& sig) {
-    return shard_for(key).lookup(key, sig);
+  std::shared_ptr<const ByteBlock> lookup(
+      const std::string& key, const FileSig& sig,
+      std::shared_ptr<const PositionMirror>* mirror = nullptr) {
+    return shard_for(key).lookup(key, sig, mirror);
   }
   void insert(const std::string& key, std::shared_ptr<const ByteBlock> data,
-              const FileSig& sig) {
-    shard_for(key).insert(key, std::move(data), sig);
+              const FileSig& sig,
+              std::shared_ptr<const PositionMirror> mirror = nullptr) {
+    shard_for(key).insert(key, std::move(data), sig, std::move(mirror));
   }
   void invalidate(const std::string& key) { shard_for(key).invalidate(key); }
   void clear();

@@ -7,6 +7,10 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "simd/kernels.hpp"
+#include "simd/position_mirror.hpp"
+#include "simd/simd_level.hpp"
 #include "util/error.hpp"
 #include "util/serialize.hpp"
 
@@ -78,7 +82,8 @@ FileSig ReadEngine::probe(const std::filesystem::path& path) const {
 
 ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
                                       std::uint64_t prefix_bytes,
-                                      const FileSig& sig) {
+                                      const FileSig& sig,
+                                      const MirrorSpec* mirror) {
   if (!cache_->enabled() || prefix_bytes == 0) {
     run_fetch_hook(path, prefix_bytes);
     Fetched f;
@@ -89,9 +94,12 @@ ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
 
   const std::string key =
       path.string() + '\1' + std::to_string(prefix_bytes);
-  if (std::shared_ptr<const ByteBlock> data = cache_->lookup(key, sig)) {
+  std::shared_ptr<const PositionMirror> cached_mirror;
+  if (std::shared_ptr<const ByteBlock> data =
+          cache_->lookup(key, sig, &cached_mirror)) {
     Fetched f;
     f.shared = std::move(data);
+    f.mirror = std::move(cached_mirror);
     f.outcome = CacheOutcome::kHit;
     return f;
   }
@@ -123,12 +131,14 @@ ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
     if (fl->error) std::rethrow_exception(fl->error);
     Fetched f;
     f.shared = fl->data;
+    f.mirror = fl->mirror;
     f.outcome = CacheOutcome::kFollower;
     return f;
   }
 
   publish_counter("service.singleflight_leader", 1);
   std::shared_ptr<const ByteBlock> data;
+  std::shared_ptr<const PositionMirror> built_mirror;
   try {
     run_fetch_hook(path, prefix_bytes);
     // One-pass read into uninitialized storage (no vector zero-fill).
@@ -136,7 +146,18 @@ ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
         static_cast<std::size_t>(prefix_bytes));
     read_file_range_into(path, 0, {block->data(), block->size()});
     data = std::move(block);
-    cache_->insert(key, data, sig);
+    // Build the SoA mirror once, while the freshly read prefix is still
+    // warm — every warm query on this entry then skips the gather. Not
+    // worth the memory when dispatch is scalar: the kernels would never
+    // read it.
+    if (mirror && mirror->record_size > 0 &&
+        mirror->position_offset + 3 * sizeof(double) <= mirror->record_size &&
+        data->size() % mirror->record_size == 0 &&
+        simd::active_level() != simd::Level::kScalar) {
+      built_mirror = PositionMirror::build(data->span(), mirror->record_size,
+                                           mirror->position_offset);
+    }
+    cache_->insert(key, data, sig, built_mirror);
   } catch (...) {
     {
       std::lock_guard lk(sf_mu_);
@@ -159,11 +180,13 @@ ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
   {
     std::lock_guard lk(fl->mu);
     fl->data = data;
+    fl->mirror = built_mirror;
     fl->done = true;
   }
   fl->cv.notify_all();
   Fetched f;
   f.shared = std::move(data);
+  f.mirror = std::move(built_mirror);
   f.outcome = CacheOutcome::kMiss;
   return f;
 }
@@ -494,6 +517,86 @@ void bin_by_owner_reference(std::span<const std::byte> bytes,
     const int owner = decomp.rank_of(decomp.cell_of(buf.position(i)));
     outgoing[static_cast<std::size_t>(owner)].append_from(buf, i);
   }
+}
+
+namespace {
+
+/// One `kernel.simd_{hits,fallbacks}` tick per kernel dispatch. The
+/// counters tell an operator whether warm queries actually ride the
+/// SIMD path (a fleet stuck on fallbacks means mirrors aren't being
+/// built — cache disabled, cold reads, or `SPIO_SIMD=off`).
+void count_dispatch(bool simd) {
+  publish_counter(simd ? "kernel.simd_hits" : "kernel.simd_fallbacks", 1);
+}
+
+const char* dispatch_span_name(bool simd) {
+  if (!simd) return "kernel.scalar";
+  return simd::active_level() == simd::Level::kAVX2 ? "kernel.avx2"
+                                                    : "kernel.sse2";
+}
+
+}  // namespace
+
+std::uint64_t filter_box_dispatch(std::span<const std::byte> bytes,
+                                  const Schema& schema, const Box3& box,
+                                  const PositionMirror* mirror,
+                                  ParticleBuffer& out) {
+  if (mirror && simd::active_level() != simd::Level::kScalar) {
+    std::uint64_t kept = 0;
+    obs::ScopedSpan span(dispatch_span_name(true), "kernel");
+    if (simd::filter_box(*mirror, bytes, schema.record_size(), box, out,
+                         &kept)) {
+      count_dispatch(true);
+      return kept;
+    }
+  }
+  obs::ScopedSpan span(dispatch_span_name(false), "kernel");
+  count_dispatch(false);
+  return filter_box(bytes, schema, box, out);
+}
+
+std::uint64_t filter_box_ranges_dispatch(std::span<const std::byte> bytes,
+                                         const Schema& schema, const Box3& box,
+                                         std::span<const RangeFilter> filters,
+                                         const PositionMirror* mirror,
+                                         ParticleBuffer& out) {
+  if (mirror && simd::active_level() != simd::Level::kScalar) {
+    // Hoist offsets/types exactly as the fused kernel does; the SIMD
+    // kernel evaluates these per surviving lane from the AoS record.
+    const std::vector<HoistedRange> hoisted = hoist_filters(schema, filters);
+    std::vector<simd::RangePred> preds;
+    preds.reserve(hoisted.size());
+    for (const HoistedRange& h : hoisted)
+      preds.push_back({h.offset, h.is_f64, h.lo, h.hi});
+    std::uint64_t kept = 0;
+    obs::ScopedSpan span(dispatch_span_name(true), "kernel");
+    if (simd::filter_box_ranges(*mirror, bytes, schema.record_size(), box,
+                                preds, out, &kept)) {
+      count_dispatch(true);
+      return kept;
+    }
+  }
+  obs::ScopedSpan span(dispatch_span_name(false), "kernel");
+  count_dispatch(false);
+  return filter_box_ranges(bytes, schema, box, filters, out);
+}
+
+void bin_by_owner_dispatch(std::span<const std::byte> bytes,
+                           const Schema& schema,
+                           const PatchDecomposition& decomp,
+                           const PositionMirror* mirror,
+                           std::vector<ParticleBuffer>& outgoing) {
+  if (mirror && simd::active_level() != simd::Level::kScalar) {
+    obs::ScopedSpan span(dispatch_span_name(true), "kernel");
+    if (simd::bin_by_owner(*mirror, bytes, schema.record_size(), decomp,
+                           outgoing)) {
+      count_dispatch(true);
+      return;
+    }
+  }
+  obs::ScopedSpan span(dispatch_span_name(false), "kernel");
+  count_dispatch(false);
+  bin_by_owner(bytes, schema, decomp, outgoing);
 }
 
 }  // namespace read_detail

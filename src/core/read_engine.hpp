@@ -101,11 +101,24 @@ class ReadEngine {
   /// first use.
   static ReadEngine& instance();
 
+  /// Tells `fetch` how the prefix's AoS records are laid out so it can
+  /// build (and cache) the SoA position mirror the SIMD kernels read
+  /// (simd/position_mirror.hpp): record stride and the byte offset of
+  /// the f64x3 position within each record.
+  struct MirrorSpec {
+    std::size_t record_size = 0;
+    std::size_t position_offset = 0;
+  };
+
   /// One file prefix as returned by `fetch`: shared with the cache when
   /// the cache holds it, owned when the fetch bypassed the cache.
   struct Fetched {
     std::shared_ptr<const ByteBlock> shared;
     std::vector<std::byte> owned;
+    /// SoA position mirror of `bytes()`, when the caller passed a
+    /// `MirrorSpec`, the entry went through the cache, and a SIMD level
+    /// is active — null otherwise (callers fall back to scalar).
+    std::shared_ptr<const PositionMirror> mirror;
     CacheOutcome outcome = CacheOutcome::kBypass;
 
     std::span<const std::byte> bytes() const {
@@ -129,9 +142,13 @@ class ReadEngine {
   /// single-flight table. `sig` must come from a `probe` of the same
   /// path (it validates cached entries and stamps fresh ones). Throws
   /// `IoError`/`FormatError` like `read_file_range` on a miss; a
-  /// follower rethrows its leader's failure.
+  /// follower rethrows its leader's failure. With a non-null `mirror`
+  /// spec, a leader miss also builds the SoA position mirror (skipped
+  /// when SIMD dispatch is scalar — the mirror would never be read) and
+  /// caches it with the prefix; hits and followers return the cached
+  /// one in `Fetched::mirror`.
   Fetched fetch(const std::filesystem::path& path, std::uint64_t prefix_bytes,
-                const FileSig& sig);
+                const FileSig& sig, const MirrorSpec* mirror = nullptr);
 
   /// The shared worker pool (size = `concurrency()`).
   ThreadPool& pool();
@@ -172,6 +189,7 @@ class ReadEngine {
     std::condition_variable cv;
     bool done = false;
     std::shared_ptr<const ByteBlock> data;
+    std::shared_ptr<const PositionMirror> mirror;  // may be null
     std::exception_ptr error;
   };
 
@@ -285,6 +303,33 @@ void bin_by_owner_reference(std::span<const std::byte> bytes,
                             const Schema& schema,
                             const PatchDecomposition& decomp,
                             std::vector<ParticleBuffer>& outgoing);
+
+// -- SIMD dispatch --------------------------------------------------------
+//
+// The read path calls these instead of the fused kernels directly. With
+// a non-null `mirror` (built by `ReadEngine::fetch` from a `MirrorSpec`)
+// and a SIMD level active, the vectorized kernels in src/simd run over
+// the mirror — output byte-identical to the fused/reference kernels —
+// and `kernel.simd_hits` counts one; otherwise the fused scalar kernel
+// runs and `kernel.simd_fallbacks` counts one. Each dispatch opens a
+// `kernel` trace span tagged scalar/sse2/avx2.
+
+std::uint64_t filter_box_dispatch(std::span<const std::byte> bytes,
+                                  const Schema& schema, const Box3& box,
+                                  const PositionMirror* mirror,
+                                  ParticleBuffer& out);
+
+std::uint64_t filter_box_ranges_dispatch(std::span<const std::byte> bytes,
+                                         const Schema& schema, const Box3& box,
+                                         std::span<const RangeFilter> filters,
+                                         const PositionMirror* mirror,
+                                         ParticleBuffer& out);
+
+void bin_by_owner_dispatch(std::span<const std::byte> bytes,
+                           const Schema& schema,
+                           const PatchDecomposition& decomp,
+                           const PositionMirror* mirror,
+                           std::vector<ParticleBuffer>& outgoing);
 
 }  // namespace read_detail
 

@@ -127,7 +127,12 @@ Dataset::FilePrefix Dataset::fetch_file(int file_index, int levels,
                            << f.particle_count * record);
 
   FilePrefix prefix;
-  prefix.fetched = eng.fetch(path, want * record, sig);
+  // The mirror spec lets a leader miss build the SoA position mirror
+  // with the prefix, so every warm query on this file takes the SIMD
+  // kernels (src/simd) instead of the scalar fallback.
+  const ReadEngine::MirrorSpec mspec{static_cast<std::size_t>(record),
+                                     meta_.schema.offset(0)};
+  prefix.fetched = eng.fetch(path, want * record, sig, &mspec);
   prefix.count = want;
   // A single-flight follower shared another query's read: like a hit,
   // this call opened nothing and read no bytes of its own.
@@ -189,9 +194,10 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
       return prefix.count;
     }
     if (filters.empty())
-      return read_detail::filter_box(prefix.bytes(), meta_.schema, box, dst);
-    return read_detail::filter_box_ranges(prefix.bytes(), meta_.schema, box,
-                                          filters, dst);
+      return read_detail::filter_box_dispatch(prefix.bytes(), meta_.schema,
+                                              box, prefix.mirror(), dst);
+    return read_detail::filter_box_ranges_dispatch(
+        prefix.bytes(), meta_.schema, box, filters, prefix.mirror(), dst);
   };
 
   ReadEngine& eng = ReadEngine::instance();
@@ -253,11 +259,12 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
         out.append_bytes(r.prefix.bytes());
         returned += r.prefix.count;
       } else if (filters.empty()) {
-        returned +=
-            read_detail::filter_box(r.prefix.bytes(), meta_.schema, box, out);
+        returned += read_detail::filter_box_dispatch(
+            r.prefix.bytes(), meta_.schema, box, r.prefix.mirror(), out);
       } else {
-        returned += read_detail::filter_box_ranges(
-            r.prefix.bytes(), meta_.schema, box, filters, out);
+        returned += read_detail::filter_box_ranges_dispatch(
+            r.prefix.bytes(), meta_.schema, box, filters, r.prefix.mirror(),
+            out);
       }
       r.prefix = FilePrefix{};  // drop the buffer before the next file
     } catch (...) {
@@ -346,7 +353,8 @@ std::uint64_t Dataset::stream_box(
       if (box.contains_box(f.bounds)) {
         c.buf.append_bytes(prefix.bytes());
       } else {
-        read_detail::filter_box(prefix.bytes(), meta_.schema, box, c.buf);
+        read_detail::filter_box_dispatch(prefix.bytes(), meta_.schema, box,
+                                         prefix.mirror(), c.buf);
       }
     } catch (...) {
       c.error = std::current_exception();

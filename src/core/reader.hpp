@@ -106,6 +106,26 @@ class Dataset {
                                 int n_readers = 1,
                                 ReadStats* stats = nullptr) const;
 
+  /// One file's LOD prefix as fetched through the read engine (bytes
+  /// shared with the buffer cache when it is on) plus its record count.
+  /// `fetched.mirror` carries the cached SoA position mirror when one
+  /// exists, letting callers run the SIMD kernels without re-gathering.
+  struct FilePrefix {
+    ReadEngine::Fetched fetched;
+    std::uint64_t count = 0;
+    std::span<const std::byte> bytes() const { return fetched.bytes(); }
+    /// The SoA mirror for the SIMD dispatch wrappers (null = scalar).
+    const PositionMirror* mirror() const { return fetched.mirror.get(); }
+  };
+
+  /// Scan-side fetch of file `file_index`'s LOD prefix. Counts only scan
+  /// accounting into `stats` (files_opened, bytes_read,
+  /// particles_scanned, cache_*, file_io_seconds) — never
+  /// `particles_returned`, so callers never have to un-count records
+  /// they end up filtering out.
+  FilePrefix fetch_file(int file_index, int levels, int n_readers,
+                        ReadStats* stats) const;
+
   /// Spatial box query via the metadata (§4): reads only the files whose
   /// bounds intersect `box`, filters particles of partially-covered files,
   /// optionally LOD-bounded. Requires spatial metadata.
@@ -160,22 +180,6 @@ class Dataset {
 
   /// Files intersecting `box`, via the spatial index when available.
   std::vector<int> intersecting(const Box3& box) const;
-
-  /// One file's LOD prefix as fetched through the read engine (bytes
-  /// shared with the buffer cache when it is on) plus its record count.
-  struct FilePrefix {
-    ReadEngine::Fetched fetched;
-    std::uint64_t count = 0;
-    std::span<const std::byte> bytes() const { return fetched.bytes(); }
-  };
-
-  /// Scan-side fetch of file `file_index`'s LOD prefix. Counts only scan
-  /// accounting into `stats` (files_opened, bytes_read,
-  /// particles_scanned, cache_*, file_io_seconds) — never
-  /// `particles_returned`, so callers never have to un-count records
-  /// they end up filtering out.
-  FilePrefix fetch_file(int file_index, int levels, int n_readers,
-                        ReadStats* stats) const;
 
   /// The shared fan-out body of `query_box` / `query` /
   /// `query_box_scan_all`: read every file of `files` through the engine

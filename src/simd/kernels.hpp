@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Explicitly vectorized read-path kernels over the SoA position mirror
+/// (docs/PERF.md "SIMD kernels"). Each kernel evaluates its predicate as
+/// SIMD masks over the mirror's contiguous x/y/z arrays, converts the
+/// masks to runs, then reserves the output exactly and copies the
+/// matching runs from the *AoS* byte buffer in record order with one
+/// `append_records` per run — the same records in the same order as the
+/// fused scalar kernels, so output is byte-identical to the
+/// `*_reference` oracles by construction (the differential suite in
+/// tests/simd/simd_kernels_test.cpp pins all three paths together).
+///
+/// Every entry point is a *try*: it returns false — leaving `out`
+/// untouched — when no SIMD path is available (`active_level()` is
+/// `kScalar`: non-x86 build, `SPIO_SIMD=off`, or a test cap) or when the
+/// mirror does not describe `bytes` (count mismatch). Callers fall back
+/// to the fused scalar kernels; `read_detail::*_dispatch` in
+/// core/read_engine.hpp does exactly that and counts
+/// `kernel.simd_{hits,fallbacks}`.
+///
+/// Comparison semantics are pinned to the scalar kernels exactly:
+/// ordered-quiet SIMD compares, so NaN coordinates match no box (as with
+/// scalar `>=`/`<`), range predicates pass NaN attribute values (scalar
+/// `!(v < lo || v > hi)`), and owner binning reproduces
+/// `PatchDecomposition::cell_of`'s sub/div/mul/floor/clamp sequence
+/// operation for operation (IEEE ops are deterministic, so the lanes are
+/// bit-identical to the scalar loop).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simd/position_mirror.hpp"
+#include "simd/simd_level.hpp"
+#include "util/box.hpp"
+#include "workload/decomposition.hpp"
+#include "workload/particle_buffer.hpp"
+
+namespace spio::simd {
+
+/// One hoisted range predicate: keep records whose element at byte
+/// `offset` (f64, or f32 widened) lies in [lo, hi]; NaN passes. The
+/// SIMD-side twin of the read engine's hoisted `RangeFilter`.
+struct RangePred {
+  std::size_t offset = 0;
+  bool is_f64 = true;
+  double lo = 0;
+  double hi = 0;
+};
+
+/// SIMD `filter_box`: append every record of `bytes` whose mirrored
+/// position lies in `box` (half-open) to `out`; `*kept` gets the count.
+/// Returns false (no-op) when dispatch lands on the scalar level or
+/// `mirror.size() != bytes.size() / record_size`.
+bool filter_box(const PositionMirror& mirror, std::span<const std::byte> bytes,
+                std::size_t record_size, const Box3& box, ParticleBuffer& out,
+                std::uint64_t* kept);
+
+/// SIMD `filter_box_ranges`: the box predicate runs at full vector width
+/// over the mirror; surviving lanes evaluate the (rarely more than one
+/// or two) range predicates against the AoS record. Same try contract as
+/// `filter_box`.
+bool filter_box_ranges(const PositionMirror& mirror,
+                       std::span<const std::byte> bytes,
+                       std::size_t record_size, const Box3& box,
+                       std::span<const RangePred> preds, ParticleBuffer& out,
+                       std::uint64_t* kept);
+
+/// SIMD `bin_by_owner`: vectorized point location (sub/div/mul/floor/
+/// clamp per lane, exactly `cell_of`) into per-chunk owner arrays,
+/// folded into owner runs and appended with the fused kernel's two-pass
+/// reserve+memcpy. `outgoing.size()` must equal `decomp.rank_count()`.
+/// Same try contract as `filter_box`.
+bool bin_by_owner(const PositionMirror& mirror,
+                  std::span<const std::byte> bytes, std::size_t record_size,
+                  const PatchDecomposition& decomp,
+                  std::vector<ParticleBuffer>& outgoing);
+
+}  // namespace spio::simd

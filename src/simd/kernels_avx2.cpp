@@ -1,0 +1,106 @@
+/// AVX2 kernel TU — CMake compiles exactly this file with `-mavx2`
+/// (see src/simd/CMakeLists.txt) when the toolchain supports the flag;
+/// the rest of the library stays at the baseline ISA and reaches this
+/// code only through runtime dispatch, so a non-AVX2 host never
+/// executes an AVX2 instruction.
+
+#include "simd/kernels_isa.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "simd/kernels_x86_body.hpp"
+
+namespace spio::simd {
+
+bool avx2_compiled() { return true; }
+
+namespace detail {
+namespace {
+
+struct TraitsAVX2 {
+  static constexpr std::size_t kLanes = 4;
+  using Reg = __m256d;
+  static Reg load(const double* p) { return _mm256_loadu_pd(p); }
+  static Reg set1(double v) { return _mm256_set1_pd(v); }
+  // Ordered-quiet predicates: NaN compares false, as scalar `>=`/`<`.
+  static Reg cmp_ge(Reg a, Reg b) { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static Reg cmp_lt(Reg a, Reg b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static Reg and_(Reg a, Reg b) { return _mm256_and_pd(a, b); }
+  static unsigned movemask(Reg m) {
+    return static_cast<unsigned>(_mm256_movemask_pd(m));
+  }
+  static Reg add(Reg a, Reg b) { return _mm256_add_pd(a, b); }
+  static Reg sub(Reg a, Reg b) { return _mm256_sub_pd(a, b); }
+  static Reg div(Reg a, Reg b) { return _mm256_div_pd(a, b); }
+  static Reg mul(Reg a, Reg b) { return _mm256_mul_pd(a, b); }
+  static Reg floor_(Reg a) { return _mm256_floor_pd(a); }
+  static Reg max_(Reg a, Reg b) { return _mm256_max_pd(a, b); }  // NaN -> b
+  static Reg min_(Reg a, Reg b) { return _mm256_min_pd(a, b); }  // NaN -> b
+  static void to_int32(Reg a, std::int32_t* out) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                     _mm256_cvttpd_epi32(a));
+  }
+};
+
+}  // namespace
+
+std::uint64_t filter_box_avx2(const PositionMirror& mirror,
+                              const std::byte* base, std::size_t record_size,
+                              const Box3& box, ParticleBuffer& out) {
+  return filter_box_body<TraitsAVX2>(mirror, base, record_size, box, out);
+}
+
+std::uint64_t filter_box_ranges_avx2(const PositionMirror& mirror,
+                                     const std::byte* base,
+                                     std::size_t record_size, const Box3& box,
+                                     const RangePred* preds, std::size_t npreds,
+                                     ParticleBuffer& out) {
+  return filter_box_ranges_body<TraitsAVX2>(mirror, base, record_size, box,
+                                            preds, npreds, out);
+}
+
+void bin_by_owner_avx2(const PositionMirror& mirror, const std::byte* base,
+                       std::size_t record_size,
+                       const PatchDecomposition& decomp,
+                       std::vector<ParticleBuffer>& outgoing) {
+  bin_by_owner_body<TraitsAVX2>(mirror, base, record_size, decomp, outgoing);
+}
+
+}  // namespace detail
+}  // namespace spio::simd
+
+#else  // !__AVX2__ — toolchain could not build this TU at AVX2;
+       // detected_level() caps at SSE2 and these stubs stay unreachable.
+
+#include <cstdlib>
+
+namespace spio::simd {
+
+bool avx2_compiled() { return false; }
+
+namespace detail {
+
+std::uint64_t filter_box_avx2(const PositionMirror&, const std::byte*,
+                              std::size_t, const Box3&, ParticleBuffer&) {
+  std::abort();
+}
+
+std::uint64_t filter_box_ranges_avx2(const PositionMirror&, const std::byte*,
+                                     std::size_t, const Box3&,
+                                     const RangePred*, std::size_t,
+                                     ParticleBuffer&) {
+  std::abort();
+}
+
+void bin_by_owner_avx2(const PositionMirror&, const std::byte*, std::size_t,
+                       const PatchDecomposition&,
+                       std::vector<ParticleBuffer>&) {
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace spio::simd
+
+#endif  // __AVX2__

@@ -1,0 +1,54 @@
+#include "simd/position_mirror.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace spio {
+
+namespace {
+
+/// Widest kernel lane count we pad for (AVX2 f64x4 today; 8 leaves room
+/// for an AVX-512 TU without a mirror format change).
+constexpr std::size_t kPadLanes = 8;
+
+}  // namespace
+
+std::uint64_t PositionMirror::bytes_for_count(std::size_t count) {
+  std::size_t padded = (count + kPadLanes - 1) / kPadLanes * kPadLanes;
+  if (padded == 0) padded = kPadLanes;
+  return static_cast<std::uint64_t>(3 * padded * sizeof(double));
+}
+
+std::shared_ptr<const PositionMirror> PositionMirror::build(
+    std::span<const std::byte> bytes, std::size_t record_size,
+    std::size_t position_offset) {
+  SPIO_EXPECTS(record_size > 0 && bytes.size() % record_size == 0);
+  SPIO_EXPECTS(position_offset + 3 * sizeof(double) <= record_size);
+  const std::size_t n = bytes.size() / record_size;
+  const std::size_t padded = (n + kPadLanes - 1) / kPadLanes * kPadLanes;
+  auto mirror = std::shared_ptr<PositionMirror>(
+      new PositionMirror(n, padded == 0 ? kPadLanes : padded));
+
+  double* xs = mirror->lanes_.get();
+  double* ys = xs + mirror->padded_;
+  double* zs = ys + mirror->padded_;
+  const std::byte* p = bytes.data() + position_offset;
+  for (std::size_t i = 0; i < n; ++i, p += record_size) {
+    double v[3];
+    std::memcpy(v, p, sizeof v);
+    xs[i] = v[0];
+    ys[i] = v[1];
+    zs[i] = v[2];
+  }
+  const double pad = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = n; i < mirror->padded_; ++i) {
+    xs[i] = pad;
+    ys[i] = pad;
+    zs[i] = pad;
+  }
+  return mirror;
+}
+
+}  // namespace spio

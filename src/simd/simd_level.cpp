@@ -1,0 +1,75 @@
+#include "simd/simd_level.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace spio::simd {
+
+// Defined in the per-ISA kernel TUs: false when the toolchain could not
+// build that TU at its target ISA (the functions are abort() stubs then).
+bool sse2_compiled();
+bool avx2_compiled();
+
+namespace {
+
+Level cpu_level() {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2") && avx2_compiled()) return Level::kAVX2;
+  if (sse2_compiled()) return Level::kSSE2;
+  return Level::kScalar;
+#else
+  return Level::kScalar;
+#endif
+}
+
+/// `SPIO_SIMD` cap, parsed once. Unrecognized values mean "no cap" so a
+/// typo degrades to auto-dispatch, never to silent scalar.
+Level env_cap() {
+  const char* env = std::getenv("SPIO_SIMD");
+  if (!env) return Level::kAVX2;
+  const std::string v(env);
+  if (v == "off" || v == "scalar" || v == "0") return Level::kScalar;
+  if (v == "sse2") return Level::kSSE2;
+  return Level::kAVX2;
+}
+
+/// Test cap installed by ScopedLevelCap; -1 = none. Plain int so the
+/// RAII restore can nest.
+std::atomic<int> t_cap{-1};
+
+}  // namespace
+
+Level detected_level() {
+  static const Level level = cpu_level();
+  return level;
+}
+
+Level active_level() {
+  static const Level capped = std::min(detected_level(), env_cap());
+  const int cap = t_cap.load(std::memory_order_relaxed);
+  if (cap < 0) return capped;
+  return std::min(capped, static_cast<Level>(cap));
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kSSE2: return "sse2";
+    case Level::kAVX2: return "avx2";
+    case Level::kScalar: break;
+  }
+  return "scalar";
+}
+
+ScopedLevelCap::ScopedLevelCap(Level cap)
+    : prev_(t_cap.load(std::memory_order_relaxed)) {
+  t_cap.store(static_cast<int>(cap), std::memory_order_relaxed);
+}
+
+ScopedLevelCap::~ScopedLevelCap() {
+  t_cap.store(prev_, std::memory_order_relaxed);
+}
+
+}  // namespace spio::simd

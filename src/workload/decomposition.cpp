@@ -56,9 +56,15 @@ Vec3i PatchDecomposition::cell_of(const Vec3d& p) const {
   Vec3i c;
   const Vec3d rel = (p - domain_.lo) / domain_.size();
   for (int a = 0; a < 3; ++a) {
-    auto i = static_cast<std::int64_t>(
-        std::floor(rel[a] * static_cast<double>(grid_[a])));
-    c[a] = std::clamp<std::int64_t>(i, 0, grid_[a] - 1);
+    // Clamp in the double domain *before* the integer cast: casting
+    // NaN, ±inf, or out-of-range doubles to int64 is undefined. The
+    // operand order is load-bearing — std::max(0.0, t) yields 0.0 for
+    // NaN, which is also what MAXPD(t, 0) produces, so the SIMD binning
+    // kernel (src/simd) is bit-identical to this loop, NaN included.
+    double t = std::floor(rel[a] * static_cast<double>(grid_[a]));
+    t = std::max(0.0, t);
+    t = std::min(static_cast<double>(grid_[a] - 1), t);
+    c[a] = static_cast<std::int64_t>(t);
   }
   return c;
 }

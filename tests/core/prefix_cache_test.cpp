@@ -2,8 +2,10 @@
 /// Property tests for the sharded prefix cache: seeded random op
 /// sequences (lookup/insert/invalidate/clear plus signature bumps that
 /// model in-place rewrites) checked differentially against the
-/// single-shard reference, plus invariants under tight budgets and a
-/// concurrent-reader staleness hammer.
+/// single-shard reference, plus invariants under tight budgets, a
+/// concurrent-reader staleness hammer, and the SoA position mirror's
+/// lifecycle (charged on insert, evicted with the prefix, dropped on
+/// staleness).
 
 #include <gtest/gtest.h>
 
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "core/prefix_cache.hpp"
+#include "simd/position_mirror.hpp"
 #include "util/rng.hpp"
 
 namespace spio {
@@ -141,6 +144,105 @@ TEST(PrefixCacheProperty, BudgetAndAccountingInvariantsAcrossShardCounts) {
       // per-shard budget were never admitted, hence <= not ==.
       EXPECT_LE(s.bytes_held + s.bytes_evicted, inserted_bytes);
       EXPECT_EQ(s.misses, inserts);  // insert counts exactly one miss
+    }
+  }
+}
+
+/// The SoA position mirror rides cache entries and must obey the same
+/// lifecycle as the prefix it mirrors: its bytes count against the
+/// budget (admission, residency, and eviction accounting alike), a hit
+/// returns exactly the inserted mirror, and a staleness drop or
+/// invalidation releases it with the prefix — a mirror can never
+/// outlive the bytes it mirrors.
+TEST(PrefixCacheProperty, MirrorBytesAreChargedEvictedAndInvalidatedWithPrefix) {
+  constexpr std::size_t kRecord = 24;  // position-only records
+  const auto mirror_for = [](const std::shared_ptr<const ByteBlock>& b) {
+    return PositionMirror::build(b->span(), kRecord, 0);
+  };
+
+  // Exact charge: prefix bytes + mirror bytes, dropped together on an
+  // in-place rewrite (stale signature).
+  {
+    PrefixCache cache(1ull << 20);
+    const FileSig sig{10 * kRecord, 1};
+    const auto data = make_block("m", sig, 10 * kRecord);
+    const auto mirror = mirror_for(data);
+    cache.insert("m", data, sig, mirror);
+    EXPECT_EQ(cache.stats().bytes_held,
+              data->size() + PositionMirror::bytes_for_count(10));
+    std::shared_ptr<const PositionMirror> got_mirror;
+    ASSERT_NE(cache.lookup("m", sig, &got_mirror), nullptr);
+    EXPECT_EQ(got_mirror.get(), mirror.get());
+    const FileSig bumped{10 * kRecord, 2};
+    got_mirror = mirror;  // poison the out-param; a miss must reset it
+    EXPECT_EQ(cache.lookup("m", bumped, &got_mirror), nullptr);
+    EXPECT_EQ(got_mirror, nullptr);
+    EXPECT_EQ(cache.stats().bytes_held, 0u);
+  }
+
+  // Admission counts the mirror: a prefix that fits alone is refused
+  // once its mirror pushes the charge over budget.
+  {
+    const FileSig sig{40 * kRecord, 1};
+    const auto data = make_block("a", sig, 40 * kRecord);
+    const auto mirror = mirror_for(data);
+    PrefixCache tight(data->size() + mirror->byte_size() - 1);
+    tight.insert("a", data, sig, mirror);
+    EXPECT_EQ(tight.stats().entries, 0u);
+    PrefixCache fits(data->size() + mirror->byte_size());
+    fits.insert("a", data, sig, mirror);
+    EXPECT_EQ(fits.stats().entries, 1u);
+  }
+
+  // Random op property across shard counts, with mirrors on half the
+  // inserts: the budget bound and the held+evicted <= inserted-charge
+  // accounting must hold with mirror bytes in every term.
+  for (const int shards : {1, 4}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const std::uint64_t budget = 8192 + 1024 * seed;
+      ShardedPrefixCache cache(budget, shards);
+      Xoshiro256 rng(stream_seed(7400, seed * 17 +
+                                 static_cast<std::uint64_t>(shards)));
+      std::vector<FileSig> sigs(10);
+      for (std::size_t k = 0; k < sigs.size(); ++k)
+        sigs[k] = FileSig{kRecord * (4 + 8 * k), 1};
+
+      std::uint64_t inserted_charge = 0;
+      for (int op = 0; op < 500; ++op) {
+        const std::size_t k = rng.uniform_index(sigs.size());
+        const std::string key = "k" + std::to_string(k);
+        switch (rng.uniform_index(4)) {
+          case 0:  // in-place rewrite
+            sigs[k].mtime_ns += 1;
+            break;
+          case 1: {
+            const std::size_t size = static_cast<std::size_t>(sigs[k].size);
+            const auto data = make_block(key, sigs[k], size);
+            std::shared_ptr<const PositionMirror> m;
+            if (rng.uniform_index(2) == 0) m = mirror_for(data);
+            cache.insert(key, data, sigs[k], m);
+            inserted_charge += size + (m ? m->byte_size() : 0);
+            break;
+          }
+          default: {
+            std::shared_ptr<const PositionMirror> m;
+            const auto got = cache.lookup(key, sigs[k], &m);
+            if (got) {
+              ASSERT_TRUE(block_matches(*got, key, sigs[k]));
+              // A returned mirror always describes the returned bytes.
+              if (m) ASSERT_EQ(m->size(), got->size() / kRecord);
+            } else {
+              ASSERT_EQ(m, nullptr);
+            }
+            break;
+          }
+        }
+        ASSERT_LE(cache.stats().bytes_held, budget)
+            << "shards " << shards << " seed " << seed;
+      }
+      const ReadCacheStats s = cache.stats();
+      EXPECT_LE(s.bytes_held + s.bytes_evicted, inserted_charge)
+          << "shards " << shards << " seed " << seed;
     }
   }
 }

@@ -26,6 +26,8 @@
 #include "core/read_engine.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
+#include "simd/position_mirror.hpp"
+#include "simd/simd_level.hpp"
 #include "simmpi/runtime.hpp"
 #include "util/rng.hpp"
 #include "util/temp_dir.hpp"
@@ -417,13 +419,22 @@ TEST_F(ReadEngineQueries, TinyBudgetEvictsAndZeroBudgetBypasses) {
   const Box3 box = ds.metadata().domain;
 
   {
-    // Budget of the largest file prefix: every fetch fits but evicts
-    // the previously-cached file. One shard — this is a test of LRU
-    // budget arithmetic, and a sharded cache splits the budget N ways.
+    // Budget of the largest file entry — prefix plus its SoA position
+    // mirror when SIMD dispatch will build one: every fetch fits but
+    // evicts the previously-cached file. One shard — this is a test of
+    // LRU budget arithmetic, and a sharded cache splits the budget N
+    // ways.
+    const bool mirrored =
+        simd::active_level() != simd::Level::kScalar;
     std::uint64_t one_file = 0;
-    for (const auto& f : ds.metadata().files)
-      one_file = std::max<std::uint64_t>(
-          one_file, f.particle_count * ds.metadata().schema.record_size());
+    for (const auto& f : ds.metadata().files) {
+      std::uint64_t charge =
+          f.particle_count * ds.metadata().schema.record_size();
+      if (mirrored)
+        charge += PositionMirror::bytes_for_count(
+            static_cast<std::size_t>(f.particle_count));
+      one_file = std::max<std::uint64_t>(one_file, charge);
+    }
     const int prev_shards = eng.cache_shards();
     eng.set_cache_shards(1);
     EngineConfig cfg(1, one_file);

@@ -1,0 +1,451 @@
+/// \file simd_kernels_test.cpp
+/// The SIMD kernel engine's contract, pinned:
+///   1. `simd::filter_box` / `filter_box_ranges` / `bin_by_owner` are
+///      byte-identical to the scalar `*_reference` oracles at every
+///      compiled ISA level — including particles exactly on box faces,
+///      NaN and ±inf coordinates, and NaN attribute values,
+///   2. the `read_detail::*_dispatch` wrappers match the oracles whether
+///      they take the SIMD path or the scalar fallback (so the whole
+///      suite is meaningful under `SPIO_SIMD=off`, where every SIMD try
+///      must return false),
+///   3. `ReadEngine::fetch` builds the SoA position mirror on a leader
+///      miss, serves the same mirror on warm hits, and skips it when
+///      dispatch is scalar,
+///   4. the mirror itself is a faithful SoA copy with NaN lane padding.
+///
+/// The ctest registration runs this binary twice: once under the host's
+/// best ISA and once with `SPIO_SIMD=off` (label `simd`, see
+/// tests/CMakeLists.txt), so both sides of every dispatch are exercised
+/// by the same assertions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "core/read_engine.hpp"
+#include "simd/kernels.hpp"
+#include "simd/position_mirror.hpp"
+#include "simd/simd_level.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+constexpr double kQNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool same_bytes(std::span<const std::byte> a, std::span<const std::byte> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+/// The ISA levels dispatch can actually reach in this process — capped
+/// by the CPU, the build, and `SPIO_SIMD`. Empty means every SIMD try
+/// must report false (scalar-fallback mode).
+std::vector<simd::Level> reachable_levels() {
+  std::vector<simd::Level> levels;
+  const auto top = static_cast<int>(simd::active_level());
+  if (top >= static_cast<int>(simd::Level::kSSE2))
+    levels.push_back(simd::Level::kSSE2);
+  if (top >= static_cast<int>(simd::Level::kAVX2))
+    levels.push_back(simd::Level::kAVX2);
+  return levels;
+}
+
+Schema random_schema(Xoshiro256& rng) {
+  std::vector<FieldDesc> fields{{"position", FieldType::kF64, 3}};
+  const std::size_t extra = 1 + rng.uniform_index(3);
+  for (std::size_t i = 0; i < extra; ++i)
+    fields.push_back({"f" + std::to_string(i),
+                      rng.uniform_index(2) == 0 ? FieldType::kF64
+                                                : FieldType::kF32,
+                      static_cast<std::uint32_t>(1 + rng.uniform_index(3))});
+  return Schema(fields);
+}
+
+Box3 random_box(Xoshiro256& rng) {
+  Box3 box;
+  for (int a = 0; a < 3; ++a) {
+    const double lo = rng.uniform(-0.1, 1.1);
+    const double hi = rng.uniform(-0.1, 1.1);
+    box.lo[a] = std::min(lo, hi);
+    box.hi[a] = std::max(lo, hi);
+  }
+  return box;
+}
+
+std::shared_ptr<const PositionMirror> mirror_of(const ParticleBuffer& buf) {
+  return PositionMirror::build(buf.bytes(), buf.schema().record_size(),
+                               buf.schema().offset(0));
+}
+
+/// Particles probing every boundary the box predicate can disagree on:
+/// faces (>= lo in, >= hi out), corners, -0.0 vs 0.0, NaN in each
+/// coordinate, ±inf. `box` must have lo > -1 and hi < 2 so the inside/
+/// outside fillers land where intended.
+ParticleBuffer boundary_particles(const Schema& schema, const Box3& box,
+                                  Xoshiro256& rng) {
+  ParticleBuffer buf =
+      workload::uniform(schema, Box3::unit(), 64, rng.next(), 0);
+  std::vector<Vec3d> probes;
+  const Vec3d mid = (box.lo + box.hi) * 0.5;
+  for (int a = 0; a < 3; ++a) {
+    Vec3d on_lo = mid, on_hi = mid, below = mid, nan_a = mid, pinf = mid,
+          ninf = mid;
+    on_lo[a] = box.lo[a];                      // face: included
+    on_hi[a] = box.hi[a];                      // face: excluded
+    below[a] = std::nextafter(box.lo[a], -2.0);  // just outside
+    nan_a[a] = kQNaN;                          // excluded
+    pinf[a] = kInf;                            // excluded
+    ninf[a] = -kInf;                           // excluded
+    probes.insert(probes.end(), {on_lo, on_hi, below, nan_a, pinf, ninf});
+  }
+  probes.push_back(box.lo);                 // corner: included
+  probes.push_back(box.hi);                 // corner: excluded
+  probes.push_back({-0.0, mid.y, mid.z});   // -0.0 >= 0.0 when lo.x == 0
+  probes.push_back({kQNaN, kQNaN, kQNaN});  // all-NaN
+  for (std::size_t i = 0; i < probes.size() && i < buf.size(); ++i)
+    buf.set_position(i, probes[i]);
+  return buf;
+}
+
+// ---- 1. SIMD kernels vs reference oracles ------------------------------
+
+TEST(SimdKernels, FilterBoxMatchesReferenceOnBoundariesNaNAndInf) {
+  Xoshiro256 rng(601);
+  // lo.x == 0 so the -0.0 probe sits exactly on a face.
+  const Box3 box({0.0, 0.25, 0.25}, {0.75, 0.75, 0.75});
+  for (int round = 0; round < 10; ++round) {
+    const Schema schema = random_schema(rng);
+    const ParticleBuffer buf = boundary_particles(schema, box, rng);
+    const auto mirror = mirror_of(buf);
+
+    ParticleBuffer ref(schema);
+    const auto nref =
+        read_detail::filter_box_reference(buf.bytes(), schema, box, ref);
+
+    for (const simd::Level level : reachable_levels()) {
+      simd::ScopedLevelCap cap(level);
+      ParticleBuffer out(schema);
+      std::uint64_t kept = 0;
+      ASSERT_TRUE(simd::filter_box(*mirror, buf.bytes(), schema.record_size(),
+                                   box, out, &kept))
+          << simd::level_name(level);
+      EXPECT_EQ(kept, nref) << simd::level_name(level);
+      EXPECT_TRUE(same_bytes(ref.bytes(), out.bytes()))
+          << simd::level_name(level) << " round " << round;
+    }
+    if (reachable_levels().empty()) {
+      ParticleBuffer out(schema);
+      EXPECT_FALSE(simd::filter_box(*mirror, buf.bytes(),
+                                    schema.record_size(), box, out, nullptr));
+      EXPECT_EQ(out.size(), 0u);
+    }
+  }
+}
+
+TEST(SimdKernels, FilterBoxMatchesReferenceOnRandomInputs) {
+  Xoshiro256 rng(602);
+  for (int round = 0; round < 15; ++round) {
+    const Schema schema = random_schema(rng);
+    auto buf = workload::uniform(schema, Box3::unit(),
+                                 500 + rng.uniform_index(1500), rng.next(), 0);
+    for (int k = 0; k < 5; ++k)
+      buf.set_position(rng.uniform_index(buf.size()), {kQNaN, 0.5, 0.5});
+    const Box3 box = random_box(rng);
+    const auto mirror = mirror_of(buf);
+
+    ParticleBuffer ref(schema);
+    const auto nref =
+        read_detail::filter_box_reference(buf.bytes(), schema, box, ref);
+    for (const simd::Level level : reachable_levels()) {
+      simd::ScopedLevelCap cap(level);
+      ParticleBuffer out(schema);
+      std::uint64_t kept = 0;
+      ASSERT_TRUE(simd::filter_box(*mirror, buf.bytes(), schema.record_size(),
+                                   box, out, &kept));
+      EXPECT_EQ(kept, nref);
+      EXPECT_TRUE(same_bytes(ref.bytes(), out.bytes()))
+          << simd::level_name(level) << " round " << round;
+    }
+  }
+}
+
+TEST(SimdKernels, FilterBoxRangesMatchesReferenceIncludingNaNAndEdges) {
+  Xoshiro256 rng(603);
+  for (int round = 0; round < 15; ++round) {
+    const Schema schema = random_schema(rng);
+    auto buf = workload::uniform(schema, Box3::unit(), 1000, rng.next(), 0);
+
+    std::vector<RangeFilter> filters;
+    const std::size_t nf = 1 + rng.uniform_index(2);
+    for (std::size_t k = 0; k < nf; ++k) {
+      const std::size_t field = 1 + rng.uniform_index(schema.field_count() - 1);
+      const FieldDesc& fd = schema.fields()[field];
+      const std::uint32_t comp =
+          static_cast<std::uint32_t>(rng.uniform_index(fd.components));
+      const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+      filters.push_back({field, comp, std::min(a, b), std::max(a, b)});
+    }
+    // Edge values the predicate must agree on: exactly lo and hi (both
+    // pass `!(v < lo || v > hi)`), NaN (passes), +inf (fails).
+    const RangeFilter& rf = filters[0];
+    const bool f64 = schema.fields()[rf.field].type == FieldType::kF64;
+    const double edges[] = {rf.lo, rf.hi, kQNaN, kInf};
+    for (int k = 0; k < 12; ++k) {
+      const std::size_t i = rng.uniform_index(buf.size());
+      const double v = edges[k % 4];
+      if (f64)
+        buf.set_f64(i, rf.field, rf.component, v);
+      else
+        buf.set_f32(i, rf.field, rf.component, static_cast<float>(v));
+    }
+    const Box3 box = random_box(rng);
+    const auto mirror = mirror_of(buf);
+
+    ParticleBuffer ref(schema);
+    const auto nref = read_detail::filter_box_ranges_reference(
+        buf.bytes(), schema, box, filters, ref);
+    for (const simd::Level level : reachable_levels()) {
+      simd::ScopedLevelCap cap(level);
+      std::vector<simd::RangePred> preds;
+      for (const RangeFilter& f : filters) {
+        const FieldDesc& fd = schema.fields()[f.field];
+        preds.push_back({schema.offset(f.field) +
+                             f.component * field_type_size(fd.type),
+                         fd.type == FieldType::kF64, f.lo, f.hi});
+      }
+      ParticleBuffer out(schema);
+      std::uint64_t kept = 0;
+      ASSERT_TRUE(simd::filter_box_ranges(*mirror, buf.bytes(),
+                                          schema.record_size(), box, preds,
+                                          out, &kept));
+      EXPECT_EQ(kept, nref);
+      EXPECT_TRUE(same_bytes(ref.bytes(), out.bytes()))
+          << simd::level_name(level) << " round " << round;
+    }
+  }
+}
+
+TEST(SimdKernels, BinByOwnerMatchesReferenceIncludingClampedPositions) {
+  Xoshiro256 rng(604);
+  for (const int ranks : {1, 2, 5, 8, 12}) {
+    const Schema schema = random_schema(rng);
+    auto buf = workload::uniform(schema, Box3::unit(), 2000, rng.next(), 0);
+    // Positions the point location must clamp identically: exactly on
+    // domain.hi (maps to the last patch), outside, NaN and ±inf (now
+    // well-defined: NaN clamps to cell 0).
+    const Vec3d specials[] = {{1.0, 1.0, 1.0}, {1.0, 0.5, 0.5},
+                              {-0.5, 0.5, 0.5}, {2.0, 0.5, 0.5},
+                              {kQNaN, 0.5, 0.5}, {kQNaN, kQNaN, kQNaN},
+                              {kInf, 0.5, 0.5},  {-kInf, 0.5, 0.5}};
+    for (std::size_t k = 0; k < std::size(specials); ++k)
+      buf.set_position(k, specials[k]);
+    const PatchDecomposition decomp =
+        PatchDecomposition::for_ranks(Box3::unit(), ranks);
+    const auto mirror = mirror_of(buf);
+
+    std::vector<ParticleBuffer> ref(static_cast<std::size_t>(ranks),
+                                    ParticleBuffer(schema));
+    read_detail::bin_by_owner_reference(buf.bytes(), schema, decomp, ref);
+
+    for (const simd::Level level : reachable_levels()) {
+      simd::ScopedLevelCap cap(level);
+      std::vector<ParticleBuffer> out(static_cast<std::size_t>(ranks),
+                                      ParticleBuffer(schema));
+      ASSERT_TRUE(simd::bin_by_owner(*mirror, buf.bytes(),
+                                     schema.record_size(), decomp, out));
+      for (int r = 0; r < ranks; ++r)
+        EXPECT_TRUE(same_bytes(ref[static_cast<std::size_t>(r)].bytes(),
+                               out[static_cast<std::size_t>(r)].bytes()))
+            << simd::level_name(level) << " ranks " << ranks << " bin " << r;
+    }
+  }
+}
+
+// ---- 2. dispatch wrappers ----------------------------------------------
+
+TEST(SimdDispatch, DispatchMatchesReferenceWithAndWithoutMirror) {
+  Xoshiro256 rng(605);
+  const Schema schema = random_schema(rng);
+  auto buf = workload::uniform(schema, Box3::unit(), 3000, rng.next(), 0);
+  for (int k = 0; k < 5; ++k)
+    buf.set_position(rng.uniform_index(buf.size()), {kQNaN, 0.5, 0.5});
+  const Box3 box({0.1, 0.1, 0.1}, {0.6, 0.9, 0.9});
+  const auto mirror = mirror_of(buf);
+
+  ParticleBuffer ref(schema);
+  const auto nref =
+      read_detail::filter_box_reference(buf.bytes(), schema, box, ref);
+
+  for (const PositionMirror* m : {mirror.get(),
+                                  static_cast<const PositionMirror*>(nullptr)}) {
+    ParticleBuffer out(schema);
+    const auto n =
+        read_detail::filter_box_dispatch(buf.bytes(), schema, box, m, out);
+    EXPECT_EQ(n, nref);
+    EXPECT_TRUE(same_bytes(ref.bytes(), out.bytes()))
+        << (m ? "mirror" : "fallback");
+  }
+
+  const PatchDecomposition decomp =
+      PatchDecomposition::for_ranks(Box3::unit(), 6);
+  std::vector<ParticleBuffer> bref(6, ParticleBuffer(schema));
+  read_detail::bin_by_owner_reference(buf.bytes(), schema, decomp, bref);
+  for (const PositionMirror* m : {mirror.get(),
+                                  static_cast<const PositionMirror*>(nullptr)}) {
+    std::vector<ParticleBuffer> bout(6, ParticleBuffer(schema));
+    read_detail::bin_by_owner_dispatch(buf.bytes(), schema, decomp, m, bout);
+    for (int r = 0; r < 6; ++r)
+      EXPECT_TRUE(same_bytes(bref[static_cast<std::size_t>(r)].bytes(),
+                             bout[static_cast<std::size_t>(r)].bytes()))
+          << (m ? "mirror" : "fallback") << " bin " << r;
+  }
+}
+
+TEST(SimdDispatch, StaleMirrorIsRejectedNotTrusted) {
+  Xoshiro256 rng(606);
+  const Schema schema = random_schema(rng);
+  const auto big = workload::uniform(schema, Box3::unit(), 512, rng.next(), 0);
+  const auto small = workload::uniform(schema, Box3::unit(), 256, rng.next(), 0);
+  const auto stale = mirror_of(big);  // 512 records, bytes have 256
+  ParticleBuffer out(schema);
+  EXPECT_FALSE(simd::filter_box(*stale, small.bytes(), schema.record_size(),
+                                Box3::unit(), out, nullptr));
+  EXPECT_EQ(out.size(), 0u);
+}
+
+// ---- 3. level selection ------------------------------------------------
+
+TEST(SimdLevel, ScopedCapNeverRaisesAboveActive) {
+  const simd::Level active = simd::active_level();
+  {
+    simd::ScopedLevelCap cap(simd::Level::kScalar);
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+    {
+      // A nested wider cap cannot exceed the environment's level.
+      simd::ScopedLevelCap inner(simd::Level::kAVX2);
+      EXPECT_LE(static_cast<int>(simd::active_level()),
+                static_cast<int>(active));
+    }
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  }
+  EXPECT_EQ(simd::active_level(), active);
+  EXPECT_LE(static_cast<int>(active),
+            static_cast<int>(simd::detected_level()));
+}
+
+TEST(SimdLevel, ScalarCapForcesKernelFallback) {
+  Xoshiro256 rng(607);
+  const Schema schema = random_schema(rng);
+  const auto buf = workload::uniform(schema, Box3::unit(), 128, rng.next(), 0);
+  const auto mirror = mirror_of(buf);
+  simd::ScopedLevelCap cap(simd::Level::kScalar);
+  ParticleBuffer out(schema);
+  EXPECT_FALSE(simd::filter_box(*mirror, buf.bytes(), schema.record_size(),
+                                Box3::unit(), out, nullptr));
+}
+
+TEST(SimdLevel, LevelNamesAreStable) {
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kSSE2), "sse2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAVX2), "avx2");
+}
+
+// ---- 4. the mirror itself ----------------------------------------------
+
+TEST(PositionMirrorTest, MirrorsPositionsAndPadsWithNaN) {
+  Xoshiro256 rng(608);
+  const Schema schema = random_schema(rng);
+  for (const std::size_t n : {0ul, 1ul, 7ul, 8ul, 13ul, 256ul}) {
+    const auto buf = workload::uniform(schema, Box3::unit(), n, rng.next(), 0);
+    const auto m = PositionMirror::build(buf.bytes(), schema.record_size(),
+                                         schema.offset(0));
+    ASSERT_EQ(m->size(), n);
+    EXPECT_EQ(m->byte_size(), PositionMirror::bytes_for_count(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3d p = buf.position(i);
+      EXPECT_EQ(m->x()[i], p.x);
+      EXPECT_EQ(m->y()[i], p.y);
+      EXPECT_EQ(m->z()[i], p.z);
+    }
+    // Padding lanes are NaN so they can never satisfy a box compare.
+    const std::size_t padded = m->byte_size() / (3 * sizeof(double));
+    EXPECT_GE(padded, std::max<std::size_t>(n, 1));
+    for (std::size_t i = n; i < padded; ++i) {
+      EXPECT_TRUE(std::isnan(m->x()[i]));
+      EXPECT_TRUE(std::isnan(m->y()[i]));
+      EXPECT_TRUE(std::isnan(m->z()[i]));
+    }
+  }
+}
+
+// ---- 5. engine integration ---------------------------------------------
+
+TEST(SimdEngine, FetchBuildsCachesAndServesTheMirror) {
+  TempDir dir("spio-simd-fetch");
+  const std::size_t rec = 32;  // f64x3 position at offset 0 + 8 pad bytes
+  const std::size_t n = 100;
+  const auto path = dir.path() / "records.bin";
+  {
+    std::vector<double> payload(n * 4);
+    Xoshiro256 rng(609);
+    for (auto& v : payload) v = rng.uniform(0, 1);
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size() * sizeof(double)));
+  }
+
+  ReadEngine& eng = ReadEngine::instance();
+  const std::uint64_t prev_budget = eng.cache_budget();
+  eng.set_cache_budget(8u << 20);
+  eng.clear_cache();
+
+  const FileSig sig = eng.probe(path);
+  const ReadEngine::MirrorSpec spec{rec, 0};
+  auto cold = eng.fetch(path, n * rec, sig, &spec);
+  EXPECT_EQ(cold.outcome, CacheOutcome::kMiss);
+  auto warm = eng.fetch(path, n * rec, sig, &spec);
+  EXPECT_EQ(warm.outcome, CacheOutcome::kHit);
+
+  if (simd::active_level() != simd::Level::kScalar) {
+    ASSERT_NE(cold.mirror, nullptr);
+    EXPECT_EQ(cold.mirror->size(), n);
+    // The warm hit serves the very same mirror, no rebuild.
+    EXPECT_EQ(warm.mirror.get(), cold.mirror.get());
+    // And it mirrors the fetched bytes exactly.
+    for (std::size_t i = 0; i < n; ++i) {
+      double p[3];
+      std::memcpy(p, cold.bytes().data() + i * rec, sizeof p);
+      EXPECT_EQ(cold.mirror->x()[i], p[0]);
+      EXPECT_EQ(cold.mirror->y()[i], p[1]);
+      EXPECT_EQ(cold.mirror->z()[i], p[2]);
+    }
+  } else {
+    // Scalar dispatch (SPIO_SIMD=off or no SIMD build): no mirror is
+    // built — it would be dead weight in the cache.
+    EXPECT_EQ(cold.mirror, nullptr);
+    EXPECT_EQ(warm.mirror, nullptr);
+  }
+
+  // Without a spec the fetch still works and simply carries no mirror
+  // for entries inserted without one.
+  eng.clear_cache();
+  auto plain = eng.fetch(path, n * rec, sig);
+  EXPECT_EQ(plain.outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(plain.mirror, nullptr);
+
+  eng.set_cache_budget(prev_budget);
+}
+
+}  // namespace
+}  // namespace spio
