@@ -20,11 +20,14 @@
 #
 # After the write-path run it regenerates and gates BENCH_readpath.json
 # (read engine, including the SIMD kernel rows) and BENCH_servepath.json
-# (concurrent query service), runs the SIMD differential suite under
-# both dispatch paths (`ctest -L simd` twice, the second with
-# SPIO_SIMD=off forcing the scalar fallback), then runs the service +
-# read test suites under ThreadSanitizer (`ctest --preset tsan-serve`)
-# as a final concurrency gate.
+# (concurrent query service, including the server-side p99 gate), runs
+# the SIMD differential suite under both dispatch paths (`ctest -L simd`
+# twice, the second with SPIO_SIMD=off forcing the scalar fallback),
+# exercises the live-telemetry path (the serve run streams
+# stats.spio.jsonl via SPIO_STATS; the stream is validated with
+# `spio_trace --check` and rendered with `spio_top --replay`), then runs
+# the service + read test suites under ThreadSanitizer
+# (`ctest --preset tsan-serve`) as a final concurrency gate.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -99,8 +102,28 @@ else
   echo "no committed baseline at $SERVE_BASELINE; generating without the gate" >&2
 fi
 
+# The serve run doubles as the live-telemetry smoke test
+# (docs/OBSERVABILITY.md "Live telemetry"): the exporter streams
+# stats.spio.jsonl while the bench serves, the stream is schema-checked
+# with `spio_trace --check`, and `spio_top --replay` must render it.
+STATS_JSONL="$REPO_ROOT/$BUILD_DIR/stats.spio.jsonl"
+TOP_TOOL="$REPO_ROOT/$BUILD_DIR/tools/spio_top"
+
 # shellcheck disable=SC2086  # SERVE_COMPARE_ARGS is intentionally word-split
-"$BENCH" --serve --reps "$REPS" --json "$SERVE_BASELINE" $SERVE_COMPARE_ARGS
+SPIO_STATS="250:$STATS_JSONL" SPIO_SLO_MS=1000 \
+  "$BENCH" --serve --reps "$REPS" --json "$SERVE_BASELINE" $SERVE_COMPARE_ARGS
+
+if [ -x "$TRACE_TOOL" ]; then
+  "$TRACE_TOOL" --check "$STATS_JSONL"
+else
+  echo "warning: $TRACE_TOOL not built; skipping stats validation" >&2
+fi
+if [ -x "$TOP_TOOL" ]; then
+  echo "== spio_top: replay of the serve run's telemetry stream =="
+  "$TOP_TOOL" "$STATS_JSONL" --replay | tail -n 12
+else
+  echo "warning: $TOP_TOOL not built; skipping dashboard replay" >&2
+fi
 
 # Concurrency gate: the service + read suites must be TSan-clean. Uses
 # the tsan preset's build tree, configuring/building it on first run.

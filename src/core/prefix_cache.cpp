@@ -9,7 +9,7 @@ namespace spio {
 namespace {
 
 void publish_counter(const char* name, std::uint64_t delta) {
-  if (delta == 0 || !obs::enabled()) return;
+  if (delta == 0 || !obs::stats_enabled()) return;
   obs::MetricsRegistry::global().counter(name).add(delta);
 }
 

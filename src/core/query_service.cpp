@@ -5,9 +5,12 @@
 #include <utility>
 
 #include "core/read_engine.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/postmortem.hpp"
+#include "obs/query_context.hpp"
+#include "obs/stats_export.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -30,15 +33,18 @@ int default_workers() {
 }
 
 void publish_counter(const char* name, std::uint64_t delta) {
-  if (delta == 0 || !obs::enabled()) return;
+  if (delta == 0 || !obs::stats_enabled()) return;
   obs::MetricsRegistry::global().counter(name).add(delta);
 }
 
 void publish_queue_depth(std::size_t depth) {
-  if (!obs::enabled()) return;
-  obs::MetricsRegistry::global()
-      .gauge("service.queue_depth")
-      .set(static_cast<double>(depth));
+  if (!obs::stats_enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("service.queue_depth").set(static_cast<double>(depth));
+  // The point gauge only captures submit/complete edges; the high-water
+  // mark survives between exporter ticks (which reset it) so spikes
+  // shorter than one sampling window stay visible.
+  reg.gauge("service.queue_depth_max").set_max(static_cast<double>(depth));
 }
 
 }  // namespace
@@ -90,6 +96,8 @@ std::future<QueryService::Result> QueryService::submit(QueryFn fn,
                           " queued)");
     }
     auto job = std::make_shared<Job>();
+    job->id = obs::next_query_id();
+    job->admitted_at = Clock::now();
     job->fn = std::move(fn);
     job->opt = std::move(opt);
     job->waiters.emplace_back();
@@ -122,17 +130,52 @@ void QueryService::drain_one() {
 
   Result result;
   std::exception_ptr error;
+  const auto started_at = Clock::now();
   {
-    obs::ScopedSpan span("serve.query", "service");
-    read_detail::ScopedDeadline dl(job->opt.deadline);
-    try {
-      // A deadline that expired while the query was queued aborts it
-      // before it runs at all.
-      read_detail::check_deadline();
-      result = std::make_shared<const ParticleBuffer>(job->fn());
-    } catch (...) {
-      error = std::current_exception();
+    // The query ID scopes the whole execution: every span, log line and
+    // flight record below — including those on engine pool workers,
+    // which re-install the ID next to the inherited deadline — carries
+    // this job's ID.
+    obs::ScopedQueryId qid_scope(job->id);
+    {
+      obs::ScopedSpan span("serve.query", "service");
+      read_detail::ScopedDeadline dl(job->opt.deadline);
+      try {
+        // A deadline that expired while the query was queued aborts it
+        // before it runs at all.
+        read_detail::check_deadline();
+        result = std::make_shared<const ParticleBuffer>(job->fn());
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
+
+    // Server-side latency telemetry is always-on (a clock read and a
+    // few relaxed adds per query, same budget class as the flight
+    // recorder): `spio_bench --serve` and the stats exporter read these
+    // without tracing enabled. Latency is admission → completion, the
+    // figure a client would see from inside the server.
+    const auto now = Clock::now();
+    const auto us = [](Clock::duration d) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+    };
+    const std::uint64_t wait_us = us(started_at - job->admitted_at);
+    const std::uint64_t latency_us = us(now - job->admitted_at);
+    auto& reg = obs::MetricsRegistry::global();
+    static auto& latency_hist = reg.windowed("service.latency_us");
+    static auto& wait_hist = reg.windowed("service.queue_wait_us");
+    latency_hist.observe(latency_us);
+    wait_hist.observe(wait_us);
+    const std::uint64_t slo = obs::slo_budget_us();
+    if (slo != 0 && latency_us > slo) {
+      slo_violations_.fetch_add(1, std::memory_order_relaxed);
+      publish_counter("service.slo_violations", 1);
+    }
+    obs::log::Event(obs::log::Level::kDebug, "serve.query.done")
+        .kv("wait_us", wait_us)
+        .kv("total_us", latency_us)
+        .kv("ok", !error);
   }
 
   std::vector<std::promise<Result>> waiters;
@@ -211,6 +254,7 @@ ServiceStats QueryService::stats() const {
   ServiceStats s = tallies_;
   s.queue_depth = queue_.size();
   s.inflight = inflight_;
+  s.slo_violations = slo_violations_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -47,6 +47,7 @@
 /// `shutdown` may be called concurrently with submitters (they get
 /// `RejectedError`) but not from inside a query function.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -96,6 +97,9 @@ struct ServiceStats {
   std::uint64_t deadline_expired = 0;  ///< executions aborted by deadline
   std::uint64_t queue_depth = 0;       ///< currently queued
   std::uint64_t inflight = 0;          ///< currently executing
+  /// Completed queries whose admission→completion latency exceeded the
+  /// `SPIO_SLO_MS` budget (0 when the budget is unset).
+  std::uint64_t slo_violations = 0;
 };
 
 class QueryService {
@@ -141,6 +145,12 @@ class QueryService {
  private:
   /// One admitted query; coalesced waiters append their promises.
   struct Job {
+    /// Process-unique request ID (obs::next_query_id), assigned at
+    /// admission; coalesced waiters share the leader's ID. Installed
+    /// thread-locally around execution so every span/log/flight record
+    /// of this query carries it.
+    std::uint64_t id = 0;
+    Clock::time_point admitted_at{};  ///< for queue-wait / latency telemetry
     QueryFn fn;
     Options opt;
     std::vector<std::promise<Result>> waiters;
@@ -163,6 +173,8 @@ class QueryService {
   bool postmortem_saved_ = false;
   std::uint64_t inflight_ = 0;
   ServiceStats tallies_;  // accepted/rejected/... (queue_depth derived)
+  /// Outside mu_: bumped on the worker's telemetry path, read by stats().
+  std::atomic<std::uint64_t> slo_violations_{0};
 
   std::unique_ptr<ThreadPool> pool_;
 };

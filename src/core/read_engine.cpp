@@ -50,8 +50,19 @@ int default_cache_shards() {
 }
 
 void publish_counter(const char* name, std::uint64_t delta) {
-  if (delta == 0 || !obs::enabled()) return;
+  if (delta == 0 || !obs::stats_enabled()) return;
   obs::MetricsRegistry::global().counter(name).add(delta);
+}
+
+/// Windowed disk-fetch latency (leader and bypass reads only — hits and
+/// followers are not fetches). Always-on like the service latency
+/// histograms: two clock reads per *disk read* is noise.
+void observe_fetch(std::chrono::steady_clock::time_point t0) {
+  static auto& h = obs::MetricsRegistry::global().windowed("reader.fetch_us");
+  h.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
 }
 
 }  // namespace
@@ -87,7 +98,9 @@ ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
   if (!cache_->enabled() || prefix_bytes == 0) {
     run_fetch_hook(path, prefix_bytes);
     Fetched f;
+    const auto t0 = std::chrono::steady_clock::now();
     f.owned = read_file_range(path, 0, prefix_bytes);
+    observe_fetch(t0);
     f.outcome = CacheOutcome::kBypass;
     return f;
   }
@@ -142,9 +155,11 @@ ReadEngine::Fetched ReadEngine::fetch(const std::filesystem::path& path,
   try {
     run_fetch_hook(path, prefix_bytes);
     // One-pass read into uninitialized storage (no vector zero-fill).
+    const auto t0 = std::chrono::steady_clock::now();
     auto block = std::make_shared<ByteBlock>(
         static_cast<std::size_t>(prefix_bytes));
     read_file_range_into(path, 0, {block->data(), block->size()});
+    observe_fetch(t0);
     data = std::move(block);
     // Build the SoA mirror once, while the freshly read prefix is still
     // warm — every warm query on this entry then skips the gather. Not

@@ -28,7 +28,7 @@ double seconds_since(Clock::time_point t0) {
 /// The scan-side counters live in `read_data_file`, so query layers and
 /// direct file readers never double-count.
 void publish_returned(std::uint64_t particles, std::uint64_t bytes) {
-  if (!obs::enabled()) return;
+  if (!obs::stats_enabled()) return;
   auto& reg = obs::MetricsRegistry::global();
   reg.counter("reader.particles_returned").add(particles);
   reg.counter("reader.bytes_returned").add(bytes);
@@ -233,14 +233,16 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
   std::vector<PerFile> results(n);
   std::vector<std::future<void>> pending;
   pending.reserve(n);
-  // Carry the submitting query's deadline onto the pool workers. The
-  // token outlives the tasks: every future is drained below before this
-  // frame returns.
+  // Carry the submitting query's deadline — and its request ID, for span
+  // and log attribution — onto the pool workers. The token outlives the
+  // tasks: every future is drained below before this frame returns.
   const read_detail::DeadlineToken* deadline = read_detail::current_deadline();
+  const std::uint64_t qid = obs::current_query_id();
   for (std::size_t k = 0; k < n; ++k)
     pending.push_back(eng.pool().submit([this, &results, files, levels,
-                                         n_readers, k, deadline] {
+                                         n_readers, k, deadline, qid] {
       read_detail::ScopedDeadline dl(deadline);
+      obs::ScopedQueryId qs(qid);
       results[k].prefix =
           fetch_file(files[k], levels, n_readers, &results[k].stats);
     }));
@@ -388,12 +390,15 @@ std::uint64_t Dataset::stream_box(
       Chunk* c = chunk.get();
       const int fi = hits[next++];
       inflight.push_back(std::move(chunk));
-      // As in filter_files_into: the deadline token outlives the task
-      // (the loop below drains every pending future before returning).
+      // As in filter_files_into: the deadline token (and request ID)
+      // outlives the task (the loop below drains every pending future
+      // before returning).
       const read_detail::DeadlineToken* deadline =
           read_detail::current_deadline();
-      pending.push_back(eng.pool().submit([&produce, fi, c, deadline] {
+      const std::uint64_t qid = obs::current_query_id();
+      pending.push_back(eng.pool().submit([&produce, fi, c, deadline, qid] {
         read_detail::ScopedDeadline dl(deadline);
+        obs::ScopedQueryId qs(qid);
         produce(fi, *c);
       }));
     }

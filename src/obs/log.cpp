@@ -6,6 +6,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/query_context.hpp"
 
 namespace spio::obs::log {
 
@@ -136,18 +137,27 @@ void emit(Level l, const std::string& line) {
 }  // namespace detail
 
 Event::Event(Level l, const char* event)
-    : active_(enabled(l)), level_(l), event_(event) {
+    : active_(enabled(l)),
+      level_(l),
+      event_(event),
+      qid_(active_ ? current_query_id() : 0) {
   if (!active_) return;
-  char head[96];
+  char head[128];
   const int rank = thread_rank();
-  std::snprintf(head, sizeof head, "[spio] %s r%d +%.1fus %s",
-                level_name(l), rank, now_us(), event);
+  if (qid_ != 0) {
+    std::snprintf(head, sizeof head, "[spio] %s r%d +%.1fus %s qid=%llu",
+                  level_name(l), rank, now_us(), event,
+                  static_cast<unsigned long long>(qid_));
+  } else {
+    std::snprintf(head, sizeof head, "[spio] %s r%d +%.1fus %s",
+                  level_name(l), rank, now_us(), event);
+  }
   line_ = head;
 }
 
 Event::~Event() {
   if (!active_) return;
-  flight_record(FlightType::kLog, event_, 0, 0,
+  flight_record(FlightType::kLog, event_, qid_, 0,
                 static_cast<std::uint8_t>(level_));
   detail::emit(level_, line_);
 }

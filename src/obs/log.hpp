@@ -117,6 +117,7 @@ class Event {
   bool active_;
   Level level_;
   const char* event_;
+  std::uint64_t qid_;  // active query at construction (0 = none)
   std::string line_;
 };
 

@@ -36,6 +36,17 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
+WindowedHistogram& MetricsRegistry::windowed(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = windows_.find(name);
+  if (it == windows_.end()) {
+    it = windows_
+             .emplace(std::string(name), std::make_unique<WindowedHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   std::lock_guard lk(mu_);
   Snapshot s;
@@ -51,7 +62,24 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     }
     s.histograms[name] = std::move(d);
   }
+  for (const auto& [name, w] : windows_) {
+    const auto m = w->merged();
+    WindowedData d;
+    d.count = m.count;
+    d.sum = m.sum;
+    d.p50 = m.p50;
+    d.p95 = m.p95;
+    d.p99 = m.p99;
+    d.total_count = w->total_count();
+    d.total_sum = w->total_sum();
+    s.windows[name] = d;
+  }
   return s;
+}
+
+void MetricsRegistry::rotate_windows() {
+  std::lock_guard lk(mu_);
+  for (const auto& [name, w] : windows_) w->rotate();
 }
 
 void MetricsRegistry::reset() {
@@ -59,6 +87,7 @@ void MetricsRegistry::reset() {
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();
+  for (const auto& [name, w] : windows_) w->reset();
 }
 
 }  // namespace spio::obs

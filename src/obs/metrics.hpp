@@ -38,6 +38,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/windowed_histogram.hpp"
+
 namespace spio::obs {
 
 /// Monotonic event/volume counter.
@@ -55,6 +57,16 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raise the gauge to `v` if `v` is larger (high-water marks, e.g.
+  /// `service.queue_depth_max`). Concurrent set_max calls keep the max;
+  /// a plain `set` still overwrites — the exporter uses that to reset
+  /// the watermark each sampling window.
+  void set_max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return v_.load(std::memory_order_relaxed); }
   void reset() { v_.store(0.0, std::memory_order_relaxed); }
 
@@ -112,6 +124,9 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  /// Sliding-window histogram for live quantiles (service latencies);
+  /// same registration semantics as the cumulative kinds.
+  WindowedHistogram& windowed(std::string_view name);
 
   /// Point-in-time copy of every metric, names sorted (map order).
   struct HistogramData {
@@ -120,12 +135,26 @@ class MetricsRegistry {
     /// (bucket upper bound, count) for non-empty buckets only.
     std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
   };
+  /// Merged-window view of a WindowedHistogram at snapshot time.
+  struct WindowedData {
+    std::uint64_t count = 0;       ///< samples in the merged window
+    std::uint64_t sum = 0;         ///< their sum
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t total_count = 0; ///< cumulative since start
+    std::uint64_t total_sum = 0;
+  };
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramData> histograms;
+    std::map<std::string, WindowedData> windows;
   };
   Snapshot snapshot() const;
+
+  /// Advance every windowed histogram's epoch (exporter tick).
+  void rotate_windows();
 
   /// Zero every metric's value. Registered objects (and cached
   /// references to them) stay valid.
@@ -136,6 +165,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windows_;
 };
 
 }  // namespace spio::obs

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/log.hpp"
+#include "obs/stats_export.hpp"
 #include "obs/trace.hpp"
 
 namespace spio::obs {
@@ -38,6 +39,7 @@ const bool g_env_init = [] {
     enable();
     std::atexit([] { Tracer::instance().flush_env(); });
   }
+  TelemetryExporter::instance().init_from_env();  // SPIO_STATS
   return true;
 }();
 
@@ -65,6 +67,7 @@ const char* env_trace_path() {
 void init_from_env() {
   (void)env_trace_path();
   log::init_from_env();
+  TelemetryExporter::instance().init_from_env();
 }
 
 }  // namespace spio::obs

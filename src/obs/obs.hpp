@@ -26,6 +26,11 @@ namespace detail {
 /// relaxed load at every instrumentation site.
 inline std::atomic<bool> g_enabled{false};
 
+/// Raised while the TelemetryExporter's background thread is sampling
+/// (stats_export.hpp); lets counter sites feed the stats stream without
+/// turning on full tracing.
+inline std::atomic<bool> g_telemetry{false};
+
 /// Process start on the steady clock; all trace timestamps are offsets
 /// from it so they stay small and comparable across rank threads.
 std::chrono::steady_clock::time_point epoch();
@@ -37,6 +42,19 @@ std::chrono::steady_clock::time_point epoch();
 inline bool enabled() {
   return detail::g_enabled.load(std::memory_order_relaxed);
 }
+
+/// True while the telemetry exporter (`SPIO_STATS`, stats_export.hpp) is
+/// sampling the metrics registry.
+inline bool telemetry_running() {
+  return detail::g_telemetry.load(std::memory_order_relaxed);
+}
+
+/// Gate for metric-publication sites that should feed the live stats
+/// stream as well as explicit tracing runs: one relaxed load per flag.
+/// Hot paths use this instead of `enabled()` when the published counters
+/// appear in `stats.spio.jsonl` (cache hits, single-flight, service
+/// tallies); span/log emission stays behind `enabled()`.
+inline bool stats_enabled() { return enabled() || telemetry_running(); }
 
 /// Turn collection on/off for the whole process. Ranks of one simmpi job
 /// share the process, so all of them observe the same state; toggle only

@@ -1,0 +1,24 @@
+#include "obs/query_context.hpp"
+
+#include <atomic>
+
+namespace spio::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_next_id{1};
+thread_local std::uint64_t t_query_id = 0;
+}  // namespace
+
+std::uint64_t next_query_id() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_query_id() { return t_query_id; }
+
+ScopedQueryId::ScopedQueryId(std::uint64_t id) : prev_(t_query_id) {
+  t_query_id = id;
+}
+
+ScopedQueryId::~ScopedQueryId() { t_query_id = prev_; }
+
+}  // namespace spio::obs

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file query_context.hpp
+/// Per-query request IDs (docs/OBSERVABILITY.md "Live telemetry").
+///
+/// The query service assigns every admitted query a process-unique,
+/// monotonic ID (`next_query_id`) and installs it thread-locally
+/// (`ScopedQueryId`) for the duration of the query's execution. Code
+/// that hops threads — the read engine's pool workers — captures
+/// `current_query_id()` at submit time and re-installs it on the worker,
+/// exactly like the cooperative-deadline token it rides along with.
+///
+/// Every observability surface then stamps the active ID automatically:
+///   - trace spans carry `args:{"qid":N}` in the Chrome trace,
+///   - `SPIO_LOG` lines append ` qid=N`,
+///   - flight-recorder span/log records carry N in their `a` word,
+/// so one slow query is greppable end-to-end across service admission,
+/// per-file fetches, and kernel dispatches — even when those ran on
+/// different pool threads.
+///
+/// Cost model: reading the current ID is one thread-local load; sites
+/// with no active query (ID 0) emit nothing extra.
+
+#include <cstdint>
+
+namespace spio::obs {
+
+/// Allocate the next process-unique query ID (monotonic, starts at 1;
+/// never returns 0 — 0 means "no active query").
+std::uint64_t next_query_id();
+
+/// The calling thread's active query ID (0 = none).
+std::uint64_t current_query_id();
+
+/// RAII install/restore of the thread's query ID. Installing 0 clears
+/// any inherited ID (restored on destruction either way).
+class ScopedQueryId {
+ public:
+  explicit ScopedQueryId(std::uint64_t id);
+  ~ScopedQueryId();
+
+  ScopedQueryId(const ScopedQueryId&) = delete;
+  ScopedQueryId& operator=(const ScopedQueryId&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace spio::obs

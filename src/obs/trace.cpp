@@ -87,11 +87,11 @@ Tracer::Buffer& Tracer::local_buffer() {
 }
 
 void Tracer::record_complete(const char* name, const char* cat, double ts_us,
-                             double dur_us) {
+                             double dur_us, std::uint64_t qid) {
   Buffer& b = local_buffer();
   std::lock_guard lk(b.mu);
-  b.events.push_back(Event{name, cat, nullptr, ts_us, dur_us, 0,
-                           current_tid()});
+  b.events.push_back(Event{name, cat, qid ? "qid" : nullptr, ts_us, dur_us,
+                           qid, current_tid()});
 }
 
 void Tracer::record_instant(const char* name, const char* cat,

@@ -33,6 +33,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/query_context.hpp"
 
 namespace spio::obs {
 
@@ -40,9 +41,11 @@ class Tracer {
  public:
   static Tracer& instance();
 
-  /// Append a complete span on the calling thread's track.
+  /// Append a complete span on the calling thread's track. A non-zero
+  /// `qid` (the active query ID, query_context.hpp) renders as
+  /// `args:{"qid":N}` so spans of one query correlate across tracks.
   void record_complete(const char* name, const char* cat, double ts_us,
-                       double dur_us);
+                       double dur_us, std::uint64_t qid = 0);
 
   /// Append an instant event (thread-scoped) with an optional integer
   /// argument (e.g. a byte count).
@@ -102,9 +105,12 @@ class Tracer {
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, const char* cat)
-      : name_(name), cat_(cat), traced_(enabled()) {
+      : name_(name),
+        cat_(cat),
+        qid_(current_query_id()),
+        traced_(enabled()) {
     if (traced_) t0_ = now_us();
-    flight_record(FlightType::kSpanBegin, name_);
+    flight_record(FlightType::kSpanBegin, name_, qid_);
   }
   ~ScopedSpan() { end(); }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -114,14 +120,16 @@ class ScopedSpan {
   void end() {
     if (done_) return;
     done_ = true;
-    flight_record(FlightType::kSpanEnd, name_);
+    flight_record(FlightType::kSpanEnd, name_, qid_);
     if (traced_)
-      Tracer::instance().record_complete(name_, cat_, t0_, now_us() - t0_);
+      Tracer::instance().record_complete(name_, cat_, t0_, now_us() - t0_,
+                                         qid_);
   }
 
  private:
   const char* name_;
   const char* cat_;
+  std::uint64_t qid_;  // active query at open (flight `a` word / trace arg)
   double t0_ = 0;
   bool traced_;
   bool done_ = false;
@@ -140,22 +148,25 @@ class PhaseSpan {
   void begin(const char* name) {
     end();
     name_ = name;
+    qid_ = current_query_id();
     traced_ = enabled();
     if (traced_) t0_ = now_us();
-    flight_record(FlightType::kSpanBegin, name_);
+    flight_record(FlightType::kSpanBegin, name_, qid_);
   }
 
   void end() {
     if (!name_) return;
-    flight_record(FlightType::kSpanEnd, name_);
+    flight_record(FlightType::kSpanEnd, name_, qid_);
     if (traced_)
-      Tracer::instance().record_complete(name_, cat_, t0_, now_us() - t0_);
+      Tracer::instance().record_complete(name_, cat_, t0_, now_us() - t0_,
+                                         qid_);
     name_ = nullptr;
   }
 
  private:
   const char* cat_;
   const char* name_ = nullptr;
+  std::uint64_t qid_ = 0;
   double t0_ = 0;
   bool traced_ = false;
 };

@@ -1,0 +1,96 @@
+#include "obs/windowed_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace spio::obs {
+
+std::size_t WindowedHistogram::bucket_index(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const std::size_t exp = static_cast<std::size_t>(std::bit_width(v)) - 1;
+  const std::size_t sub =
+      static_cast<std::size_t>(v >> (exp - kSubBits)) & (kSubBuckets - 1);
+  return (exp - kSubBits + 1) * kSubBuckets + sub;
+}
+
+std::uint64_t WindowedHistogram::bucket_lower(std::size_t idx) {
+  if (idx < kSubBuckets) return idx;
+  const std::size_t block = idx / kSubBuckets;
+  const std::size_t sub = idx % kSubBuckets;
+  const std::size_t exp = block + kSubBits - 1;
+  return (std::uint64_t{1} << exp) |
+         (static_cast<std::uint64_t>(sub) << (exp - kSubBits));
+}
+
+std::uint64_t WindowedHistogram::bucket_upper(std::size_t idx) {
+  return idx + 1 < kBuckets ? bucket_lower(idx + 1) - 1 : ~std::uint64_t{0};
+}
+
+void WindowedHistogram::rotate() {
+  const std::size_t next =
+      (cur_.load(std::memory_order_relaxed) + 1) % kWindows;
+  Window& w = windows_[next];
+  for (auto& b : w.buckets) b.store(0, std::memory_order_relaxed);
+  w.count.store(0, std::memory_order_relaxed);
+  w.sum.store(0, std::memory_order_relaxed);
+  cur_.store(next, std::memory_order_release);
+}
+
+WindowedHistogram::Merged WindowedHistogram::merged() const {
+  std::array<std::uint64_t, kBuckets> acc{};
+  Merged m;
+  for (const Window& w : windows_) {
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      acc[i] += w.buckets[i].load(std::memory_order_relaxed);
+    m.sum += w.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : acc) m.count += c;
+  if (m.count == 0) return m;
+
+  const auto rank_value = [&](double q) {
+    const std::uint64_t rank = std::min<std::uint64_t>(
+        m.count - 1, static_cast<std::uint64_t>(q * static_cast<double>(m.count)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += acc[i];
+      if (cum > rank) return bucket_upper(i);
+    }
+    return bucket_upper(kBuckets - 1);
+  };
+  m.p50 = rank_value(0.50);
+  m.p95 = rank_value(0.95);
+  m.p99 = rank_value(0.99);
+  return m;
+}
+
+std::uint64_t WindowedHistogram::quantile(double q) const {
+  std::array<std::uint64_t, kBuckets> acc{};
+  std::uint64_t count = 0;
+  for (const Window& w : windows_) {
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      acc[i] += w.buckets[i].load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : acc) count += c;
+  if (count == 0) return 0;
+  const std::uint64_t rank = std::min<std::uint64_t>(
+      count - 1, static_cast<std::uint64_t>(q * static_cast<double>(count)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += acc[i];
+    if (cum > rank) return bucket_upper(i);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+void WindowedHistogram::reset() {
+  for (Window& w : windows_) {
+    for (auto& b : w.buckets) b.store(0, std::memory_order_relaxed);
+    w.count.store(0, std::memory_order_relaxed);
+    w.sum.store(0, std::memory_order_relaxed);
+  }
+  cur_.store(0, std::memory_order_relaxed);
+  total_count_.store(0, std::memory_order_relaxed);
+  total_sum_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace spio::obs

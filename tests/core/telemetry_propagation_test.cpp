@@ -1,0 +1,255 @@
+/// \file telemetry_propagation_test.cpp
+/// End-to-end request-ID propagation (docs/OBSERVABILITY.md "Live
+/// telemetry"): one query admitted by the QueryService must carry the
+/// same `qid` in (a) its Chrome-trace spans — including the `read.file`
+/// spans that ran on read-engine pool workers, not the service worker —
+/// (b) its `SPIO_LOG` lines, and (c) its flight-recorder span/log
+/// records. Also pins the ID allocator's basics: monotonic, never zero,
+/// distinct per admission, and scoped installation that restores the
+/// previous ID.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/query_service.hpp"
+#include "core/read_engine.hpp"
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
+#include "obs/query_context.hpp"
+#include "obs/trace.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+using obs::JsonValue;
+
+TEST(QueryContext, IdsAreMonotonicAndNeverZero) {
+  const std::uint64_t a = obs::next_query_id();
+  const std::uint64_t b = obs::next_query_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(QueryContext, ScopedInstallRestoresPrevious) {
+  EXPECT_EQ(obs::current_query_id(), 0u) << "fresh thread has no query";
+  {
+    obs::ScopedQueryId outer(42);
+    EXPECT_EQ(obs::current_query_id(), 42u);
+    {
+      obs::ScopedQueryId inner(43);
+      EXPECT_EQ(obs::current_query_id(), 43u);
+    }
+    EXPECT_EQ(obs::current_query_id(), 42u);
+    {
+      obs::ScopedQueryId cleared(0);  // installing 0 clears inheritance
+      EXPECT_EQ(obs::current_query_id(), 0u);
+    }
+    EXPECT_EQ(obs::current_query_id(), 42u);
+  }
+  EXPECT_EQ(obs::current_query_id(), 0u);
+}
+
+TEST(QueryContext, IdIsThreadLocal) {
+  obs::ScopedQueryId mine(7);
+  std::uint64_t seen_on_other_thread = 99;
+  std::thread([&] { seen_on_other_thread = obs::current_query_id(); }).join();
+  EXPECT_EQ(seen_on_other_thread, 0u)
+      << "IDs must not leak across threads without explicit re-install";
+  EXPECT_EQ(obs::current_query_id(), 7u);
+}
+
+/// Shared small dataset for the end-to-end run (4 files so one query
+/// fans out across pool workers).
+class TelemetryPropagation : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 4;
+  static constexpr std::uint64_t kPerRank = 300;
+
+  static void SetUpTestSuite() {
+    dir_ = new TempDir("spio-qid");
+    const PatchDecomposition decomp =
+        PatchDecomposition::for_ranks(Box3::unit(), kRanks);
+    WriterConfig cfg;
+    cfg.dir = dir_->path();
+    cfg.factor = {1, 1, 1};
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      const auto local = workload::uniform(
+          Schema::uintah(), decomp.patch(comm.rank()), kPerRank,
+          stream_seed(17, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+      write_dataset(comm, decomp, local, cfg);
+    });
+  }
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  void TearDown() override {
+    obs::disable();
+    obs::log::set_level(obs::log::Level::kOff);
+    obs::log::set_sink_path("");
+    obs::Tracer::instance().clear();
+    obs::FlightRecorder::instance().clear();
+  }
+
+  static TempDir* dir_;
+};
+
+TempDir* TelemetryPropagation::dir_ = nullptr;
+
+std::vector<std::string> lines_of(const std::filesystem::path& p) {
+  std::ifstream f(p);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(f, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Extract `qid=N` from a log line (0 = not present).
+std::uint64_t qid_of_line(const std::string& line) {
+  const auto pos = line.find(" qid=");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + pos + 5, nullptr, 10);
+}
+
+TEST_F(TelemetryPropagation, OneQueryCarriesOneIdAcrossAllSurfaces) {
+  TempDir scratch("spio-qid-log");
+  const auto log_path = scratch.file("query.log");
+  obs::log::set_sink_path(log_path.string());
+  obs::log::set_level(obs::log::Level::kDebug);
+  obs::enable();
+  obs::Tracer::instance().clear();
+  obs::FlightRecorder::instance().clear();
+
+  const Dataset ds = Dataset::open(dir_->path());
+  const int prev_concurrency = ReadEngine::instance().concurrency();
+  {
+    // Pool big enough that per-file reads hop to engine workers.
+    ReadEngine::instance().set_concurrency(4);
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    QueryService svc(cfg);
+    const Box3 box({0.05, 0.05, 0.05}, {0.95, 0.95, 0.95});
+    auto result = svc.run([&] { return ds.query_box(box); });
+    ASSERT_NE(result, nullptr);
+    EXPECT_GT(result->size(), 0u);
+    svc.shutdown();
+  }
+  ReadEngine::instance().set_concurrency(prev_concurrency);
+  obs::log::set_level(obs::log::Level::kOff);
+  obs::log::set_sink_path("");
+
+  // (b) The log line names the query's ID.
+  std::uint64_t qid = 0;
+  for (const auto& line : lines_of(log_path)) {
+    if (line.find("serve.query.done") != std::string::npos) {
+      qid = qid_of_line(line);
+      break;
+    }
+  }
+  ASSERT_NE(qid, 0u) << "serve.query.done log line must carry qid=N";
+
+  // (a) Chrome-trace spans: the service span AND the pool-worker file
+  // reads all carry args:{"qid":qid}.
+  const JsonValue trace =
+      JsonValue::parse(obs::Tracer::instance().chrome_json());
+  const JsonValue& events = trace.at("traceEvents");
+  std::size_t serve_spans = 0, file_spans = 0;
+  std::uint64_t serve_tid = 0;
+  std::set<std::uint64_t> file_span_tids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    const JsonValue* args = e.find("args");
+    if (!args) continue;
+    const JsonValue* q = args->find("qid");
+    if (!q || q->as_u64() != qid) continue;
+    const std::string& name = e.at("name").as_string();
+    if (name == "serve.query") {
+      ++serve_spans;
+      serve_tid = e.at("tid").as_u64();
+    }
+    if (name == "read.file") {
+      ++file_spans;
+      file_span_tids.insert(e.at("tid").as_u64());
+    }
+  }
+  EXPECT_EQ(serve_spans, 1u) << "exactly one serve.query span for the query";
+  EXPECT_EQ(file_spans, static_cast<std::size_t>(kRanks))
+      << "every per-file read span must inherit the query's ID";
+  // The engine pool is a different pool than the service workers, so the
+  // fetches hopped threads — and the ID followed them.
+  EXPECT_EQ(file_span_tids.count(serve_tid), 0u)
+      << "read.file spans run on engine pool workers, not the service "
+         "worker — the ID must survive the hop";
+
+  // (c) Flight recorder: span begin/end and the log record carry the ID
+  // in their `a` word.
+  bool flight_serve = false, flight_file = false, flight_log = false;
+  for (const auto& ring : obs::FlightRecorder::instance().snapshot()) {
+    for (const auto& rec : ring.events) {
+      if (rec.a != qid) continue;
+      if (rec.type == obs::FlightType::kSpanBegin) {
+        if (std::string_view(rec.text) == "serve.query") flight_serve = true;
+        if (std::string_view(rec.text) == "read.file") flight_file = true;
+      }
+      if (rec.type == obs::FlightType::kLog &&
+          std::string_view(rec.text) == "serve.query.done")
+        flight_log = true;
+    }
+  }
+  EXPECT_TRUE(flight_serve) << "serve.query flight record must carry the qid";
+  EXPECT_TRUE(flight_file) << "read.file flight record must carry the qid";
+  EXPECT_TRUE(flight_log) << "log flight record must carry the qid";
+}
+
+TEST_F(TelemetryPropagation, ConcurrentQueriesGetDistinctIds) {
+  TempDir scratch("spio-qid-log");
+  const auto log_path = scratch.file("many.log");
+  obs::log::set_sink_path(log_path.string());
+  obs::log::set_level(obs::log::Level::kDebug);
+
+  const Dataset ds = Dataset::open(dir_->path());
+  constexpr int kQueries = 12;
+  {
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    QueryService svc(cfg);
+    std::vector<std::future<QueryService::Result>> futures;
+    const Box3 box({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+    for (int i = 0; i < kQueries; ++i)
+      futures.push_back(svc.submit([&ds, box] { return ds.query_box(box); }));
+    for (auto& f : futures) ASSERT_NE(f.get(), nullptr);
+    svc.shutdown();
+  }
+  obs::log::set_level(obs::log::Level::kOff);
+  obs::log::set_sink_path("");
+
+  std::set<std::uint64_t> ids;
+  for (const auto& line : lines_of(log_path)) {
+    if (line.find("serve.query.done") == std::string::npos) continue;
+    const std::uint64_t qid = qid_of_line(line);
+    EXPECT_NE(qid, 0u);
+    ids.insert(qid);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kQueries))
+      << "each admission allocates its own ID";
+}
+
+}  // namespace
+}  // namespace spio

@@ -1,0 +1,270 @@
+/// \file windowed_histogram_test.cpp
+/// WindowedHistogram correctness: bucket math round trips, quantile
+/// estimates stay within the log-linear layout's guaranteed band of an
+/// exact sort-the-samples oracle (across distributions and window
+/// rotations), empty windows answer zero, rotation ages samples out
+/// after `kWindows` epochs without ever touching the cumulative totals
+/// (the differential pin against the log2 `Histogram`), and a
+/// rotate-vs-observe race keeps the cumulative tallies exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/windowed_histogram.hpp"
+
+namespace spio {
+namespace {
+
+using obs::WindowedHistogram;
+
+/// The layout guarantee under test: the estimate is the upper bound of
+/// the exact value's bucket, so `exact <= est <= exact + exact/8 + 1`.
+void expect_within_band(std::uint64_t est, std::uint64_t exact,
+                        const char* what) {
+  EXPECT_GE(est, exact) << what << ": quantile under-reports";
+  EXPECT_LE(est, exact + exact / WindowedHistogram::kSubBuckets + 1)
+      << what << ": quantile overshoots its bucket band";
+}
+
+std::uint64_t exact_quantile(std::vector<std::uint64_t> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t rank = std::min<std::uint64_t>(
+      sorted.size() - 1,
+      static_cast<std::uint64_t>(q * static_cast<double>(sorted.size())));
+  return sorted[static_cast<std::size_t>(rank)];
+}
+
+TEST(WindowedHistogram, BucketMathRoundTrips) {
+  for (std::size_t idx = 0; idx < WindowedHistogram::kBuckets; ++idx) {
+    const std::uint64_t lower = WindowedHistogram::bucket_lower(idx);
+    const std::uint64_t upper = WindowedHistogram::bucket_upper(idx);
+    ASSERT_LE(lower, upper) << "bucket " << idx;
+    EXPECT_EQ(WindowedHistogram::bucket_index(lower), idx);
+    EXPECT_EQ(WindowedHistogram::bucket_index(upper), idx);
+    if (idx > 0) {
+      EXPECT_EQ(WindowedHistogram::bucket_lower(idx),
+                WindowedHistogram::bucket_upper(idx - 1) + 1)
+          << "gap/overlap between buckets " << idx - 1 << " and " << idx;
+    }
+  }
+  // Extremes: zero is exact, u64-max lands in the last bucket.
+  EXPECT_EQ(WindowedHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(WindowedHistogram::bucket_index(~std::uint64_t{0}),
+            WindowedHistogram::kBuckets - 1);
+  EXPECT_EQ(WindowedHistogram::bucket_upper(WindowedHistogram::kBuckets - 1),
+            ~std::uint64_t{0});
+}
+
+TEST(WindowedHistogram, SmallValuesAreExact) {
+  WindowedHistogram h;
+  for (std::uint64_t v = 0; v < WindowedHistogram::kSubBuckets; ++v)
+    h.observe(v);
+  // Every value 0..7 has its own bucket, so quantiles are exact.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 4u);
+  EXPECT_EQ(h.quantile(0.99), 7u);
+}
+
+TEST(WindowedHistogram, QuantilesTrackSortOracleAcrossDistributions) {
+  std::mt19937_64 rng(20260808);
+  struct Dist {
+    const char* name;
+    std::function<std::uint64_t()> draw;
+  };
+  const std::vector<Dist> dists{
+      {"uniform-small",
+       [&] { return std::uniform_int_distribution<std::uint64_t>(0, 500)(rng); }},
+      {"uniform-latency-us",
+       [&] {
+         return std::uniform_int_distribution<std::uint64_t>(50, 2'000'000)(
+             rng);
+       }},
+      {"log-uniform",
+       [&] {
+         const int shift =
+             std::uniform_int_distribution<int>(0, 50)(rng);
+         return std::uniform_int_distribution<std::uint64_t>(0, 255)(rng)
+                << shift;
+       }},
+      {"heavy-tail",
+       [&] {
+         // Mostly fast, occasionally 1000x: the shape that makes p99
+         // interesting.
+         const bool slow =
+             std::uniform_int_distribution<int>(0, 99)(rng) < 2;
+         return std::uniform_int_distribution<std::uint64_t>(
+             slow ? 1'000'000 : 100, slow ? 5'000'000 : 3'000)(rng);
+       }},
+  };
+  for (const Dist& d : dists) {
+    WindowedHistogram h;
+    std::vector<std::uint64_t> samples(10'000);
+    for (auto& v : samples) {
+      v = d.draw();
+      h.observe(v);
+    }
+    for (const double q : {0.0, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+      expect_within_band(h.quantile(q), exact_quantile(samples, q), d.name);
+    }
+    const auto m = h.merged();
+    EXPECT_EQ(m.count, samples.size()) << d.name;
+    expect_within_band(m.p50, exact_quantile(samples, 0.50), d.name);
+    expect_within_band(m.p95, exact_quantile(samples, 0.95), d.name);
+    expect_within_band(m.p99, exact_quantile(samples, 0.99), d.name);
+  }
+}
+
+TEST(WindowedHistogram, QuantilesSpanRotatedSubWindows) {
+  // Samples spread across several epochs still merge into one oracle-
+  // consistent window, as long as fewer than kWindows rotations passed.
+  std::mt19937_64 rng(7);
+  WindowedHistogram h;
+  std::vector<std::uint64_t> samples;
+  for (std::size_t epoch = 0; epoch + 1 < WindowedHistogram::kWindows;
+       ++epoch) {
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t v =
+          std::uniform_int_distribution<std::uint64_t>(0, 100'000)(rng);
+      samples.push_back(v);
+      h.observe(v);
+    }
+    h.rotate();
+  }
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, samples.size());
+  expect_within_band(m.p50, exact_quantile(samples, 0.50), "rotated");
+  expect_within_band(m.p99, exact_quantile(samples, 0.99), "rotated");
+}
+
+TEST(WindowedHistogram, EmptyWindowAnswersZero) {
+  WindowedHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  const auto m = h.merged();
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_EQ(m.sum, 0u);
+  EXPECT_EQ(m.p50, 0u);
+  EXPECT_EQ(m.p99, 0u);
+  // A window that saw traffic and then aged fully out is empty again.
+  for (int i = 0; i < 100; ++i) h.observe(1234);
+  for (std::size_t r = 0; r < WindowedHistogram::kWindows; ++r) h.rotate();
+  EXPECT_EQ(h.merged().count, 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+TEST(WindowedHistogram, RotationAgesOutOldestEpochOnly) {
+  WindowedHistogram h;
+  for (int i = 0; i < 100; ++i) h.observe(10);
+  h.rotate();
+  for (int i = 0; i < 50; ++i) h.observe(1'000'000);
+  // Both epochs are live: the merge sees every sample.
+  EXPECT_EQ(h.merged().count, 150u);
+  // Age the first epoch out (kWindows - 1 more rotations bring the ring
+  // back around to its window); the second epoch follows one tick later.
+  for (std::size_t r = 1; r < WindowedHistogram::kWindows; ++r) h.rotate();
+  EXPECT_EQ(h.merged().count, 50u);
+  expect_within_band(h.quantile(0.5), 1'000'000, "survivor epoch");
+  h.rotate();
+  EXPECT_EQ(h.merged().count, 0u);
+}
+
+TEST(WindowedHistogram, CumulativeTotalsMatchLog2HistogramOracle) {
+  // The differential pin: rotation must never touch the cumulative
+  // tallies, which stay equal to a log2 Histogram fed the same stream.
+  std::mt19937_64 rng(99);
+  WindowedHistogram w;
+  obs::Histogram cumulative;
+  std::uint64_t expected_sum = 0;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (int i = 0; i < 777; ++i) {
+      const std::uint64_t v =
+          std::uniform_int_distribution<std::uint64_t>(0, 1'000'000'000)(rng);
+      w.observe(v);
+      cumulative.observe(v);
+      expected_sum += v;
+    }
+    w.rotate();
+  }
+  EXPECT_EQ(w.total_count(), cumulative.count());
+  EXPECT_EQ(w.total_sum(), cumulative.sum());
+  EXPECT_EQ(w.total_sum(), expected_sum);
+  // The merged window, by contrast, only covers the live epochs.
+  EXPECT_LT(w.merged().count, w.total_count());
+}
+
+TEST(WindowedHistogram, ConcurrentObserveWithRotationKeepsTotalsExact) {
+  // observe() may race rotate() (the exporter thread); the documented
+  // slop is merged-window attribution only — cumulative totals must not
+  // lose a single count. Also the TSan workout for the lock-free path.
+  WindowedHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(static_cast<std::uint64_t>(t * 1000 + (i & 1023)));
+    });
+  for (int r = 0; r < 100; ++r) {
+    h.rotate();
+    (void)h.merged();  // concurrent reader
+    std::this_thread::yield();
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.total_count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(WindowedHistogram, ResetZeroesEverything) {
+  WindowedHistogram h;
+  for (int i = 0; i < 100; ++i) h.observe(42);
+  h.rotate();
+  for (int i = 0; i < 100; ++i) h.observe(43);
+  h.reset();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.total_sum(), 0u);
+  EXPECT_EQ(h.merged().count, 0u);
+}
+
+TEST(WindowedHistogram, RegistryRegistersRotatesAndSnapshots) {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& h = reg.windowed("test.windowed_probe_us");
+  EXPECT_EQ(&h, &reg.windowed("test.windowed_probe_us"))
+      << "same name must return the same object";
+  h.reset();
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+  const auto snap = reg.snapshot();
+  const auto it = snap.windows.find("test.windowed_probe_us");
+  ASSERT_NE(it, snap.windows.end());
+  EXPECT_EQ(it->second.count, 1000u);
+  EXPECT_EQ(it->second.total_count, 1000u);
+  expect_within_band(it->second.p50, 500, "registry snapshot");
+  // rotate_windows() ages registry-held histograms like any other.
+  for (std::size_t r = 0; r < obs::WindowedHistogram::kWindows; ++r)
+    reg.rotate_windows();
+  EXPECT_EQ(reg.snapshot().windows.at("test.windowed_probe_us").count, 0u);
+  EXPECT_EQ(
+      reg.snapshot().windows.at("test.windowed_probe_us").total_count,
+      1000u);
+  h.reset();
+}
+
+TEST(WindowedHistogram, GaugeSetMaxKeepsHighWater) {
+  obs::Gauge g;
+  g.set_max(3.0);
+  g.set_max(10.0);
+  g.set_max(7.0);
+  EXPECT_EQ(g.value(), 10.0);
+  g.set(2.0);  // plain set still overwrites (the exporter's window reset)
+  EXPECT_EQ(g.value(), 2.0);
+  g.set_max(5.0);
+  EXPECT_EQ(g.value(), 5.0);
+}
+
+}  // namespace
+}  // namespace spio

@@ -66,6 +66,7 @@
 #include "core/reader.hpp"
 #include "core/writer.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
@@ -286,11 +287,15 @@ struct GateRow {
   /// because both their terms ride host I/O weather (see
   /// docs/PERF.md "Read path").
   double tolerance = 0.15;
+  /// Latency-style metrics regress *upward*: the row fails when the
+  /// ratio exceeds 1 + tolerance instead of dropping below 1 - tolerance.
+  bool lower_is_better = false;
 };
 
 /// The shared regression check of `--compare`: any row more than its
-/// tolerance below its baseline fails the gate. Metrics present in
-/// only one document never fail it (the baseline may predate a stage).
+/// tolerance past its baseline (below for throughput metrics, above for
+/// lower-is-better ones) fails the gate. Metrics present in only one
+/// document never fail it (the baseline may predate a stage).
 int gate_rows(const std::vector<GateRow>& rows, const std::string& title,
               const char* what) {
   if (rows.empty()) {
@@ -302,7 +307,8 @@ int gate_rows(const std::vector<GateRow>& rows, const std::string& title,
   Table t(title, {"metric", "baseline", "current", "ratio", "status"});
   for (const GateRow& r : rows) {
     const double ratio = r.baseline > 0 ? r.current / r.baseline : 1.0;
-    const bool regressed = ratio < 1.0 - r.tolerance;
+    const bool regressed = r.lower_is_better ? ratio > 1.0 + r.tolerance
+                                             : ratio < 1.0 - r.tolerance;
     if (regressed) ++regressions;
     t.row()
         .add(r.metric)
@@ -1119,6 +1125,13 @@ struct ServeWindow {
   double p50_ms = 0;
   double p99_ms = 0;
   std::uint64_t queries = 0;
+  /// Server-side latency percentiles over the measure interval, read
+  /// from the service's windowed `service.latency_us` histogram — what
+  /// an operator sees in `stats.spio.jsonl`, vs. the client-side
+  /// numbers above measured around `svc.run`.
+  double server_p50_ms = 0;
+  double server_p99_ms = 0;
+  std::uint64_t server_queries = 0;
   ServiceStats stats;
 };
 
@@ -1186,13 +1199,24 @@ ServeWindow run_serve_window(const std::vector<HotQuery>& hot,
         }
       }
     });
-  std::this_thread::sleep_for(
-      std::chrono::duration<double>(kWarmupS + kMeasureS));
+  // Scope the server-side histograms to the measure interval: drop the
+  // warmup's samples, then read the merged window after the clients
+  // stop. The windows are process-wide, so one serve window runs at a
+  // time (true here: windows run sequentially within one bench).
+  auto& latency_hist =
+      obs::MetricsRegistry::global().windowed("service.latency_us");
+  std::this_thread::sleep_for(std::chrono::duration<double>(kWarmupS));
+  latency_hist.reset();
+  std::this_thread::sleep_for(std::chrono::duration<double>(kMeasureS));
   stop.store(true);
   for (auto& t : clients) t.join();
   ServeWindow w;
   w.stats = svc.stats();
   svc.shutdown();
+  const auto server = latency_hist.merged();
+  w.server_queries = server.count;
+  w.server_p50_ms = static_cast<double>(server.p50) / 1e3;
+  w.server_p99_ms = static_cast<double>(server.p99) / 1e3;
 
   std::vector<double> lat;
   for (const auto& v : samples)
@@ -1219,6 +1243,11 @@ int compare_servepath(const std::string& baseline_text,
   const obs::JsonValue cur = obs::JsonValue::parse(current_text);
   constexpr double kServeTolerance = 0.35;
 
+  // Server-side p99 is lower-is-better and rides the same closed-loop
+  // weather as QPS, both directions; the wide band still catches a real
+  // tail-latency regression (a doubling).
+  constexpr double kServeLatencyTolerance = 1.0;
+
   std::vector<GateRow> rows;
   if (const obs::JsonValue* cc = cur.find("clients"))
     for (std::size_t i = 0; i < cc->size(); ++i) {
@@ -1229,6 +1258,14 @@ int compare_servepath(const std::string& baseline_text,
       if (bq && cq)
         rows.push_back({"serve[" + std::to_string(n) + "c].qps",
                         bq->as_double(), cq->as_double(), kServeTolerance});
+      // Optional fields: baselines predating server-side telemetry (and
+      // runs compared against them) skip these rows entirely.
+      const obs::JsonValue* bp = b ? b->find("server_p99_ms") : nullptr;
+      const obs::JsonValue* cp = cc->at(i).find("server_p99_ms");
+      if (bp && cp && bp->as_double() > 0 && cp->as_double() > 0)
+        rows.push_back({"serve[" + std::to_string(n) + "c].server_p99_ms",
+                        bp->as_double(), cp->as_double(),
+                        kServeLatencyTolerance, /*lower_is_better=*/true});
     }
   const obs::JsonValue* bs = base.find("scaling_16c");
   const obs::JsonValue* cs = cur.find("scaling_16c");
@@ -1357,14 +1394,18 @@ int run_servepath(const std::string& json_path, const std::string& compare_path,
     j.field("p50_ms", best.p50_ms);
     j.field("p99_ms", best.p99_ms);
     j.field("queries", best.queries);
+    j.field("server_p50_ms", best.server_p50_ms);
+    j.field("server_p99_ms", best.server_p99_ms);
+    j.field("server_queries", best.server_queries);
     j.field("accepted", best.stats.accepted);
     j.field("coalesced", best.stats.coalesced);
     j.field("rejected", best.stats.rejected);
     j.close_obj();
     std::cout << n << " client(s): " << best.qps << " qps  p50 "
-              << best.p50_ms << " ms  p99 " << best.p99_ms << " ms  ("
-              << best.stats.coalesced << " of " << best.stats.accepted
-              << " coalesced)\n";
+              << best.p50_ms << " ms  p99 " << best.p99_ms
+              << " ms  (server-side p50 " << best.server_p50_ms << " ms  p99 "
+              << best.server_p99_ms << " ms; " << best.stats.coalesced
+              << " of " << best.stats.accepted << " coalesced)\n";
     if (n == 1) qps1 = best.qps;
     if (n == 16) qps16 = best.qps;
   }

@@ -1,0 +1,337 @@
+/// \file spio_top.cpp
+/// Live terminal dashboard over an spio telemetry stream.
+///
+/// Usage:
+///   spio_top <stats.spio.jsonl>              # live: tail the stream
+///   spio_top <stats.spio.jsonl> --replay     # step through a recorded run
+///   spio_top <stats.spio.jsonl> --replay --speed 2   # paced replay, 2x
+///
+/// The stream is what a server process writes under
+/// `SPIO_STATS=<interval_ms>:<path>` (stats_export.hpp): one JSON object
+/// per sampling tick. `spio_top` renders each sample as a dashboard —
+/// QPS with a sparkline of recent history, server-side p50/p95/p99
+/// latency and queue-wait from the windowed histograms, queue depth and
+/// its per-window high-water mark, cache hit rate, coalesce and
+/// single-flight shares, and SLO status against the producer's
+/// `SPIO_SLO_MS` budget.
+///
+/// Live mode polls for newly appended complete lines (the exporter
+/// writes each line atomically) and exits when the `"final": true`
+/// shutdown sample arrives. Replay mode renders the samples already in
+/// the file and exits; `--speed X` paces frames at the recorded interval
+/// divided by X (default: no delay — CI uses this as a render check).
+///
+/// On a TTY each frame redraws in place; otherwise frames are printed
+/// sequentially, so `spio_top --replay file | tail` works in scripts.
+/// Exits 0 on success, 1 on a malformed stream or missing file (replay),
+/// 2 on usage errors.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "obs/json.hpp"
+
+using spio::obs::JsonValue;
+
+namespace {
+
+struct Sample {
+  std::uint64_t seq = 0;
+  double ts_s = 0;
+  std::uint64_t interval_ms = 0;
+  bool final_sample = false;
+  double qps = 0;
+  double queue_depth = 0;
+  double queue_depth_max = 0;
+  double cache_hit_rate = 0;
+  double coalesce_rate = 0;
+  double singleflight_share = 0;
+  double slo_ms = 0;
+  std::uint64_t slo_violations = 0;
+  std::uint64_t slo_violations_total = 0;
+  // service.latency_us / service.queue_wait_us / reader.fetch_us merged
+  // windows (microseconds); count 0 = histogram absent or idle.
+  struct Quantiles {
+    std::uint64_t count = 0;
+    double mean = 0, p50 = 0, p95 = 0, p99 = 0;
+  };
+  Quantiles latency, queue_wait, fetch;
+  std::uint64_t completed_total = 0;
+  std::uint64_t rejected_total = 0;
+  std::uint64_t deadline_expired_total = 0;
+};
+
+Sample::Quantiles parse_quantiles(const JsonValue& windows, const char* name) {
+  Sample::Quantiles q;
+  const JsonValue* w = windows.find(name);
+  if (!w) return q;
+  q.count = w->at("count").as_u64();
+  q.mean = w->at("mean").as_double();
+  q.p50 = w->at("p50").as_double();
+  q.p95 = w->at("p95").as_double();
+  q.p99 = w->at("p99").as_double();
+  return q;
+}
+
+std::uint64_t counter_or_zero(const JsonValue& s, const char* name) {
+  const JsonValue* counters = s.find("counters");
+  if (!counters) return 0;
+  const JsonValue* c = counters->find(name);
+  return c ? c->as_u64() : 0;
+}
+
+Sample parse_sample(const JsonValue& s) {
+  Sample out;
+  out.seq = s.at("seq").as_u64();
+  out.ts_s = s.at("ts_us").as_double() / 1e6;
+  out.interval_ms = s.at("interval_ms").as_u64();
+  out.final_sample = s.at("final").as_bool();
+  const JsonValue& d = s.at("derived");
+  out.qps = d.at("qps").as_double();
+  out.queue_depth = d.at("queue_depth").as_double();
+  out.queue_depth_max = d.at("queue_depth_max").as_double();
+  out.cache_hit_rate = d.at("cache_hit_rate").as_double();
+  out.coalesce_rate = d.at("coalesce_rate").as_double();
+  out.singleflight_share = d.at("singleflight_follower_share").as_double();
+  out.slo_ms = d.at("slo_ms").as_double();
+  out.slo_violations =
+      static_cast<std::uint64_t>(d.at("slo_violations").as_double());
+  out.slo_violations_total =
+      static_cast<std::uint64_t>(d.at("slo_violations_total").as_double());
+  const JsonValue& w = s.at("windows");
+  out.latency = parse_quantiles(w, "service.latency_us");
+  out.queue_wait = parse_quantiles(w, "service.queue_wait_us");
+  out.fetch = parse_quantiles(w, "reader.fetch_us");
+  out.completed_total = counter_or_zero(s, "service.completed");
+  out.rejected_total = counter_or_zero(s, "service.rejected");
+  out.deadline_expired_total = counter_or_zero(s, "service.deadline_expired");
+  return out;
+}
+
+/// QPS history as a unicode sparkline (oldest left).
+std::string sparkline(const std::deque<Sample>& history) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  double peak = 0;
+  for (const Sample& s : history) peak = std::max(peak, s.qps);
+  std::string out;
+  for (const Sample& s : history) {
+    const int lvl =
+        peak <= 0 ? 0
+                  : static_cast<int>(std::lround(8.0 * s.qps / peak));
+    out += kLevels[std::clamp(lvl, 0, 8)];
+  }
+  return out;
+}
+
+std::string fmt_ms(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%8.3f", us / 1e3);
+  return buf;
+}
+
+std::string render_frame(const std::deque<Sample>& history) {
+  const Sample& s = history.back();
+  std::ostringstream o;
+  // Wide enough for the sparkline row: 48 history cells × 3 UTF-8 bytes
+  // per block glyph plus the prefix (snprintf truncating mid-glyph would
+  // emit a broken byte).
+  char line[256];
+
+  std::snprintf(line, sizeof line,
+                "spio_top — t=%.1fs  sample #%llu  every %llums%s\n",
+                s.ts_s, static_cast<unsigned long long>(s.seq),
+                static_cast<unsigned long long>(s.interval_ms),
+                s.final_sample ? "  [final]" : "");
+  o << line;
+  std::snprintf(line, sizeof line, "  qps     %10.1f  %s\n", s.qps,
+                sparkline(history).c_str());
+  o << line;
+
+  o << "             count   mean ms    p50 ms    p95 ms    p99 ms\n";
+  const auto qrow = [&](const char* name, const Sample::Quantiles& q) {
+    std::snprintf(line, sizeof line, "  %-9s %8llu  %s  %s  %s  %s\n", name,
+                  static_cast<unsigned long long>(q.count),
+                  fmt_ms(q.mean).c_str(), fmt_ms(q.p50).c_str(),
+                  fmt_ms(q.p95).c_str(), fmt_ms(q.p99).c_str());
+    o << line;
+  };
+  qrow("latency", s.latency);
+  qrow("q-wait", s.queue_wait);
+  qrow("fetch", s.fetch);
+
+  std::snprintf(line, sizeof line,
+                "  queue   %6.0f now / %.0f peak this window\n",
+                s.queue_depth, s.queue_depth_max);
+  o << line;
+  std::snprintf(line, sizeof line,
+                "  cache   %5.1f%% hit   coalesce %5.1f%%   "
+                "single-flight followers %5.1f%%\n",
+                100 * s.cache_hit_rate, 100 * s.coalesce_rate,
+                100 * s.singleflight_share);
+  o << line;
+  std::snprintf(
+      line, sizeof line,
+      "  totals  %llu completed   %llu rejected   %llu deadline-expired\n",
+      static_cast<unsigned long long>(s.completed_total),
+      static_cast<unsigned long long>(s.rejected_total),
+      static_cast<unsigned long long>(s.deadline_expired_total));
+  o << line;
+
+  if (s.slo_ms > 0) {
+    const bool violating = s.slo_violations > 0;
+    std::snprintf(line, sizeof line,
+                  "  slo     %s — budget %.0fms, %llu violation(s) this "
+                  "window, %llu total\n",
+                  violating ? "VIOLATING" : "OK", s.slo_ms,
+                  static_cast<unsigned long long>(s.slo_violations),
+                  static_cast<unsigned long long>(s.slo_violations_total));
+    o << line;
+  } else {
+    o << "  slo     (no SPIO_SLO_MS budget set)\n";
+  }
+  return o.str();
+}
+
+bool stdout_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stdout)) != 0;
+#else
+  return false;
+#endif
+}
+
+class Dashboard {
+ public:
+  Dashboard() : tty_(stdout_is_tty()) {}
+
+  /// Returns false on a malformed line (parse/shape error).
+  bool feed_line(const std::string& line) {
+    if (line.empty()) return true;
+    Sample s;
+    try {
+      s = parse_sample(JsonValue::parse(line));
+    } catch (const std::exception& e) {
+      std::cerr << "spio_top: malformed sample: " << e.what() << "\n";
+      return false;
+    }
+    history_.push_back(s);
+    while (history_.size() > kHistory) history_.pop_front();
+    if (tty_) std::fputs("\x1b[2J\x1b[H", stdout);
+    std::fputs(render_frame(history_).c_str(), stdout);
+    if (!tty_) std::fputs("\n", stdout);
+    std::fflush(stdout);
+    return true;
+  }
+
+  bool saw_final() const {
+    return !history_.empty() && history_.back().final_sample;
+  }
+  bool saw_any() const { return !history_.empty(); }
+  std::uint64_t last_interval_ms() const {
+    return history_.empty() ? 0 : history_.back().interval_ms;
+  }
+
+ private:
+  static constexpr std::size_t kHistory = 48;  // sparkline width
+  bool tty_;
+  std::deque<Sample> history_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: spio_top <stats.spio.jsonl> [--replay] [--speed <x>]\n";
+  std::string path;
+  bool replay = false;
+  double speed = 0;  // replay pacing; 0 = no delay
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replay") == 0) {
+      replay = true;
+    } else if (std::strcmp(argv[i], "--speed") == 0 && i + 1 < argc) {
+      speed = std::atof(argv[++i]);
+      if (speed <= 0) {
+        std::cerr << "spio_top: --speed needs a positive factor\n";
+        return 2;
+      }
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      std::cerr << "unknown option: " << argv[i] << "\n" << kUsage;
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  Dashboard dash;
+
+  if (replay) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      std::cerr << "spio_top: cannot open '" << path << "'\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(f, line)) {
+      if (!dash.feed_line(line)) return 1;
+      if (speed > 0 && dash.last_interval_ms() > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            static_cast<double>(dash.last_interval_ms()) / speed));
+      }
+    }
+    if (!dash.saw_any()) {
+      std::cerr << "spio_top: '" << path << "' holds no samples\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Live mode: tail the file for complete lines until the final sample.
+  // The exporter appends each line with one flushed write, so a line
+  // either ends in '\n' or is still being written — never torn.
+  std::ifstream f;
+  std::string carry;
+  while (true) {
+    if (!f.is_open()) {
+      f.open(path, std::ios::binary);
+      if (!f.is_open()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+    }
+    std::string chunk(4096, '\0');
+    f.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    chunk.resize(static_cast<std::size_t>(f.gcount()));
+    if (!chunk.empty()) {
+      carry += chunk;
+      std::size_t pos = 0, eol;
+      while ((eol = carry.find('\n', pos)) != std::string::npos) {
+        if (!dash.feed_line(carry.substr(pos, eol - pos))) return 1;
+        pos = eol + 1;
+      }
+      carry.erase(0, pos);
+      if (dash.saw_final()) return 0;
+    } else {
+      f.clear();  // EOF for now; wait for the producer to append
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}

@@ -2,9 +2,10 @@
 /// Render and validate spio observability artifacts.
 ///
 /// Usage:
-///   spio_trace <trace.json>    [--check] [--csv]
-///   spio_trace <bundle.json>   [--check]
-///   spio_trace <dataset-dir>   [--csv] [--postmortem] [--check]
+///   spio_trace <trace.json>       [--check] [--csv]
+///   spio_trace <bundle.json>      [--check]
+///   spio_trace <stats.spio.jsonl> [--check] [--csv]
+///   spio_trace <dataset-dir>      [--csv] [--postmortem] [--check]
 ///
 /// Given a Chrome trace-event JSON file (from `spio_bench --trace` or
 /// `SPIO_TRACE=path`), prints a Fig. 6-style per-rank, per-phase
@@ -17,11 +18,19 @@
 /// directory loads the bundle the failed write left behind) and rendered
 /// as a per-rank timeline of the flight recorder's last events.
 ///
+/// A telemetry stream (`stats.spio.jsonl` from `SPIO_STATS`, one JSON
+/// object per line with `"format":"spio.stats"`) is recognized by its
+/// first line and rendered as a per-sample table; `spio_top` renders the
+/// same stream live.
+///
 /// `--check` validates the artifact structurally — a Chrome trace must
 /// parse, carry a well-formed `traceEvents` array, and nest its spans
 /// within each rank track; a postmortem bundle must satisfy
-/// `obs::validate_postmortem` — and exits non-zero on any violation
-/// (used by `bench/run_hotpath.sh` as a CI gate).
+/// `obs::validate_postmortem`; a stats stream must parse line by line
+/// with consecutive `seq`, non-decreasing `ts_us`, ordered window
+/// quantiles, and `"final":true` on the last sample only — and exits
+/// non-zero on any violation (used by `bench/run_hotpath.sh` as a CI
+/// gate).
 
 #include <algorithm>
 #include <cstring>
@@ -310,12 +319,134 @@ void render_record(const std::filesystem::path& dir, bool csv) {
     std::cout << "run record holds no write or read section\n";
 }
 
+/// Does this document look like one line of an `SPIO_STATS` stream?
+bool is_stats_line(std::string_view line) {
+  return line.find("\"format\":\"spio.stats\"") != std::string_view::npos;
+}
+
+/// Split a JSONL stream into parsed per-line documents. Throws on any
+/// malformed line (the writer emits each line atomically, so a torn
+/// line is a real defect, not an artifact of concurrent reading).
+std::vector<obs::JsonValue> parse_stats_lines(std::string_view text) {
+  std::vector<obs::JsonValue> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    out.push_back(obs::JsonValue::parse(line));
+  }
+  return out;
+}
+
+/// `--check` for stats streams: every line is a well-formed sample, seq
+/// is consecutive from 0, time moves forward, quantiles are ordered, and
+/// only the last sample is final.
+int check_stats(std::string_view text) {
+  int problems = 0;
+  const auto complain = [&](const std::string& what) {
+    std::cerr << "check: " << what << "\n";
+    ++problems;
+  };
+  std::vector<obs::JsonValue> samples;
+  try {
+    samples = parse_stats_lines(text);
+  } catch (const std::exception& e) {
+    std::cerr << "check: malformed stats line: " << e.what() << "\n";
+    return 1;
+  }
+  if (samples.empty()) {
+    std::cerr << "check: stats stream holds no samples\n";
+    return 1;
+  }
+  double prev_ts = -1;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const obs::JsonValue& s = samples[i];
+    const std::string at = "sample " + std::to_string(i);
+    if (!s.is_object() || !s.contains("format") ||
+        s.at("format").as_string() != "spio.stats") {
+      complain(at + " lacks format spio.stats");
+      continue;
+    }
+    for (const char* key : {"version", "seq", "ts_us", "interval_ms"}) {
+      if (!s.contains(key) || !s.at(key).is_number())
+        complain(at + " lacks numeric " + key);
+    }
+    for (const char* key : {"derived", "windows", "counters", "gauges"}) {
+      if (!s.contains(key) || !s.at(key).is_object())
+        complain(at + " lacks object " + key);
+    }
+    if (!s.contains("final") || !s.at("final").is_bool()) {
+      complain(at + " lacks boolean final");
+      continue;
+    }
+    if (s.at("seq").as_u64() != i)
+      complain(at + " has seq " + std::to_string(s.at("seq").as_u64()) +
+               ", expected " + std::to_string(i));
+    const double ts = s.at("ts_us").as_double();
+    if (ts < prev_ts) complain(at + " moves backward in time");
+    prev_ts = ts;
+    if (s.at("final").as_bool() != (i + 1 == samples.size()))
+      complain(at + (i + 1 == samples.size()
+                         ? " is the last sample but not final"
+                         : " is final before the end of the stream"));
+    if (const obs::JsonValue* w = s.find("windows")) {
+      for (const auto& [name, v] : w->members()) {
+        if (!v.is_object() || !v.contains("count") || !v.contains("p50") ||
+            !v.contains("p95") || !v.contains("p99")) {
+          complain(at + " window '" + name + "' lacks count/p50/p95/p99");
+          continue;
+        }
+        const std::uint64_t p50 = v.at("p50").as_u64();
+        const std::uint64_t p95 = v.at("p95").as_u64();
+        const std::uint64_t p99 = v.at("p99").as_u64();
+        if (p50 > p95 || p95 > p99)
+          complain(at + " window '" + name + "' has unordered quantiles");
+      }
+    }
+  }
+  if (problems == 0)
+    std::cout << "stats stream OK (" << samples.size() << " samples)\n";
+  return problems == 0 ? 0 : 1;
+}
+
+/// Render a stats stream as a per-sample table — the static sibling of
+/// `spio_top --replay`.
+void render_stats(std::string_view text, bool csv) {
+  const std::vector<obs::JsonValue> samples = parse_stats_lines(text);
+  Table t("telemetry stream (stats.spio.jsonl)",
+          {"seq", "t (s)", "qps", "p50 ms", "p99 ms", "queue", "q max",
+           "hit %", "slo viol"});
+  for (const obs::JsonValue& s : samples) {
+    const obs::JsonValue& d = s.at("derived");
+    double p50_ms = 0, p99_ms = 0;
+    if (const obs::JsonValue* w = s.at("windows").find("service.latency_us")) {
+      p50_ms = w->at("p50").as_double() / 1e3;
+      p99_ms = w->at("p99").as_double() / 1e3;
+    }
+    t.row()
+        .add_int(static_cast<long long>(s.at("seq").as_u64()))
+        .add_double(s.at("ts_us").as_double() / 1e6, 2)
+        .add_double(d.at("qps").as_double(), 1)
+        .add_double(p50_ms, 3)
+        .add_double(p99_ms, 3)
+        .add_int(static_cast<long long>(d.at("queue_depth").as_double()))
+        .add_int(static_cast<long long>(d.at("queue_depth_max").as_double()))
+        .add_double(100.0 * d.at("cache_hit_rate").as_double(), 1)
+        .add_int(static_cast<long long>(
+            d.at("slo_violations_total").as_double()));
+  }
+  csv ? t.print_csv(std::cout) : t.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
-      "usage: spio_trace <trace.json | bundle.json | dataset-dir> "
-      "[--check] [--csv] [--postmortem]\n";
+      "usage: spio_trace <trace.json | bundle.json | stats.spio.jsonl | "
+      "dataset-dir> [--check] [--csv] [--postmortem]\n";
   if (argc < 2) {
     std::cerr << kUsage;
     return 2;
@@ -359,9 +490,18 @@ int main(int argc, char** argv) {
       return 0;
     }
     const std::vector<std::byte> bytes = read_file(target);
-    const obs::JsonValue doc = obs::JsonValue::parse(
-        std::string_view(reinterpret_cast<const char*>(bytes.data()),
-                         bytes.size()));
+    const std::string_view text(reinterpret_cast<const char*>(bytes.data()),
+                                bytes.size());
+    {
+      std::size_t eol = text.find('\n');
+      if (eol == std::string_view::npos) eol = text.size();
+      if (is_stats_line(text.substr(0, eol))) {
+        if (check) return check_stats(text);
+        render_stats(text, csv);
+        return 0;
+      }
+    }
+    const obs::JsonValue doc = obs::JsonValue::parse(text);
     const bool is_bundle = doc.is_object() && doc.contains("format") &&
                            doc.at("format").is_string() &&
                            doc.at("format").as_string() == "spio.postmortem";
