@@ -19,8 +19,14 @@
 #     validated with `spio_trace --check` as well.
 #
 # After the write-path run it regenerates and gates BENCH_readpath.json
-# (read engine, including the SIMD kernel rows) and BENCH_servepath.json
-# (concurrent query service, including the server-side p99 gate), runs
+# (read engine, including the SIMD kernel rows and the per-stage
+# read-amplification gate) and BENCH_servepath.json (concurrent query
+# service, including the server-side p99 and scan-amplification gates).
+# A separate short serve run collects a detailed spatial access profile
+# (SPIO_PROFILE — kept off the gated runs: the detailed tier takes a
+# mutex per record, and the baselines measure the always-on tier only);
+# the profile is schema-checked with `spio_trace --check` and its Zipf
+# hot spot is rendered with `spio_heatmap`. It also runs
 # the SIMD differential suite under both dispatch paths (`ctest -L simd`
 # twice, the second with SPIO_SIMD=off forcing the scalar fallback),
 # exercises the live-telemetry path (the serve run streams
@@ -117,6 +123,29 @@ if [ -x "$TRACE_TOOL" ]; then
   "$TRACE_TOOL" --check "$STATS_JSONL"
 else
   echo "warning: $TRACE_TOOL not built; skipping stats validation" >&2
+fi
+
+# Access-profiler smoke (docs/OBSERVABILITY.md "Spatial access
+# profiles"): a short ungated serve run with SPIO_PROFILE collects the
+# Zipf hot-spot profile — skewed traffic is exactly what the heatmap
+# exists to show. The profiler serializes per-file attribution at exit;
+# the document must pass the same structural validator as every other
+# spio artifact, then render as a heatmap.
+SERVE_PROFILE="$REPO_ROOT/$BUILD_DIR/servepath_profile.spio.json"
+HEATMAP_TOOL="$REPO_ROOT/$BUILD_DIR/tools/spio_heatmap"
+SPIO_PROFILE="$SERVE_PROFILE" \
+  "$BENCH" --serve --reps 1 --json "$REPO_ROOT/$BUILD_DIR/servepath_profiled.json"
+
+if [ -x "$TRACE_TOOL" ]; then
+  "$TRACE_TOOL" --check "$SERVE_PROFILE"
+else
+  echo "warning: $TRACE_TOOL not built; skipping profile validation" >&2
+fi
+if [ -x "$HEATMAP_TOOL" ]; then
+  echo "== spio_heatmap: the serve run's Zipf hot-spot, bytes scanned =="
+  "$HEATMAP_TOOL" "$SERVE_PROFILE" --metric scanned --width 48 --top 5
+else
+  echo "warning: $HEATMAP_TOOL not built; skipping heatmap render" >&2
 fi
 if [ -x "$TOP_TOOL" ]; then
   echo "== spio_top: replay of the serve run's telemetry stream =="

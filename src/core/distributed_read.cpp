@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "core/read_engine.hpp"
+#include "obs/access_profile.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/postmortem.hpp"
@@ -73,6 +74,11 @@ ParticleBuffer distributed_read(simmpi::Comm& comm,
         ds.fetch_file(fi, levels, comm.size(), &acc);
     read_detail::bin_by_owner_dispatch(prefix.bytes(), ds.metadata().schema,
                                        decomp, prefix.mirror(), outgoing);
+    // Owner binning delivers every scanned record to some rank, so the
+    // whole prefix counts as used in the access profile (the disjoint
+    // tiles cover the domain; nothing is filtered away).
+    obs::AccessProfiler::instance().record_used(ds.profile_base(), fi,
+                                                prefix.bytes().size());
   }
   io_span.end();
 

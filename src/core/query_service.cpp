@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/read_engine.hpp"
+#include "obs/access_profile.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -189,6 +190,19 @@ void QueryService::drain_one() {
       if (it != by_key_.end() && it->second == job) by_key_.erase(it);
     }
     if (!error) tallies_.completed += waiters.size();
+  }
+  // Annotate the access profile's query record (detailed mode) with the
+  // service-side view: queue wait, admission→completion latency, and
+  // how many coalesced clients this one execution served.
+  {
+    const auto us = [](Clock::duration d) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+    };
+    const auto now = Clock::now();
+    obs::AccessProfiler::instance().complete_query(
+        job->id, us(started_at - job->admitted_at),
+        us(now - job->admitted_at), waiters.size());
   }
 
   if (error) {

@@ -9,6 +9,7 @@
 
 #include "core/journal.hpp"
 #include "core/read_engine.hpp"
+#include "obs/access_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/serialize.hpp"
@@ -58,6 +59,18 @@ Dataset::Dataset(std::filesystem::path dir, DatasetMetadata meta)
     : dir_(std::move(dir)), meta_(std::move(meta)) {
   if (meta_.has_bounds && !meta_.files.empty()) {
     index_ = std::make_shared<FileIndex>(meta_);
+  }
+  // Hand the partition layout to the spatial access profiler so every
+  // fetch below can be attributed to its file's bbox always-on
+  // (docs/OBSERVABILITY.md "Spatial access profiles").
+  if (!meta_.files.empty()) {
+    std::vector<obs::AccessProfiler::FileInfo> files;
+    files.reserve(meta_.files.size());
+    for (const FileRecord& f : meta_.files)
+      files.push_back({f.file_name(), f.bounds, f.particle_count});
+    profile_base_ = obs::AccessProfiler::instance().register_dataset(
+        dir_.string(), meta_.domain, meta_.schema.record_size(),
+        meta_.has_bounds, std::move(files));
   }
 }
 
@@ -158,6 +171,16 @@ Dataset::FilePrefix Dataset::fetch_file(int file_index, int levels,
     }
     reg.counter("reader.particles_scanned").add(want);
   }
+  // Always-on spatial attribution: this fetch's bytes land in the
+  // file's profiler slot. The outcome enums share their values, and the
+  // profiler charges bytes_fetched only for kBypass/kMiss — the same
+  // "opened" split as the stats above, so followers and hits never
+  // double-count disk bytes.
+  obs::AccessProfiler::instance().record_fetch(
+      profile_base_, file_index, want * record,
+      static_cast<obs::AccessOutcome>(prefix.fetched.outcome),
+      prefix.fetched.mirror != nullptr,
+      static_cast<std::uint64_t>(seconds_since(t0) * 1e6));
   return prefix;
 }
 
@@ -168,6 +191,9 @@ ParticleBuffer Dataset::read_data_file(int file_index, int levels,
   ParticleBuffer buf(meta_.schema);
   buf.adopt_bytes(prefix.fetched.take_or_copy());
   if (stats) stats->particles_returned += prefix.count;
+  // A direct file read keeps every scanned record: used == scanned.
+  obs::AccessProfiler::instance().record_used(
+      profile_base_, file_index, prefix.count * meta_.schema.record_size());
   return buf;
 }
 
@@ -179,25 +205,49 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
                                          ParticleBuffer& out,
                                          ReadStats* stats) const {
   const std::size_t n = files.size();
+  const std::uint64_t record = meta_.schema.record_size();
+  obs::AccessProfiler& prof = obs::AccessProfiler::instance();
+
+  /// Filter (or fast-path-append) one fetched prefix into `dst` and
+  /// attribute the surviving bytes to the file's profiler slot — the
+  /// shared tail of the serial and pooled branches. The filter/merge
+  /// wall time feeds the per-query time breakdown, so the clock is only
+  /// read in detailed mode.
+  const auto filter_prefix = [&](int fi, const FilePrefix& prefix,
+                                 ParticleBuffer& dst) -> std::uint64_t {
+    const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
+    const bool timed = prof.detailed();
+    const Clock::time_point t0 = timed ? Clock::now() : Clock::time_point{};
+    std::uint64_t appended = 0;
+    bool merged = false;
+    if (whole_file_fast_path && box.contains_box(f.bounds)) {
+      // Whole file lies inside the query: no per-particle filter
+      // needed — the payoff of spatially-coherent files.
+      dst.append_bytes(prefix.bytes());
+      appended = prefix.count;
+      merged = true;
+    } else if (filters.empty()) {
+      appended = read_detail::filter_box_dispatch(prefix.bytes(), meta_.schema,
+                                                  box, prefix.mirror(), dst);
+    } else {
+      appended = read_detail::filter_box_ranges_dispatch(
+          prefix.bytes(), meta_.schema, box, filters, prefix.mirror(), dst);
+    }
+    const std::uint64_t us =
+        timed ? static_cast<std::uint64_t>(seconds_since(t0) * 1e6) : 0;
+    prof.record_used(profile_base_, fi, appended * record,
+                     /*filter_us=*/merged ? 0 : us,
+                     /*merge_us=*/merged ? us : 0);
+    return appended;
+  };
 
   /// Fetch + filter file `files[k]` into `dst`, counting into `st`.
   /// Returns records appended.
   const auto filter_one = [&](std::size_t k, ParticleBuffer& dst,
                               ReadStats* st) -> std::uint64_t {
     const int fi = files[k];
-    const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
-    FilePrefix prefix = fetch_file(fi, levels, n_readers, st);
-    if (whole_file_fast_path && box.contains_box(f.bounds)) {
-      // Whole file lies inside the query: no per-particle filter
-      // needed — the payoff of spatially-coherent files.
-      dst.append_bytes(prefix.bytes());
-      return prefix.count;
-    }
-    if (filters.empty())
-      return read_detail::filter_box_dispatch(prefix.bytes(), meta_.schema,
-                                              box, prefix.mirror(), dst);
-    return read_detail::filter_box_ranges_dispatch(
-        prefix.bytes(), meta_.schema, box, filters, prefix.mirror(), dst);
+    const FilePrefix prefix = fetch_file(fi, levels, n_readers, st);
+    return filter_prefix(fi, prefix, dst);
   };
 
   ReadEngine& eng = ReadEngine::instance();
@@ -254,20 +304,7 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
       if (first_error) continue;  // drain remaining fetches, don't filter
       PerFile& r = results[k];
       if (stats) stats->accumulate(r.stats);
-      const FileRecord& f = meta_.files[static_cast<std::size_t>(files[k])];
-      if (whole_file_fast_path && box.contains_box(f.bounds)) {
-        // Whole file lies inside the query: no per-particle filter
-        // needed — the payoff of spatially-coherent files.
-        out.append_bytes(r.prefix.bytes());
-        returned += r.prefix.count;
-      } else if (filters.empty()) {
-        returned += read_detail::filter_box_dispatch(
-            r.prefix.bytes(), meta_.schema, box, r.prefix.mirror(), out);
-      } else {
-        returned += read_detail::filter_box_ranges_dispatch(
-            r.prefix.bytes(), meta_.schema, box, filters, r.prefix.mirror(),
-            out);
-      }
+      returned += filter_prefix(files[k], r.prefix, out);
       r.prefix = FilePrefix{};  // drop the buffer before the next file
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
@@ -283,6 +320,7 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
 ParticleBuffer Dataset::query_box(const Box3& box, int levels, int n_readers,
                                   ReadStats* stats) const {
   obs::ScopedSpan span("read.query_box", "reader");
+  obs::ProfiledQuery pq("query_box");
   const std::vector<int> hits = intersecting(box);
   ParticleBuffer out(meta_.schema);
   filter_files_into(hits, levels, n_readers, box, {},
@@ -316,6 +354,7 @@ ParticleBuffer Dataset::query(const Box3& box,
                               int levels, int n_readers,
                               ReadStats* stats) const {
   obs::ScopedSpan span("read.query", "reader");
+  obs::ProfiledQuery pq("query");
   for (const RangeFilter& rf : filters) {
     SPIO_CHECK(rf.field < meta_.schema.field_count(), ConfigError,
                "range filter on field " << rf.field << " but schema has "
@@ -341,6 +380,7 @@ std::uint64_t Dataset::stream_box(
     int levels, int n_readers, ReadStats* stats) const {
   SPIO_EXPECTS(sink != nullptr);
   obs::ScopedSpan span("read.stream_box", "reader");
+  obs::ProfiledQuery pq("stream_box");
   const std::vector<int> hits = intersecting(box);
 
   struct Chunk {
@@ -352,12 +392,24 @@ std::uint64_t Dataset::stream_box(
     try {
       const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
       const FilePrefix prefix = fetch_file(fi, levels, n_readers, &c.stats);
-      if (box.contains_box(f.bounds)) {
+      obs::AccessProfiler& prof = obs::AccessProfiler::instance();
+      const bool timed = prof.detailed();
+      const Clock::time_point t0 = timed ? Clock::now() : Clock::time_point{};
+      const bool merged = box.contains_box(f.bounds);
+      if (merged) {
         c.buf.append_bytes(prefix.bytes());
       } else {
         read_detail::filter_box_dispatch(prefix.bytes(), meta_.schema, box,
                                          prefix.mirror(), c.buf);
       }
+      // Survived-the-filter attribution; chunks a stopping sink never
+      // consumes still count (they were materialized and filtered).
+      const std::uint64_t us =
+          timed ? static_cast<std::uint64_t>(seconds_since(t0) * 1e6) : 0;
+      prof.record_used(profile_base_, fi,
+                       c.buf.size() * meta_.schema.record_size(),
+                       /*filter_us=*/merged ? 0 : us,
+                       /*merge_us=*/merged ? us : 0);
     } catch (...) {
       c.error = std::current_exception();
     }
@@ -427,6 +479,7 @@ std::uint64_t Dataset::stream_box(
 ParticleBuffer Dataset::query_box_scan_all(const Box3& box,
                                            ReadStats* stats) const {
   obs::ScopedSpan span("read.scan_all", "reader");
+  obs::ProfiledQuery pq("scan_all");
   ParticleBuffer out(meta_.schema);
   std::vector<int> all(static_cast<std::size_t>(file_count()));
   for (int fi = 0; fi < file_count(); ++fi)

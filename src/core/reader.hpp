@@ -175,6 +175,12 @@ class Dataset {
   /// Total number of LOD levels of this dataset for `n_readers`.
   int level_count(int n_readers) const;
 
+  /// Base slot of this dataset in the spatial access profiler
+  /// (obs/access_profile.hpp); per-file slot = base + file index. -1
+  /// when the profiler's slot table had no room. Opening registers the
+  /// dataset's partition bboxes so every fetch is attributed always-on.
+  int profile_base() const { return profile_base_; }
+
  private:
   Dataset(std::filesystem::path dir, DatasetMetadata meta);
 
@@ -201,6 +207,8 @@ class Dataset {
   /// Spatial index over file bounds (null for datasets without bounds);
   /// shared so Dataset stays cheaply copyable.
   std::shared_ptr<const FileIndex> index_;
+  /// Access-profiler slot base (see profile_base()).
+  int profile_base_ = -1;
 };
 
 /// The tile of the domain assigned to reader `rank` of `nranks` — the

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/access_profile.hpp"
 #include "obs/log.hpp"
 #include "obs/stats_export.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +41,7 @@ const bool g_env_init = [] {
     std::atexit([] { Tracer::instance().flush_env(); });
   }
   TelemetryExporter::instance().init_from_env();  // SPIO_STATS
+  AccessProfiler::instance().init_from_env();     // SPIO_PROFILE
   return true;
 }();
 
@@ -68,6 +70,7 @@ void init_from_env() {
   (void)env_trace_path();
   log::init_from_env();
   TelemetryExporter::instance().init_from_env();
+  AccessProfiler::instance().init_from_env();
 }
 
 }  // namespace spio::obs

@@ -1,8 +1,11 @@
 #include "obs/stats_export.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
+#include <vector>
 
+#include "obs/access_profile.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 
@@ -163,7 +166,54 @@ void TelemetryExporter::emit_sample(bool final_sample) {
               JsonValue::number(delta(now, prev_, "service.slo_violations")));
   derived.set("slo_violations_total",
               JsonValue::number(counter_of(now, "service.slo_violations")));
+  // Windowed read amplification: disk bytes per returned byte over this
+  // tick only (the cumulative figure lives in the
+  // reader.read_amplification gauge below).
+  derived.set("read_amplification",
+              JsonValue::number(ratio(delta(now, prev_, "reader.bytes_read"),
+                                      delta(now, prev_,
+                                            "reader.bytes_returned"))));
   line.set("derived", std::move(derived));
+
+  // Top-N hot files this tick from the spatial access profiler: ranked
+  // by bytes *scanned* (not fetched — a fully-warm hot file reads no
+  // disk but is still hot).
+  {
+    struct Hot {
+      const AccessProfiler::FileSnapshot* f;
+      std::uint64_t bytes;
+      std::uint64_t accesses;
+    };
+    const std::vector<AccessProfiler::FileSnapshot> files =
+        AccessProfiler::instance().snapshot_files(/*touched_only=*/true);
+    std::vector<Hot> hot;
+    std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+        cur;
+    cur.reserve(files.size());
+    for (const auto& f : files) {
+      const std::string key = f.dataset + '/' + f.name;
+      cur.emplace(key, std::make_pair(f.bytes_scanned, f.accesses));
+      const auto pit = prev_hot_.find(key);
+      const std::uint64_t pb = pit == prev_hot_.end() ? 0 : pit->second.first;
+      const std::uint64_t pa = pit == prev_hot_.end() ? 0 : pit->second.second;
+      if (f.bytes_scanned > pb)
+        hot.push_back(Hot{&f, f.bytes_scanned - pb, f.accesses - pa});
+    }
+    std::sort(hot.begin(), hot.end(),
+              [](const Hot& a, const Hot& b) { return a.bytes > b.bytes; });
+    if (hot.size() > 5) hot.resize(5);
+    JsonValue hot_files = JsonValue::array();
+    for (const Hot& h : hot) {
+      JsonValue e = JsonValue::object();
+      e.set("file", JsonValue::string(h.f->name));
+      e.set("dataset", JsonValue::string(h.f->dataset));
+      e.set("bytes", JsonValue::number(h.bytes));
+      e.set("accesses", JsonValue::number(h.accesses));
+      hot_files.push_back(std::move(e));
+    }
+    line.set("hot_files", std::move(hot_files));
+    prev_hot_ = std::move(cur);
+  }
 
   JsonValue windows = JsonValue::object();
   for (const auto& [name, w] : now.windows) {

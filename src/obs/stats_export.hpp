@@ -33,7 +33,15 @@
 ///   final        true only on the shutdown sample
 ///   derived      {qps, queue_depth, queue_depth_max, cache_hit_rate,
 ///                 coalesce_rate, singleflight_follower_share,
-///                 slo_ms, slo_violations, slo_violations_total}
+///                 slo_ms, slo_violations, slo_violations_total,
+///                 read_amplification}  — read_amplification is the
+///                *windowed* disk-bytes-per-returned-byte of this tick
+///                (delta reader.bytes_read / delta reader.bytes_returned;
+///                the cumulative figure stays in the
+///                `reader.read_amplification` gauge)
+///   hot_files    top-5 files by bytes scanned this tick, from the
+///                spatial access profiler (access_profile.hpp):
+///                [{file, dataset, bytes, accesses}]
 ///   windows      per windowed histogram: {count, mean, p50, p95, p99}
 ///                over the merged window, plus cumulative total_count
 ///   counters     every registry counter (cumulative values)
@@ -44,6 +52,7 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -105,6 +114,10 @@ class TelemetryExporter {
   std::uint64_t seq_ = 0;
   double last_ts_us_ = 0;
   MetricsRegistry::Snapshot prev_;
+  /// Previous tick's per-file (bytes_scanned, accesses) from the access
+  /// profiler, keyed "<dataset>/<file>", for the hot_files deltas.
+  std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+      prev_hot_;
 };
 
 }  // namespace spio::obs

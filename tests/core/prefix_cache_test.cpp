@@ -247,6 +247,71 @@ TEST(PrefixCacheProperty, MirrorBytesAreChargedEvictedAndInvalidatedWithPrefix) 
   }
 }
 
+/// The eviction-accounting audit, pinned exactly: when every insert is
+/// admitted (payload + mirror within the per-shard budget), each byte
+/// charged on insert is either still held or has been counted into
+/// `bytes_evicted` — by budget pressure, replacement, staleness drop,
+/// invalidation, or clear(). `held + evicted == inserted charge` as an
+/// exact `==`, across shard counts, with mirror bytes in every term;
+/// a drift here is the read-amplification accounting lying.
+TEST(PrefixCacheProperty, ChargeEqualsEvictExactlyWhenAllInsertsAdmitted) {
+  constexpr std::size_t kRecord = 24;
+  for (const int shards : {1, 4, 8}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      // Per-shard budget stays comfortably above the largest possible
+      // charge (block + mirror), so no insert is ever refused — the
+      // one case where charge and evict may legitimately diverge.
+      const std::uint64_t budget =
+          static_cast<std::uint64_t>(shards) * 4096;
+      ShardedPrefixCache cache(budget, shards);
+      Xoshiro256 rng(stream_seed(7500, seed * 13 +
+                                 static_cast<std::uint64_t>(shards)));
+      std::vector<FileSig> sigs(10);
+      for (std::size_t k = 0; k < sigs.size(); ++k)
+        sigs[k] = FileSig{kRecord * (2 + 3 * k), 1};
+
+      std::uint64_t inserted_charge = 0;
+      for (int op = 0; op < 600; ++op) {
+        const std::size_t k = rng.uniform_index(sigs.size());
+        const std::string key = "k" + std::to_string(k);
+        switch (rng.uniform_index(6)) {
+          case 0:  // in-place rewrite; the next lookup drops it stale
+            sigs[k].mtime_ns += 1;
+            break;
+          case 1:
+            cache.invalidate(key);
+            break;
+          case 2: case 3: {
+            const std::size_t size = static_cast<std::size_t>(sigs[k].size);
+            const auto data = make_block(key, sigs[k], size);
+            std::shared_ptr<const PositionMirror> m;
+            if (rng.uniform_index(2) == 0)
+              m = PositionMirror::build(data->span(), kRecord, 0);
+            inserted_charge += size + (m ? m->byte_size() : 0);
+            cache.insert(key, data, sigs[k], std::move(m));
+            break;
+          }
+          default: {
+            const auto got = cache.lookup(key, sigs[k]);
+            if (got) ASSERT_TRUE(block_matches(*got, key, sigs[k]));
+            break;
+          }
+        }
+        const ReadCacheStats s = cache.stats();
+        ASSERT_EQ(s.bytes_held + s.bytes_evicted, inserted_charge)
+            << "shards " << shards << " seed " << seed << " op " << op;
+      }
+      // clear() drains the residue into bytes_evicted: the ledger must
+      // balance to the byte.
+      cache.clear();
+      const ReadCacheStats s = cache.stats();
+      EXPECT_EQ(s.bytes_held, 0u);
+      EXPECT_EQ(s.bytes_evicted, inserted_charge)
+          << "shards " << shards << " seed " << seed;
+    }
+  }
+}
+
 /// The staleness guarantee under concurrency: one writer rewrites keys
 /// in place (new signature, new payload) while readers look up with the
 /// signature they last observed. A reader must either miss or get bytes

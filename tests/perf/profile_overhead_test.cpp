@@ -1,0 +1,134 @@
+/// \file profile_overhead_test.cpp
+/// Perf floor (ctest label `perf`) for the spatial access profiler's
+/// always-on tier: per-file attribution rides every fetch of the read
+/// path, so it must cost a handful of relaxed atomic RMWs — bounded
+/// both at the call site (absolute nanoseconds) and end to end (a
+/// warm readpath with the profiler on must stay within 3% of the
+/// kill-switched run, the budget docs/OBSERVABILITY.md promises).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+
+#include "core/read_engine.hpp"
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "obs/access_profile.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(ProfileOverhead, RecordFetchIsNanosecondCheap) {
+  auto& prof = obs::AccessProfiler::instance();
+  // A real slot, so the measurement covers the attribution path and not
+  // just the unattributed bump.
+  const int base = prof.register_dataset(
+      "perf-probe", Box3::unit(), 48, true,
+      {{"probe.bin", Box3::unit(), 1000}});
+  ASSERT_GE(base, 0);
+  prof.reset_counters();
+
+  constexpr int kIters = 1000000;
+  double best = 1e300;
+  for (int r = 0; r < 3; ++r)
+    best = std::min(best, seconds_of([&] {
+             for (int i = 0; i < kIters; ++i)
+               prof.record_fetch(base, 0, 4096, obs::AccessOutcome::kHit,
+                                 false, 3);
+           }));
+  const double ns = best / kIters * 1e9;
+  EXPECT_LE(ns, 300.0)
+      << "an always-on record_fetch costs " << ns
+      << " ns; it should be a clock read plus relaxed adds";
+
+  // The kill switch must cut that to a single relaxed load.
+  prof.set_enabled(false);
+  best = 1e300;
+  for (int r = 0; r < 3; ++r)
+    best = std::min(best, seconds_of([&] {
+             for (int i = 0; i < kIters; ++i)
+               prof.record_fetch(base, 0, 4096, obs::AccessOutcome::kHit,
+                                 false, 3);
+           }));
+  prof.set_enabled(true);
+  const double off_ns = best / kIters * 1e9;
+  EXPECT_LE(off_ns, 30.0) << "the kill-switched record_fetch costs "
+                          << off_ns << " ns; work leaked ahead of the gate";
+  prof.reset_counters();
+}
+
+/// The end-to-end 3% bound. Warm engine queries (cache-resident, the
+/// highest fetch rate per unit work the read path can sustain) run
+/// interleaved profiler-on/profiler-off so I/O and scheduler weather
+/// moves both sides; best-of keeps the comparison on clean samples.
+TEST(ProfileOverhead, AlwaysOnTierStaysWithinThreePercentOfKillSwitchedRun) {
+  TempDir dir("spio-profperf");
+  constexpr int kRanks = 8;
+  const PatchDecomposition decomp =
+      PatchDecomposition::for_ranks(Box3::unit(), kRanks);
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  cfg.factor = {1, 1, 1};
+  simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+    const auto local = workload::uniform(
+        Schema::uintah(), decomp.patch(comm.rank()), 2000,
+        stream_seed(91, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * 2000);
+    write_dataset(comm, decomp, local, cfg);
+  });
+
+  ReadEngine& eng = ReadEngine::instance();
+  const std::uint64_t prev_budget = eng.cache_budget();
+  const int prev_threads = eng.concurrency();
+  eng.set_cache_budget(256ull << 20);
+  eng.set_concurrency(4);
+  eng.clear_cache();
+
+  const Dataset ds = Dataset::open(dir.path());
+  const Box3 box({0.1, 0.1, 0.1}, {0.9, 0.9, 0.9});
+  ds.query_box(box);  // prime the cache: both sides measure warm queries
+
+  auto& prof = obs::AccessProfiler::instance();
+  constexpr int kQueriesPerSample = 50;
+  const auto sample = [&] {
+    return seconds_of([&] {
+      for (int i = 0; i < kQueriesPerSample; ++i) ds.query_box(box);
+    });
+  };
+
+  double best_on = 1e300, best_off = 1e300;
+  for (int r = 0; r < 11; ++r) {
+    prof.set_enabled(true);
+    best_on = std::min(best_on, sample());
+    prof.set_enabled(false);
+    best_off = std::min(best_off, sample());
+  }
+  prof.set_enabled(true);
+  eng.set_cache_budget(prev_budget);
+  eng.set_concurrency(prev_threads);
+
+  // ≤3% relative plus 2ms absolute slack: a sample is ~15ms of warm
+  // queries, so scheduler jitter alone swings a couple percent at this
+  // scale (same shape as the telemetry-exporter floor). The profiler's
+  // true cost — a dozen relaxed adds and one clock read per file — sits
+  // far under the relative bound; the gate trips if the always-on tier
+  // ever grows a lock, an allocation, or a per-record branch.
+  EXPECT_LE(best_on, best_off * 1.03 + 0.002)
+      << "always-on profiling costs " << (best_on / best_off - 1.0) * 100
+      << "% of warm readpath throughput; the budget is 3%";
+}
+
+}  // namespace
+}  // namespace spio

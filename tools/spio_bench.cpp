@@ -65,6 +65,7 @@
 #include "core/read_engine.hpp"
 #include "core/reader.hpp"
 #include "core/writer.hpp"
+#include "obs/access_profile.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -622,6 +623,19 @@ int compare_readpath(const std::string& baseline_text,
                             c.at("engine_ms").as_double()});
       }
       // distributed_read has neither field pair: reported only.
+
+      // Read amplification regresses *upward*: more particles scanned
+      // per particle returned means the planner started touching files
+      // the query doesn't need. It is a deterministic byte ratio for a
+      // fixed dataset + query — no I/O weather — so the band is tight.
+      // Engages only when both documents carry the field (baselines
+      // predating the access profiler gate nothing they didn't record).
+      const obs::JsonValue* ba = b ? b->find("read_amplification") : nullptr;
+      const obs::JsonValue* ca = c.find("read_amplification");
+      if (ba && ca && ba->as_double() > 0 && ca->as_double() > 0)
+        rows.push_back({"stage." + name + ".read_amplification",
+                        ba->as_double(), ca->as_double(), 0.10,
+                        /*lower_is_better=*/true});
     }
 
   return gate_rows(rows,
@@ -955,9 +969,14 @@ int run_readpath(const std::string& json_path, const std::string& compare_path,
     j.field("particles", particles);
     j.field("files_opened", static_cast<std::uint64_t>(rs.files_opened));
     j.field("cache_hits", rs.cache_hits);
+    // Particles scanned per particle returned — deterministic for a
+    // fixed dataset + query, so `--compare` holds it to a tight
+    // lower-is-better band (see compare_readpath).
+    j.field("read_amplification", rs.read_amplification());
     j.close_obj();
     std::cout << name << "  " << serial_s * 1e3 << " -> " << engine_s * 1e3
-              << " ms  (x" << serial_s / engine_s << ")\n";
+              << " ms  (x" << serial_s / engine_s << ", amplification "
+              << rs.read_amplification() << ")\n";
   };
 
   j.field("engine_threads", static_cast<std::uint64_t>(16));
@@ -1132,6 +1151,13 @@ struct ServeWindow {
   double server_p50_ms = 0;
   double server_p99_ms = 0;
   std::uint64_t server_queries = 0;
+  /// Spatial amplification over the whole window (warmup included),
+  /// from the access profiler's totals: disk bytes per surviving byte
+  /// (~0 once the cache is warm — the serve steady state) and scanned
+  /// bytes per surviving byte (cache-independent, the planner's
+  /// overfetch under this Zipf mix).
+  double read_amplification = 0;
+  double scan_amplification = 0;
   ServiceStats stats;
 };
 
@@ -1166,6 +1192,8 @@ ServeWindow run_serve_window(const std::vector<HotQuery>& hot,
                              std::atomic<int>* mismatches) {
   constexpr double kWarmupS = 0.3;
   constexpr double kMeasureS = 1.2;
+  const obs::AccessProfiler::Totals prof0 =
+      obs::AccessProfiler::instance().totals();
   QueryService svc(ServiceConfig{4, 1024, {}});
   std::atomic<bool> stop{false};
   std::vector<std::vector<ServeSample>> samples(
@@ -1213,6 +1241,17 @@ ServeWindow run_serve_window(const std::vector<HotQuery>& hot,
   ServeWindow w;
   w.stats = svc.stats();
   svc.shutdown();
+  const obs::AccessProfiler::Totals prof1 =
+      obs::AccessProfiler::instance().totals();
+  const std::uint64_t used = prof1.bytes_used - prof0.bytes_used;
+  if (used > 0) {
+    w.read_amplification =
+        static_cast<double>(prof1.bytes_fetched - prof0.bytes_fetched) /
+        static_cast<double>(used);
+    w.scan_amplification =
+        static_cast<double>(prof1.bytes_scanned - prof0.bytes_scanned) /
+        static_cast<double>(used);
+  }
   const auto server = latency_hist.merged();
   w.server_queries = server.count;
   w.server_p50_ms = static_cast<double>(server.p50) / 1e3;
@@ -1266,6 +1305,23 @@ int compare_servepath(const std::string& baseline_text,
         rows.push_back({"serve[" + std::to_string(n) + "c].server_p99_ms",
                         bp->as_double(), cp->as_double(),
                         kServeLatencyTolerance, /*lower_is_better=*/true});
+      // Scan amplification (bytes scanned per byte surviving filters,
+      // from the access profiler) regresses upward; the ratio is a
+      // property of the Zipf query mix, not the scheduler, so a
+      // moderate band suffices. Baselines without the field (and the
+      // warm-cache read_amplification, which sits at ~0) gate nothing.
+      const obs::JsonValue* bsc = b ? b->find("scan_amplification") : nullptr;
+      const obs::JsonValue* csc = cc->at(i).find("scan_amplification");
+      if (bsc && csc && bsc->as_double() > 0 && csc->as_double() > 0)
+        rows.push_back({"serve[" + std::to_string(n) + "c].scan_amplification",
+                        bsc->as_double(), csc->as_double(), 0.25,
+                        /*lower_is_better=*/true});
+      const obs::JsonValue* bra = b ? b->find("read_amplification") : nullptr;
+      const obs::JsonValue* cra = cc->at(i).find("read_amplification");
+      if (bra && cra && bra->as_double() > 0 && cra->as_double() > 0)
+        rows.push_back({"serve[" + std::to_string(n) + "c].read_amplification",
+                        bra->as_double(), cra->as_double(), 0.25,
+                        /*lower_is_better=*/true});
     }
   const obs::JsonValue* bs = base.find("scaling_16c");
   const obs::JsonValue* cs = cur.find("scaling_16c");
@@ -1400,12 +1456,15 @@ int run_servepath(const std::string& json_path, const std::string& compare_path,
     j.field("accepted", best.stats.accepted);
     j.field("coalesced", best.stats.coalesced);
     j.field("rejected", best.stats.rejected);
+    j.field("read_amplification", best.read_amplification);
+    j.field("scan_amplification", best.scan_amplification);
     j.close_obj();
     std::cout << n << " client(s): " << best.qps << " qps  p50 "
               << best.p50_ms << " ms  p99 " << best.p99_ms
               << " ms  (server-side p50 " << best.server_p50_ms << " ms  p99 "
               << best.server_p99_ms << " ms; " << best.stats.coalesced
-              << " of " << best.stats.accepted << " coalesced)\n";
+              << " of " << best.stats.accepted << " coalesced; scan amp "
+              << best.scan_amplification << ")\n";
     if (n == 1) qps1 = best.qps;
     if (n == 16) qps16 = best.qps;
   }

@@ -1,0 +1,401 @@
+/// \file spio_heatmap.cpp
+/// Render a spatial access profile (`profile.spio.json`, written by
+/// `SPIO_PROFILE` — docs/OBSERVABILITY.md "Spatial access profiles") as
+/// an ASCII 2-D heat grid plus a sorted hot-file table.
+///
+/// Usage:
+///   spio_heatmap <profile.spio.json> [options]
+///   spio_heatmap --diff <A.json> <B.json> [options]
+///
+/// Options:
+///   --metric scanned|fetched|used|accesses   cell weight (default scanned)
+///   --axis xy|xz|yz                          projection plane (default xy)
+///   --width N                                grid width in cells (default 64)
+///   --top N                                  hot-file table rows (default 10)
+///
+/// Every file's partition bbox is projected onto the chosen plane and
+/// its metric is spread over the cells it covers, weighted by overlap
+/// area — so heat shows *where in the domain* the bytes were moved, the
+/// spatial view the per-query tables can't give. `--diff A B` renders
+/// B−A instead: '+'/'#' cells got hotter, '-'/'=' cells cooled, which is
+/// the before/after gate for layout or indexing changes (run the same
+/// workload against both trees and diff the two profiles).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/box.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace spio;
+
+namespace {
+
+struct FileHeat {
+  std::string name;
+  Box3 bounds;
+  std::uint64_t accesses = 0;
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t bytes_used = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+struct DatasetHeat {
+  std::string dir;
+  Box3 domain;
+  std::vector<FileHeat> files;
+};
+
+Box3 parse_box(const obs::JsonValue& b) {
+  const obs::JsonValue& lo = b.at("lo");
+  const obs::JsonValue& hi = b.at("hi");
+  return Box3{{lo.at(std::size_t{0}).as_double(), lo.at(1).as_double(),
+               lo.at(2).as_double()},
+              {hi.at(std::size_t{0}).as_double(), hi.at(1).as_double(),
+               hi.at(2).as_double()}};
+}
+
+std::vector<DatasetHeat> load_profile(const std::filesystem::path& path) {
+  const std::vector<std::byte> bytes = read_file(path);
+  const obs::JsonValue doc = obs::JsonValue::parse(std::string_view(
+      reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  if (!doc.is_object() || !doc.contains("format") ||
+      doc.at("format").as_string() != "spio.access_profile") {
+    throw FormatError("'" + path.string() + "' is not a spio.access_profile");
+  }
+  std::vector<DatasetHeat> out;
+  const obs::JsonValue& datasets = doc.at("datasets");
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    const obs::JsonValue& ds = datasets.at(d);
+    DatasetHeat dh;
+    dh.dir = ds.at("dir").as_string();
+    dh.domain = parse_box(ds.at("domain"));
+    const obs::JsonValue& files = ds.at("files");
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const obs::JsonValue& f = files.at(i);
+      FileHeat fh;
+      fh.name = f.at("name").as_string();
+      fh.bounds = parse_box(f.at("bounds"));
+      if (const obs::JsonValue* v = f.find("accesses"))
+        fh.accesses = v->as_u64();
+      if (const obs::JsonValue* v = f.find("bytes_scanned"))
+        fh.bytes_scanned = v->as_u64();
+      if (const obs::JsonValue* v = f.find("bytes_fetched"))
+        fh.bytes_fetched = v->as_u64();
+      if (const obs::JsonValue* v = f.find("bytes_used"))
+        fh.bytes_used = v->as_u64();
+      if (const obs::JsonValue* v = f.find("hits")) fh.hits = v->as_u64();
+      if (const obs::JsonValue* v = f.find("misses")) fh.misses = v->as_u64();
+      dh.files.push_back(std::move(fh));
+    }
+    out.push_back(std::move(dh));
+  }
+  return out;
+}
+
+/// The two projected axes of a plane spec ("xy" → 0,1).
+bool parse_axis(const std::string& s, int& ax, int& ay) {
+  const auto idx = [](char c) { return c == 'x' ? 0 : c == 'y' ? 1 : 2; };
+  if (s.size() != 2 || s.find_first_not_of("xyz") != std::string::npos ||
+      s[0] == s[1]) {
+    return false;
+  }
+  ax = idx(s[0]);
+  ay = idx(s[1]);
+  return true;
+}
+
+double axis_of(const Vec3d& v, int axis) {
+  return axis == 0 ? v.x : axis == 1 ? v.y : v.z;
+}
+
+std::uint64_t metric_of(const FileHeat& f, const std::string& metric) {
+  if (metric == "fetched") return f.bytes_fetched;
+  if (metric == "used") return f.bytes_used;
+  if (metric == "accesses") return f.accesses;
+  return f.bytes_scanned;
+}
+
+/// Signed heat per grid cell: each file's metric spread over the cells
+/// its projected bbox covers, weighted by overlap area.
+std::vector<double> rasterize(const DatasetHeat& ds, const std::string& metric,
+                              int ax, int ay, int w, int h, double sign,
+                              std::vector<double> grid) {
+  if (grid.empty()) grid.assign(static_cast<std::size_t>(w * h), 0.0);
+  const double dom_x0 = axis_of(ds.domain.lo, ax);
+  const double dom_x1 = axis_of(ds.domain.hi, ax);
+  const double dom_y0 = axis_of(ds.domain.lo, ay);
+  const double dom_y1 = axis_of(ds.domain.hi, ay);
+  const double sx = (dom_x1 - dom_x0) / w;
+  const double sy = (dom_y1 - dom_y0) / h;
+  if (sx <= 0 || sy <= 0) return grid;
+  for (const FileHeat& f : ds.files) {
+    const double m = static_cast<double>(metric_of(f, metric));
+    if (m == 0) continue;
+    const double fx0 = std::max(axis_of(f.bounds.lo, ax), dom_x0);
+    const double fx1 = std::min(axis_of(f.bounds.hi, ax), dom_x1);
+    const double fy0 = std::max(axis_of(f.bounds.lo, ay), dom_y0);
+    const double fy1 = std::min(axis_of(f.bounds.hi, ay), dom_y1);
+    const double area = (fx1 - fx0) * (fy1 - fy0);
+    if (area <= 0) continue;
+    const int cx0 = std::clamp(static_cast<int>((fx0 - dom_x0) / sx), 0, w - 1);
+    const int cx1 =
+        std::clamp(static_cast<int>(std::ceil((fx1 - dom_x0) / sx)), 1, w);
+    const int cy0 = std::clamp(static_cast<int>((fy0 - dom_y0) / sy), 0, h - 1);
+    const int cy1 =
+        std::clamp(static_cast<int>(std::ceil((fy1 - dom_y0) / sy)), 1, h);
+    for (int cy = cy0; cy < cy1; ++cy) {
+      for (int cx = cx0; cx < cx1; ++cx) {
+        const double ox = std::min(fx1, dom_x0 + (cx + 1) * sx) -
+                          std::max(fx0, dom_x0 + cx * sx);
+        const double oy = std::min(fy1, dom_y0 + (cy + 1) * sy) -
+                          std::max(fy0, dom_y0 + cy * sy);
+        if (ox <= 0 || oy <= 0) continue;
+        grid[static_cast<std::size_t>(cy * w + cx)] +=
+            sign * m * (ox * oy / area);
+      }
+    }
+  }
+  return grid;
+}
+
+/// Absolute heat: " .:-=+*#%@" darkening with load. Rows print top-down
+/// (max y first) so the grid reads like a plot.
+void print_grid(const std::vector<double>& grid, int w, int h,
+                const std::string& metric, bool diff) {
+  constexpr const char* kRamp = " .:-=+*#%@";
+  constexpr int kRampN = 10;
+  double max_abs = 0;
+  for (const double v : grid) max_abs = std::max(max_abs, std::fabs(v));
+  if (max_abs == 0) {
+    std::cout << "(no heat: every cell is zero)\n";
+    return;
+  }
+  std::cout << "+" << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  for (int y = h - 1; y >= 0; --y) {
+    std::cout << '|';
+    for (int x = 0; x < w; ++x) {
+      const double v = grid[static_cast<std::size_t>(y * w + x)];
+      const int level = std::min(
+          kRampN - 1,
+          static_cast<int>(std::fabs(v) / max_abs * (kRampN - 1) + 0.5));
+      if (!diff) {
+        std::cout << kRamp[level];
+      } else if (v > 0) {
+        std::cout << (level >= kRampN / 2 ? '#' : level > 0 ? '+' : ' ');
+      } else if (v < 0) {
+        std::cout << (level >= kRampN / 2 ? '=' : level > 0 ? '-' : ' ');
+      } else {
+        std::cout << ' ';
+      }
+    }
+    std::cout << "|\n";
+  }
+  std::cout << "+" << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  if (diff) {
+    std::cout << "scale: '#'/'+' hotter in B, '='/'-' cooler in B; peak |"
+              << metric << "| delta/cell = "
+              << (metric == "accesses"
+                      ? std::to_string(static_cast<std::uint64_t>(max_abs))
+                      : format_bytes(static_cast<std::uint64_t>(max_abs)))
+              << "\n";
+  } else {
+    std::cout << "scale: ' ' = 0 .. '@' = "
+              << (metric == "accesses"
+                      ? std::to_string(static_cast<std::uint64_t>(max_abs))
+                      : format_bytes(static_cast<std::uint64_t>(max_abs)))
+              << " (" << metric << "/cell)\n";
+  }
+}
+
+/// Grid height for a domain: terminal cells are ~2:1, so halve the
+/// aspect-correct height; clamp to something that fits one screen.
+int grid_height(const Box3& domain, int ax, int ay, int w) {
+  const double dx = axis_of(domain.hi, ax) - axis_of(domain.lo, ax);
+  const double dy = axis_of(domain.hi, ay) - axis_of(domain.lo, ay);
+  const double aspect = (dx > 0 && dy > 0) ? dy / dx : 1.0;
+  return std::clamp(static_cast<int>(w * aspect * 0.5 + 0.5), 4, 48);
+}
+
+void print_hot_table(const DatasetHeat& ds, const std::string& metric,
+                     std::size_t top) {
+  std::vector<const FileHeat*> rows;
+  for (const FileHeat& f : ds.files)
+    if (metric_of(f, metric) > 0) rows.push_back(&f);
+  std::sort(rows.begin(), rows.end(),
+            [&](const FileHeat* a, const FileHeat* b) {
+              return metric_of(*a, metric) > metric_of(*b, metric);
+            });
+  if (rows.size() > top) rows.resize(top);
+  Table t("hot files (by " + metric + ")",
+          {"file", "accesses", "scanned", "fetched", "used", "amp", "hits",
+           "misses"});
+  for (const FileHeat* f : rows) {
+    t.row()
+        .add(f->name)
+        .add_int(static_cast<long long>(f->accesses))
+        .add(format_bytes(f->bytes_scanned))
+        .add(format_bytes(f->bytes_fetched))
+        .add(format_bytes(f->bytes_used))
+        .add_double(f->bytes_used
+                        ? static_cast<double>(f->bytes_fetched) /
+                              static_cast<double>(f->bytes_used)
+                        : 0.0,
+                    2)
+        .add_int(static_cast<long long>(f->hits))
+        .add_int(static_cast<long long>(f->misses));
+  }
+  t.print(std::cout);
+}
+
+/// B−A per-file deltas of one dataset (files matched by name; a file
+/// missing on one side contributes its other side's full value).
+DatasetHeat diff_dataset(const DatasetHeat& a, const DatasetHeat& b) {
+  DatasetHeat out;
+  out.dir = b.dir;
+  out.domain = b.domain;
+  std::map<std::string, const FileHeat*> before;
+  for (const FileHeat& f : a.files) before[f.name] = &f;
+  const auto sub = [](std::uint64_t x, std::uint64_t y) {
+    return x >= y ? x - y : 0;  // clamp: counters only grow within a run
+  };
+  for (const FileHeat& f : b.files) {
+    const auto it = before.find(f.name);
+    FileHeat d = f;
+    if (it != before.end()) {
+      d.accesses = sub(f.accesses, it->second->accesses);
+      d.bytes_scanned = sub(f.bytes_scanned, it->second->bytes_scanned);
+      d.bytes_fetched = sub(f.bytes_fetched, it->second->bytes_fetched);
+      d.bytes_used = sub(f.bytes_used, it->second->bytes_used);
+      d.hits = sub(f.hits, it->second->hits);
+      d.misses = sub(f.misses, it->second->misses);
+    }
+    out.files.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: spio_heatmap <profile.spio.json> [--metric "
+      "scanned|fetched|used|accesses] [--axis xy|xz|yz] [--width N] "
+      "[--top N]\n"
+      "       spio_heatmap --diff <A.json> <B.json> [same options]\n";
+  std::vector<std::filesystem::path> targets;
+  std::string metric = "scanned";
+  std::string axis = "xy";
+  int width = 64;
+  std::size_t top = 10;
+  bool diff = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&](const char* opt) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << opt << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--diff") == 0) diff = true;
+    else if (std::strcmp(argv[i], "--metric") == 0) metric = value("--metric");
+    else if (std::strcmp(argv[i], "--axis") == 0) axis = value("--axis");
+    else if (std::strcmp(argv[i], "--width") == 0)
+      width = std::atoi(value("--width"));
+    else if (std::strcmp(argv[i], "--top") == 0)
+      top = static_cast<std::size_t>(std::atoll(value("--top")));
+    else if (argv[i][0] != '-') targets.push_back(argv[i]);
+    else {
+      std::cerr << "unknown option: " << argv[i] << "\n" << kUsage;
+      return 2;
+    }
+  }
+  int ax = 0, ay = 1;
+  if (targets.size() != (diff ? 2u : 1u) || width < 8 || width > 400 ||
+      !parse_axis(axis, ax, ay) ||
+      (metric != "scanned" && metric != "fetched" && metric != "used" &&
+       metric != "accesses")) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  try {
+    if (!diff) {
+      const std::vector<DatasetHeat> datasets = load_profile(targets[0]);
+      if (datasets.empty()) {
+        std::cerr << "profile holds no datasets\n";
+        return 1;
+      }
+      for (const DatasetHeat& ds : datasets) {
+        const int h = grid_height(ds.domain, ax, ay, width);
+        std::cout << "dataset " << ds.dir << " — " << ds.files.size()
+                  << " files, " << axis << " projection, metric " << metric
+                  << "\n";
+        print_grid(rasterize(ds, metric, ax, ay, width, h, 1.0, {}), width, h,
+                   metric, /*diff=*/false);
+        std::cout << "\n";
+        print_hot_table(ds, metric, top);
+        std::cout << "\n";
+      }
+      return 0;
+    }
+
+    // --diff A B: match datasets by directory, render B−A.
+    const std::vector<DatasetHeat> a = load_profile(targets[0]);
+    const std::vector<DatasetHeat> b = load_profile(targets[1]);
+    bool any = false;
+    for (const DatasetHeat& dsb : b) {
+      const DatasetHeat* dsa = nullptr;
+      for (const DatasetHeat& cand : a)
+        if (cand.dir == dsb.dir) dsa = &cand;
+      if (!dsa) continue;
+      any = true;
+      const DatasetHeat d = diff_dataset(*dsa, dsb);
+      const int h = grid_height(d.domain, ax, ay, width);
+      std::cout << "dataset " << d.dir << " — " << metric
+                << " delta (B − A), " << axis << " projection\n";
+      // Rasterize B−A as one signed pass over the per-file deltas.
+      print_grid(rasterize(d, metric, ax, ay, width, h, 1.0, {}), width, h,
+                 metric, /*diff=*/true);
+      std::cout << "\n";
+      print_hot_table(d, metric, top);
+      std::cout << "\n";
+      std::uint64_t a_fetched = 0, a_used = 0, b_fetched = 0, b_used = 0;
+      for (const FileHeat& f : dsa->files) {
+        a_fetched += f.bytes_fetched;
+        a_used += f.bytes_used;
+      }
+      for (const FileHeat& f : dsb.files) {
+        b_fetched += f.bytes_fetched;
+        b_used += f.bytes_used;
+      }
+      const auto amp = [](std::uint64_t fetched, std::uint64_t used) {
+        return used ? static_cast<double>(fetched) / static_cast<double>(used)
+                    : 0.0;
+      };
+      std::cout << "read amplification: A " << amp(a_fetched, a_used) << " → B "
+                << amp(b_fetched, b_used) << "\n\n";
+    }
+    if (!any) {
+      std::cerr << "the two profiles share no dataset directory\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -18,8 +18,10 @@
 #include "core/reader.hpp"
 #include "core/timeseries.hpp"
 #include "core/validate.hpp"
+#include "obs/json.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/run_record.hpp"
+#include "util/serialize.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -91,6 +93,65 @@ void print_run_record(const std::filesystem::path& dir) {
   }
 }
 
+/// One-screen summary of `profile.spio.json` when the dataset carries a
+/// spatial access profile (SPIO_PROFILE, docs/OBSERVABILITY.md). The
+/// full grid view lives in `spio_heatmap`.
+void print_access_profile(const std::filesystem::path& dir) {
+  const std::filesystem::path path = dir / "profile.spio.json";
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) return;
+  try {
+    const std::vector<std::byte> bytes = read_file(path);
+    const obs::JsonValue doc = obs::JsonValue::parse(std::string_view(
+        reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+    if (!doc.is_object() || !doc.contains("format") ||
+        doc.at("format").as_string() != "spio.access_profile")
+      return;
+    const obs::JsonValue& totals = doc.at("totals");
+    std::cout << "  access profile: profile.spio.json (see spio_heatmap)\n"
+              << "    " << totals.at("accesses").as_u64()
+              << " file accesses — "
+              << format_bytes(totals.at("bytes_scanned").as_u64())
+              << " scanned, "
+              << format_bytes(totals.at("bytes_fetched").as_u64())
+              << " from disk, "
+              << format_bytes(totals.at("bytes_used").as_u64())
+              << " surviving filters (amplification "
+              << totals.at("read_amplification").as_double() << ")\n"
+              << "    " << doc.at("queries").size() << " query record(s), "
+              << doc.at("queries_dropped").as_u64() << " dropped, "
+              << doc.at("unattributed").as_u64() << " unattributed\n";
+    // The three hottest files by bytes scanned, across all datasets in
+    // the profile (normally just this one).
+    struct Hot {
+      const obs::JsonValue* f;
+    };
+    std::vector<Hot> hot;
+    const obs::JsonValue& datasets = doc.at("datasets");
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      const obs::JsonValue& files = datasets.at(d).at("files");
+      for (std::size_t i = 0; i < files.size(); ++i) {
+        const obs::JsonValue* a = files.at(i).find("accesses");
+        if (a && a->as_u64() > 0) hot.push_back({&files.at(i)});
+      }
+    }
+    std::sort(hot.begin(), hot.end(), [](const Hot& a, const Hot& b) {
+      return a.f->at("bytes_scanned").as_u64() >
+             b.f->at("bytes_scanned").as_u64();
+    });
+    if (hot.size() > 3) hot.resize(3);
+    for (const Hot& h : hot) {
+      std::cout << "    hot: " << h.f->at("name").as_string() << " — "
+                << h.f->at("accesses").as_u64() << " accesses, "
+                << format_bytes(h.f->at("bytes_scanned").as_u64())
+                << " scanned, amplification "
+                << h.f->at("read_amplification").as_double() << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cout << "  access profile: unreadable (" << e.what() << ")\n";
+  }
+}
+
 int inspect_dataset(const std::filesystem::path& dir, bool deep,
                     bool all_files) {
   const Dataset ds = Dataset::open(dir);
@@ -123,6 +184,7 @@ int inspect_dataset(const std::filesystem::path& dir, bool deep,
               << f.components << "\n";
   }
   print_run_record(dir);
+  print_access_profile(dir);
 
   Table t("files", {"file", "particles", "bytes", "bounds"});
   const std::size_t limit = all_files ? m.files.size()

@@ -23,20 +23,31 @@
 /// first line and rendered as a per-sample table; `spio_top` renders the
 /// same stream live.
 ///
+/// A spatial access profile (`profile.spio.json` from `SPIO_PROFILE`,
+/// `"format":"spio.access_profile"`) is recognized by its format key and
+/// rendered as a totals + hot-file summary; `spio_heatmap` renders the
+/// full 2-D grid. With `--against <trace.json>`, `--check` additionally
+/// cross-references every profile query's request ID against the qids
+/// stamped on the trace's spans.
+///
 /// `--check` validates the artifact structurally — a Chrome trace must
 /// parse, carry a well-formed `traceEvents` array, and nest its spans
 /// within each rank track; a postmortem bundle must satisfy
 /// `obs::validate_postmortem`; a stats stream must parse line by line
 /// with consecutive `seq`, non-decreasing `ts_us`, ordered window
-/// quantiles, and `"final":true` on the last sample only — and exits
-/// non-zero on any violation (used by `bench/run_hotpath.sh` as a CI
-/// gate).
+/// quantiles, and `"final":true` on the last sample only; an access
+/// profile must carry self-consistent byte accounting (per-file tallies
+/// summing exactly to its totals, per-query file splits summing to the
+/// query's totals, fetched never exceeding scanned) — and exits non-zero
+/// on any violation (used by `bench/run_hotpath.sh` as a CI gate).
 
 #include <algorithm>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -441,22 +452,272 @@ void render_stats(std::string_view text, bool csv) {
   csv ? t.print_csv(std::cout) : t.print(std::cout);
 }
 
+/// Every request ID stamped on a Chrome trace's span args — the join key
+/// the access profile's query records carry.
+std::set<std::uint64_t> trace_qids(const obs::JsonValue& doc) {
+  std::set<std::uint64_t> out;
+  const obs::JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is_array()) return out;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const obs::JsonValue& e = events->at(i);
+    if (!e.is_object()) continue;
+    const obs::JsonValue* args = e.find("args");
+    if (!args || !args->is_object()) continue;
+    const obs::JsonValue* qid = args->find("qid");
+    if (qid && qid->is_number()) out.insert(qid->as_u64());
+  }
+  return out;
+}
+
+/// `--check` for spatial access profiles (`profile.spio.json`,
+/// docs/OBSERVABILITY.md "Spatial access profiles"): structural schema
+/// validation plus exact byte-accounting cross-checks. When `trace` is
+/// given (`--against`), every query record's qid must appear among the
+/// trace's span qids.
+int check_profile(const obs::JsonValue& doc, const obs::JsonValue* trace) {
+  int problems = 0;
+  const auto complain = [&](const std::string& what) {
+    std::cerr << "check: " << what << "\n";
+    ++problems;
+  };
+  const auto require_u64 = [&](const obs::JsonValue& obj, const char* key,
+                               const std::string& at) -> std::uint64_t {
+    const obs::JsonValue* v = obj.find(key);
+    if (!v || !v->is_number()) {
+      complain(at + " lacks numeric " + key);
+      return 0;
+    }
+    return v->as_u64();
+  };
+  const auto check_box = [&](const obs::JsonValue& obj, const char* key,
+                             const std::string& at) {
+    const obs::JsonValue* b = obj.find(key);
+    if (!b || !b->is_object()) {
+      complain(at + " lacks object " + key);
+      return;
+    }
+    for (const char* face : {"lo", "hi"}) {
+      const obs::JsonValue* f = b->find(face);
+      if (!f || !f->is_array() || f->size() != 3)
+        complain(at + " " + key + "." + face + " is not a 3-vector");
+    }
+  };
+
+  if (!doc.is_object() || !doc.contains("format") ||
+      !doc.at("format").is_string() ||
+      doc.at("format").as_string() != "spio.access_profile") {
+    complain("document lacks format spio.access_profile");
+    return 1;
+  }
+  require_u64(doc, "version", "profile");
+  require_u64(doc, "unattributed", "profile");
+  require_u64(doc, "queries_dropped", "profile");
+
+  // Per-file accounting, summed for the totals cross-check.
+  std::uint64_t sum_accesses = 0, sum_scanned = 0, sum_fetched = 0,
+                sum_used = 0;
+  const obs::JsonValue* datasets = doc.find("datasets");
+  if (!datasets || !datasets->is_array()) {
+    complain("profile lacks datasets array");
+    return 1;
+  }
+  for (std::size_t d = 0; d < datasets->size(); ++d) {
+    const obs::JsonValue& ds = datasets->at(d);
+    const std::string at = "dataset " + std::to_string(d);
+    if (!ds.is_object()) {
+      complain(at + " is not an object");
+      continue;
+    }
+    if (!ds.contains("dir") || !ds.at("dir").is_string())
+      complain(at + " lacks string dir");
+    require_u64(ds, "record_size", at);
+    check_box(ds, "domain", at);
+    const obs::JsonValue* files = ds.find("files");
+    if (!files || !files->is_array()) {
+      complain(at + " lacks files array");
+      continue;
+    }
+    for (std::size_t i = 0; i < files->size(); ++i) {
+      const obs::JsonValue& f = files->at(i);
+      const std::string fat = at + " file " + std::to_string(i);
+      if (!f.is_object()) {
+        complain(fat + " is not an object");
+        continue;
+      }
+      if (!f.contains("name") || !f.at("name").is_string())
+        complain(fat + " lacks string name");
+      if (require_u64(f, "index", fat) != i)
+        complain(fat + " has index out of order");
+      check_box(f, "bounds", fat);
+      const std::uint64_t accesses = require_u64(f, "accesses", fat);
+      const std::uint64_t scanned = require_u64(f, "bytes_scanned", fat);
+      const std::uint64_t fetched = require_u64(f, "bytes_fetched", fat);
+      const std::uint64_t used = require_u64(f, "bytes_used", fat);
+      const std::uint64_t outcomes =
+          require_u64(f, "hits", fat) + require_u64(f, "misses", fat) +
+          require_u64(f, "followers", fat) + require_u64(f, "bypasses", fat);
+      if (fetched > scanned) complain(fat + " fetched more than it scanned");
+      if (outcomes != accesses)
+        complain(fat + " outcome tallies do not sum to accesses");
+      const obs::JsonValue* hist = f.find("fetch_us_hist");
+      if (!hist || !hist->is_array()) {
+        complain(fat + " lacks fetch_us_hist array");
+      } else {
+        std::uint64_t events = 0;
+        for (std::size_t b = 0; b < hist->size(); ++b)
+          events += hist->at(b).as_u64();
+        const std::uint64_t disk = f.find("misses")->as_u64() +
+                                   f.find("bypasses")->as_u64();
+        if (events != disk)
+          complain(fat + " fetch_us_hist does not sum to disk fetches");
+      }
+      sum_accesses += accesses;
+      sum_scanned += scanned;
+      sum_fetched += fetched;
+      sum_used += used;
+    }
+  }
+
+  const obs::JsonValue* totals = doc.find("totals");
+  if (!totals || !totals->is_object()) {
+    complain("profile lacks totals object");
+  } else {
+    if (require_u64(*totals, "accesses", "totals") != sum_accesses)
+      complain("totals.accesses does not match the per-file sum");
+    if (require_u64(*totals, "bytes_scanned", "totals") != sum_scanned)
+      complain("totals.bytes_scanned does not match the per-file sum");
+    if (require_u64(*totals, "bytes_fetched", "totals") != sum_fetched)
+      complain("totals.bytes_fetched does not match the per-file sum");
+    if (require_u64(*totals, "bytes_used", "totals") != sum_used)
+      complain("totals.bytes_used does not match the per-file sum");
+  }
+
+  const obs::JsonValue* queries = doc.find("queries");
+  if (!queries || !queries->is_array()) {
+    complain("profile lacks queries array");
+    return problems == 0 ? 0 : 1;
+  }
+  std::set<std::uint64_t> span_qids;
+  if (trace) span_qids = trace_qids(*trace);
+  for (std::size_t i = 0; i < queries->size(); ++i) {
+    const obs::JsonValue& q = queries->at(i);
+    const std::string at = "query " + std::to_string(i);
+    if (!q.is_object()) {
+      complain(at + " is not an object");
+      continue;
+    }
+    const std::uint64_t qid = require_u64(q, "qid", at);
+    if (qid == 0) complain(at + " has qid 0 (unattributed)");
+    if (!q.contains("kind") || !q.at("kind").is_string())
+      complain(at + " lacks string kind");
+    for (const char* key : {"fetch_us", "filter_us", "merge_us", "total_us"})
+      require_u64(q, key, at);
+    const std::uint64_t scanned = require_u64(q, "bytes_scanned", at);
+    const std::uint64_t fetched = require_u64(q, "bytes_fetched", at);
+    const std::uint64_t used = require_u64(q, "bytes_used", at);
+    if (fetched > scanned) complain(at + " fetched more than it scanned");
+    const obs::JsonValue* qfiles = q.find("files");
+    if (!qfiles || !qfiles->is_array()) {
+      complain(at + " lacks files array");
+      continue;
+    }
+    std::uint64_t fscanned = 0, ffetched = 0, fused = 0;
+    for (std::size_t k = 0; k < qfiles->size(); ++k) {
+      const obs::JsonValue& f = qfiles->at(k);
+      const std::string fat = at + " file " + std::to_string(k);
+      fscanned += require_u64(f, "bytes_scanned", fat);
+      ffetched += require_u64(f, "bytes_fetched", fat);
+      fused += require_u64(f, "bytes_used", fat);
+    }
+    if (fscanned != scanned || ffetched != fetched || fused != used)
+      complain(at + " per-file byte split does not sum to the query totals");
+    if (trace && !span_qids.empty() && qid != 0 && !span_qids.contains(qid))
+      complain(at + " qid " + std::to_string(qid) +
+               " appears in no trace span");
+  }
+  if (trace && span_qids.empty())
+    complain("--against trace carries no span qids to cross-reference");
+
+  if (problems == 0)
+    std::cout << "access profile OK (" << queries->size() << " queries)\n";
+  return problems == 0 ? 0 : 1;
+}
+
+/// Render an access profile: totals and the hottest files. The spatial
+/// view lives in `spio_heatmap`.
+void render_profile(const obs::JsonValue& doc, bool csv) {
+  const obs::JsonValue& totals = doc.at("totals");
+  std::cout << "access profile: " << totals.at("accesses").as_u64()
+            << " file accesses, "
+            << format_bytes(totals.at("bytes_scanned").as_u64())
+            << " scanned, "
+            << format_bytes(totals.at("bytes_fetched").as_u64())
+            << " from disk, "
+            << format_bytes(totals.at("bytes_used").as_u64())
+            << " surviving filters (amplification "
+            << totals.at("read_amplification").as_double() << ")\n"
+            << doc.at("queries").size() << " query record(s), "
+            << doc.at("queries_dropped").as_u64() << " dropped\n\n";
+
+  struct Row {
+    const obs::JsonValue* f;
+    std::string dir;
+  };
+  std::vector<Row> rows;
+  const obs::JsonValue& datasets = doc.at("datasets");
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    const obs::JsonValue& ds = datasets.at(d);
+    const obs::JsonValue& files = ds.at("files");
+    for (std::size_t i = 0; i < files.size(); ++i)
+      if (files.at(i).at("accesses").as_u64() > 0)
+        rows.push_back({&files.at(i), ds.at("dir").as_string()});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.f->at("bytes_scanned").as_u64() > b.f->at("bytes_scanned").as_u64();
+  });
+  if (rows.size() > 10) rows.resize(10);
+  Table t("hottest files (by bytes scanned)",
+          {"file", "accesses", "scanned", "fetched", "used", "amp", "hits",
+           "misses"});
+  for (const Row& r : rows) {
+    t.row()
+        .add(r.f->at("name").as_string())
+        .add_int(static_cast<long long>(r.f->at("accesses").as_u64()))
+        .add(format_bytes(r.f->at("bytes_scanned").as_u64()))
+        .add(format_bytes(r.f->at("bytes_fetched").as_u64()))
+        .add(format_bytes(r.f->at("bytes_used").as_u64()))
+        .add_double(r.f->at("read_amplification").as_double(), 2)
+        .add_int(static_cast<long long>(r.f->at("hits").as_u64()))
+        .add_int(static_cast<long long>(r.f->at("misses").as_u64()));
+  }
+  csv ? t.print_csv(std::cout) : t.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
       "usage: spio_trace <trace.json | bundle.json | stats.spio.jsonl | "
-      "dataset-dir> [--check] [--csv] [--postmortem]\n";
+      "profile.spio.json | dataset-dir> [--check] [--csv] [--postmortem] "
+      "[--against <trace.json>]\n";
   if (argc < 2) {
     std::cerr << kUsage;
     return 2;
   }
   std::filesystem::path target;
+  std::filesystem::path against;
   bool check = false, csv = false, postmortem = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) check = true;
     else if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     else if (std::strcmp(argv[i], "--postmortem") == 0) postmortem = true;
+    else if (std::strcmp(argv[i], "--against") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--against needs a trace path\n";
+        return 2;
+      }
+      against = argv[++i];
+    }
     else if (target.empty() && argv[i][0] != '-') target = argv[i];
     else {
       std::cerr << "unknown option: " << argv[i] << "\n";
@@ -502,9 +763,23 @@ int main(int argc, char** argv) {
       }
     }
     const obs::JsonValue doc = obs::JsonValue::parse(text);
-    const bool is_bundle = doc.is_object() && doc.contains("format") &&
-                           doc.at("format").is_string() &&
-                           doc.at("format").as_string() == "spio.postmortem";
+    const auto format_is = [&](const char* fmt) {
+      return doc.is_object() && doc.contains("format") &&
+             doc.at("format").is_string() && doc.at("format").as_string() == fmt;
+    };
+    if (format_is("spio.access_profile")) {
+      std::optional<obs::JsonValue> trace_doc;
+      if (!against.empty()) {
+        const std::vector<std::byte> tb = read_file(against);
+        trace_doc = obs::JsonValue::parse(std::string_view(
+            reinterpret_cast<const char*>(tb.data()), tb.size()));
+      }
+      if (check)
+        return check_profile(doc, trace_doc ? &*trace_doc : nullptr);
+      render_profile(doc, csv);
+      return 0;
+    }
+    const bool is_bundle = format_is("spio.postmortem");
     if (is_bundle || postmortem) {
       if (check) return check_postmortem(doc);
       render_postmortem(doc);
