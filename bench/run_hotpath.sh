@@ -11,8 +11,9 @@
 #
 # Three observability gates ride along (docs/OBSERVABILITY.md):
 #   - the fresh results are compared against the committed baseline with
-#     `spio_bench --compare`; any stage MB/s or micro-kernel speedup more
-#     than 15% below BENCH_hotpath.json fails the script,
+#     `spio_bench --compare`; any micro-kernel speedup more than 15%
+#     below BENCH_hotpath.json (35% for the weather-riding absolute
+#     stage MB/s rows) fails the script,
 #   - the 8-rank stage run also emits a Chrome trace which is validated
 #     with `spio_trace --check`,
 #   - the flight recorder dumps a postmortem smoke bundle which is
@@ -28,7 +29,10 @@
 # the profile is schema-checked with `spio_trace --check` and its Zipf
 # hot spot is rendered with `spio_heatmap`. It also runs
 # the SIMD differential suite under both dispatch paths (`ctest -L simd`
-# twice, the second with SPIO_SIMD=off forcing the scalar fallback),
+# twice, the second with SPIO_SIMD=off forcing the scalar fallback), the
+# query-planner differential suite under both planners (`ctest -L
+# planner` twice, the second with SPIO_PLAN=linear forcing the
+# linear-scan oracle),
 # exercises the live-telemetry path (the serve run streams
 # stats.spio.jsonl via SPIO_STATS; the stream is validated with
 # `spio_trace --check` and rendered with `spio_top --replay`), then runs
@@ -95,6 +99,17 @@ echo "== simd: differential suite, native dispatch =="
 (cd "$REPO_ROOT/$BUILD_DIR" && ctest -L simd --output-on-failure)
 echo "== simd: differential suite, SPIO_SIMD=off scalar fallback =="
 (cd "$REPO_ROOT/$BUILD_DIR" && SPIO_SIMD=off ctest -L simd --output-on-failure)
+
+# Planner correctness gate, same shape: the query-planning differential
+# suite (pruned plans vs the linear-scan oracle, byte-identical results)
+# under the default pruned planner, then again with SPIO_PLAN=linear
+# forcing every Dataset onto the oracle path — the readpath
+# amplification and planning rows above are only meaningful if both
+# planners produce identical bytes.
+echo "== planner: differential suite, pruned planner =="
+(cd "$REPO_ROOT/$BUILD_DIR" && ctest -L planner --output-on-failure)
+echo "== planner: differential suite, SPIO_PLAN=linear oracle path =="
+(cd "$REPO_ROOT/$BUILD_DIR" && SPIO_PLAN=linear ctest -L planner --output-on-failure)
 
 # Query-service baseline (BENCH_servepath.json): closed-loop Zipfian
 # hot-spot QPS at 1/4/16 clients plus the 16-client scaling factor

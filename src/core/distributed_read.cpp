@@ -1,8 +1,10 @@
 #include "core/distributed_read.hpp"
 
 #include <chrono>
+#include <numeric>
 #include <type_traits>
 
+#include "core/query_plan/kd_tree.hpp"
 #include "core/read_engine.hpp"
 #include "obs/access_profile.hpp"
 #include "obs/log.hpp"
@@ -63,7 +65,20 @@ ParticleBuffer distributed_read(simmpi::Comm& comm,
   std::vector<ParticleBuffer> outgoing(
       static_cast<std::size_t>(comm.size()),
       ParticleBuffer(ds.metadata().schema));
-  for (int fi = 0; fi < ds.file_count(); ++fi) {
+  // Candidate files via the k-d tree's closed-overlap search over my
+  // patch: a file's owner is the rank whose patch holds its bbox center,
+  // and the center lies inside the bbox, so the owner's patch always
+  // closed-overlaps the bbox — the candidates are a superset of my files,
+  // confirmed exactly by `file_reader` below. Replaces the O(F · ranks)
+  // every-rank-scans-every-file loop.
+  std::vector<int> candidates;
+  if (const auto& tree = ds.spatial_tree(); tree && !tree->empty()) {
+    candidates = tree->query_closed(decomp.patch(comm.rank()));
+  } else {
+    candidates.resize(static_cast<std::size_t>(ds.file_count()));
+    std::iota(candidates.begin(), candidates.end(), 0);
+  }
+  for (const int fi : candidates) {
     if (file_reader(ds.metadata(), fi, decomp) != comm.rank()) continue;
     // Fetch (not read_data_file) keeps the prefix shared with the cache
     // and carries its SoA position mirror, so a warm distributed read

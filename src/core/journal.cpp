@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/metadata.hpp"
+#include "core/query_plan/zone_map.hpp"
 #include "obs/log.hpp"
 #include "obs/postmortem.hpp"
 #include "util/serialize.hpp"
@@ -46,6 +47,7 @@ void WriteJournal::begin(const std::filesystem::path& dir) {
   // directory's failure history.
   remove_if_exists(dir / DatasetMetadata::kFileName);
   remove_if_exists(dir / ChecksumTable::kFileName);
+  remove_if_exists(dir / ZoneMapTable::kFileName);
   remove_if_exists(dir / obs::kPostmortemFile);
 }
 
@@ -150,6 +152,7 @@ RepairOutcome check_and_repair(const std::filesystem::path& dir,
   // journal's removal for last so an interrupted repair stays detectable.
   remove_if_exists(dir / DatasetMetadata::kFileName);
   remove_if_exists(dir / ChecksumTable::kFileName);
+  remove_if_exists(dir / ZoneMapTable::kFileName);
   remove_if_exists(dir / obs::kPostmortemFile);
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {

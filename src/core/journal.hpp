@@ -6,11 +6,12 @@
 /// The write protocol brackets every dataset write with a journal file:
 ///
 ///   1. rank 0 creates `write.journal` in the dataset directory and
-///      removes any previous `meta.spio` / `checksums.spio` (so a stale
-///      metadata file can never vouch for half-overwritten data);
+///      removes any previous `meta.spio` / `checksums.spio` /
+///      `zones.spio` (so a stale metadata file can never vouch for
+///      half-overwritten data);
 ///   2. all ranks write their data files;
-///   3. rank 0 writes `checksums.spio`, then `meta.spio` (the commit
-///      point), then removes the journal.
+///   3. rank 0 writes `checksums.spio` and `zones.spio`, then `meta.spio`
+///      (the commit point), then removes the journal.
 ///
 /// A crash anywhere in between leaves the journal behind, so the on-disk
 /// states are unambiguous:
@@ -49,9 +50,9 @@ struct WriteJournal {
   static constexpr const char* kFileName = "write.journal";
 
   /// Open the journal (rank 0, before any data write): create the journal
-  /// file, then invalidate any previous commit by removing `meta.spio`
-  /// and `checksums.spio`. Ordered so that a crash at any point leaves a
-  /// detectable state (see file header).
+  /// file, then invalidate any previous commit by removing `meta.spio`,
+  /// `checksums.spio` and `zones.spio`. Ordered so that a crash at any
+  /// point leaves a detectable state (see file header).
   static void begin(const std::filesystem::path& dir);
 
   /// Close the journal (rank 0, after `meta.spio` is durable).
@@ -100,8 +101,9 @@ enum class RepairOutcome {
 /// Inspect `dir` for an interrupted write and repair what is repairable:
 /// a stale journal over a complete dataset is finalized (removed); a
 /// genuinely incomplete write is reported, and with `remove_partial` its
-/// artifacts (`meta.spio`, `checksums.spio`, `File_*.bin`, the journal)
-/// are deleted so the directory can be rewritten from scratch.
+/// artifacts (`meta.spio`, `checksums.spio`, `zones.spio`, `File_*.bin`,
+/// the journal) are deleted so the directory can be rewritten from
+/// scratch.
 RepairOutcome check_and_repair(const std::filesystem::path& dir,
                                bool remove_partial = false);
 

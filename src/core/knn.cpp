@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "core/query_plan/kd_tree.hpp"
+
 namespace spio {
 
 double distance_to_box(const Vec3d& p, const Box3& b) {
@@ -23,20 +25,6 @@ KnnResult k_nearest(const Dataset& dataset, const Vec3d& query, int k,
   SPIO_CHECK(meta.has_bounds, ConfigError,
              "k-nearest queries need spatial metadata");
 
-  // Files in ascending order of best-possible distance.
-  struct Candidate {
-    double min_dist;
-    int file;
-    bool operator>(const Candidate& o) const { return min_dist > o.min_dist; }
-  };
-  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>
-      frontier;
-  for (int fi = 0; fi < dataset.file_count(); ++fi) {
-    frontier.push({distance_to_box(
-                       query, meta.files[static_cast<std::size_t>(fi)].bounds),
-                   fi});
-  }
-
   // Current best k as a max-heap of (distance, file, record index); the
   // records themselves are fetched once the visiting order is final.
   struct Hit {
@@ -50,24 +38,49 @@ KnnResult k_nearest(const Dataset& dataset, const Vec3d& query, int k,
   // Keep the particles of visited files alive until assembly.
   std::vector<std::pair<int, ParticleBuffer>> visited;
 
-  while (!frontier.empty()) {
-    const Candidate c = frontier.top();
-    // Prune: if we already hold k hits and even the closest unvisited
-    // file cannot beat the worst of them, the search is complete.
-    if (static_cast<int>(best.size()) >= k && c.min_dist >= best.top().dist)
-      break;
-    frontier.pop();
-
-    visited.emplace_back(c.file, dataset.read_data_file(c.file, -1, 1, stats));
+  // Visit one file: scan its particles into the best-k heap. Returns
+  // false once the search is provably complete — we hold k hits and even
+  // the closest unvisited file cannot beat the worst of them.
+  const auto visit_file = [&](int file, double min_dist) {
+    if (static_cast<int>(best.size()) >= k && min_dist >= best.top().dist)
+      return false;
+    visited.emplace_back(file, dataset.read_data_file(file, -1, 1, stats));
     const ParticleBuffer& buf = visited.back().second;
     for (std::size_t i = 0; i < buf.size(); ++i) {
       const double d = distance(buf.position(i), query);
       if (static_cast<int>(best.size()) < k) {
-        best.push({d, c.file, i});
+        best.push({d, file, i});
       } else if (d < best.top().dist) {
         best.pop();
-        best.push({d, c.file, i});
+        best.push({d, file, i});
       }
+    }
+    return true;
+  };
+
+  if (const auto& tree = dataset.spatial_tree(); tree && !tree->empty()) {
+    // Best-first descent: the k-d tree hands out files in ascending order
+    // of best-possible distance without ranking all F of them up front.
+    tree->visit_nearest(query, visit_file);
+  } else {
+    // No tree (bound-less or empty dataset): rank every file linearly.
+    struct Candidate {
+      double min_dist;
+      int file;
+      bool operator>(const Candidate& o) const { return min_dist > o.min_dist; }
+    };
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>
+        frontier;
+    for (int fi = 0; fi < dataset.file_count(); ++fi) {
+      frontier.push(
+          {distance_to_box(query,
+                           meta.files[static_cast<std::size_t>(fi)].bounds),
+           fi});
+    }
+    while (!frontier.empty()) {
+      const Candidate c = frontier.top();
+      frontier.pop();
+      if (!visit_file(c.file, c.min_dist)) break;
     }
   }
 

@@ -1,13 +1,23 @@
 #include "core/metadata.hpp"
 
+#include "core/query_plan/kd_tree.hpp"
 #include "util/error.hpp"
 #include "util/serialize.hpp"
 
 namespace spio {
 
 namespace {
+
 constexpr std::uint32_t kEndianProbe = 0x01020304;
+
+std::vector<Box3> file_boxes(const std::vector<FileRecord>& files) {
+  std::vector<Box3> boxes;
+  boxes.reserve(files.size());
+  for (const FileRecord& f : files) boxes.push_back(f.bounds);
+  return boxes;
 }
+
+}  // namespace
 
 void FileRecord::serialize(BinaryWriter& w, bool with_bounds,
                            bool with_ranges) const {
@@ -76,6 +86,7 @@ std::vector<std::byte> DatasetMetadata::serialize() const {
   w.write<std::uint8_t>(static_cast<std::uint8_t>(heuristic));
   w.write<std::uint8_t>(has_bounds ? 1 : 0);
   w.write<std::uint8_t>(has_field_ranges ? 1 : 0);
+  w.write<std::uint8_t>(has_zone_maps ? 1 : 0);
   w.write<std::uint64_t>(total_particles);
   w.write<std::uint32_t>(static_cast<std::uint32_t>(files.size()));
   for (const FileRecord& f : files) {
@@ -86,6 +97,11 @@ std::vector<std::byte> DatasetMetadata::serialize() const {
                                       << range_count());
     f.serialize(w, has_bounds, has_field_ranges);
   }
+  // The k-d footer is always regenerated from the file boxes rather than
+  // taken from `spatial_tree`, so the bytes are a pure function of the
+  // records above (and a stale attached tree can never be persisted).
+  if (has_bounds && !files.empty())
+    BoxKdTree::build(file_boxes(files)).serialize(w);
   return w.take();
 }
 
@@ -94,7 +110,7 @@ DatasetMetadata DatasetMetadata::deserialize(std::span<const std::byte> bytes) {
   SPIO_CHECK(r.read<std::uint32_t>() == kMagic, FormatError,
              "not a spio metadata file (bad magic)");
   const auto version = r.read<std::uint32_t>();
-  SPIO_CHECK(version == kVersion, FormatError,
+  SPIO_CHECK(version >= kMinVersion && version <= kVersion, FormatError,
              "unsupported metadata version " << version);
   SPIO_CHECK(r.read<std::uint32_t>() == kEndianProbe, FormatError,
              "metadata file endianness does not match this host");
@@ -120,6 +136,11 @@ DatasetMetadata DatasetMetadata::deserialize(std::span<const std::byte> bytes) {
   const auto hr = r.read<std::uint8_t>();
   SPIO_CHECK(hr <= 1, FormatError, "corrupt has_field_ranges flag");
   m.has_field_ranges = hr == 1;
+  if (version >= 3) {
+    const auto hz = r.read<std::uint8_t>();
+    SPIO_CHECK(hz <= 1, FormatError, "corrupt has_zone_maps flag");
+    m.has_zone_maps = hz == 1;
+  }
   m.total_particles = r.read<std::uint64_t>();
   const auto nfiles = r.read<std::uint32_t>();
 
@@ -130,6 +151,17 @@ DatasetMetadata DatasetMetadata::deserialize(std::span<const std::byte> bytes) {
                                               m.has_field_ranges,
                                               m.range_count()));
     count_sum += m.files.back().particle_count;
+  }
+  if (m.has_bounds && !m.files.empty()) {
+    if (version >= 3) {
+      // Parse + structurally validate the footer against the file boxes.
+      m.spatial_tree = std::make_shared<const BoxKdTree>(
+          BoxKdTree::deserialize(r, file_boxes(m.files)));
+    } else {
+      // v2: no footer on disk — rebuild transparently.
+      m.spatial_tree = std::make_shared<const BoxKdTree>(
+          BoxKdTree::build(file_boxes(m.files)));
+    }
   }
   SPIO_CHECK(r.at_end(), FormatError,
              "trailing bytes after metadata payload");

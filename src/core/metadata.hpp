@@ -10,14 +10,21 @@
 /// On-disk layout of `meta.spio` (little endian):
 ///   magic "SPIO" | version u32 | endian-probe u32 (0x01020304)
 ///   schema | domain lo/hi (6 f64) | lod P u64 | lod S f64
-///   heuristic u8 | has_bounds u8 | has_field_ranges u8
+///   heuristic u8 | has_bounds u8 | has_field_ranges u8 | has_zone_maps u8
 ///   total particles u64 | file count u32
 ///   then per file: partition id u32 | aggregator rank u32 | count u64 |
 ///                  lo[3] f64 | hi[3] f64      (iff has_bounds)
 ///                  min/max f64 per field component (iff has_field_ranges)
+///   then, iff has_bounds and the file table is non-empty, the k-d tree
+///   footer (query_plan/kd_tree.hpp; docs/FORMAT.md "k-d footer").
+///
+/// Version 2 files (no has_zone_maps flag, no footer) still parse: the
+/// tree is rebuilt from the file boxes — the build is deterministic, so
+/// the rebuilt tree is byte-identical to what v3 would have stored.
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +33,8 @@
 #include "workload/schema.hpp"
 
 namespace spio {
+
+class BoxKdTree;
 
 /// Closed min/max interval of one scalar field component over one data
 /// file — the paper's §3.5 extension ("storing, e.g., the minimum and
@@ -76,7 +85,9 @@ struct FileRecord {
 /// LOD-bounded reads without touching the data files.
 struct DatasetMetadata {
   static constexpr std::uint32_t kMagic = 0x4F495053;  // "SPIO"
-  static constexpr std::uint32_t kVersion = 2;
+  static constexpr std::uint32_t kVersion = 3;
+  /// Oldest version `deserialize` still accepts (pre-k-d-footer).
+  static constexpr std::uint32_t kMinVersion = 2;
   /// Name of the metadata file within a dataset directory.
   static constexpr const char* kFileName = "meta.spio";
 
@@ -91,10 +102,29 @@ struct DatasetMetadata {
   /// True when per-file field min/max ranges are recorded (§3.5
   /// extension); enables attribute range queries without reading data.
   bool has_field_ranges = true;
+  /// True when the dataset was written with the `zones.spio` sidecar
+  /// (query_plan/zone_map.hpp). Lets readers distinguish "no zones were
+  /// ever written" from "the sidecar went missing" — only the latter is
+  /// a degradation worth logging.
+  bool has_zone_maps = false;
   std::uint64_t total_particles = 0;
   std::vector<FileRecord> files;
+  /// The k-d tree over `files[*].bounds` — parsed from the v3 footer or
+  /// rebuilt for v2 datasets; null when bounds are absent or the file
+  /// table is empty. Shared so metadata copies stay cheap.
+  std::shared_ptr<const BoxKdTree> spatial_tree;
 
-  bool operator==(const DatasetMetadata&) const = default;
+  /// Field-wise equality, excluding `spatial_tree`: the tree is a pure
+  /// deterministic function of the file boxes, so two metadata objects
+  /// that agree on everything else describe the same dataset whether or
+  /// not a tree happens to be attached.
+  bool operator==(const DatasetMetadata& o) const {
+    return schema == o.schema && domain == o.domain && lod == o.lod &&
+           heuristic == o.heuristic && has_bounds == o.has_bounds &&
+           has_field_ranges == o.has_field_ranges &&
+           has_zone_maps == o.has_zone_maps &&
+           total_particles == o.total_particles && files == o.files;
+  }
 
   /// Serialize to bytes / parse from bytes. Parsing validates magic,
   /// version, endianness and internal consistency and throws

@@ -10,6 +10,7 @@
 #include "core/journal.hpp"
 #include "core/read_engine.hpp"
 #include "obs/access_profile.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/serialize.hpp"
@@ -50,6 +51,8 @@ ReadStats ReadStats::max_over(const ReadStats& a, const ReadStats& b) {
   m.particles_returned = a.particles_returned + b.particles_returned;
   m.cache_hits = a.cache_hits + b.cache_hits;
   m.cache_misses = a.cache_misses + b.cache_misses;
+  m.files_skipped = a.files_skipped + b.files_skipped;
+  m.lod_bytes_skipped = a.lod_bytes_skipped + b.lod_bytes_skipped;
   m.file_io_seconds = std::max(a.file_io_seconds, b.file_io_seconds);
   m.exchange_seconds = std::max(a.exchange_seconds, b.exchange_seconds);
   return m;
@@ -57,9 +60,29 @@ ReadStats ReadStats::max_over(const ReadStats& a, const ReadStats& b) {
 
 Dataset::Dataset(std::filesystem::path dir, DatasetMetadata meta)
     : dir_(std::move(dir)), meta_(std::move(meta)) {
-  if (meta_.has_bounds && !meta_.files.empty()) {
-    index_ = std::make_shared<FileIndex>(meta_);
+  // Attach the zone sidecar when the metadata promises one. Any failure
+  // — missing, torn, corrupt, or belonging to another dataset — degrades
+  // to zone-free planning (results stay exact, only pruning is lost);
+  // the event is logged and counted so operators see the degradation.
+  std::shared_ptr<const ZoneMapTable> zones;
+  if (meta_.has_zone_maps) {
+    try {
+      auto table = std::make_shared<ZoneMapTable>(ZoneMapTable::load(dir_));
+      SPIO_CHECK(zones_consistent(*table, meta_), FormatError,
+                 "zone sidecar does not match the dataset metadata");
+      zones = std::move(table);
+    } catch (const Error& e) {
+      obs::log::Event(obs::log::Level::kWarn, "planner.zone_fallback")
+          .kv("dir", dir_.string())
+          .kv("error", e.what());
+      if (obs::enabled())
+        obs::MetricsRegistry::global().counter("planner.zone_fallbacks")
+            .add(1);
+    }
   }
+  planner_ = std::make_shared<QueryPlanner>(meta_.spatial_tree,
+                                            std::move(zones),
+                                            plan_mode_from_env());
   // Hand the partition layout to the spatial access profiler so every
   // fetch below can be attributed to its file's bbox always-on
   // (docs/OBSERVABILITY.md "Spatial access profiles").
@@ -92,35 +115,62 @@ Dataset Dataset::open(const std::filesystem::path& dir) {
 }
 
 std::vector<int> Dataset::intersecting(const Box3& box) const {
-  if (index_) return index_->query(box);
-  // Defers to the metadata's linear path, which also raises the
-  // "no spatial metadata" error for bound-less datasets.
-  return meta_.files_intersecting(box);
+  // The planner raises the "no spatial metadata" error for bound-less
+  // datasets, exactly like the metadata's linear path it wraps.
+  return planner_->intersecting(meta_, box);
 }
 
 std::uint64_t Dataset::level_prefix_count(int file_index, int levels,
                                           int n_readers) const {
-  SPIO_EXPECTS(file_index >= 0 && file_index < file_count());
-  SPIO_EXPECTS(n_readers >= 1);
-  const FileRecord& f = meta_.files[static_cast<std::size_t>(file_index)];
-  if (levels < 0) return f.particle_count;
-  if (meta_.total_particles == 0) return 0;
-  const std::uint64_t global =
-      lod_cumulative(meta_.lod, n_readers, levels, meta_.total_particles);
-  // Proportional share of this file, rounded up so that reading "all
-  // levels" always yields the whole file. 128-bit intermediate: counts can
-  // be large enough for the product to overflow 64 bits.
-  __extension__ typedef unsigned __int128 uint128_t;
-  const uint128_t num = static_cast<uint128_t>(global) * f.particle_count +
-                        meta_.total_particles - 1;
-  const auto share =
-      static_cast<std::uint64_t>(num / meta_.total_particles);
-  return std::min(share, f.particle_count);
+  return file_prefix_count(meta_, file_index, levels, n_readers);
+}
+
+QueryPlan Dataset::plan_query(const Box3& box,
+                              std::span<const RangeFilter> filters,
+                              int levels, int n_readers) const {
+  return planner_->plan(meta_, box, filters, levels, n_readers);
+}
+
+QueryPlan Dataset::plan_reference(const Box3& box,
+                                  std::span<const RangeFilter> filters,
+                                  int levels, int n_readers) const {
+  return planner_->plan_reference(meta_, box, filters, levels, n_readers);
+}
+
+QueryPlan Dataset::run_plan(const Box3& box,
+                            std::span<const RangeFilter> filters, int levels,
+                            int n_readers, ReadStats* stats) const {
+  obs::ScopedSpan span("planner.plan", "planner");
+  const Clock::time_point t0 = Clock::now();
+  QueryPlan plan = planner_->plan(meta_, box, filters, levels, n_readers);
+  if (stats) {
+    stats->files_skipped += plan.files_skipped;
+    stats->lod_bytes_skipped += plan.lod_bytes_skipped;
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("planner.plans").add(1);
+    reg.counter("planner.plan_us")
+        .add(static_cast<std::uint64_t>(seconds_since(t0) * 1e6));
+    reg.counter("reader.files_considered")
+        .add(static_cast<std::uint64_t>(plan.files_considered));
+    reg.counter("reader.files_skipped")
+        .add(static_cast<std::uint64_t>(plan.files_skipped));
+    reg.counter("reader.lod_bytes_skipped").add(plan.lod_bytes_skipped);
+  }
+  return plan;
 }
 
 Dataset::FilePrefix Dataset::fetch_file(int file_index, int levels,
                                         int n_readers,
                                         ReadStats* stats) const {
+  return fetch_file_records(
+      file_index, level_prefix_count(file_index, levels, n_readers), stats);
+}
+
+Dataset::FilePrefix Dataset::fetch_file_records(int file_index,
+                                                std::uint64_t records,
+                                                ReadStats* stats) const {
   SPIO_EXPECTS(file_index >= 0 && file_index < file_count());
   // Cooperative cancellation point: an expired query aborts here,
   // between files, before touching the engine or any shared state.
@@ -128,7 +178,8 @@ Dataset::FilePrefix Dataset::fetch_file(int file_index, int levels,
   obs::ScopedSpan span("read.file", "reader");
   const Clock::time_point t0 = Clock::now();
   const FileRecord& f = meta_.files[static_cast<std::size_t>(file_index)];
-  const std::uint64_t want = level_prefix_count(file_index, levels, n_readers);
+  SPIO_EXPECTS(records <= f.particle_count);
+  const std::uint64_t want = records;
   const std::uint64_t record = meta_.schema.record_size();
 
   const auto path = dir_ / f.file_name();
@@ -197,8 +248,7 @@ ParticleBuffer Dataset::read_data_file(int file_index, int levels,
   return buf;
 }
 
-std::uint64_t Dataset::filter_files_into(std::span<const int> files,
-                                         int levels, int n_readers,
+std::uint64_t Dataset::filter_files_into(std::span<const FilePlan> files,
                                          const Box3& box,
                                          std::span<const RangeFilter> filters,
                                          bool whole_file_fast_path,
@@ -222,7 +272,9 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
     bool merged = false;
     if (whole_file_fast_path && box.contains_box(f.bounds)) {
       // Whole file lies inside the query: no per-particle filter
-      // needed — the payoff of spatially-coherent files.
+      // needed — the payoff of spatially-coherent files. The planner's
+      // closed zone tests guarantee a fully-contained file is never
+      // tail-clamped, so this prefix is the complete LOD prefix.
       dst.append_bytes(prefix.bytes());
       appended = prefix.count;
       merged = true;
@@ -245,9 +297,10 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
   /// Returns records appended.
   const auto filter_one = [&](std::size_t k, ParticleBuffer& dst,
                               ReadStats* st) -> std::uint64_t {
-    const int fi = files[k];
-    const FilePrefix prefix = fetch_file(fi, levels, n_readers, st);
-    return filter_prefix(fi, prefix, dst);
+    const FilePlan& p = files[k];
+    const FilePrefix prefix =
+        fetch_file_records(p.file, p.fetch_records, st);
+    return filter_prefix(p.file, prefix, dst);
   };
 
   ReadEngine& eng = ReadEngine::instance();
@@ -266,8 +319,7 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
   // trim below when a selective query leaves most of it unused — the
   // trim copy is cheapest exactly when the result is small.
   std::uint64_t upper = 0;
-  for (std::size_t k = 0; k < n; ++k)
-    upper += level_prefix_count(files[k], levels, n_readers);
+  for (std::size_t k = 0; k < n; ++k) upper += files[k].fetch_records;
   const std::size_t prior = out.size();
   out.reserve(prior + static_cast<std::size_t>(upper));
 
@@ -289,13 +341,13 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
   const read_detail::DeadlineToken* deadline = read_detail::current_deadline();
   const std::uint64_t qid = obs::current_query_id();
   for (std::size_t k = 0; k < n; ++k)
-    pending.push_back(eng.pool().submit([this, &results, files, levels,
-                                         n_readers, k, deadline, qid] {
-      read_detail::ScopedDeadline dl(deadline);
-      obs::ScopedQueryId qs(qid);
-      results[k].prefix =
-          fetch_file(files[k], levels, n_readers, &results[k].stats);
-    }));
+    pending.push_back(
+        eng.pool().submit([this, &results, files, k, deadline, qid] {
+          read_detail::ScopedDeadline dl(deadline);
+          obs::ScopedQueryId qs(qid);
+          results[k].prefix = fetch_file_records(
+              files[k].file, files[k].fetch_records, &results[k].stats);
+        }));
 
   std::exception_ptr first_error;
   for (std::size_t k = 0; k < n; ++k) {
@@ -304,7 +356,7 @@ std::uint64_t Dataset::filter_files_into(std::span<const int> files,
       if (first_error) continue;  // drain remaining fetches, don't filter
       PerFile& r = results[k];
       if (stats) stats->accumulate(r.stats);
-      returned += filter_prefix(files[k], r.prefix, out);
+      returned += filter_prefix(files[k].file, r.prefix, out);
       r.prefix = FilePrefix{};  // drop the buffer before the next file
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
@@ -321,9 +373,9 @@ ParticleBuffer Dataset::query_box(const Box3& box, int levels, int n_readers,
                                   ReadStats* stats) const {
   obs::ScopedSpan span("read.query_box", "reader");
   obs::ProfiledQuery pq("query_box");
-  const std::vector<int> hits = intersecting(box);
+  const QueryPlan plan = run_plan(box, {}, levels, n_readers, stats);
   ParticleBuffer out(meta_.schema);
-  filter_files_into(hits, levels, n_readers, box, {},
+  filter_files_into(plan.files, box, {},
                     /*whole_file_fast_path=*/true, out, stats);
   publish_returned(out.size(), out.byte_size());
   return out;
@@ -366,9 +418,9 @@ ParticleBuffer Dataset::query(const Box3& box,
     SPIO_CHECK(rf.lo <= rf.hi, ConfigError,
                "range filter with lo > hi on field " << rf.field);
   }
-  const std::vector<int> hits = files_matching(box, filters);
+  const QueryPlan plan = run_plan(box, filters, levels, n_readers, stats);
   ParticleBuffer out(meta_.schema);
-  filter_files_into(hits, levels, n_readers, box, filters,
+  filter_files_into(plan.files, box, filters,
                     /*whole_file_fast_path=*/false, out, stats);
   publish_returned(out.size(), out.byte_size());
   return out;
@@ -381,17 +433,20 @@ std::uint64_t Dataset::stream_box(
   SPIO_EXPECTS(sink != nullptr);
   obs::ScopedSpan span("read.stream_box", "reader");
   obs::ProfiledQuery pq("stream_box");
-  const std::vector<int> hits = intersecting(box);
+  const QueryPlan plan = run_plan(box, {}, levels, n_readers, stats);
+  const std::span<const FilePlan> hits = plan.files;
 
   struct Chunk {
     ParticleBuffer buf;
     ReadStats stats;
     std::exception_ptr error;
   };
-  const auto produce = [&](int fi, Chunk& c) {
+  const auto produce = [&](const FilePlan& p, Chunk& c) {
     try {
+      const int fi = p.file;
       const FileRecord& f = meta_.files[static_cast<std::size_t>(fi)];
-      const FilePrefix prefix = fetch_file(fi, levels, n_readers, &c.stats);
+      const FilePrefix prefix =
+          fetch_file_records(fi, p.fetch_records, &c.stats);
       obs::AccessProfiler& prof = obs::AccessProfiler::instance();
       const bool timed = prof.detailed();
       const Clock::time_point t0 = timed ? Clock::now() : Clock::time_point{};
@@ -440,7 +495,7 @@ std::uint64_t Dataset::stream_box(
       auto chunk =
           std::make_unique<Chunk>(Chunk{ParticleBuffer(meta_.schema), {}, {}});
       Chunk* c = chunk.get();
-      const int fi = hits[next++];
+      const FilePlan fp = hits[next++];
       inflight.push_back(std::move(chunk));
       // As in filter_files_into: the deadline token (and request ID)
       // outlives the task (the loop below drains every pending future
@@ -448,10 +503,10 @@ std::uint64_t Dataset::stream_box(
       const read_detail::DeadlineToken* deadline =
           read_detail::current_deadline();
       const std::uint64_t qid = obs::current_query_id();
-      pending.push_back(eng.pool().submit([&produce, fi, c, deadline, qid] {
+      pending.push_back(eng.pool().submit([&produce, fp, c, deadline, qid] {
         read_detail::ScopedDeadline dl(deadline);
         obs::ScopedQueryId qs(qid);
-        produce(fi, *c);
+        produce(fp, *c);
       }));
     }
   };
@@ -481,12 +536,16 @@ ParticleBuffer Dataset::query_box_scan_all(const Box3& box,
   obs::ScopedSpan span("read.scan_all", "reader");
   obs::ProfiledQuery pq("scan_all");
   ParticleBuffer out(meta_.schema);
-  std::vector<int> all(static_cast<std::size_t>(file_count()));
-  for (int fi = 0; fi < file_count(); ++fi)
-    all[static_cast<std::size_t>(fi)] = fi;
+  // Every file in full, no planner: the baseline works without bounds.
+  std::vector<FilePlan> all(static_cast<std::size_t>(file_count()));
+  for (int fi = 0; fi < file_count(); ++fi) {
+    const std::uint64_t count =
+        meta_.files[static_cast<std::size_t>(fi)].particle_count;
+    all[static_cast<std::size_t>(fi)] = {fi, count, count};
+  }
   // No whole-file shortcut: the baseline deliberately filters every
   // particle ("read all particles ... and then cherry-pick", §4).
-  filter_files_into(all, /*levels=*/-1, /*n_readers=*/1, box, {},
+  filter_files_into(all, box, {},
                     /*whole_file_fast_path=*/false, out, stats);
   publish_returned(out.size(), out.byte_size());
   return out;

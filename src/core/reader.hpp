@@ -25,8 +25,8 @@
 #include <memory>
 #include <span>
 
-#include "core/file_index.hpp"
 #include "core/metadata.hpp"
+#include "core/query_plan/planner.hpp"
 #include "core/read_engine.hpp"
 #include "workload/particle_buffer.hpp"
 
@@ -51,6 +51,12 @@ struct ReadStats {
   /// disabled (`SPIO_READ_CACHE=0`).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Candidate files the planner dropped without opening (field-range or
+  /// zone-map pruning; the k-d descent's non-candidates are not counted —
+  /// they were never considered).
+  int files_skipped = 0;
+  /// Bytes the zone maps shaved off surviving files' LOD prefixes.
+  std::uint64_t lod_bytes_skipped = 0;
 
   /// Wall time spent inside data-file reads on this rank.
   double file_io_seconds = 0;
@@ -74,6 +80,8 @@ struct ReadStats {
     particles_returned += o.particles_returned;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    files_skipped += o.files_skipped;
+    lod_bytes_skipped += o.lod_bytes_skipped;
     file_io_seconds += o.file_io_seconds;
     exchange_seconds += o.exchange_seconds;
   }
@@ -126,6 +134,11 @@ class Dataset {
   FilePrefix fetch_file(int file_index, int levels, int n_readers,
                         ReadStats* stats) const;
 
+  /// Same, but fetching exactly the first `records` records — the
+  /// planner's zone-clamped fetch size (`FilePlan::fetch_records`).
+  FilePrefix fetch_file_records(int file_index, std::uint64_t records,
+                                ReadStats* stats) const;
+
   /// Spatial box query via the metadata (§4): reads only the files whose
   /// bounds intersect `box`, filters particles of partially-covered files,
   /// optionally LOD-bounded. Requires spatial metadata.
@@ -175,6 +188,30 @@ class Dataset {
   /// Total number of LOD levels of this dataset for `n_readers`.
   int level_count(int n_readers) const;
 
+  /// The pruned query plan the reading entry points execute (k-d
+  /// candidates, field-range pruning, zone-map file skips and LOD tail
+  /// clamps; query_plan/planner.hpp). Published for tools and the
+  /// differential property suite. Requires spatial metadata.
+  QueryPlan plan_query(const Box3& box, std::span<const RangeFilter> filters,
+                       int levels = -1, int n_readers = 1) const;
+
+  /// The linear-scan oracle plan (pre-k-d, pre-zone behaviour): bbox scan
+  /// + field-range pruning, full LOD prefixes.
+  QueryPlan plan_reference(const Box3& box,
+                           std::span<const RangeFilter> filters,
+                           int levels = -1, int n_readers = 1) const;
+
+  /// The k-d tree over this dataset's partition boxes (null when the
+  /// dataset has no spatial metadata). `distributed_read` and the kNN
+  /// search drive their own traversals with it.
+  const std::shared_ptr<const BoxKdTree>& spatial_tree() const {
+    return meta_.spatial_tree;
+  }
+
+  /// This dataset's planner (always set; linear mode under
+  /// `SPIO_PLAN=linear` or for bound-less datasets).
+  const QueryPlanner& planner() const { return *planner_; }
+
   /// Base slot of this dataset in the spatial access profiler
   /// (obs/access_profile.hpp); per-file slot = base + file index. -1
   /// when the profiler's slot table had no room. Opening registers the
@@ -184,19 +221,24 @@ class Dataset {
  private:
   Dataset(std::filesystem::path dir, DatasetMetadata meta);
 
-  /// Files intersecting `box`, via the spatial index when available.
+  /// Files intersecting `box`, via the k-d tree when available.
   std::vector<int> intersecting(const Box3& box) const;
 
+  /// Plan a query, record the planner span/metrics and the skip counters
+  /// in `stats` — the shared front half of every query entry point.
+  QueryPlan run_plan(const Box3& box, std::span<const RangeFilter> filters,
+                     int levels, int n_readers, ReadStats* stats) const;
+
   /// The shared fan-out body of `query_box` / `query` /
-  /// `query_box_scan_all`: read every file of `files` through the engine
+  /// `query_box_scan_all`: read every planned file through the engine
   /// (concurrently when the pool allows), filter with the fused kernels,
-  /// and merge the per-file results into `out` in `files` order — the
+  /// and merge the per-file results into `out` in plan order — the
   /// serial path's order, keeping output byte-identical.
   /// `whole_file_fast_path` enables the contains_box shortcut (spatial
   /// queries only; attribute queries must always filter). Returns
   /// particles appended to `out`.
-  std::uint64_t filter_files_into(std::span<const int> files, int levels,
-                                  int n_readers, const Box3& box,
+  std::uint64_t filter_files_into(std::span<const FilePlan> files,
+                                  const Box3& box,
                                   std::span<const RangeFilter> filters,
                                   bool whole_file_fast_path,
                                   ParticleBuffer& out,
@@ -204,9 +246,9 @@ class Dataset {
 
   std::filesystem::path dir_;
   DatasetMetadata meta_;
-  /// Spatial index over file bounds (null for datasets without bounds);
-  /// shared so Dataset stays cheaply copyable.
-  std::shared_ptr<const FileIndex> index_;
+  /// The query planner (k-d tree + zone maps + plan mode); shared so
+  /// Dataset stays cheaply copyable.
+  std::shared_ptr<const QueryPlanner> planner_;
   /// Access-profiler slot base (see profile_base()).
   int profile_base_ = -1;
 };

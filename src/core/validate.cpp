@@ -1,9 +1,11 @@
 #include "core/validate.hpp"
 
+#include <limits>
 #include <optional>
 #include <sstream>
 
 #include "core/journal.hpp"
+#include "core/query_plan/zone_map.hpp"
 #include "core/reader.hpp"
 #include "util/checksum.hpp"
 #include "util/serialize.hpp"
@@ -19,7 +21,8 @@ std::string fmt(Args&&... args) {
   return oss.str();
 }
 
-void deep_check_file(const Dataset& ds, int fi, ValidationReport& report) {
+void deep_check_file(const Dataset& ds, int fi, const ZoneMapTable* zones,
+                     ValidationReport& report) {
   const DatasetMetadata& meta = ds.metadata();
   const FileRecord& rec = meta.files[static_cast<std::size_t>(fi)];
   ParticleBuffer buf(meta.schema);
@@ -55,6 +58,43 @@ void deep_check_file(const Dataset& ds, int fi, ValidationReport& report) {
                     "' component ", c, " value ", v,
                     " outside recorded range [", fr.min, ", ", fr.max, "]"));
             i = buf.size();  // one example per component
+          }
+        }
+      }
+    }
+  }
+  if (const FileZones* fz =
+          zones ? zones->find(rec.aggregator_rank) : nullptr) {
+    // Every record must lie inside its zone's recorded ranges; a NaN
+    // record is legal only under the conservative [-inf, +inf] zone.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const std::size_t rc = zones->range_count;
+    std::uint32_t z = 0;
+    std::uint64_t next = zone_begin(zones->lod, 1, rec.particle_count);
+    bool reported = false;
+    for (std::size_t i = 0; i < buf.size() && !reported; ++i) {
+      while (i >= next) {
+        ++z;
+        next = zone_begin(zones->lod, z + 1, rec.particle_count);
+      }
+      for (std::size_t f = 0;
+           f < meta.schema.field_count() && !reported; ++f) {
+        const FieldDesc& fd = meta.schema.fields()[f];
+        for (std::uint32_t c = 0; c < fd.components && !reported; ++c) {
+          const double v =
+              fd.type == FieldType::kF64
+                  ? buf.get_f64(i, f, c)
+                  : static_cast<double>(buf.get_f32(i, f, c));
+          const FieldRange& zr = fz->zones[z * rc + meta.range_index(f, c)];
+          const bool bad = v != v ? !(zr.min == -kInf && zr.max == kInf)
+                                  : (v < zr.min || v > zr.max);
+          if (bad) {
+            report.errors.push_back(
+                fmt("file '", rec.file_name(), "': field '", fd.name,
+                    "' component ", c, " value ", v, " of record ", i,
+                    " outside zone ", z, " range [", zr.min, ", ", zr.max,
+                    "]"));
+            reported = true;  // one example per file is enough
           }
         }
       }
@@ -131,6 +171,29 @@ ValidationReport validate_dataset(const std::filesystem::path& dir,
     }
   }
 
+  // Zone-map sidecar: absence is benign (the planner degrades to
+  // zone-free pruning), but a sidecar that fails its CRC or does not
+  // match the metadata is detectable corruption.
+  std::optional<ZoneMapTable> zones;
+  if (ZoneMapTable::present(dir)) {
+    try {
+      ZoneMapTable table = ZoneMapTable::load(dir);
+      if (!zones_consistent(table, meta)) {
+        report.errors.push_back(
+            "zone-map sidecar 'zones.spio' does not match the metadata "
+            "(stale or partially rewritten dataset)");
+      } else {
+        zones = std::move(table);
+      }
+    } catch (const Error& e) {
+      report.errors.push_back(e.what());
+    }
+  } else if (meta.has_zone_maps) {
+    report.warnings.push_back(
+        "metadata promises zone maps but 'zones.spio' is missing (queries "
+        "fall back to zone-free planning)");
+  }
+
   // An open journal over an otherwise-consistent dataset is a crash
   // between the metadata commit and the journal removal: the data is
   // whole, but the directory should be finalized.
@@ -184,7 +247,7 @@ ValidationReport validate_dataset(const std::filesystem::path& dir,
   if (deep && report.errors.empty()) {
     const Dataset ds = Dataset::open(dir);
     for (int fi = 0; fi < ds.file_count(); ++fi)
-      deep_check_file(ds, fi, report);
+      deep_check_file(ds, fi, zones ? &*zones : nullptr, report);
   }
   return report;
 }

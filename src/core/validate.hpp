@@ -26,10 +26,13 @@ struct ValidationReport {
 ///
 /// Shallow checks (always): metadata parses, every data file exists with
 /// exactly `count * record_size` bytes, counts sum to the header total,
-/// file bounds are pairwise disjoint and inside the domain.
+/// file bounds are pairwise disjoint and inside the domain, and the
+/// `zones.spio` sidecar (when present) passes its CRC and matches the
+/// metadata.
 ///
 /// Deep checks (`deep = true`): read every particle and verify it lies
-/// within its file's bounds and within the recorded field ranges.
+/// within its file's bounds, within the recorded field ranges, and within
+/// its LOD zone's recorded min/max.
 ValidationReport validate_dataset(const std::filesystem::path& dir,
                                   bool deep = false);
 

@@ -10,6 +10,7 @@
 
 #include "core/journal.hpp"
 #include "core/metadata.hpp"
+#include "core/query_plan/zone_map.hpp"
 #include "faultsim/checked_io.hpp"
 #include "faultsim/fault_plan.hpp"
 #include "obs/log.hpp"
@@ -128,6 +129,7 @@ std::map<std::string, std::string> config_echo(const WriterConfig& c) {
   out["heuristic"] = heuristic_name(c.heuristic);
   out["write_spatial_metadata"] = yesno(c.write_spatial_metadata);
   out["write_field_ranges"] = yesno(c.write_field_ranges);
+  out["write_zone_maps"] = yesno(c.write_zone_maps);
   out["write_checksums"] = yesno(c.write_checksums);
   out["journal"] = yesno(c.journal);
   out["fault_injection"] = yesno(c.faults != nullptr);
@@ -689,14 +691,26 @@ void write_dataset_impl(simmpi::Comm& comm, const PatchDecomposition& decomp,
   t0 = Clock::now();
   FileRecord my_record;
   std::uint64_t my_crc = 0;
+  std::vector<FieldRange> my_zones;
   bool have_file = false;
   if (my_partition >= 0 && !aggregated.empty()) {
     my_record.partition_id = static_cast<std::uint32_t>(my_partition);
     my_record.aggregator_rank = static_cast<std::uint32_t>(rank);
     my_record.particle_count = aggregated.size();
     my_record.bounds = plan.partitioning().partition_box(my_partition);
-    if (config.write_field_ranges)
+    if (config.write_zone_maps) {
+      // One pass produces both artifacts: the per-LOD-level zone table
+      // and, as the union of its zones, the file-level field ranges.
+      my_zones = compute_zone_maps(aggregated, config.lod);
+      if (config.write_field_ranges) {
+        std::size_t rcount = 0;
+        for (const FieldDesc& fd : local.schema().fields())
+          rcount += fd.components;
+        my_record.field_ranges = zone_union(my_zones, rcount);
+      }
+    } else if (config.write_field_ranges) {
       my_record.field_ranges = writer_detail::compute_field_ranges(aggregated);
+    }
     const auto path = config.dir / my_record.file_name();
     if (config.faults) {
       // Validated write: read back, compare checksums, rewrite torn or
@@ -735,6 +749,16 @@ void write_dataset_impl(simmpi::Comm& comm, const PatchDecomposition& decomp,
     // The file checksum rides the gather wire format (it never enters the
     // frozen meta.spio layout; rank 0 splits it into checksums.spio).
     record_bytes.write<std::uint64_t>(my_crc);
+    if (config.write_zone_maps) {
+      // The zone table rides the same wire; rank 0 splits it into
+      // zones.spio. Count first so the reader can size the blob.
+      record_bytes.write<std::uint32_t>(
+          zone_file_count(config.lod, my_record.particle_count));
+      for (const FieldRange& z : my_zones) {
+        record_bytes.write<double>(z.min);
+        record_bytes.write<double>(z.max);
+      }
+    }
   }
   const auto gathered = comm.allgatherv<std::byte>(record_bytes.bytes());
   if (rank == 0) {
@@ -746,12 +770,27 @@ void write_dataset_impl(simmpi::Comm& comm, const PatchDecomposition& decomp,
     meta.has_bounds = config.write_spatial_metadata;
     meta.has_field_ranges = config.write_field_ranges;
     std::vector<ChecksumTable::Entry> crcs;
+    ZoneMapTable zone_table;
+    zone_table.range_count = meta.range_count();
+    zone_table.lod = config.lod;
     for (const auto& from_rank : gathered) {
       if (from_rank.empty()) continue;
       BinaryReader r(from_rank);
       const FileRecord f = FileRecord::deserialize(
           r, meta.has_bounds, meta.has_field_ranges, meta.range_count());
       crcs.push_back({f.aggregator_rank, r.read<std::uint64_t>()});
+      if (config.write_zone_maps) {
+        FileZones fz;
+        fz.aggregator_rank = f.aggregator_rank;
+        fz.particle_count = f.particle_count;
+        const auto nz = r.read<std::uint32_t>();
+        fz.zones.resize(std::size_t{nz} * meta.range_count());
+        for (FieldRange& z : fz.zones) {
+          z.min = r.read<double>();
+          z.max = r.read<double>();
+        }
+        zone_table.files.push_back(std::move(fz));
+      }
       meta.total_particles += f.particle_count;
       meta.files.push_back(f);
     }
@@ -786,6 +825,26 @@ void write_dataset_impl(simmpi::Comm& comm, const PatchDecomposition& decomp,
       ChecksumTable table;
       table.entries = std::move(crcs);
       table.save(config.dir);
+    }
+    meta.has_zone_maps = config.write_zone_maps && !meta.files.empty();
+    if (meta.has_zone_maps) {
+      std::sort(zone_table.files.begin(), zone_table.files.end(),
+                [](const FileZones& a, const FileZones& b) {
+                  return a.aggregator_rank < b.aggregator_rank;
+                });
+      // Like checksums.spio: the sidecar lands before the commit point,
+      // so a metadata file never vouches for a zone table that a crash
+      // kept from reaching the disk.
+      if (config.faults) {
+        // Under fault injection the sidecar takes the same validated
+        // write as the data files, so torn/corrupt-write schedules can
+        // target `zones.spio` too.
+        faultsim::checked_write_file(config.dir / ZoneMapTable::kFileName,
+                                     zone_table.serialize(), config.faults,
+                                     rank);
+      } else {
+        zone_table.save(config.dir);
+      }
     }
     // meta.spio is the commit point; the journal closes only after it.
     meta.save(config.dir);

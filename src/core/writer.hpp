@@ -66,6 +66,12 @@ struct WriterConfig {
   /// (§3.5 extension), enabling attribute range queries that skip files.
   bool write_field_ranges = true;
 
+  /// Write the `zones.spio` sidecar: per-file, per-LOD-level min/max of
+  /// every field component (query_plan/zone_map.hpp), computed during
+  /// the reorder phase at near-zero extra cost. Lets the query planner
+  /// skip whole files and LOD tails that provably contain no matches.
+  bool write_zone_maps = true;
+
   /// Aggregator placement policy (ablation; the paper uses uniform).
   AggregatorPlacement placement = AggregatorPlacement::kUniform;
 

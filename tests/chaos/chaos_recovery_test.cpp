@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 
 #include "chaos/chaos_util.hpp"
+#include "core/query_plan/zone_map.hpp"
 #include "core/reader.hpp"
 #include "core/restart.hpp"
 #include "core/validate.hpp"
@@ -161,6 +163,79 @@ TEST(ChaosRecovery, BitRotIsSilentUntilDeepValidation) {
   const ValidationReport deep = validate_dataset(dir.path(), true);
   ASSERT_FALSE(deep.ok());
   EXPECT_NE(deep.errors[0].find("checksum"), std::string::npos);
+}
+
+// ---- zone-map sidecar faults: pruning degrades, results never do ----
+
+TEST(ChaosRecovery, TornZoneSidecarWriteIsRewritten) {
+  // The sidecar takes the same validated write as the data files, so a
+  // torn write is caught by the read-back and rewritten in place.
+  FaultPlan plan;
+  plan.files.push_back({FileFaultKind::kTornWrite, -1, "zones", 0, 1});
+  TempDir dir("spio-chaos-zones-torn");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "torn_write"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, CorruptZoneSidecarWriteIsRewritten) {
+  FaultPlan plan;
+  plan.files.push_back({FileFaultKind::kCorruptByte, -1, "zones", 0, 1});
+  TempDir dir("spio-chaos-zones-corrupt");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  EXPECT_TRUE(any_event_contains(out, "corrupt_byte"));
+  expect_clean_recovery(dir.path(), out);
+}
+
+TEST(ChaosRecovery, ZoneSidecarBitRotDegradesToZoneFreePlanning) {
+  // Bit rot lands after write validation: the sidecar's CRC-64 trailer
+  // catches it at load time, the planner falls back to zone-free
+  // planning (logged, `planner.zone_fallbacks`), and query results stay
+  // exactly right — only the pruning is lost.
+  FaultPlan plan;
+  plan.files.push_back({FileFaultKind::kBitRot, -1, "zones", 0, 1});
+  TempDir dir("spio-chaos-zones-bitrot");
+  const ChaosOutcome out = run_chaos_write(dir.path(), plan);
+  ASSERT_TRUE(out.completed) << out.what;
+  EXPECT_TRUE(any_event_contains(out, "bit_rot"));
+
+  // The CRC trailer refuses the rotted sidecar outright.
+  EXPECT_THROW(ZoneMapTable::load(dir.path()), FormatError);
+  const ValidationReport report = validate_dataset(dir.path(), false);
+  EXPECT_FALSE(report.ok());
+
+  const Dataset ds = Dataset::open(dir.path());  // fallback, not refusal
+  EXPECT_EQ(ds.planner().zones(), nullptr);
+  const Box3 box({0.2, 0.2, 0.2}, {0.8, 0.8, 0.8});
+  const ParticleBuffer pruned = ds.query_box(box);
+  const ParticleBuffer oracle = ds.query_box_scan_all(box);
+  ASSERT_EQ(pruned.byte_size(), oracle.byte_size());
+  EXPECT_TRUE(std::equal(pruned.bytes().begin(), pruned.bytes().end(),
+                         oracle.bytes().begin()));
+}
+
+TEST(ChaosRecovery, MissingZoneSidecarFallsBackWithoutWrongResults) {
+  // A deleted sidecar under metadata that promises one: flagged by
+  // validation as a warning, planned around at read time.
+  TempDir dir("spio-chaos-zones-missing");
+  write_golden(dir.path());
+  std::filesystem::remove(dir.path() / ZoneMapTable::kFileName);
+
+  const ValidationReport report = validate_dataset(dir.path(), false);
+  EXPECT_TRUE(report.ok());
+  bool warned = false;
+  for (const auto& w : report.warnings)
+    warned = warned || w.find("zones.spio") != std::string::npos;
+  EXPECT_TRUE(warned) << "no warning mentions the missing sidecar";
+
+  const Dataset ds = Dataset::open(dir.path());
+  EXPECT_EQ(ds.planner().zones(), nullptr);
+  const Box3 box({0.1, 0.1, 0.1}, {0.9, 0.6, 0.9});
+  const ParticleBuffer pruned = ds.query_box(box);
+  const ParticleBuffer oracle = ds.query_box_scan_all(box);
+  ASSERT_EQ(pruned.byte_size(), oracle.byte_size());
+  EXPECT_TRUE(std::equal(pruned.bytes().begin(), pruned.bytes().end(),
+                         oracle.bytes().begin()));
 }
 
 // ---- rank death: journal makes the crash detectable and repairable ----

@@ -3,15 +3,40 @@
 #include <string>
 
 #include "core/metadata.hpp"
+#include "core/query_plan/kd_tree.hpp"
 
 namespace spio {
 namespace {
 
 /// On-disk format freeze: the exact byte sequence of a reference metadata
-/// file, version 2. If this test fails, the format changed — either fix
-/// the regression or bump `DatasetMetadata::kVersion` and regenerate the
-/// golden bytes (see docs/FORMAT.md).
-constexpr const char* kGoldenHex =
+/// file, current version 3 (zone-map flag + k-d tree footer). If this
+/// test fails, the format changed — either fix the regression or bump
+/// `DatasetMetadata::kVersion` and regenerate the golden bytes (see
+/// docs/FORMAT.md).
+constexpr const char* kGoldenHexV3 =
+    "5350494f0300000004030201060000000800000000000000706f736974696f6e0103"
+    "00000006000000000000007374726573730109000000070000000000000064656e73"
+    "69747901010000000600000000000000766f6c756d65010100000002000000000000"
+    "00696401010000000400000000000000747970650001000000000000000000000000"
+    "00000000000000000000000000000000000000000010400000000000000040000000"
+    "000000f03f2000000000000000000000000000004000010101070000000000000001"
+    "00000000000000030000000700000000000000000000000000000000000000000000"
+    "00000000000000000000000000000000400000000000000040000000000000f03f00"
+    "0000000000f0bf000000000000f03f000000000000f0bf000000000000f03f000000"
+    "000000f0bf000000000000f03f000000000000f0bf000000000000f03f0000000000"
+    "00f0bf000000000000f03f000000000000f0bf000000000000f03f000000000000f0"
+    "bf000000000000f03f000000000000f0bf000000000000f03f000000000000f0bf00"
+    "0000000000f03f000000000000f0bf000000000000f03f000000000000f0bf000000"
+    "000000f03f000000000000f0bf000000000000f03f000000000000f0bf0000000000"
+    "00f03f000000000000f0bf000000000000f03f000000000000f0bf000000000000f0"
+    "3f000000000000f0bf000000000000f03f0100000001000000000000000000000000"
+    "00000000000000000000000000000000000000000000400000000000000040000000"
+    "000000f03fffffffffffffffff000000000100000000000000";
+
+/// The same reference dataset as written by format version 2 (no
+/// zone-map flag, no k-d footer) — the back-compatibility fixture: v2
+/// datasets must keep parsing, with the tree rebuilt in memory.
+constexpr const char* kGoldenHexV2 =
     "5350494f0200000004030201060000000800000000000000706f736974696f6e0103"
     "00000006000000000000007374726573730109000000070000000000000064656e73"
     "69747901010000000600000000000000766f6c756d65010100000002000000000000"
@@ -43,6 +68,7 @@ DatasetMetadata reference_metadata() {
   f.bounds = Box3({0, 0, 0}, {2, 2, 1});
   f.field_ranges.assign(m.range_count(), FieldRange{-1.0, 1.0});
   m.files.push_back(f);
+  m.has_zone_maps = true;
   return m;
 }
 
@@ -57,20 +83,42 @@ std::string to_hex(std::span<const std::byte> bytes) {
   return out;
 }
 
+std::vector<std::byte> from_hex(const std::string& hex) {
+  std::vector<std::byte> bytes;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    bytes.push_back(
+        static_cast<std::byte>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return bytes;
+}
+
 TEST(FormatGolden, MetadataBytesAreFrozen) {
   const auto bytes = reference_metadata().serialize();
-  EXPECT_EQ(bytes.size(), 526u);
-  EXPECT_EQ(to_hex(bytes), kGoldenHex);
+  EXPECT_EQ(bytes.size(), 603u);
+  EXPECT_EQ(to_hex(bytes), kGoldenHexV3);
 }
 
 TEST(FormatGolden, GoldenBytesParseBackToTheReference) {
-  std::vector<std::byte> bytes;
-  const std::string hex = kGoldenHex;
-  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
-    bytes.push_back(static_cast<std::byte>(
-        std::stoi(hex.substr(i, 2), nullptr, 16)));
-  }
-  EXPECT_EQ(DatasetMetadata::deserialize(bytes), reference_metadata());
+  const DatasetMetadata parsed =
+      DatasetMetadata::deserialize(from_hex(kGoldenHexV3));
+  EXPECT_EQ(parsed, reference_metadata());
+  // The footer's tree must equal a fresh build over the file boxes.
+  ASSERT_NE(parsed.spatial_tree, nullptr);
+  EXPECT_EQ(*parsed.spatial_tree,
+            BoxKdTree::build({parsed.files[0].bounds}));
+}
+
+TEST(FormatGolden, Version2BytesStillParse) {
+  const DatasetMetadata parsed =
+      DatasetMetadata::deserialize(from_hex(kGoldenHexV2));
+  // v2 carries no zone-map flag; everything else matches the reference,
+  // and the k-d tree is rebuilt in memory from the file boxes.
+  DatasetMetadata expect = reference_metadata();
+  expect.has_zone_maps = false;
+  EXPECT_EQ(parsed, expect);
+  ASSERT_NE(parsed.spatial_tree, nullptr);
+  EXPECT_EQ(*parsed.spatial_tree,
+            BoxKdTree::build({parsed.files[0].bounds}));
 }
 
 TEST(FormatGolden, MagicSpellsSpio) {
@@ -79,18 +127,19 @@ TEST(FormatGolden, MagicSpellsSpio) {
   EXPECT_EQ(static_cast<char>(bytes[1]), 'P');
   EXPECT_EQ(static_cast<char>(bytes[2]), 'I');
   EXPECT_EQ(static_cast<char>(bytes[3]), 'O');
-  EXPECT_EQ(static_cast<unsigned>(bytes[4]), 2u);  // version
+  EXPECT_EQ(static_cast<unsigned>(bytes[4]), 3u);  // version
 }
 
 TEST(FormatGolden, TruncatedMetadataRaisesStructuredError) {
   // A torn metadata write (the crash mode the write journal exists for)
   // must surface as FormatError at every truncation point — never an
-  // out-of-bounds read, a crash, or a silently short parse.
+  // out-of-bounds read, a crash, or a silently short parse. The k-d
+  // footer is covered by the points past the file table.
   const auto whole = reference_metadata().serialize();
   for (const std::size_t keep :
        {std::size_t{0}, std::size_t{3}, std::size_t{4}, std::size_t{5},
         std::size_t{16}, std::size_t{100}, whole.size() / 2,
-        whole.size() - 1}) {
+        whole.size() - 60, whole.size() - 1}) {
     std::vector<std::byte> torn(whole.begin(),
                                 whole.begin() + static_cast<long>(keep));
     EXPECT_THROW(DatasetMetadata::deserialize(torn), FormatError)
@@ -107,6 +156,20 @@ TEST(FormatGolden, TrailingGarbageAfterMetadataIsRejected) {
 TEST(FormatGolden, CorruptedMagicIsRejected) {
   auto bytes = reference_metadata().serialize();
   bytes[0] = std::byte{'X'};
+  EXPECT_THROW(DatasetMetadata::deserialize(bytes), FormatError);
+}
+
+TEST(FormatGolden, CorruptedKdFooterIsRejected) {
+  // Flip the root's child links to nonsense: the structural validation
+  // must refuse rather than follow bogus offsets.
+  auto bytes = reference_metadata().serialize();
+  // The footer's node record sits 20 bytes before the trailing leaf file
+  // id; its `left` field is at [-20, -16) relative to the end.
+  const std::size_t left_off = bytes.size() - 20;
+  bytes[left_off] = std::byte{0x02};  // left = 2 (out of range for 1 node)
+  bytes[left_off + 1] = std::byte{0x00};
+  bytes[left_off + 2] = std::byte{0x00};
+  bytes[left_off + 3] = std::byte{0x00};
   EXPECT_THROW(DatasetMetadata::deserialize(bytes), FormatError);
 }
 

@@ -1,0 +1,422 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/query_plan/kd_tree.hpp"
+#include "core/query_plan/zone_map.hpp"
+#include "core/read_engine.hpp"
+#include "core/reader.hpp"
+#include "core/writer.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/temp_dir.hpp"
+#include "workload/generators.hpp"
+
+namespace spio {
+namespace {
+
+/// The query planner's differential property suite: the pruned plan
+/// (k-d candidates + field-range pruning + zone-map file skips and LOD
+/// tail clamps) must produce byte-identical query results to the
+/// linear-scan reference plan for every box / filter / LOD combination,
+/// while never opening a file the plan dropped.
+class PlannerSuite : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 8;
+  static constexpr std::uint64_t kPerRank = 600;
+
+  static void SetUpTestSuite() {
+    dir_ = new TempDir("spio-planner");
+    const PatchDecomposition decomp(Box3({0, 0, 0}, {8, 1, 1}), {8, 1, 1});
+    WriterConfig cfg;
+    cfg.dir = dir_->path();
+    cfg.factor = {1, 1, 1};  // one file per rank -> 8 files along x
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      ParticleBuffer local = workload::uniform(
+          Schema::uintah(), decomp.patch(comm.rank()), kPerRank,
+          stream_seed(77, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+      // Banded density (rank r in [1000r, 1000r + 500]) so range pruning
+      // can isolate files; rank 0 additionally carries the planner's two
+      // poison values: a NaN (widens its zone to [-inf, +inf]) and a
+      // negative zero (must compare equal to +0.0 at zone edges).
+      const auto density = local.schema().index_of("density");
+      Xoshiro256 rng(static_cast<std::uint64_t>(comm.rank()) + 7);
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        local.set_f64(i, density, 0,
+                      1000.0 * comm.rank() + 500.0 * rng.uniform());
+      }
+      if (comm.rank() == 0) {
+        local.set_f64(0, density, 0, std::nan(""));
+        local.set_f64(1, density, 0, -0.0);
+      }
+      write_dataset(comm, decomp, local, cfg);
+    });
+  }
+
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  /// The same dataset through the linear-scan oracle planner
+  /// (`SPIO_PLAN=linear`, read at Dataset construction).
+  static Dataset open_linear() {
+    const bool keep = forced_linear();
+    ::setenv("SPIO_PLAN", "linear", 1);
+    Dataset ds = Dataset::open(dir_->path());
+    if (!keep) ::unsetenv("SPIO_PLAN");
+    return ds;
+  }
+
+  /// True when the suite itself runs under SPIO_PLAN=linear
+  /// (bench/run_hotpath.sh re-runs it that way to pin the oracle path):
+  /// every Dataset then plans linearly and pruning-specific
+  /// expectations are vacuous.
+  static bool forced_linear() {
+    const char* v = ::getenv("SPIO_PLAN");
+    return v != nullptr && std::strcmp(v, "linear") == 0;
+  }
+
+  static TempDir* dir_;
+};
+
+TempDir* PlannerSuite::dir_ = nullptr;
+
+/// One random query: a box (sometimes degenerate or outside the domain),
+/// an LOD bound, and 0-2 attribute filters.
+struct RandomQuery {
+  Box3 box{{0, 0, 0}, {1, 1, 1}};
+  int levels = -1;
+  std::vector<Dataset::RangeFilter> filters;
+};
+
+RandomQuery random_query(Xoshiro256& rng, const DatasetMetadata& meta,
+                         int level_count) {
+  RandomQuery q;
+  const Box3& dom = meta.domain;
+  for (int a = 0; a < 3; ++a) {
+    // Span [-10%, +110%] of the domain so some boxes poke outside it.
+    const double w = dom.hi[a] - dom.lo[a];
+    double x = dom.lo[a] + w * rng.uniform(-0.1, 1.1);
+    double y = dom.lo[a] + w * rng.uniform(-0.1, 1.1);
+    if (x > y) std::swap(x, y);
+    q.box.lo[a] = x;
+    q.box.hi[a] = y;
+  }
+  q.levels = static_cast<int>(rng.uniform_index(
+                 static_cast<std::uint64_t>(level_count + 2))) -
+             1;  // -1 (all) .. level_count
+  const auto density = meta.schema.index_of("density");
+  const auto type = meta.schema.index_of("type");
+  switch (rng.uniform_index(4)) {
+    case 0:
+      break;  // pure box query
+    case 1: {  // selective density band
+      const double lo = rng.uniform(-500.0, 8500.0);
+      q.filters.push_back({density, 0, lo, lo + rng.uniform(0.0, 1500.0)});
+      break;
+    }
+    case 2: {  // f32 field filter
+      q.filters.push_back({type, 0, 0.0, rng.uniform(0.0, 4.0)});
+      break;
+    }
+    default: {  // conjunction
+      const double lo = rng.uniform(-500.0, 8500.0);
+      q.filters.push_back({density, 0, lo, lo + rng.uniform(0.0, 3000.0)});
+      q.filters.push_back({type, 0, rng.uniform(0.0, 2.0), 4.0});
+      break;
+    }
+  }
+  return q;
+}
+
+TEST_F(PlannerSuite, RandomQueriesMatchTheLinearOracle) {
+  const Dataset pruned = Dataset::open(dir_->path());
+  const Dataset linear = open_linear();
+  if (!forced_linear()) {
+    ASSERT_FALSE(pruned.planner().plan(
+        pruned.metadata(), pruned.metadata().domain, {}, -1, 1).used_linear);
+  }
+  const int levels = pruned.level_count(1);
+
+  for (const std::uint64_t seed : {1u, 2u}) {
+    Xoshiro256 rng(seed);
+    for (int iter = 0; iter < 1000; ++iter) {
+      const RandomQuery q = random_query(rng, pruned.metadata(), levels);
+      ReadStats ps, ls;
+      const ParticleBuffer a =
+          q.filters.empty()
+              ? pruned.query_box(q.box, q.levels, 1, &ps)
+              : pruned.query(q.box, q.filters, q.levels, 1, &ps);
+      const ParticleBuffer b =
+          q.filters.empty() ? linear.query_box(q.box, q.levels, 1, &ls)
+                            : linear.query(q.box, q.filters, q.levels, 1, &ls);
+      ASSERT_EQ(a.byte_size(), b.byte_size())
+          << "seed " << seed << " iter " << iter;
+      ASSERT_TRUE(std::equal(a.bytes().begin(), a.bytes().end(),
+                             b.bytes().begin()))
+          << "seed " << seed << " iter " << iter;
+      // Pruning may only ever remove work relative to the oracle.
+      // (`particles_scanned` rather than `files_opened`: the two
+      // datasets share the engine's prefix cache, so the oracle's
+      // opens are mostly hits.)
+      EXPECT_LE(ps.particles_scanned, ls.particles_scanned);
+    }
+  }
+}
+
+TEST_F(PlannerSuite, PlansAreInternallyConsistent) {
+  const Dataset ds = Dataset::open(dir_->path());
+  const std::size_t record = ds.metadata().schema.record_size();
+  const int levels = ds.level_count(1);
+  Xoshiro256 rng(3);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const RandomQuery q = random_query(rng, ds.metadata(), levels);
+    const QueryPlan plan = ds.plan_query(q.box, q.filters, q.levels);
+    const QueryPlan ref = ds.plan_reference(q.box, q.filters, q.levels);
+    if (!forced_linear()) EXPECT_FALSE(plan.used_linear);
+    EXPECT_TRUE(ref.used_linear);
+    EXPECT_EQ(plan.files_considered,
+              static_cast<int>(plan.files.size()) + plan.files_skipped);
+
+    // Every planned file appears in the reference with the full prefix,
+    // and the byte accounting of the tail clamps adds up.
+    std::uint64_t clamped = 0;
+    for (const FilePlan& p : plan.files) {
+      EXPECT_LE(p.fetch_records, p.prefix_records);
+      clamped += (p.prefix_records - p.fetch_records) * record;
+      const auto it =
+          std::find_if(ref.files.begin(), ref.files.end(),
+                       [&](const FilePlan& r) { return r.file == p.file; });
+      ASSERT_NE(it, ref.files.end());
+      EXPECT_EQ(it->fetch_records, p.prefix_records);
+    }
+    EXPECT_EQ(plan.lod_bytes_skipped, clamped);
+    EXPECT_LE(plan.files.size(), ref.files.size());
+  }
+}
+
+TEST_F(PlannerSuite, KdTreeMatchesTheLinearIntersectionScan) {
+  const Dataset ds = Dataset::open(dir_->path());
+  const auto& tree = ds.spatial_tree();
+  ASSERT_TRUE(tree);
+  ASSERT_EQ(tree->file_count(), ds.metadata().files.size());
+  Xoshiro256 rng(11);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const RandomQuery q = random_query(rng, ds.metadata(), 1);
+    EXPECT_EQ(tree->query(q.box), ds.metadata().files_intersecting(q.box));
+    // Closed variant against its own linear scan.
+    std::vector<int> closed;
+    for (int fi = 0; fi < ds.file_count(); ++fi) {
+      if (ds.metadata()
+              .files[static_cast<std::size_t>(fi)]
+              .bounds.overlaps_closed(q.box))
+        closed.push_back(fi);
+    }
+    EXPECT_EQ(tree->query_closed(q.box), closed);
+  }
+}
+
+TEST_F(PlannerSuite, NearestVisitsEveryFileInDistanceOrder) {
+  const Dataset ds = Dataset::open(dir_->path());
+  const auto& tree = ds.spatial_tree();
+  ASSERT_TRUE(tree);
+  Xoshiro256 rng(13);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Vec3d p{rng.uniform(-2.0, 10.0), rng.uniform(-2.0, 3.0),
+                  rng.uniform(-2.0, 3.0)};
+    std::vector<int> order;
+    double last = -1.0;
+    tree->visit_nearest(p, [&](int file, double d) {
+      EXPECT_GE(d, last);
+      last = d;
+      order.push_back(file);
+      return true;
+    });
+    std::set<int> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), ds.metadata().files.size());
+  }
+}
+
+TEST_F(PlannerSuite, ZoneEdgeProbes) {
+  const Dataset pruned = Dataset::open(dir_->path());
+  const Dataset linear = open_linear();
+  const DatasetMetadata& meta = pruned.metadata();
+  const auto density = meta.schema.index_of("density");
+  const std::size_t di = meta.range_index(density, 0);
+  const ZoneMapTable zones = ZoneMapTable::load(dir_->path());
+  ASSERT_EQ(zones.files.size(), meta.files.size());
+
+  const auto probe = [&](double lo, double hi) {
+    const Dataset::RangeFilter rf{density, 0, lo, hi};
+    ReadStats ps, ls;
+    const auto a = pruned.query(meta.domain, std::span(&rf, 1), -1, 1, &ps);
+    const auto b = linear.query(meta.domain, std::span(&rf, 1), -1, 1, &ls);
+    EXPECT_EQ(a.byte_size(), b.byte_size()) << "[" << lo << ", " << hi << "]";
+    EXPECT_TRUE(a.byte_size() == b.byte_size() &&
+                std::equal(a.bytes().begin(), a.bytes().end(),
+                           b.bytes().begin()))
+        << "[" << lo << ", " << hi << "]";
+    EXPECT_LE(ps.particles_scanned, ls.particles_scanned);
+    return a.size();
+  };
+
+  // Exact zone-boundary filters: the closed interval tests must include
+  // records sitting exactly on a recorded min or max, and nextafter
+  // nudges just outside must exclude them — identically on both paths.
+  for (const FileZones& fz : zones.files) {
+    if (fz.zones.empty()) continue;
+    const FieldRange zr = fz.zones[di];  // zone 0 of this file
+    if (!std::isfinite(zr.min) || !std::isfinite(zr.max)) continue;
+    probe(zr.min, zr.min);
+    probe(zr.max, zr.max);
+    probe(std::nextafter(zr.max, 1e300), 1e300);
+    probe(-1e300, std::nextafter(zr.min, -1e300));
+  }
+
+  // Negative zero: the -0.0 record (rank 0, record 1) must satisfy
+  // [0, 0] and [-0.0, +0.0] on both paths (IEEE: -0.0 == +0.0).
+  EXPECT_GE(probe(0.0, 0.0), 1u);
+  EXPECT_GE(probe(-0.0, +0.0), 1u);
+
+  // NaN: the poisoned record passes every filter (kernels keep NaN), and
+  // its [-inf, +inf] zone keeps its file in every plan.
+  EXPECT_GE(probe(8.5e17, 9.5e17), 1u);
+}
+
+TEST_F(PlannerSuite, ZoneTailSkipFiresAndStaysExact) {
+  if (forced_linear())
+    GTEST_SKIP() << "SPIO_PLAN=linear disables zone pruning";
+  const Dataset ds = Dataset::open(dir_->path());
+  const Dataset linear = open_linear();
+  const DatasetMetadata& meta = ds.metadata();
+  const auto density = meta.schema.index_of("density");
+  const std::size_t di = meta.range_index(density, 0);
+  const ZoneMapTable zones = ZoneMapTable::load(dir_->path());
+
+  // Find a probe value admitted by an early zone of some file but by no
+  // later zone of it: the plan must clamp that file's fetch (a tail
+  // skip). Deterministic for the fixture's fixed seeds.
+  bool fired = false;
+  for (const FileZones& fz : zones.files) {
+    const std::uint32_t nz = zone_file_count(zones.lod, fz.particle_count);
+    if (nz < 2) continue;
+    const FieldRange first = fz.zones[di];
+    if (!std::isfinite(first.min)) continue;
+    bool tail_admits = false;
+    for (std::uint32_t z = 1; z < nz && !tail_admits; ++z) {
+      const FieldRange& zr = fz.zones[z * zones.range_count + di];
+      tail_admits = first.min >= zr.min && first.min <= zr.max;
+    }
+    if (tail_admits) continue;
+
+    const Dataset::RangeFilter rf{density, 0, first.min, first.min};
+    const QueryPlan plan = ds.plan_query(meta.domain, std::span(&rf, 1));
+    EXPECT_GT(plan.lod_bytes_skipped, 0u);
+    EXPECT_TRUE(plan.zone_pruned);
+    ReadStats ps;
+    const auto a = ds.query(meta.domain, std::span(&rf, 1), -1, 1, &ps);
+    const auto b = linear.query(meta.domain, std::span(&rf, 1));
+    EXPECT_GT(ps.lod_bytes_skipped, 0u);
+    ASSERT_EQ(a.byte_size(), b.byte_size());
+    ASSERT_TRUE(
+        std::equal(a.bytes().begin(), a.bytes().end(), b.bytes().begin()));
+    fired = true;
+    break;
+  }
+  EXPECT_TRUE(fired) << "no zone-boundary probe value found; fixture "
+                        "densities no longer discriminate zones";
+}
+
+TEST_F(PlannerSuite, SkippedFilesAreNeverOpened) {
+  // Fresh dataset (cold engine cache) so the fetch hook observes every
+  // real file open of these queries.
+  const PatchDecomposition decomp(Box3({0, 0, 0}, {4, 1, 1}), {4, 1, 1});
+  TempDir dir("spio-planner-hook");
+  WriterConfig cfg;
+  cfg.dir = dir.path();
+  simmpi::run(4, [&](simmpi::Comm& comm) {
+    ParticleBuffer local = workload::uniform(
+        Schema::uintah(), decomp.patch(comm.rank()), 300,
+        stream_seed(5, static_cast<std::uint64_t>(comm.rank())),
+        static_cast<std::uint64_t>(comm.rank()) * 300);
+    const auto density = local.schema().index_of("density");
+    for (std::size_t i = 0; i < local.size(); ++i)
+      local.set_f64(i, density, 0, 1000.0 * comm.rank());
+    write_dataset(comm, decomp, local, cfg);
+  });
+
+  const Dataset ds = Dataset::open(dir.path());
+  std::mutex mu;
+  std::set<std::string> opened;
+  ReadEngine::instance().set_fetch_hook(
+      [&](const std::filesystem::path& p, std::uint64_t) {
+        const std::lock_guard<std::mutex> lock(mu);
+        opened.insert(p.filename().string());
+      });
+
+  const auto density = ds.metadata().schema.index_of("density");
+  const Dataset::RangeFilter rf{density, 0, 1900.0, 2100.0};  // rank 2 only
+  const QueryPlan plan =
+      ds.plan_query(ds.metadata().domain, std::span(&rf, 1));
+  const auto out = ds.query(ds.metadata().domain, std::span(&rf, 1));
+  ReadEngine::instance().set_fetch_hook(nullptr);
+
+  EXPECT_GT(plan.files_skipped, 0);
+  std::set<std::string> planned;
+  for (const FilePlan& p : plan.files) {
+    planned.insert(
+        ds.metadata().files[static_cast<std::size_t>(p.file)].file_name());
+  }
+  EXPECT_EQ(planned.size(), 1u);
+  for (const std::string& name : opened)
+    EXPECT_TRUE(planned.count(name)) << name << " was opened but not planned";
+  EXPECT_EQ(out.size(), 300u);
+}
+
+TEST_F(PlannerSuite, BoxOutsideTheDomainPlansAndOpensNothing) {
+  const Dataset ds = Dataset::open(dir_->path());
+  const Box3 outside({20, 20, 20}, {30, 30, 30});
+  const QueryPlan plan = ds.plan_query(outside, {});
+  EXPECT_EQ(plan.files_considered, 0);
+  EXPECT_TRUE(plan.files.empty());
+
+  ReadStats rs;
+  const auto out = ds.query_box(outside, -1, 1, &rs);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(rs.files_opened, 0);
+  EXPECT_EQ(rs.bytes_read, 0u);
+
+  // The reference plan takes the same early-out (boxes outside the
+  // domain are the one case where it, too, considers nothing).
+  const QueryPlan ref = ds.plan_reference(outside, {});
+  EXPECT_EQ(ref.files_considered, 0);
+}
+
+TEST_F(PlannerSuite, LinearModeEnvSwitchesThePlanner) {
+  const Dataset linear = open_linear();
+  const QueryPlan plan =
+      linear.plan_query(linear.metadata().domain, {});
+  EXPECT_TRUE(plan.used_linear);
+  EXPECT_EQ(plan.files.size(), linear.metadata().files.size());
+}
+
+TEST(ZoneLaw, ZoneBoundariesTileTheFile) {
+  const LodParams lod{32, 2.0};
+  for (const std::uint64_t n : {0ull, 1ull, 31ull, 32ull, 33ull, 600ull,
+                                4096ull, 123457ull}) {
+    const std::uint32_t nz = zone_file_count(lod, n);
+    EXPECT_EQ(zone_begin(lod, 0, n), 0u);
+    EXPECT_EQ(zone_begin(lod, nz, n), n);
+    for (std::uint32_t z = 0; z < nz; ++z)
+      EXPECT_LT(zone_begin(lod, z, n), zone_begin(lod, z + 1, n));
+  }
+}
+
+}  // namespace
+}  // namespace spio

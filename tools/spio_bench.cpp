@@ -35,10 +35,11 @@
 /// to FILE on exit; `spio_trace FILE` renders it as a phase table.
 ///
 /// `--compare FILE` (hotpath mode) gates the fresh results against a
-/// committed baseline: any per-stage MB/s or micro-kernel speedup more
-/// than 15% below FILE's value fails the run with a non-zero exit — the
-/// perf-regression gate `bench/run_hotpath.sh` applies against
-/// BENCH_hotpath.json. The baseline is read before `--json` overwrites
+/// committed baseline: any micro-kernel speedup more than 15% below
+/// FILE's value, or any per-stage MB/s more than 35% below (absolute
+/// stage throughput rides host weather), fails the run with a non-zero
+/// exit — the perf-regression gate `bench/run_hotpath.sh` applies
+/// against BENCH_hotpath.json. The baseline is read before `--json` overwrites
 /// it, so both flags may name the same file.
 
 #include <fcntl.h>
@@ -61,6 +62,7 @@
 #endif
 
 #include "core/distributed_read.hpp"
+#include "core/query_plan/kd_tree.hpp"
 #include "core/query_service.hpp"
 #include "core/read_engine.hpp"
 #include "core/reader.hpp"
@@ -368,12 +370,19 @@ int compare_hotpath(const std::string& baseline_text,
       const obs::JsonValue* bj = find_entry(base.find("jobs"), "ranks", ranks);
       const obs::JsonValue* bs = bj ? bj->find("stages_mbps") : nullptr;
       const obs::JsonValue* cs = cj->at(i).find("stages_mbps");
-      for (const char* stage : {"bin", "exchange", "reorder", "crc", "write"})
+      for (const char* stage :
+           {"bin", "exchange", "reorder", "crc", "write"}) {
+        const std::size_t before = rows.size();
         add("job" + std::to_string(ranks) + "." + stage + "_mbps", bs, cs,
             stage);
+        // Absolute stage throughput of a threaded job on a shared host
+        // rides CPU/IO weather far harder than the in-process speedup
+        // ratios above; give it the wide band (docs/PERF.md).
+        if (rows.size() > before) rows.back().tolerance = 0.35;
+      }
     }
 
-  return gate_rows(rows, "hotpath vs baseline (gate: >15% regression fails)",
+  return gate_rows(rows, "hotpath vs baseline (gate: regression past band fails)",
                    "hotpath");
 }
 
@@ -615,12 +624,15 @@ int compare_readpath(const std::string& baseline_text,
                  b->find("engine_ms") && b->find("particles")) {
         // Warm stages are CPU-bound on the engine side but their
         // *speedup* numerator is still a cold serial read riding I/O
-        // weather, so gate the engine's own throughput instead.
+        // weather, so gate the engine's own throughput instead. Still
+        // an absolute-throughput row, so it gets the wide band: a
+        // shared host moves even CPU-bound wall time by ~30%.
         rows.push_back({"stage." + name + ".engine_mpps",
                         b->at("particles").as_double() * 1e-3 /
                             b->at("engine_ms").as_double(),
                         c.at("particles").as_double() * 1e-3 /
-                            c.at("engine_ms").as_double()});
+                            c.at("engine_ms").as_double(),
+                        0.35});
       }
       // distributed_read has neither field pair: reported only.
 
@@ -637,10 +649,26 @@ int compare_readpath(const std::string& baseline_text,
                         ba->as_double(), ca->as_double(), 0.10,
                         /*lower_is_better=*/true});
     }
+  // Planner rows: the k-d descent's speedup over the linear bbox scan
+  // per synthetic partition count. A ratio of two in-memory timings,
+  // so it rides CPU weather on both sides — same wide band as the cold
+  // stages. (The absolute ≥10x floor at 10k+ partitions is enforced
+  // inside the run itself, baseline or not.)
+  if (const obs::JsonValue* cp = cur.find("planning"))
+    for (std::size_t i = 0; i < cp->size(); ++i) {
+      const std::int64_t n = cp->at(i).at("partitions").as_i64();
+      const obs::JsonValue* b =
+          find_entry(base.find("planning"), "partitions", n);
+      const std::size_t before = rows.size();
+      add("planning[" + std::to_string(n) + "].kd_speedup", b, &cp->at(i),
+          "kd_speedup");
+      if (rows.size() > before) rows.back().tolerance = 0.35;
+    }
 
   return gate_rows(rows,
-                   "readpath vs baseline (gate: >15% regression fails; "
-                   "cold speedups 35%, warm stages on engine throughput)",
+                   "readpath vs baseline (gate: kernel ratios 15%; cold "
+                   "speedups, engine throughput and planning 35%; "
+                   "amplification 10% lower-is-better)",
                    "readpath");
 }
 
@@ -943,14 +971,50 @@ int run_readpath(const std::string& json_path, const std::string& compare_path,
       write_dataset(comm, decomp, local, cfg);
     });
   }
+  // Clustered companion dataset for the range_filter stage: same 216-file
+  // layout, but density is spatially banded — file of rank r carries
+  // [1000·(r mod 8), 1000·(r mod 8) + 100] — and the per-file field
+  // ranges are deliberately left out of the metadata, so the zone-map
+  // sidecar is the *only* pruning information the planner has. The
+  // filter below selects band 1: 27 of 216 files hold every match, and
+  // the stage measures exactly what zone pruning buys. (On the uniform
+  // dataset every file's density range spans the filter and nothing can
+  // be skipped — amplification was pinned at ~2.9 by construction.)
+  const std::filesystem::path cldir = scratch.path() / "clustered";
+  {
+    const PatchDecomposition decomp =
+        PatchDecomposition::for_ranks(Box3::unit(), kRanks);
+    simmpi::run(kRanks, [&](simmpi::Comm& comm) {
+      ParticleBuffer local = workload::uniform(
+          schema, decomp.patch(comm.rank()), kPerRank,
+          stream_seed(23, static_cast<std::uint64_t>(comm.rank())),
+          static_cast<std::uint64_t>(comm.rank()) * kPerRank);
+      const std::size_t density = schema.index_of("density");
+      Xoshiro256 rng(
+          stream_seed(29, static_cast<std::uint64_t>(comm.rank())));
+      for (std::size_t i = 0; i < local.size(); ++i)
+        local.set_f64(i, density, 0,
+                      1000.0 * (comm.rank() % 8) + 100.0 * rng.uniform());
+      WriterConfig cfg;
+      cfg.dir = cldir;
+      cfg.factor = {1, 1, 1};
+      cfg.write_field_ranges = false;
+      write_dataset(comm, decomp, local, cfg);
+    });
+  }
   ::sync();  // make every data-file page clean so fadvise can evict it
   const Dataset ds = Dataset::open(dsdir);
+  const Dataset cds = Dataset::open(cldir);
   const Box3 qbox({0.05, 0.05, 0.05}, {0.95, 0.95, 0.95});
   const std::vector<Dataset::RangeFilter> qfilters{
       {schema.index_of("density"), 0, 1000.0, 1100.0}};
   const auto drop_dataset_pages = [&] {
     for (const auto& f : ds.metadata().files)
       drop_page_cache(dsdir / f.file_name());
+  };
+  const auto drop_clustered_pages = [&] {
+    for (const auto& f : cds.metadata().files)
+      drop_page_cache(cldir / f.file_name());
   };
 
   const auto bytes_equal = [](const ParticleBuffer& a,
@@ -973,10 +1037,16 @@ int run_readpath(const std::string& json_path, const std::string& compare_path,
     // fixed dataset + query, so `--compare` holds it to a tight
     // lower-is-better band (see compare_readpath).
     j.field("read_amplification", rs.read_amplification());
+    // Planner skip counters: candidate files dropped without a read
+    // (field-range or zone pruning) and LOD-tail bytes the zone maps
+    // shaved off surviving files.
+    j.field("files_skipped", static_cast<std::uint64_t>(rs.files_skipped));
+    j.field("lod_bytes_skipped", rs.lod_bytes_skipped);
     j.close_obj();
     std::cout << name << "  " << serial_s * 1e3 << " -> " << engine_s * 1e3
               << " ms  (x" << serial_s / engine_s << ", amplification "
-              << rs.read_amplification() << ")\n";
+              << rs.read_amplification() << ", " << rs.files_skipped
+              << " files skipped)\n";
   };
 
   j.field("engine_threads", static_cast<std::uint64_t>(16));
@@ -1038,13 +1108,17 @@ int run_readpath(const std::string& json_path, const std::string& compare_path,
     stage_entry("cold_box", serial_box_s, s, out.size(), rs);
   }
 
+  // Serial range-filter baseline on the clustered dataset. Without
+  // field ranges in the metadata the reference path cannot prune a
+  // single file: it reads all 216 and filters exactly — precisely the
+  // pre-zone-map behaviour the stage's speedup is measured against.
   serial_state();
   ParticleBuffer ref_rq(schema);
   double serial_rq_s = 1e300;
   for (int r = 0; r < reps; ++r) {
-    drop_dataset_pages();
+    drop_clustered_pages();
     const auto t0 = std::chrono::steady_clock::now();
-    ref_rq = serial_query_reference(ds, qbox, qfilters);
+    ref_rq = serial_query_reference(cds, qbox, qfilters);
     serial_rq_s = std::min(serial_rq_s, seconds_since(t0));
   }
   engine_state();
@@ -1069,13 +1143,16 @@ int run_readpath(const std::string& json_path, const std::string& compare_path,
     stage_entry("warm_box", serial_box_s, s, out.size(), rs);
   }
 
-  // range-filter query (spatial + attribute), warm cache.
+  // range-filter query (spatial + attribute) on the clustered dataset,
+  // warm cache: the planner's zone maps drop the 189 off-band files
+  // before any read.
   {
+    (void)cds.query(qbox, qfilters);  // prime the surviving prefixes
     ParticleBuffer out(schema);
     ReadStats rs;
     const double s = best_seconds(reps, [&] {
       rs = ReadStats{};
-      out = ds.query(qbox, qfilters, -1, 1, &rs);
+      out = cds.query(qbox, qfilters, -1, 1, &rs);
     });
     if (!bytes_equal(out, ref_rq)) {
       std::cerr << "query differs from the serial reference\n";
@@ -1105,6 +1182,77 @@ int run_readpath(const std::string& json_path, const std::string& compare_path,
     j.close_obj();
     std::cout << "distributed_read8  " << s * 1e3 << " ms ("
               << particles.load() << " particles)\n";
+  }
+  j.close_arr();
+
+  // -- planning: k-d descent vs linear bbox scan, synthetic partitions --
+  // Pure planning cost (no I/O): intersect a batch of small query boxes
+  // against N partition bounds, once through the k-d tree and once by
+  // scanning every box — the pre-tree planner. At 216 partitions (the
+  // dataset above) the two are close; the tree's O(log N + k) descent
+  // pays off as N grows, and 10k+ partitions is where real simulation
+  // checkpoints live. The 10k and 1M rows carry a hard ≥10x floor in
+  // addition to the `--compare` band: losing the tree (a planner
+  // regression to linear) puts them at 1.0x, far below either.
+  j.open_arr("planning");
+  {
+    Xoshiro256 prng(stream_seed(31, 0));
+    constexpr int kQueries = 64;
+    for (const int n : {216, 10000, 1000000}) {
+      const PatchDecomposition grid =
+          PatchDecomposition::for_ranks(Box3::unit(), n);
+      std::vector<Box3> boxes;
+      boxes.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) boxes.push_back(grid.patch(i));
+      const auto b0 = std::chrono::steady_clock::now();
+      const BoxKdTree tree = BoxKdTree::build(boxes);
+      const double build_s = seconds_since(b0);
+      // A batch of ~5%-per-axis query boxes scattered over the domain —
+      // the "read a small region" plan the paper's visualization reads
+      // issue. The same batch runs through both planners.
+      std::vector<Box3> queries;
+      for (int q = 0; q < kQueries; ++q) {
+        Vec3d lo{prng.uniform(0.0, 0.95), prng.uniform(0.0, 0.95),
+                 prng.uniform(0.0, 0.95)};
+        queries.push_back(Box3(lo, {lo.x + 0.05, lo.y + 0.05, lo.z + 0.05}));
+      }
+      std::uint64_t candidates = 0;
+      for (const Box3& q : queries) candidates += tree.query(q).size();
+      const double kd_s = best_seconds(std::max(reps, 5), [&] {
+        std::size_t sink = 0;
+        for (const Box3& q : queries) sink += tree.query(q).size();
+        if (sink == 0) std::abort();
+      });
+      const double lin_s = best_seconds(std::max(reps, 5), [&] {
+        std::size_t sink = 0;
+        for (const Box3& q : queries)
+          for (const Box3& b : boxes)
+            if (b.overlaps(q)) ++sink;
+        if (sink == 0) std::abort();
+      });
+      const double kd_us = kd_s / kQueries * 1e6;
+      const double lin_us = lin_s / kQueries * 1e6;
+      const double frac_skipped =
+          1.0 - static_cast<double>(candidates) /
+                    (static_cast<double>(kQueries) * static_cast<double>(n));
+      j.open_obj();
+      j.field("partitions", n);
+      j.field("queries", static_cast<std::uint64_t>(kQueries));
+      j.field("build_ms", build_s * 1e3);
+      j.field("kd_plan_us", kd_us);
+      j.field("linear_plan_us", lin_us);
+      j.field("kd_speedup", lin_us / kd_us);
+      j.field("files_skipped_fraction", frac_skipped);
+      j.close_obj();
+      std::cout << "planning[" << n << "]  " << lin_us << " -> " << kd_us
+                << " us/plan  (x" << lin_us / kd_us << ", "
+                << frac_skipped * 100 << "% of files skipped)\n";
+      if (n >= 10000 && lin_us / kd_us < 10.0) {
+        std::cerr << "planning: k-d descent under the 10x floor at " << n
+                  << " partitions\n";
+        return 1;
+      }
+    }
   }
   j.close_arr();
 

@@ -122,16 +122,46 @@ double axis_of(const Vec3d& v, int axis) {
   return axis == 0 ? v.x : axis == 1 ? v.y : v.z;
 }
 
-std::uint64_t metric_of(const FileHeat& f, const std::string& metric) {
-  if (metric == "fetched") return f.bytes_fetched;
-  if (metric == "used") return f.bytes_used;
-  if (metric == "accesses") return f.accesses;
+/// The cell-weight metric, resolved from its flag spelling once up front
+/// so the per-file hot loops below never re-match strings.
+enum class Metric { kScanned, kFetched, kUsed, kAccesses };
+
+bool parse_metric(const std::string& s, Metric& m) {
+  if (s == "scanned") m = Metric::kScanned;
+  else if (s == "fetched") m = Metric::kFetched;
+  else if (s == "used") m = Metric::kUsed;
+  else if (s == "accesses") m = Metric::kAccesses;
+  else return false;
+  return true;
+}
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kScanned: return "scanned";
+    case Metric::kFetched: return "fetched";
+    case Metric::kUsed: return "used";
+    case Metric::kAccesses: return "accesses";
+  }
+  return "?";
+}
+
+std::uint64_t metric_of(const FileHeat& f, Metric metric) {
+  switch (metric) {
+    case Metric::kFetched: return f.bytes_fetched;
+    case Metric::kUsed: return f.bytes_used;
+    case Metric::kAccesses: return f.accesses;
+    case Metric::kScanned: break;
+  }
   return f.bytes_scanned;
 }
 
 /// Signed heat per grid cell: each file's metric spread over the cells
-/// its projected bbox covers, weighted by overlap area.
-std::vector<double> rasterize(const DatasetHeat& ds, const std::string& metric,
+/// its projected bbox covers, weighted by overlap area. The bbox→cell
+/// projection is hoisted per file: the overlap of the bbox with a cell
+/// factors into per-column × per-row 1-D overlaps, so each is computed
+/// once per file instead of once per covered cell — with 8192 files on
+/// a wide grid the naive per-cell form dominated the render.
+std::vector<double> rasterize(const DatasetHeat& ds, Metric metric,
                               int ax, int ay, int w, int h, double sign,
                               std::vector<double> grid) {
   if (grid.empty()) grid.assign(static_cast<std::size_t>(w * h), 0.0);
@@ -142,6 +172,7 @@ std::vector<double> rasterize(const DatasetHeat& ds, const std::string& metric,
   const double sx = (dom_x1 - dom_x0) / w;
   const double sy = (dom_y1 - dom_y0) / h;
   if (sx <= 0 || sy <= 0) return grid;
+  std::vector<double> ox, oy;  // 1-D overlaps, reused across files
   for (const FileHeat& f : ds.files) {
     const double m = static_cast<double>(metric_of(f, metric));
     if (m == 0) continue;
@@ -157,15 +188,26 @@ std::vector<double> rasterize(const DatasetHeat& ds, const std::string& metric,
     const int cy0 = std::clamp(static_cast<int>((fy0 - dom_y0) / sy), 0, h - 1);
     const int cy1 =
         std::clamp(static_cast<int>(std::ceil((fy1 - dom_y0) / sy)), 1, h);
+    ox.assign(static_cast<std::size_t>(cx1 - cx0), 0.0);
+    for (int cx = cx0; cx < cx1; ++cx) {
+      ox[static_cast<std::size_t>(cx - cx0)] =
+          std::min(fx1, dom_x0 + (cx + 1) * sx) -
+          std::max(fx0, dom_x0 + cx * sx);
+    }
+    oy.assign(static_cast<std::size_t>(cy1 - cy0), 0.0);
     for (int cy = cy0; cy < cy1; ++cy) {
+      oy[static_cast<std::size_t>(cy - cy0)] =
+          std::min(fy1, dom_y0 + (cy + 1) * sy) -
+          std::max(fy0, dom_y0 + cy * sy);
+    }
+    const double scale = sign * m / area;
+    for (int cy = cy0; cy < cy1; ++cy) {
+      const double row = oy[static_cast<std::size_t>(cy - cy0)];
+      if (row <= 0) continue;
       for (int cx = cx0; cx < cx1; ++cx) {
-        const double ox = std::min(fx1, dom_x0 + (cx + 1) * sx) -
-                          std::max(fx0, dom_x0 + cx * sx);
-        const double oy = std::min(fy1, dom_y0 + (cy + 1) * sy) -
-                          std::max(fy0, dom_y0 + cy * sy);
-        if (ox <= 0 || oy <= 0) continue;
-        grid[static_cast<std::size_t>(cy * w + cx)] +=
-            sign * m * (ox * oy / area);
+        const double col = ox[static_cast<std::size_t>(cx - cx0)];
+        if (col <= 0) continue;
+        grid[static_cast<std::size_t>(cy * w + cx)] += scale * row * col;
       }
     }
   }
@@ -174,8 +216,8 @@ std::vector<double> rasterize(const DatasetHeat& ds, const std::string& metric,
 
 /// Absolute heat: " .:-=+*#%@" darkening with load. Rows print top-down
 /// (max y first) so the grid reads like a plot.
-void print_grid(const std::vector<double>& grid, int w, int h,
-                const std::string& metric, bool diff) {
+void print_grid(const std::vector<double>& grid, int w, int h, Metric metric,
+                bool diff) {
   constexpr const char* kRamp = " .:-=+*#%@";
   constexpr int kRampN = 10;
   double max_abs = 0;
@@ -205,19 +247,16 @@ void print_grid(const std::vector<double>& grid, int w, int h,
     std::cout << "|\n";
   }
   std::cout << "+" << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  const std::string peak =
+      metric == Metric::kAccesses
+          ? std::to_string(static_cast<std::uint64_t>(max_abs))
+          : format_bytes(static_cast<std::uint64_t>(max_abs));
   if (diff) {
     std::cout << "scale: '#'/'+' hotter in B, '='/'-' cooler in B; peak |"
-              << metric << "| delta/cell = "
-              << (metric == "accesses"
-                      ? std::to_string(static_cast<std::uint64_t>(max_abs))
-                      : format_bytes(static_cast<std::uint64_t>(max_abs)))
-              << "\n";
+              << metric_name(metric) << "| delta/cell = " << peak << "\n";
   } else {
-    std::cout << "scale: ' ' = 0 .. '@' = "
-              << (metric == "accesses"
-                      ? std::to_string(static_cast<std::uint64_t>(max_abs))
-                      : format_bytes(static_cast<std::uint64_t>(max_abs)))
-              << " (" << metric << "/cell)\n";
+    std::cout << "scale: ' ' = 0 .. '@' = " << peak << " ("
+              << metric_name(metric) << "/cell)\n";
   }
 }
 
@@ -230,22 +269,33 @@ int grid_height(const Box3& domain, int ax, int ay, int w) {
   return std::clamp(static_cast<int>(w * aspect * 0.5 + 0.5), 4, 48);
 }
 
-void print_hot_table(const DatasetHeat& ds, const std::string& metric,
-                     std::size_t top) {
-  std::vector<const FileHeat*> rows;
-  for (const FileHeat& f : ds.files)
-    if (metric_of(f, metric) > 0) rows.push_back(&f);
-  std::sort(rows.begin(), rows.end(),
-            [&](const FileHeat* a, const FileHeat* b) {
-              return metric_of(*a, metric) > metric_of(*b, metric);
-            });
+void print_hot_table(const DatasetHeat& ds, Metric metric, std::size_t top) {
+  // Resolve the metric once per file before sorting: the comparator runs
+  // O(n log n) times, and with 8192 profiler slots the per-compare metric
+  // dispatch was the table's hot spot.
+  std::vector<std::pair<std::uint64_t, const FileHeat*>> rows;
+  for (const FileHeat& f : ds.files) {
+    const std::uint64_t v = metric_of(f, metric);
+    if (v > 0) rows.push_back({v, &f});
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first;
+  });
   if (rows.size() > top) rows.resize(top);
-  Table t("hot files (by " + metric + ")",
+  // Cap the name column so a full-width table (8192-slot profiles carry
+  // long per-dataset paths) stays inside a terminal without wrapping;
+  // keep the tail, where file names actually differ.
+  constexpr std::size_t kNameWidth = 48;
+  const auto clip = [](const std::string& name) {
+    if (name.size() <= kNameWidth) return name;
+    return "…" + name.substr(name.size() - (kNameWidth - 1));
+  };
+  Table t(std::string("hot files (by ") + metric_name(metric) + ")",
           {"file", "accesses", "scanned", "fetched", "used", "amp", "hits",
            "misses"});
-  for (const FileHeat* f : rows) {
+  for (const auto& [v, f] : rows) {
     t.row()
-        .add(f->name)
+        .add(clip(f->name))
         .add_int(static_cast<long long>(f->accesses))
         .add(format_bytes(f->bytes_scanned))
         .add(format_bytes(f->bytes_fetched))
@@ -324,10 +374,9 @@ int main(int argc, char** argv) {
     }
   }
   int ax = 0, ay = 1;
+  Metric m = Metric::kScanned;
   if (targets.size() != (diff ? 2u : 1u) || width < 8 || width > 400 ||
-      !parse_axis(axis, ax, ay) ||
-      (metric != "scanned" && metric != "fetched" && metric != "used" &&
-       metric != "accesses")) {
+      !parse_axis(axis, ax, ay) || !parse_metric(metric, m)) {
     std::cerr << kUsage;
     return 2;
   }
@@ -344,10 +393,10 @@ int main(int argc, char** argv) {
         std::cout << "dataset " << ds.dir << " — " << ds.files.size()
                   << " files, " << axis << " projection, metric " << metric
                   << "\n";
-        print_grid(rasterize(ds, metric, ax, ay, width, h, 1.0, {}), width, h,
-                   metric, /*diff=*/false);
+        print_grid(rasterize(ds, m, ax, ay, width, h, 1.0, {}), width, h, m,
+                   /*diff=*/false);
         std::cout << "\n";
-        print_hot_table(ds, metric, top);
+        print_hot_table(ds, m, top);
         std::cout << "\n";
       }
       return 0;
@@ -368,10 +417,10 @@ int main(int argc, char** argv) {
       std::cout << "dataset " << d.dir << " — " << metric
                 << " delta (B − A), " << axis << " projection\n";
       // Rasterize B−A as one signed pass over the per-file deltas.
-      print_grid(rasterize(d, metric, ax, ay, width, h, 1.0, {}), width, h,
-                 metric, /*diff=*/true);
+      print_grid(rasterize(d, m, ax, ay, width, h, 1.0, {}), width, h, m,
+                 /*diff=*/true);
       std::cout << "\n";
-      print_hot_table(d, metric, top);
+      print_hot_table(d, m, top);
       std::cout << "\n";
       std::uint64_t a_fetched = 0, a_used = 0, b_fetched = 0, b_used = 0;
       for (const FileHeat& f : dsa->files) {

@@ -2,19 +2,24 @@
 /// Command-line dataset inspector and validator.
 ///
 /// Usage:
-///   spio_inspect <dataset-dir> [--deep] [--files] [--repair]
+///   spio_inspect <dataset-dir> [--deep] [--files] [--zones] [--repair]
 ///
 ///   --deep    also read every particle and check bounds / field ranges
 ///             (and verify data-file checksums when recorded)
 ///   --files   print the full per-file table (default: first 16 files)
+///   --zones   print the zone-map sidecar (per-file, per-LOD-level
+///             min/max of every field component) and simulate the
+///             planner's pruning on the domain's octants
 ///   --repair  finalize a stale write journal, or delete the artifacts of
 ///             an interrupted write so the directory can be rewritten
 
 #include <algorithm>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 
 #include "core/journal.hpp"
+#include "core/query_plan/zone_map.hpp"
 #include "core/reader.hpp"
 #include "core/timeseries.hpp"
 #include "core/validate.hpp"
@@ -152,8 +157,88 @@ void print_access_profile(const std::filesystem::path& dir) {
   }
 }
 
+/// `--zones`: dump the zone-map sidecar as a per-file, per-level min/max
+/// table, then replay the planner over the domain's eight octants to show
+/// what the zones actually buy (files skipped, LOD tail bytes shaved).
+void print_zone_maps(const Dataset& ds, bool all_files) {
+  const DatasetMetadata& m = ds.metadata();
+  const ZoneMapTable* zones = ds.planner().zones();
+  if (zones == nullptr) {
+    std::cout << (m.has_zone_maps
+                      ? "zones: sidecar missing or unusable — the planner "
+                        "runs zone-free (see warnings below)\n"
+                      : "zones: none recorded (written with "
+                        "write_zone_maps=false?)\n");
+    return;
+  }
+
+  // Column per field component, row per (file, LOD level).
+  std::vector<std::string> headers = {"file", "level", "records"};
+  for (const FieldDesc& f : m.schema.fields()) {
+    if (f.components == 1) {
+      headers.push_back(f.name);
+    } else {
+      for (std::uint32_t c = 0; c < f.components; ++c)
+        headers.push_back(f.name + "[" + std::to_string(c) + "]");
+    }
+  }
+  const auto fmt = [](const FieldRange& r) {
+    std::ostringstream s;
+    s << std::setprecision(4) << r.min << ".." << r.max;
+    return s.str();
+  };
+  Table t("zone maps", headers);
+  const std::size_t limit =
+      all_files ? m.files.size() : std::min<std::size_t>(16, m.files.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const FileRecord& f = m.files[i];
+    const FileZones* fz = zones->find(f.aggregator_rank);
+    if (fz == nullptr) continue;
+    const std::uint32_t levels = zone_file_count(zones->lod, fz->particle_count);
+    for (std::uint32_t z = 0; z < levels; ++z) {
+      Table& row = t.row();
+      row.add(f.file_name())
+          .add_int(static_cast<long long>(z))
+          .add_int(static_cast<long long>(
+              zone_begin(zones->lod, z + 1, fz->particle_count) -
+              zone_begin(zones->lod, z, fz->particle_count)));
+      for (std::size_t c = 0; c < zones->range_count; ++c)
+        row.add(fmt(fz->zones[z * zones->range_count + c]));
+    }
+  }
+  t.print(std::cout);
+  if (limit < m.files.size())
+    std::cout << "(" << m.files.size() - limit
+              << " more files; pass --files to list all)\n";
+
+  // Prune simulation: what the planner does with these zones for the
+  // canonical "read a corner of the domain" queries.
+  std::cout << "prune simulation (8 domain octants, all LOD levels):\n";
+  const Vec3d mid = {(m.domain.lo.x + m.domain.hi.x) / 2,
+                     (m.domain.lo.y + m.domain.hi.y) / 2,
+                     (m.domain.lo.z + m.domain.hi.z) / 2};
+  for (int o = 0; o < 8; ++o) {
+    const Vec3d lo = {o & 1 ? mid.x : m.domain.lo.x,
+                      o & 2 ? mid.y : m.domain.lo.y,
+                      o & 4 ? mid.z : m.domain.lo.z};
+    const Vec3d hi = {o & 1 ? m.domain.hi.x : mid.x,
+                      o & 2 ? m.domain.hi.y : mid.y,
+                      o & 4 ? m.domain.hi.z : mid.z};
+    const QueryPlan plan = ds.plan_query(Box3(lo, hi), {}, -1, 1);
+    std::uint64_t fetch_bytes = 0;
+    for (const FilePlan& fp : plan.files)
+      fetch_bytes += fp.fetch_records * m.schema.record_size();
+    std::cout << "  octant " << o << ": " << plan.files.size() << "/"
+              << plan.files_considered << " files read ("
+              << plan.files_skipped << " skipped), "
+              << format_bytes(fetch_bytes) << " fetched, "
+              << format_bytes(plan.lod_bytes_skipped)
+              << " of LOD tails skipped\n";
+  }
+}
+
 int inspect_dataset(const std::filesystem::path& dir, bool deep,
-                    bool all_files) {
+                    bool all_files, bool show_zones) {
   const Dataset ds = Dataset::open(dir);
   const DatasetMetadata& m = ds.metadata();
 
@@ -172,6 +257,10 @@ int inspect_dataset(const std::filesystem::path& dir, bool deep,
             << (WriteJournal::present(dir) ? "OPEN (interrupted write?)"
                                            : "closed")
             << " checksums=" << (ChecksumTable::present(dir) ? "yes" : "no")
+            << " zones="
+            << (ds.planner().zones() != nullptr
+                    ? "yes"
+                    : (m.has_zone_maps ? "UNUSABLE (fallback)" : "no"))
             << " postmortem="
             << (obs::postmortem_present(dir)
                     ? "PRESENT (see spio_trace --postmortem)"
@@ -185,6 +274,7 @@ int inspect_dataset(const std::filesystem::path& dir, bool deep,
   }
   print_run_record(dir);
   print_access_profile(dir);
+  if (show_zones) print_zone_maps(ds, all_files);
 
   Table t("files", {"file", "particles", "bytes", "bounds"});
   const std::size_t limit = all_files ? m.files.size()
@@ -220,14 +310,15 @@ int inspect_dataset(const std::filesystem::path& dir, bool deep,
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: spio_inspect <dataset-dir> [--deep] [--files] "
-                 "[--repair]\n";
+                 "[--zones] [--repair]\n";
     return 2;
   }
   const std::filesystem::path dir = argv[1];
-  bool deep = false, all_files = false, repair = false;
+  bool deep = false, all_files = false, repair = false, show_zones = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--deep") == 0) deep = true;
     else if (std::strcmp(argv[i], "--files") == 0) all_files = true;
+    else if (std::strcmp(argv[i], "--zones") == 0) show_zones = true;
     else if (std::strcmp(argv[i], "--repair") == 0) repair = true;
     else {
       std::cerr << "unknown option: " << argv[i] << "\n";
@@ -260,12 +351,12 @@ int main(int argc, char** argv) {
       for (const int step : series.steps()) {
         std::cout << "--- step " << step << " ---\n";
         rc |= inspect_dataset(TimeSeries::step_dir(dir, step), deep,
-                              all_files);
+                              all_files, show_zones);
         std::cout << "\n";
       }
       return rc;
     }
-    return inspect_dataset(dir, deep, all_files);
+    return inspect_dataset(dir, deep, all_files, show_zones);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
